@@ -1,0 +1,64 @@
+// E8 — Corollary 2 (ablation): disabling the adaptive algorithm's
+// full-replica path (and unbounding Vp to preserve regularity) removes the
+// "store D bits in f+1 objects" escape hatch, and storage reverts to
+// growing linearly with the concurrency — exactly what Corollary 2 says
+// must happen to any such algorithm.
+#include "bench_util.h"
+
+namespace sbrs::bench {
+namespace {
+
+constexpr uint32_t kF = 4, kK = 4;
+constexpr uint64_t kDataBits = 4096;
+
+void print_sweep() {
+  std::cout << "\n=== E8: ablation — adaptive with vs without the replica "
+            << "path (f=" << kF << ", k=" << kK << ", D=" << kDataBits
+            << " bits) ===\n";
+  auto full = registers::make_adaptive(cfg_fk(kF, kK, kDataBits));
+  registers::AdaptiveOptions ablated;
+  ablated.enable_replica_path = false;
+  ablated.vp_unbounded = true;
+  auto no_replica =
+      registers::make_adaptive(cfg_fk(kF, kK, kDataBits), ablated);
+
+  harness::Table table({"c", "adaptive bits", "no-replica bits",
+                        "no-replica / adaptive", "replica cap 2nD"});
+  const uint64_t cap = 2ull * (2 * kF + kK) * kDataBits;
+  for (uint32_t c : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    auto full_out = storage_run(*full, c);
+    auto ablated_out = storage_run(*no_replica, c);
+    table.add_row(c, full_out.max_object_bits, ablated_out.max_object_bits,
+                  ratio(ablated_out.max_object_bits,
+                        full_out.max_object_bits),
+                  cap);
+  }
+  table.print();
+  std::cout << "\nWithout a full replica in f+1 objects, storage grows "
+               "linearly with c (Corollary 2); the replica path is what "
+               "caps the adaptive register at 2nD.\n\n";
+}
+
+void BM_AblatedStorm(benchmark::State& state) {
+  registers::AdaptiveOptions ablated;
+  ablated.enable_replica_path = false;
+  ablated.vp_unbounded = true;
+  auto alg = registers::make_adaptive(cfg_fk(kF, kK, kDataBits), ablated);
+  const uint32_t c = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto out = storage_run(*alg, c);
+    benchmark::DoNotOptimize(out.max_object_bits);
+    state.counters["object_bits"] = static_cast<double>(out.max_object_bits);
+  }
+}
+BENCHMARK(BM_AblatedStorm)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace sbrs::bench
+
+int main(int argc, char** argv) {
+  sbrs::bench::print_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// E10 — substrate microbenchmarks: Reed-Solomon encode/decode throughput
+// vs (n, k, D), GF(2^8) row operations, and replication as the baseline.
+// These justify treating coding cost as negligible relative to the storage
+// effects the paper is about.
+#include <benchmark/benchmark.h>
+
+#include "codec/codec.h"
+#include "common/rng.h"
+
+namespace sbrs::codec {
+namespace {
+
+Value random_value(uint64_t bits, uint64_t seed) {
+  Rng rng(seed);
+  Bytes b(bits / 8);
+  for (auto& x : b) x = static_cast<uint8_t>(rng.below(256));
+  return Value(std::move(b));
+}
+
+void BM_RsEncode(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const uint32_t k = static_cast<uint32_t>(state.range(1));
+  const uint64_t bits = static_cast<uint64_t>(state.range(2));
+  auto codec = make_codec("rs", n, k, bits);
+  const Value v = random_value(bits, 1);
+  for (auto _ : state) {
+    auto blocks = codec->encode(v);
+    benchmark::DoNotOptimize(blocks);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bits / 8));
+}
+BENCHMARK(BM_RsEncode)
+    ->Args({6, 2, 4096})
+    ->Args({12, 4, 4096})
+    ->Args({24, 8, 4096})
+    ->Args({12, 4, 65536})
+    ->Args({12, 4, 1048576});
+
+void BM_RsDecodeFromParity(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const uint32_t k = static_cast<uint32_t>(state.range(1));
+  const uint64_t bits = static_cast<uint64_t>(state.range(2));
+  auto codec = make_codec("rs", n, k, bits);
+  const Value v = random_value(bits, 2);
+  auto blocks = codec->encode(v);
+  // Worst case: decode entirely from parity blocks (full matrix inversion).
+  std::vector<Block> parity(blocks.begin() + k, blocks.begin() + 2 * k);
+  for (auto _ : state) {
+    auto decoded = codec->decode(parity);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bits / 8));
+}
+BENCHMARK(BM_RsDecodeFromParity)
+    ->Args({6, 2, 4096})
+    ->Args({12, 4, 4096})
+    ->Args({24, 8, 4096})
+    ->Args({12, 4, 65536});
+
+void BM_RsDecodeSystematic(benchmark::State& state) {
+  // Best case: the k systematic blocks are present — no inversion work.
+  auto codec = make_codec("rs", 12, 4, 65536);
+  const Value v = random_value(65536, 3);
+  auto blocks = codec->encode(v);
+  std::vector<Block> data(blocks.begin(), blocks.begin() + 4);
+  for (auto _ : state) {
+    auto decoded = codec->decode(data);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 8192);
+}
+BENCHMARK(BM_RsDecodeSystematic);
+
+void BM_ReplicationEncode(benchmark::State& state) {
+  auto codec = make_codec("replication", 5, 1, 65536);
+  const Value v = random_value(65536, 4);
+  for (auto _ : state) {
+    auto blocks = codec->encode(v);
+    benchmark::DoNotOptimize(blocks);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 8192);
+}
+BENCHMARK(BM_ReplicationEncode);
+
+void BM_EncodeSingleBlock(benchmark::State& state) {
+  auto codec = make_codec("rs", 12, 4, 65536);
+  const Value v = random_value(65536, 5);
+  uint32_t i = 1;
+  for (auto _ : state) {
+    auto b = codec->encode_block(v, i);
+    benchmark::DoNotOptimize(b);
+    i = i % 12 + 1;
+  }
+}
+BENCHMARK(BM_EncodeSingleBlock);
+
+}  // namespace
+}  // namespace sbrs::codec
+
+BENCHMARK_MAIN();

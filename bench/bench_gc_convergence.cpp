@@ -1,0 +1,63 @@
+// E3 — Theorem 2's garbage-collection clause: after finitely many writes by
+// correct writers, the adaptive register's storage shrinks to (2f+k) D/k —
+// a single piece per base object. The table shows the peak-vs-final storage
+// for growing write counts; the final column never grows.
+#include "bench_util.h"
+
+namespace sbrs::bench {
+namespace {
+
+constexpr uint32_t kF = 2, kK = 4;
+constexpr uint64_t kDataBits = 2048;
+
+void print_sweep() {
+  std::cout << "\n=== E3: GC convergence of the adaptive register "
+            << "(f=" << kF << ", k=" << kK << ", D=" << kDataBits
+            << " bits) ===\n";
+  auto alg = registers::make_adaptive(cfg_fk(kF, kK, kDataBits));
+  const uint64_t quiescent =
+      bounds::adaptive_quiescent_bits(kF, kK, kDataBits);
+  harness::Table table({"writers", "writes each", "peak object bits",
+                        "final object bits", "(2f+k)D/k", "converged"});
+  for (uint32_t writers : {1u, 2u, 4u}) {
+    for (uint32_t each : {1u, 4u, 16u}) {
+      harness::RunOptions opts;
+      opts.writers = writers;
+      opts.writes_per_client = each;
+      opts.scheduler = harness::SchedKind::kRoundRobin;  // FIFO channels
+      auto out = harness::run_register_experiment(*alg, opts);
+      table.add_row(writers, each, out.max_object_bits,
+                    out.final_object_bits, quiescent,
+                    out.final_object_bits == quiescent ? "yes" : "no");
+    }
+  }
+  table.print();
+  std::cout << "\nFinal storage is exactly one D/k piece per object no "
+               "matter how many writes ran — Theorem 2's quiescent bound."
+               "\n\n";
+}
+
+void BM_GcRun(benchmark::State& state) {
+  auto alg = registers::make_adaptive(cfg_fk(kF, kK, kDataBits));
+  const uint32_t writes = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    harness::RunOptions opts;
+    opts.writers = 2;
+    opts.writes_per_client = writes;
+    opts.scheduler = harness::SchedKind::kRoundRobin;
+    auto out = harness::run_register_experiment(*alg, opts);
+    benchmark::DoNotOptimize(out.final_object_bits);
+    state.counters["final_bits"] = static_cast<double>(out.final_object_bits);
+  }
+}
+BENCHMARK(BM_GcRun)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace sbrs::bench
+
+int main(int argc, char** argv) {
+  sbrs::bench::print_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

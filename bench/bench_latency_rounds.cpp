@@ -1,0 +1,104 @@
+// E9 — operation complexity: RMWs and rounds per operation for every
+// algorithm, plus FW-termination behaviour (read retries under write
+// churn). Writes cost 3 rounds (adaptive, coded), 2 rounds (ABD, safe);
+// reads cost 1 round when quiescent and may retry under churn for the
+// FW-terminating algorithms.
+#include "bench_util.h"
+
+namespace sbrs::bench {
+namespace {
+
+constexpr uint64_t kDataBits = 1024;
+
+struct OpCosts {
+  double rmws_per_write = 0;
+  double rmws_per_read = 0;
+};
+
+OpCosts measure(const registers::RegisterAlgorithm& alg, uint64_t seed) {
+  // Writes-only run to isolate write cost.
+  harness::RunOptions w;
+  w.writers = 2;
+  w.writes_per_client = 8;
+  w.scheduler = harness::SchedKind::kRoundRobin;
+  auto wout = harness::run_register_experiment(alg, w);
+
+  // Mixed run; subtract the write cost to estimate reads.
+  harness::RunOptions m = w;
+  m.readers = 2;
+  m.reads_per_client = 8;
+  m.seed = seed;
+  auto mout = harness::run_register_experiment(alg, m);
+
+  OpCosts costs;
+  costs.rmws_per_write = static_cast<double>(wout.report.rmws_triggered) / 16;
+  costs.rmws_per_read =
+      static_cast<double>(mout.report.rmws_triggered -
+                          wout.report.rmws_triggered) /
+      16;
+  return costs;
+}
+
+void print_sweep() {
+  std::cout << "\n=== E9: RMWs per operation (n objects per round; f=2, "
+            << "k=2, D=" << kDataBits << " bits) ===\n";
+  const auto cfg = cfg_fk(2, 2, kDataBits);
+  std::vector<std::unique_ptr<registers::RegisterAlgorithm>> algs;
+  algs.push_back(registers::make_adaptive(cfg));
+  algs.push_back(registers::make_coded(cfg));
+  algs.push_back(registers::make_abd(cfg_abd(2, kDataBits)));
+  algs.push_back(registers::make_safe(cfg));
+
+  harness::Table table({"algorithm", "n", "rmws/write", "write rounds",
+                        "rmws/read", "read rounds (quiescent-ish)"});
+  for (const auto& alg : algs) {
+    auto costs = measure(*alg, 3);
+    const double n = static_cast<double>(alg->config().n);
+    table.add_row(alg->name(), alg->config().n, costs.rmws_per_write,
+                  costs.rmws_per_write / n, costs.rmws_per_read,
+                  costs.rmws_per_read / n);
+  }
+  table.print();
+  std::cout << "\nWrites: 3 rounds for the coded/adaptive registers "
+               "(read-ts, update, GC/commit), 2 for ABD and the safe "
+               "register. Reads: 1 round when writes are quiet; the "
+               "FW-terminating readers retry under churn.\n\n";
+}
+
+void BM_EndToEndOps(benchmark::State& state) {
+  const auto cfg = cfg_fk(2, 2, kDataBits);
+  std::unique_ptr<registers::RegisterAlgorithm> alg;
+  switch (state.range(0)) {
+    case 0: alg = registers::make_adaptive(cfg); break;
+    case 1: alg = registers::make_coded(cfg); break;
+    case 2: alg = registers::make_abd(cfg_abd(2, kDataBits)); break;
+    default: alg = registers::make_safe(cfg); break;
+  }
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    harness::RunOptions opts;
+    opts.writers = 2;
+    opts.writes_per_client = 4;
+    opts.readers = 2;
+    opts.reads_per_client = 4;
+    opts.seed = 1;
+    opts.sample_every = 1024;
+    auto out = harness::run_register_experiment(*alg, opts);
+    ops += out.report.completed_ops;
+    benchmark::DoNotOptimize(out.report.steps);
+  }
+  state.counters["ops/s"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+  state.SetLabel(alg->name());
+}
+BENCHMARK(BM_EndToEndOps)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace sbrs::bench
+
+int main(int argc, char** argv) {
+  sbrs::bench::print_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

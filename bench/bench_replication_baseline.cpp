@@ -1,0 +1,60 @@
+// E4 — the replication cost claim (Section 1): ABD stores n = 2f+1 full
+// copies, flat in the concurrency level. The sweep shows object storage is
+// exactly (2f+1) D for every c, and grows linearly in f.
+#include "bench_util.h"
+
+namespace sbrs::bench {
+namespace {
+
+constexpr uint64_t kDataBits = 4096;
+
+void print_sweep() {
+  std::cout << "\n=== E4a: ABD (replication) storage vs concurrency "
+            << "(f=4, D=" << kDataBits << " bits) ===\n";
+  auto alg = registers::make_abd(cfg_abd(4, kDataBits));
+  harness::Table table({"c", "max object bits", "(2f+1)D", "flat"});
+  const uint64_t expected = bounds::replication_bits(9, kDataBits);
+  for (uint32_t c : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    auto out = storage_run(*alg, c);
+    table.add_row(c, out.max_object_bits, expected,
+                  out.max_object_bits == expected ? "yes" : "no");
+  }
+  table.print();
+
+  std::cout << "\n=== E4b: ABD storage vs fault tolerance f (c=8) ===\n";
+  harness::Table ftable({"f", "n=2f+1", "max object bits", "(2f+1)D"});
+  for (uint32_t f : {1u, 2u, 4u, 8u}) {
+    auto a = registers::make_abd(cfg_abd(f, kDataBits));
+    auto out = storage_run(*a, 8);
+    ftable.add_row(f, 2 * f + 1, out.max_object_bits,
+                   bounds::replication_bits(2 * f + 1, kDataBits));
+  }
+  ftable.print();
+  std::cout << "\nReplication pays O(fD) regardless of concurrency — one "
+               "side of the paper's min(f, c) dichotomy.\n\n";
+}
+
+void BM_AbdMixedOps(benchmark::State& state) {
+  auto alg = registers::make_abd(cfg_abd(2, kDataBits));
+  for (auto _ : state) {
+    harness::RunOptions opts;
+    opts.writers = 2;
+    opts.writes_per_client = 4;
+    opts.readers = 2;
+    opts.reads_per_client = 4;
+    opts.seed = 1;
+    auto out = harness::run_register_experiment(*alg, opts);
+    benchmark::DoNotOptimize(out.report.steps);
+  }
+}
+BENCHMARK(BM_AbdMixedOps);
+
+}  // namespace
+}  // namespace sbrs::bench
+
+int main(int argc, char** argv) {
+  sbrs::bench::print_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

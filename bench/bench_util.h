@@ -1,0 +1,59 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every bench prints a paper-style results table (measured vs predicted
+// storage, in bits) before running its google-benchmark timings, so a
+// plain `./bench_<name>` reproduces the corresponding experiment row of
+// EXPERIMENTS.md.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bounds/formulas.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+#include "registers/register_algorithm.h"
+
+namespace sbrs::bench {
+
+inline registers::RegisterConfig cfg_fk(uint32_t f, uint32_t k,
+                                        uint64_t data_bits) {
+  registers::RegisterConfig cfg;
+  cfg.f = f;
+  cfg.k = k;
+  cfg.n = 2 * f + k;
+  cfg.data_bits = data_bits;
+  return cfg;
+}
+
+inline registers::RegisterConfig cfg_abd(uint32_t f, uint64_t data_bits) {
+  registers::RegisterConfig cfg;
+  cfg.f = f;
+  cfg.k = 1;
+  cfg.n = 2 * f + 1;
+  cfg.data_bits = data_bits;
+  return cfg;
+}
+
+/// Max-concurrency storage run: c writers, burst scheduler (all writes
+/// start before any RMW is delivered).
+inline harness::RunOutcome storage_run(
+    const registers::RegisterAlgorithm& alg, uint32_t c,
+    uint32_t writes_per_client = 1) {
+  harness::RunOptions opts;
+  opts.writers = c;
+  opts.writes_per_client = writes_per_client;
+  opts.scheduler = harness::SchedKind::kBurst;
+  opts.sample_every = 64;
+  return harness::run_register_experiment(alg, opts);
+}
+
+inline double ratio(uint64_t measured, uint64_t predicted) {
+  return predicted == 0 ? 0.0
+                        : static_cast<double>(measured) /
+                              static_cast<double>(predicted);
+}
+
+}  // namespace sbrs::bench

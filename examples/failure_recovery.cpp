@@ -1,0 +1,60 @@
+// Failure injection walkthrough: crash exactly f base objects at the worst
+// moments (mid-write) and show that reads still reconstruct the last
+// written value from any n - f survivors — the quorum-intersection
+// guarantee (n - f) + (n - f) - n = k at the heart of Section 5's key
+// invariant.
+//
+//   $ ./examples/failure_recovery
+#include <iostream>
+
+#include "harness/runner.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace sbrs;
+
+  registers::RegisterConfig cfg;
+  cfg.f = 3;
+  cfg.k = 2;
+  cfg.n = 2 * cfg.f + cfg.k;  // 8 objects
+  cfg.data_bits = 2048;
+
+  std::cout << "failure-recovery demo: n=" << cfg.n << " objects, k=" << cfg.k
+            << "-of-" << cfg.n << " code, crashing f=" << cfg.f
+            << " objects during a write-heavy run\n"
+            << "quorum intersection: (n-f)+(n-f)-n = " << (cfg.n - 2 * cfg.f)
+            << " = k pieces survive in every read quorum\n\n";
+
+  harness::Table table({"seed", "crashes", "ops done", "stuck ops",
+                        "weakly regular", "strongly regular"});
+  int failures = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    auto algorithm = registers::make_adaptive(cfg);
+    harness::RunOptions opts;
+    opts.writers = 3;
+    opts.writes_per_client = 4;
+    opts.readers = 3;
+    opts.reads_per_client = 4;
+    opts.object_crashes = cfg.f;
+    opts.seed = seed;
+    auto out = harness::run_register_experiment(*algorithm, opts);
+    const size_t stuck = out.history.outstanding().size();
+    table.add_row(seed, cfg.f, out.report.completed_ops, stuck,
+                  out.weak_regular.ok ? "yes" : "NO",
+                  out.strong_regular.ok ? "yes" : "NO");
+    if (!out.weak_regular.ok || !out.strong_regular.ok || !out.live) {
+      ++failures;
+    }
+  }
+  table.print();
+
+  if (failures > 0) {
+    std::cerr << "\n" << failures << " runs violated their guarantees\n";
+    return 1;
+  }
+  std::cout << "\nAll runs stayed strongly regular and every operation "
+               "completed: f crashes are absorbed without losing data or "
+               "liveness. (Crashing f+1 objects would make quorums "
+               "unreachable — try it by editing this example.)\n";
+  return 0;
+}

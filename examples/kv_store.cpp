@@ -1,0 +1,79 @@
+// A miniature fault-tolerant key-value store built on the public register
+// API: one emulated register per key, all sharing a pool of simulated base
+// objects (one simulator per key keeps the example simple — real
+// deployments multiplex, which changes nothing about the per-register
+// guarantees).
+//
+// Demonstrates the intended downstream use of the library: pick f and k,
+// mount registers, and get regular read/write semantics over crash-prone
+// storage with O(min(f, c) D) space per key.
+//
+//   $ ./examples/kv_store
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "harness/runner.h"
+#include "harness/table.h"
+
+namespace {
+
+using namespace sbrs;
+
+/// One key = one emulated register run. Values are fixed-width records.
+struct KvShard {
+  std::string key;
+  harness::RunOutcome outcome;
+};
+
+KvShard run_shard(const std::string& key, uint64_t seed) {
+  registers::RegisterConfig cfg;
+  cfg.f = 2;
+  cfg.k = 4;
+  cfg.n = 2 * cfg.f + cfg.k;
+  cfg.data_bits = 1024;  // 128-byte records
+
+  auto algorithm = registers::make_adaptive(cfg);
+
+  harness::RunOptions opts;
+  opts.writers = 2;   // two app servers updating this key
+  opts.writes_per_client = 3;
+  opts.readers = 2;   // two app servers reading it
+  opts.reads_per_client = 3;
+  opts.object_crashes = 1;  // a disk dies mid-run
+  opts.seed = seed;
+  return KvShard{key, harness::run_register_experiment(*algorithm, opts)};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "kv-store demo: 4 keys, each an adaptive register over "
+               "n=8 crash-prone objects (f=2, k=4), 128-byte records, one "
+               "object crash injected per key\n\n";
+
+  harness::Table table({"key", "ops", "peak bits", "final bits",
+                        "regular", "live"});
+  bool all_ok = true;
+  uint64_t seed = 1;
+  for (const std::string key :
+       {"user:42", "order:9000", "cart:7", "session:abc"}) {
+    KvShard shard = run_shard(key, seed++);
+    const auto& out = shard.outcome;
+    table.add_row(shard.key, out.report.completed_ops, out.max_object_bits,
+                  out.final_object_bits,
+                  out.strong_regular.ok ? "strong" : "VIOLATED",
+                  out.live ? "yes" : "NO");
+    all_ok = all_ok && out.strong_regular.ok && out.live;
+  }
+  table.print();
+
+  if (!all_ok) {
+    std::cerr << "\nconsistency violation — see above\n";
+    return 1;
+  }
+  std::cout << "\nEach key's storage peaked near (c+1) n D / k and was "
+               "garbage-collected back toward n D / k after the writes "
+               "quiesced — the Theorem 2 envelope, per key.\n";
+  return 0;
+}

@@ -1,0 +1,180 @@
+// sbrs_cli — command-line experiment runner.
+//
+// Run any of the register algorithms under a configurable workload and
+// scheduler, print the storage/consistency outcome, and optionally dump the
+// storage time series as CSV. Useful for ad-hoc exploration beyond the
+// fixed sweeps in bench/.
+//
+//   $ ./examples/sbrs_cli --alg=adaptive --f=2 --k=4 --writers=6
+//         (--writes=2 --readers=2 --reads=2 --seed=7 --crashes=2 ...)
+//   $ ./examples/sbrs_cli --alg=coded --writers=16 --sched=burst
+//   $ ./examples/sbrs_cli --help
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "bounds/formulas.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+
+namespace {
+
+struct CliOptions {
+  std::string alg = "adaptive";
+  uint32_t f = 2;
+  uint32_t k = 4;
+  uint64_t data_bits = 4096;
+  uint32_t writers = 2;
+  uint32_t writes = 2;
+  uint32_t readers = 2;
+  uint32_t reads = 2;
+  uint64_t seed = 1;
+  std::string sched = "random";
+  uint32_t crashes = 0;
+  bool help = false;
+};
+
+bool parse_flag(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+template <typename Int>
+bool parse_int_flag(const std::string& arg, const char* name, Int* out) {
+  std::string s;
+  if (!parse_flag(arg, name, &s)) return false;
+  *out = static_cast<Int>(std::stoull(s));
+  return true;
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string s;
+    if (arg == "--help" || arg == "-h") {
+      o.help = true;
+    } else if (parse_flag(arg, "alg", &o.alg) ||
+               parse_flag(arg, "sched", &o.sched) ||
+               parse_int_flag(arg, "f", &o.f) ||
+               parse_int_flag(arg, "k", &o.k) ||
+               parse_int_flag(arg, "data-bits", &o.data_bits) ||
+               parse_int_flag(arg, "writers", &o.writers) ||
+               parse_int_flag(arg, "writes", &o.writes) ||
+               parse_int_flag(arg, "readers", &o.readers) ||
+               parse_int_flag(arg, "reads", &o.reads) ||
+               parse_int_flag(arg, "seed", &o.seed) ||
+               parse_int_flag(arg, "crashes", &o.crashes)) {
+      // parsed
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      o.help = true;
+    }
+  }
+  return o;
+}
+
+void usage() {
+  std::cout <<
+      "sbrs_cli — run a register algorithm on the simulated asynchronous "
+      "shared memory\n\n"
+      "  --alg=adaptive|abd|abd-wb|coded|coded-atomic|safe|no-replica\n"
+      "  --f=N           tolerated object crashes (default 2)\n"
+      "  --k=N           erasure-code dimension (default 4; abd forces 1)\n"
+      "  --data-bits=N   value size D in bits (default 4096)\n"
+      "  --writers=N --writes=N --readers=N --reads=N   workload shape\n"
+      "  --sched=random|rr|burst   scheduler (default random)\n"
+      "  --seed=N        schedule seed (default 1)\n"
+      "  --crashes=N     crash up to N objects at random points\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sbrs;
+  const CliOptions cli = parse(argc, argv);
+  if (cli.help) {
+    usage();
+    return 2;
+  }
+
+  registers::RegisterConfig cfg;
+  cfg.f = cli.f;
+  cfg.k = cli.k;
+  cfg.n = 2 * cli.f + cli.k;
+  cfg.data_bits = cli.data_bits;
+
+  std::unique_ptr<registers::RegisterAlgorithm> algorithm;
+  if (cli.alg == "adaptive") {
+    algorithm = registers::make_adaptive(cfg);
+  } else if (cli.alg == "no-replica") {
+    registers::AdaptiveOptions o;
+    o.enable_replica_path = false;
+    o.vp_unbounded = true;
+    algorithm = registers::make_adaptive(cfg, o);
+  } else if (cli.alg == "abd" || cli.alg == "abd-wb") {
+    registers::RegisterConfig abd = cfg;
+    abd.k = 1;
+    abd.n = 2 * cli.f + 1;
+    registers::AbdOptions o;
+    o.write_back = (cli.alg == "abd-wb");
+    algorithm = registers::make_abd(abd, o);
+  } else if (cli.alg == "coded") {
+    algorithm = registers::make_coded(cfg);
+  } else if (cli.alg == "coded-atomic") {
+    algorithm = registers::make_coded_atomic(cfg);
+  } else if (cli.alg == "safe") {
+    algorithm = registers::make_safe(cfg);
+  } else {
+    std::cerr << "unknown --alg=" << cli.alg << "\n";
+    usage();
+    return 2;
+  }
+
+  harness::RunOptions opts;
+  opts.writers = cli.writers;
+  opts.writes_per_client = cli.writes;
+  opts.readers = cli.readers;
+  opts.reads_per_client = cli.reads;
+  opts.seed = cli.seed;
+  opts.object_crashes = cli.crashes;
+  if (cli.sched == "rr") {
+    opts.scheduler = harness::SchedKind::kRoundRobin;
+  } else if (cli.sched == "burst") {
+    opts.scheduler = harness::SchedKind::kBurst;
+  } else {
+    opts.scheduler = harness::SchedKind::kRandom;
+  }
+
+  auto out = harness::run_register_experiment(*algorithm, opts);
+
+  harness::Table table({"metric", "value"});
+  table.add_row("algorithm", out.algorithm);
+  table.add_row("n / k / f", std::to_string(algorithm->config().n) + " / " +
+                                 std::to_string(algorithm->config().k) +
+                                 " / " + std::to_string(algorithm->config().f));
+  table.add_row("steps", out.report.steps);
+  table.add_row("ops invoked / completed",
+                std::to_string(out.report.invoked_ops) + " / " +
+                    std::to_string(out.report.completed_ops));
+  table.add_row("rmws triggered / delivered",
+                std::to_string(out.report.rmws_triggered) + " / " +
+                    std::to_string(out.report.rmws_delivered));
+  table.add_row("peak object storage (bits)", out.max_object_bits);
+  table.add_row("peak channel bits", out.max_channel_bits);
+  table.add_row("final object storage (bits)", out.final_object_bits);
+  table.add_row("values legal", out.values_legal.ok ? "yes" : "NO");
+  table.add_row("weakly regular", out.weak_regular.ok ? "yes" : "NO");
+  table.add_row("strongly regular", out.strong_regular.ok ? "yes" : "NO");
+  table.add_row("strongly safe", out.strongly_safe.ok ? "yes" : "NO");
+  table.add_row("atomic",
+                consistency::check_atomicity(out.history).ok ? "yes" : "NO");
+  table.add_row("live", out.live ? "yes" : "NO");
+  table.print();
+
+  if (!out.values_legal.ok) std::cout << out.values_legal.summary() << "\n";
+  if (!out.weak_regular.ok) std::cout << out.weak_regular.summary() << "\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "adversary/ad_scheduler.h"
+
+#include "sim/simulator.h"
+
+namespace sbrs::adversary {
+
+sim::Action AdScheduler::next(const sim::Simulator& sim) {
+  const metrics::StorageSnapshot snap = sim.snapshot();
+  last_ = tracker_.classify(sim.history(), snap);
+
+  // Fixed points of the construction (Lemma 3's dichotomy).
+  if (opts_.concurrency > 0 && last_.c_plus.size() >= opts_.concurrency) {
+    stop_reason_ = "all " + std::to_string(opts_.concurrency) +
+                   " writes in C+ (each contributed > D - l bits)";
+    return sim::Action::stop();
+  }
+  if (opts_.stop_when_frozen && last_.frozen.size() > opts_.f) {
+    stop_reason_ = std::to_string(last_.frozen.size()) +
+                   " base objects frozen (each holds >= l bits)";
+    return sim::Action::stop();
+  }
+
+  // Rule 1: deliver the longest-pending RMW triggered by an operation in
+  // C- whose target is not frozen. sim.pending() is in trigger order.
+  for (const auto& p : sim.pending()) {
+    if (!sim.object_alive(p.target)) continue;
+    if (last_.frozen.count(p.target) > 0) continue;
+    if (!last_.in_c_minus(p.op)) {
+      // Reads and non-write ops are not starved by Ad; the lower-bound
+      // workload is write-only, so p.op not in C- means a C+ write.
+      const sim::OpRecord* rec = sim.history().find(p.op);
+      if (rec != nullptr && rec->kind == sim::OpKind::kWrite &&
+          !rec->complete()) {
+        continue;  // frozen out by rule 1
+      }
+      if (rec != nullptr && rec->kind == sim::OpKind::kWrite) continue;
+    }
+    return sim::Action::deliver(p.id);
+  }
+
+  // Rule 2: fair client order (c0, c0, c1, c0, c1, c2, ... degenerates to
+  // round-robin here); the only client-local action the simulator exposes
+  // is invoking the next operation.
+  const auto ready = sim.invocable_clients();
+  if (!ready.empty()) {
+    const ClientId pick = ready[fair_counter_ % ready.size()];
+    ++fair_counter_;
+    return sim::Action::invoke(pick);
+  }
+
+  // Neither rule applies: every pending RMW is starved (C+ writer or
+  // frozen target). This is the no-progress state the proof drives to.
+  stop_reason_ = "starved: no rule-1 delivery possible, no invocations left";
+  return sim::Action::stop();
+}
+
+}  // namespace sbrs::adversary

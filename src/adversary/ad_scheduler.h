@@ -1,0 +1,59 @@
+// The lower-bound adversary Ad (Definition 7).
+//
+// At every point t, Ad:
+//   1. If some pending RMW was triggered by an operation in C-_l(t) and
+//      targets a base object outside the frozen set F_l(t), delivers the
+//      longest-pending such RMW (its state change takes effect and its
+//      response is scheduled).
+//   2. Otherwise, picks a client in fair order and lets it take an action —
+//      in this simulator that means invoking its next workload operation
+//      (triggering of RMWs happens inside client steps and is not delayed).
+//
+// The run reaches its fixed point when neither rule applies: then either
+// |C+| = c (every writer has paid >= D - l + 1 bits: Observation 1 gives
+// storage >= c (D - l + 1)) or the frozen objects alone hold >= |F| * l
+// bits. Lemma 3 shows one of |C+| = c or |F| > f must eventually happen —
+// picking l = D/2 yields the Omega(min(f, c) D) bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "adversary/tracker.h"
+#include "sim/scheduler.h"
+
+namespace sbrs::adversary {
+
+class AdScheduler final : public sim::Scheduler {
+ public:
+  struct Options {
+    /// The proof's threshold l in bits (Theorem 1 uses D/2).
+    uint64_t l_bits = 0;
+    uint64_t data_bits = 0;
+    /// The concurrency level c (number of writer clients). Ad stops once
+    /// |C+| reaches it, or earlier once |F| > f when stop_when_frozen.
+    uint32_t concurrency = 0;
+    uint32_t f = 0;
+    /// Stop as soon as |F| > f (the proof's other fixed point). If false,
+    /// the adversary keeps scheduling rule-2 actions until stuck.
+    bool stop_when_frozen = true;
+  };
+
+  explicit AdScheduler(Options opts)
+      : opts_(opts), tracker_(opts.l_bits, opts.data_bits) {}
+
+  sim::Action next(const sim::Simulator& sim) override;
+  std::string stop_reason() const override { return stop_reason_; }
+
+  /// Classification at the last scheduling decision (for reporting).
+  const ClassifiedState& last_state() const { return last_; }
+
+ private:
+  Options opts_;
+  OpClassTracker tracker_;
+  ClassifiedState last_;
+  std::string stop_reason_;
+  uint64_t fair_counter_ = 0;
+};
+
+}  // namespace sbrs::adversary

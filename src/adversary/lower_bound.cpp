@@ -1,0 +1,66 @@
+#include "adversary/lower_bound.h"
+
+#include "adversary/ad_scheduler.h"
+#include "common/check.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+
+namespace sbrs::adversary {
+
+LowerBoundResult run_lower_bound_experiment(
+    const registers::RegisterAlgorithm& algorithm, uint32_t concurrency,
+    LowerBoundOptions opts) {
+  const auto& cfg = algorithm.config();
+  SBRS_CHECK(concurrency >= 1);
+
+  const uint64_t l_bits = opts.l_bits == 0 ? cfg.data_bits / 2 : opts.l_bits;
+
+  // The construction of Lemma 3: a run beginning with the invocation of c
+  // concurrent writes of distinct values.
+  sim::UniformWorkload::Options wl;
+  wl.writers = concurrency;
+  wl.writes_per_client = 1;
+  wl.readers = 0;
+  wl.data_bits = cfg.data_bits;
+
+  AdScheduler::Options ad;
+  ad.l_bits = l_bits;
+  ad.data_bits = cfg.data_bits;
+  ad.concurrency = concurrency;
+  ad.f = cfg.f;
+  auto scheduler = std::make_unique<AdScheduler>(ad);
+  AdScheduler* sched = scheduler.get();
+
+  sim::SimConfig sc;
+  sc.num_objects = cfg.n;
+  sc.num_clients = concurrency;
+  sc.max_steps = opts.max_steps;
+
+  sim::Simulator sim(sc, algorithm.object_factory(),
+                     algorithm.client_factory(),
+                     std::make_unique<sim::UniformWorkload>(wl),
+                     std::move(scheduler));
+  sim::RunReport report = sim.run();
+
+  LowerBoundResult out;
+  out.algorithm = algorithm.name();
+  out.concurrency = concurrency;
+  out.f = cfg.f;
+  out.data_bits = cfg.data_bits;
+  out.l_bits = l_bits;
+  out.steps = report.steps;
+  out.max_total_bits = sim.meter().max_total_bits();
+  out.max_object_bits = sim.meter().max_object_bits();
+  out.final_total_bits = sim.meter().last_total_bits();
+  out.final_object_bits = sim.meter().last_object_bits();
+  out.frozen_objects = sched->last_state().frozen.size();
+  out.c_plus_writes = sched->last_state().c_plus.size();
+  out.completed_writes = sim.history().completed_writes();
+  out.stop_reason = report.stop_reason;
+  out.predicted_bits =
+      static_cast<uint64_t>(std::min<uint32_t>(cfg.f + 1, concurrency)) *
+      l_bits;
+  return out;
+}
+
+}  // namespace sbrs::adversary

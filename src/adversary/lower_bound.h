@@ -1,0 +1,53 @@
+// The Lemma 3 experiment: drive a register algorithm with c concurrent
+// writers under the adversary Ad and measure how much storage the adversary
+// forces before reaching a fixed point (|C+| = c, |F| > f, or starvation).
+//
+// Theorem 1 predicts that for any *regular* algorithm the fixed-point
+// storage is at least min(f+1, c) * l with l = D/2. The safe register of
+// Appendix E demonstrates the bound's regularity requirement: under the
+// same adversary its storage never exceeds n * D / k.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "registers/register_algorithm.h"
+
+namespace sbrs::adversary {
+
+struct LowerBoundResult {
+  std::string algorithm;
+  uint32_t concurrency = 0;
+  uint32_t f = 0;
+  uint64_t data_bits = 0;
+  uint64_t l_bits = 0;
+
+  uint64_t steps = 0;
+  /// Maximum Definition 2 storage over the run (objects+clients+channels).
+  uint64_t max_total_bits = 0;
+  /// Maximum storage at base objects only.
+  uint64_t max_object_bits = 0;
+  /// Storage at the adversary's fixed point.
+  uint64_t final_total_bits = 0;
+  uint64_t final_object_bits = 0;
+
+  size_t frozen_objects = 0;    // |F| at the end
+  size_t c_plus_writes = 0;     // |C+| at the end
+  size_t completed_writes = 0;  // should be 0: Ad prevents progress
+  std::string stop_reason;
+
+  /// min(f+1, c) * l — the storage the Theorem 1 construction certifies.
+  uint64_t predicted_bits = 0;
+};
+
+struct LowerBoundOptions {
+  /// Threshold l in bits; 0 means the Theorem 1 choice l = D/2.
+  uint64_t l_bits = 0;
+  uint64_t max_steps = 500'000;
+};
+
+LowerBoundResult run_lower_bound_experiment(
+    const registers::RegisterAlgorithm& algorithm, uint32_t concurrency,
+    LowerBoundOptions opts = {});
+
+}  // namespace sbrs::adversary

@@ -1,0 +1,85 @@
+#include "adversary/pigeonhole.h"
+
+#include <set>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/check.h"
+
+namespace sbrs::adversary {
+
+namespace {
+
+/// Enumerate the value domain: every bit pattern of data_bits bits, emitted
+/// as the little-endian counter (distinct counters give distinct values).
+Value nth_value(uint64_t counter, uint64_t data_bits) {
+  Bytes b(data_bits / 8, 0);
+  for (size_t i = 0; i < b.size() && i < 8; ++i) {
+    b[i] = static_cast<uint8_t>(counter >> (8 * i));
+  }
+  return Value(std::move(b));
+}
+
+/// Concatenated blocks at I — the collision key.
+Bytes key_for(const codec::Codec& codec, const Value& v,
+              std::span<const uint32_t> indices) {
+  Bytes key;
+  for (uint32_t i : indices) {
+    const codec::Block b = codec.encode_block(v, i);
+    key.insert(key.end(), b.data.begin(), b.data.end());
+  }
+  return key;
+}
+
+}  // namespace
+
+uint64_t coverage_bits(const codec::Codec& codec,
+                       std::span<const uint32_t> indices) {
+  std::set<uint32_t> distinct(indices.begin(), indices.end());
+  uint64_t total = 0;
+  for (uint32_t i : distinct) total += codec.block_bits(i);
+  return total;
+}
+
+std::optional<Collision> find_colliding_values(
+    const codec::Codec& codec, std::span<const uint32_t> indices,
+    uint32_t max_domain_bits) {
+  const uint64_t data_bits = codec.data_bits();
+  SBRS_CHECK_MSG(data_bits <= max_domain_bits,
+                 "domain too large for exhaustive collision search");
+  const uint64_t domain = 1ull << data_bits;
+
+  std::unordered_map<uint64_t, std::vector<uint64_t>> buckets;
+  buckets.reserve(domain);
+  for (uint64_t counter = 0; counter < domain; ++counter) {
+    const Value v = nth_value(counter, data_bits);
+    const Bytes key = key_for(codec, v, indices);
+    auto& bucket = buckets[fnv1a(key)];
+    // Hash buckets may (rarely) contain non-colliding values; confirm with
+    // a full key comparison.
+    for (uint64_t other : bucket) {
+      const Value u = nth_value(other, data_bits);
+      if (key_for(codec, u, indices) == key) {
+        Collision c;
+        c.u = u;
+        c.v = v;
+        c.indices.assign(indices.begin(), indices.end());
+        return c;
+      }
+    }
+    bucket.push_back(counter);
+  }
+  return std::nullopt;
+}
+
+bool verify_collision(const codec::Codec& codec, const Collision& c) {
+  if (c.u == c.v) return false;
+  for (uint32_t i : c.indices) {
+    if (codec.encode_block(c.u, i) != codec.encode_block(c.v, i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sbrs::adversary

@@ -1,0 +1,45 @@
+// Claim 1, executable: the pigeonhole step of the lower-bound proof.
+//
+// For a symmetric encoding E and an index set I with sum_{i in I} size(i)
+// < D bits, there must exist two distinct values u != u' that are
+// I-colliding — E(u, i) = E(u', i) for every i in I. The proof uses this to
+// swap the value a starved write "would have written" without any base
+// object noticing (Definition 5's black-box replacement).
+//
+// This module finds such collisions constructively for small domains
+// (exhaustive search over V, feasible for D up to ~20 bits), demonstrating
+// both directions of the threshold: collisions always exist below D bits
+// of coverage, and a systematic code shows they can vanish at exactly D.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "codec/codec.h"
+
+namespace sbrs::adversary {
+
+struct Collision {
+  Value u;
+  Value v;
+  std::vector<uint32_t> indices;  // the I on which u and v collide
+};
+
+/// Total size(i) over a distinct-index set (the proof's ||S(t, w)||
+/// quantity for a full coverage pattern).
+uint64_t coverage_bits(const codec::Codec& codec,
+                       std::span<const uint32_t> indices);
+
+/// Exhaustively search V for two I-colliding values. Returns nullopt iff
+/// none exist (possible only when coverage_bits >= D). The codec's domain
+/// 2^D must be enumerable: requires data_bits <= max_domain_bits.
+std::optional<Collision> find_colliding_values(
+    const codec::Codec& codec, std::span<const uint32_t> indices,
+    uint32_t max_domain_bits = 22);
+
+/// Verify that u and v agree on every block in I (and differ as values).
+bool verify_collision(const codec::Codec& codec, const Collision& c);
+
+}  // namespace sbrs::adversary

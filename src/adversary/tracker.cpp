@@ -1,0 +1,31 @@
+#include "adversary/tracker.h"
+
+namespace sbrs::adversary {
+
+uint64_t OpClassTracker::contribution_bits(
+    const metrics::StorageSnapshot& snap, OpId op, ClientId owner) const {
+  return snap.op_contribution_bits(op, owner);
+}
+
+ClassifiedState OpClassTracker::classify(
+    const sim::History& history, const metrics::StorageSnapshot& snap) const {
+  ClassifiedState out;
+  for (const auto& rec : history.outstanding()) {
+    if (rec.kind != sim::OpKind::kWrite) continue;
+    out.outstanding_writes.push_back(rec.op);
+    const uint64_t contribution =
+        contribution_bits(snap, rec.op, rec.client);
+    // C-_l(t): ||S(t, w)|| <= D - l.
+    if (contribution <= data_bits_ - l_) {
+      out.c_minus.push_back(rec.op);
+    } else {
+      out.c_plus.push_back(rec.op);
+    }
+  }
+  for (const auto& obj : snap.objects) {
+    if (obj.footprint.total_bits() >= l_) out.frozen.insert(obj.id);
+  }
+  return out;
+}
+
+}  // namespace sbrs::adversary

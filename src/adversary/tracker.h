@@ -1,0 +1,62 @@
+// Live tracking of the lower-bound proof's sets (Section 4):
+//
+//   C(t)    — outstanding write operations;
+//   C-_l(t) — outstanding writes whose distinct-block contribution to the
+//             storage (Definition 6, excluding the writer's own client) is
+//             at most D - l bits;
+//   C+_l(t) — the rest: writes that already "paid" more than D - l bits;
+//   F_l(t)  — "frozen" base objects storing at least l bits.
+//
+// The adversary Ad consults these sets; the benches record their sizes to
+// visualize Lemma 3's dichotomy (|C+| = c or |F| > f).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/ids.h"
+#include "metrics/snapshot.h"
+#include "sim/history.h"
+
+namespace sbrs::adversary {
+
+struct ClassifiedState {
+  std::vector<OpId> outstanding_writes;  // C(t)
+  std::vector<OpId> c_minus;             // C-_l(t)
+  std::vector<OpId> c_plus;              // C+_l(t)
+  std::set<ObjectId> frozen;             // F_l(t)
+
+  bool in_c_minus(OpId op) const {
+    for (OpId o : c_minus) {
+      if (o == op) return true;
+    }
+    return false;
+  }
+};
+
+class OpClassTracker {
+ public:
+  /// l is the proof's threshold parameter (0 < l <= D); Theorem 1 picks
+  /// l = D/2. D is the register's data size in bits.
+  OpClassTracker(uint64_t l_bits, uint64_t data_bits)
+      : l_(l_bits), data_bits_(data_bits) {}
+
+  uint64_t l_bits() const { return l_; }
+  uint64_t data_bits() const { return data_bits_; }
+
+  /// Classify the current state. `history` supplies the outstanding writes
+  /// and their owners; `snap` the stored blocks.
+  ClassifiedState classify(const sim::History& history,
+                           const metrics::StorageSnapshot& snap) const;
+
+  /// Definition 6's ||S(t, w)|| for one write.
+  uint64_t contribution_bits(const metrics::StorageSnapshot& snap, OpId op,
+                             ClientId owner) const;
+
+ private:
+  uint64_t l_ = 0;
+  uint64_t data_bits_ = 0;
+};
+
+}  // namespace sbrs::adversary

@@ -1,0 +1,80 @@
+// Closed-form storage bounds from the paper, used by tests and benches to
+// compare measured storage against predictions.
+//
+// All quantities are in bits. D is the register data size, f the number of
+// tolerated base-object failures, c the write-concurrency level, k the
+// erasure-code dimension, n = 2f + k the number of base objects.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace sbrs::bounds {
+
+/// The bit size of one code piece as actually produced by the byte-aligned
+/// k-of-n codecs: 8 * ceil(D / 8k). Equals D/k exactly when k divides the
+/// byte size; the paper's idealized D/k otherwise rounds up to whole bytes.
+inline uint64_t piece_bits(uint32_t k, uint64_t D) {
+  const uint64_t value_bytes = D / 8;
+  return 8ull * ((value_bytes + k - 1) / k);
+}
+
+/// Theorem 1: the storage an adversary can force any lock-free, regular,
+/// symmetric-black-box-coding algorithm to hold. The proof's construction
+/// with l = D/2 yields at least min(f+1, c) * D/2 bits.
+inline uint64_t lower_bound_bits(uint32_t f, uint32_t c, uint64_t D) {
+  return static_cast<uint64_t>(std::min(f + 1u, c)) * (D / 2);
+}
+
+/// Theorem 2 / Corollary 3 upper bound on the adaptive algorithm's
+/// base-object storage. Lemma 6 gives (c+1) pieces per object — but only
+/// while the concurrency is below the code dimension (c < k - 1); beyond
+/// that the replica path kicks in and Lemma 7's cap of 2k pieces per object
+/// (k in Vp plus a k-piece replica in Vf), i.e. 2(2f+k) D total, is the
+/// operative bound. With k = f both regimes are O(min(f, c) D).
+inline uint64_t adaptive_upper_bound_bits(uint32_t f, uint32_t k, uint32_t c,
+                                          uint64_t D) {
+  const uint64_t n = 2ull * f + k;
+  const uint64_t replication_cap = 2ull * n * k * piece_bits(k, D);
+  if (c + 1 < k) {
+    const uint64_t low_concurrency = (c + 1ull) * n * piece_bits(k, D);
+    return std::min(low_concurrency, replication_cap);
+  }
+  return replication_cap;
+}
+
+/// Theorem 2, quiescence clause: after finitely many writes, all by correct
+/// writers, the adaptive algorithm's storage shrinks to (2f+k) D/k — one
+/// piece per base object.
+inline uint64_t adaptive_quiescent_bits(uint32_t f, uint32_t k, uint64_t D) {
+  return (2ull * f + k) * piece_bits(k, D);
+}
+
+/// Replication (ABD) base-object storage: n full copies.
+inline uint64_t replication_bits(uint32_t n, uint64_t D) {
+  return static_cast<uint64_t>(n) * D;
+}
+
+/// Appendix E, Lemma 17: the safe register stores exactly n D/k =
+/// (2f/k + 1) D bits at all times.
+inline uint64_t safe_register_bits(uint32_t f, uint32_t k, uint64_t D) {
+  return (2ull * f + k) * piece_bits(k, D);
+}
+
+/// The O(cD) behaviour of pure coded storage (Section 1's motivating
+/// claim): c outstanding writes plus the last committed value leave up to
+/// c+1 pieces per object.
+inline uint64_t coded_baseline_bits(uint32_t f, uint32_t k, uint32_t c,
+                                    uint64_t D) {
+  return (c + 1ull) * (2ull * f + k) * piece_bits(k, D);
+}
+
+/// The replication/erasure crossover the adaptive algorithm exploits: for
+/// c below this threshold coding is cheaper; above it replication is.
+inline uint32_t crossover_concurrency(uint32_t f, uint32_t k) {
+  // (c+1) n D / k <= 2 n D  <=>  c <= 2k - 1.
+  (void)f;
+  return 2 * k - 1;
+}
+
+}  // namespace sbrs::bounds

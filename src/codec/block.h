@@ -1,0 +1,32 @@
+// Code blocks (elements of the paper's domain E).
+//
+// A Block is the output of the encoding function E: V x N -> E for one block
+// number. Blocks carry their index so the decoder knows which code symbol
+// each one is (Definition 1's get(i) / push(e, i) interface).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/bytes.h"
+
+namespace sbrs::codec {
+
+struct Block {
+  /// Block number i in E(v, i). 1-based to match the paper's bo_i indexing.
+  uint32_t index = 0;
+  /// The code block contents e; |e| in bits is what storage cost counts.
+  Bytes data;
+
+  uint64_t bit_size() const { return sbrs::bit_size(data); }
+
+  friend bool operator==(const Block& a, const Block& b) {
+    return a.index == b.index && a.data == b.data;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Block& b) {
+  return os << "block[" << b.index << "," << b.bit_size() << "b]";
+}
+
+}  // namespace sbrs::codec

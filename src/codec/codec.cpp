@@ -1,0 +1,50 @@
+#include "codec/codec.h"
+
+#include "codec/replication.h"
+#include "codec/reed_solomon.h"
+#include "codec/stripe.h"
+#include "common/check.h"
+
+namespace sbrs::codec {
+
+std::vector<Block> Codec::encode(const Value& v) const {
+  std::vector<Block> out;
+  out.reserve(n());
+  for (uint32_t i = 1; i <= n(); ++i) {
+    out.push_back(encode_block(v, i));
+  }
+  return out;
+}
+
+uint64_t Codec::total_bits() const {
+  uint64_t total = 0;
+  for (uint32_t i = 1; i <= n(); ++i) total += block_bits(i);
+  return total;
+}
+
+bool verify_symmetry(const Codec& codec, std::span<const Value> sample) {
+  for (uint32_t i = 1; i <= codec.n(); ++i) {
+    const uint64_t declared = codec.block_bits(i);
+    for (const Value& v : sample) {
+      if (codec.encode_block(v, i).bit_size() != declared) return false;
+    }
+  }
+  return true;
+}
+
+CodecPtr make_codec(const std::string& kind, uint32_t n, uint32_t k,
+                    uint64_t data_bits) {
+  if (kind == "replication") {
+    return std::make_shared<ReplicationCodec>(n, data_bits);
+  }
+  if (kind == "rs") {
+    return std::make_shared<RsCodec>(n, k, data_bits);
+  }
+  if (kind == "stripe") {
+    return std::make_shared<StripeCodec>(n, data_bits);
+  }
+  SBRS_CHECK_MSG(false, "unknown codec kind: " << kind);
+  return nullptr;
+}
+
+}  // namespace sbrs::codec

@@ -1,0 +1,72 @@
+// The coding-scheme abstraction of Section 3.1.
+//
+// A Codec realizes the pair (E, D):
+//   - encode block i of a value:   E : V x N -> E      (Definition 1)
+//   - decode from a set of blocks: D : 2^E -> V u {_|_}
+//
+// All provided codecs are *symmetric* (Definition 3): |E(v, i)| depends only
+// on i, never on v — verify_symmetry() checks this property empirically and
+// is exercised by the property tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "codec/block.h"
+#include "common/value.h"
+
+namespace sbrs::codec {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Total number of blocks produced per value (the code length n).
+  virtual uint32_t n() const = 0;
+
+  /// Minimum number of distinct blocks sufficient to decode (the dimension
+  /// k). Replication has k == 1.
+  virtual uint32_t k() const = 0;
+
+  /// The data size D in bits this codec instance is configured for.
+  virtual uint64_t data_bits() const = 0;
+
+  /// size(i): the bit size of block i, independent of the value
+  /// (symmetric encoding, Definition 3). 1-based index in [1, n()].
+  virtual uint64_t block_bits(uint32_t index) const = 0;
+
+  /// E(v, i): produce the single block with number `index` (1-based).
+  virtual Block encode_block(const Value& v, uint32_t index) const = 0;
+
+  /// Produce all n blocks of v (the paper's encode(v) = {<e1,1>..<en,n>}).
+  std::vector<Block> encode(const Value& v) const;
+
+  /// D(S): decode from any subset of blocks; returns nullopt when the set
+  /// is insufficient or inconsistent (the paper's bottom).
+  virtual std::optional<Value> decode(std::span<const Block> blocks) const = 0;
+
+  /// Storage in bits of one full set of n blocks — the codec's redundancy
+  /// footprint n * D / k for MDS codecs.
+  uint64_t total_bits() const;
+};
+
+using CodecPtr = std::shared_ptr<const Codec>;
+
+/// Empirically check Definition 3 on a sample of values: every block index
+/// must have the same size for all values. Returns false on any violation.
+bool verify_symmetry(const Codec& codec, std::span<const Value> sample);
+
+/// Construct codecs by name; used by benches and examples.
+///  - "replication"       : k = 1, n copies
+///  - "rs"                : k-of-n Reed-Solomon
+///  - "stripe"            : k = n striping (no redundancy; test-only)
+CodecPtr make_codec(const std::string& kind, uint32_t n, uint32_t k,
+                    uint64_t data_bits);
+
+}  // namespace sbrs::codec

@@ -1,0 +1,49 @@
+#include "codec/oracle.h"
+
+#include <set>
+
+#include "common/check.h"
+
+namespace sbrs::codec {
+
+EncoderOracle::EncoderOracle(CodecPtr codec, OpId op, Value value)
+    : codec_(std::move(codec)), op_(op), value_(std::move(value)) {
+  SBRS_CHECK(codec_ != nullptr);
+  SBRS_CHECK(value_.bit_size() == codec_->data_bits());
+}
+
+TaggedBlock EncoderOracle::get(uint32_t index) const {
+  return TaggedBlock{Source{op_, index}, codec_->encode_block(value_, index)};
+}
+
+std::vector<TaggedBlock> EncoderOracle::get_all() const {
+  std::vector<TaggedBlock> out;
+  out.reserve(codec_->n());
+  for (uint32_t i = 1; i <= codec_->n(); ++i) out.push_back(get(i));
+  return out;
+}
+
+DecoderOracle::DecoderOracle(CodecPtr codec, OpId op)
+    : codec_(std::move(codec)), op_(op) {
+  SBRS_CHECK(codec_ != nullptr);
+}
+
+void DecoderOracle::push(uint64_t group, const Block& block) {
+  groups_[group].push_back(block);
+}
+
+std::optional<Value> DecoderOracle::done(uint64_t group) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return std::nullopt;
+  return codec_->decode(it->second);
+}
+
+size_t DecoderOracle::group_size(uint64_t group) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return 0;
+  std::set<uint32_t> distinct;
+  for (const Block& b : it->second) distinct.insert(b.index);
+  return distinct.size();
+}
+
+}  // namespace sbrs::codec

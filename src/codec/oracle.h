@@ -1,0 +1,86 @@
+// Encoding / decoding oracles (Definition 1) with source tracking
+// (Definition 4).
+//
+// The lower-bound model routes all coding through per-operation oracles:
+//   - a write w at client ci gets oracleE(ci, w) exposing get(i) = E(v, i);
+//   - a read gets oracleD exposing push(e, i) and done(i).
+// Oracle state is free (not part of storage cost), but every block an
+// encoder hands out is tagged with its source <w, i> so the storage meter
+// can apply Definition 6 (count distinct block numbers per operation) and
+// the adversary can classify operations into C-/C+.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "codec/codec.h"
+#include "common/ids.h"
+
+namespace sbrs::codec {
+
+/// Provenance tag of a block instance: source(b, t) = <w, i>.
+struct Source {
+  OpId op;
+  uint32_t index = 0;
+
+  friend constexpr auto operator<=>(const Source&, const Source&) = default;
+};
+
+/// A block together with its provenance; this is what algorithms store in
+/// base objects so that accounting per Definitions 2/6 is possible.
+struct TaggedBlock {
+  Source source;
+  Block block;
+
+  uint64_t bit_size() const { return block.bit_size(); }
+};
+
+/// oracleE(ci, w): hands out code blocks of the written value, each tagged
+/// with <w, i>. Expires (is destroyed) when the write completes.
+class EncoderOracle {
+ public:
+  EncoderOracle(CodecPtr codec, OpId op, Value value);
+
+  /// get(i): returns E(v, i) tagged with <op, i>.
+  TaggedBlock get(uint32_t index) const;
+
+  /// All n blocks, tagged (the common batched-usage pattern of Section 5).
+  std::vector<TaggedBlock> get_all() const;
+
+  OpId op() const { return op_; }
+  const Value& value() const { return value_; }
+  const Codec& codec() const { return *codec_; }
+
+ private:
+  CodecPtr codec_;
+  OpId op_;
+  Value value_;
+};
+
+/// oracleD(ci, r): accumulates pushed blocks and decodes on done().
+class DecoderOracle {
+ public:
+  DecoderOracle(CodecPtr codec, OpId op);
+
+  /// push(e, i) into decode attempt group `group`. Groups model the
+  /// paper's done(i) parameter: a reader may maintain several candidate
+  /// block sets (e.g. one per timestamp) and commit to one of them.
+  void push(uint64_t group, const Block& block);
+
+  /// done(i): decode group `group`; returns nullopt for bottom.
+  std::optional<Value> done(uint64_t group) const;
+
+  /// Number of distinct block indices pushed into a group so far.
+  size_t group_size(uint64_t group) const;
+
+  OpId op() const { return op_; }
+
+ private:
+  CodecPtr codec_;
+  OpId op_;
+  std::map<uint64_t, std::vector<Block>> groups_;
+};
+
+}  // namespace sbrs::codec

@@ -1,0 +1,139 @@
+#include "codec/rateless.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sbrs::codec {
+
+LtCodec::LtCodec(uint32_t k, uint64_t data_bits, uint32_t horizon,
+                 uint64_t seed)
+    : k_(k),
+      data_bits_(data_bits),
+      horizon_(horizon == 0 ? 4 * k : horizon),
+      seed_(seed) {
+  SBRS_CHECK(k >= 1);
+  SBRS_CHECK(data_bits >= 8 && data_bits % 8 == 0);
+  const size_t value_bytes = data_bits / 8;
+  shard_bytes_ = (value_bytes + k - 1) / k;
+}
+
+std::string LtCodec::name() const {
+  std::ostringstream os;
+  os << "lt(k=" << k_ << ")";
+  return os.str();
+}
+
+uint64_t LtCodec::block_bits(uint32_t index) const {
+  SBRS_CHECK(index >= 1);
+  return 8ull * shard_bytes_;
+}
+
+uint32_t LtCodec::degree_for(uint32_t index) const {
+  // Ideal-soliton-flavoured degree choice, deterministic in the index:
+  // P(d=1) ~ 1/k, P(d) ~ 1/(d(d-1)) otherwise — approximated by inverting
+  // a uniform draw u in (0,1]: d = ceil(1/u), clamped to [1, k].
+  uint64_t s = seed_ ^ (0x9e3779b97f4a7c15ull * index);
+  const uint64_t draw = splitmix64(s);
+  const double u =
+      (static_cast<double>(draw >> 11) + 1.0) * 0x1.0p-53;  // (0, 1]
+  uint32_t d = static_cast<uint32_t>(1.0 / u);
+  if (d < 1) d = 1;
+  if (d > k_) d = k_;
+  // Guarantee a supply of degree-1 blocks so peeling can start: every
+  // (k+1)-th index is forced systematic-ish.
+  if (index % (k_ + 1) == 1) d = 1;
+  return d;
+}
+
+std::vector<uint32_t> LtCodec::neighbors(uint32_t index) const {
+  const uint32_t d = degree_for(index);
+  uint64_t s = seed_ ^ (0xbf58476d1ce4e5b9ull * index);
+  std::set<uint32_t> chosen;
+  while (chosen.size() < d) {
+    chosen.insert(static_cast<uint32_t>(splitmix64(s) % k_));
+  }
+  return std::vector<uint32_t>(chosen.begin(), chosen.end());
+}
+
+Block LtCodec::encode_block(const Value& v, uint32_t index) const {
+  SBRS_CHECK(index >= 1);
+  SBRS_CHECK(v.bit_size() == data_bits_);
+  const Bytes& src = v.bytes();
+  Bytes out(shard_bytes_, 0);
+  for (uint32_t shard : neighbors(index)) {
+    const size_t begin = static_cast<size_t>(shard) * shard_bytes_;
+    for (size_t i = 0; i < shard_bytes_; ++i) {
+      const size_t pos = begin + i;
+      if (pos < src.size()) out[i] ^= src[pos];
+    }
+  }
+  return Block{index, std::move(out)};
+}
+
+std::optional<Value> LtCodec::decode(std::span<const Block> blocks) const {
+  // Collect distinct, well-formed blocks with their neighbor sets.
+  struct Eq {
+    std::set<uint32_t> unknowns;
+    Bytes rhs;
+  };
+  std::vector<Eq> eqs;
+  std::set<uint32_t> seen;
+  for (const Block& b : blocks) {
+    if (b.index < 1 || b.data.size() != shard_bytes_) continue;
+    if (!seen.insert(b.index).second) continue;
+    Eq eq;
+    auto nb = neighbors(b.index);
+    eq.unknowns.insert(nb.begin(), nb.end());
+    eq.rhs = b.data;
+    eqs.push_back(std::move(eq));
+  }
+
+  std::vector<std::optional<Bytes>> shards(k_);
+  size_t solved = 0;
+
+  // Belief-propagation peeling: repeatedly take an equation with one
+  // unknown, solve it, and substitute everywhere.
+  bool progress = true;
+  while (progress && solved < k_) {
+    progress = false;
+    for (Eq& eq : eqs) {
+      // Substitute already-solved shards.
+      for (auto it = eq.unknowns.begin(); it != eq.unknowns.end();) {
+        if (shards[*it].has_value()) {
+          for (size_t i = 0; i < shard_bytes_; ++i) {
+            eq.rhs[i] ^= (*shards[*it])[i];
+          }
+          it = eq.unknowns.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (eq.unknowns.size() == 1) {
+        const uint32_t shard = *eq.unknowns.begin();
+        if (!shards[shard].has_value()) {
+          shards[shard] = eq.rhs;
+          ++solved;
+          progress = true;
+        }
+        eq.unknowns.clear();
+      }
+    }
+  }
+  if (solved < k_) return std::nullopt;  // peeling stalled: undecodable set
+
+  const size_t value_bytes = data_bits_ / 8;
+  Bytes value(value_bytes, 0);
+  for (uint32_t s = 0; s < k_; ++s) {
+    const size_t begin = static_cast<size_t>(s) * shard_bytes_;
+    for (size_t i = 0; i < shard_bytes_ && begin + i < value_bytes; ++i) {
+      value[begin + i] = (*shards[s])[i];
+    }
+  }
+  return Value(std::move(value));
+}
+
+}  // namespace sbrs::codec

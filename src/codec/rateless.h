@@ -1,0 +1,52 @@
+// A rateless (LT / fountain-style) coding scheme.
+//
+// Definition 1 deliberately types the encoder as E : V x N -> E so that
+// "rateless codes [13], in which an encoder can generate a limit-less
+// sequence of blocks" fit the model. This codec realizes that case: block i
+// is the XOR of a pseudo-random subset of the k source shards, with the
+// subset derived deterministically from i (so the code is symmetric:
+// |E(v, i)| depends only on i — in fact all blocks are one shard wide).
+//
+// Unlike the MDS codecs, ANY k blocks do not always suffice: decoding uses
+// belief-propagation peeling plus Gaussian elimination as a fallback, and
+// succeeds with high probability once ~k(1+overhead) distinct blocks are
+// available. It therefore is NOT used by the register algorithms (whose
+// correctness needs the any-k guarantee); it exists to exercise the
+// oracle/model plumbing for the rateless case and as a substrate extension.
+#pragma once
+
+#include "codec/codec.h"
+
+namespace sbrs::codec {
+
+class LtCodec final : public Codec {
+ public:
+  /// `horizon` is the nominal n() reported for Codec compatibility; get(i)
+  /// works for any i >= 1 regardless.
+  LtCodec(uint32_t k, uint64_t data_bits, uint32_t horizon = 0,
+          uint64_t seed = 0x17a7e1e55ull);
+
+  std::string name() const override;
+  uint32_t n() const override { return horizon_; }
+  uint32_t k() const override { return k_; }
+  uint64_t data_bits() const override { return data_bits_; }
+  uint64_t block_bits(uint32_t index) const override;
+  Block encode_block(const Value& v, uint32_t index) const override;
+  std::optional<Value> decode(std::span<const Block> blocks) const override;
+
+  /// The source-shard subset XORed into block `index` (sorted, distinct).
+  std::vector<uint32_t> neighbors(uint32_t index) const;
+
+  size_t shard_bytes() const { return shard_bytes_; }
+
+ private:
+  uint32_t degree_for(uint32_t index) const;
+
+  uint32_t k_;
+  uint64_t data_bits_;
+  uint32_t horizon_;
+  uint64_t seed_;
+  size_t shard_bytes_;
+};
+
+}  // namespace sbrs::codec

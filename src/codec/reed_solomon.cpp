@@ -1,0 +1,93 @@
+#include "codec/reed_solomon.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sbrs::codec {
+
+RsCodec::RsCodec(uint32_t n, uint32_t k, uint64_t data_bits)
+    : n_(n), k_(k), data_bits_(data_bits) {
+  SBRS_CHECK(k >= 1 && k <= n && n <= 255);
+  SBRS_CHECK(data_bits >= 8 && data_bits % 8 == 0);
+  const size_t value_bytes = data_bits / 8;
+  shard_bytes_ = (value_bytes + k - 1) / k;
+  generator_ = gf::Matrix::rs_systematic(n, k);
+}
+
+std::string RsCodec::name() const {
+  std::ostringstream os;
+  os << "rs(n=" << n_ << ",k=" << k_ << ")";
+  return os.str();
+}
+
+uint64_t RsCodec::block_bits(uint32_t index) const {
+  SBRS_CHECK(index >= 1 && index <= n_);
+  return 8ull * shard_bytes_;
+}
+
+std::vector<Bytes> RsCodec::shard(const Value& v) const {
+  SBRS_CHECK(v.bit_size() == data_bits_);
+  std::vector<Bytes> shards(k_, Bytes(shard_bytes_, 0));
+  const Bytes& src = v.bytes();
+  for (size_t i = 0; i < src.size(); ++i) {
+    shards[i / shard_bytes_][i % shard_bytes_] = src[i];
+  }
+  return shards;
+}
+
+Block RsCodec::encode_block(const Value& v, uint32_t index) const {
+  SBRS_CHECK(index >= 1 && index <= n_);
+  const std::vector<Bytes> shards = shard(v);
+  Bytes out(shard_bytes_, 0);
+  const size_t row = index - 1;
+  for (uint32_t c = 0; c < k_; ++c) {
+    gf::mul_add_row(out.data(), shards[c].data(), generator_.at(row, c),
+                    shard_bytes_);
+  }
+  return Block{index, std::move(out)};
+}
+
+std::optional<Value> RsCodec::decode(std::span<const Block> blocks) const {
+  // Gather up to k blocks with distinct, in-range indices of the right size.
+  std::vector<const Block*> chosen;
+  std::set<uint32_t> seen;
+  for (const Block& b : blocks) {
+    if (b.index < 1 || b.index > n_) continue;
+    if (b.data.size() != shard_bytes_) continue;
+    if (!seen.insert(b.index).second) continue;
+    chosen.push_back(&b);
+    if (chosen.size() == k_) break;
+  }
+  if (chosen.size() < k_) return std::nullopt;
+
+  // Build the k x k decoding matrix from the generator rows of the chosen
+  // blocks and invert it.
+  std::vector<size_t> rows;
+  rows.reserve(k_);
+  for (const Block* b : chosen) rows.push_back(b->index - 1);
+  auto inv = generator_.select_rows(rows).inverted();
+  if (!inv.has_value()) return std::nullopt;  // cannot happen for MDS rows
+
+  std::vector<const uint8_t*> in;
+  in.reserve(k_);
+  for (const Block* b : chosen) in.push_back(b->data.data());
+
+  std::vector<Bytes> shards(k_, Bytes(shard_bytes_, 0));
+  std::vector<uint8_t*> out;
+  out.reserve(k_);
+  for (auto& s : shards) out.push_back(s.data());
+  inv->apply(in, out, shard_bytes_);
+
+  // Reassemble the value (drop shard padding).
+  const size_t value_bytes = data_bits_ / 8;
+  Bytes value(value_bytes, 0);
+  for (size_t i = 0; i < value_bytes; ++i) {
+    value[i] = shards[i / shard_bytes_][i % shard_bytes_];
+  }
+  return Value(std::move(value));
+}
+
+}  // namespace sbrs::codec

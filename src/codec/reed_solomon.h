@@ -1,0 +1,42 @@
+// Systematic k-of-n Reed-Solomon codec over GF(2^8).
+//
+// The value's D/8 bytes are split into k shards of D/(8k) bytes each
+// (padded up to a multiple of k), then n-k parity shards are produced with a
+// systematic MDS generator matrix (see gf::Matrix::rs_systematic). Any k
+// distinct blocks reconstruct the value, matching the paper's definition of
+// a k-of-n erasure code in Section 5 ("the size of each block is D/k").
+#pragma once
+
+#include "codec/codec.h"
+#include "gf/matrix.h"
+
+namespace sbrs::codec {
+
+class RsCodec final : public Codec {
+ public:
+  /// Requires 1 <= k <= n <= 255.
+  RsCodec(uint32_t n, uint32_t k, uint64_t data_bits);
+
+  std::string name() const override;
+  uint32_t n() const override { return n_; }
+  uint32_t k() const override { return k_; }
+  uint64_t data_bits() const override { return data_bits_; }
+  uint64_t block_bits(uint32_t index) const override;
+  Block encode_block(const Value& v, uint32_t index) const override;
+  std::optional<Value> decode(std::span<const Block> blocks) const override;
+
+  /// Shard size in bytes (== ceil(D/8 / k)).
+  size_t shard_bytes() const { return shard_bytes_; }
+
+ private:
+  /// Split v into the k data shards (with zero padding at the tail).
+  std::vector<Bytes> shard(const Value& v) const;
+
+  uint32_t n_;
+  uint32_t k_;
+  uint64_t data_bits_;
+  size_t shard_bytes_;
+  gf::Matrix generator_;  // n x k systematic MDS generator
+};
+
+}  // namespace sbrs::codec

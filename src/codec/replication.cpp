@@ -1,0 +1,42 @@
+#include "codec/replication.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sbrs::codec {
+
+ReplicationCodec::ReplicationCodec(uint32_t n, uint64_t data_bits)
+    : n_(n), data_bits_(data_bits) {
+  SBRS_CHECK(n >= 1);
+  SBRS_CHECK(data_bits >= 8 && data_bits % 8 == 0);
+}
+
+std::string ReplicationCodec::name() const {
+  std::ostringstream os;
+  os << "replication(n=" << n_ << ")";
+  return os.str();
+}
+
+uint64_t ReplicationCodec::block_bits(uint32_t index) const {
+  SBRS_CHECK(index >= 1 && index <= n_);
+  return data_bits_;
+}
+
+Block ReplicationCodec::encode_block(const Value& v, uint32_t index) const {
+  SBRS_CHECK(index >= 1 && index <= n_);
+  SBRS_CHECK(v.bit_size() == data_bits_);
+  return Block{index, v.bytes()};
+}
+
+std::optional<Value> ReplicationCodec::decode(
+    std::span<const Block> blocks) const {
+  for (const Block& b : blocks) {
+    if (b.index >= 1 && b.index <= n_ && b.bit_size() == data_bits_) {
+      return Value(b.data);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sbrs::codec

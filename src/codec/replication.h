@@ -1,0 +1,28 @@
+// Replication as a (degenerate) coding scheme: every block is a full copy of
+// the value, so k == 1 and any single block decodes. This is the coding
+// scheme used by the ABD baseline [4] and by the adaptive algorithm's
+// replica path when k = 1.
+#pragma once
+
+#include "codec/codec.h"
+
+namespace sbrs::codec {
+
+class ReplicationCodec final : public Codec {
+ public:
+  ReplicationCodec(uint32_t n, uint64_t data_bits);
+
+  std::string name() const override;
+  uint32_t n() const override { return n_; }
+  uint32_t k() const override { return 1; }
+  uint64_t data_bits() const override { return data_bits_; }
+  uint64_t block_bits(uint32_t index) const override;
+  Block encode_block(const Value& v, uint32_t index) const override;
+  std::optional<Value> decode(std::span<const Block> blocks) const override;
+
+ private:
+  uint32_t n_;
+  uint64_t data_bits_;
+};
+
+}  // namespace sbrs::codec

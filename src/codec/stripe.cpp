@@ -1,0 +1,67 @@
+#include "codec/stripe.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sbrs::codec {
+
+StripeCodec::StripeCodec(uint32_t n, uint64_t data_bits)
+    : n_(n), data_bits_(data_bits) {
+  SBRS_CHECK(n >= 1);
+  SBRS_CHECK(data_bits >= 8 && data_bits % 8 == 0);
+}
+
+std::string StripeCodec::name() const {
+  std::ostringstream os;
+  os << "stripe(n=" << n_ << ")";
+  return os.str();
+}
+
+size_t StripeCodec::shard_bytes() const {
+  const size_t value_bytes = data_bits_ / 8;
+  return (value_bytes + n_ - 1) / n_;
+}
+
+uint64_t StripeCodec::block_bits(uint32_t index) const {
+  SBRS_CHECK(index >= 1 && index <= n_);
+  return 8ull * shard_bytes();
+}
+
+Block StripeCodec::encode_block(const Value& v, uint32_t index) const {
+  SBRS_CHECK(index >= 1 && index <= n_);
+  SBRS_CHECK(v.bit_size() == data_bits_);
+  const size_t sb = shard_bytes();
+  Bytes out(sb, 0);
+  const Bytes& src = v.bytes();
+  const size_t begin = (index - 1) * sb;
+  for (size_t i = 0; i < sb && begin + i < src.size(); ++i) {
+    out[i] = src[begin + i];
+  }
+  return Block{index, std::move(out)};
+}
+
+std::optional<Value> StripeCodec::decode(std::span<const Block> blocks) const {
+  const size_t sb = shard_bytes();
+  const size_t value_bytes = data_bits_ / 8;
+  std::vector<const Block*> by_index(n_ + 1, nullptr);
+  size_t have = 0;
+  for (const Block& b : blocks) {
+    if (b.index < 1 || b.index > n_ || b.data.size() != sb) continue;
+    if (by_index[b.index] == nullptr) {
+      by_index[b.index] = &b;
+      ++have;
+    }
+  }
+  if (have < n_) return std::nullopt;
+  Bytes value(value_bytes, 0);
+  for (uint32_t i = 1; i <= n_; ++i) {
+    const size_t begin = (i - 1) * sb;
+    for (size_t j = 0; j < sb && begin + j < value_bytes; ++j) {
+      value[begin + j] = by_index[i]->data[j];
+    }
+  }
+  return Value(std::move(value));
+}
+
+}  // namespace sbrs::codec

@@ -1,0 +1,30 @@
+// Striping "codec": k == n, no redundancy. Block i is simply the ith slice
+// of the value. Useful in tests as the extreme point of the storage/fault-
+// tolerance trade-off (loses data on any erasure), and as a fast path for
+// measuring accounting overheads.
+#pragma once
+
+#include "codec/codec.h"
+
+namespace sbrs::codec {
+
+class StripeCodec final : public Codec {
+ public:
+  StripeCodec(uint32_t n, uint64_t data_bits);
+
+  std::string name() const override;
+  uint32_t n() const override { return n_; }
+  uint32_t k() const override { return n_; }
+  uint64_t data_bits() const override { return data_bits_; }
+  uint64_t block_bits(uint32_t index) const override;
+  Block encode_block(const Value& v, uint32_t index) const override;
+  std::optional<Value> decode(std::span<const Block> blocks) const override;
+
+ private:
+  size_t shard_bytes() const;
+
+  uint32_t n_;
+  uint64_t data_bits_;
+};
+
+}  // namespace sbrs::codec

@@ -1,0 +1,74 @@
+#include "common/bytes.h"
+
+#include <stdexcept>
+
+namespace sbrs {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("from_hex: non-hex digit");
+}
+}  // namespace
+
+std::string to_hex(BytesView bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Bytes from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<uint8_t>((hex_value(hex[i]) << 4) |
+                                       hex_value(hex[i + 1])));
+  }
+  return out;
+}
+
+uint64_t fnv1a(BytesView bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void xor_inplace(Bytes& a, BytesView b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("xor_inplace: size mismatch");
+  }
+  for (size_t i = 0; i < a.size(); ++i) a[i] ^= b[i];
+}
+
+bool bytes_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+Bytes concat(std::span<const BytesView> parts) {
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+}  // namespace sbrs

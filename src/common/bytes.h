@@ -1,0 +1,44 @@
+// Byte-string utilities.
+//
+// Values in the emulated register's domain V and erasure-code blocks in E are
+// both represented as byte vectors. D = log2 |V| is measured in bits; we keep
+// values byte-aligned (D divisible by 8) which loses no generality for the
+// reproduced experiments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sbrs {
+
+using Bytes = std::vector<uint8_t>;
+using BytesView = std::span<const uint8_t>;
+
+/// Number of bits in a byte string (Definition 2 counts storage in bits).
+inline uint64_t bit_size(BytesView b) { return 8ull * b.size(); }
+
+/// Hex rendering for debugging and golden tests ("0a1b..").
+std::string to_hex(BytesView bytes);
+
+/// Parse a hex string produced by to_hex. Throws std::invalid_argument on
+/// malformed input (odd length or non-hex digit).
+Bytes from_hex(const std::string& hex);
+
+/// 64-bit FNV-1a over the bytes; used for cheap content fingerprints in tests
+/// and histories (never for storage accounting).
+uint64_t fnv1a(BytesView bytes);
+
+/// XOR b into a (a ^= b); requires equal sizes.
+void xor_inplace(Bytes& a, BytesView b);
+
+/// Constant-time-ish equality (plain == is fine for simulation; this exists
+/// so call sites read as intent).
+bool bytes_equal(BytesView a, BytesView b);
+
+/// Concatenate spans into one buffer.
+Bytes concat(std::span<const BytesView> parts);
+
+}  // namespace sbrs

@@ -1,0 +1,46 @@
+// Invariant checking macros.
+//
+// SBRS_CHECK is always on (simulation correctness beats raw speed here) and
+// throws sbrs::CheckFailure so tests can assert on violated invariants
+// instead of aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sbrs {
+
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace sbrs
+
+#define SBRS_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::sbrs::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                 \
+  } while (0)
+
+#define SBRS_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream sbrs_os_;                                    \
+      sbrs_os_ << msg;                                                \
+      ::sbrs::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                   sbrs_os_.str());                   \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,88 @@
+// Strongly-typed identifiers shared across the library.
+//
+// The paper's model (Section 2) has three kinds of actors: clients from an
+// infinite set Pi, base objects bo_1..bo_n, and high-level operations that
+// clients invoke on the emulated register. We give each its own integral id
+// type so that they cannot be confused at compile time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace sbrs {
+
+/// Identifier of a client (an element of the paper's client set Pi).
+struct ClientId {
+  uint32_t value = 0;
+
+  friend constexpr auto operator<=>(ClientId, ClientId) = default;
+};
+
+/// Identifier of a base object (bo_i in the paper, i in 1..n).
+struct ObjectId {
+  uint32_t value = 0;
+
+  friend constexpr auto operator<=>(ObjectId, ObjectId) = default;
+};
+
+/// Identifier of a high-level operation (a read or write on the emulated
+/// register). Unique per run; used as the `w` in the paper's source function
+/// source(b, t) = <w, i> (Definition 4).
+struct OpId {
+  uint64_t value = 0;
+
+  static constexpr OpId none() { return OpId{0}; }
+  constexpr bool is_none() const { return value == 0; }
+
+  friend constexpr auto operator<=>(OpId, OpId) = default;
+};
+
+/// Identifier of a low-level RMW triggered on a base object.
+struct RmwId {
+  uint64_t value = 0;
+
+  friend constexpr auto operator<=>(RmwId, RmwId) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, ClientId id) {
+  return os << "c" << id.value;
+}
+inline std::ostream& operator<<(std::ostream& os, ObjectId id) {
+  return os << "bo" << id.value;
+}
+inline std::ostream& operator<<(std::ostream& os, OpId id) {
+  return os << "op" << id.value;
+}
+inline std::ostream& operator<<(std::ostream& os, RmwId id) {
+  return os << "rmw" << id.value;
+}
+
+}  // namespace sbrs
+
+namespace std {
+template <>
+struct hash<sbrs::ClientId> {
+  size_t operator()(sbrs::ClientId id) const noexcept {
+    return std::hash<uint32_t>{}(id.value);
+  }
+};
+template <>
+struct hash<sbrs::ObjectId> {
+  size_t operator()(sbrs::ObjectId id) const noexcept {
+    return std::hash<uint32_t>{}(id.value);
+  }
+};
+template <>
+struct hash<sbrs::OpId> {
+  size_t operator()(sbrs::OpId id) const noexcept {
+    return std::hash<uint64_t>{}(id.value);
+  }
+};
+template <>
+struct hash<sbrs::RmwId> {
+  size_t operator()(sbrs::RmwId id) const noexcept {
+    return std::hash<uint64_t>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,48 @@
+// Lexicographically ordered timestamps, as used by every register algorithm
+// in the paper: TimeStamps = N x Pi with selectors num and c (Algorithm 1,
+// line 1). Timestamps are metadata and are never counted toward storage cost
+// (Definition 2).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+#include "common/ids.h"
+
+namespace sbrs {
+
+struct TimeStamp {
+  uint64_t num = 0;
+  ClientId client{0};
+
+  static constexpr TimeStamp zero() { return TimeStamp{}; }
+  constexpr bool is_zero() const { return num == 0 && client.value == 0; }
+
+  /// The successor timestamp a client cj picks after observing `this` as the
+  /// maximum: <num+1, j> (Algorithm 2 line 7).
+  constexpr TimeStamp next_for(ClientId cj) const {
+    return TimeStamp{num + 1, cj};
+  }
+
+  friend constexpr auto operator<=>(const TimeStamp& a, const TimeStamp& b) {
+    if (auto c = a.num <=> b.num; c != 0) return c;
+    return a.client.value <=> b.client.value;
+  }
+  friend constexpr bool operator==(const TimeStamp&, const TimeStamp&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const TimeStamp& ts) {
+  return os << "<" << ts.num << "," << ts.client.value << ">";
+}
+
+}  // namespace sbrs
+
+namespace std {
+template <>
+struct hash<sbrs::TimeStamp> {
+  size_t operator()(const sbrs::TimeStamp& ts) const noexcept {
+    return std::hash<uint64_t>{}(ts.num * 1000003ull + ts.client.value);
+  }
+};
+}  // namespace std

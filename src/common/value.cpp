@@ -1,0 +1,53 @@
+#include "common/value.h"
+
+#include <stdexcept>
+
+namespace sbrs {
+
+namespace {
+size_t bits_to_bytes(size_t data_bits) {
+  if (data_bits == 0 || data_bits % 8 != 0) {
+    throw std::invalid_argument("Value: data_bits must be a positive multiple of 8");
+  }
+  return data_bits / 8;
+}
+}  // namespace
+
+Value Value::initial(size_t data_bits) {
+  return Value(Bytes(bits_to_bytes(data_bits), 0));
+}
+
+Value Value::from_tag(uint64_t tag, size_t data_bits) {
+  Bytes b(bits_to_bytes(data_bits), 0);
+  // Embed the tag little-endian in the prefix; fill the remainder with a
+  // cheap keyed stream so large values are not mostly zero (exercises codecs
+  // on non-trivial data).
+  for (size_t i = 0; i < b.size() && i < 8; ++i) {
+    b[i] = static_cast<uint8_t>(tag >> (8 * i));
+  }
+  uint64_t x = tag ^ 0x9e3779b97f4a7c15ull;
+  for (size_t i = 8; i < b.size(); ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    b[i] = static_cast<uint8_t>(x);
+  }
+  return Value(std::move(b));
+}
+
+uint64_t Value::tag() const {
+  uint64_t tag = 0;
+  for (size_t i = 0; i < bytes_.size() && i < 8; ++i) {
+    tag |= static_cast<uint64_t>(bytes_[i]) << (8 * i);
+  }
+  return tag;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  if (v.bytes().size() <= 8) {
+    return os << "v(" << to_hex(v.bytes()) << ")";
+  }
+  return os << "v(tag=" << v.tag() << ",bits=" << v.bit_size() << ")";
+}
+
+}  // namespace sbrs

@@ -1,0 +1,53 @@
+// The emulated register's value domain V.
+//
+// A Value is a fixed-width byte string of D/8 bytes (D bits, D = log2 |V|).
+// The register framework generates distinct values per write so that
+// consistency checkers can map a returned value back to the unique write that
+// produced it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+
+#include "common/bytes.h"
+
+namespace sbrs {
+
+class Value {
+ public:
+  Value() = default;
+  explicit Value(Bytes bytes) : bytes_(std::move(bytes)) {}
+
+  /// Construct the domain's distinguished initial value v0: all-zero bytes.
+  static Value initial(size_t data_bits);
+
+  /// Deterministically derive a distinct value of `data_bits` bits from a
+  /// 64-bit tag (e.g. the OpId of the write). Distinct tags give distinct
+  /// values as long as data_bits >= 64; for smaller domains the low bits of
+  /// the tag are used directly.
+  static Value from_tag(uint64_t tag, size_t data_bits);
+
+  const Bytes& bytes() const { return bytes_; }
+  BytesView view() const { return bytes_; }
+  uint64_t bit_size() const { return sbrs::bit_size(bytes_); }
+  bool empty() const { return bytes_.empty(); }
+
+  /// Recover the tag embedded by from_tag (first 8 bytes little-endian,
+  /// zero-extended for smaller values). Used by checkers and tests.
+  uint64_t tag() const;
+
+  uint64_t fingerprint() const { return fnv1a(bytes_); }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.bytes_ == b.bytes_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+ private:
+  Bytes bytes_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace sbrs

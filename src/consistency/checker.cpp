@@ -1,0 +1,287 @@
+#include "consistency/checker.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sbrs::consistency {
+
+namespace {
+
+// Internal write node: index 0 is the virtual initial write w0 (of v0),
+// which precedes everything.
+struct WriteNode {
+  OpId op;                    // OpId::none() for w0
+  int64_t invoke = -2;
+  std::optional<int64_t> ret; // -1 for w0
+};
+
+struct ReadNode {
+  sim::OpRecord rec;
+  size_t returned_write = 0;  // index into writes; 0 = v0
+};
+
+struct Model {
+  std::vector<WriteNode> writes;                 // [0] is w0
+  std::vector<sim::OpRecord> write_recs;         // parallel to writes[1..]
+  std::vector<ReadNode> reads;                   // completed reads only
+  std::vector<std::string> problems;             // value-mapping failures
+};
+
+bool is_v0(const Value& v) {
+  for (uint8_t b : v.bytes()) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+/// True iff a (complete) strictly precedes b in real time.
+bool precedes(const WriteNode& a, int64_t b_invoke) {
+  return a.ret.has_value() && *a.ret < b_invoke;
+}
+
+Model build_model(const sim::History& h) {
+  Model m;
+  m.writes.push_back(WriteNode{OpId::none(), -2, -1});  // w0
+
+  for (const auto& w : h.writes()) {
+    WriteNode node;
+    node.op = w.op;
+    node.invoke = static_cast<int64_t>(w.invoke_time);
+    if (w.return_time) node.ret = static_cast<int64_t>(*w.return_time);
+    m.writes.push_back(node);
+    m.write_recs.push_back(w);
+  }
+
+  for (const auto& r : h.reads()) {
+    if (!r.complete()) continue;
+    ReadNode node;
+    node.rec = r;
+    if (is_v0(r.value)) {
+      node.returned_write = 0;
+    } else {
+      // Map the returned value to the write that produced it.
+      size_t found = 0;
+      for (size_t i = 0; i < m.write_recs.size(); ++i) {
+        if (m.write_recs[i].value == r.value) {
+          found = i + 1;
+          break;
+        }
+      }
+      if (found == 0) {
+        std::ostringstream os;
+        os << r.op << " returned a value written by no operation (tag="
+           << r.value.tag() << ")";
+        m.problems.push_back(os.str());
+        continue;
+      }
+      node.returned_write = found;
+    }
+    m.reads.push_back(node);
+  }
+  return m;
+}
+
+/// Directed graph over write indices with DFS cycle detection.
+class WriteGraph {
+ public:
+  explicit WriteGraph(size_t n) : adj_(n) {}
+
+  void add_edge(size_t from, size_t to) {
+    if (from != to) adj_[from].push_back(to);
+  }
+
+  bool has_cycle() const {
+    std::vector<int> state(adj_.size(), 0);  // 0 new, 1 in stack, 2 done
+    for (size_t s = 0; s < adj_.size(); ++s) {
+      if (state[s] == 0 && dfs(s, state)) return true;
+    }
+    return false;
+  }
+
+ private:
+  bool dfs(size_t v, std::vector<int>& state) const {
+    state[v] = 1;
+    for (size_t w : adj_[v]) {
+      if (state[w] == 1) return true;
+      if (state[w] == 0 && dfs(w, state)) return true;
+    }
+    state[v] = 2;
+    return false;
+  }
+
+  std::vector<std::vector<size_t>> adj_;
+};
+
+void add_real_time_edges(const Model& m, WriteGraph& g) {
+  for (size_t i = 0; i < m.writes.size(); ++i) {
+    for (size_t j = 0; j < m.writes.size(); ++j) {
+      if (i != j && precedes(m.writes[i], m.writes[j].invoke)) {
+        g.add_edge(i, j);
+      }
+    }
+  }
+}
+
+/// Per-read placement constraints shared by the strong-regularity and
+/// atomicity checks: every write completing before the read's invocation
+/// must be ordered no later than the returned write, and every write
+/// invoked after the read's return must be ordered after it.
+void add_read_edges(const Model& m, const ReadNode& r, WriteGraph& g) {
+  const int64_t inv = static_cast<int64_t>(r.rec.invoke_time);
+  const int64_t ret = static_cast<int64_t>(*r.rec.return_time);
+  for (size_t i = 0; i < m.writes.size(); ++i) {
+    if (i == r.returned_write) continue;
+    if (precedes(m.writes[i], inv)) {
+      g.add_edge(i, r.returned_write);
+    }
+    if (m.writes[i].invoke > ret) {
+      g.add_edge(r.returned_write, i);
+    }
+  }
+}
+
+}  // namespace
+
+std::string CheckResult::summary() const {
+  if (ok) return "OK";
+  std::ostringstream os;
+  os << violations.size() << " violation(s):";
+  for (const auto& v : violations) os << "\n  - " << v;
+  return os.str();
+}
+
+CheckResult check_values_legal(const sim::History& h) {
+  CheckResult res;
+  Model m = build_model(h);
+  for (const auto& p : m.problems) res.fail(p);
+  return res;
+}
+
+CheckResult check_weak_regularity(const sim::History& h) {
+  CheckResult res;
+  Model m = build_model(h);
+  for (const auto& p : m.problems) res.fail(p);
+
+  for (const ReadNode& r : m.reads) {
+    const int64_t inv = static_cast<int64_t>(r.rec.invoke_time);
+    const int64_t ret = static_cast<int64_t>(*r.rec.return_time);
+    const WriteNode& w = m.writes[r.returned_write];
+
+    // (a) the returned write must have been invoked before the read
+    //     returned (w0 trivially satisfies this).
+    if (w.invoke >= ret) {
+      std::ostringstream os;
+      os << r.rec.op << " returned the value of " << w.op
+         << " which was invoked only after the read returned";
+      res.fail(os.str());
+      continue;
+    }
+    // (b) no write is sandwiched strictly between w and the read.
+    for (size_t i = 1; i < m.writes.size(); ++i) {
+      const WriteNode& mid = m.writes[i];
+      if (i == r.returned_write) continue;
+      const bool after_w =
+          w.ret.has_value() ? (mid.invoke > *w.ret) : false;
+      const bool before_r = precedes(mid, inv);
+      if (after_w && before_r) {
+        std::ostringstream os;
+        os << r.rec.op << " returned " << w.op << " but " << mid.op
+           << " completed strictly between them (new-old inversion)";
+        res.fail(os.str());
+        break;
+      }
+    }
+  }
+  return res;
+}
+
+CheckResult check_strong_regularity(const sim::History& h) {
+  CheckResult res = check_weak_regularity(h);
+  Model m = build_model(h);
+
+  WriteGraph g(m.writes.size());
+  add_real_time_edges(m, g);
+  for (const ReadNode& r : m.reads) add_read_edges(m, r, g);
+
+  if (g.has_cycle()) {
+    res.fail(
+        "no single write order satisfies all reads simultaneously "
+        "(strong-regularity constraint graph has a cycle)");
+  }
+  return res;
+}
+
+CheckResult check_strongly_safe(const sim::History& h) {
+  CheckResult res;
+  Model m = build_model(h);
+  for (const auto& p : m.problems) res.fail(p);
+
+  WriteGraph g(m.writes.size());
+  add_real_time_edges(m, g);
+
+  for (const ReadNode& r : m.reads) {
+    const int64_t inv = static_cast<int64_t>(r.rec.invoke_time);
+    const int64_t ret = static_cast<int64_t>(*r.rec.return_time);
+
+    // Does any write overlap the read? (Incomplete writes invoked before
+    // the read returned count as concurrent.)
+    bool has_concurrent = false;
+    for (size_t i = 1; i < m.writes.size(); ++i) {
+      const WriteNode& w = m.writes[i];
+      const bool before = precedes(w, inv);
+      const bool after = w.invoke > ret;
+      if (!before && !after) {
+        has_concurrent = true;
+        break;
+      }
+    }
+    if (has_concurrent) continue;  // unconstrained by safe semantics
+
+    const WriteNode& w = m.writes[r.returned_write];
+    if (r.returned_write != 0 && !precedes(w, inv)) {
+      std::ostringstream os;
+      os << r.rec.op << " has no concurrent writes but returned " << w.op
+         << " which did not complete before it";
+      res.fail(os.str());
+      continue;
+    }
+    add_read_edges(m, r, g);
+  }
+
+  if (g.has_cycle()) {
+    res.fail("no write linearization satisfies all quiescent reads");
+  }
+  return res;
+}
+
+CheckResult check_atomicity(const sim::History& h) {
+  CheckResult res = check_strong_regularity(h);
+  Model m = build_model(h);
+
+  WriteGraph g(m.writes.size());
+  add_real_time_edges(m, g);
+  for (const ReadNode& r : m.reads) add_read_edges(m, r, g);
+
+  // Reads must respect each other's real-time order: if r1 precedes r2,
+  // r2 may not return an older write than r1.
+  for (const ReadNode& r1 : m.reads) {
+    for (const ReadNode& r2 : m.reads) {
+      if (&r1 == &r2) continue;
+      if (static_cast<int64_t>(*r1.rec.return_time) <
+              static_cast<int64_t>(r2.rec.invoke_time) &&
+          r1.returned_write != r2.returned_write) {
+        g.add_edge(r1.returned_write, r2.returned_write);
+      }
+    }
+  }
+  if (g.has_cycle()) {
+    res.fail("atomicity constraint graph has a cycle (read-read inversion)");
+  }
+  return res;
+}
+
+}  // namespace sbrs::consistency

@@ -1,0 +1,65 @@
+// Consistency checking of run histories against the paper's safety notions.
+//
+// The paper uses (Appendix A, following Shao et al. [14]):
+//   - weak regularity   (MWRegWeak):  for every returned read there is a
+//     linearization of that read together with all writes;
+//   - strong regularity (MWRegWO):    weak regularity + all reads agree on
+//     the order of the writes relevant to both;
+//   - strongly safe:                  writes linearize, and reads with no
+//     concurrent writes return the last preceding write's value.
+//
+// Checkers work on the recorded History. They rely on the test workloads
+// writing *distinct* values (unique tags), so a returned value identifies
+// the write that produced it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/history.h"
+
+namespace sbrs::consistency {
+
+struct CheckResult {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string why) {
+    ok = false;
+    violations.push_back(std::move(why));
+  }
+  std::string summary() const;
+};
+
+/// Every completed read must return v0 or the value of some write in the
+/// history — i.e. no "Frankenstein" values assembled from pieces of
+/// different writes. This catches erasure-decoding mix-ups.
+CheckResult check_values_legal(const sim::History& h);
+
+/// MWRegWeak, checked per read: the returned value must be writable by a
+/// linearization of {all writes} + that read. Equivalently the read r
+/// returning write w requires
+///   (a) w was invoked before r returned, and
+///   (b) no write w' satisfies w <_r w' <_r r (w' entirely after w and
+///       entirely before r);
+/// v0 is legal iff no write completed before r was invoked.
+CheckResult check_weak_regularity(const sim::History& h);
+
+/// MWRegWO (strong regularity): weak regularity plus the existence of a
+/// single total order sigma on writes, extending real-time precedence,
+/// such that every read can be inserted immediately after the write it
+/// returns without violating its own real-time constraints. Decided by
+/// cycle detection on the induced constraint graph.
+CheckResult check_strong_regularity(const sim::History& h);
+
+/// Strongly safe (Appendix A): there is a write linearization such that
+/// every read with no concurrent writes returns the last preceding write.
+CheckResult check_strongly_safe(const sim::History& h);
+
+/// Atomicity (linearizability) of the full history; used for the ABD
+/// write-back extension. Implemented as strong regularity + the additional
+/// constraint that reads respect each other's real-time order.
+CheckResult check_atomicity(const sim::History& h);
+
+}  // namespace sbrs::consistency

@@ -1,0 +1,109 @@
+#include "gf/gf256.h"
+
+#include "common/check.h"
+
+namespace sbrs::gf {
+
+namespace detail {
+
+Tables::Tables() {
+  // Build exp/log by repeated multiplication with the generator using the
+  // slow shift-and-reduce product (table-free, so safe during construction).
+  auto slow_mul = [](uint8_t a, uint8_t b) -> uint8_t {
+    uint16_t acc = 0;
+    uint16_t aa = a;
+    for (int i = 0; i < 8; ++i) {
+      if (b & (1 << i)) acc ^= aa << i;
+    }
+    // Reduce modulo kPoly.
+    for (int bit = 15; bit >= 8; --bit) {
+      if (acc & (1 << bit)) acc ^= kPoly << (bit - 8);
+    }
+    return static_cast<uint8_t>(acc);
+  };
+
+  uint8_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    exp[i] = x;
+    log[x] = static_cast<uint8_t>(i);
+    x = slow_mul(x, kGenerator);
+  }
+  // Duplicate so exp[log[a]+log[b]] needs no reduction (max index 508).
+  for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  log[0] = 0;  // log(0) is undefined; mul() guards against using it.
+
+  inv[0] = 0;  // undefined; inv() guards.
+  for (int a = 1; a < 256; ++a) {
+    inv[a] = exp[255 - log[a]];
+  }
+}
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace detail
+
+uint8_t inv(uint8_t a) {
+  SBRS_CHECK_MSG(a != 0, "gf::inv(0)");
+  return detail::tables().inv[a];
+}
+
+uint8_t div(uint8_t a, uint8_t b) {
+  SBRS_CHECK_MSG(b != 0, "gf::div by zero");
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+uint8_t pow(uint8_t a, uint32_t e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  uint32_t le = (static_cast<uint32_t>(t.log[a]) * (e % 255)) % 255;
+  return t.exp[le];
+}
+
+uint8_t mul_slow(uint8_t a, uint8_t b) {
+  uint16_t acc = 0;
+  uint16_t aa = a;
+  for (int i = 0; i < 8; ++i) {
+    if (b & (1 << i)) acc ^= aa << i;
+  }
+  for (int bit = 15; bit >= 8; --bit) {
+    if (acc & (1 << bit)) acc ^= kPoly << (bit - 8);
+  }
+  return static_cast<uint8_t>(acc);
+}
+
+void mul_add_row(uint8_t* y, const uint8_t* x, uint8_t c, size_t len) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (size_t i = 0; i < len; ++i) y[i] ^= x[i];
+    return;
+  }
+  const auto& t = detail::tables();
+  const unsigned lc = t.log[c];
+  for (size_t i = 0; i < len; ++i) {
+    if (x[i] != 0) y[i] ^= t.exp[lc + t.log[x[i]]];
+  }
+}
+
+void mul_row(uint8_t* y, const uint8_t* x, uint8_t c, size_t len) {
+  if (c == 0) {
+    for (size_t i = 0; i < len; ++i) y[i] = 0;
+    return;
+  }
+  if (c == 1) {
+    for (size_t i = 0; i < len; ++i) y[i] = x[i];
+    return;
+  }
+  const auto& t = detail::tables();
+  const unsigned lc = t.log[c];
+  for (size_t i = 0; i < len; ++i) {
+    y[i] = (x[i] == 0) ? 0 : t.exp[lc + t.log[x[i]]];
+  }
+}
+
+}  // namespace sbrs::gf

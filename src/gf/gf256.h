@@ -1,0 +1,61 @@
+// Arithmetic in GF(2^8), the field underlying the Reed-Solomon codec.
+//
+// We use the AES polynomial x^8 + x^4 + x^3 + x + 1 (0x11b) and precomputed
+// exp/log tables over the generator 0x03. All operations are branch-light
+// table lookups; tables are built once at static-initialization time.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace sbrs::gf {
+
+/// The reduction polynomial (without the x^8 term): 0x1b.
+inline constexpr uint16_t kPoly = 0x11b;
+/// Generator of the multiplicative group used for the log/exp tables.
+inline constexpr uint8_t kGenerator = 0x03;
+
+namespace detail {
+struct Tables {
+  // exp has 512 entries so mul can skip the mod-255 reduction.
+  std::array<uint8_t, 512> exp{};
+  std::array<uint8_t, 256> log{};
+  std::array<uint8_t, 256> inv{};
+
+  Tables();
+};
+const Tables& tables();
+}  // namespace detail
+
+/// Addition and subtraction in GF(2^8) are both XOR.
+constexpr uint8_t add(uint8_t a, uint8_t b) { return a ^ b; }
+constexpr uint8_t sub(uint8_t a, uint8_t b) { return a ^ b; }
+
+/// Multiplication via log/exp tables; mul(0, x) == mul(x, 0) == 0.
+inline uint8_t mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = detail::tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+/// Multiplicative inverse; precondition a != 0.
+uint8_t inv(uint8_t a);
+
+/// Division a / b; precondition b != 0.
+uint8_t div(uint8_t a, uint8_t b);
+
+/// Exponentiation a^e (e >= 0), with a^0 == 1 (including 0^0 == 1).
+uint8_t pow(uint8_t a, uint32_t e);
+
+/// Slow carry-less multiply-and-reduce; reference implementation used by
+/// tests to validate the tables.
+uint8_t mul_slow(uint8_t a, uint8_t b);
+
+/// y[i] += c * x[i] over a buffer — the inner loop of RS encode/decode.
+void mul_add_row(uint8_t* y, const uint8_t* x, uint8_t c, size_t len);
+
+/// y[i] = c * x[i].
+void mul_row(uint8_t* y, const uint8_t* x, uint8_t c, size_t len);
+
+}  // namespace sbrs::gf

@@ -1,0 +1,135 @@
+#include "gf/matrix.h"
+
+#include "common/check.h"
+
+namespace sbrs::gf {
+
+Matrix Matrix::identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::vandermonde(size_t rows, size_t cols) {
+  SBRS_CHECK_MSG(rows <= 255, "vandermonde: need distinct nonzero points");
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    const uint8_t point = static_cast<uint8_t>(r + 1);
+    for (size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = pow(point, static_cast<uint32_t>(c));
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::rs_systematic(size_t n, size_t k) {
+  SBRS_CHECK(k >= 1 && n >= k && n <= 255);
+  Matrix v = vandermonde(n, k);
+  std::vector<size_t> top(k);
+  for (size_t i = 0; i < k; ++i) top[i] = i;
+  auto top_inv = v.select_rows(top).inverted();
+  SBRS_CHECK_MSG(top_inv.has_value(), "vandermonde top rows must be invertible");
+  Matrix g = v.mul(*top_inv);
+  // Force an exact identity in the top rows (numerically it already is).
+  for (size_t r = 0; r < k; ++r) {
+    for (size_t c = 0; c < k; ++c) {
+      SBRS_CHECK(g.at(r, c) == (r == c ? 1 : 0));
+    }
+  }
+  return g;
+}
+
+Matrix Matrix::cauchy(size_t rows, size_t cols) {
+  SBRS_CHECK_MSG(rows + cols <= 256, "cauchy: x_i and y_j must be distinct");
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      const uint8_t x = static_cast<uint8_t>(r);
+      const uint8_t y = static_cast<uint8_t>(rows + c);
+      m.at(r, c) = inv(add(x, y));
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::mul(const Matrix& other) const {
+  SBRS_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t i = 0; i < cols_; ++i) {
+      const uint8_t a = at(r, i);
+      if (a == 0) continue;
+      mul_add_row(out.row(r), other.row(i), a, other.cols_);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(const std::vector<size_t>& rows) const {
+  Matrix out(rows.size(), cols_);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    SBRS_CHECK(rows[i] < rows_);
+    for (size_t c = 0; c < cols_; ++c) out.at(i, c) = at(rows[i], c);
+  }
+  return out;
+}
+
+std::optional<Matrix> Matrix::inverted() const {
+  SBRS_CHECK(rows_ == cols_);
+  const size_t n = rows_;
+  Matrix a = *this;
+  Matrix inv_m = identity(n);
+
+  for (size_t col = 0; col < n; ++col) {
+    // Find pivot.
+    size_t pivot = col;
+    while (pivot < n && a.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return std::nullopt;  // singular
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(a.at(pivot, c), a.at(col, c));
+        std::swap(inv_m.at(pivot, c), inv_m.at(col, c));
+      }
+    }
+    // Normalize pivot row.
+    const uint8_t p = a.at(col, col);
+    if (p != 1) {
+      const uint8_t pinv = inv(p);
+      mul_row(a.row(col), a.row(col), pinv, n);
+      mul_row(inv_m.row(col), inv_m.row(col), pinv, n);
+    }
+    // Eliminate all other rows.
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const uint8_t factor = a.at(r, col);
+      if (factor == 0) continue;
+      mul_add_row(a.row(r), a.row(col), factor, n);
+      mul_add_row(inv_m.row(r), inv_m.row(col), factor, n);
+    }
+  }
+  return inv_m;
+}
+
+void Matrix::apply(const std::vector<const uint8_t*>& in,
+                   const std::vector<uint8_t*>& out, size_t len) const {
+  SBRS_CHECK(in.size() == cols_ && out.size() == rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    uint8_t* dst = out[r];
+    for (size_t i = 0; i < len; ++i) dst[i] = 0;
+    for (size_t c = 0; c < cols_; ++c) {
+      mul_add_row(dst, in[c], at(r, c), len);
+    }
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      os << static_cast<int>(m.at(r, c)) << (c + 1 == m.cols() ? "" : " ");
+    }
+    os << "\n";
+  }
+  return os;
+}
+
+}  // namespace sbrs::gf

@@ -1,0 +1,75 @@
+// Dense matrices over GF(2^8), with the linear algebra needed by the
+// Reed-Solomon codec: multiplication, Gaussian-elimination inversion, and
+// the Vandermonde / Cauchy constructions whose square submatrices are
+// invertible (the MDS property).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "gf/gf256.h"
+
+namespace sbrs::gf {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), a_(rows * cols, 0) {}
+
+  static Matrix identity(size_t n);
+
+  /// rows x cols Vandermonde matrix with evaluation points 1, 2, ..., rows
+  /// (element (r, c) = (r+1)^c). Any k x k submatrix formed by choosing k
+  /// distinct rows of a k-column Vandermonde matrix with distinct nonzero
+  /// points is invertible.
+  static Matrix vandermonde(size_t rows, size_t cols);
+
+  /// Systematic encoding matrix for a k-of-n MDS code: the top k rows are
+  /// the identity, and the bottom n-k rows keep the MDS property (any k of
+  /// the n rows are linearly independent). Built by taking an n x k
+  /// Vandermonde matrix V and right-multiplying by inverse(top k rows of V).
+  static Matrix rs_systematic(size_t n, size_t k);
+
+  /// Cauchy matrix with x_i = i (i in [0, rows)), y_j = rows + j; all
+  /// square submatrices of a Cauchy matrix are invertible.
+  static Matrix cauchy(size_t rows, size_t cols);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  uint8_t at(size_t r, size_t c) const { return a_[r * cols_ + c]; }
+  uint8_t& at(size_t r, size_t c) { return a_[r * cols_ + c]; }
+  const uint8_t* row(size_t r) const { return &a_[r * cols_]; }
+  uint8_t* row(size_t r) { return &a_[r * cols_]; }
+
+  Matrix mul(const Matrix& other) const;
+
+  /// Select a subset of rows, in the given order.
+  Matrix select_rows(const std::vector<size_t>& rows) const;
+
+  /// Invert a square matrix via Gauss-Jordan elimination with partial
+  /// pivoting; returns nullopt when singular.
+  std::optional<Matrix> inverted() const;
+
+  /// Apply this (rows x cols) matrix to `cols` input buffers of length
+  /// `len`, producing `rows` output buffers: out[r] = sum_c at(r,c)*in[c].
+  /// out must point at rows buffers of length len, zero-initialized by this
+  /// function.
+  void apply(const std::vector<const uint8_t*>& in,
+             const std::vector<uint8_t*>& out, size_t len) const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && a_ == other.a_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<uint8_t> a_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace sbrs::gf

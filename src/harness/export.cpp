@@ -1,0 +1,47 @@
+#include "harness/export.h"
+
+#include "common/check.h"
+
+namespace sbrs::harness {
+
+size_t write_series_csv(std::ostream& os,
+                        const std::vector<metrics::StorageSample>& series) {
+  os << "time,total_bits,object_bits,channel_bits\n";
+  for (const auto& s : series) {
+    os << s.time << "," << s.total_bits << "," << s.object_bits << ","
+       << s.channel_bits << "\n";
+  }
+  return series.size();
+}
+
+size_t write_sweep_csv(std::ostream& os, const std::string& x_name,
+                       const std::vector<std::string>& y_names,
+                       const std::vector<SweepRow>& rows) {
+  os << x_name;
+  for (const auto& name : y_names) os << "," << name;
+  os << "\n";
+  for (const auto& row : rows) {
+    SBRS_CHECK_MSG(row.ys.size() == y_names.size(),
+                   "sweep row arity mismatch");
+    os << row.x;
+    for (double y : row.ys) os << "," << y;
+    os << "\n";
+  }
+  return rows.size();
+}
+
+std::vector<metrics::StorageSample> downsample(
+    const std::vector<metrics::StorageSample>& series, size_t max_points) {
+  if (series.size() <= max_points || max_points < 2) return series;
+  std::vector<metrics::StorageSample> out;
+  out.reserve(max_points);
+  const double step =
+      static_cast<double>(series.size() - 1) / (max_points - 1);
+  for (size_t i = 0; i < max_points; ++i) {
+    out.push_back(series[static_cast<size_t>(i * step)]);
+  }
+  out.back() = series.back();
+  return out;
+}
+
+}  // namespace sbrs::harness

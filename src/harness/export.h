@@ -1,0 +1,34 @@
+// Result export: CSV writers for storage time series and sweep results, so
+// the bench tables can be re-plotted (gnuplot/matplotlib) without rerunning.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/storage_meter.h"
+
+namespace sbrs::harness {
+
+/// Write a storage time series as CSV: time,total_bits,object_bits,
+/// channel_bits. Returns the number of rows written.
+size_t write_series_csv(std::ostream& os,
+                        const std::vector<metrics::StorageSample>& series);
+
+/// A generic sweep row: x value plus named measurements.
+struct SweepRow {
+  double x = 0;
+  std::vector<double> ys;
+};
+
+/// Write sweep results as CSV with the given header names (x first).
+size_t write_sweep_csv(std::ostream& os, const std::string& x_name,
+                       const std::vector<std::string>& y_names,
+                       const std::vector<SweepRow>& rows);
+
+/// Downsample a series to at most `max_points` evenly spaced samples
+/// (keeping the first and last) for compact plotting.
+std::vector<metrics::StorageSample> downsample(
+    const std::vector<metrics::StorageSample>& series, size_t max_points);
+
+}  // namespace sbrs::harness

@@ -1,0 +1,75 @@
+#include "harness/runner.h"
+
+#include "common/check.h"
+#include "sim/schedulers.h"
+#include "sim/workload.h"
+
+namespace sbrs::harness {
+
+RunOutcome run_register_experiment(
+    const registers::RegisterAlgorithm& algorithm, const RunOptions& opts) {
+  const auto& cfg = algorithm.config();
+
+  sim::UniformWorkload::Options wl;
+  wl.writers = opts.writers;
+  wl.writes_per_client = opts.writes_per_client;
+  wl.readers = opts.readers;
+  wl.reads_per_client = opts.reads_per_client;
+  wl.data_bits = cfg.data_bits;
+
+  std::unique_ptr<sim::Scheduler> scheduler;
+  switch (opts.scheduler) {
+    case SchedKind::kRandom: {
+      sim::RandomScheduler::Options so;
+      so.seed = opts.seed;
+      so.max_object_crashes = opts.object_crashes;
+      so.crash_object_permyriad = opts.object_crashes > 0 ? 20 : 0;
+      so.max_client_crashes = opts.client_crashes;
+      so.crash_client_permyriad = opts.client_crashes > 0 ? 20 : 0;
+      scheduler = std::make_unique<sim::RandomScheduler>(so);
+      break;
+    }
+    case SchedKind::kRoundRobin:
+      scheduler = std::make_unique<sim::RoundRobinScheduler>();
+      break;
+    case SchedKind::kBurst:
+      scheduler = std::make_unique<sim::BurstScheduler>();
+      break;
+  }
+
+  sim::SimConfig sc;
+  sc.num_objects = cfg.n;
+  sc.num_clients = opts.writers + opts.readers;
+  sc.max_steps = opts.max_steps;
+  sc.sample_every = opts.sample_every;
+
+  sim::Simulator simulator(sc, algorithm.object_factory(),
+                           algorithm.client_factory(),
+                           std::make_unique<sim::UniformWorkload>(wl),
+                           std::move(scheduler));
+  sim::RunReport report = simulator.run();
+
+  RunOutcome out;
+  out.algorithm = algorithm.name();
+  out.report = report;
+  out.history = simulator.history();
+  out.max_total_bits = simulator.meter().max_total_bits();
+  out.max_object_bits = simulator.meter().max_object_bits();
+  out.max_channel_bits = simulator.meter().max_channel_bits();
+  out.final_object_bits = simulator.meter().last_object_bits();
+  out.final_total_bits = simulator.meter().last_total_bits();
+
+  out.values_legal = consistency::check_values_legal(out.history);
+  out.weak_regular = consistency::check_weak_regularity(out.history);
+  out.strong_regular = consistency::check_strong_regularity(out.history);
+  out.strongly_safe = consistency::check_strongly_safe(out.history);
+
+  // Liveness: every operation of a client that stayed alive completed.
+  out.live = true;
+  for (const auto& rec : out.history.outstanding()) {
+    if (simulator.client_alive(rec.client)) out.live = false;
+  }
+  return out;
+}
+
+}  // namespace sbrs::harness

@@ -1,0 +1,66 @@
+// The experiment harness: one-call execution of a register algorithm under
+// a configurable workload and scheduler, with storage metering and
+// consistency checking. Used by the integration tests, the property tests,
+// the benchmarks, and the examples.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "consistency/checker.h"
+#include "registers/register_algorithm.h"
+#include "sim/history.h"
+#include "sim/simulator.h"
+
+namespace sbrs::harness {
+
+enum class SchedKind {
+  kRandom,      // seeded uniform choices; fair with probability 1
+  kRoundRobin,  // deterministic FIFO delivery, interleaved invocations
+  kBurst,       // all invocations first (maximum write concurrency)
+};
+
+struct RunOptions {
+  uint32_t writers = 1;
+  uint32_t writes_per_client = 1;
+  uint32_t readers = 0;
+  uint32_t reads_per_client = 1;
+  uint64_t seed = 1;
+  SchedKind scheduler = SchedKind::kRandom;
+  /// Crash up to this many base objects at random points (must be <= f for
+  /// the liveness guarantees to hold).
+  uint32_t object_crashes = 0;
+  /// Crash up to this many writer/reader clients at random points.
+  uint32_t client_crashes = 0;
+  uint64_t max_steps = 2'000'000;
+  /// Storage series decimation (1 = sample every event).
+  uint64_t sample_every = 16;
+};
+
+struct RunOutcome {
+  std::string algorithm;
+  sim::RunReport report;
+  sim::History history;
+
+  uint64_t max_total_bits = 0;
+  uint64_t max_object_bits = 0;
+  uint64_t max_channel_bits = 0;
+  uint64_t final_object_bits = 0;
+  uint64_t final_total_bits = 0;
+
+  consistency::CheckResult values_legal;
+  consistency::CheckResult weak_regular;
+  consistency::CheckResult strong_regular;
+  consistency::CheckResult strongly_safe;
+
+  /// All operations by non-crashed clients returned.
+  bool live = false;
+};
+
+/// Run `algorithm` under the given workload/scheduler and check the
+/// resulting history against the consistency hierarchy.
+RunOutcome run_register_experiment(
+    const registers::RegisterAlgorithm& algorithm, const RunOptions& opts);
+
+}  // namespace sbrs::harness

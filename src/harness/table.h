@@ -1,0 +1,79 @@
+// Minimal fixed-width table printer for the benchmark binaries: the benches
+// print paper-style result rows (measured vs predicted storage) in addition
+// to google-benchmark timings.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sbrs::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  template <typename... Cells>
+  void add_row(Cells&&... cells) {
+    std::vector<std::string> row;
+    (row.push_back(to_cell(std::forward<Cells>(cells))), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      widths[i] = headers_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      os << "|";
+      for (size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : "";
+        os << " " << std::setw(static_cast<int>(widths[i])) << cell << " |";
+      }
+      os << "\n";
+    };
+    print_row(headers_);
+    os << "|";
+    for (size_t w : widths) os << std::string(w + 2, '-') << "|";
+    os << "\n";
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(T&& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(std::forward<T>(value));
+    } else {
+      std::ostringstream os;
+      os << value;
+      return os.str();
+    }
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Human-readable bits quantity ("12.5 KiB" style but in bits).
+inline std::string fmt_bits(uint64_t bits) {
+  std::ostringstream os;
+  if (bits < 8192) {
+    os << bits << "b";
+  } else {
+    os << std::fixed << std::setprecision(1)
+       << static_cast<double>(bits) / 8192.0 << "KiB";
+  }
+  return os.str();
+}
+
+}  // namespace sbrs::harness

@@ -1,0 +1,49 @@
+// Storage footprints: the unit of the paper's storage-cost accounting.
+//
+// Definition 2 counts the bits of code blocks stored at base objects and
+// clients (including parameters of pending RMWs, i.e. "channels"), and
+// explicitly excludes metadata and oracle state. A StorageFootprint is the
+// list of block instances (with provenance, Definition 4) present in one
+// component; the meter sums them across components.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/oracle.h"
+#include "common/ids.h"
+
+namespace sbrs::metrics {
+
+/// One stored block instance: which operation's oracle produced it
+/// (source = <w, i>) and how many bits it occupies.
+struct BlockInstance {
+  codec::Source source;
+  uint64_t bits = 0;
+};
+
+struct StorageFootprint {
+  std::vector<BlockInstance> blocks;
+
+  uint64_t total_bits() const {
+    uint64_t sum = 0;
+    for (const auto& b : blocks) sum += b.bits;
+    return sum;
+  }
+
+  void add(const codec::TaggedBlock& tb) {
+    blocks.push_back(BlockInstance{tb.source, tb.bit_size()});
+  }
+
+  void add(const codec::Source& source, uint64_t bits) {
+    blocks.push_back(BlockInstance{source, bits});
+  }
+
+  void merge(const StorageFootprint& other) {
+    blocks.insert(blocks.end(), other.blocks.begin(), other.blocks.end());
+  }
+
+  bool empty() const { return blocks.empty(); }
+};
+
+}  // namespace sbrs::metrics

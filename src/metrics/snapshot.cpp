@@ -1,0 +1,70 @@
+#include "metrics/snapshot.h"
+
+#include <map>
+#include <set>
+
+namespace sbrs::metrics {
+
+uint64_t StorageSnapshot::total_bits() const {
+  uint64_t sum = 0;
+  for (const auto& o : objects) sum += o.footprint.total_bits();
+  for (const auto& c : clients) sum += c.footprint.total_bits();
+  for (const auto& r : in_flight) sum += r.footprint.total_bits();
+  return sum;
+}
+
+uint64_t StorageSnapshot::object_bits() const {
+  uint64_t sum = 0;
+  for (const auto& o : objects) sum += o.footprint.total_bits();
+  return sum;
+}
+
+uint64_t StorageSnapshot::channel_bits() const {
+  uint64_t sum = 0;
+  for (const auto& r : in_flight) sum += r.footprint.total_bits();
+  return sum;
+}
+
+uint64_t StorageSnapshot::bits_at_object(ObjectId id) const {
+  for (const auto& o : objects) {
+    if (o.id == id) return o.footprint.total_bits();
+  }
+  return 0;
+}
+
+uint64_t StorageSnapshot::op_contribution_bits(
+    OpId w, std::optional<ClientId> owner) const {
+  // Distinct block numbers only: multiple copies of E(v, i) count once
+  // (Definition 6 sums size(i) over the index *set*).
+  std::map<uint32_t, uint64_t> index_bits;
+  auto scan = [&](const StorageFootprint& fp) {
+    for (const auto& b : fp.blocks) {
+      if (b.source.op == w) index_bits[b.source.index] = b.bits;
+    }
+  };
+  for (const auto& o : objects) scan(o.footprint);
+  for (const auto& c : clients) {
+    if (owner.has_value() && c.id == *owner) continue;
+    scan(c.footprint);
+  }
+  for (const auto& r : in_flight) {
+    // Pending-RMW parameters are part of the triggering client's state.
+    if (owner.has_value() && r.client == *owner) continue;
+    scan(r.footprint);
+  }
+  uint64_t sum = 0;
+  for (const auto& [idx, bits] : index_bits) sum += bits;
+  return sum;
+}
+
+size_t StorageSnapshot::op_distinct_blocks_at_objects(OpId w) const {
+  std::set<uint32_t> indices;
+  for (const auto& o : objects) {
+    for (const auto& b : o.footprint.blocks) {
+      if (b.source.op == w) indices.insert(b.source.index);
+    }
+  }
+  return indices.size();
+}
+
+}  // namespace sbrs::metrics

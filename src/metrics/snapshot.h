@@ -1,0 +1,64 @@
+// A point-in-time view of all storage in the system, used both by the
+// storage meter (Definition 2 cost) and by the lower-bound adversary
+// (Definition 6 per-operation contributions and the frozen set F(t)).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "metrics/footprint.h"
+
+namespace sbrs::metrics {
+
+struct StorageSnapshot {
+  struct ObjectEntry {
+    ObjectId id;
+    bool alive = true;
+    StorageFootprint footprint;
+  };
+  struct ClientEntry {
+    ClientId id;
+    bool alive = true;
+    StorageFootprint footprint;
+  };
+  /// Parameters of a pending RMW (blocks riding in a channel). Attributed
+  /// to the triggering client per the paper's state definition.
+  struct InFlightEntry {
+    RmwId rmw;
+    ClientId client;
+    ObjectId target;
+    OpId op;
+    StorageFootprint footprint;
+  };
+
+  uint64_t time = 0;
+  std::vector<ObjectEntry> objects;
+  std::vector<ClientEntry> clients;
+  std::vector<InFlightEntry> in_flight;
+
+  /// Definition 2: total bits across base objects, clients, and channels.
+  uint64_t total_bits() const;
+
+  /// Total bits at base objects only — the accounting used by the paper's
+  /// own upper-bound analysis (Appendix D, Lemmas 6-8).
+  uint64_t object_bits() const;
+
+  /// Bits currently riding in channels (pending-RMW parameters).
+  uint64_t channel_bits() const;
+
+  /// Bits stored at one base object (used for the frozen set F_l(t)).
+  uint64_t bits_at_object(ObjectId id) const;
+
+  /// Definition 6: ||S(t, w)|| — the sum of size(i) over *distinct* block
+  /// numbers i of blocks sourced from operation `w` that are stored
+  /// anywhere except at the client `owner` performing w (whose own blocks,
+  /// including its pending-RMW parameters, are excluded).
+  uint64_t op_contribution_bits(OpId w, std::optional<ClientId> owner) const;
+
+  /// Number of distinct block indices from op `w` stored at base objects.
+  size_t op_distinct_blocks_at_objects(OpId w) const;
+};
+
+}  // namespace sbrs::metrics

@@ -1,0 +1,26 @@
+#include "metrics/storage_meter.h"
+
+namespace sbrs::metrics {
+
+void StorageMeter::observe(const StorageSnapshot& snap) {
+  StorageSample s;
+  s.time = snap.time;
+  s.object_bits = snap.object_bits();
+  s.channel_bits = snap.channel_bits();
+  s.total_bits = snap.total_bits();
+
+  if (s.total_bits > max_total_) max_total_ = s.total_bits;
+  if (s.object_bits > max_object_) {
+    max_object_ = s.object_bits;
+    max_object_time_ = s.time;
+  }
+  if (s.channel_bits > max_channel_) max_channel_ = s.channel_bits;
+  last_ = s;
+
+  if (observations_ % sample_every_ == 0) {
+    series_.push_back(s);
+  }
+  ++observations_;
+}
+
+}  // namespace sbrs::metrics

@@ -1,0 +1,56 @@
+// Continuous storage-cost measurement over a run.
+//
+// The meter observes a StorageSnapshot after every simulator event and keeps
+// the maxima that the paper's Definition 2 cares about ("the maximum storage
+// cost at any point t in any run"), plus a decimated time series for the
+// benchmark plots.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "metrics/snapshot.h"
+
+namespace sbrs::metrics {
+
+struct StorageSample {
+  uint64_t time = 0;
+  uint64_t total_bits = 0;    // Definition 2 (objects + clients + channels)
+  uint64_t object_bits = 0;   // base objects only (paper's Appendix D view)
+  uint64_t channel_bits = 0;  // pending-RMW parameters
+};
+
+class StorageMeter {
+ public:
+  /// Record a sample every `sample_every` events (1 = every event). The
+  /// maxima are updated on every observation regardless of decimation.
+  explicit StorageMeter(uint64_t sample_every = 1)
+      : sample_every_(sample_every == 0 ? 1 : sample_every) {}
+
+  void observe(const StorageSnapshot& snap);
+
+  uint64_t max_total_bits() const { return max_total_; }
+  uint64_t max_object_bits() const { return max_object_; }
+  uint64_t max_channel_bits() const { return max_channel_; }
+  uint64_t last_total_bits() const { return last_.total_bits; }
+  uint64_t last_object_bits() const { return last_.object_bits; }
+  uint64_t observations() const { return observations_; }
+
+  const std::vector<StorageSample>& series() const { return series_; }
+
+  /// Time at which the object-storage maximum was (first) reached.
+  uint64_t max_object_time() const { return max_object_time_; }
+
+ private:
+  uint64_t sample_every_;
+  uint64_t observations_ = 0;
+  uint64_t max_total_ = 0;
+  uint64_t max_object_ = 0;
+  uint64_t max_channel_ = 0;
+  uint64_t max_object_time_ = 0;
+  StorageSample last_{};
+  std::vector<StorageSample> series_;
+};
+
+}  // namespace sbrs::metrics

@@ -1,0 +1,206 @@
+// Replication baseline: the classic ABD multi-writer register [4].
+//
+// Every base object stores one full timestamped copy of the value (Vf with
+// a single chunk of D bits). Writes are two rounds (read timestamps, then
+// store); reads are one round (two with the optional write-back, which
+// upgrades the register from strongly regular to atomic). Storage is flat
+// in the concurrency level — n * D = (2f+1) * D bits — which is the
+// replication cost the paper's lower bound shows cannot be beaten by more
+// than the min(f, c) factor.
+#include <algorithm>
+#include <optional>
+
+#include "codec/codec.h"
+#include "common/check.h"
+#include "registers/register_algorithm.h"
+#include "registers/round_client.h"
+#include "registers/rmw_ops.h"
+
+namespace sbrs::registers {
+
+namespace {
+
+struct AbdParams {
+  RegisterConfig cfg;
+  AbdOptions opts;
+  codec::CodecPtr codec;  // ReplicationCodec(n)
+};
+
+class AbdClient final : public RoundClient {
+ public:
+  AbdClient(ClientId self, AbdParams params)
+      : RoundClient(params.cfg.n, params.cfg.f),
+        self_(self),
+        p_(std::move(params)) {}
+
+  void on_invoke(const sim::Invocation& inv, sim::SimContext& ctx) override {
+    SBRS_CHECK(phase_ == Phase::kIdle);
+    op_ = inv.op;
+    if (inv.kind == sim::OpKind::kWrite) {
+      value_ = inv.value;
+      phase_ = Phase::kWriteReadTs;
+    } else {
+      phase_ = Phase::kReadCollect;
+    }
+    start_round(
+        ctx, [](ObjectId o) { return make_read_value_rmw(o); },
+        [](ObjectId) { return metrics::StorageFootprint{}; });
+  }
+
+ protected:
+  void on_quorum(uint64_t /*round*/,
+                 const std::vector<sim::ResponsePtr>& responses,
+                 sim::SimContext& ctx) override {
+    switch (phase_) {
+      case Phase::kWriteReadTs: {
+        const TimeStamp ts{max_ts_num(responses) + 1, self_};
+        phase_ = Phase::kWriteStore;
+        start_store_round(ctx, ts, value_, op_);
+        break;
+      }
+      case Phase::kWriteStore: {
+        phase_ = Phase::kIdle;
+        ctx.complete(op_, std::nullopt);
+        break;
+      }
+      case Phase::kReadCollect: {
+        // Pick the freshest replica among the quorum.
+        std::optional<Chunk> best;
+        for (const Chunk& c : merge_chunks(responses)) {
+          if (!best.has_value() || best->ts < c.ts) best = c;
+        }
+        SBRS_CHECK_MSG(best.has_value(), "ABD object with empty replica");
+        auto decoded = p_.codec->decode({&best->block.block, 1});
+        SBRS_CHECK_MSG(decoded.has_value(), "replication decode failed");
+        if (p_.opts.write_back) {
+          phase_ = Phase::kReadWriteBack;
+          read_result_ = *decoded;
+          start_write_back_round(ctx, *best);
+        } else {
+          phase_ = Phase::kIdle;
+          ctx.complete(op_, std::move(decoded));
+        }
+        break;
+      }
+      case Phase::kReadWriteBack: {
+        phase_ = Phase::kIdle;
+        ctx.complete(op_, read_result_);
+        break;
+      }
+      case Phase::kIdle:
+        SBRS_CHECK_MSG(false, "quorum while idle");
+    }
+  }
+
+ private:
+  enum class Phase {
+    kIdle,
+    kWriteReadTs,
+    kWriteStore,
+    kReadCollect,
+    kReadWriteBack
+  };
+
+  void start_store_round(sim::SimContext& ctx, TimeStamp ts, const Value& v,
+                         OpId op) {
+    codec::EncoderOracle oracle(p_.codec, op, v);
+    start_round(
+        ctx,
+        [&, ts](ObjectId o) -> sim::RmwFn {
+          const Chunk replica{ts, oracle.get(o.value + 1)};
+          return [replica, o](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+            auto& st = as_register_state(s);
+            if (st.stored_ts < replica.ts) {
+              st.stored_ts = replica.ts;
+              st.vf = {replica};
+            }
+            return make_response(AckResponse{o, st.stored_ts});
+          };
+        },
+        [&](ObjectId o) {
+          metrics::StorageFootprint fp;
+          fp.add(oracle.get(o.value + 1));
+          return fp;
+        });
+  }
+
+  /// Write-back of a read value: re-stores the freshest chunk (with its
+  /// original provenance) so that subsequent reads cannot observe older
+  /// values — the classic ABD second phase giving atomicity.
+  void start_write_back_round(sim::SimContext& ctx, const Chunk& chunk) {
+    start_round(
+        ctx,
+        [&](ObjectId o) -> sim::RmwFn {
+          const Chunk c = chunk;
+          return [c, o](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+            auto& st = as_register_state(s);
+            if (st.stored_ts < c.ts) {
+              st.stored_ts = c.ts;
+              st.vf = {c};
+            }
+            return make_response(AckResponse{o, st.stored_ts});
+          };
+        },
+        [&](ObjectId) {
+          metrics::StorageFootprint fp;
+          fp.add(chunk.block);
+          return fp;
+        });
+  }
+
+  ClientId self_;
+  AbdParams p_;
+  Phase phase_ = Phase::kIdle;
+  OpId op_;
+  Value value_;
+  Value read_result_;
+};
+
+class AbdAlgorithm final : public RegisterAlgorithm {
+ public:
+  AbdAlgorithm(const RegisterConfig& cfg, AbdOptions opts) {
+    RegisterConfig fixed = cfg;
+    fixed.k = 1;
+    fixed.validate_replicated();
+    params_.cfg = fixed;
+    params_.opts = opts;
+    params_.codec =
+        codec::make_codec("replication", fixed.n, 1, fixed.data_bits);
+  }
+
+  std::string name() const override {
+    return params_.opts.write_back ? "abd[write-back]" : "abd";
+  }
+  const RegisterConfig& config() const override { return params_.cfg; }
+  codec::CodecPtr codec() const override { return params_.codec; }
+
+  sim::ObjectFactory object_factory() const override {
+    auto params = params_;
+    return [params](ObjectId o) -> std::unique_ptr<sim::ObjectStateBase> {
+      auto st = std::make_unique<RegisterObjectState>();
+      const Value v0 = Value::initial(params.cfg.data_bits);
+      codec::EncoderOracle oracle(params.codec, OpId::none(), v0);
+      st->vf.push_back(Chunk{TimeStamp::zero(), oracle.get(o.value + 1)});
+      return st;
+    };
+  }
+
+  sim::ClientFactory client_factory() const override {
+    auto params = params_;
+    return [params](ClientId c) -> std::unique_ptr<sim::ClientProtocol> {
+      return std::make_unique<AbdClient>(c, params);
+    };
+  }
+
+ private:
+  AbdParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<RegisterAlgorithm> make_abd(const RegisterConfig& cfg,
+                                            AbdOptions opts) {
+  return std::make_unique<AbdAlgorithm>(cfg, opts);
+}
+
+}  // namespace sbrs::registers

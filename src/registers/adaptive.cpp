@@ -1,0 +1,286 @@
+// The paper's adaptive register emulation (Section 5, Algorithms 1-3).
+//
+// A write proceeds in three rounds:
+//   1. read timestamps (readValue), pick ts = <max seen + 1, j>;
+//   2. update: store the i-th code piece in bo_i.Vp if |Vp| < k (trimming
+//      pieces older than the observed storedTS), otherwise store a full
+//      replica (k pieces) in bo_i.Vf;
+//   3. garbage collect: drop all chunks older than ts everywhere, shrink an
+//      own full replica down to one piece, and raise storedTS to ts.
+//
+// A read repeats readValue rounds until some timestamp >= the storedTS
+// watermark has k distinct pieces, then decodes it (FW-termination: reads
+// are guaranteed to return only when finitely many writes are invoked).
+//
+// Storage intuition: while concurrency is below k the Vp sets absorb one
+// piece per concurrent write (cost (c+1) * n * D/k); when concurrency
+// exceeds k the objects switch to full replicas, capping the cost at
+// ~2 * n * D. With k = f both branches are O(min(f, c) * D) — matching the
+// lower bound.
+#include <algorithm>
+#include <optional>
+
+#include "codec/codec.h"
+#include "common/check.h"
+#include "registers/register_algorithm.h"
+#include "registers/round_client.h"
+#include "registers/rmw_ops.h"
+
+namespace sbrs::registers {
+
+namespace {
+
+struct AdaptiveParams {
+  RegisterConfig cfg;
+  AdaptiveOptions opts;
+  codec::CodecPtr codec;
+
+  uint32_t vp_capacity() const {
+    if (opts.vp_unbounded) return UINT32_MAX;
+    if (opts.vp_capacity_override > 0) return opts.vp_capacity_override;
+    return cfg.k;
+  }
+};
+
+class AdaptiveClient final : public RoundClient {
+ public:
+  AdaptiveClient(ClientId self, AdaptiveParams params)
+      : RoundClient(params.cfg.n, params.cfg.f),
+        self_(self),
+        p_(std::move(params)) {}
+
+  void on_invoke(const sim::Invocation& inv, sim::SimContext& ctx) override {
+    SBRS_CHECK(phase_ == Phase::kIdle);
+    op_ = inv.op;
+    if (inv.kind == sim::OpKind::kWrite) {
+      // Encode v into n pieces via the write's encoder oracle (line 4).
+      codec::EncoderOracle oracle(p_.codec, inv.op, inv.value);
+      writeset_ = oracle.get_all();
+      phase_ = Phase::kWriteReadTs;
+      start_read_value_round(ctx);
+    } else {
+      phase_ = Phase::kReadLoop;
+      read_rounds_ = 0;
+      start_read_value_round(ctx);
+    }
+  }
+
+ protected:
+  void on_quorum(uint64_t /*round*/,
+                 const std::vector<sim::ResponsePtr>& responses,
+                 sim::SimContext& ctx) override {
+    switch (phase_) {
+      case Phase::kWriteReadTs: {
+        // Lines 5-7: pick a timestamp above everything observed.
+        observed_sts_ = max_stored_ts(responses);
+        ts_ = TimeStamp{max_ts_num(responses) + 1, self_};
+        phase_ = Phase::kWriteUpdate;
+        start_update_round(ctx);
+        break;
+      }
+      case Phase::kWriteUpdate: {
+        phase_ = Phase::kWriteGc;
+        start_gc_round(ctx);
+        break;
+      }
+      case Phase::kWriteGc: {
+        phase_ = Phase::kIdle;
+        writeset_.clear();
+        ctx.complete(op_, std::nullopt);
+        break;
+      }
+      case Phase::kReadLoop: {
+        ++read_rounds_;
+        if (auto v = try_decode(responses)) {
+          phase_ = Phase::kIdle;
+          ctx.complete(op_, std::move(v));
+        } else {
+          start_read_value_round(ctx);  // line 19: keep sampling
+        }
+        break;
+      }
+      case Phase::kIdle:
+        SBRS_CHECK_MSG(false, "quorum while idle");
+    }
+  }
+
+ private:
+  enum class Phase { kIdle, kWriteReadTs, kWriteUpdate, kWriteGc, kReadLoop };
+
+  void start_read_value_round(sim::SimContext& ctx) {
+    start_round(
+        ctx, [](ObjectId o) { return make_read_value_rmw(o); },
+        [](ObjectId) { return metrics::StorageFootprint{}; });
+  }
+
+  void start_update_round(sim::SimContext& ctx) {
+    const TimeStamp ts = ts_;
+    const TimeStamp sts = observed_sts_;
+    const uint32_t cap = p_.vp_capacity();
+    const bool replicas = p_.opts.enable_replica_path;
+    const uint32_t k = p_.cfg.k;
+
+    // The full replica is the k systematic pieces (Algorithm 3, line 38).
+    std::vector<Chunk> replica;
+    replica.reserve(k);
+    for (uint32_t j = 0; j < k; ++j) {
+      replica.push_back(Chunk{ts, writeset_[j]});
+    }
+
+    start_round(
+        ctx,
+        [=, this](ObjectId o) -> sim::RmwFn {
+          const Chunk piece{ts, writeset_[o.value]};
+          return [=](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+            auto& st = as_register_state(s);
+            // Line 33: a newer write already committed here; do nothing.
+            if (ts <= st.stored_ts) {
+              return make_response(AckResponse{o, st.stored_ts});
+            }
+            if (st.vp.size() < cap) {
+              // Line 36: trim pieces superseded by the observed watermark
+              // and store my piece.
+              std::erase_if(st.vp,
+                            [&](const Chunk& c) { return c.ts < sts; });
+              st.vp.push_back(piece);
+            } else if (replicas) {
+              // Line 37-38: Vp is full — store a complete replica if ours
+              // is newer than the one present.
+              const bool replace = st.vf.empty() || max_ts(st.vf) < ts;
+              if (replace) st.vf = replica;
+            }
+            // Line 39: propagate the watermark.
+            st.stored_ts = std::max(st.stored_ts, sts);
+            return make_response(AckResponse{o, st.stored_ts});
+          };
+        },
+        [&](ObjectId o) {
+          metrics::StorageFootprint fp;
+          fp.add(writeset_[o.value]);  // the Vp piece for this object
+          if (replicas) {
+            for (uint32_t j = 0; j < k; ++j) fp.add(writeset_[j]);
+          }
+          return fp;
+        });
+  }
+
+  void start_gc_round(sim::SimContext& ctx) {
+    const TimeStamp ts = ts_;
+    start_round(
+        ctx,
+        [=, this](ObjectId o) -> sim::RmwFn {
+          const Chunk piece{ts, writeset_[o.value]};
+          return [=](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+            auto& st = as_register_state(s);
+            // Lines 41-42: keep only chunks at least as new as my write.
+            std::erase_if(st.vp, [&](const Chunk& c) { return c.ts < ts; });
+            std::erase_if(st.vf, [&](const Chunk& c) { return c.ts < ts; });
+            // Lines 43-44: replace an own full replica by a single piece.
+            const bool mine = std::any_of(
+                st.vf.begin(), st.vf.end(),
+                [&](const Chunk& c) { return c.ts == ts; });
+            if (mine) st.vf = {piece};
+            // Line 45.
+            st.stored_ts = std::max(st.stored_ts, ts);
+            return make_response(AckResponse{o, st.stored_ts});
+          };
+        },
+        [&](ObjectId o) {
+          metrics::StorageFootprint fp;
+          fp.add(writeset_[o.value]);
+          return fp;
+        });
+  }
+
+  /// Algorithm 2 lines 18-21: the highest timestamp >= storedTS with at
+  /// least k distinct pieces, decoded.
+  std::optional<Value> try_decode(
+      const std::vector<sim::ResponsePtr>& responses) {
+    const TimeStamp watermark = max_stored_ts(responses);
+    const std::vector<Chunk> read_set = merge_chunks(responses);
+    std::optional<TimeStamp> best;
+    for (const Chunk& c : read_set) {
+      if (c.ts < watermark) continue;
+      if (best.has_value() && c.ts <= *best) continue;
+      if (distinct_indices_at(read_set, c.ts) >= p_.cfg.k) best = c.ts;
+    }
+    if (!best.has_value()) return std::nullopt;
+    return p_.codec->decode(blocks_at(read_set, *best));
+  }
+
+  ClientId self_;
+  AdaptiveParams p_;
+  Phase phase_ = Phase::kIdle;
+  OpId op_;
+  std::vector<codec::TaggedBlock> writeset_;
+  TimeStamp ts_;
+  TimeStamp observed_sts_;
+  uint32_t read_rounds_ = 0;
+};
+
+class AdaptiveAlgorithm final : public RegisterAlgorithm {
+ public:
+  AdaptiveAlgorithm(const RegisterConfig& cfg, AdaptiveOptions opts) {
+    cfg.validate_coded();
+    params_.cfg = cfg;
+    params_.opts = opts;
+    params_.codec = codec::make_codec(cfg.k == 1 ? "replication" : "rs",
+                                      cfg.n, cfg.k, cfg.data_bits);
+  }
+
+  std::string name() const override {
+    std::string n = "adaptive(" + params_.codec->name() + ")";
+    if (!params_.opts.enable_replica_path) n += "[no-replica]";
+    if (params_.opts.vp_unbounded) n += "[vp-unbounded]";
+    return n;
+  }
+
+  const RegisterConfig& config() const override { return params_.cfg; }
+  codec::CodecPtr codec() const override { return params_.codec; }
+
+  sim::ObjectFactory object_factory() const override {
+    auto params = params_;
+    return [params](ObjectId o) -> std::unique_ptr<sim::ObjectStateBase> {
+      auto st = std::make_unique<RegisterObjectState>();
+      // Initialization (Algorithm 1, line 9): bo_i holds the i-th piece of
+      // v0 with the zero timestamp, sourced from the fictitious write op0.
+      const Value v0 = Value::initial(params.cfg.data_bits);
+      codec::EncoderOracle oracle(params.codec, OpId::none(), v0);
+      st->vp.push_back(Chunk{TimeStamp::zero(), oracle.get(o.value + 1)});
+      return st;
+    };
+  }
+
+  sim::ClientFactory client_factory() const override {
+    auto params = params_;
+    return [params](ClientId c) -> std::unique_ptr<sim::ClientProtocol> {
+      return std::make_unique<AdaptiveClient>(c, params);
+    };
+  }
+
+ private:
+  AdaptiveParams params_;
+};
+
+}  // namespace
+
+void RegisterConfig::validate_coded() const {
+  SBRS_CHECK_MSG(k >= 1, "k >= 1 required");
+  SBRS_CHECK_MSG(n == 2 * f + k, "coded algorithms require n == 2f + k");
+  SBRS_CHECK_MSG(2 * f < n, "f < n/2 required");
+  SBRS_CHECK_MSG(data_bits >= 8 && data_bits % 8 == 0,
+                 "data_bits must be a positive multiple of 8");
+}
+
+void RegisterConfig::validate_replicated() const {
+  SBRS_CHECK_MSG(n >= 2 * f + 1, "replication requires n >= 2f + 1");
+  SBRS_CHECK_MSG(data_bits >= 8 && data_bits % 8 == 0,
+                 "data_bits must be a positive multiple of 8");
+}
+
+std::unique_ptr<RegisterAlgorithm> make_adaptive(const RegisterConfig& cfg,
+                                                 AdaptiveOptions opts) {
+  return std::make_unique<AdaptiveAlgorithm>(cfg, opts);
+}
+
+}  // namespace sbrs::registers

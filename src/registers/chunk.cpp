@@ -1,0 +1,32 @@
+#include "registers/chunk.h"
+
+#include <set>
+
+namespace sbrs::registers {
+
+size_t distinct_indices_at(const std::vector<Chunk>& chunks, TimeStamp ts) {
+  std::set<uint32_t> indices;
+  for (const Chunk& c : chunks) {
+    if (c.ts == ts) indices.insert(c.index());
+  }
+  return indices.size();
+}
+
+std::vector<codec::Block> blocks_at(const std::vector<Chunk>& chunks,
+                                    TimeStamp ts) {
+  std::vector<codec::Block> out;
+  for (const Chunk& c : chunks) {
+    if (c.ts == ts) out.push_back(c.block.block);
+  }
+  return out;
+}
+
+TimeStamp max_ts(const std::vector<Chunk>& chunks) {
+  TimeStamp best = TimeStamp::zero();
+  for (const Chunk& c : chunks) {
+    if (best < c.ts) best = c.ts;
+  }
+  return best;
+}
+
+}  // namespace sbrs::registers

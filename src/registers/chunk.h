@@ -1,0 +1,33 @@
+// Chunks: timestamped code blocks — the unit every register algorithm in
+// the paper stores at base objects (Algorithm 1: Chunks = Pieces x
+// TimeStamps). The timestamp is metadata (free); only the block's bits count
+// toward storage cost.
+#pragma once
+
+#include <vector>
+
+#include "codec/oracle.h"
+#include "common/timestamp.h"
+
+namespace sbrs::registers {
+
+struct Chunk {
+  TimeStamp ts;
+  codec::TaggedBlock block;
+
+  uint32_t index() const { return block.block.index; }
+  uint64_t bits() const { return block.bit_size(); }
+};
+
+/// Number of distinct block indices among chunks carrying timestamp `ts`.
+/// This is the decodability test of Algorithm 2 line 18.
+size_t distinct_indices_at(const std::vector<Chunk>& chunks, TimeStamp ts);
+
+/// Collect the blocks of all chunks with timestamp `ts` for decoding.
+std::vector<codec::Block> blocks_at(const std::vector<Chunk>& chunks,
+                                    TimeStamp ts);
+
+/// The highest timestamp present among the chunks (zero if none).
+TimeStamp max_ts(const std::vector<Chunk>& chunks);
+
+}  // namespace sbrs::registers

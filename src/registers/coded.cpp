@@ -1,0 +1,213 @@
+// Pure erasure-coded baseline, in the style of the asynchronous code-based
+// algorithms the paper cites ([5, 9, 6, 8]).
+//
+// Writes are three rounds: read-timestamp, store (each object keeps the new
+// piece *in addition to* all pieces not yet superseded by a committed
+// write), and commit (raise the storedTS watermark, letting objects drop
+// older pieces). Reads loop readValue rounds until a timestamp at or above
+// the watermark has k decodable pieces (FW-termination), exactly like the
+// adaptive algorithm's reads.
+//
+// The point of this baseline is its storage profile: because coded pieces
+// of an unfinished write cannot be garbage-collected (no single object can
+// reconstruct the value, so deleting early would lose it), every concurrent
+// write parks one piece per object, and the storage grows as
+// Theta(c * n * D / k) = Theta(c * D) for k ~ f — the O(cD) behaviour the
+// paper's introduction attributes to existing code-based algorithms, and
+// which Theorem 1 shows is unavoidable without falling back to replication.
+#include <algorithm>
+#include <optional>
+
+#include "codec/codec.h"
+#include "common/check.h"
+#include "registers/register_algorithm.h"
+#include "registers/round_client.h"
+#include "registers/rmw_ops.h"
+
+namespace sbrs::registers {
+
+namespace {
+
+struct CodedParams {
+  RegisterConfig cfg;
+  codec::CodecPtr codec;
+};
+
+class CodedClient final : public RoundClient {
+ public:
+  CodedClient(ClientId self, CodedParams params)
+      : RoundClient(params.cfg.n, params.cfg.f),
+        self_(self),
+        p_(std::move(params)) {}
+
+  void on_invoke(const sim::Invocation& inv, sim::SimContext& ctx) override {
+    SBRS_CHECK(phase_ == Phase::kIdle);
+    op_ = inv.op;
+    if (inv.kind == sim::OpKind::kWrite) {
+      codec::EncoderOracle oracle(p_.codec, inv.op, inv.value);
+      writeset_ = oracle.get_all();
+      phase_ = Phase::kWriteReadTs;
+    } else {
+      phase_ = Phase::kReadLoop;
+    }
+    start_read_value_round(ctx);
+  }
+
+ protected:
+  void on_quorum(uint64_t /*round*/,
+                 const std::vector<sim::ResponsePtr>& responses,
+                 sim::SimContext& ctx) override {
+    switch (phase_) {
+      case Phase::kWriteReadTs: {
+        ts_ = TimeStamp{max_ts_num(responses) + 1, self_};
+        phase_ = Phase::kWriteStore;
+        start_store_round(ctx);
+        break;
+      }
+      case Phase::kWriteStore: {
+        phase_ = Phase::kWriteCommit;
+        start_commit_round(ctx);
+        break;
+      }
+      case Phase::kWriteCommit: {
+        phase_ = Phase::kIdle;
+        writeset_.clear();
+        ctx.complete(op_, std::nullopt);
+        break;
+      }
+      case Phase::kReadLoop: {
+        if (auto v = try_decode(responses)) {
+          phase_ = Phase::kIdle;
+          ctx.complete(op_, std::move(v));
+        } else {
+          start_read_value_round(ctx);
+        }
+        break;
+      }
+      case Phase::kIdle:
+        SBRS_CHECK_MSG(false, "quorum while idle");
+    }
+  }
+
+ private:
+  enum class Phase {
+    kIdle,
+    kWriteReadTs,
+    kWriteStore,
+    kWriteCommit,
+    kReadLoop
+  };
+
+  void start_read_value_round(sim::SimContext& ctx) {
+    start_round(
+        ctx, [](ObjectId o) { return make_read_value_rmw(o); },
+        [](ObjectId) { return metrics::StorageFootprint{}; });
+  }
+
+  void start_store_round(sim::SimContext& ctx) {
+    const TimeStamp ts = ts_;
+    start_round(
+        ctx,
+        [=, this](ObjectId o) -> sim::RmwFn {
+          const Chunk piece{ts, writeset_[o.value]};
+          return [piece, o](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+            auto& st = as_register_state(s);
+            // Keep every piece not superseded by a *committed* write —
+            // coded pieces of outstanding writes cannot be dropped safely.
+            std::erase_if(st.vp, [&](const Chunk& c) {
+              return c.ts < st.stored_ts;
+            });
+            if (!(piece.ts < st.stored_ts)) st.vp.push_back(piece);
+            return make_response(AckResponse{o, st.stored_ts});
+          };
+        },
+        [&](ObjectId o) {
+          metrics::StorageFootprint fp;
+          fp.add(writeset_[o.value]);
+          return fp;
+        });
+  }
+
+  void start_commit_round(sim::SimContext& ctx) {
+    const TimeStamp ts = ts_;
+    start_round(
+        ctx,
+        [=](ObjectId o) -> sim::RmwFn {
+          return [ts, o](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+            auto& st = as_register_state(s);
+            st.stored_ts = std::max(st.stored_ts, ts);
+            std::erase_if(st.vp, [&](const Chunk& c) {
+              return c.ts < st.stored_ts;
+            });
+            return make_response(AckResponse{o, st.stored_ts});
+          };
+        },
+        [](ObjectId) { return metrics::StorageFootprint{}; });
+  }
+
+  std::optional<Value> try_decode(
+      const std::vector<sim::ResponsePtr>& responses) {
+    const TimeStamp watermark = max_stored_ts(responses);
+    const std::vector<Chunk> read_set = merge_chunks(responses);
+    std::optional<TimeStamp> best;
+    for (const Chunk& c : read_set) {
+      if (c.ts < watermark) continue;
+      if (best.has_value() && c.ts <= *best) continue;
+      if (distinct_indices_at(read_set, c.ts) >= p_.cfg.k) best = c.ts;
+    }
+    if (!best.has_value()) return std::nullopt;
+    return p_.codec->decode(blocks_at(read_set, *best));
+  }
+
+  ClientId self_;
+  CodedParams p_;
+  Phase phase_ = Phase::kIdle;
+  OpId op_;
+  std::vector<codec::TaggedBlock> writeset_;
+  TimeStamp ts_;
+};
+
+class CodedAlgorithm final : public RegisterAlgorithm {
+ public:
+  explicit CodedAlgorithm(const RegisterConfig& cfg) {
+    cfg.validate_coded();
+    params_.cfg = cfg;
+    params_.codec = codec::make_codec(cfg.k == 1 ? "replication" : "rs",
+                                      cfg.n, cfg.k, cfg.data_bits);
+  }
+
+  std::string name() const override {
+    return "coded(" + params_.codec->name() + ")";
+  }
+  const RegisterConfig& config() const override { return params_.cfg; }
+  codec::CodecPtr codec() const override { return params_.codec; }
+
+  sim::ObjectFactory object_factory() const override {
+    auto params = params_;
+    return [params](ObjectId o) -> std::unique_ptr<sim::ObjectStateBase> {
+      auto st = std::make_unique<RegisterObjectState>();
+      const Value v0 = Value::initial(params.cfg.data_bits);
+      codec::EncoderOracle oracle(params.codec, OpId::none(), v0);
+      st->vp.push_back(Chunk{TimeStamp::zero(), oracle.get(o.value + 1)});
+      return st;
+    };
+  }
+
+  sim::ClientFactory client_factory() const override {
+    auto params = params_;
+    return [params](ClientId c) -> std::unique_ptr<sim::ClientProtocol> {
+      return std::make_unique<CodedClient>(c, params);
+    };
+  }
+
+ private:
+  CodedParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<RegisterAlgorithm> make_coded(const RegisterConfig& cfg) {
+  return std::make_unique<CodedAlgorithm>(cfg);
+}
+
+}  // namespace sbrs::registers

@@ -1,0 +1,43 @@
+// RMW response payloads used by the register algorithms.
+#pragma once
+
+#include <memory>
+
+#include "registers/chunk.h"
+#include "sim/types.h"
+
+namespace sbrs::registers {
+
+/// Response of a readValue() RMW (Algorithm 3 lines 23-31): a copy of the
+/// object's chunks and its storedTS watermark.
+struct ReadValueResponse {
+  ObjectId from;
+  TimeStamp stored_ts;
+  std::vector<Chunk> vp;
+  std::vector<Chunk> vf;
+
+  std::vector<Chunk> all_chunks() const {
+    std::vector<Chunk> out = vp;
+    out.insert(out.end(), vf.begin(), vf.end());
+    return out;
+  }
+};
+
+/// Response of an update / GC / commit RMW: a plain acknowledgement
+/// carrying the object's (post-RMW) watermark.
+struct AckResponse {
+  ObjectId from;
+  TimeStamp stored_ts;
+};
+
+template <typename T>
+sim::ResponsePtr make_response(T value) {
+  return std::make_shared<const T>(std::move(value));
+}
+
+template <typename T>
+const T* response_as(const sim::ResponsePtr& p) {
+  return static_cast<const T*>(p.get());
+}
+
+}  // namespace sbrs::registers

@@ -1,0 +1,13 @@
+#include "registers/object_state.h"
+
+#include "common/check.h"
+
+namespace sbrs::registers {
+
+RegisterObjectState& as_register_state(sim::ObjectStateBase& s) {
+  auto* cast = dynamic_cast<RegisterObjectState*>(&s);
+  SBRS_CHECK_MSG(cast != nullptr, "object state is not RegisterObjectState");
+  return *cast;
+}
+
+}  // namespace sbrs::registers

@@ -1,0 +1,44 @@
+// The base-object state shared by all four register algorithms:
+//
+//   bo_i = < storedTS, Vp, Vf >     (Algorithm 1, line 8)
+//
+// - Vp holds timestamped code *pieces* (possibly of several writes);
+// - Vf holds a timestamped full replica represented as up to k pieces;
+// - storedTS is the commit watermark used to garbage-collect stale pieces.
+//
+// ABD uses only Vf (one full value), the safe and coded registers only Vp.
+#pragma once
+
+#include "metrics/footprint.h"
+#include "registers/chunk.h"
+#include "sim/types.h"
+
+namespace sbrs::registers {
+
+class RegisterObjectState final : public sim::ObjectStateBase {
+ public:
+  TimeStamp stored_ts = TimeStamp::zero();
+  std::vector<Chunk> vp;
+  std::vector<Chunk> vf;
+
+  metrics::StorageFootprint footprint() const override {
+    metrics::StorageFootprint fp;
+    for (const Chunk& c : vp) fp.add(c.block);
+    for (const Chunk& c : vf) fp.add(c.block);
+    return fp;
+  }
+
+  /// All chunks (Vp u Vf), as sampled by readValue().
+  std::vector<Chunk> all_chunks() const {
+    std::vector<Chunk> out = vp;
+    out.insert(out.end(), vf.begin(), vf.end());
+    return out;
+  }
+
+  uint64_t stored_bits() const { return footprint().total_bits(); }
+};
+
+/// Downcast helper for RMW closures; checked.
+RegisterObjectState& as_register_state(sim::ObjectStateBase& s);
+
+}  // namespace sbrs::registers

@@ -1,0 +1,93 @@
+// The public entry point of the library: a RegisterAlgorithm bundles the
+// factories and parameters needed to emulate a MWMR register over a
+// simulated asynchronous fault-prone shared memory.
+//
+// Four algorithms are provided:
+//   - make_adaptive : the paper's contribution (Section 5, Algorithms 1-3).
+//                     Strongly regular, FW-terminating, storage
+//                     O(min(f, c) * D).
+//   - make_abd      : replication baseline (ABD [4]); k = 1, storage O(fD),
+//                     flat in concurrency.
+//   - make_coded    : pure erasure-coded baseline in the style of
+//                     [5, 9, 6, 8]; regular and FW-terminating but its
+//                     storage grows as O(cD) under write concurrency.
+//   - make_safe     : the Appendix E wait-free *safe* register; storage is
+//                     exactly n*D/k, demonstrating that the lower bound
+//                     does not apply to safe semantics.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "codec/codec.h"
+#include "sim/client.h"
+
+namespace sbrs::registers {
+
+struct RegisterConfig {
+  /// Number of base objects. Coded algorithms require n == 2f + k; ABD
+  /// requires n >= 2f + 1.
+  uint32_t n = 3;
+  /// Erasure-code dimension (1 for replication).
+  uint32_t k = 1;
+  /// Number of tolerated base-object crashes (f < n/2).
+  uint32_t f = 1;
+  /// Register value size D in bits.
+  uint64_t data_bits = 256;
+
+  void validate_coded() const;
+  void validate_replicated() const;
+};
+
+class RegisterAlgorithm {
+ public:
+  virtual ~RegisterAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+  virtual const RegisterConfig& config() const = 0;
+  virtual codec::CodecPtr codec() const = 0;
+
+  /// Factory for the base-object states (with v0 pre-stored per the
+  /// algorithm's initialization).
+  virtual sim::ObjectFactory object_factory() const = 0;
+
+  /// Factory for client protocol instances.
+  virtual sim::ClientFactory client_factory() const = 0;
+};
+
+/// Options for the adaptive algorithm; the defaults are the paper's
+/// Algorithm 2. The ablation switches realize the Corollary 2 regime: with
+/// the replica path disabled, Vp must be unbounded to preserve regularity,
+/// and storage then grows linearly with concurrency.
+struct AdaptiveOptions {
+  bool enable_replica_path = true;
+  /// Maximum pieces kept in Vp; the paper uses k. 0 means unbounded.
+  uint32_t vp_capacity_override = 0;
+  bool vp_unbounded = false;
+};
+
+std::unique_ptr<RegisterAlgorithm> make_adaptive(const RegisterConfig& cfg,
+                                                 AdaptiveOptions opts = {});
+
+/// ABD options: enabling write_back upgrades reads to write-back reads
+/// (classic atomic ABD); off by default, matching the paper's remark that
+/// strong regularity holds when readers do not change the storage.
+struct AbdOptions {
+  bool write_back = false;
+};
+
+std::unique_ptr<RegisterAlgorithm> make_abd(const RegisterConfig& cfg,
+                                            AbdOptions opts = {});
+
+std::unique_ptr<RegisterAlgorithm> make_coded(const RegisterConfig& cfg);
+
+/// The coded baseline upgraded to atomicity via reader write-back (in the
+/// spirit of coded atomic storage [6]): reads re-store the pieces of the
+/// value they return and commit its timestamp before returning. Same
+/// O(cD) storage class as make_coded.
+std::unique_ptr<RegisterAlgorithm> make_coded_atomic(
+    const RegisterConfig& cfg);
+
+std::unique_ptr<RegisterAlgorithm> make_safe(const RegisterConfig& cfg);
+
+}  // namespace sbrs::registers

@@ -1,0 +1,47 @@
+#include "registers/rmw_ops.h"
+
+namespace sbrs::registers {
+
+sim::RmwFn make_read_value_rmw(ObjectId from) {
+  return [from](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+    auto& st = as_register_state(s);
+    ReadValueResponse r;
+    r.from = from;
+    r.stored_ts = st.stored_ts;
+    r.vp = st.vp;
+    r.vf = st.vf;
+    return make_response(std::move(r));
+  };
+}
+
+uint64_t max_ts_num(const std::vector<sim::ResponsePtr>& responses) {
+  uint64_t best = 0;
+  for (const auto& rp : responses) {
+    const auto* r = response_as<ReadValueResponse>(rp);
+    best = std::max(best, r->stored_ts.num);
+    for (const Chunk& c : r->vp) best = std::max(best, c.ts.num);
+    for (const Chunk& c : r->vf) best = std::max(best, c.ts.num);
+  }
+  return best;
+}
+
+TimeStamp max_stored_ts(const std::vector<sim::ResponsePtr>& responses) {
+  TimeStamp best = TimeStamp::zero();
+  for (const auto& rp : responses) {
+    const auto* r = response_as<ReadValueResponse>(rp);
+    if (best < r->stored_ts) best = r->stored_ts;
+  }
+  return best;
+}
+
+std::vector<Chunk> merge_chunks(const std::vector<sim::ResponsePtr>& responses) {
+  std::vector<Chunk> out;
+  for (const auto& rp : responses) {
+    const auto* r = response_as<ReadValueResponse>(rp);
+    out.insert(out.end(), r->vp.begin(), r->vp.end());
+    out.insert(out.end(), r->vf.begin(), r->vf.end());
+  }
+  return out;
+}
+
+}  // namespace sbrs::registers

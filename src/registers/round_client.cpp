@@ -1,0 +1,41 @@
+#include "registers/round_client.h"
+
+namespace sbrs::registers {
+
+uint64_t RoundClient::start_round(
+    sim::SimContext& ctx, const std::function<sim::RmwFn(ObjectId)>& fn_for,
+    const std::function<metrics::StorageFootprint(ObjectId)>& footprint_for) {
+  SBRS_CHECK_MSG(!round_active_, "round already in flight");
+  const uint64_t round = next_round_++;
+  active_round_ = round;
+  round_active_ = true;
+  collected_.clear();
+  for (uint32_t i = 0; i < ctx.num_objects(); ++i) {
+    const ObjectId target{i};
+    RmwId id = ctx.trigger(target, fn_for(target), footprint_for(target));
+    rmw_round_[id] = round;
+  }
+  return round;
+}
+
+void RoundClient::on_response(RmwId rmw, sim::ResponsePtr response,
+                              sim::SimContext& ctx) {
+  auto it = rmw_round_.find(rmw);
+  if (it == rmw_round_.end()) return;  // not ours / already forgotten
+  const uint64_t round = it->second;
+  rmw_round_.erase(it);
+  if (!round_active_ || round != active_round_) {
+    return;  // stale response of a finished round; effect already applied
+  }
+  collected_.push_back(std::move(response));
+  if (collected_.size() < quorum()) return;
+
+  // Quorum reached: close the round *before* the callback so the subclass
+  // can immediately start the next round or complete the operation.
+  round_active_ = false;
+  std::vector<sim::ResponsePtr> responses;
+  responses.swap(collected_);
+  on_quorum(round, responses, ctx);
+}
+
+}  // namespace sbrs::registers

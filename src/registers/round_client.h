@@ -1,0 +1,61 @@
+// Round-based client skeleton.
+//
+// Every algorithm in the paper follows the same communication pattern: "at
+// each round, the client invokes RMWs on all base objects in parallel, and
+// awaits responses from at least n - f base objects" (Section 5). This base
+// class owns that pattern: subclasses start rounds and receive an
+// on_quorum() callback once n - f responses arrive. Late responses of a
+// finished round are ignored by the client, but their RMWs still took
+// effect on the objects — exactly as in the paper's model.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "registers/messages.h"
+#include "sim/client.h"
+
+namespace sbrs::registers {
+
+class RoundClient : public sim::ClientProtocol {
+ public:
+  RoundClient(uint32_t n, uint32_t f) : n_(n), f_(f) {
+    SBRS_CHECK_MSG(2 * f < n, "need f < n/2 (paper Section 2)");
+  }
+
+  void on_response(RmwId rmw, sim::ResponsePtr response,
+                   sim::SimContext& ctx) final;
+
+ protected:
+  /// Broadcast one RMW per base object; fn_for(i)/footprint_for(i) build the
+  /// closure and declared channel payload for object i. Returns the round
+  /// number. Only one round may be in flight per client (operations are
+  /// sequential and rounds within an operation are sequential).
+  uint64_t start_round(
+      sim::SimContext& ctx,
+      const std::function<sim::RmwFn(ObjectId)>& fn_for,
+      const std::function<metrics::StorageFootprint(ObjectId)>& footprint_for);
+
+  /// Called once the round's quorum (n - f responses) is reached.
+  virtual void on_quorum(uint64_t round,
+                         const std::vector<sim::ResponsePtr>& responses,
+                         sim::SimContext& ctx) = 0;
+
+  uint32_t n() const { return n_; }
+  uint32_t f() const { return f_; }
+  uint32_t quorum() const { return n_ - f_; }
+  bool round_in_flight() const { return round_active_; }
+
+ private:
+  uint32_t n_;
+  uint32_t f_;
+  uint64_t next_round_ = 1;
+  uint64_t active_round_ = 0;
+  bool round_active_ = false;
+  std::map<RmwId, uint64_t> rmw_round_;
+  std::vector<sim::ResponsePtr> collected_;
+};
+
+}  // namespace sbrs::registers

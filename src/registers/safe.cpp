@@ -1,0 +1,172 @@
+// The Appendix E safe register: wait-free, storage exactly n * D / k.
+//
+// Each base object stores exactly one timestamped piece. A write is two
+// rounds (read timestamps, conditionally overwrite); a read is a single
+// round that decodes if some timestamp has k distinct pieces in the quorum,
+// and otherwise returns v0 — which is allowed by (strongly) safe semantics
+// because in that case a write is necessarily concurrent with the read.
+//
+// This algorithm shows the lower bound of Theorem 1 is specific to regular
+// semantics: with safety only, nD/k = (2f/k + 1) D bits always suffice.
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "codec/codec.h"
+#include "common/check.h"
+#include "registers/register_algorithm.h"
+#include "registers/round_client.h"
+#include "registers/rmw_ops.h"
+
+namespace sbrs::registers {
+
+namespace {
+
+struct SafeParams {
+  RegisterConfig cfg;
+  codec::CodecPtr codec;
+};
+
+class SafeClient final : public RoundClient {
+ public:
+  SafeClient(ClientId self, SafeParams params)
+      : RoundClient(params.cfg.n, params.cfg.f),
+        self_(self),
+        p_(std::move(params)) {}
+
+  void on_invoke(const sim::Invocation& inv, sim::SimContext& ctx) override {
+    SBRS_CHECK(phase_ == Phase::kIdle);
+    op_ = inv.op;
+    if (inv.kind == sim::OpKind::kWrite) {
+      codec::EncoderOracle oracle(p_.codec, inv.op, inv.value);
+      writeset_ = oracle.get_all();
+      phase_ = Phase::kWriteReadTs;
+    } else {
+      phase_ = Phase::kRead;
+    }
+    start_round(
+        ctx, [](ObjectId o) { return make_read_value_rmw(o); },
+        [](ObjectId) { return metrics::StorageFootprint{}; });
+  }
+
+ protected:
+  void on_quorum(uint64_t /*round*/,
+                 const std::vector<sim::ResponsePtr>& responses,
+                 sim::SimContext& ctx) override {
+    switch (phase_) {
+      case Phase::kWriteReadTs: {
+        const TimeStamp ts{max_ts_num(responses) + 1, self_};
+        phase_ = Phase::kWriteStore;
+        start_store_round(ctx, ts);
+        break;
+      }
+      case Phase::kWriteStore: {
+        phase_ = Phase::kIdle;
+        writeset_.clear();
+        ctx.complete(op_, std::nullopt);
+        break;
+      }
+      case Phase::kRead: {
+        phase_ = Phase::kIdle;
+        ctx.complete(op_, decode_or_v0(responses));
+        break;
+      }
+      case Phase::kIdle:
+        SBRS_CHECK_MSG(false, "quorum while idle");
+    }
+  }
+
+ private:
+  enum class Phase { kIdle, kWriteReadTs, kWriteStore, kRead };
+
+  void start_store_round(sim::SimContext& ctx, TimeStamp ts) {
+    start_round(
+        ctx,
+        [=, this](ObjectId o) -> sim::RmwFn {
+          const Chunk piece{ts, writeset_[o.value]};
+          return [piece, o](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+            auto& st = as_register_state(s);
+            // Algorithm 5 lines 10-12: overwrite only with a newer ts. The
+            // object stores exactly one piece at all times.
+            if (st.stored_ts < piece.ts) {
+              st.stored_ts = piece.ts;
+              st.vp = {piece};
+            }
+            return make_response(AckResponse{o, st.stored_ts});
+          };
+        },
+        [&](ObjectId o) {
+          metrics::StorageFootprint fp;
+          fp.add(writeset_[o.value]);
+          return fp;
+        });
+  }
+
+  /// Algorithm 5 lines 15-18: decode if any timestamp has k pieces in the
+  /// quorum, else return v0 (legal: a write must be concurrent).
+  Value decode_or_v0(const std::vector<sim::ResponsePtr>& responses) {
+    const std::vector<Chunk> read_set = merge_chunks(responses);
+    std::optional<TimeStamp> best;
+    for (const Chunk& c : read_set) {
+      if (best.has_value() && c.ts <= *best) continue;
+      if (distinct_indices_at(read_set, c.ts) >= p_.cfg.k) best = c.ts;
+    }
+    if (best.has_value()) {
+      auto v = p_.codec->decode(blocks_at(read_set, *best));
+      if (v.has_value()) return *v;
+    }
+    return Value::initial(p_.cfg.data_bits);
+  }
+
+  ClientId self_;
+  SafeParams p_;
+  Phase phase_ = Phase::kIdle;
+  OpId op_;
+  std::vector<codec::TaggedBlock> writeset_;
+};
+
+class SafeAlgorithm final : public RegisterAlgorithm {
+ public:
+  explicit SafeAlgorithm(const RegisterConfig& cfg) {
+    cfg.validate_coded();
+    params_.cfg = cfg;
+    params_.codec = codec::make_codec(cfg.k == 1 ? "replication" : "rs",
+                                      cfg.n, cfg.k, cfg.data_bits);
+  }
+
+  std::string name() const override {
+    return "safe(" + params_.codec->name() + ")";
+  }
+  const RegisterConfig& config() const override { return params_.cfg; }
+  codec::CodecPtr codec() const override { return params_.codec; }
+
+  sim::ObjectFactory object_factory() const override {
+    auto params = params_;
+    return [params](ObjectId o) -> std::unique_ptr<sim::ObjectStateBase> {
+      auto st = std::make_unique<RegisterObjectState>();
+      const Value v0 = Value::initial(params.cfg.data_bits);
+      codec::EncoderOracle oracle(params.codec, OpId::none(), v0);
+      st->vp.push_back(Chunk{TimeStamp::zero(), oracle.get(o.value + 1)});
+      return st;
+    };
+  }
+
+  sim::ClientFactory client_factory() const override {
+    auto params = params_;
+    return [params](ClientId c) -> std::unique_ptr<sim::ClientProtocol> {
+      return std::make_unique<SafeClient>(c, params);
+    };
+  }
+
+ private:
+  SafeParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<RegisterAlgorithm> make_safe(const RegisterConfig& cfg) {
+  return std::make_unique<SafeAlgorithm>(cfg);
+}
+
+}  // namespace sbrs::registers

@@ -1,0 +1,113 @@
+#include "sim/history.h"
+
+#include "common/check.h"
+
+namespace sbrs::sim {
+
+void History::record_invoke(uint64_t time, const Invocation& inv) {
+  SBRS_CHECK_MSG(by_op_.find(inv.op) == by_op_.end(),
+                 "duplicate invoke for " << inv.op);
+  HistoryEvent ev;
+  ev.kind = HistoryEvent::Kind::kInvoke;
+  ev.time = time;
+  ev.op = inv.op;
+  ev.client = inv.client;
+  ev.op_kind = inv.kind;
+  if (inv.kind == OpKind::kWrite) ev.value = inv.value;
+  events_.push_back(ev);
+
+  OpRecord rec;
+  rec.op = inv.op;
+  rec.client = inv.client;
+  rec.kind = inv.kind;
+  rec.invoke_time = time;
+  if (inv.kind == OpKind::kWrite) rec.value = inv.value;
+  by_op_.emplace(inv.op, rec);
+  order_.push_back(inv.op);
+}
+
+void History::record_return(uint64_t time, OpId op,
+                            const std::optional<Value>& result) {
+  auto it = by_op_.find(op);
+  SBRS_CHECK_MSG(it != by_op_.end(), "return for unknown " << op);
+  SBRS_CHECK_MSG(!it->second.return_time.has_value(),
+                 "duplicate return for " << op);
+  it->second.return_time = time;
+  if (it->second.kind == OpKind::kRead && result.has_value()) {
+    it->second.value = *result;
+  }
+  ++returns_;
+
+  HistoryEvent ev;
+  ev.kind = HistoryEvent::Kind::kReturn;
+  ev.time = time;
+  ev.op = op;
+  ev.client = it->second.client;
+  ev.op_kind = it->second.kind;
+  if (it->second.kind == OpKind::kRead && result.has_value()) {
+    ev.value = *result;
+  }
+  events_.push_back(ev);
+}
+
+std::vector<OpRecord> History::ops() const {
+  std::vector<OpRecord> out;
+  out.reserve(order_.size());
+  for (OpId id : order_) out.push_back(by_op_.at(id));
+  return out;
+}
+
+std::vector<OpRecord> History::writes() const {
+  std::vector<OpRecord> out;
+  for (OpId id : order_) {
+    const auto& rec = by_op_.at(id);
+    if (rec.kind == OpKind::kWrite) out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<OpRecord> History::reads() const {
+  std::vector<OpRecord> out;
+  for (OpId id : order_) {
+    const auto& rec = by_op_.at(id);
+    if (rec.kind == OpKind::kRead) out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<OpRecord> History::outstanding() const {
+  std::vector<OpRecord> out;
+  for (OpId id : order_) {
+    const auto& rec = by_op_.at(id);
+    if (!rec.complete()) out.push_back(rec);
+  }
+  return out;
+}
+
+bool History::is_outstanding(OpId op) const {
+  auto it = by_op_.find(op);
+  return it != by_op_.end() && !it->second.complete();
+}
+
+const OpRecord* History::find(OpId op) const {
+  auto it = by_op_.find(op);
+  return it == by_op_.end() ? nullptr : &it->second;
+}
+
+size_t History::completed_writes() const {
+  size_t n = 0;
+  for (const auto& [id, rec] : by_op_) {
+    if (rec.kind == OpKind::kWrite && rec.complete()) ++n;
+  }
+  return n;
+}
+
+size_t History::completed_reads() const {
+  size_t n = 0;
+  for (const auto& [id, rec] : by_op_) {
+    if (rec.kind == OpKind::kRead && rec.complete()) ++n;
+  }
+  return n;
+}
+
+}  // namespace sbrs::sim

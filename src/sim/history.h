@@ -1,0 +1,72 @@
+// Run histories: the trace(r) of the paper's formalism — the subsequence of
+// operation invocations and returns. Consumed by the consistency checkers
+// and by the adversary (to know which writes are outstanding).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/value.h"
+#include "sim/types.h"
+
+namespace sbrs::sim {
+
+struct HistoryEvent {
+  enum class Kind { kInvoke, kReturn };
+  Kind kind;
+  uint64_t time = 0;
+  OpId op;
+  ClientId client;
+  OpKind op_kind = OpKind::kRead;
+  /// For write invokes: the written value. For read returns: the returned
+  /// value. Empty otherwise.
+  Value value;
+};
+
+/// Summary of one operation assembled from its invoke/return events.
+struct OpRecord {
+  OpId op;
+  ClientId client;
+  OpKind kind = OpKind::kRead;
+  uint64_t invoke_time = 0;
+  std::optional<uint64_t> return_time;
+  /// Written value (writes) / returned value (completed reads).
+  Value value;
+
+  bool complete() const { return return_time.has_value(); }
+};
+
+class History {
+ public:
+  void record_invoke(uint64_t time, const Invocation& inv);
+  void record_return(uint64_t time, OpId op, const std::optional<Value>& result);
+
+  const std::vector<HistoryEvent>& events() const { return events_; }
+
+  /// All operations, in invocation order.
+  std::vector<OpRecord> ops() const;
+  std::vector<OpRecord> writes() const;
+  std::vector<OpRecord> reads() const;
+
+  /// Operations invoked but not returned.
+  std::vector<OpRecord> outstanding() const;
+
+  bool is_outstanding(OpId op) const;
+  const OpRecord* find(OpId op) const;
+
+  size_t invoke_count() const { return by_op_.size(); }
+  size_t return_count() const { return returns_; }
+  size_t completed_writes() const;
+  size_t completed_reads() const;
+
+ private:
+  std::vector<HistoryEvent> events_;
+  std::vector<OpId> order_;
+  std::unordered_map<OpId, OpRecord> by_op_;
+  size_t returns_ = 0;
+};
+
+}  // namespace sbrs::sim

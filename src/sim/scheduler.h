@@ -1,0 +1,72 @@
+// Scheduling: the environment/adversary of the asynchronous model.
+//
+// The scheduler is asked for the next action after every event. It fully
+// controls asynchrony: which pending RMW takes effect and responds next,
+// when clients get to invoke operations, and when crashes happen. The
+// lower-bound adversary Ad (Definition 7) is one implementation; fair
+// random/round-robin schedulers drive the liveness and consistency tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/ids.h"
+
+namespace sbrs::sim {
+
+class Simulator;
+
+struct Action {
+  enum class Kind {
+    kDeliverRmw,   // apply + respond a pending RMW
+    kInvoke,       // let a client invoke its next workload operation
+    kCrashObject,  // crash a base object
+    kCrashClient,  // crash a client
+    kStop,         // end the run (adversary reached its fixed point, etc.)
+  };
+  Kind kind = Kind::kStop;
+  RmwId rmw{};       // for kDeliverRmw
+  ClientId client{}; // for kInvoke / kCrashClient
+  ObjectId object{}; // for kCrashObject
+
+  static Action deliver(RmwId id) {
+    Action a;
+    a.kind = Kind::kDeliverRmw;
+    a.rmw = id;
+    return a;
+  }
+  static Action invoke(ClientId c) {
+    Action a;
+    a.kind = Kind::kInvoke;
+    a.client = c;
+    return a;
+  }
+  static Action crash_object(ObjectId o) {
+    Action a;
+    a.kind = Kind::kCrashObject;
+    a.object = o;
+    return a;
+  }
+  static Action crash_client(ClientId c) {
+    Action a;
+    a.kind = Kind::kCrashClient;
+    a.client = c;
+    return a;
+  }
+  static Action stop() { return Action{}; }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Choose the next action given the current simulator state. Returning
+  /// kStop ends the run. The simulator itself stops when no action is
+  /// possible (no pending RMWs, no invocable operations).
+  virtual Action next(const Simulator& sim) = 0;
+
+  /// A short reason string recorded when the scheduler stops the run.
+  virtual std::string stop_reason() const { return ""; }
+};
+
+}  // namespace sbrs::sim

@@ -1,0 +1,87 @@
+#include "sim/schedulers.h"
+
+#include "sim/simulator.h"
+
+namespace sbrs::sim {
+
+Action RandomScheduler::next(const Simulator& sim) {
+  // Crash injection first (bounded, probabilistic).
+  if (object_crashes_ < opts_.max_object_crashes &&
+      opts_.crash_object_permyriad > 0 &&
+      rng_.below(10'000) < opts_.crash_object_permyriad) {
+    // Pick a live object uniformly.
+    std::vector<ObjectId> live;
+    for (uint32_t i = 0; i < sim.num_objects(); ++i) {
+      if (sim.object_alive(ObjectId{i})) live.push_back(ObjectId{i});
+    }
+    if (!live.empty()) {
+      ++object_crashes_;
+      return Action::crash_object(live[rng_.pick_index(live)]);
+    }
+  }
+  if (client_crashes_ < opts_.max_client_crashes &&
+      opts_.crash_client_permyriad > 0 &&
+      rng_.below(10'000) < opts_.crash_client_permyriad) {
+    std::vector<ClientId> live;
+    for (uint32_t i = 0; i < sim.num_clients(); ++i) {
+      if (sim.client_alive(ClientId{i})) live.push_back(ClientId{i});
+    }
+    if (!live.empty()) {
+      ++client_crashes_;
+      return Action::crash_client(live[rng_.pick_index(live)]);
+    }
+  }
+
+  // Deliverable RMWs: those targeting live objects. RMWs to crashed objects
+  // are eventually dropped; we deliver them too (delivery = drop) so the
+  // pending queue drains, but deprioritize nothing — uniform choice.
+  const auto& pending = sim.pending();
+  const auto ready = sim.invocable_clients();
+
+  const bool can_deliver = !pending.empty();
+  const bool can_invoke = !ready.empty();
+  if (!can_deliver && !can_invoke) return Action::stop();
+
+  uint64_t w_deliver = can_deliver ? opts_.deliver_weight : 0;
+  uint64_t w_invoke = can_invoke ? opts_.invoke_weight : 0;
+  const uint64_t total = w_deliver + w_invoke;
+  if (rng_.below(total) < w_deliver) {
+    const size_t i = static_cast<size_t>(rng_.below(pending.size()));
+    return Action::deliver(pending[i].id);
+  }
+  return Action::invoke(ready[rng_.pick_index(ready)]);
+}
+
+Action RoundRobinScheduler::next(const Simulator& sim) {
+  const auto ready = sim.invocable_clients();
+  const bool invoke_turn =
+      !ready.empty() &&
+      (sim.pending().empty() || deliveries_ % invoke_every_ == 0);
+  if (invoke_turn) {
+    ++deliveries_;  // advance the interleave counter on invocations too
+    // Rotate through clients for fairness.
+    for (size_t attempt = 0; attempt < ready.size(); ++attempt) {
+      const ClientId c = ready[(next_client_ + attempt) % ready.size()];
+      next_client_ = (next_client_ + attempt + 1) %
+                     std::max<size_t>(ready.size(), 1);
+      return Action::invoke(c);
+    }
+  }
+  if (!sim.pending().empty()) {
+    ++deliveries_;
+    return Action::deliver(sim.pending().front().id);
+  }
+  if (!ready.empty()) {
+    return Action::invoke(ready.front());
+  }
+  return Action::stop();
+}
+
+Action BurstScheduler::next(const Simulator& sim) {
+  const auto ready = sim.invocable_clients();
+  if (!ready.empty()) return Action::invoke(ready.front());
+  if (!sim.pending().empty()) return Action::deliver(sim.pending().front().id);
+  return Action::stop();
+}
+
+}  // namespace sbrs::sim

@@ -1,0 +1,68 @@
+// Fair schedulers used by the liveness / consistency / storage-bound tests
+// and benches. (The unfair lower-bound adversary Ad lives in src/adversary.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/scheduler.h"
+
+namespace sbrs::sim {
+
+/// Seeded random scheduler: picks uniformly among the enabled actions
+/// (deliver a random pending RMW / invoke at a random ready client), and
+/// injects crashes according to its options. Fair with probability 1.
+class RandomScheduler final : public Scheduler {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    /// Relative weight of delivering an RMW vs invoking an operation when
+    /// both are possible. Higher delivery bias produces lower concurrency.
+    uint32_t deliver_weight = 4;
+    uint32_t invoke_weight = 1;
+    /// Crash at most this many base objects, each with probability
+    /// crash_object_percent per step (out of 10'000).
+    uint32_t max_object_crashes = 0;
+    uint32_t crash_object_permyriad = 0;
+    /// Crash at most this many clients.
+    uint32_t max_client_crashes = 0;
+    uint32_t crash_client_permyriad = 0;
+  };
+
+  explicit RandomScheduler(Options opts) : opts_(opts), rng_(opts.seed) {}
+
+  Action next(const Simulator& sim) override;
+
+ private:
+  Options opts_;
+  Rng rng_;
+  uint32_t object_crashes_ = 0;
+  uint32_t client_crashes_ = 0;
+};
+
+/// Deterministic near-synchronous scheduler: delivers pending RMWs FIFO,
+/// interleaving one invocation every `invoke_every` deliveries. With
+/// invoke_every == 1 it approximates lock-step rounds.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  explicit RoundRobinScheduler(uint32_t invoke_every = 1)
+      : invoke_every_(invoke_every == 0 ? 1 : invoke_every) {}
+
+  Action next(const Simulator& sim) override;
+
+ private:
+  uint32_t invoke_every_;
+  uint64_t deliveries_ = 0;
+  uint32_t next_client_ = 0;
+};
+
+/// Invokes everything as early as possible, then delivers FIFO. Produces
+/// maximum write concurrency; used by the storage-bound benches.
+class BurstScheduler final : public Scheduler {
+ public:
+  BurstScheduler() = default;
+  Action next(const Simulator& sim) override;
+};
+
+}  // namespace sbrs::sim

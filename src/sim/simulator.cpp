@@ -1,0 +1,252 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace sbrs::sim {
+
+/// The per-step capability object handed to clients. It queues side effects
+/// directly into the simulator; re-entrant trigger/complete calls from
+/// within on_invoke / on_response are the normal mode of operation.
+class Simulator::ContextImpl final : public SimContext {
+ public:
+  ContextImpl(Simulator& sim, ClientId self) : sim_(sim), self_(self) {}
+
+  RmwId trigger(ObjectId target, RmwFn fn,
+                metrics::StorageFootprint request_footprint) override {
+    SBRS_CHECK_MSG(target.value < sim_.config_.num_objects,
+                   "trigger on unknown object " << target);
+    PendingRmw p;
+    p.id = RmwId{sim_.next_rmw_id_++};
+    p.client = self_;
+    auto op = sim_.outstanding_[self_.value];
+    p.op = op.value_or(OpId::none());
+    p.target = target;
+    p.fn = std::move(fn);
+    p.request_footprint = std::move(request_footprint);
+    p.trigger_seq = sim_.trigger_seq_++;
+    sim_.pending_.push_back(std::move(p));
+    ++sim_.report_.rmws_triggered;
+    return sim_.pending_.back().id;
+  }
+
+  void complete(OpId op, std::optional<Value> result) override {
+    SBRS_CHECK_MSG(sim_.outstanding_[self_.value] == op,
+                   "complete for non-outstanding " << op);
+    sim_.history_.record_return(sim_.time_, op, result);
+    sim_.outstanding_[self_.value] = std::nullopt;
+    ++sim_.report_.completed_ops;
+  }
+
+  ClientId self() const override { return self_; }
+  uint32_t num_objects() const override { return sim_.config_.num_objects; }
+  uint64_t now() const override { return sim_.time_; }
+
+ private:
+  Simulator& sim_;
+  ClientId self_;
+};
+
+Simulator::Simulator(SimConfig config, ObjectFactory object_factory,
+                     ClientFactory client_factory,
+                     std::unique_ptr<Workload> workload,
+                     std::unique_ptr<Scheduler> scheduler)
+    : config_(config),
+      workload_(std::move(workload)),
+      scheduler_(std::move(scheduler)) {
+  SBRS_CHECK(config_.num_objects >= 1);
+  SBRS_CHECK(config_.num_clients >= 1);
+  SBRS_CHECK(workload_ != nullptr && scheduler_ != nullptr);
+
+  objects_.reserve(config_.num_objects);
+  for (uint32_t i = 0; i < config_.num_objects; ++i) {
+    objects_.push_back(object_factory(ObjectId{i}));
+    SBRS_CHECK(objects_.back() != nullptr);
+  }
+  object_alive_.assign(config_.num_objects, true);
+
+  clients_.reserve(config_.num_clients);
+  for (uint32_t i = 0; i < config_.num_clients; ++i) {
+    clients_.push_back(client_factory(ClientId{i}));
+    SBRS_CHECK(clients_.back() != nullptr);
+  }
+  client_alive_.assign(config_.num_clients, true);
+  outstanding_.assign(config_.num_clients, std::nullopt);
+
+  meter_ = metrics::StorageMeter(config_.sample_every);
+  observe_storage();
+}
+
+bool Simulator::object_alive(ObjectId o) const {
+  return o.value < object_alive_.size() && object_alive_[o.value];
+}
+
+bool Simulator::client_alive(ClientId c) const {
+  return c.value < client_alive_.size() && client_alive_[c.value];
+}
+
+bool Simulator::can_invoke(ClientId c) const {
+  return client_alive(c) && c.value < config_.num_clients &&
+         !outstanding_[c.value].has_value() && workload_->has_more(c);
+}
+
+std::vector<ClientId> Simulator::invocable_clients() const {
+  std::vector<ClientId> out;
+  for (uint32_t i = 0; i < config_.num_clients; ++i) {
+    if (can_invoke(ClientId{i})) out.push_back(ClientId{i});
+  }
+  return out;
+}
+
+std::optional<OpId> Simulator::outstanding_op(ClientId c) const {
+  if (c.value >= outstanding_.size()) return std::nullopt;
+  return outstanding_[c.value];
+}
+
+const ObjectStateBase& Simulator::object_state(ObjectId o) const {
+  SBRS_CHECK(o.value < objects_.size());
+  return *objects_[o.value];
+}
+
+metrics::StorageSnapshot Simulator::snapshot() const {
+  metrics::StorageSnapshot snap;
+  snap.time = time_;
+  snap.objects.reserve(objects_.size());
+  for (uint32_t i = 0; i < objects_.size(); ++i) {
+    if (!object_alive_[i] && !config_.count_crashed) continue;
+    metrics::StorageSnapshot::ObjectEntry e;
+    e.id = ObjectId{i};
+    e.alive = object_alive_[i];
+    e.footprint = objects_[i]->footprint();
+    snap.objects.push_back(std::move(e));
+  }
+  snap.clients.reserve(clients_.size());
+  for (uint32_t i = 0; i < clients_.size(); ++i) {
+    if (!client_alive_[i] && !config_.count_crashed) continue;
+    metrics::StorageSnapshot::ClientEntry e;
+    e.id = ClientId{i};
+    e.alive = client_alive_[i];
+    e.footprint = clients_[i]->footprint();
+    snap.clients.push_back(std::move(e));
+  }
+  snap.in_flight.reserve(pending_.size());
+  for (const auto& p : pending_) {
+    metrics::StorageSnapshot::InFlightEntry e;
+    e.rmw = p.id;
+    e.client = p.client;
+    e.target = p.target;
+    e.op = p.op;
+    e.footprint = p.request_footprint;
+    snap.in_flight.push_back(std::move(e));
+  }
+  return snap;
+}
+
+void Simulator::observe_storage() { meter_.observe(snapshot()); }
+
+bool Simulator::step() {
+  if (stopped_) return false;
+  if (time_ >= config_.max_steps) {
+    report_.hit_step_limit = true;
+    stopped_ = true;
+    return false;
+  }
+  // Nothing left to schedule at all?
+  if (pending_.empty() && invocable_clients().empty()) {
+    stopped_ = true;
+    return false;
+  }
+  Action a = scheduler_->next(*this);
+  if (a.kind == Action::Kind::kStop) {
+    report_.stop_reason = scheduler_->stop_reason();
+    stopped_ = true;
+    return false;
+  }
+  apply(a);
+  ++time_;
+  observe_storage();
+  return true;
+}
+
+RunReport Simulator::run() {
+  while (step()) {
+  }
+  report_.steps = time_;
+  report_.invoked_ops = history_.invoke_count();
+  bool all_returned = history_.outstanding().empty();
+  bool workload_done = invocable_clients().empty();
+  // Quiesced: every op invoked and returned, and no client has more to do.
+  bool any_more = false;
+  for (uint32_t i = 0; i < config_.num_clients; ++i) {
+    if (client_alive_[i] && workload_->has_more(ClientId{i})) any_more = true;
+  }
+  report_.quiesced = all_returned && workload_done && !any_more;
+  return report_;
+}
+
+void Simulator::apply(const Action& a) {
+  switch (a.kind) {
+    case Action::Kind::kDeliverRmw:
+      do_deliver(a.rmw);
+      break;
+    case Action::Kind::kInvoke:
+      do_invoke(a.client);
+      break;
+    case Action::Kind::kCrashObject:
+      do_crash_object(a.object);
+      break;
+    case Action::Kind::kCrashClient:
+      do_crash_client(a.client);
+      break;
+    case Action::Kind::kStop:
+      break;
+  }
+}
+
+void Simulator::do_deliver(RmwId id) {
+  auto it = std::find_if(pending_.begin(), pending_.end(),
+                         [&](const PendingRmw& p) { return p.id == id; });
+  SBRS_CHECK_MSG(it != pending_.end(), "deliver of unknown " << id);
+  PendingRmw p = std::move(*it);
+  pending_.erase(it);
+
+  // RMWs on crashed objects are lost (never take effect, never respond).
+  if (!object_alive(p.target)) return;
+
+  // The state change is atomic; the response is produced with it.
+  ResponsePtr response = p.fn(*objects_[p.target.value]);
+  ++report_.rmws_delivered;
+
+  // A crashed client never observes the response; the effect stands
+  // (matching the paper: RMWs may take effect after the client fails).
+  if (!client_alive(p.client)) return;
+
+  ContextImpl ctx(*this, p.client);
+  clients_[p.client.value]->on_response(p.id, std::move(response), ctx);
+}
+
+void Simulator::do_invoke(ClientId c) {
+  SBRS_CHECK_MSG(can_invoke(c), "invoke on non-invocable client " << c);
+  Invocation inv = workload_->next(c, OpId{next_op_id_++});
+  SBRS_CHECK(inv.client == c);
+  outstanding_[c.value] = inv.op;
+  history_.record_invoke(time_, inv);
+  ContextImpl ctx(*this, c);
+  clients_[c.value]->on_invoke(inv, ctx);
+}
+
+void Simulator::do_crash_object(ObjectId o) {
+  SBRS_CHECK(o.value < object_alive_.size());
+  if (!object_alive_[o.value]) return;
+  object_alive_[o.value] = false;
+  ++crashed_objects_;
+  // Pending RMWs targeting the crashed object will be dropped on delivery.
+}
+
+void Simulator::do_crash_client(ClientId c) {
+  SBRS_CHECK(c.value < client_alive_.size());
+  client_alive_[c.value] = false;
+  // Its outstanding operation stays outstanding forever; its pending RMWs
+  // may still take effect on objects.
+}
+
+}  // namespace sbrs::sim

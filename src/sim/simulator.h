@@ -1,0 +1,135 @@
+// The discrete-event simulator for the asynchronous fault-prone shared
+// memory model of Section 2.
+//
+// Runs are alternating sequences of configurations and actions (Appendix A);
+// logical time is the number of actions taken. A single seed determines the
+// whole run given a deterministic scheduler, making every schedule — in
+// particular adversarial counterexamples — exactly replayable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "metrics/snapshot.h"
+#include "metrics/storage_meter.h"
+#include "sim/client.h"
+#include "sim/history.h"
+#include "sim/scheduler.h"
+#include "sim/types.h"
+#include "sim/workload.h"
+
+namespace sbrs::sim {
+
+struct SimConfig {
+  uint32_t num_objects = 3;
+  uint32_t num_clients = 2;
+  uint64_t max_steps = 2'000'000;
+  /// Decimation for the storage-meter time series (maxima are exact).
+  uint64_t sample_every = 1;
+  /// Count storage held at crashed base objects (Definition 2 counts all of
+  /// S; flip off to measure live storage only).
+  bool count_crashed = true;
+};
+
+struct RunReport {
+  uint64_t steps = 0;
+  bool hit_step_limit = false;
+  /// True when every workload operation was invoked and returned.
+  bool quiesced = false;
+  std::string stop_reason;
+  size_t invoked_ops = 0;
+  size_t completed_ops = 0;
+  uint64_t rmws_triggered = 0;
+  uint64_t rmws_delivered = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(SimConfig config, ObjectFactory object_factory,
+            ClientFactory client_factory, std::unique_ptr<Workload> workload,
+            std::unique_ptr<Scheduler> scheduler);
+
+  /// Execute until the scheduler stops, nothing is schedulable, or the step
+  /// limit is reached.
+  RunReport run();
+
+  /// Take exactly one scheduler-chosen step; returns false when the run is
+  /// over. Used by drivers that interleave measurement with execution.
+  bool step();
+
+  // --- State inspection (used by schedulers, meters, the adversary) ---
+
+  uint64_t now() const { return time_; }
+  uint32_t num_objects() const { return config_.num_objects; }
+  uint32_t num_clients() const { return config_.num_clients; }
+
+  bool object_alive(ObjectId o) const;
+  bool client_alive(ClientId c) const;
+  uint32_t crashed_objects() const { return crashed_objects_; }
+
+  /// Pending RMWs in trigger order (oldest first).
+  const std::deque<PendingRmw>& pending() const { return pending_; }
+
+  /// True if `c` is alive, has no outstanding operation, and the workload
+  /// has another operation for it.
+  bool can_invoke(ClientId c) const;
+
+  /// Clients that can currently invoke, in id order.
+  std::vector<ClientId> invocable_clients() const;
+
+  /// The operation currently outstanding at client c (if any).
+  std::optional<OpId> outstanding_op(ClientId c) const;
+
+  const History& history() const { return history_; }
+  const metrics::StorageMeter& meter() const { return meter_; }
+
+  /// Assemble the full Definition 2 storage snapshot.
+  metrics::StorageSnapshot snapshot() const;
+
+  /// Direct access to a base object's algorithm state (tests/verifiers).
+  const ObjectStateBase& object_state(ObjectId o) const;
+
+  const RunReport& report() const { return report_; }
+
+ private:
+  class ContextImpl;
+
+  void apply(const Action& a);
+  void do_deliver(RmwId id);
+  void do_invoke(ClientId c);
+  void do_crash_object(ObjectId o);
+  void do_crash_client(ClientId c);
+  void observe_storage();
+
+  SimConfig config_;
+  std::unique_ptr<Workload> workload_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  std::vector<std::unique_ptr<ObjectStateBase>> objects_;
+  std::vector<bool> object_alive_;
+  std::vector<std::unique_ptr<ClientProtocol>> clients_;
+  std::vector<bool> client_alive_;
+  std::vector<std::optional<OpId>> outstanding_;
+
+  std::deque<PendingRmw> pending_;
+  uint64_t time_ = 0;
+  uint64_t next_op_id_ = 1;   // OpId 0 is reserved for the initial value v0
+  uint64_t next_rmw_id_ = 1;
+  uint64_t trigger_seq_ = 0;
+  uint32_t crashed_objects_ = 0;
+
+  History history_;
+  metrics::StorageMeter meter_;
+  RunReport report_;
+  bool stopped_ = false;
+};
+
+}  // namespace sbrs::sim

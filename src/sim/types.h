@@ -1,0 +1,62 @@
+// Core vocabulary of the asynchronous fault-prone shared-memory model
+// (Section 2 of the paper): high-level operations on the emulated register
+// and low-level RMWs triggered on base objects.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <ostream>
+
+#include "common/ids.h"
+#include "common/value.h"
+#include "metrics/footprint.h"
+
+namespace sbrs::sim {
+
+enum class OpKind { kRead, kWrite };
+
+inline std::ostream& operator<<(std::ostream& os, OpKind k) {
+  return os << (k == OpKind::kRead ? "read" : "write");
+}
+
+/// A high-level operation invocation on the emulated register.
+struct Invocation {
+  OpId op;
+  ClientId client;
+  OpKind kind = OpKind::kRead;
+  /// The written value for writes; unused for reads.
+  Value value;
+};
+
+/// Base-object state. Algorithms subclass this with their concrete fields;
+/// the simulator only needs to extract the storage footprint (the code
+/// blocks stored — metadata like timestamps is free).
+class ObjectStateBase {
+ public:
+  virtual ~ObjectStateBase() = default;
+  virtual metrics::StorageFootprint footprint() const = 0;
+};
+
+/// An RMW's response payload, produced atomically with the state change.
+/// Algorithms define concrete response types and downcast.
+using ResponsePtr = std::shared_ptr<const void>;
+
+/// The atomic read-modify-write function applied to a base object.
+using RmwFn = std::function<ResponsePtr(ObjectStateBase&)>;
+
+/// A triggered-but-not-yet-delivered RMW. Its parameters (request_footprint)
+/// are counted as storage per the paper's channel-accounting rule.
+struct PendingRmw {
+  RmwId id;
+  OpId op;
+  ClientId client;
+  ObjectId target;
+  RmwFn fn;
+  metrics::StorageFootprint request_footprint;
+  /// Monotone sequence number of the trigger; the adversary uses it to find
+  /// the longest-pending RMW (Definition 7, rule 1).
+  uint64_t trigger_seq = 0;
+};
+
+}  // namespace sbrs::sim

@@ -1,0 +1,89 @@
+#include "sim/workload.h"
+
+#include "common/check.h"
+
+namespace sbrs::sim {
+
+uint32_t UniformWorkload::issued_for(ClientId c) const {
+  return c.value < issued_.size() ? issued_[c.value] : 0;
+}
+
+bool UniformWorkload::has_more(ClientId c) const {
+  if (c.value < opts_.writers) {
+    return issued_for(c) < opts_.writes_per_client;
+  }
+  if (c.value < opts_.writers + opts_.readers) {
+    return issued_for(c) < opts_.reads_per_client;
+  }
+  return false;
+}
+
+Invocation UniformWorkload::next(ClientId c, OpId id) {
+  SBRS_CHECK(has_more(c));
+  if (c.value >= issued_.size()) issued_.resize(c.value + 1, 0);
+  ++issued_[c.value];
+
+  Invocation inv;
+  inv.op = id;
+  inv.client = c;
+  if (c.value < opts_.writers) {
+    inv.kind = OpKind::kWrite;
+    inv.value = Value::from_tag(id.value, opts_.data_bits);
+  } else {
+    inv.kind = OpKind::kRead;
+  }
+  return inv;
+}
+
+bool ScriptedWorkload::has_more(ClientId c) const {
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const bool used = i < consumed_.size() && consumed_[i];
+    if (!used && steps_[i].client == c) return true;
+  }
+  return false;
+}
+
+Invocation ScriptedWorkload::next(ClientId c, OpId id) {
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const bool used = i < consumed_.size() && consumed_[i];
+    if (!used && steps_[i].client == c) {
+      if (consumed_.size() < steps_.size()) consumed_.resize(steps_.size());
+      consumed_[i] = true;
+      Invocation inv;
+      inv.op = id;
+      inv.client = c;
+      inv.kind = steps_[i].kind;
+      inv.value = steps_[i].value;
+      return inv;
+    }
+  }
+  SBRS_CHECK_MSG(false, "ScriptedWorkload::next with no step for client");
+  return {};
+}
+
+uint32_t MixedWorkload::issued_for(ClientId c) const {
+  return c.value < issued_.size() ? issued_[c.value] : 0;
+}
+
+bool MixedWorkload::has_more(ClientId c) const {
+  return c.value < opts_.clients && issued_for(c) < opts_.ops_per_client;
+}
+
+Invocation MixedWorkload::next(ClientId c, OpId id) {
+  SBRS_CHECK(has_more(c));
+  if (c.value >= issued_.size()) issued_.resize(c.value + 1, 0);
+  ++issued_[c.value];
+
+  Invocation inv;
+  inv.op = id;
+  inv.client = c;
+  if (rng_.below(100) < opts_.write_percent) {
+    inv.kind = OpKind::kWrite;
+    inv.value = Value::from_tag(id.value, opts_.data_bits);
+  } else {
+    inv.kind = OpKind::kRead;
+  }
+  return inv;
+}
+
+}  // namespace sbrs::sim

@@ -1,0 +1,106 @@
+// Workloads: the sequence of high-level operations each client performs.
+//
+// The write-concurrency level c of the paper is realized structurally: a
+// workload with c writer clients (each with at most one outstanding
+// operation, enforced by well-formedness) yields runs with at most c
+// concurrent writes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/value.h"
+#include "sim/types.h"
+
+namespace sbrs::sim {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// True if client `c` has at least one more operation to invoke.
+  virtual bool has_more(ClientId c) const = 0;
+
+  /// Produce client `c`'s next operation, stamped with the simulator-
+  /// assigned OpId. Called only when has_more(c).
+  virtual Invocation next(ClientId c, OpId id) = 0;
+};
+
+/// Each of the first `writers` clients performs `writes_per_client`
+/// write operations (with globally distinct values derived from the OpId);
+/// the following `readers` clients perform `reads_per_client` reads.
+class UniformWorkload final : public Workload {
+ public:
+  struct Options {
+    uint32_t writers = 1;
+    uint32_t writes_per_client = 1;
+    uint32_t readers = 0;
+    uint32_t reads_per_client = 1;
+    uint64_t data_bits = 256;
+  };
+
+  explicit UniformWorkload(Options opts) : opts_(opts) {}
+
+  bool has_more(ClientId c) const override;
+  Invocation next(ClientId c, OpId id) override;
+
+  uint32_t num_clients() const { return opts_.writers + opts_.readers; }
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+  std::vector<uint32_t> issued_;  // per-client issued count (lazily sized)
+  uint32_t issued_for(ClientId c) const;
+};
+
+/// A fully scripted operation list (used by unit tests to pin down exact
+/// interleavings). Operations are dealt per-client in list order.
+class ScriptedWorkload final : public Workload {
+ public:
+  struct Step {
+    ClientId client;
+    OpKind kind = OpKind::kRead;
+    Value value;  // for writes
+  };
+
+  explicit ScriptedWorkload(std::vector<Step> steps)
+      : steps_(std::move(steps)) {}
+
+  bool has_more(ClientId c) const override;
+  Invocation next(ClientId c, OpId id) override;
+
+ private:
+  std::vector<Step> steps_;
+  std::vector<bool> consumed_ = {};
+};
+
+/// Mixed read/write workload with a seeded RNG: every client flips a coin
+/// per operation. Used by property tests for schedule diversity.
+class MixedWorkload final : public Workload {
+ public:
+  struct Options {
+    uint32_t clients = 4;
+    uint32_t ops_per_client = 4;
+    /// Probability numerator (out of 100) that an op is a write.
+    uint32_t write_percent = 50;
+    uint64_t data_bits = 256;
+    uint64_t seed = 7;
+  };
+
+  explicit MixedWorkload(Options opts) : opts_(opts), rng_(opts.seed) {}
+
+  bool has_more(ClientId c) const override;
+  Invocation next(ClientId c, OpId id) override;
+
+ private:
+  Options opts_;
+  Rng rng_;
+  std::vector<uint32_t> issued_;
+  uint32_t issued_for(ClientId c) const;
+};
+
+}  // namespace sbrs::sim

@@ -1,0 +1,132 @@
+// Tests for the ABD replication baseline: strong regularity (atomicity with
+// write-back), fault tolerance, and the flat O(nD) storage profile.
+#include <gtest/gtest.h>
+
+#include "bounds/formulas.h"
+#include "harness/runner.h"
+
+namespace sbrs {
+namespace {
+
+using harness::RunOptions;
+using harness::SchedKind;
+using harness::run_register_experiment;
+using registers::RegisterConfig;
+
+RegisterConfig abd_cfg(uint32_t f, uint64_t data_bits = 256) {
+  RegisterConfig cfg;
+  cfg.f = f;
+  cfg.n = 2 * f + 1;
+  cfg.k = 1;
+  cfg.data_bits = data_bits;
+  return cfg;
+}
+
+TEST(Abd, RejectsTooFewObjects) {
+  RegisterConfig bad = abd_cfg(2);
+  bad.n = 4;  // < 2f+1
+  EXPECT_THROW(registers::make_abd(bad), CheckFailure);
+}
+
+TEST(Abd, SequentialReadsSeeWrites) {
+  auto alg = registers::make_abd(abd_cfg(1));
+  RunOptions opts;
+  opts.writers = 1;
+  opts.writes_per_client = 4;
+  opts.readers = 1;
+  opts.reads_per_client = 4;
+  opts.scheduler = SchedKind::kRoundRobin;
+  auto out = run_register_experiment(*alg, opts);
+  EXPECT_TRUE(out.report.quiesced);
+  EXPECT_TRUE(out.strong_regular.ok) << out.strong_regular.summary();
+}
+
+TEST(Abd, StronglyRegularUnderConcurrency) {
+  auto alg = registers::make_abd(abd_cfg(2));
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RunOptions opts;
+    opts.writers = 4;
+    opts.writes_per_client = 2;
+    opts.readers = 3;
+    opts.reads_per_client = 3;
+    opts.seed = seed;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.report.quiesced) << "seed " << seed;
+    EXPECT_TRUE(out.strong_regular.ok)
+        << "seed " << seed << ": " << out.strong_regular.summary();
+  }
+}
+
+TEST(Abd, WriteBackGivesAtomicity) {
+  registers::AbdOptions wb;
+  wb.write_back = true;
+  auto alg = registers::make_abd(abd_cfg(2), wb);
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RunOptions opts;
+    opts.writers = 3;
+    opts.writes_per_client = 2;
+    opts.readers = 4;
+    opts.reads_per_client = 3;
+    opts.seed = seed;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.report.quiesced) << "seed " << seed;
+    auto atom = consistency::check_atomicity(out.history);
+    EXPECT_TRUE(atom.ok) << "seed " << seed << ": " << atom.summary();
+  }
+}
+
+TEST(Abd, StorageFlatInConcurrency) {
+  // Replication stores one full value per object regardless of how many
+  // writers race: object storage is exactly n * D at all times.
+  const uint32_t f = 2;
+  const uint64_t D = 512;
+  auto alg = registers::make_abd(abd_cfg(f, D));
+  const uint64_t expected = bounds::replication_bits(2 * f + 1, D);
+  for (uint32_t c : {1u, 4u, 16u}) {
+    RunOptions opts;
+    opts.writers = c;
+    opts.writes_per_client = 2;
+    opts.scheduler = SchedKind::kBurst;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.report.quiesced);
+    EXPECT_EQ(out.max_object_bits, expected) << "c=" << c;
+    EXPECT_EQ(out.final_object_bits, expected) << "c=" << c;
+  }
+}
+
+TEST(Abd, ToleratesFCrashes) {
+  const auto cfg = abd_cfg(2);
+  auto alg = registers::make_abd(cfg);
+  for (uint64_t seed : {31u, 32u, 33u}) {
+    RunOptions opts;
+    opts.writers = 2;
+    opts.writes_per_client = 3;
+    opts.readers = 2;
+    opts.reads_per_client = 3;
+    opts.object_crashes = cfg.f;
+    opts.seed = seed;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.live) << "seed " << seed;
+    EXPECT_TRUE(out.weak_regular.ok)
+        << "seed " << seed << ": " << out.weak_regular.summary();
+  }
+}
+
+TEST(Abd, ReadsAreTwoRoundTripsAtMost) {
+  // Reads complete after one readValue round (no write-back): the run's
+  // RMW count is bounded by ops * n * rounds.
+  auto alg = registers::make_abd(abd_cfg(1));
+  RunOptions opts;
+  opts.writers = 1;
+  opts.writes_per_client = 2;
+  opts.readers = 1;
+  opts.reads_per_client = 2;
+  opts.scheduler = SchedKind::kRoundRobin;
+  auto out = run_register_experiment(*alg, opts);
+  EXPECT_TRUE(out.report.quiesced);
+  // 2 writes x 2 rounds x 3 objects + 2 reads x 1 round x 3 objects = 18.
+  EXPECT_EQ(out.report.rmws_triggered, 18u);
+}
+
+}  // namespace
+}  // namespace sbrs

@@ -1,0 +1,257 @@
+// Tests for the paper's adaptive register (Section 5, Algorithms 1-3):
+// correctness (strong regularity), liveness (FW-termination), fault
+// tolerance, and — the heart of the reproduction — the Theorem 2 storage
+// bounds including garbage collection.
+#include <gtest/gtest.h>
+
+#include "bounds/formulas.h"
+#include "harness/runner.h"
+
+namespace sbrs {
+namespace {
+
+using harness::RunOptions;
+using harness::SchedKind;
+using harness::run_register_experiment;
+using registers::RegisterConfig;
+
+RegisterConfig cfg_fk(uint32_t f, uint32_t k, uint64_t data_bits = 512) {
+  RegisterConfig cfg;
+  cfg.f = f;
+  cfg.k = k;
+  cfg.n = 2 * f + k;
+  cfg.data_bits = data_bits;
+  return cfg;
+}
+
+TEST(Adaptive, RejectsInconsistentConfig) {
+  RegisterConfig bad = cfg_fk(2, 2);
+  bad.n = 5;  // != 2f + k
+  EXPECT_THROW(registers::make_adaptive(bad), CheckFailure);
+}
+
+TEST(Adaptive, SingleWriterSingleReaderSequential) {
+  auto alg = registers::make_adaptive(cfg_fk(1, 2));
+  RunOptions opts;
+  opts.writers = 1;
+  opts.writes_per_client = 5;
+  opts.readers = 1;
+  opts.reads_per_client = 5;
+  opts.scheduler = SchedKind::kRoundRobin;
+  auto out = run_register_experiment(*alg, opts);
+  EXPECT_TRUE(out.report.quiesced);
+  EXPECT_TRUE(out.strong_regular.ok) << out.strong_regular.summary();
+  EXPECT_TRUE(out.values_legal.ok) << out.values_legal.summary();
+}
+
+TEST(Adaptive, ManyConcurrentWritersStayRegular) {
+  auto alg = registers::make_adaptive(cfg_fk(2, 3));
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    RunOptions opts;
+    opts.writers = 6;
+    opts.writes_per_client = 2;
+    opts.readers = 3;
+    opts.reads_per_client = 2;
+    opts.seed = seed;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.report.quiesced) << "seed " << seed;
+    EXPECT_TRUE(out.weak_regular.ok)
+        << "seed " << seed << ": " << out.weak_regular.summary();
+    EXPECT_TRUE(out.strong_regular.ok)
+        << "seed " << seed << ": " << out.strong_regular.summary();
+  }
+}
+
+TEST(Adaptive, ToleratesFCrashes) {
+  const auto cfg = cfg_fk(2, 2);
+  auto alg = registers::make_adaptive(cfg);
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    RunOptions opts;
+    opts.writers = 3;
+    opts.writes_per_client = 3;
+    opts.readers = 2;
+    opts.reads_per_client = 3;
+    opts.object_crashes = cfg.f;  // the maximum the algorithm tolerates
+    opts.seed = seed;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.live) << "seed " << seed << ": ops stuck after " << cfg.f
+                          << " crashes";
+    EXPECT_TRUE(out.weak_regular.ok)
+        << "seed " << seed << ": " << out.weak_regular.summary();
+    EXPECT_TRUE(out.strong_regular.ok)
+        << "seed " << seed << ": " << out.strong_regular.summary();
+  }
+}
+
+TEST(Adaptive, StorageWithinTheorem2Bound) {
+  // Sweep the concurrency level and check the Appendix D object-storage
+  // bound min((c+1) n D/k, 2 n D) at every point of every run.
+  const uint32_t f = 2, k = 4;
+  const uint64_t D = 1024;
+  auto alg = registers::make_adaptive(cfg_fk(f, k, D));
+  for (uint32_t c : {1u, 2u, 3u, 5u, 8u, 12u}) {
+    RunOptions opts;
+    opts.writers = c;
+    opts.writes_per_client = 2;
+    opts.scheduler = SchedKind::kBurst;  // maximum concurrency
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.report.quiesced);
+    EXPECT_LE(out.max_object_bits,
+              bounds::adaptive_upper_bound_bits(f, k, c, D))
+        << "c=" << c;
+  }
+}
+
+TEST(Adaptive, StorageBoundHoldsUnderRandomSchedules) {
+  const uint32_t f = 1, k = 3;
+  const uint64_t D = 768;
+  auto alg = registers::make_adaptive(cfg_fk(f, k, D));
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const uint32_t c = 4;
+    RunOptions opts;
+    opts.writers = c;
+    opts.writes_per_client = 3;
+    opts.readers = 1;
+    opts.reads_per_client = 2;
+    opts.seed = seed;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_LE(out.max_object_bits,
+              bounds::adaptive_upper_bound_bits(f, k, c, D))
+        << "seed " << seed;
+  }
+}
+
+TEST(Adaptive, GarbageCollectionShrinksToOnePiecePerObject) {
+  // Theorem 2's quiescence clause: with finitely many writes, all by
+  // correct writers, storage eventually drops to (2f+k) D / k. Under the
+  // FIFO round-robin scheduler every straggler RMW lands in trigger order,
+  // so the final state is exactly one piece per object.
+  const uint32_t f = 2, k = 2;
+  const uint64_t D = 512;
+  auto alg = registers::make_adaptive(cfg_fk(f, k, D));
+  RunOptions opts;
+  opts.writers = 3;
+  opts.writes_per_client = 3;
+  opts.scheduler = SchedKind::kRoundRobin;
+  auto out = run_register_experiment(*alg, opts);
+  EXPECT_TRUE(out.report.quiesced);
+  EXPECT_EQ(out.final_object_bits, bounds::adaptive_quiescent_bits(f, k, D));
+}
+
+TEST(Adaptive, GcUnderRandomScheduleWithinOnePiecePerLiveObject) {
+  // Random delivery can reorder a write's own update after its GC on up to
+  // f straggler objects, which then end up empty — still within the bound.
+  const uint32_t f = 2, k = 2;
+  const uint64_t D = 512;
+  auto alg = registers::make_adaptive(cfg_fk(f, k, D));
+  for (uint64_t seed : {21u, 22u, 23u, 24u}) {
+    RunOptions opts;
+    opts.writers = 2;
+    opts.writes_per_client = 4;
+    opts.seed = seed;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.report.quiesced);
+    EXPECT_LE(out.final_object_bits,
+              bounds::adaptive_quiescent_bits(f, k, D))
+        << "seed " << seed;
+  }
+}
+
+TEST(Adaptive, AblationNoReplicaGrowsWithConcurrency) {
+  // Corollary 2: without the full-replica fallback (and with Vp unbounded
+  // to preserve regularity), storage must grow linearly with c.
+  const uint32_t f = 2, k = 4;
+  const uint64_t D = 1024;
+  registers::AdaptiveOptions ablation;
+  ablation.enable_replica_path = false;
+  ablation.vp_unbounded = true;
+  auto alg = registers::make_adaptive(cfg_fk(f, k, D), ablation);
+
+  uint64_t prev = 0;
+  for (uint32_t c : {2u, 6u, 12u}) {
+    RunOptions opts;
+    opts.writers = c;
+    opts.writes_per_client = 1;
+    opts.scheduler = SchedKind::kBurst;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.report.quiesced);
+    EXPECT_GT(out.max_object_bits, prev) << "c=" << c;
+    prev = out.max_object_bits;
+  }
+  // At c = 12 the ablated variant must exceed the adaptive cap 2 n D.
+  EXPECT_GT(prev, 2ull * (2 * f + k) * D);
+}
+
+TEST(Adaptive, AblationStaysRegular) {
+  registers::AdaptiveOptions ablation;
+  ablation.enable_replica_path = false;
+  ablation.vp_unbounded = true;
+  auto alg = registers::make_adaptive(cfg_fk(1, 2), ablation);
+  RunOptions opts;
+  opts.writers = 4;
+  opts.writes_per_client = 2;
+  opts.readers = 2;
+  opts.reads_per_client = 2;
+  opts.seed = 5;
+  auto out = run_register_experiment(*alg, opts);
+  EXPECT_TRUE(out.report.quiesced);
+  EXPECT_TRUE(out.weak_regular.ok) << out.weak_regular.summary();
+  EXPECT_TRUE(out.strong_regular.ok) << out.strong_regular.summary();
+}
+
+TEST(Adaptive, ReplicationDegenerateKEqualsOne) {
+  // k = 1 turns the erasure code into replication; everything must still
+  // hold (this exercises the ReplicationCodec inside the adaptive client).
+  auto alg = registers::make_adaptive(cfg_fk(2, 1, 256));
+  RunOptions opts;
+  opts.writers = 3;
+  opts.writes_per_client = 2;
+  opts.readers = 2;
+  opts.reads_per_client = 2;
+  opts.seed = 9;
+  auto out = run_register_experiment(*alg, opts);
+  EXPECT_TRUE(out.report.quiesced);
+  EXPECT_TRUE(out.strong_regular.ok) << out.strong_regular.summary();
+}
+
+TEST(Adaptive, ReadsReturnFreshValuesAfterQuiescence) {
+  // Write 5 values sequentially, then read: the read must return the last.
+  auto alg = registers::make_adaptive(cfg_fk(1, 2, 256));
+  RunOptions opts;
+  opts.writers = 1;
+  opts.writes_per_client = 5;
+  opts.readers = 1;
+  opts.reads_per_client = 1;
+  opts.scheduler = SchedKind::kRoundRobin;
+  auto out = run_register_experiment(*alg, opts);
+  ASSERT_TRUE(out.report.quiesced);
+  // Under round-robin the read is concurrent with writes in general; we
+  // assert regularity rather than an exact value, and additionally check
+  // the stricter property when the read starts after all writes finished.
+  EXPECT_TRUE(out.strong_regular.ok) << out.strong_regular.summary();
+  auto reads = out.history.reads();
+  ASSERT_EQ(reads.size(), 1u);
+  auto writes = out.history.writes();
+  uint64_t last_return = 0;
+  for (const auto& w : writes) last_return = std::max(last_return, *w.return_time);
+  if (reads[0].invoke_time > last_return) {
+    EXPECT_EQ(reads[0].value, writes.back().value);
+  }
+}
+
+TEST(Adaptive, ChannelStorageIsMetered) {
+  // Definition 2 counts pending-RMW payloads; an update round carries the
+  // Vp piece plus the k replica pieces per object, so channel storage must
+  // be visibly nonzero at some point.
+  auto alg = registers::make_adaptive(cfg_fk(1, 2, 512));
+  RunOptions opts;
+  opts.writers = 1;
+  opts.writes_per_client = 1;
+  opts.scheduler = SchedKind::kRoundRobin;
+  auto out = run_register_experiment(*alg, opts);
+  EXPECT_GT(out.max_channel_bits, 0u);
+  EXPECT_GE(out.max_total_bits, out.max_object_bits);
+}
+
+}  // namespace
+}  // namespace sbrs

@@ -1,0 +1,232 @@
+// Tests for the lower-bound machinery: the C/F classification (Definition
+// 6, Observations 1-2), the adversary Ad (Definition 7), and the Lemma 3
+// experiment certifying Theorem 1's Omega(min(f,c) D) on every regular
+// algorithm — and its non-applicability to the safe register.
+#include <gtest/gtest.h>
+
+#include "adversary/ad_scheduler.h"
+#include "adversary/lower_bound.h"
+#include "adversary/tracker.h"
+#include "bounds/formulas.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+
+namespace sbrs {
+namespace {
+
+registers::RegisterConfig cfg_fk(uint32_t f, uint32_t k,
+                                 uint64_t data_bits = 1024) {
+  registers::RegisterConfig cfg;
+  cfg.f = f;
+  cfg.k = k;
+  cfg.n = 2 * f + k;
+  cfg.data_bits = data_bits;
+  return cfg;
+}
+
+// --------------------------- tracker ---------------------------------------
+
+TEST(Tracker, ClassifiesFromSnapshot) {
+  adversary::OpClassTracker tracker(/*l=*/512, /*D=*/1024);
+
+  sim::History history;
+  sim::Invocation w1;
+  w1.op = OpId{1};
+  w1.client = ClientId{0};
+  w1.kind = sim::OpKind::kWrite;
+  w1.value = Value::from_tag(1, 1024);
+  history.record_invoke(0, w1);
+  sim::Invocation w2 = w1;
+  w2.op = OpId{2};
+  w2.client = ClientId{1};
+  w2.value = Value::from_tag(2, 1024);
+  history.record_invoke(1, w2);
+
+  metrics::StorageSnapshot snap;
+  // Object 0 stores 600 bits of w1 (distinct indices) -> w1 in C+ and the
+  // object frozen; object 1 stores 100 bits of w2 -> w2 in C-.
+  metrics::StorageSnapshot::ObjectEntry o0;
+  o0.id = ObjectId{0};
+  o0.footprint.add(codec::Source{OpId{1}, 1}, 300);
+  o0.footprint.add(codec::Source{OpId{1}, 2}, 300);
+  snap.objects.push_back(o0);
+  metrics::StorageSnapshot::ObjectEntry o1;
+  o1.id = ObjectId{1};
+  o1.footprint.add(codec::Source{OpId{2}, 1}, 100);
+  snap.objects.push_back(o1);
+
+  auto st = tracker.classify(history, snap);
+  EXPECT_EQ(st.outstanding_writes.size(), 2u);
+  ASSERT_EQ(st.c_plus.size(), 1u);
+  EXPECT_EQ(st.c_plus[0], OpId{1});
+  ASSERT_EQ(st.c_minus.size(), 1u);
+  EXPECT_EQ(st.c_minus[0], OpId{2});
+  EXPECT_EQ(st.frozen.size(), 1u);
+  EXPECT_TRUE(st.frozen.count(ObjectId{0}) > 0);
+}
+
+TEST(Tracker, DuplicateBlockIndicesCountOnce) {
+  // Definition 6 sums size(i) over the *set* of indices: five copies of
+  // the same block are one contribution.
+  adversary::OpClassTracker tracker(512, 1024);
+  metrics::StorageSnapshot snap;
+  metrics::StorageSnapshot::ObjectEntry o;
+  o.id = ObjectId{0};
+  for (int copy = 0; copy < 5; ++copy) {
+    o.footprint.add(codec::Source{OpId{1}, 7}, 200);
+  }
+  snap.objects.push_back(o);
+  EXPECT_EQ(tracker.contribution_bits(snap, OpId{1}, ClientId{0}), 200u);
+}
+
+TEST(Tracker, CompletedWritesAreNotClassified) {
+  adversary::OpClassTracker tracker(512, 1024);
+  sim::History history;
+  sim::Invocation w;
+  w.op = OpId{1};
+  w.client = ClientId{0};
+  w.kind = sim::OpKind::kWrite;
+  w.value = Value::from_tag(1, 1024);
+  history.record_invoke(0, w);
+  history.record_return(5, OpId{1}, std::nullopt);
+  metrics::StorageSnapshot snap;
+  auto st = tracker.classify(history, snap);
+  EXPECT_TRUE(st.outstanding_writes.empty());
+  EXPECT_TRUE(st.c_plus.empty());
+  EXPECT_TRUE(st.c_minus.empty());
+}
+
+// --------------------------- adversary runs --------------------------------
+
+/// Run the Lemma 3 experiment and also verify Observation 2 (the frozen set
+/// only grows) by stepping manually.
+TEST(Adversary, FrozenSetIsMonotone) {
+  const auto cfg = cfg_fk(2, 2);
+  auto alg = registers::make_coded(cfg);
+
+  sim::UniformWorkload::Options wl;
+  wl.writers = 4;
+  wl.writes_per_client = 1;
+  wl.data_bits = cfg.data_bits;
+
+  adversary::AdScheduler::Options ad;
+  ad.l_bits = cfg.data_bits / 2;
+  ad.data_bits = cfg.data_bits;
+  ad.concurrency = 4;
+  ad.f = cfg.f;
+  ad.stop_when_frozen = false;  // let freezing accumulate
+
+  sim::SimConfig sc;
+  sc.num_objects = cfg.n;
+  sc.num_clients = 4;
+
+  adversary::OpClassTracker tracker(ad.l_bits, cfg.data_bits);
+  sim::Simulator sim(sc, alg->object_factory(), alg->client_factory(),
+                     std::make_unique<sim::UniformWorkload>(wl),
+                     std::make_unique<adversary::AdScheduler>(ad));
+  std::set<ObjectId> prev_frozen;
+  while (sim.step()) {
+    auto st = tracker.classify(sim.history(), sim.snapshot());
+    for (ObjectId o : prev_frozen) {
+      EXPECT_TRUE(st.frozen.count(o) > 0)
+          << "object " << o << " thawed at t=" << sim.now();
+    }
+    prev_frozen = st.frozen;
+  }
+}
+
+TEST(Adversary, PreventsWriteCompletionOnRegularAlgorithms) {
+  // Under Ad no write of a (coded or adaptive) regular algorithm returns:
+  // the no-progress core of the lower-bound proof (Corollary 1).
+  for (int which = 0; which < 2; ++which) {
+    const auto cfg = cfg_fk(2, 2);
+    auto alg = which == 0
+                   ? registers::make_coded(cfg)
+                   : registers::make_adaptive(cfg);
+    auto res = adversary::run_lower_bound_experiment(*alg, 4);
+    EXPECT_EQ(res.completed_writes, 0u) << res.algorithm;
+  }
+}
+
+TEST(Adversary, LowerBoundCertifiedOnRegularAlgorithms) {
+  // Theorem 1: measured storage at the adversary's fixed point must be at
+  // least min(f+1, c) * D/2 for every regular algorithm.
+  const auto cfg = cfg_fk(2, 2);
+  std::vector<std::unique_ptr<registers::RegisterAlgorithm>> algs;
+  algs.push_back(registers::make_coded(cfg));
+  algs.push_back(registers::make_adaptive(cfg));
+  {
+    registers::RegisterConfig abd = cfg;
+    abd.k = 1;
+    abd.n = 2 * abd.f + 1;
+    algs.push_back(registers::make_abd(abd));
+  }
+  for (const auto& alg : algs) {
+    for (uint32_t c : {1u, 2u, 3u, 6u}) {
+      auto res = adversary::run_lower_bound_experiment(*alg, c);
+      EXPECT_GE(res.max_total_bits, res.predicted_bits)
+          << alg->name() << " c=" << c;
+    }
+  }
+}
+
+TEST(Adversary, SafeRegisterEscapesTheBound) {
+  // Appendix E: the safe register's *object* storage stays at n D / k no
+  // matter how hard Ad pushes — below the regular-register bound once
+  // k >> f. (Channel bits are the writers' in-flight pieces, not storage
+  // the algorithm retains.)
+  const auto cfg = cfg_fk(2, 16, 2048);
+  auto alg = registers::make_safe(cfg);
+  const uint64_t flat = bounds::safe_register_bits(cfg.f, cfg.k, cfg.data_bits);
+  for (uint32_t c : {4u, 8u, 16u}) {
+    auto res = adversary::run_lower_bound_experiment(*alg, c);
+    EXPECT_EQ(res.max_object_bits, flat) << "c=" << c;
+    EXPECT_LT(res.max_object_bits,
+              bounds::lower_bound_bits(cfg.f, c, cfg.data_bits))
+        << "c=" << c;
+  }
+}
+
+TEST(Adversary, StopReasonsMatchTheDichotomy) {
+  // Lemma 3: the run ends with |C+| = c, or |F| > f, or total starvation.
+  const auto cfg = cfg_fk(2, 2);
+  auto alg = registers::make_coded(cfg);
+  for (uint32_t c : {1u, 2u, 5u}) {
+    auto res = adversary::run_lower_bound_experiment(*alg, c);
+    const bool c_plus_full = res.c_plus_writes >= c;
+    const bool frozen_full = res.frozen_objects > cfg.f;
+    const bool starved = res.stop_reason.find("starved") != std::string::npos;
+    EXPECT_TRUE(c_plus_full || frozen_full || starved)
+        << "c=" << c << " stop=" << res.stop_reason;
+  }
+}
+
+TEST(Adversary, LEqualsDStarvesWritesAfterOnePiece) {
+  // Corollary 2's reading of Lemma 3 with l = D: the contribution budget
+  // D - l is zero, so a write enters C+ as soon as its first piece lands.
+  // Every write is starved after at most one delivered RMW and none
+  // completes.
+  const auto cfg = cfg_fk(1, 4, 1024);
+  auto alg = registers::make_coded(cfg);
+  adversary::LowerBoundOptions opts;
+  opts.l_bits = cfg.data_bits;  // l = D
+  auto res = adversary::run_lower_bound_experiment(*alg, 3, opts);
+  EXPECT_EQ(res.completed_writes, 0u);
+  EXPECT_EQ(res.c_plus_writes, 3u);
+  // Each write parked exactly one D/4-bit piece; plus the v0 pieces.
+  EXPECT_LE(res.final_object_bits,
+            (3 + cfg.n) * bounds::piece_bits(cfg.k, cfg.data_bits));
+}
+
+TEST(Adversary, DeterministicAcrossRuns) {
+  const auto cfg = cfg_fk(2, 2);
+  auto alg = registers::make_coded(cfg);
+  auto r1 = adversary::run_lower_bound_experiment(*alg, 3);
+  auto r2 = adversary::run_lower_bound_experiment(*alg, 3);
+  EXPECT_EQ(r1.max_total_bits, r2.max_total_bits);
+  EXPECT_EQ(r1.steps, r2.steps);
+  EXPECT_EQ(r1.stop_reason, r2.stop_reason);
+}
+
+}  // namespace
+}  // namespace sbrs

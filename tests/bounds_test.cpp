@@ -1,0 +1,105 @@
+// Sanity tests for the closed-form bounds of src/bounds — the reference
+// values the benches print next to measurements.
+#include <gtest/gtest.h>
+
+#include "bounds/formulas.h"
+
+namespace sbrs::bounds {
+namespace {
+
+TEST(Bounds, LowerBoundMatchesTheorem1Shape) {
+  const uint64_t D = 1000;
+  // Grows linearly in c until c = f+1, then flat.
+  EXPECT_EQ(lower_bound_bits(4, 1, D), 1 * D / 2);
+  EXPECT_EQ(lower_bound_bits(4, 3, D), 3 * D / 2);
+  EXPECT_EQ(lower_bound_bits(4, 5, D), 5 * D / 2);
+  EXPECT_EQ(lower_bound_bits(4, 50, D), 5 * D / 2);
+  // Grows linearly in f until f+1 = c.
+  EXPECT_EQ(lower_bound_bits(1, 10, D), 2 * D / 2);
+  EXPECT_EQ(lower_bound_bits(9, 10, D), 10 * D / 2);
+  EXPECT_EQ(lower_bound_bits(20, 10, D), 10 * D / 2);
+}
+
+TEST(Bounds, AdaptiveUpperBoundRegimes) {
+  const uint32_t f = 3, k = 8;
+  const uint64_t D = 832;  // k-divisible byte count: pieces are exactly D/k
+  const uint64_t n = 2 * f + k;
+  // Low concurrency: (c+1) pieces per object.
+  EXPECT_EQ(adaptive_upper_bound_bits(f, k, 1, D), 2 * n * D / k);
+  EXPECT_EQ(adaptive_upper_bound_bits(f, k, 5, D), 6 * n * D / k);
+  // At and beyond c = k-1 the replica cap governs.
+  EXPECT_EQ(adaptive_upper_bound_bits(f, k, 7, D), 2 * n * D);
+  EXPECT_EQ(adaptive_upper_bound_bits(f, k, 100, D), 2 * n * D);
+}
+
+TEST(Bounds, AdaptiveBoundIsMonotoneInC) {
+  const uint64_t D = 512;
+  uint64_t prev = 0;
+  for (uint32_t c = 1; c <= 40; ++c) {
+    const uint64_t b = adaptive_upper_bound_bits(2, 8, c, D);
+    EXPECT_GE(b, prev) << "c=" << c;
+    prev = b;
+  }
+}
+
+TEST(Bounds, AdaptiveMatchesMinFCShapeWithKEqualsF) {
+  // With k = f the bound is Theta(min(f, c) D): check the two regimes
+  // against explicit constants.
+  const uint32_t f = 8, k = 8;
+  const uint64_t D = 1024;
+  // c << f: (c+1) * 3f * D / f = 3(c+1) D.
+  EXPECT_EQ(adaptive_upper_bound_bits(f, k, 2, D), 3 * 3 * D);
+  // c >> f: 2 * 3f * D = 6 f D.
+  EXPECT_EQ(adaptive_upper_bound_bits(f, k, 1000, D), 6 * f * D);
+}
+
+TEST(Bounds, QuiescentStorageIsOnePiecePerObject) {
+  EXPECT_EQ(adaptive_quiescent_bits(2, 4, 1024), 8u * 1024 / 4);
+  EXPECT_EQ(adaptive_quiescent_bits(1, 1, 256), 3u * 256);
+}
+
+TEST(Bounds, SafeRegisterIsNDOverK) {
+  EXPECT_EQ(safe_register_bits(2, 4, 1024), 8u * 1024 / 4);
+  // (2f/k + 1) D formulation from Corollary 7, on a k-divisible size.
+  EXPECT_EQ(safe_register_bits(4, 8, 832), (2 * 4 / 8 + 1) * 832u);
+}
+
+TEST(Bounds, PieceBitsRoundsUpToBytes) {
+  EXPECT_EQ(piece_bits(4, 1024), 256u);  // divides evenly
+  EXPECT_EQ(piece_bits(3, 256), 88u);    // 32 bytes / 3 -> 11-byte shards
+  EXPECT_EQ(piece_bits(8, 800), 104u);   // 100 bytes / 8 -> 13-byte shards
+  EXPECT_EQ(piece_bits(1, 64), 64u);
+}
+
+TEST(Bounds, ReplicationIsND) {
+  EXPECT_EQ(replication_bits(5, 300), 1500u);
+}
+
+TEST(Bounds, CodedBaselineLinearInC) {
+  const uint64_t D = 100;
+  EXPECT_EQ(coded_baseline_bits(2, 4, 1, D) * 2,
+            coded_baseline_bits(2, 4, 3, D));
+}
+
+TEST(Bounds, CrossoverAtTwoKMinusOne) {
+  EXPECT_EQ(crossover_concurrency(3, 4), 7u);
+  // Below the crossover coding is cheaper than the replica cap; above it
+  // the cap wins: check directly against the bound function.
+  const uint32_t f = 3, k = 16;
+  const uint64_t D = 640;
+  const uint64_t n = 2 * f + k;
+  const uint32_t x = crossover_concurrency(f, k);
+  EXPECT_LT(adaptive_upper_bound_bits(f, k, 2, D), 2 * n * D);
+  EXPECT_EQ(adaptive_upper_bound_bits(f, k, x + 2, D), 2 * n * D);
+}
+
+TEST(Bounds, SafeBeatsLowerBoundOnlyForLargeK) {
+  const uint64_t D = 1024;
+  // k = f: safe register pays 3D, the bound for c >= f+1 is (f+1) D/2.
+  EXPECT_GE(safe_register_bits(4, 4, D), lower_bound_bits(4, 10, D) * 2 / 3);
+  // k = 8f: safe register clearly below the bound.
+  EXPECT_LT(safe_register_bits(4, 32, D), lower_bound_bits(4, 10, D));
+}
+
+}  // namespace
+}  // namespace sbrs::bounds

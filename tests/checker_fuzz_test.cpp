@@ -1,0 +1,145 @@
+// Checker cross-validation by mutation fuzzing: take histories produced by
+// algorithms with known guarantees, mutate read return values, and verify
+// the checkers flag the corruption. This guards the guards — a checker that
+// silently accepts everything would make the whole test suite vacuous.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "harness/runner.h"
+
+namespace sbrs {
+namespace {
+
+/// Rebuild a history with one read's returned value replaced.
+sim::History mutate_read_value(const sim::History& h, OpId read_op,
+                               const Value& new_value) {
+  sim::History out;
+  for (const auto& ev : h.events()) {
+    if (ev.kind == sim::HistoryEvent::Kind::kInvoke) {
+      sim::Invocation inv;
+      inv.op = ev.op;
+      inv.client = ev.client;
+      inv.kind = ev.op_kind;
+      inv.value = ev.value;
+      out.record_invoke(ev.time, inv);
+    } else {
+      const bool is_target =
+          ev.op == read_op && ev.op_kind == sim::OpKind::kRead;
+      std::optional<Value> v;
+      if (ev.op_kind == sim::OpKind::kRead) {
+        v = is_target ? new_value : ev.value;
+      }
+      out.record_return(ev.time, ev.op, v);
+    }
+  }
+  return out;
+}
+
+harness::RunOutcome baseline_run(uint64_t seed) {
+  registers::RegisterConfig cfg;
+  cfg.f = 1;
+  cfg.k = 2;
+  cfg.n = 4;
+  cfg.data_bits = 64;
+  auto alg = registers::make_abd(
+      [&] {
+        auto c = cfg;
+        c.k = 1;
+        c.n = 3;
+        return c;
+      }(),
+      registers::AbdOptions{.write_back = true});
+  harness::RunOptions opts;
+  opts.writers = 2;
+  opts.writes_per_client = 3;
+  opts.readers = 2;
+  opts.reads_per_client = 3;
+  opts.seed = seed;
+  return harness::run_register_experiment(*alg, opts);
+}
+
+TEST(CheckerFuzz, UnwrittenValueAlwaysCaught) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto out = baseline_run(seed);
+    ASSERT_TRUE(out.values_legal.ok);
+    auto reads = out.history.reads();
+    ASSERT_FALSE(reads.empty());
+    Rng rng(seed);
+    const auto& victim = reads[rng.pick_index(reads)];
+    // A value no write produced (tag far outside the op-id range).
+    auto mutated = mutate_read_value(out.history, victim.op,
+                                     Value::from_tag(999999, 64));
+    EXPECT_FALSE(consistency::check_values_legal(mutated).ok)
+        << "seed " << seed;
+    EXPECT_FALSE(consistency::check_weak_regularity(mutated).ok)
+        << "seed " << seed;
+  }
+}
+
+TEST(CheckerFuzz, StaleValueCaughtByRegularityWhenGapExists) {
+  // Replace a read's value with the FIRST written value; whenever another
+  // write completed strictly between that write and the read, weak
+  // regularity must flag it.
+  int flagged = 0, mutations = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    auto out = baseline_run(seed);
+    auto writes = out.history.writes();
+    auto reads = out.history.reads();
+    ASSERT_FALSE(writes.empty());
+    const auto& w_first = writes.front();
+    if (!w_first.complete()) continue;
+    for (const auto& r : reads) {
+      if (r.value == w_first.value) continue;
+      // Does some write fit strictly between w_first and r?
+      bool gap = false;
+      for (const auto& w : writes) {
+        if (w.complete() && w.invoke_time > *w_first.return_time &&
+            *w.return_time < r.invoke_time) {
+          gap = true;
+        }
+      }
+      if (!gap) continue;
+      ++mutations;
+      auto mutated = mutate_read_value(out.history, r.op, w_first.value);
+      if (!consistency::check_weak_regularity(mutated).ok) ++flagged;
+    }
+  }
+  ASSERT_GT(mutations, 0);
+  EXPECT_EQ(flagged, mutations);
+}
+
+TEST(CheckerFuzz, V0AfterCompletedWriteCaught) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto out = baseline_run(seed);
+    auto writes = out.history.writes();
+    auto reads = out.history.reads();
+    // Find a read invoked after some write completed.
+    for (const auto& r : reads) {
+      bool after_write = false;
+      for (const auto& w : writes) {
+        if (w.complete() && *w.return_time < r.invoke_time) {
+          after_write = true;
+        }
+      }
+      if (!after_write) continue;
+      auto mutated =
+          mutate_read_value(out.history, r.op, Value::initial(64));
+      EXPECT_FALSE(consistency::check_weak_regularity(mutated).ok)
+          << "seed " << seed;
+      break;
+    }
+  }
+}
+
+TEST(CheckerFuzz, AtomicHistoriesSurviveUnmutated) {
+  // Control group: the unmutated histories pass everything they should.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto out = baseline_run(seed);
+    EXPECT_TRUE(out.values_legal.ok);
+    EXPECT_TRUE(out.weak_regular.ok);
+    EXPECT_TRUE(consistency::check_atomicity(out.history).ok);
+  }
+}
+
+}  // namespace
+}  // namespace sbrs

@@ -1,0 +1,290 @@
+// Consistency-checker tests on hand-crafted histories: each checker must
+// accept the legal histories of its level and reject canonical violations.
+#include <gtest/gtest.h>
+
+#include "consistency/checker.h"
+
+namespace sbrs::consistency {
+namespace {
+
+constexpr uint64_t kBits = 64;
+
+Value val(uint64_t tag) { return Value::from_tag(tag, kBits); }
+Value v0() { return Value::initial(kBits); }
+
+/// History builder with explicit logical times.
+class H {
+ public:
+  H& write(uint64_t op, uint32_t client, uint64_t inv, uint64_t tag) {
+    sim::Invocation i;
+    i.op = OpId{op};
+    i.client = ClientId{client};
+    i.kind = sim::OpKind::kWrite;
+    i.value = val(tag);
+    h_.record_invoke(inv, i);
+    return *this;
+  }
+  H& ret_write(uint64_t op, uint64_t t) {
+    h_.record_return(t, OpId{op}, std::nullopt);
+    return *this;
+  }
+  H& read(uint64_t op, uint32_t client, uint64_t inv) {
+    sim::Invocation i;
+    i.op = OpId{op};
+    i.client = ClientId{client};
+    i.kind = sim::OpKind::kRead;
+    h_.record_invoke(inv, i);
+    return *this;
+  }
+  H& ret_read(uint64_t op, uint64_t t, uint64_t tag) {
+    h_.record_return(t, OpId{op}, val(tag));
+    return *this;
+  }
+  H& ret_read_v0(uint64_t op, uint64_t t) {
+    h_.record_return(t, OpId{op}, v0());
+    return *this;
+  }
+  const sim::History& history() const { return h_; }
+
+ private:
+  sim::History h_;
+};
+
+// --------------------------- value legality -------------------------------
+
+TEST(ValuesLegal, AcceptsWrittenValuesAndV0) {
+  H h;
+  h.write(1, 0, 0, 7).ret_write(1, 5);
+  h.read(2, 1, 6).ret_read(2, 8, 7);
+  h.read(3, 1, 9).ret_read_v0(3, 10);  // v0 is a known value
+  EXPECT_TRUE(check_values_legal(h.history()).ok);
+}
+
+TEST(ValuesLegal, RejectsUnwrittenValue) {
+  H h;
+  h.write(1, 0, 0, 7).ret_write(1, 5);
+  h.read(2, 1, 6).ret_read(2, 8, 99);  // 99 was never written
+  auto res = check_values_legal(h.history());
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.violations.size(), 1u);
+}
+
+// --------------------------- weak regularity -------------------------------
+
+TEST(WeakRegularity, SequentialReadSeesLastWrite) {
+  H h;
+  h.write(1, 0, 0, 7).ret_write(1, 5);
+  h.write(2, 0, 6, 8).ret_write(2, 10);
+  h.read(3, 1, 11).ret_read(3, 15, 8);
+  EXPECT_TRUE(check_weak_regularity(h.history()).ok);
+}
+
+TEST(WeakRegularity, RejectsStaleRead) {
+  // w1 then w2 complete, then a read returns w1: new-old inversion across
+  // a fully-completed write.
+  H h;
+  h.write(1, 0, 0, 7).ret_write(1, 5);
+  h.write(2, 0, 6, 8).ret_write(2, 10);
+  h.read(3, 1, 11).ret_read(3, 15, 7);
+  auto res = check_weak_regularity(h.history());
+  EXPECT_FALSE(res.ok) << res.summary();
+}
+
+TEST(WeakRegularity, AcceptsConcurrentWriteValue) {
+  // The read overlaps w2; returning either w1 or w2 is regular.
+  H h;
+  h.write(1, 0, 0, 7).ret_write(1, 5);
+  h.write(2, 0, 8, 8);
+  h.read(3, 1, 9);
+  h.ret_read(3, 12, 8);  // w2 still outstanding
+  h.ret_write(2, 20);
+  EXPECT_TRUE(check_weak_regularity(h.history()).ok);
+
+  H h2;
+  h2.write(1, 0, 0, 7).ret_write(1, 5);
+  h2.write(2, 0, 8, 8);
+  h2.read(3, 1, 9);
+  h2.ret_read(3, 12, 7);  // the older value is also fine
+  h2.ret_write(2, 20);
+  EXPECT_TRUE(check_weak_regularity(h2.history()).ok);
+}
+
+TEST(WeakRegularity, RejectsValueFromTheFuture) {
+  // Read returns a write invoked only after the read returned.
+  H h;
+  h.read(1, 1, 0).ret_read(1, 3, 7);
+  h.write(2, 0, 5, 7).ret_write(2, 9);
+  auto res = check_weak_regularity(h.history());
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(WeakRegularity, V0LegalOnlyBeforeAnyCompleteWrite) {
+  H ok;
+  ok.read(1, 1, 0).ret_read_v0(1, 3);
+  ok.write(2, 0, 5, 7).ret_write(2, 9);
+  EXPECT_TRUE(check_weak_regularity(ok.history()).ok);
+
+  H bad;
+  bad.write(1, 0, 0, 7).ret_write(1, 4);
+  bad.read(2, 1, 5).ret_read_v0(2, 8);
+  auto res = check_weak_regularity(bad.history());
+  EXPECT_FALSE(res.ok) << res.summary();
+}
+
+TEST(WeakRegularity, V0LegalWhileFirstWriteConcurrent) {
+  H h;
+  h.write(1, 0, 0, 7);
+  h.read(2, 1, 2).ret_read_v0(2, 5);
+  h.ret_write(1, 9);
+  EXPECT_TRUE(check_weak_regularity(h.history()).ok);
+}
+
+TEST(WeakRegularity, IncompleteWriteValueIsLegal) {
+  // A write that never returns can still be read (its blocks landed).
+  H h;
+  h.write(1, 0, 0, 7);  // never returns
+  h.read(2, 1, 3).ret_read(2, 6, 7);
+  EXPECT_TRUE(check_weak_regularity(h.history()).ok);
+}
+
+// --------------------------- strong regularity -----------------------------
+
+TEST(StrongRegularity, AcceptsAgreeingReads) {
+  // Two concurrent writes; two reads agree on their order.
+  H h;
+  h.write(1, 0, 0, 7);
+  h.write(2, 1, 1, 8);
+  h.read(3, 2, 2).ret_read(3, 4, 7);
+  h.read(4, 3, 5).ret_read(4, 8, 8);
+  h.ret_write(1, 10).ret_write(2, 11);
+  EXPECT_TRUE(check_strong_regularity(h.history()).ok);
+}
+
+TEST(StrongRegularity, RejectsReadOrderInversion) {
+  // w1 and w2 are concurrent with each other and both complete; r3 then
+  // returns w1 (implying w2 < w1) while r4 returns w2 (implying w1 < w2).
+  // Each read is individually weakly regular, but no single write order
+  // satisfies both — strong regularity fails.
+  H h;
+  h.write(1, 0, 0, 7);
+  h.write(2, 1, 1, 8);
+  h.ret_write(1, 2).ret_write(2, 3);
+  h.read(3, 2, 4).ret_read(3, 5, 7);
+  h.read(4, 3, 6).ret_read(4, 8, 8);
+  auto weak = check_weak_regularity(h.history());
+  EXPECT_TRUE(weak.ok) << weak.summary();
+  auto strong = check_strong_regularity(h.history());
+  EXPECT_FALSE(strong.ok);
+}
+
+TEST(StrongRegularity, ConcurrentReadsMaySwapConcurrentWrites) {
+  // With both writes still outstanding during both reads, opposite return
+  // orders are reconcilable by placing one write after the earlier read —
+  // this history IS strongly regular and the checker must accept it.
+  H h;
+  h.write(1, 0, 0, 7);
+  h.write(2, 1, 1, 8);
+  h.read(3, 2, 2).ret_read(3, 4, 8);
+  h.read(4, 3, 5).ret_read(4, 8, 7);
+  h.ret_write(1, 20).ret_write(2, 21);
+  EXPECT_TRUE(check_strong_regularity(h.history()).ok);
+}
+
+TEST(StrongRegularity, SequentialHistoryPasses) {
+  H h;
+  uint64_t t = 0;
+  for (uint64_t i = 1; i <= 4; ++i) {
+    h.write(i, 0, t, i);
+    h.ret_write(i, t + 1);
+    h.read(10 + i, 1, t + 2).ret_read(10 + i, t + 3, i);
+    t += 4;
+  }
+  EXPECT_TRUE(check_strong_regularity(h.history()).ok);
+}
+
+// --------------------------- strongly safe ---------------------------------
+
+TEST(StronglySafe, QuiescentReadMustSeeLastWrite) {
+  H h;
+  h.write(1, 0, 0, 7).ret_write(1, 5);
+  h.read(2, 1, 6).ret_read(2, 8, 7);
+  EXPECT_TRUE(check_strongly_safe(h.history()).ok);
+
+  H bad;
+  bad.write(1, 0, 0, 7).ret_write(1, 5);
+  bad.read(2, 1, 6).ret_read_v0(2, 8);  // must return w1, not v0
+  EXPECT_FALSE(check_strongly_safe(bad.history()).ok);
+}
+
+TEST(StronglySafe, ConcurrentReadMayReturnAnything) {
+  // Safe semantics put no constraint on reads overlapping writes — even a
+  // value that is not the latest and not concurrent.
+  H h;
+  h.write(1, 0, 0, 7).ret_write(1, 5);
+  h.write(2, 0, 6, 8).ret_write(2, 10);
+  h.write(3, 0, 11, 9);              // concurrent with the read
+  h.read(4, 1, 12).ret_read_v0(4, 14);  // stale v0: fine under safe
+  h.ret_write(3, 20);
+  EXPECT_TRUE(check_strongly_safe(h.history()).ok);
+  // ...but the same history is NOT weakly regular.
+  EXPECT_FALSE(check_weak_regularity(h.history()).ok);
+}
+
+// --------------------------- atomicity -------------------------------------
+
+TEST(Atomicity, RejectsReadReadInversionThatRegularityAllows) {
+  // Classic: w2 concurrent with two sequential reads; r1 sees w2, r2 sees
+  // w1. Weakly regular (each read individually fine) but not atomic.
+  H h;
+  h.write(1, 0, 0, 7).ret_write(1, 2);
+  h.write(2, 0, 3, 8);  // outstanding during both reads
+  h.read(3, 1, 4).ret_read(3, 6, 8);
+  h.read(4, 2, 7).ret_read(4, 9, 7);
+  h.ret_write(2, 20);
+  EXPECT_TRUE(check_weak_regularity(h.history()).ok);
+  auto atom = check_atomicity(h.history());
+  EXPECT_FALSE(atom.ok);
+}
+
+TEST(Atomicity, AcceptsMonotoneReads) {
+  H h;
+  h.write(1, 0, 0, 7).ret_write(1, 2);
+  h.write(2, 0, 3, 8);
+  h.read(3, 1, 4).ret_read(3, 6, 7);
+  h.read(4, 2, 7).ret_read(4, 9, 8);
+  h.ret_write(2, 20);
+  EXPECT_TRUE(check_atomicity(h.history()).ok);
+}
+
+// --------------------------- misc ------------------------------------------
+
+TEST(Checker, EmptyHistoryPassesEverything) {
+  sim::History h;
+  EXPECT_TRUE(check_values_legal(h).ok);
+  EXPECT_TRUE(check_weak_regularity(h).ok);
+  EXPECT_TRUE(check_strong_regularity(h).ok);
+  EXPECT_TRUE(check_strongly_safe(h).ok);
+  EXPECT_TRUE(check_atomicity(h).ok);
+}
+
+TEST(Checker, WriteOnlyHistoryPassesEverything) {
+  H h;
+  h.write(1, 0, 0, 7).ret_write(1, 5);
+  h.write(2, 1, 2, 8);  // incomplete
+  EXPECT_TRUE(check_weak_regularity(h.history()).ok);
+  EXPECT_TRUE(check_strong_regularity(h.history()).ok);
+  EXPECT_TRUE(check_atomicity(h.history()).ok);
+}
+
+TEST(Checker, SummaryFormats) {
+  CheckResult r;
+  EXPECT_EQ(r.summary(), "OK");
+  r.fail("first");
+  r.fail("second");
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("2 violation(s)"), std::string::npos);
+  EXPECT_NE(s.find("first"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sbrs::consistency

@@ -1,0 +1,246 @@
+// Codec tests: round trips, erasure patterns, MDS property, symmetry
+// (Definition 3), and boundary conditions. Parameterized over (n, k, D).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "codec/codec.h"
+#include "codec/reed_solomon.h"
+#include "common/check.h"
+#include "codec/replication.h"
+#include "codec/stripe.h"
+#include "common/rng.h"
+
+namespace sbrs::codec {
+namespace {
+
+Value random_value(uint64_t bits, Rng& rng) {
+  Bytes b(bits / 8);
+  for (auto& x : b) x = static_cast<uint8_t>(rng.below(256));
+  return Value(std::move(b));
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized MDS sweep: every codec config must decode from any k blocks.
+// ---------------------------------------------------------------------------
+
+struct CodecCase {
+  std::string kind;
+  uint32_t n;
+  uint32_t k;
+  uint64_t data_bits;
+};
+
+class CodecRoundTrip : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecRoundTrip, AllBlocksDecode) {
+  const auto& p = GetParam();
+  auto codec = make_codec(p.kind, p.n, p.k, p.data_bits);
+  Rng rng(p.n * 131 + p.k);
+  const Value v = random_value(p.data_bits, rng);
+  auto blocks = codec->encode(v);
+  ASSERT_EQ(blocks.size(), p.n);
+  auto decoded = codec->decode(blocks);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, v);
+}
+
+TEST_P(CodecRoundTrip, RandomKSubsetsDecode) {
+  const auto& p = GetParam();
+  auto codec = make_codec(p.kind, p.n, p.k, p.data_bits);
+  Rng rng(p.n * 7 + p.k * 3);
+  const Value v = random_value(p.data_bits, rng);
+  auto blocks = codec->encode(v);
+  const uint32_t k = codec->k();
+  for (int trial = 0; trial < 12; ++trial) {
+    std::vector<Block> subset = blocks;
+    rng.shuffle(subset);
+    subset.resize(k);
+    auto decoded = codec->decode(subset);
+    ASSERT_TRUE(decoded.has_value()) << "trial " << trial;
+    EXPECT_EQ(*decoded, v);
+  }
+}
+
+TEST_P(CodecRoundTrip, FewerThanKBlocksFail) {
+  const auto& p = GetParam();
+  auto codec = make_codec(p.kind, p.n, p.k, p.data_bits);
+  const uint32_t k = codec->k();
+  if (k < 2) GTEST_SKIP() << "k=1 decodes from any single block";
+  Rng rng(p.n + p.k);
+  const Value v = random_value(p.data_bits, rng);
+  auto blocks = codec->encode(v);
+  std::vector<Block> subset(blocks.begin(), blocks.begin() + (k - 1));
+  EXPECT_FALSE(codec->decode(subset).has_value());
+}
+
+TEST_P(CodecRoundTrip, DuplicatedBlocksDoNotHelp) {
+  const auto& p = GetParam();
+  auto codec = make_codec(p.kind, p.n, p.k, p.data_bits);
+  const uint32_t k = codec->k();
+  if (k < 2) GTEST_SKIP();
+  Rng rng(p.n + 2 * p.k);
+  const Value v = random_value(p.data_bits, rng);
+  auto blocks = codec->encode(v);
+  // k-1 distinct blocks, one duplicated many times: still undecodable
+  // (Definition 6 counts distinct indices for exactly this reason).
+  std::vector<Block> subset(blocks.begin(), blocks.begin() + (k - 1));
+  for (int i = 0; i < 5; ++i) subset.push_back(blocks[0]);
+  EXPECT_FALSE(codec->decode(subset).has_value());
+}
+
+TEST_P(CodecRoundTrip, SymmetricEncoding) {
+  const auto& p = GetParam();
+  auto codec = make_codec(p.kind, p.n, p.k, p.data_bits);
+  Rng rng(p.n * 31 + p.k * 17);
+  std::vector<Value> sample;
+  sample.push_back(Value::initial(p.data_bits));
+  for (int i = 0; i < 6; ++i) sample.push_back(random_value(p.data_bits, rng));
+  EXPECT_TRUE(verify_symmetry(*codec, sample));
+}
+
+TEST_P(CodecRoundTrip, BlockBitsMatchesActualBlocks) {
+  const auto& p = GetParam();
+  auto codec = make_codec(p.kind, p.n, p.k, p.data_bits);
+  Rng rng(p.k * 97 + 1);
+  const Value v = random_value(p.data_bits, rng);
+  for (uint32_t i = 1; i <= codec->n(); ++i) {
+    EXPECT_EQ(codec->encode_block(v, i).bit_size(), codec->block_bits(i));
+  }
+}
+
+TEST_P(CodecRoundTrip, TotalBitsIsNOverKExpansion) {
+  const auto& p = GetParam();
+  auto codec = make_codec(p.kind, p.n, p.k, p.data_bits);
+  // n blocks of ceil(D/8k) bytes each.
+  const uint64_t shard_bits =
+      8ull * ((p.data_bits / 8 + codec->k() - 1) / codec->k());
+  EXPECT_EQ(codec->total_bits(), codec->n() * shard_bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CodecRoundTrip,
+    ::testing::Values(
+        CodecCase{"replication", 3, 1, 256}, CodecCase{"replication", 5, 1, 64},
+        CodecCase{"replication", 1, 1, 8}, CodecCase{"rs", 3, 1, 256},
+        CodecCase{"rs", 4, 2, 256}, CodecCase{"rs", 6, 2, 512},
+        CodecCase{"rs", 7, 3, 1024}, CodecCase{"rs", 9, 3, 240},
+        CodecCase{"rs", 12, 4, 2048}, CodecCase{"rs", 20, 16, 4096},
+        CodecCase{"rs", 255, 100, 8000}, CodecCase{"stripe", 4, 4, 256},
+        CodecCase{"stripe", 8, 8, 512}),
+    [](const ::testing::TestParamInfo<CodecCase>& info) {
+      return info.param.kind + "_n" + std::to_string(info.param.n) + "_k" +
+             std::to_string(info.param.k) + "_D" +
+             std::to_string(info.param.data_bits);
+    });
+
+// ---------------------------------------------------------------------------
+// Codec-specific behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(ReplicationCodec, EveryBlockIsTheFullValue) {
+  ReplicationCodec codec(4, 128);
+  Rng rng(2);
+  const Value v = random_value(128, rng);
+  for (uint32_t i = 1; i <= 4; ++i) {
+    const Block b = codec.encode_block(v, i);
+    EXPECT_EQ(b.data, v.bytes());
+    EXPECT_EQ(b.index, i);
+  }
+}
+
+TEST(ReplicationCodec, DecodeIgnoresJunkBlocks) {
+  ReplicationCodec codec(3, 64);
+  Rng rng(3);
+  const Value v = random_value(64, rng);
+  std::vector<Block> blocks;
+  blocks.push_back(Block{9, Bytes{1, 2}});       // out of range index
+  blocks.push_back(Block{1, Bytes{1, 2, 3}});    // wrong size
+  blocks.push_back(codec.encode_block(v, 2));    // good copy
+  auto decoded = codec.decode(blocks);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, v);
+}
+
+TEST(RsCodec, SystematicPrefixIsRawData) {
+  RsCodec codec(6, 2, 128);
+  Rng rng(4);
+  const Value v = random_value(128, rng);
+  // Blocks 1..k hold the data shards verbatim (systematic generator).
+  const Block b1 = codec.encode_block(v, 1);
+  const Block b2 = codec.encode_block(v, 2);
+  Bytes joined = b1.data;
+  joined.insert(joined.end(), b2.data.begin(), b2.data.end());
+  joined.resize(v.bytes().size());
+  EXPECT_EQ(joined, v.bytes());
+}
+
+TEST(RsCodec, PaddingHandledWhenKDoesNotDivideSize) {
+  // 30 bytes into k=4 shards of 8 bytes: 2 bytes padding.
+  RsCodec codec(7, 4, 240);
+  Rng rng(8);
+  const Value v = random_value(240, rng);
+  auto blocks = codec.encode(v);
+  // Decode from the last 4 (all-parity) blocks.
+  std::vector<Block> subset(blocks.begin() + 3, blocks.end());
+  auto decoded = codec.decode(subset);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, v);
+}
+
+TEST(RsCodec, MixedValueBlocksDecodeToSomethingElse) {
+  // Blocks of two different values with the same indices must not decode
+  // to either value (the register algorithms key blocks by timestamp to
+  // avoid ever mixing).
+  RsCodec codec(6, 2, 256);
+  Rng rng(5);
+  const Value v1 = random_value(256, rng);
+  const Value v2 = random_value(256, rng);
+  std::vector<Block> mixed = {codec.encode_block(v1, 3),
+                              codec.encode_block(v2, 5)};
+  auto decoded = codec.decode(mixed);
+  ASSERT_TRUE(decoded.has_value());  // decoding "succeeds"...
+  EXPECT_NE(*decoded, v1);           // ...but yields a Frankenstein value
+  EXPECT_NE(*decoded, v2);
+}
+
+TEST(RsCodec, DistinctValuesGiveDistinctBlocks) {
+  RsCodec codec(8, 3, 512);
+  Rng rng(6);
+  const Value v1 = random_value(512, rng);
+  const Value v2 = random_value(512, rng);
+  ASSERT_NE(v1, v2);
+  std::set<Bytes> blocks1, blocks2;
+  bool any_different = false;
+  for (uint32_t i = 1; i <= 8; ++i) {
+    if (codec.encode_block(v1, i).data != codec.encode_block(v2, i).data) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(StripeCodec, NeedsAllBlocks) {
+  StripeCodec codec(4, 256);
+  Rng rng(7);
+  const Value v = random_value(256, rng);
+  auto blocks = codec.encode(v);
+  EXPECT_TRUE(codec.decode(blocks).has_value());
+  blocks.pop_back();
+  EXPECT_FALSE(codec.decode(blocks).has_value());
+}
+
+TEST(CodecFactory, UnknownKindFails) {
+  EXPECT_THROW(make_codec("fountain", 4, 2, 256), CheckFailure);
+}
+
+TEST(CodecFactory, InvalidParamsFail) {
+  EXPECT_THROW(make_codec("rs", 4, 5, 256), CheckFailure);   // k > n
+  EXPECT_THROW(make_codec("rs", 300, 5, 256), CheckFailure); // n > 255
+  EXPECT_THROW(make_codec("rs", 4, 2, 0), CheckFailure);     // no data
+  EXPECT_THROW(make_codec("rs", 4, 2, 12), CheckFailure);    // not byte-sized
+}
+
+}  // namespace
+}  // namespace sbrs::codec

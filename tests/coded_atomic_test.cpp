@@ -1,0 +1,110 @@
+// Tests for the atomic coded register (reader write-back).
+#include <gtest/gtest.h>
+
+#include "bounds/formulas.h"
+#include "harness/runner.h"
+
+namespace sbrs {
+namespace {
+
+using harness::RunOptions;
+using harness::SchedKind;
+using harness::run_register_experiment;
+using registers::RegisterConfig;
+
+RegisterConfig cfg_fk(uint32_t f, uint32_t k, uint64_t data_bits = 512) {
+  RegisterConfig cfg;
+  cfg.f = f;
+  cfg.k = k;
+  cfg.n = 2 * f + k;
+  cfg.data_bits = data_bits;
+  return cfg;
+}
+
+TEST(CodedAtomic, SequentialCorrectness) {
+  auto alg = registers::make_coded_atomic(cfg_fk(1, 2));
+  RunOptions opts;
+  opts.writers = 1;
+  opts.writes_per_client = 4;
+  opts.readers = 1;
+  opts.reads_per_client = 4;
+  opts.scheduler = SchedKind::kRoundRobin;
+  auto out = run_register_experiment(*alg, opts);
+  EXPECT_TRUE(out.report.quiesced);
+  auto atom = consistency::check_atomicity(out.history);
+  EXPECT_TRUE(atom.ok) << atom.summary();
+}
+
+TEST(CodedAtomic, AtomicUnderConcurrency) {
+  auto alg = registers::make_coded_atomic(cfg_fk(2, 3));
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RunOptions opts;
+    opts.writers = 3;
+    opts.writes_per_client = 2;
+    opts.readers = 4;
+    opts.reads_per_client = 3;
+    opts.seed = seed;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.report.quiesced) << "seed " << seed;
+    EXPECT_TRUE(out.values_legal.ok)
+        << "seed " << seed << ": " << out.values_legal.summary();
+    auto atom = consistency::check_atomicity(out.history);
+    EXPECT_TRUE(atom.ok) << "seed " << seed << ": " << atom.summary();
+  }
+}
+
+TEST(CodedAtomic, AtomicWithCrashes) {
+  const auto cfg = cfg_fk(2, 2);
+  auto alg = registers::make_coded_atomic(cfg);
+  for (uint64_t seed : {61u, 62u, 63u, 64u}) {
+    RunOptions opts;
+    opts.writers = 2;
+    opts.writes_per_client = 3;
+    opts.readers = 3;
+    opts.reads_per_client = 2;
+    opts.object_crashes = cfg.f;
+    opts.seed = seed;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.live) << "seed " << seed;
+    auto atom = consistency::check_atomicity(out.history);
+    EXPECT_TRUE(atom.ok) << "seed " << seed << ": " << atom.summary();
+  }
+}
+
+TEST(CodedAtomic, StillInTheOcdStorageClass) {
+  // Reader write-back does not change the O(cD) storage class: the
+  // algorithm is subject to Theorem 1 like the plain coded baseline.
+  const uint32_t f = 2, k = 4;
+  const uint64_t D = 1024;
+  auto alg = registers::make_coded_atomic(cfg_fk(f, k, D));
+  uint64_t prev = 0;
+  for (uint32_t c : {2u, 4u, 8u}) {
+    RunOptions opts;
+    opts.writers = c;
+    opts.writes_per_client = 1;
+    opts.scheduler = SchedKind::kBurst;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.report.quiesced);
+    EXPECT_GT(out.max_object_bits, prev) << "c=" << c;
+    prev = out.max_object_bits;
+  }
+}
+
+TEST(CodedAtomic, ReadsCostAnExtraRound) {
+  auto plain = registers::make_coded(cfg_fk(1, 2));
+  auto atomic = registers::make_coded_atomic(cfg_fk(1, 2));
+  RunOptions opts;
+  opts.writers = 1;
+  opts.writes_per_client = 2;
+  opts.readers = 1;
+  opts.reads_per_client = 2;
+  opts.scheduler = SchedKind::kRoundRobin;
+  auto plain_out = run_register_experiment(*plain, opts);
+  auto atomic_out = run_register_experiment(*atomic, opts);
+  // Two reads x one extra round x n objects.
+  EXPECT_EQ(atomic_out.report.rmws_triggered,
+            plain_out.report.rmws_triggered + 2 * 4);
+}
+
+}  // namespace
+}  // namespace sbrs

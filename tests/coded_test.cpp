@@ -1,0 +1,134 @@
+// Tests for the pure erasure-coded baseline: correctness plus the O(cD)
+// storage growth the paper's introduction attributes to this class of
+// algorithms ([5, 9, 6, 8]).
+#include <gtest/gtest.h>
+
+#include "bounds/formulas.h"
+#include "harness/runner.h"
+
+namespace sbrs {
+namespace {
+
+using harness::RunOptions;
+using harness::SchedKind;
+using harness::run_register_experiment;
+using registers::RegisterConfig;
+
+RegisterConfig cfg_fk(uint32_t f, uint32_t k, uint64_t data_bits = 512) {
+  RegisterConfig cfg;
+  cfg.f = f;
+  cfg.k = k;
+  cfg.n = 2 * f + k;
+  cfg.data_bits = data_bits;
+  return cfg;
+}
+
+TEST(Coded, SequentialCorrectness) {
+  auto alg = registers::make_coded(cfg_fk(1, 2));
+  RunOptions opts;
+  opts.writers = 1;
+  opts.writes_per_client = 4;
+  opts.readers = 1;
+  opts.reads_per_client = 4;
+  opts.scheduler = SchedKind::kRoundRobin;
+  auto out = run_register_experiment(*alg, opts);
+  EXPECT_TRUE(out.report.quiesced);
+  EXPECT_TRUE(out.strong_regular.ok) << out.strong_regular.summary();
+}
+
+TEST(Coded, RegularUnderConcurrency) {
+  auto alg = registers::make_coded(cfg_fk(2, 3));
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    RunOptions opts;
+    opts.writers = 4;
+    opts.writes_per_client = 2;
+    opts.readers = 2;
+    opts.reads_per_client = 2;
+    opts.seed = seed;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.report.quiesced) << "seed " << seed;
+    EXPECT_TRUE(out.weak_regular.ok)
+        << "seed " << seed << ": " << out.weak_regular.summary();
+    EXPECT_TRUE(out.strong_regular.ok)
+        << "seed " << seed << ": " << out.strong_regular.summary();
+  }
+}
+
+TEST(Coded, StorageGrowsLinearlyWithConcurrency) {
+  // The motivating O(cD) claim: with c writers stalled between store and
+  // commit, every object accumulates one piece per concurrent write.
+  const uint32_t f = 2, k = 4;
+  const uint64_t D = 1024;
+  auto alg = registers::make_coded(cfg_fk(f, k, D));
+  std::vector<uint64_t> measured;
+  for (uint32_t c : {1u, 2u, 4u, 8u}) {
+    RunOptions opts;
+    opts.writers = c;
+    opts.writes_per_client = 1;
+    opts.scheduler = SchedKind::kBurst;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.report.quiesced);
+    measured.push_back(out.max_object_bits);
+    // Upper sanity bound: c+1 pieces per object.
+    EXPECT_LE(out.max_object_bits, bounds::coded_baseline_bits(f, k, c, D));
+  }
+  // Strictly increasing in c, and roughly linear: doubling c from 4 to 8
+  // must grow storage by at least 1.5x.
+  for (size_t i = 1; i < measured.size(); ++i) {
+    EXPECT_GT(measured[i], measured[i - 1]);
+  }
+  EXPECT_GE(measured[3] * 2, measured[2] * 3);
+}
+
+TEST(Coded, StorageExceedsAdaptiveCapUnderHighConcurrency) {
+  // At high concurrency the coded baseline must pay more than the adaptive
+  // algorithm's replication cap 2 n D — the gap Theorem 2 closes.
+  const uint32_t f = 2, k = 4;
+  const uint64_t D = 1024;
+  auto coded = registers::make_coded(cfg_fk(f, k, D));
+  auto adaptive = registers::make_adaptive(cfg_fk(f, k, D));
+  const uint32_t c = 16;
+  RunOptions opts;
+  opts.writers = c;
+  opts.writes_per_client = 1;
+  opts.scheduler = SchedKind::kBurst;
+  auto coded_out = run_register_experiment(*coded, opts);
+  auto adaptive_out = run_register_experiment(*adaptive, opts);
+  EXPECT_GT(coded_out.max_object_bits, adaptive_out.max_object_bits);
+  EXPECT_GT(coded_out.max_object_bits, 2ull * (2 * f + k) * D);
+}
+
+TEST(Coded, CommitShrinksStorage) {
+  // After quiescence only the last committed write's pieces remain.
+  const uint32_t f = 1, k = 2;
+  const uint64_t D = 512;
+  auto alg = registers::make_coded(cfg_fk(f, k, D));
+  RunOptions opts;
+  opts.writers = 2;
+  opts.writes_per_client = 3;
+  opts.scheduler = SchedKind::kRoundRobin;
+  auto out = run_register_experiment(*alg, opts);
+  EXPECT_TRUE(out.report.quiesced);
+  EXPECT_LE(out.final_object_bits, (2ull * f + k) * D / k);
+}
+
+TEST(Coded, ToleratesFCrashes) {
+  const auto cfg = cfg_fk(2, 2);
+  auto alg = registers::make_coded(cfg);
+  for (uint64_t seed : {41u, 42u, 43u}) {
+    RunOptions opts;
+    opts.writers = 2;
+    opts.writes_per_client = 2;
+    opts.readers = 2;
+    opts.reads_per_client = 2;
+    opts.object_crashes = cfg.f;
+    opts.seed = seed;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.live) << "seed " << seed;
+    EXPECT_TRUE(out.weak_regular.ok)
+        << "seed " << seed << ": " << out.weak_regular.summary();
+  }
+}
+
+}  // namespace
+}  // namespace sbrs

@@ -1,0 +1,188 @@
+// Tests for the common vocabulary types: bytes, values, timestamps, RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/timestamp.h"
+#include "common/value.h"
+
+namespace sbrs {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes b = {0x00, 0x0a, 0xff, 0x42};
+  EXPECT_EQ(to_hex(b), "000aff42");
+  EXPECT_EQ(from_hex("000aff42"), b);
+  EXPECT_EQ(from_hex("000AFF42"), b);
+}
+
+TEST(Bytes, FromHexRejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, BitSize) {
+  EXPECT_EQ(bit_size(Bytes{}), 0u);
+  EXPECT_EQ(bit_size(Bytes{1, 2, 3}), 24u);
+}
+
+TEST(Bytes, Fnv1aDistinguishes) {
+  EXPECT_NE(fnv1a(Bytes{1}), fnv1a(Bytes{2}));
+  EXPECT_NE(fnv1a(Bytes{1, 2}), fnv1a(Bytes{2, 1}));
+  EXPECT_EQ(fnv1a(Bytes{7, 7}), fnv1a(Bytes{7, 7}));
+}
+
+TEST(Bytes, XorInplace) {
+  Bytes a = {0xf0, 0x0f};
+  xor_inplace(a, Bytes{0xff, 0xff});
+  EXPECT_EQ(a, (Bytes{0x0f, 0xf0}));
+  EXPECT_THROW(xor_inplace(a, Bytes{1}), std::invalid_argument);
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1, 2};
+  const Bytes b = {3};
+  std::vector<BytesView> parts = {a, b};
+  EXPECT_EQ(concat(parts), (Bytes{1, 2, 3}));
+}
+
+TEST(Value, InitialIsAllZero) {
+  const Value v0 = Value::initial(64);
+  EXPECT_EQ(v0.bit_size(), 64u);
+  for (uint8_t b : v0.bytes()) EXPECT_EQ(b, 0);
+  EXPECT_EQ(v0.tag(), 0u);
+}
+
+TEST(Value, FromTagRoundTrip) {
+  for (uint64_t tag : {1ull, 42ull, 0xdeadbeefull, (1ull << 63)}) {
+    const Value v = Value::from_tag(tag, 256);
+    EXPECT_EQ(v.tag(), tag);
+    EXPECT_EQ(v.bit_size(), 256u);
+  }
+}
+
+TEST(Value, DistinctTagsDistinctValues) {
+  std::set<uint64_t> fingerprints;
+  for (uint64_t tag = 1; tag <= 200; ++tag) {
+    fingerprints.insert(Value::from_tag(tag, 128).fingerprint());
+  }
+  EXPECT_EQ(fingerprints.size(), 200u);
+}
+
+TEST(Value, LargeValueNonTrivialTail) {
+  const Value v = Value::from_tag(5, 4096);
+  size_t nonzero = 0;
+  for (uint8_t b : v.bytes()) {
+    if (b != 0) ++nonzero;
+  }
+  EXPECT_GT(nonzero, 100u);  // tail is pseudo-random, not zeros
+}
+
+TEST(Value, RejectsBadSizes) {
+  EXPECT_THROW(Value::initial(0), std::invalid_argument);
+  EXPECT_THROW(Value::initial(13), std::invalid_argument);
+}
+
+TEST(TimeStamp, LexicographicOrder) {
+  const TimeStamp a{1, ClientId{5}};
+  const TimeStamp b{2, ClientId{0}};
+  const TimeStamp c{2, ClientId{3}};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a, (TimeStamp{1, ClientId{5}}));
+}
+
+TEST(TimeStamp, NextForIsStrictlyBigger) {
+  const TimeStamp ts{7, ClientId{9}};
+  const TimeStamp next = ts.next_for(ClientId{0});
+  EXPECT_LT(ts, next);
+  EXPECT_EQ(next.num, 8u);
+  EXPECT_EQ(next.client, ClientId{0});
+}
+
+TEST(TimeStamp, ZeroIsMinimal) {
+  EXPECT_TRUE(TimeStamp::zero().is_zero());
+  EXPECT_LT(TimeStamp::zero(), (TimeStamp{0, ClientId{1}}));
+  EXPECT_LT(TimeStamp::zero(), (TimeStamp{1, ClientId{0}}));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.between(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BelowRoughlyUniform) {
+  Rng rng(9);
+  std::vector<int> buckets(10, 0);
+  const int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.below(10)];
+  for (int b : buckets) {
+    EXPECT_GT(b, kDraws / 10 - kDraws / 50);
+    EXPECT_LT(b, kDraws / 10 + kDraws / 50);
+  }
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(10);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, sorted);  // overwhelmingly likely
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(11);
+  Rng child = a.fork();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    SBRS_CHECK_MSG(1 == 2, "math is broken: " << 42);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("math is broken: 42"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sbrs

@@ -1,0 +1,70 @@
+// Tests for the CSV export helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "harness/export.h"
+
+namespace sbrs::harness {
+namespace {
+
+metrics::StorageSample sample(uint64_t t, uint64_t total, uint64_t obj,
+                              uint64_t chan) {
+  metrics::StorageSample s;
+  s.time = t;
+  s.total_bits = total;
+  s.object_bits = obj;
+  s.channel_bits = chan;
+  return s;
+}
+
+TEST(Export, SeriesCsvFormat) {
+  std::ostringstream os;
+  const size_t rows = write_series_csv(
+      os, {sample(0, 10, 6, 4), sample(1, 20, 12, 8)});
+  EXPECT_EQ(rows, 2u);
+  EXPECT_EQ(os.str(),
+            "time,total_bits,object_bits,channel_bits\n"
+            "0,10,6,4\n"
+            "1,20,12,8\n");
+}
+
+TEST(Export, SweepCsvFormat) {
+  std::ostringstream os;
+  std::vector<SweepRow> rows = {{1.0, {100, 200}}, {2.0, {150, 250}}};
+  const size_t n = write_sweep_csv(os, "c", {"measured", "bound"}, rows);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(os.str(),
+            "c,measured,bound\n"
+            "1,100,200\n"
+            "2,150,250\n");
+}
+
+TEST(Export, SweepCsvRejectsArityMismatch) {
+  std::ostringstream os;
+  std::vector<SweepRow> rows = {{1.0, {100}}};
+  EXPECT_THROW(write_sweep_csv(os, "c", {"a", "b"}, rows), CheckFailure);
+}
+
+TEST(Export, DownsampleKeepsEndpointsAndBound) {
+  std::vector<metrics::StorageSample> series;
+  for (uint64_t t = 0; t < 100; ++t) series.push_back(sample(t, t, t, 0));
+  auto ds = downsample(series, 10);
+  ASSERT_EQ(ds.size(), 10u);
+  EXPECT_EQ(ds.front().time, 0u);
+  EXPECT_EQ(ds.back().time, 99u);
+  for (size_t i = 1; i < ds.size(); ++i) {
+    EXPECT_LT(ds[i - 1].time, ds[i].time);
+  }
+}
+
+TEST(Export, DownsampleNoopWhenSmall) {
+  std::vector<metrics::StorageSample> series = {sample(0, 1, 1, 0),
+                                                sample(1, 2, 2, 0)};
+  EXPECT_EQ(downsample(series, 10).size(), 2u);
+  EXPECT_EQ(downsample(series, 1).size(), 2u);  // max_points < 2: unchanged
+}
+
+}  // namespace
+}  // namespace sbrs::harness

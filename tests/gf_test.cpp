@@ -1,0 +1,161 @@
+// Unit and property tests for GF(2^8) arithmetic.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "gf/gf256.h"
+
+namespace sbrs::gf {
+namespace {
+
+TEST(Gf256, AddIsXor) {
+  EXPECT_EQ(add(0x00, 0x00), 0x00);
+  EXPECT_EQ(add(0xff, 0xff), 0x00);
+  EXPECT_EQ(add(0x53, 0xca), 0x53 ^ 0xca);
+  EXPECT_EQ(sub(0x53, 0xca), add(0x53, 0xca));
+}
+
+TEST(Gf256, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<uint8_t>(a), 1), a);
+    EXPECT_EQ(mul(1, static_cast<uint8_t>(a)), a);
+    EXPECT_EQ(mul(static_cast<uint8_t>(a), 0), 0);
+    EXPECT_EQ(mul(0, static_cast<uint8_t>(a)), 0);
+  }
+}
+
+TEST(Gf256, KnownProducts) {
+  // From the AES literature: 0x53 * 0xCA = 0x01 under poly 0x11b.
+  EXPECT_EQ(mul(0x53, 0xca), 0x01);
+  EXPECT_EQ(mul(0x02, 0x80), 0x1b);  // x * x^7 = x^8 = 0x1b mod poly
+  EXPECT_EQ(mul(0x03, 0x03), 0x05);
+}
+
+TEST(Gf256, MulMatchesSlowReference) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; b += 7) {
+      EXPECT_EQ(mul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)),
+                mul_slow(static_cast<uint8_t>(a), static_cast<uint8_t>(b)))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Gf256, MulCommutative) {
+  for (int a = 1; a < 256; a += 3) {
+    for (int b = 1; b < 256; b += 5) {
+      EXPECT_EQ(mul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)),
+                mul(static_cast<uint8_t>(b), static_cast<uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256, MulAssociative) {
+  for (int a = 1; a < 256; a += 17) {
+    for (int b = 1; b < 256; b += 23) {
+      for (int c = 1; c < 256; c += 29) {
+        const uint8_t ua = static_cast<uint8_t>(a);
+        const uint8_t ub = static_cast<uint8_t>(b);
+        const uint8_t uc = static_cast<uint8_t>(c);
+        EXPECT_EQ(mul(mul(ua, ub), uc), mul(ua, mul(ub, uc)));
+      }
+    }
+  }
+}
+
+TEST(Gf256, Distributive) {
+  for (int a = 1; a < 256; a += 13) {
+    for (int b = 0; b < 256; b += 11) {
+      for (int c = 0; c < 256; c += 19) {
+        const uint8_t ua = static_cast<uint8_t>(a);
+        const uint8_t ub = static_cast<uint8_t>(b);
+        const uint8_t uc = static_cast<uint8_t>(c);
+        EXPECT_EQ(mul(ua, add(ub, uc)), add(mul(ua, ub), mul(ua, uc)));
+      }
+    }
+  }
+}
+
+TEST(Gf256, InverseRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    const uint8_t ua = static_cast<uint8_t>(a);
+    EXPECT_EQ(mul(ua, inv(ua)), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, InvOfZeroThrows) { EXPECT_THROW(inv(0), CheckFailure); }
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  for (int a = 0; a < 256; a += 3) {
+    for (int b = 1; b < 256; b += 7) {
+      const uint8_t ua = static_cast<uint8_t>(a);
+      const uint8_t ub = static_cast<uint8_t>(b);
+      EXPECT_EQ(mul(div(ua, ub), ub), ua);
+    }
+  }
+}
+
+TEST(Gf256, DivByZeroThrows) { EXPECT_THROW(div(5, 0), CheckFailure); }
+
+TEST(Gf256, PowBasics) {
+  EXPECT_EQ(pow(0, 0), 1);
+  EXPECT_EQ(pow(0, 5), 0);
+  EXPECT_EQ(pow(7, 0), 1);
+  EXPECT_EQ(pow(7, 1), 7);
+  EXPECT_EQ(pow(2, 8), 0x1b);
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (int a = 1; a < 256; a += 31) {
+    uint8_t acc = 1;
+    for (uint32_t e = 0; e < 40; ++e) {
+      EXPECT_EQ(pow(static_cast<uint8_t>(a), e), acc) << "a=" << a << " e=" << e;
+      acc = mul(acc, static_cast<uint8_t>(a));
+    }
+  }
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // The generator's powers must cycle through all 255 nonzero elements.
+  uint8_t x = 1;
+  std::array<bool, 256> seen{};
+  for (int i = 0; i < 255; ++i) {
+    EXPECT_FALSE(seen[x]) << "repeat at step " << i;
+    seen[x] = true;
+    x = mul(x, kGenerator);
+  }
+  EXPECT_EQ(x, 1);  // order exactly 255
+}
+
+TEST(Gf256, MulAddRowMatchesScalarOps) {
+  std::vector<uint8_t> y = {1, 2, 3, 4, 0, 255};
+  std::vector<uint8_t> x = {9, 8, 7, 0, 5, 1};
+  std::vector<uint8_t> expect = y;
+  const uint8_t c = 0x37;
+  for (size_t i = 0; i < y.size(); ++i) expect[i] ^= mul(c, x[i]);
+  mul_add_row(y.data(), x.data(), c, y.size());
+  EXPECT_EQ(y, expect);
+}
+
+TEST(Gf256, MulAddRowCoefficientZeroIsNoop) {
+  std::vector<uint8_t> y = {1, 2, 3};
+  std::vector<uint8_t> x = {9, 9, 9};
+  mul_add_row(y.data(), x.data(), 0, y.size());
+  EXPECT_EQ(y, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(Gf256, MulAddRowCoefficientOneIsXor) {
+  std::vector<uint8_t> y = {1, 2, 3};
+  std::vector<uint8_t> x = {4, 5, 6};
+  mul_add_row(y.data(), x.data(), 1, y.size());
+  EXPECT_EQ(y, (std::vector<uint8_t>{1 ^ 4, 2 ^ 5, 3 ^ 6}));
+}
+
+TEST(Gf256, MulRowScalesBuffer) {
+  std::vector<uint8_t> x = {1, 2, 0, 200};
+  std::vector<uint8_t> y(4);
+  mul_row(y.data(), x.data(), 0x11, x.size());
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_EQ(y[i], mul(0x11, x[i]));
+}
+
+}  // namespace
+}  // namespace sbrs::gf

@@ -1,0 +1,153 @@
+// Tests for GF(2^8) matrices: inversion, MDS constructions.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gf/matrix.h"
+
+namespace sbrs::gf {
+namespace {
+
+Matrix random_matrix(size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      m.at(r, c) = static_cast<uint8_t>(rng.below(256));
+    }
+  }
+  return m;
+}
+
+TEST(Matrix, IdentityIsItsOwnInverse) {
+  const Matrix id = Matrix::identity(5);
+  auto inv = id.inverted();
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(*inv, id);
+}
+
+TEST(Matrix, MulByIdentity) {
+  Rng rng(1);
+  const Matrix m = random_matrix(6, rng);
+  EXPECT_EQ(m.mul(Matrix::identity(6)), m);
+  EXPECT_EQ(Matrix::identity(6).mul(m), m);
+}
+
+TEST(Matrix, SingularMatrixNotInvertible) {
+  Matrix m(3, 3);  // all zeros
+  EXPECT_FALSE(m.inverted().has_value());
+  // Duplicate rows.
+  Matrix d(2, 2);
+  d.at(0, 0) = 3;
+  d.at(0, 1) = 7;
+  d.at(1, 0) = 3;
+  d.at(1, 1) = 7;
+  EXPECT_FALSE(d.inverted().has_value());
+}
+
+TEST(Matrix, InverseRoundTripRandom) {
+  Rng rng(99);
+  size_t inverted_count = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t n = 1 + rng.below(8);
+    const Matrix m = random_matrix(n, rng);
+    auto inv = m.inverted();
+    if (!inv.has_value()) continue;  // singular random matrices happen
+    ++inverted_count;
+    EXPECT_EQ(m.mul(*inv), Matrix::identity(n));
+    EXPECT_EQ(inv->mul(m), Matrix::identity(n));
+  }
+  EXPECT_GT(inverted_count, 20u);  // most random matrices are invertible
+}
+
+TEST(Matrix, VandermondeSquareSubmatricesInvertible) {
+  const Matrix v = Matrix::vandermonde(10, 4);
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<size_t> rows;
+    for (size_t r = 0; r < 10; ++r) rows.push_back(r);
+    rng.shuffle(rows);
+    rows.resize(4);
+    EXPECT_TRUE(v.select_rows(rows).inverted().has_value())
+        << "rows " << rows[0] << "," << rows[1] << "," << rows[2] << ","
+        << rows[3];
+  }
+}
+
+TEST(Matrix, CauchyAllSquareSubmatricesInvertible) {
+  const Matrix c = Matrix::cauchy(8, 4);
+  Rng rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<size_t> rows;
+    for (size_t r = 0; r < 8; ++r) rows.push_back(r);
+    rng.shuffle(rows);
+    rows.resize(4);
+    EXPECT_TRUE(c.select_rows(rows).inverted().has_value());
+  }
+}
+
+TEST(Matrix, RsSystematicTopIsIdentity) {
+  const Matrix g = Matrix::rs_systematic(9, 4);
+  ASSERT_EQ(g.rows(), 9u);
+  ASSERT_EQ(g.cols(), 4u);
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(g.at(r, c), r == c ? 1 : 0);
+    }
+  }
+}
+
+TEST(Matrix, RsSystematicIsMds) {
+  // Every k-subset of rows must be invertible (the MDS property that makes
+  // "any k blocks decode" true).
+  const size_t n = 8, k = 3;
+  const Matrix g = Matrix::rs_systematic(n, k);
+  // Enumerate all C(8,3) = 56 subsets.
+  size_t checked = 0;
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      for (size_t c = b + 1; c < n; ++c) {
+        EXPECT_TRUE(g.select_rows({a, b, c}).inverted().has_value())
+            << a << "," << b << "," << c;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_EQ(checked, 56u);
+}
+
+TEST(Matrix, ApplyMatchesMul) {
+  Rng rng(17);
+  const Matrix m = random_matrix(4, rng);
+  const size_t len = 16;
+  std::vector<std::vector<uint8_t>> in(4, std::vector<uint8_t>(len));
+  for (auto& v : in) {
+    for (auto& b : v) b = static_cast<uint8_t>(rng.below(256));
+  }
+  std::vector<const uint8_t*> in_ptrs;
+  for (auto& v : in) in_ptrs.push_back(v.data());
+  std::vector<std::vector<uint8_t>> out(4, std::vector<uint8_t>(len));
+  std::vector<uint8_t*> out_ptrs;
+  for (auto& v : out) out_ptrs.push_back(v.data());
+  m.apply(in_ptrs, out_ptrs, len);
+
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t i = 0; i < len; ++i) {
+      uint8_t expect = 0;
+      for (size_t c = 0; c < 4; ++c) expect ^= mul(m.at(r, c), in[c][i]);
+      EXPECT_EQ(out[r][i], expect);
+    }
+  }
+}
+
+TEST(Matrix, SelectRowsPreservesOrder) {
+  const Matrix v = Matrix::vandermonde(5, 2);
+  const Matrix s = v.select_rows({4, 0, 2});
+  EXPECT_EQ(s.rows(), 3u);
+  for (size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(s.at(0, c), v.at(4, c));
+    EXPECT_EQ(s.at(1, c), v.at(0, c));
+    EXPECT_EQ(s.at(2, c), v.at(2, c));
+  }
+}
+
+}  // namespace
+}  // namespace sbrs::gf

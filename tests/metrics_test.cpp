@@ -1,0 +1,127 @@
+// Unit tests for the storage accounting layer: footprints, snapshots
+// (Definitions 2 and 6), and the meter.
+#include <gtest/gtest.h>
+
+#include "metrics/snapshot.h"
+#include "metrics/storage_meter.h"
+
+namespace sbrs::metrics {
+namespace {
+
+StorageSnapshot::ObjectEntry object_with(ObjectId id,
+                                         std::vector<BlockInstance> blocks) {
+  StorageSnapshot::ObjectEntry e;
+  e.id = id;
+  e.footprint.blocks = std::move(blocks);
+  return e;
+}
+
+TEST(Footprint, TotalsAndMerge) {
+  StorageFootprint a;
+  a.add(codec::Source{OpId{1}, 1}, 100);
+  a.add(codec::Source{OpId{1}, 2}, 50);
+  EXPECT_EQ(a.total_bits(), 150u);
+
+  StorageFootprint b;
+  b.add(codec::Source{OpId{2}, 1}, 10);
+  a.merge(b);
+  EXPECT_EQ(a.total_bits(), 160u);
+  EXPECT_EQ(a.blocks.size(), 3u);
+  EXPECT_FALSE(a.empty());
+  EXPECT_TRUE(StorageFootprint{}.empty());
+}
+
+TEST(Snapshot, TotalSplitsAcrossComponents) {
+  StorageSnapshot snap;
+  snap.objects.push_back(
+      object_with(ObjectId{0}, {{codec::Source{OpId{1}, 1}, 100}}));
+  StorageSnapshot::ClientEntry c;
+  c.id = ClientId{0};
+  c.footprint.add(codec::Source{OpId{2}, 1}, 30);
+  snap.clients.push_back(c);
+  StorageSnapshot::InFlightEntry r;
+  r.rmw = RmwId{1};
+  r.client = ClientId{1};
+  r.target = ObjectId{0};
+  r.op = OpId{3};
+  r.footprint.add(codec::Source{OpId{3}, 2}, 7);
+  snap.in_flight.push_back(r);
+
+  EXPECT_EQ(snap.object_bits(), 100u);
+  EXPECT_EQ(snap.channel_bits(), 7u);
+  EXPECT_EQ(snap.total_bits(), 137u);
+  EXPECT_EQ(snap.bits_at_object(ObjectId{0}), 100u);
+  EXPECT_EQ(snap.bits_at_object(ObjectId{9}), 0u);
+}
+
+TEST(Snapshot, ContributionCountsDistinctIndicesOnly) {
+  StorageSnapshot snap;
+  // The same block index stored at two objects counts once (Definition 6).
+  snap.objects.push_back(
+      object_with(ObjectId{0}, {{codec::Source{OpId{1}, 3}, 64}}));
+  snap.objects.push_back(
+      object_with(ObjectId{1}, {{codec::Source{OpId{1}, 3}, 64},
+                                {codec::Source{OpId{1}, 4}, 64}}));
+  EXPECT_EQ(snap.op_contribution_bits(OpId{1}, std::nullopt), 128u);
+  EXPECT_EQ(snap.op_distinct_blocks_at_objects(OpId{1}), 2u);
+}
+
+TEST(Snapshot, ContributionExcludesOwnersState) {
+  StorageSnapshot snap;
+  StorageSnapshot::ClientEntry owner;
+  owner.id = ClientId{5};
+  owner.footprint.add(codec::Source{OpId{1}, 1}, 100);
+  snap.clients.push_back(owner);
+  StorageSnapshot::InFlightEntry rmw;
+  rmw.client = ClientId{5};
+  rmw.op = OpId{1};
+  rmw.footprint.add(codec::Source{OpId{1}, 2}, 100);
+  snap.in_flight.push_back(rmw);
+
+  // Blocks held by the writer itself (including its channel payloads) do
+  // not count toward ||S(t, w)||.
+  EXPECT_EQ(snap.op_contribution_bits(OpId{1}, ClientId{5}), 0u);
+  // ...but they do for everyone else's view.
+  EXPECT_EQ(snap.op_contribution_bits(OpId{1}, ClientId{0}), 200u);
+}
+
+TEST(Snapshot, ContributionIgnoresOtherOps) {
+  StorageSnapshot snap;
+  snap.objects.push_back(
+      object_with(ObjectId{0}, {{codec::Source{OpId{1}, 1}, 64},
+                                {codec::Source{OpId{2}, 1}, 64}}));
+  EXPECT_EQ(snap.op_contribution_bits(OpId{1}, std::nullopt), 64u);
+  EXPECT_EQ(snap.op_contribution_bits(OpId{9}, std::nullopt), 0u);
+}
+
+TEST(Meter, TracksMaximaAndSeries) {
+  StorageMeter meter(1);
+  for (uint64_t bits : {10u, 50u, 30u}) {
+    StorageSnapshot snap;
+    snap.time = meter.observations();
+    snap.objects.push_back(
+        object_with(ObjectId{0}, {{codec::Source{OpId{1}, 1}, bits}}));
+    meter.observe(snap);
+  }
+  EXPECT_EQ(meter.max_total_bits(), 50u);
+  EXPECT_EQ(meter.max_object_bits(), 50u);
+  EXPECT_EQ(meter.last_total_bits(), 30u);
+  EXPECT_EQ(meter.max_object_time(), 1u);
+  EXPECT_EQ(meter.series().size(), 3u);
+}
+
+TEST(Meter, DecimatesSeriesButNotMaxima) {
+  StorageMeter meter(10);
+  for (uint64_t i = 0; i < 25; ++i) {
+    StorageSnapshot snap;
+    snap.time = i;
+    snap.objects.push_back(
+        object_with(ObjectId{0}, {{codec::Source{OpId{1}, 1}, i}}));
+    meter.observe(snap);
+  }
+  EXPECT_EQ(meter.series().size(), 3u);  // t = 0, 10, 20
+  EXPECT_EQ(meter.max_object_bits(), 24u);
+}
+
+}  // namespace
+}  // namespace sbrs::metrics

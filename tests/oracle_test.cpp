@@ -1,0 +1,100 @@
+// Tests for the Definition 1 encoding/decoding oracles and their source
+// tagging (Definition 4).
+#include <gtest/gtest.h>
+
+#include "codec/oracle.h"
+#include "common/check.h"
+
+namespace sbrs::codec {
+namespace {
+
+TEST(EncoderOracle, GetTagsBlocksWithSource) {
+  auto codec = make_codec("rs", 6, 2, 256);
+  const OpId op{42};
+  EncoderOracle oracle(codec, op, Value::from_tag(7, 256));
+  for (uint32_t i = 1; i <= 6; ++i) {
+    const TaggedBlock tb = oracle.get(i);
+    EXPECT_EQ(tb.source.op, op);
+    EXPECT_EQ(tb.source.index, i);
+    EXPECT_EQ(tb.block.index, i);
+    EXPECT_EQ(tb.bit_size(), codec->block_bits(i));
+  }
+}
+
+TEST(EncoderOracle, GetAllMatchesEncode) {
+  auto codec = make_codec("rs", 5, 3, 240);
+  const Value v = Value::from_tag(9, 240);
+  EncoderOracle oracle(codec, OpId{1}, v);
+  const auto all = oracle.get_all();
+  const auto direct = codec->encode(v);
+  ASSERT_EQ(all.size(), direct.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].block, direct[i]);
+  }
+}
+
+TEST(EncoderOracle, RejectsWrongSizeValue) {
+  auto codec = make_codec("rs", 4, 2, 256);
+  EXPECT_THROW(EncoderOracle(codec, OpId{1}, Value::from_tag(1, 128)),
+               CheckFailure);
+}
+
+TEST(DecoderOracle, PushThenDoneDecodes) {
+  auto codec = make_codec("rs", 6, 3, 384);
+  const Value v = Value::from_tag(11, 384);
+  auto blocks = codec->encode(v);
+  DecoderOracle oracle(codec, OpId{2});
+  oracle.push(1, blocks[0]);
+  oracle.push(1, blocks[4]);
+  EXPECT_EQ(oracle.group_size(1), 2u);
+  EXPECT_FALSE(oracle.done(1).has_value());  // only 2 of 3 pushed
+  oracle.push(1, blocks[2]);
+  EXPECT_EQ(oracle.group_size(1), 3u);
+  auto decoded = oracle.done(1);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, v);
+}
+
+TEST(DecoderOracle, GroupsAreIndependent) {
+  auto codec = make_codec("rs", 4, 2, 128);
+  const Value v1 = Value::from_tag(1, 128);
+  const Value v2 = Value::from_tag(2, 128);
+  auto b1 = codec->encode(v1);
+  auto b2 = codec->encode(v2);
+  DecoderOracle oracle(codec, OpId{3});
+  oracle.push(10, b1[0]);
+  oracle.push(10, b1[1]);
+  oracle.push(20, b2[2]);
+  oracle.push(20, b2[3]);
+  EXPECT_EQ(*oracle.done(10), v1);
+  EXPECT_EQ(*oracle.done(20), v2);
+}
+
+TEST(DecoderOracle, DoneOnEmptyGroupIsBottom) {
+  auto codec = make_codec("rs", 4, 2, 128);
+  DecoderOracle oracle(codec, OpId{4});
+  EXPECT_FALSE(oracle.done(99).has_value());
+}
+
+TEST(DecoderOracle, DuplicatePushesDoNotInflateGroupSize) {
+  auto codec = make_codec("rs", 4, 2, 128);
+  auto blocks = codec->encode(Value::from_tag(5, 128));
+  DecoderOracle oracle(codec, OpId{5});
+  oracle.push(1, blocks[0]);
+  oracle.push(1, blocks[0]);
+  oracle.push(1, blocks[0]);
+  EXPECT_EQ(oracle.group_size(1), 1u);
+  EXPECT_FALSE(oracle.done(1).has_value());
+}
+
+TEST(Source, Ordering) {
+  const Source a{OpId{1}, 2};
+  const Source b{OpId{1}, 3};
+  const Source c{OpId{2}, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (Source{OpId{1}, 2}));
+}
+
+}  // namespace
+}  // namespace sbrs::codec

@@ -1,0 +1,89 @@
+// Tests for the executable Claim 1: collisions exist exactly when the
+// covered block sizes sum to less than D bits.
+#include <gtest/gtest.h>
+
+#include "adversary/pigeonhole.h"
+#include "common/check.h"
+
+namespace sbrs::adversary {
+namespace {
+
+TEST(Pigeonhole, CoverageSumsDistinctIndices) {
+  auto codec = codec::make_codec("rs", 4, 2, 16);
+  const std::vector<uint32_t> indices = {1, 2, 2, 1};
+  EXPECT_EQ(coverage_bits(*codec, indices), 16u);  // two 8-bit blocks
+}
+
+TEST(Pigeonhole, CollisionExistsBelowD) {
+  // 16-bit values, k=2 -> 8-bit blocks. Coverage {1} = 8 < 16 bits: Claim
+  // 1 guarantees two values agreeing on block 1.
+  auto codec = codec::make_codec("rs", 4, 2, 16);
+  const std::vector<uint32_t> indices = {1};
+  auto collision = find_colliding_values(*codec, indices);
+  ASSERT_TRUE(collision.has_value());
+  EXPECT_TRUE(verify_collision(*codec, *collision));
+  EXPECT_NE(collision->u, collision->v);
+}
+
+TEST(Pigeonhole, CollisionExistsOnParityBlocksToo) {
+  auto codec = codec::make_codec("rs", 4, 2, 16);
+  const std::vector<uint32_t> indices = {4};  // a parity block
+  auto collision = find_colliding_values(*codec, indices);
+  ASSERT_TRUE(collision.has_value());
+  EXPECT_TRUE(verify_collision(*codec, *collision));
+}
+
+TEST(Pigeonhole, NoCollisionAtFullCoverageOfSystematicCode) {
+  // Blocks {1, 2} of the systematic code are the raw 16 data bits:
+  // coverage = D, and indeed no two values collide — the threshold in
+  // Claim 1 is tight.
+  auto codec = codec::make_codec("rs", 4, 2, 16);
+  const std::vector<uint32_t> indices = {1, 2};
+  EXPECT_EQ(coverage_bits(*codec, indices), 16u);
+  EXPECT_FALSE(find_colliding_values(*codec, indices).has_value());
+}
+
+TEST(Pigeonhole, MdsCodeHasNoCollisionOnAnyKBlocks) {
+  // The MDS property is exactly "any k blocks determine the value":
+  // no k-subset admits a collision.
+  auto codec = codec::make_codec("rs", 5, 2, 16);
+  for (uint32_t a = 1; a <= 5; ++a) {
+    for (uint32_t b = a + 1; b <= 5; ++b) {
+      const std::vector<uint32_t> indices = {a, b};
+      EXPECT_FALSE(find_colliding_values(*codec, indices).has_value())
+          << "blocks " << a << "," << b;
+    }
+  }
+}
+
+TEST(Pigeonhole, ReplicationCollidesOnNothingButEmptySet) {
+  // Replication blocks are the full value: even one block determines it.
+  auto codec = codec::make_codec("replication", 3, 1, 8);
+  const std::vector<uint32_t> one = {2};
+  EXPECT_FALSE(find_colliding_values(*codec, one).has_value());
+  // The empty set covers 0 < D bits: everything collides.
+  const std::vector<uint32_t> none = {};
+  auto collision = find_colliding_values(*codec, none);
+  ASSERT_TRUE(collision.has_value());
+  EXPECT_TRUE(verify_collision(*codec, *collision));
+}
+
+TEST(Pigeonhole, RejectsHugeDomains) {
+  auto codec = codec::make_codec("rs", 4, 2, 256);
+  const std::vector<uint32_t> indices = {1};
+  EXPECT_THROW(find_colliding_values(*codec, indices), CheckFailure);
+}
+
+TEST(Pigeonhole, VerifyRejectsNonCollisions) {
+  auto codec = codec::make_codec("rs", 4, 2, 16);
+  Collision fake;
+  fake.u = Value::from_tag(1, 16);
+  fake.v = Value::from_tag(1, 16);  // u == v: not a collision
+  fake.indices = {1};
+  EXPECT_FALSE(verify_collision(*codec, fake));
+  fake.v = Value::from_tag(2, 16);  // blocks differ on index 1
+  EXPECT_FALSE(verify_collision(*codec, fake));
+}
+
+}  // namespace
+}  // namespace sbrs::adversary

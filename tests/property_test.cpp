@@ -1,0 +1,164 @@
+// Property-based sweeps: every register algorithm, many seeds, random
+// schedules, optional crash injection — each run is checked against the
+// consistency level the algorithm promises, plus liveness and storage
+// invariants. These are the "many schedules" analogue of the paper's
+// universally-quantified correctness claims.
+#include <gtest/gtest.h>
+
+#include "bounds/formulas.h"
+#include "harness/runner.h"
+
+namespace sbrs {
+namespace {
+
+using harness::RunOptions;
+using harness::run_register_experiment;
+using registers::RegisterConfig;
+
+enum class Alg { kAdaptive, kAbd, kAbdWriteBack, kCoded, kSafe };
+
+struct PropertyCase {
+  Alg alg;
+  uint32_t f;
+  uint32_t k;
+  uint64_t data_bits;
+  uint64_t seed;
+  bool crashes;
+};
+
+std::string case_name(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const auto& p = info.param;
+  std::string alg;
+  switch (p.alg) {
+    case Alg::kAdaptive: alg = "adaptive"; break;
+    case Alg::kAbd: alg = "abd"; break;
+    case Alg::kAbdWriteBack: alg = "abdwb"; break;
+    case Alg::kCoded: alg = "coded"; break;
+    case Alg::kSafe: alg = "safe"; break;
+  }
+  return alg + "_f" + std::to_string(p.f) + "_k" + std::to_string(p.k) +
+         "_s" + std::to_string(p.seed) + (p.crashes ? "_crash" : "");
+}
+
+std::unique_ptr<registers::RegisterAlgorithm> make(const PropertyCase& p) {
+  RegisterConfig cfg;
+  cfg.f = p.f;
+  cfg.k = p.k;
+  cfg.n = 2 * p.f + p.k;
+  cfg.data_bits = p.data_bits;
+  switch (p.alg) {
+    case Alg::kAdaptive:
+      return registers::make_adaptive(cfg);
+    case Alg::kAbd: {
+      cfg.k = 1;
+      cfg.n = 2 * p.f + 1;
+      return registers::make_abd(cfg);
+    }
+    case Alg::kAbdWriteBack: {
+      cfg.k = 1;
+      cfg.n = 2 * p.f + 1;
+      registers::AbdOptions o;
+      o.write_back = true;
+      return registers::make_abd(cfg, o);
+    }
+    case Alg::kCoded:
+      return registers::make_coded(cfg);
+    case Alg::kSafe:
+      return registers::make_safe(cfg);
+  }
+  return nullptr;
+}
+
+class RegisterProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(RegisterProperty, ConsistencyAndLiveness) {
+  const auto& p = GetParam();
+  auto alg = make(p);
+
+  RunOptions opts;
+  opts.writers = 3;
+  opts.writes_per_client = 3;
+  opts.readers = 3;
+  opts.reads_per_client = 3;
+  opts.seed = p.seed;
+  opts.object_crashes = p.crashes ? p.f : 0;
+  auto out = run_register_experiment(*alg, opts);
+
+  // Liveness: every op of a surviving client completes. For the regular
+  // registers this is FW-termination (finite writes in the workload); the
+  // safe register is wait-free.
+  EXPECT_TRUE(out.live) << out.algorithm << " seed " << p.seed;
+
+  // Returned values are always real written values (or v0).
+  EXPECT_TRUE(out.values_legal.ok)
+      << out.algorithm << ": " << out.values_legal.summary();
+
+  // Consistency at the level each algorithm promises.
+  switch (p.alg) {
+    case Alg::kAdaptive:
+    case Alg::kCoded:
+    case Alg::kAbd:
+      EXPECT_TRUE(out.weak_regular.ok)
+          << out.algorithm << ": " << out.weak_regular.summary();
+      EXPECT_TRUE(out.strong_regular.ok)
+          << out.algorithm << ": " << out.strong_regular.summary();
+      break;
+    case Alg::kAbdWriteBack: {
+      auto atom = consistency::check_atomicity(out.history);
+      EXPECT_TRUE(atom.ok) << out.algorithm << ": " << atom.summary();
+      break;
+    }
+    case Alg::kSafe:
+      EXPECT_TRUE(out.strongly_safe.ok)
+          << out.algorithm << ": " << out.strongly_safe.summary();
+      break;
+  }
+
+  // Storage invariants that hold in every run.
+  const auto& cfg = alg->config();
+  switch (p.alg) {
+    case Alg::kAdaptive:
+      EXPECT_LE(out.max_object_bits,
+                bounds::adaptive_upper_bound_bits(cfg.f, cfg.k, /*c=*/3,
+                                                  cfg.data_bits));
+      break;
+    case Alg::kAbd:
+    case Alg::kAbdWriteBack:
+      EXPECT_EQ(out.max_object_bits,
+                bounds::replication_bits(cfg.n, cfg.data_bits));
+      break;
+    case Alg::kSafe:
+      EXPECT_EQ(out.max_object_bits,
+                bounds::safe_register_bits(cfg.f, cfg.k, cfg.data_bits));
+      break;
+    case Alg::kCoded:
+      EXPECT_LE(out.max_object_bits,
+                bounds::coded_baseline_bits(cfg.f, cfg.k, /*c=*/3,
+                                            cfg.data_bits));
+      break;
+  }
+}
+
+std::vector<PropertyCase> make_cases() {
+  std::vector<PropertyCase> cases;
+  const std::vector<std::pair<uint32_t, uint32_t>> shapes = {
+      {1, 2}, {2, 2}, {2, 4}, {3, 3}};
+  for (Alg alg : {Alg::kAdaptive, Alg::kAbd, Alg::kAbdWriteBack, Alg::kCoded,
+                  Alg::kSafe}) {
+    for (auto [f, k] : shapes) {
+      for (uint64_t seed = 1; seed <= 6; ++seed) {
+        cases.push_back(PropertyCase{alg, f, k, 256, seed, false});
+      }
+      for (uint64_t seed = 101; seed <= 103; ++seed) {
+        cases.push_back(PropertyCase{alg, f, k, 256, seed, true});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RegisterProperty,
+                         ::testing::ValuesIn(make_cases()), case_name);
+
+}  // namespace
+}  // namespace sbrs

@@ -1,0 +1,126 @@
+// Tests for the rateless LT codec (Definition 1's E : V x N -> E case).
+#include <gtest/gtest.h>
+
+#include "codec/rateless.h"
+#include "common/rng.h"
+
+namespace sbrs::codec {
+namespace {
+
+Value random_value(uint64_t bits, uint64_t seed) {
+  Rng rng(seed);
+  Bytes b(bits / 8);
+  for (auto& x : b) x = static_cast<uint8_t>(rng.below(256));
+  return Value(std::move(b));
+}
+
+TEST(Rateless, UnboundedBlockIndices) {
+  LtCodec codec(4, 256);
+  const Value v = random_value(256, 1);
+  // Far beyond the nominal horizon: still well-defined and symmetric.
+  for (uint32_t i : {1u, 17u, 1000u, 1000000u}) {
+    const Block b = codec.encode_block(v, i);
+    EXPECT_EQ(b.index, i);
+    EXPECT_EQ(b.bit_size(), codec.block_bits(i));
+  }
+}
+
+TEST(Rateless, EncodingIsSymmetric) {
+  LtCodec codec(4, 256);
+  std::vector<Value> sample;
+  for (uint64_t t = 0; t < 5; ++t) sample.push_back(random_value(256, t));
+  // Spot-check symmetry over a spread of indices (Definition 3).
+  for (uint32_t i : {1u, 2u, 3u, 100u, 5000u}) {
+    const uint64_t declared = codec.block_bits(i);
+    for (const Value& v : sample) {
+      EXPECT_EQ(codec.encode_block(v, i).bit_size(), declared);
+    }
+  }
+}
+
+TEST(Rateless, NeighborsAreDeterministicAndInRange) {
+  LtCodec codec(8, 512);
+  for (uint32_t i = 1; i <= 200; ++i) {
+    auto a = codec.neighbors(i);
+    auto b = codec.neighbors(i);
+    EXPECT_EQ(a, b);
+    EXPECT_GE(a.size(), 1u);
+    EXPECT_LE(a.size(), 8u);
+    for (uint32_t s : a) EXPECT_LT(s, 8u);
+  }
+}
+
+TEST(Rateless, DecodesFromPrefixWithOverhead) {
+  // With 2k consecutive blocks, peeling succeeds for these seeds/shapes
+  // (deterministic given the codec seed).
+  for (uint32_t k : {2u, 4u, 8u}) {
+    LtCodec codec(k, 512);
+    const Value v = random_value(512, k);
+    std::vector<Block> blocks;
+    for (uint32_t i = 1; i <= 3 * k; ++i) {
+      blocks.push_back(codec.encode_block(v, i));
+    }
+    auto decoded = codec.decode(blocks);
+    ASSERT_TRUE(decoded.has_value()) << "k=" << k;
+    EXPECT_EQ(*decoded, v) << "k=" << k;
+  }
+}
+
+TEST(Rateless, DecodesFromRandomBlockSubsetsWithHighProbability) {
+  const uint32_t k = 8;
+  LtCodec codec(k, 1024);
+  const Value v = random_value(1024, 99);
+  Rng rng(7);
+  int successes = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<Block> blocks;
+    std::set<uint32_t> indices;
+    while (indices.size() < 3 * k) {
+      indices.insert(1 + static_cast<uint32_t>(rng.below(100 * k)));
+    }
+    for (uint32_t i : indices) blocks.push_back(codec.encode_block(v, i));
+    auto decoded = codec.decode(blocks);
+    if (decoded.has_value() && *decoded == v) ++successes;
+  }
+  // 3k random blocks should nearly always decode.
+  EXPECT_GE(successes, trials * 8 / 10) << successes << "/" << trials;
+}
+
+TEST(Rateless, TooFewBlocksNeverDecode) {
+  const uint32_t k = 8;
+  LtCodec codec(k, 1024);
+  const Value v = random_value(1024, 5);
+  std::vector<Block> blocks;
+  for (uint32_t i = 1; i < k; ++i) {  // k-1 blocks: information-theoretic no
+    blocks.push_back(codec.encode_block(v, i));
+  }
+  EXPECT_FALSE(codec.decode(blocks).has_value());
+}
+
+TEST(Rateless, DuplicateIndicesDoNotHelp) {
+  const uint32_t k = 4;
+  LtCodec codec(k, 256);
+  const Value v = random_value(256, 6);
+  std::vector<Block> blocks;
+  for (int copy = 0; copy < 20; ++copy) {
+    blocks.push_back(codec.encode_block(v, 1));
+  }
+  EXPECT_FALSE(codec.decode(blocks).has_value());
+}
+
+TEST(Rateless, DifferentSeedsGiveDifferentCodes) {
+  LtCodec a(4, 256, 0, 111);
+  LtCodec b(4, 256, 0, 222);
+  const Value v = random_value(256, 3);
+  bool any_different = false;
+  for (uint32_t i = 1; i <= 16; ++i) {
+    if (a.encode_block(v, i).data != b.encode_block(v, i).data) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace sbrs::codec

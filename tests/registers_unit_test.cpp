@@ -1,0 +1,222 @@
+// Unit tests for the register building blocks: chunks, object state
+// footprints, the shared readValue helpers, and the RoundClient quorum
+// machinery (driven through a mock SimContext).
+#include <gtest/gtest.h>
+
+#include "registers/round_client.h"
+#include "registers/rmw_ops.h"
+
+namespace sbrs::registers {
+namespace {
+
+codec::TaggedBlock tagged(OpId op, uint32_t index, size_t bytes) {
+  codec::TaggedBlock tb;
+  tb.source = codec::Source{op, index};
+  tb.block.index = index;
+  tb.block.data = Bytes(bytes, static_cast<uint8_t>(index));
+  return tb;
+}
+
+Chunk chunk(uint64_t ts_num, uint32_t index, size_t bytes = 8) {
+  return Chunk{TimeStamp{ts_num, ClientId{0}}, tagged(OpId{ts_num}, index, bytes)};
+}
+
+TEST(ChunkOps, DistinctIndicesAt) {
+  std::vector<Chunk> chunks = {chunk(1, 1), chunk(1, 2), chunk(1, 2),
+                               chunk(2, 3)};
+  EXPECT_EQ(distinct_indices_at(chunks, TimeStamp{1, ClientId{0}}), 2u);
+  EXPECT_EQ(distinct_indices_at(chunks, TimeStamp{2, ClientId{0}}), 1u);
+  EXPECT_EQ(distinct_indices_at(chunks, TimeStamp{9, ClientId{0}}), 0u);
+}
+
+TEST(ChunkOps, BlocksAtFiltersByTimestamp) {
+  std::vector<Chunk> chunks = {chunk(1, 1), chunk(2, 2), chunk(1, 3)};
+  auto blocks = blocks_at(chunks, TimeStamp{1, ClientId{0}});
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].index, 1u);
+  EXPECT_EQ(blocks[1].index, 3u);
+}
+
+TEST(ChunkOps, MaxTs) {
+  std::vector<Chunk> chunks = {chunk(3, 1), chunk(7, 2), chunk(5, 3)};
+  EXPECT_EQ(max_ts(chunks).num, 7u);
+  EXPECT_EQ(max_ts({}).num, 0u);
+}
+
+TEST(ObjectState, FootprintSumsVpAndVf) {
+  RegisterObjectState st;
+  st.vp.push_back(chunk(1, 1, 16));  // 128 bits
+  st.vf.push_back(chunk(2, 2, 16));
+  st.vf.push_back(chunk(2, 3, 16));
+  EXPECT_EQ(st.footprint().total_bits(), 3u * 128);
+  EXPECT_EQ(st.stored_bits(), 3u * 128);
+  EXPECT_EQ(st.all_chunks().size(), 3u);
+}
+
+TEST(ObjectState, DowncastChecks) {
+  RegisterObjectState good;
+  EXPECT_EQ(&as_register_state(good), &good);
+
+  struct Other final : sim::ObjectStateBase {
+    metrics::StorageFootprint footprint() const override { return {}; }
+  } other;
+  EXPECT_THROW(as_register_state(other), CheckFailure);
+}
+
+TEST(RmwOps, ReadValueReturnsStateCopy) {
+  RegisterObjectState st;
+  st.stored_ts = TimeStamp{4, ClientId{1}};
+  st.vp.push_back(chunk(4, 2));
+  auto rmw = make_read_value_rmw(ObjectId{7});
+  auto resp = rmw(st);
+  const auto* r = response_as<ReadValueResponse>(resp);
+  EXPECT_EQ(r->from, ObjectId{7});
+  EXPECT_EQ(r->stored_ts.num, 4u);
+  ASSERT_EQ(r->vp.size(), 1u);
+  EXPECT_TRUE(r->vf.empty());
+  // It is a copy: mutating the object does not affect the response.
+  st.vp.clear();
+  EXPECT_EQ(r->vp.size(), 1u);
+}
+
+TEST(RmwOps, MaxHelpersScanAllResponses) {
+  std::vector<sim::ResponsePtr> responses;
+  {
+    ReadValueResponse r;
+    r.from = ObjectId{0};
+    r.stored_ts = TimeStamp{3, ClientId{0}};
+    r.vp.push_back(chunk(9, 1));
+    responses.push_back(make_response(std::move(r)));
+  }
+  {
+    ReadValueResponse r;
+    r.from = ObjectId{1};
+    r.stored_ts = TimeStamp{5, ClientId{2}};
+    r.vf.push_back(chunk(4, 2));
+    responses.push_back(make_response(std::move(r)));
+  }
+  EXPECT_EQ(max_ts_num(responses), 9u);
+  EXPECT_EQ(max_stored_ts(responses).num, 5u);
+  EXPECT_EQ(merge_chunks(responses).size(), 2u);
+}
+
+// --------------------------- RoundClient ----------------------------------
+
+/// Records triggers and lets the test deliver them manually.
+class MockContext final : public sim::SimContext {
+ public:
+  explicit MockContext(uint32_t n) : n_(n) {}
+
+  RmwId trigger(ObjectId target, sim::RmwFn fn,
+                metrics::StorageFootprint fp) override {
+    triggered.push_back({RmwId{next_id_++}, target, std::move(fn)});
+    footprint_bits += fp.total_bits();
+    return triggered.back().id;
+  }
+  void complete(OpId op, std::optional<Value>) override {
+    completed.push_back(op);
+  }
+  ClientId self() const override { return ClientId{0}; }
+  uint32_t num_objects() const override { return n_; }
+  uint64_t now() const override { return 0; }
+
+  struct Triggered {
+    RmwId id;
+    ObjectId target;
+    sim::RmwFn fn;
+  };
+  std::vector<Triggered> triggered;
+  std::vector<OpId> completed;
+  uint64_t footprint_bits = 0;
+
+ private:
+  uint32_t n_;
+  uint64_t next_id_ = 1;
+};
+
+/// Minimal RoundClient: counts quorum callbacks.
+class ProbeClient final : public RoundClient {
+ public:
+  ProbeClient(uint32_t n, uint32_t f) : RoundClient(n, f) {}
+
+  void on_invoke(const sim::Invocation&, sim::SimContext&) override {}
+
+  void begin(sim::SimContext& ctx) {
+    start_round(
+        ctx,
+        [](ObjectId o) -> sim::RmwFn {
+          return [o](sim::ObjectStateBase&) -> sim::ResponsePtr {
+            return make_response(AckResponse{o, TimeStamp::zero()});
+          };
+        },
+        [](ObjectId) { return metrics::StorageFootprint{}; });
+  }
+
+  int quorums = 0;
+  size_t last_count = 0;
+
+ protected:
+  void on_quorum(uint64_t, const std::vector<sim::ResponsePtr>& responses,
+                 sim::SimContext&) override {
+    ++quorums;
+    last_count = responses.size();
+  }
+};
+
+TEST(RoundClient, QuorumFiresAtNMinusF) {
+  MockContext ctx(5);
+  ProbeClient client(5, 2);
+  client.begin(ctx);
+  ASSERT_EQ(ctx.triggered.size(), 5u);
+
+  RegisterObjectState dummy;
+  for (size_t i = 0; i < 2; ++i) {
+    client.on_response(ctx.triggered[i].id, ctx.triggered[i].fn(dummy), ctx);
+    EXPECT_EQ(client.quorums, 0);
+  }
+  client.on_response(ctx.triggered[2].id, ctx.triggered[2].fn(dummy), ctx);
+  EXPECT_EQ(client.quorums, 1);  // 3 = n - f responses
+  EXPECT_EQ(client.last_count, 3u);
+}
+
+TEST(RoundClient, LateResponsesOfFinishedRoundIgnored) {
+  MockContext ctx(5);
+  ProbeClient client(5, 2);
+  client.begin(ctx);
+  RegisterObjectState dummy;
+  for (size_t i = 0; i < 3; ++i) {
+    client.on_response(ctx.triggered[i].id, ctx.triggered[i].fn(dummy), ctx);
+  }
+  EXPECT_EQ(client.quorums, 1);
+  // Stragglers arrive after the round closed: no further callbacks.
+  client.on_response(ctx.triggered[3].id, ctx.triggered[3].fn(dummy), ctx);
+  client.on_response(ctx.triggered[4].id, ctx.triggered[4].fn(dummy), ctx);
+  EXPECT_EQ(client.quorums, 1);
+}
+
+TEST(RoundClient, ForeignResponsesIgnored) {
+  MockContext ctx(3);
+  ProbeClient client(3, 1);
+  client.begin(ctx);
+  RegisterObjectState dummy;
+  client.on_response(RmwId{424242}, nullptr, ctx);  // not ours
+  EXPECT_EQ(client.quorums, 0);
+  client.on_response(ctx.triggered[0].id, ctx.triggered[0].fn(dummy), ctx);
+  client.on_response(ctx.triggered[1].id, ctx.triggered[1].fn(dummy), ctx);
+  EXPECT_EQ(client.quorums, 1);
+}
+
+TEST(RoundClient, RejectsOverlappingRounds) {
+  MockContext ctx(3);
+  ProbeClient client(3, 1);
+  client.begin(ctx);
+  EXPECT_THROW(client.begin(ctx), CheckFailure);
+}
+
+TEST(RoundClient, RejectsBadQuorumShape) {
+  EXPECT_THROW(ProbeClient(4, 2), CheckFailure);  // needs f < n/2
+  EXPECT_NO_THROW(ProbeClient(5, 2));
+}
+
+}  // namespace
+}  // namespace sbrs::registers

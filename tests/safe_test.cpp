@@ -1,0 +1,140 @@
+// Tests for the Appendix E safe register: wait-freedom, strongly-safe
+// semantics, and the constant n*D/k storage that demonstrates the lower
+// bound does not extend to safe semantics.
+#include <gtest/gtest.h>
+
+#include "bounds/formulas.h"
+#include "harness/runner.h"
+
+namespace sbrs {
+namespace {
+
+using harness::RunOptions;
+using harness::SchedKind;
+using harness::run_register_experiment;
+using registers::RegisterConfig;
+
+RegisterConfig cfg_fk(uint32_t f, uint32_t k, uint64_t data_bits = 512) {
+  RegisterConfig cfg;
+  cfg.f = f;
+  cfg.k = k;
+  cfg.n = 2 * f + k;
+  cfg.data_bits = data_bits;
+  return cfg;
+}
+
+TEST(Safe, SequentialReadsSeeLastWrite) {
+  auto alg = registers::make_safe(cfg_fk(1, 2));
+  RunOptions opts;
+  opts.writers = 1;
+  opts.writes_per_client = 4;
+  opts.readers = 1;
+  opts.reads_per_client = 4;
+  opts.scheduler = SchedKind::kRoundRobin;
+  auto out = run_register_experiment(*alg, opts);
+  EXPECT_TRUE(out.report.quiesced);
+  EXPECT_TRUE(out.strongly_safe.ok) << out.strongly_safe.summary();
+}
+
+TEST(Safe, StronglySafeUnderConcurrency) {
+  auto alg = registers::make_safe(cfg_fk(2, 3));
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RunOptions opts;
+    opts.writers = 4;
+    opts.writes_per_client = 3;
+    opts.readers = 3;
+    opts.reads_per_client = 3;
+    opts.seed = seed;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.report.quiesced) << "seed " << seed;
+    EXPECT_TRUE(out.values_legal.ok)
+        << "seed " << seed << ": " << out.values_legal.summary();
+    EXPECT_TRUE(out.strongly_safe.ok)
+        << "seed " << seed << ": " << out.strongly_safe.summary();
+  }
+}
+
+TEST(Safe, StorageExactlyNDOverKAlways) {
+  // Lemma 17: each object stores exactly one piece of D/k bits at every
+  // moment — the max and the final storage both equal n D / k.
+  const uint32_t f = 2, k = 4;
+  const uint64_t D = 1024;
+  auto alg = registers::make_safe(cfg_fk(f, k, D));
+  const uint64_t expected = bounds::safe_register_bits(f, k, D);
+  for (uint32_t c : {1u, 4u, 16u}) {
+    RunOptions opts;
+    opts.writers = c;
+    opts.writes_per_client = 2;
+    opts.scheduler = SchedKind::kBurst;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.report.quiesced);
+    EXPECT_EQ(out.max_object_bits, expected) << "c=" << c;
+    EXPECT_EQ(out.final_object_bits, expected) << "c=" << c;
+  }
+}
+
+TEST(Safe, StorageBeatsRegularLowerBoundWhenKLarge) {
+  // With k >> f, n D / k < min(f+1, c) D / 2: the safe register stores
+  // less than any regular register possibly can (Theorem 1) — the
+  // separation Appendix E is about.
+  const uint32_t f = 2, k = 16;
+  const uint64_t D = 1024;
+  const uint32_t c = 8;
+  EXPECT_LT(bounds::safe_register_bits(f, k, D),
+            bounds::lower_bound_bits(f, c, D));
+}
+
+TEST(Safe, WaitFreeReadsAreSingleRound) {
+  // Reads never loop: exactly one readValue round per read regardless of
+  // write churn (wait-freedom vs the regular registers' FW-termination).
+  auto alg = registers::make_safe(cfg_fk(1, 2));
+  RunOptions opts;
+  opts.writers = 2;
+  opts.writes_per_client = 3;
+  opts.readers = 2;
+  opts.reads_per_client = 3;
+  opts.seed = 5;
+  auto out = run_register_experiment(*alg, opts);
+  EXPECT_TRUE(out.report.quiesced);
+  // writes: 6 x 2 rounds x 4 objects; reads: 6 x 1 round x 4 objects.
+  EXPECT_EQ(out.report.rmws_triggered, 6u * 2 * 4 + 6u * 1 * 4);
+}
+
+TEST(Safe, ToleratesFCrashes) {
+  const auto cfg = cfg_fk(2, 2);
+  auto alg = registers::make_safe(cfg);
+  for (uint64_t seed : {51u, 52u, 53u}) {
+    RunOptions opts;
+    opts.writers = 2;
+    opts.writes_per_client = 2;
+    opts.readers = 2;
+    opts.reads_per_client = 2;
+    opts.object_crashes = cfg.f;
+    opts.seed = seed;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.live) << "seed " << seed;
+    EXPECT_TRUE(out.values_legal.ok) << "seed " << seed;
+    EXPECT_TRUE(out.strongly_safe.ok)
+        << "seed " << seed << ": " << out.strongly_safe.summary();
+  }
+}
+
+TEST(Safe, MayReturnV0UnderChurnButNeverGarbage) {
+  // Under heavy concurrent writing a read may legitimately return v0; it
+  // must never return a Frankenstein value.
+  auto alg = registers::make_safe(cfg_fk(1, 4, 256));
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RunOptions opts;
+    opts.writers = 5;
+    opts.writes_per_client = 2;
+    opts.readers = 3;
+    opts.reads_per_client = 3;
+    opts.seed = seed;
+    auto out = run_register_experiment(*alg, opts);
+    EXPECT_TRUE(out.values_legal.ok)
+        << "seed " << seed << ": " << out.values_legal.summary();
+  }
+}
+
+}  // namespace
+}  // namespace sbrs

@@ -1,0 +1,113 @@
+// Tests for the fair schedulers: weighting, crash budgets, determinism.
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+#include "sim/schedulers.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+
+namespace sbrs::sim {
+namespace {
+
+registers::RegisterConfig small_cfg() {
+  registers::RegisterConfig cfg;
+  cfg.f = 1;
+  cfg.k = 2;
+  cfg.n = 4;
+  cfg.data_bits = 128;
+  return cfg;
+}
+
+Simulator make_sim(std::unique_ptr<Scheduler> sched, uint32_t writers = 2,
+                   uint32_t each = 2) {
+  static auto alg = registers::make_adaptive(small_cfg());
+  UniformWorkload::Options wl;
+  wl.writers = writers;
+  wl.writes_per_client = each;
+  wl.data_bits = 128;
+  SimConfig sc;
+  sc.num_objects = 4;
+  sc.num_clients = writers;
+  return Simulator(sc, alg->object_factory(), alg->client_factory(),
+                   std::make_unique<UniformWorkload>(wl), std::move(sched));
+}
+
+TEST(RandomScheduler, RespectsCrashBudget) {
+  RandomScheduler::Options so;
+  so.seed = 3;
+  so.max_object_crashes = 1;
+  so.crash_object_permyriad = 5000;  // 50% per step: will crash fast
+  auto sim = make_sim(std::make_unique<RandomScheduler>(so), 2, 4);
+  sim.run();
+  EXPECT_LE(sim.crashed_objects(), 1u);
+}
+
+TEST(RandomScheduler, NoCrashesWhenDisabled) {
+  RandomScheduler::Options so;
+  so.seed = 4;
+  auto sim = make_sim(std::make_unique<RandomScheduler>(so));
+  sim.run();
+  EXPECT_EQ(sim.crashed_objects(), 0u);
+}
+
+TEST(RandomScheduler, CompletesWorkloads) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    RandomScheduler::Options so;
+    so.seed = seed;
+    auto sim = make_sim(std::make_unique<RandomScheduler>(so), 3, 3);
+    auto report = sim.run();
+    EXPECT_TRUE(report.quiesced) << "seed " << seed;
+  }
+}
+
+TEST(RoundRobinScheduler, DeterministicAndQuiesces) {
+  auto run_steps = [] {
+    auto sim = make_sim(std::make_unique<RoundRobinScheduler>(), 3, 3);
+    return sim.run().steps;
+  };
+  const uint64_t a = run_steps();
+  EXPECT_EQ(a, run_steps());
+  EXPECT_GT(a, 0u);
+}
+
+TEST(BurstScheduler, InvokesEverythingFirst) {
+  auto sim = make_sim(std::make_unique<BurstScheduler>(), 3, 1);
+  // The first 3 steps must all be invocations (every client has exactly
+  // one op and the burst scheduler prefers invoking).
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(sim.step());
+    EXPECT_EQ(sim.history().invoke_count(), static_cast<size_t>(i + 1));
+  }
+  // All writes are now concurrent.
+  EXPECT_EQ(sim.history().outstanding().size(), 3u);
+  sim.run();
+  EXPECT_TRUE(sim.history().outstanding().empty());
+}
+
+TEST(Schedulers, DeliverWeightChangesOverlap) {
+  // Heavy delivery bias -> near-sequential runs -> less concurrency ->
+  // fewer pieces parked at objects than under heavy invoke bias.
+  auto peak_with = [](uint32_t deliver, uint32_t invoke) {
+    auto alg = registers::make_coded(small_cfg());
+    UniformWorkload::Options wl;
+    wl.writers = 4;
+    wl.writes_per_client = 2;
+    wl.data_bits = 128;
+    RandomScheduler::Options so;
+    so.seed = 5;
+    so.deliver_weight = deliver;
+    so.invoke_weight = invoke;
+    SimConfig sc;
+    sc.num_objects = 4;
+    sc.num_clients = 4;
+    Simulator sim(sc, alg->object_factory(), alg->client_factory(),
+                  std::make_unique<UniformWorkload>(wl),
+                  std::make_unique<RandomScheduler>(so));
+    sim.run();
+    return sim.meter().max_object_bits();
+  };
+  EXPECT_LE(peak_with(50, 1), peak_with(1, 50));
+}
+
+}  // namespace
+}  // namespace sbrs::sim

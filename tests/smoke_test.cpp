@@ -1,0 +1,98 @@
+// End-to-end smoke tests: every algorithm, small workloads, all checkers.
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+
+namespace sbrs {
+namespace {
+
+using harness::RunOptions;
+using harness::run_register_experiment;
+using registers::RegisterConfig;
+
+RegisterConfig coded_cfg() {
+  RegisterConfig cfg;
+  cfg.f = 2;
+  cfg.k = 2;
+  cfg.n = 2 * cfg.f + cfg.k;  // 6
+  cfg.data_bits = 256;
+  return cfg;
+}
+
+TEST(Smoke, AdaptiveSequential) {
+  auto alg = registers::make_adaptive(coded_cfg());
+  RunOptions opts;
+  opts.writers = 1;
+  opts.writes_per_client = 3;
+  opts.readers = 1;
+  opts.reads_per_client = 3;
+  opts.scheduler = harness::SchedKind::kRoundRobin;
+  auto out = run_register_experiment(*alg, opts);
+  EXPECT_TRUE(out.report.quiesced) << out.report.stop_reason;
+  EXPECT_TRUE(out.live);
+  EXPECT_TRUE(out.values_legal.ok) << out.values_legal.summary();
+  EXPECT_TRUE(out.weak_regular.ok) << out.weak_regular.summary();
+  EXPECT_TRUE(out.strong_regular.ok) << out.strong_regular.summary();
+}
+
+TEST(Smoke, AdaptiveConcurrentRandom) {
+  auto alg = registers::make_adaptive(coded_cfg());
+  RunOptions opts;
+  opts.writers = 3;
+  opts.writes_per_client = 2;
+  opts.readers = 2;
+  opts.reads_per_client = 2;
+  opts.seed = 42;
+  auto out = run_register_experiment(*alg, opts);
+  EXPECT_TRUE(out.report.quiesced) << out.report.stop_reason;
+  EXPECT_TRUE(out.weak_regular.ok) << out.weak_regular.summary();
+  EXPECT_TRUE(out.strong_regular.ok) << out.strong_regular.summary();
+}
+
+TEST(Smoke, AbdSequential) {
+  RegisterConfig cfg;
+  cfg.f = 1;
+  cfg.n = 3;
+  cfg.k = 1;
+  cfg.data_bits = 128;
+  auto alg = registers::make_abd(cfg);
+  RunOptions opts;
+  opts.writers = 2;
+  opts.writes_per_client = 2;
+  opts.readers = 2;
+  opts.reads_per_client = 2;
+  opts.seed = 7;
+  auto out = run_register_experiment(*alg, opts);
+  EXPECT_TRUE(out.report.quiesced);
+  EXPECT_TRUE(out.strong_regular.ok) << out.strong_regular.summary();
+}
+
+TEST(Smoke, CodedBaseline) {
+  auto alg = registers::make_coded(coded_cfg());
+  RunOptions opts;
+  opts.writers = 2;
+  opts.writes_per_client = 2;
+  opts.readers = 1;
+  opts.reads_per_client = 2;
+  opts.seed = 3;
+  auto out = run_register_experiment(*alg, opts);
+  EXPECT_TRUE(out.report.quiesced) << out.report.stop_reason;
+  EXPECT_TRUE(out.weak_regular.ok) << out.weak_regular.summary();
+}
+
+TEST(Smoke, SafeRegister) {
+  auto alg = registers::make_safe(coded_cfg());
+  RunOptions opts;
+  opts.writers = 2;
+  opts.writes_per_client = 2;
+  opts.readers = 2;
+  opts.reads_per_client = 2;
+  opts.seed = 11;
+  auto out = run_register_experiment(*alg, opts);
+  EXPECT_TRUE(out.report.quiesced);
+  EXPECT_TRUE(out.values_legal.ok) << out.values_legal.summary();
+  EXPECT_TRUE(out.strongly_safe.ok) << out.strongly_safe.summary();
+}
+
+}  // namespace
+}  // namespace sbrs

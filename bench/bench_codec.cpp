@@ -6,6 +6,7 @@
 
 #include "codec/codec.h"
 #include "common/rng.h"
+#include "gf/gf_kernels.h"
 
 namespace sbrs::codec {
 namespace {
@@ -83,6 +84,41 @@ void BM_ReplicationEncode(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 8192);
 }
 BENCHMARK(BM_ReplicationEncode);
+
+void BM_GfMulAddRow(benchmark::State& state) {
+  // The innermost kernel: y ^= c*x over a buffer. The label records which
+  // dispatch path (ssse3/neon/scalar) produced the numbers.
+  const size_t len = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  Bytes x(len), y(len);
+  for (auto& b : x) b = static_cast<uint8_t>(rng.below(256));
+  for (auto& b : y) b = static_cast<uint8_t>(rng.below(256));
+  for (auto _ : state) {
+    gf::kern::mul_add_row(y.data(), x.data(), 0xb7, len);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+  state.SetLabel(gf::kern::backend());
+}
+BENCHMARK(BM_GfMulAddRow)->Arg(64)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+void BM_GfMulRow(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  Bytes x(len), y(len);
+  for (auto& b : x) b = static_cast<uint8_t>(rng.below(256));
+  for (auto _ : state) {
+    gf::kern::mul_row(y.data(), x.data(), 0x53, len);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+  state.SetLabel(gf::kern::backend());
+}
+BENCHMARK(BM_GfMulRow)->Arg(1024)->Arg(65536);
 
 void BM_EncodeSingleBlock(benchmark::State& state) {
   auto codec = make_codec("rs", 12, 4, 65536);

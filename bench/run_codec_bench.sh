@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Run the codec microbenchmarks and record the results as BENCH_codec.json
+# at the repo root (google-benchmark JSON), building first if needed.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build"
+
+if [ ! -x "$build_dir/bench/bench_codec" ]; then
+  cmake -B "$build_dir" -S "$repo_root"
+  cmake --build "$build_dir" -j --target bench_codec
+fi
+
+"$build_dir/bench/bench_codec" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_codec.json" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote $repo_root/BENCH_codec.json"

@@ -45,7 +45,10 @@ class Codec {
   virtual Block encode_block(const Value& v, uint32_t index) const = 0;
 
   /// Produce all n blocks of v (the paper's encode(v) = {<e1,1>..<en,n>}).
-  std::vector<Block> encode(const Value& v) const;
+  /// The base implementation loops over encode_block; codecs with a cheaper
+  /// bulk path (e.g. RsCodec's single-pass shard + one-sweep parity) override
+  /// it. Overrides must produce exactly the blocks the base loop would.
+  virtual std::vector<Block> encode(const Value& v) const;
 
   /// D(S): decode from any subset of blocks; returns nullopt when the set
   /// is insufficient or inconsistent (the paper's bottom).

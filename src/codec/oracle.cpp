@@ -17,9 +17,15 @@ TaggedBlock EncoderOracle::get(uint32_t index) const {
 }
 
 std::vector<TaggedBlock> EncoderOracle::get_all() const {
+  // Bulk path: one virtual encode() (single-pass for RsCodec) instead of n
+  // independent encode_block calls, then tag each block with its source.
+  std::vector<Block> blocks = codec_->encode(value_);
   std::vector<TaggedBlock> out;
-  out.reserve(codec_->n());
-  for (uint32_t i = 1; i <= codec_->n(); ++i) out.push_back(get(i));
+  out.reserve(blocks.size());
+  for (Block& b : blocks) {
+    const uint32_t index = b.index;
+    out.push_back(TaggedBlock{Source{op_, index}, std::move(b)});
+  }
   return out;
 }
 

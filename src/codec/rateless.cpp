@@ -66,10 +66,9 @@ Block LtCodec::encode_block(const Value& v, uint32_t index) const {
   Bytes out(shard_bytes_, 0);
   for (uint32_t shard : neighbors(index)) {
     const size_t begin = static_cast<size_t>(shard) * shard_bytes_;
-    for (size_t i = 0; i < shard_bytes_; ++i) {
-      const size_t pos = begin + i;
-      if (pos < src.size()) out[i] ^= src[pos];
-    }
+    if (begin >= src.size()) continue;
+    const size_t len = std::min(shard_bytes_, src.size() - begin);
+    for (size_t i = 0; i < len; ++i) out[i] ^= src[begin + i];
   }
   return Block{index, std::move(out)};
 }

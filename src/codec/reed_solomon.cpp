@@ -1,10 +1,11 @@
 #include "codec/reed_solomon.h"
 
 #include <algorithm>
-#include <set>
+#include <cstring>
 #include <sstream>
 
 #include "common/check.h"
+#include "gf/gf_kernels.h"
 
 namespace sbrs::codec {
 
@@ -15,6 +16,12 @@ RsCodec::RsCodec(uint32_t n, uint32_t k, uint64_t data_bits)
   const size_t value_bytes = data_bits / 8;
   shard_bytes_ = (value_bytes + k - 1) / k;
   generator_ = gf::Matrix::rs_systematic(n, k);
+  if (n_ > k_) {
+    std::vector<size_t> parity_rows;
+    parity_rows.reserve(n_ - k_);
+    for (size_t r = k_; r < n_; ++r) parity_rows.push_back(r);
+    parity_ = generator_.select_rows(parity_rows);
+  }
 }
 
 std::string RsCodec::name() const {
@@ -28,65 +35,173 @@ uint64_t RsCodec::block_bits(uint32_t index) const {
   return 8ull * shard_bytes_;
 }
 
-std::vector<Bytes> RsCodec::shard(const Value& v) const {
-  SBRS_CHECK(v.bit_size() == data_bits_);
-  std::vector<Bytes> shards(k_, Bytes(shard_bytes_, 0));
-  const Bytes& src = v.bytes();
-  for (size_t i = 0; i < src.size(); ++i) {
-    shards[i / shard_bytes_][i % shard_bytes_] = src[i];
-  }
-  return shards;
-}
-
 Block RsCodec::encode_block(const Value& v, uint32_t index) const {
   SBRS_CHECK(index >= 1 && index <= n_);
-  const std::vector<Bytes> shards = shard(v);
-  Bytes out(shard_bytes_, 0);
+  SBRS_CHECK(v.bit_size() == data_bits_);
+  const Bytes& src = v.bytes();
+  const size_t sb = shard_bytes_;
+  Bytes out(sb, 0);
   const size_t row = index - 1;
-  for (uint32_t c = 0; c < k_; ++c) {
-    gf::mul_add_row(out.data(), shards[c].data(), generator_.at(row, c),
-                    shard_bytes_);
+  if (row < k_) {
+    // Systematic row: the block is shard `row`, sliced straight from the
+    // value (the slice past the value's end stays zero padding).
+    const size_t begin = row * sb;
+    if (begin < src.size()) {
+      std::memcpy(out.data(), src.data() + begin,
+                  std::min(sb, src.size() - begin));
+    }
+  } else {
+    // Parity row: accumulate coeff * shard_c without materializing shards;
+    // zero padding past the value's tail contributes nothing to the sum.
+    for (uint32_t c = 0; c < k_; ++c) {
+      const size_t begin = static_cast<size_t>(c) * sb;
+      if (begin >= src.size()) break;
+      gf::kern::mul_add_row(out.data(), src.data() + begin,
+                            generator_.at(row, c),
+                            std::min(sb, src.size() - begin));
+    }
   }
   return Block{index, std::move(out)};
 }
 
+std::vector<Block> RsCodec::encode(const Value& v) const {
+  SBRS_CHECK(v.bit_size() == data_bits_);
+  const Bytes& src = v.bytes();
+  const size_t sb = shard_bytes_;
+
+  std::vector<Block> out;
+  out.reserve(n_);
+  for (uint32_t i = 1; i <= n_; ++i) out.push_back(Block{i, Bytes(sb, 0)});
+
+  // Shard once, directly into the k systematic blocks: block i-1 is shard
+  // i-1 (zero-padded at the tail), so those buffers double as the shard
+  // scratch the parity sweep reads from.
+  std::array<const uint8_t*, 255> in;
+  for (uint32_t c = 0; c < k_; ++c) {
+    uint8_t* shard = out[c].data.data();
+    const size_t begin = static_cast<size_t>(c) * sb;
+    if (begin < src.size()) {
+      std::memcpy(shard, src.data() + begin, std::min(sb, src.size() - begin));
+    }
+    in[c] = shard;
+  }
+  // All n-k parity rows in a single sweep over the shards.
+  if (n_ > k_) {
+    std::array<uint8_t*, 255> parity_out;
+    for (uint32_t r = 0; r < n_ - k_; ++r) {
+      parity_out[r] = out[k_ + r].data.data();
+    }
+    parity_.apply(in.data(), parity_out.data(), sb);
+  }
+  return out;
+}
+
+size_t RsCodec::RowSetHash::operator()(const RowSetKey& key) const {
+  // SplitMix64-style mix of the four bitmap words.
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (uint64_t w : key) {
+    h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 31;
+  }
+  return static_cast<size_t>(h);
+}
+
+std::shared_ptr<const gf::Matrix> RsCodec::inverse_for(
+    const std::vector<size_t>& rows, const RowSetKey& key) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_index_.find(key);
+    if (it != cache_index_.end()) {
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+      ++cache_hits_;
+      return it->second->second;
+    }
+  }
+  auto inv = generator_.select_rows(rows).inverted();
+  if (!inv.has_value()) return nullptr;  // cannot happen for MDS rows
+  auto shared = std::make_shared<const gf::Matrix>(std::move(*inv));
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (cache_index_.find(key) == cache_index_.end()) {
+    cache_lru_.emplace_front(key, shared);
+    cache_index_[key] = cache_lru_.begin();
+    if (cache_lru_.size() > kInverseCacheCapacity) {
+      cache_index_.erase(cache_lru_.back().first);
+      cache_lru_.pop_back();
+    }
+  }
+  return shared;
+}
+
+uint64_t RsCodec::decode_cache_hits() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_hits_;
+}
+
 std::optional<Value> RsCodec::decode(std::span<const Block> blocks) const {
-  // Gather up to k blocks with distinct, in-range indices of the right size.
-  std::vector<const Block*> chosen;
-  std::set<uint32_t> seen;
+  const size_t sb = shard_bytes_;
+
+  // Dedup via a 256-bit bitmap over generator rows (index - 1). A duplicate
+  // index with an identical payload is redundant; with a conflicting payload
+  // the whole set is inconsistent and decodes to bottom.
+  std::array<const Block*, 256> by_row{};
+  RowSetKey have{};
+  uint32_t distinct = 0;
   for (const Block& b : blocks) {
     if (b.index < 1 || b.index > n_) continue;
-    if (b.data.size() != shard_bytes_) continue;
-    if (!seen.insert(b.index).second) continue;
-    chosen.push_back(&b);
-    if (chosen.size() == k_) break;
+    if (b.data.size() != sb) continue;
+    const uint32_t r = b.index - 1;
+    const uint64_t bit = 1ull << (r & 63);
+    if (have[r >> 6] & bit) {
+      if (b.data != by_row[r]->data) return std::nullopt;
+      continue;
+    }
+    have[r >> 6] |= bit;
+    by_row[r] = &b;
+    ++distinct;
   }
-  if (chosen.size() < k_) return std::nullopt;
+  if (distinct < k_) return std::nullopt;
 
-  // Build the k x k decoding matrix from the generator rows of the chosen
-  // blocks and invert it.
+  // Choose the k lowest-indexed rows. Deterministic choice means equal row
+  // sets share one cache entry, and low rows maximize the systematic case.
   std::vector<size_t> rows;
   rows.reserve(k_);
-  for (const Block* b : chosen) rows.push_back(b->index - 1);
-  auto inv = generator_.select_rows(rows).inverted();
-  if (!inv.has_value()) return std::nullopt;  // cannot happen for MDS rows
+  RowSetKey key{};
+  for (uint32_t r = 0; r < n_ && rows.size() < k_; ++r) {
+    if (have[r >> 6] & (1ull << (r & 63))) {
+      rows.push_back(r);
+      key[r >> 6] |= 1ull << (r & 63);
+    }
+  }
 
-  std::vector<const uint8_t*> in;
-  in.reserve(k_);
-  for (const Block* b : chosen) in.push_back(b->data.data());
-
-  std::vector<Bytes> shards(k_, Bytes(shard_bytes_, 0));
-  std::vector<uint8_t*> out;
-  out.reserve(k_);
-  for (auto& s : shards) out.push_back(s.data());
-  inv->apply(in, out, shard_bytes_);
-
-  // Reassemble the value (drop shard padding).
   const size_t value_bytes = data_bits_ / 8;
   Bytes value(value_bytes, 0);
-  for (size_t i = 0; i < value_bytes; ++i) {
-    value[i] = shards[i / shard_bytes_][i % shard_bytes_];
+
+  if (rows.back() < k_) {
+    // All k systematic blocks present: they are the shards — reassemble
+    // directly, no inversion and no matrix sweep.
+    for (uint32_t c = 0; c < k_; ++c) {
+      const size_t begin = static_cast<size_t>(c) * sb;
+      if (begin >= value_bytes) break;
+      std::memcpy(value.data() + begin, by_row[c]->data.data(),
+                  std::min(sb, value_bytes - begin));
+    }
+    return Value(std::move(value));
   }
+
+  const auto inv = inverse_for(rows, key);
+  if (inv == nullptr) return std::nullopt;
+
+  std::array<const uint8_t*, 255> in;
+  for (uint32_t c = 0; c < k_; ++c) in[c] = by_row[rows[c]]->data.data();
+
+  // Recover all k shards into one contiguous scratch, then trim the padding.
+  Bytes scratch(static_cast<size_t>(k_) * sb);
+  std::array<uint8_t*, 255> shards_out;
+  for (uint32_t c = 0; c < k_; ++c) shards_out[c] = scratch.data() + c * sb;
+  inv->apply(in.data(), shards_out.data(), sb);
+
+  std::memcpy(value.data(), scratch.data(), value_bytes);
   return Value(std::move(value));
 }
 

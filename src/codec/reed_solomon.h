@@ -7,6 +7,12 @@
 // a k-of-n erasure code in Section 5 ("the size of each block is D/k").
 #pragma once
 
+#include <array>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
 #include "codec/codec.h"
 #include "gf/matrix.h"
 
@@ -23,20 +29,56 @@ class RsCodec final : public Codec {
   uint64_t data_bits() const override { return data_bits_; }
   uint64_t block_bits(uint32_t index) const override;
   Block encode_block(const Value& v, uint32_t index) const override;
+
+  /// Single-pass bulk encode: shard once into one contiguous scratch
+  /// buffer, memcpy the k systematic blocks out of it, and produce all
+  /// n-k parity rows in one Matrix::apply sweep — O(n*D/k) work and no
+  /// per-block re-sharding (the base-class loop costs O(n*k) shardings).
+  std::vector<Block> encode(const Value& v) const override;
+
+  /// Decode from any k distinct blocks. Duplicate indices carrying
+  /// conflicting payloads make the set inconsistent -> nullopt. The k x k
+  /// inverse for each distinct chosen-row set is memoized in a small LRU
+  /// cache, so steady-state decoding skips the Gaussian elimination.
   std::optional<Value> decode(std::span<const Block> blocks) const override;
 
   /// Shard size in bytes (== ceil(D/8 / k)).
   size_t shard_bytes() const { return shard_bytes_; }
 
+  /// Number of decode-matrix inversions avoided via the LRU cache (test and
+  /// bench introspection).
+  uint64_t decode_cache_hits() const;
+
  private:
-  /// Split v into the k data shards (with zero padding at the tail).
-  std::vector<Bytes> shard(const Value& v) const;
+  /// 256-bit row-set key: bit r set <=> generator row r is in the chosen set.
+  using RowSetKey = std::array<uint64_t, 4>;
+  struct RowSetHash {
+    size_t operator()(const RowSetKey& key) const;
+  };
+
+  /// Fetch (or compute and memoize) the inverse of the k x k submatrix
+  /// formed by the given sorted generator rows. Returns nullptr when the
+  /// submatrix is singular. Shared ownership keeps cache hits allocation-
+  /// free and lets eviction race safely with an in-flight decode.
+  std::shared_ptr<const gf::Matrix> inverse_for(
+      const std::vector<size_t>& rows, const RowSetKey& key) const;
 
   uint32_t n_;
   uint32_t k_;
   uint64_t data_bits_;
   size_t shard_bytes_;
   gf::Matrix generator_;  // n x k systematic MDS generator
+  gf::Matrix parity_;     // bottom n-k rows of generator_
+
+  // LRU cache of decode-matrix inverses keyed by the chosen-row bitmap.
+  using CacheEntry = std::pair<RowSetKey, std::shared_ptr<const gf::Matrix>>;
+  static constexpr size_t kInverseCacheCapacity = 64;
+  mutable std::mutex cache_mu_;
+  mutable std::list<CacheEntry> cache_lru_;
+  mutable std::unordered_map<RowSetKey, std::list<CacheEntry>::iterator,
+                             RowSetHash>
+      cache_index_;
+  mutable uint64_t cache_hits_ = 0;
 };
 
 }  // namespace sbrs::codec

@@ -29,6 +29,14 @@ Block ReplicationCodec::encode_block(const Value& v, uint32_t index) const {
   return Block{index, v.bytes()};
 }
 
+std::vector<Block> ReplicationCodec::encode(const Value& v) const {
+  SBRS_CHECK(v.bit_size() == data_bits_);
+  std::vector<Block> out;
+  out.reserve(n_);
+  for (uint32_t i = 1; i <= n_; ++i) out.push_back(Block{i, v.bytes()});
+  return out;
+}
+
 std::optional<Value> ReplicationCodec::decode(
     std::span<const Block> blocks) const {
   for (const Block& b : blocks) {

@@ -18,6 +18,7 @@ class ReplicationCodec final : public Codec {
   uint64_t data_bits() const override { return data_bits_; }
   uint64_t block_bits(uint32_t index) const override;
   Block encode_block(const Value& v, uint32_t index) const override;
+  std::vector<Block> encode(const Value& v) const override;
   std::optional<Value> decode(std::span<const Block> blocks) const override;
 
  private:

@@ -1,5 +1,7 @@
 #include "codec/stripe.h"
 
+#include <algorithm>
+#include <cstring>
 #include <sstream>
 
 #include "common/check.h"
@@ -35,8 +37,9 @@ Block StripeCodec::encode_block(const Value& v, uint32_t index) const {
   Bytes out(sb, 0);
   const Bytes& src = v.bytes();
   const size_t begin = (index - 1) * sb;
-  for (size_t i = 0; i < sb && begin + i < src.size(); ++i) {
-    out[i] = src[begin + i];
+  if (begin < src.size()) {
+    std::memcpy(out.data(), src.data() + begin,
+                std::min(sb, src.size() - begin));
   }
   return Block{index, std::move(out)};
 }

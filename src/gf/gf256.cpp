@@ -77,33 +77,4 @@ uint8_t mul_slow(uint8_t a, uint8_t b) {
   return static_cast<uint8_t>(acc);
 }
 
-void mul_add_row(uint8_t* y, const uint8_t* x, uint8_t c, size_t len) {
-  if (c == 0) return;
-  if (c == 1) {
-    for (size_t i = 0; i < len; ++i) y[i] ^= x[i];
-    return;
-  }
-  const auto& t = detail::tables();
-  const unsigned lc = t.log[c];
-  for (size_t i = 0; i < len; ++i) {
-    if (x[i] != 0) y[i] ^= t.exp[lc + t.log[x[i]]];
-  }
-}
-
-void mul_row(uint8_t* y, const uint8_t* x, uint8_t c, size_t len) {
-  if (c == 0) {
-    for (size_t i = 0; i < len; ++i) y[i] = 0;
-    return;
-  }
-  if (c == 1) {
-    for (size_t i = 0; i < len; ++i) y[i] = x[i];
-    return;
-  }
-  const auto& t = detail::tables();
-  const unsigned lc = t.log[c];
-  for (size_t i = 0; i < len; ++i) {
-    y[i] = (x[i] == 0) ? 0 : t.exp[lc + t.log[x[i]]];
-  }
-}
-
 }  // namespace sbrs::gf

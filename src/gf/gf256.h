@@ -1,13 +1,16 @@
 // Arithmetic in GF(2^8), the field underlying the Reed-Solomon codec.
 //
-// We use the AES polynomial x^8 + x^4 + x^3 + x + 1 (0x11b) and precomputed
-// exp/log tables over the generator 0x03. All operations are branch-light
-// table lookups; tables are built once at static-initialization time.
+// We use the AES polynomial x^8 + x^4 + x^3 + x + 1 (0x11b). Scalar mul and
+// the bulk row operations delegate to the kernel layer in gf_kernels.h (flat
+// 64 KiB product table + SIMD split-nibble paths); the exp/log tables here
+// back the remaining group operations (inv, div, pow).
 #pragma once
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
+
+#include "gf/gf_kernels.h"
 
 namespace sbrs::gf {
 
@@ -32,12 +35,9 @@ const Tables& tables();
 constexpr uint8_t add(uint8_t a, uint8_t b) { return a ^ b; }
 constexpr uint8_t sub(uint8_t a, uint8_t b) { return a ^ b; }
 
-/// Multiplication via log/exp tables; mul(0, x) == mul(x, 0) == 0.
-inline uint8_t mul(uint8_t a, uint8_t b) {
-  if (a == 0 || b == 0) return 0;
-  const auto& t = detail::tables();
-  return t.exp[t.log[a] + t.log[b]];
-}
+/// Multiplication: one branch-free load from the kernel layer's flat table
+/// (which covers the zero operands); mul(0, x) == mul(x, 0) == 0.
+inline uint8_t mul(uint8_t a, uint8_t b) { return kern::mul(a, b); }
 
 /// Multiplicative inverse; precondition a != 0.
 uint8_t inv(uint8_t a);
@@ -53,9 +53,14 @@ uint8_t pow(uint8_t a, uint32_t e);
 uint8_t mul_slow(uint8_t a, uint8_t b);
 
 /// y[i] += c * x[i] over a buffer — the inner loop of RS encode/decode.
-void mul_add_row(uint8_t* y, const uint8_t* x, uint8_t c, size_t len);
+/// Thin wrapper over the kernel layer, kept for API stability.
+inline void mul_add_row(uint8_t* y, const uint8_t* x, uint8_t c, size_t len) {
+  kern::mul_add_row(y, x, c, len);
+}
 
-/// y[i] = c * x[i].
-void mul_row(uint8_t* y, const uint8_t* x, uint8_t c, size_t len);
+/// y[i] = c * x[i]. In-place (y == x) is allowed.
+inline void mul_row(uint8_t* y, const uint8_t* x, uint8_t c, size_t len) {
+  kern::mul_row(y, x, c, len);
+}
 
 }  // namespace sbrs::gf

@@ -1,0 +1,255 @@
+#include "gf/gf_kernels.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define SBRS_GF_X86 1
+#endif
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#define SBRS_GF_NEON 1
+#endif
+
+namespace sbrs::gf::kern {
+
+namespace {
+
+// Bit-level shift-and-reduce product over the AES polynomial 0x11b; only
+// used to seed the tables (and mirrored by gf::mul_slow for the tests).
+constexpr uint16_t kPoly = 0x11b;
+
+uint8_t seed_mul(uint8_t a, uint8_t b) {
+  uint16_t acc = 0;
+  const uint16_t aa = a;
+  for (int i = 0; i < 8; ++i) {
+    if (b & (1 << i)) acc ^= static_cast<uint16_t>(aa << i);
+  }
+  for (int bit = 15; bit >= 8; --bit) {
+    if (acc & (1 << bit)) acc ^= static_cast<uint16_t>(kPoly << (bit - 8));
+  }
+  return static_cast<uint8_t>(acc);
+}
+
+}  // namespace
+
+Tables::Tables() {
+  for (size_t a = 0; a < 256; ++a) {
+    for (size_t b = 0; b < 256; ++b) {
+      mul[(a << 8) | b] =
+          seed_mul(static_cast<uint8_t>(a), static_cast<uint8_t>(b));
+    }
+  }
+  // Split-nibble views of each table row: c*x = c*(x & 0x0f) ^ c*(x & 0xf0).
+  for (size_t c = 0; c < 256; ++c) {
+    const uint8_t* row = &mul[c << 8];
+    for (size_t n = 0; n < 16; ++n) {
+      nib_lo[c][n] = row[n];
+      nib_hi[c][n] = row[n << 4];
+    }
+  }
+}
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+namespace {
+
+// --- Scalar kernels: one table row, 8 loads per iteration, byte tail. -----
+
+void mul_add_row_scalar(uint8_t* y, const uint8_t* x, uint8_t c, size_t len) {
+  const uint8_t* row = &tables().mul[static_cast<size_t>(c) << 8];
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    y[i + 0] ^= row[x[i + 0]];
+    y[i + 1] ^= row[x[i + 1]];
+    y[i + 2] ^= row[x[i + 2]];
+    y[i + 3] ^= row[x[i + 3]];
+    y[i + 4] ^= row[x[i + 4]];
+    y[i + 5] ^= row[x[i + 5]];
+    y[i + 6] ^= row[x[i + 6]];
+    y[i + 7] ^= row[x[i + 7]];
+  }
+  for (; i < len; ++i) y[i] ^= row[x[i]];
+}
+
+void mul_row_scalar(uint8_t* y, const uint8_t* x, uint8_t c, size_t len) {
+  const uint8_t* row = &tables().mul[static_cast<size_t>(c) << 8];
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    y[i + 0] = row[x[i + 0]];
+    y[i + 1] = row[x[i + 1]];
+    y[i + 2] = row[x[i + 2]];
+    y[i + 3] = row[x[i + 3]];
+    y[i + 4] = row[x[i + 4]];
+    y[i + 5] = row[x[i + 5]];
+    y[i + 6] = row[x[i + 6]];
+    y[i + 7] = row[x[i + 7]];
+  }
+  for (; i < len; ++i) y[i] = row[x[i]];
+}
+
+// --- SSSE3 kernels: 16 products per pshufb pair, scalar tail. -------------
+// Built with a function-level target attribute so the TU needs no -mssse3;
+// selected at startup only when the CPU reports SSSE3.
+
+#if SBRS_GF_X86
+
+__attribute__((target("ssse3"))) void mul_add_row_ssse3(uint8_t* y,
+                                                        const uint8_t* x,
+                                                        uint8_t c, size_t len) {
+  const Tables& t = tables();
+  const __m128i tlo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_lo[c]));
+  const __m128i thi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+    const __m128i lo = _mm_shuffle_epi8(tlo, _mm_and_si128(v, mask));
+    const __m128i hi =
+        _mm_shuffle_epi8(thi, _mm_and_si128(_mm_srli_epi64(v, 4), mask));
+    const __m128i prod = _mm_xor_si128(lo, hi);
+    const __m128i old =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(y + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(y + i),
+                     _mm_xor_si128(old, prod));
+  }
+  const uint8_t* row = &t.mul[static_cast<size_t>(c) << 8];
+  for (; i < len; ++i) y[i] ^= row[x[i]];
+}
+
+__attribute__((target("ssse3"))) void mul_row_ssse3(uint8_t* y,
+                                                    const uint8_t* x, uint8_t c,
+                                                    size_t len) {
+  const Tables& t = tables();
+  const __m128i tlo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_lo[c]));
+  const __m128i thi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+    const __m128i lo = _mm_shuffle_epi8(tlo, _mm_and_si128(v, mask));
+    const __m128i hi =
+        _mm_shuffle_epi8(thi, _mm_and_si128(_mm_srli_epi64(v, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(y + i),
+                     _mm_xor_si128(lo, hi));
+  }
+  const uint8_t* row = &t.mul[static_cast<size_t>(c) << 8];
+  for (; i < len; ++i) y[i] = row[x[i]];
+}
+
+#endif  // SBRS_GF_X86
+
+// --- NEON kernels: baseline on AArch64, 16 products per tbl pair. ---------
+
+#if SBRS_GF_NEON
+
+void mul_add_row_neon(uint8_t* y, const uint8_t* x, uint8_t c, size_t len) {
+  const Tables& t = tables();
+  const uint8x16_t tlo = vld1q_u8(t.nib_lo[c]);
+  const uint8x16_t thi = vld1q_u8(t.nib_hi[c]);
+  const uint8x16_t mask = vdupq_n_u8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const uint8x16_t v = vld1q_u8(x + i);
+    const uint8x16_t lo = vqtbl1q_u8(tlo, vandq_u8(v, mask));
+    const uint8x16_t hi = vqtbl1q_u8(thi, vshrq_n_u8(v, 4));
+    vst1q_u8(y + i, veorq_u8(vld1q_u8(y + i), veorq_u8(lo, hi)));
+  }
+  const uint8_t* row = &t.mul[static_cast<size_t>(c) << 8];
+  for (; i < len; ++i) y[i] ^= row[x[i]];
+}
+
+void mul_row_neon(uint8_t* y, const uint8_t* x, uint8_t c, size_t len) {
+  const Tables& t = tables();
+  const uint8x16_t tlo = vld1q_u8(t.nib_lo[c]);
+  const uint8x16_t thi = vld1q_u8(t.nib_hi[c]);
+  const uint8x16_t mask = vdupq_n_u8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const uint8x16_t v = vld1q_u8(x + i);
+    const uint8x16_t lo = vqtbl1q_u8(tlo, vandq_u8(v, mask));
+    const uint8x16_t hi = vqtbl1q_u8(thi, vshrq_n_u8(v, 4));
+    vst1q_u8(y + i, veorq_u8(lo, hi));
+  }
+  const uint8_t* row = &t.mul[static_cast<size_t>(c) << 8];
+  for (; i < len; ++i) y[i] = row[x[i]];
+}
+
+#endif  // SBRS_GF_NEON
+
+// --- Dispatch: resolved once; scalar is the mandatory fallback. -----------
+
+using RowFn = void (*)(uint8_t*, const uint8_t*, uint8_t, size_t);
+
+struct Dispatch {
+  RowFn mul_add;
+  RowFn mul;
+  const char* name;
+};
+
+Dispatch resolve() {
+#if SBRS_GF_X86
+  if (__builtin_cpu_supports("ssse3")) {
+    return {mul_add_row_ssse3, mul_row_ssse3, "ssse3"};
+  }
+#endif
+#if SBRS_GF_NEON
+  return {mul_add_row_neon, mul_row_neon, "neon"};
+#endif
+  return {mul_add_row_scalar, mul_row_scalar, "scalar"};
+}
+
+const Dispatch& dispatch() {
+  static const Dispatch d = resolve();
+  return d;
+}
+
+// Word-at-a-time XOR for the coefficient-1 fast path.
+void xor_row(uint8_t* y, const uint8_t* x, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t a, b;
+    std::memcpy(&a, y + i, 8);
+    std::memcpy(&b, x + i, 8);
+    a ^= b;
+    std::memcpy(y + i, &a, 8);
+  }
+  for (; i < len; ++i) y[i] ^= x[i];
+}
+
+}  // namespace
+
+void mul_add_row(uint8_t* y, const uint8_t* x, uint8_t c, size_t len) {
+  if (c == 0 || len == 0) return;
+  if (c == 1) {
+    xor_row(y, x, len);
+    return;
+  }
+  dispatch().mul_add(y, x, c, len);
+}
+
+void mul_row(uint8_t* y, const uint8_t* x, uint8_t c, size_t len) {
+  if (len == 0) return;
+  if (c == 0) {
+    std::memset(y, 0, len);
+    return;
+  }
+  if (c == 1) {
+    if (y != x) std::memmove(y, x, len);
+    return;
+  }
+  dispatch().mul(y, x, c, len);
+}
+
+const char* backend() { return dispatch().name; }
+
+}  // namespace sbrs::gf::kern

@@ -1,0 +1,57 @@
+// Bulk GF(2^8) arithmetic kernels — the innermost layer of the coding
+// substrate. Everything above (gf256.h scalar ops, gf::Matrix, the RS codec,
+// every register protocol and bench) reduces to these row operations.
+//
+// Table layouts:
+//   - mul: a flat 64 KiB full multiplication table, mul[(a << 8) | b] = a*b.
+//     One branch-free load per scalar product; row &mul[c << 8] is the
+//     256-entry lookup table "multiply by c" used by the unrolled row loops.
+//   - nib_lo / nib_hi: per-coefficient split-nibble tables, 2 x 16 entries
+//     per coefficient: c*x == nib_lo[c][x & 15] ^ nib_hi[c][x >> 4] (GF
+//     addition is XOR, so the product splits across the nibbles). These are
+//     exactly the operands a 16-lane byte shuffle (SSSE3 pshufb / NEON tbl)
+//     needs to compute 16 products per instruction.
+//
+// Dispatch: the SIMD paths are compiled behind architecture guards with the
+// scalar path as the mandatory fallback. On x86-64 the SSSE3 body is built
+// with a function-level target attribute and selected once at startup via
+// __builtin_cpu_supports, so no special compiler flags are required; on
+// AArch64 NEON is baseline and used unconditionally. backend() reports which
+// path is live so benches can record it.
+//
+// All tables are built once at first use from the bit-level shift-and-reduce
+// product (the same reference `gf::mul_slow` validates against), and the
+// tests assert exhaustive 256x256 equality of fast and slow multiplication.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sbrs::gf::kern {
+
+struct Tables {
+  alignas(64) uint8_t mul[256 * 256];
+  alignas(16) uint8_t nib_lo[256][16];
+  alignas(16) uint8_t nib_hi[256][16];
+
+  Tables();
+};
+
+/// The process-wide kernel tables (built on first use, thread-safe).
+const Tables& tables();
+
+/// Branch-free scalar product via the flat table (handles zero operands).
+inline uint8_t mul(uint8_t a, uint8_t b) {
+  return tables().mul[(static_cast<size_t>(a) << 8) | b];
+}
+
+/// y[i] ^= c * x[i] for i in [0, len). The RS encode/decode inner loop.
+void mul_add_row(uint8_t* y, const uint8_t* x, uint8_t c, size_t len);
+
+/// y[i] = c * x[i] for i in [0, len). In-place (y == x) is allowed.
+void mul_row(uint8_t* y, const uint8_t* x, uint8_t c, size_t len);
+
+/// Which row-kernel implementation is live: "ssse3", "neon", or "scalar".
+const char* backend();
+
+}  // namespace sbrs::gf::kern

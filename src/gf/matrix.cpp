@@ -1,6 +1,9 @@
 #include "gf/matrix.h"
 
+#include <cstring>
+
 #include "common/check.h"
+#include "gf/gf_kernels.h"
 
 namespace sbrs::gf {
 
@@ -57,9 +60,7 @@ Matrix Matrix::mul(const Matrix& other) const {
   Matrix out(rows_, other.cols_);
   for (size_t r = 0; r < rows_; ++r) {
     for (size_t i = 0; i < cols_; ++i) {
-      const uint8_t a = at(r, i);
-      if (a == 0) continue;
-      mul_add_row(out.row(r), other.row(i), a, other.cols_);
+      kern::mul_add_row(out.row(r), other.row(i), at(r, i), other.cols_);
     }
   }
   return out;
@@ -95,16 +96,16 @@ std::optional<Matrix> Matrix::inverted() const {
     const uint8_t p = a.at(col, col);
     if (p != 1) {
       const uint8_t pinv = inv(p);
-      mul_row(a.row(col), a.row(col), pinv, n);
-      mul_row(inv_m.row(col), inv_m.row(col), pinv, n);
+      kern::mul_row(a.row(col), a.row(col), pinv, n);
+      kern::mul_row(inv_m.row(col), inv_m.row(col), pinv, n);
     }
     // Eliminate all other rows.
     for (size_t r = 0; r < n; ++r) {
       if (r == col) continue;
       const uint8_t factor = a.at(r, col);
       if (factor == 0) continue;
-      mul_add_row(a.row(r), a.row(col), factor, n);
-      mul_add_row(inv_m.row(r), inv_m.row(col), factor, n);
+      kern::mul_add_row(a.row(r), a.row(col), factor, n);
+      kern::mul_add_row(inv_m.row(r), inv_m.row(col), factor, n);
     }
   }
   return inv_m;
@@ -113,11 +114,16 @@ std::optional<Matrix> Matrix::inverted() const {
 void Matrix::apply(const std::vector<const uint8_t*>& in,
                    const std::vector<uint8_t*>& out, size_t len) const {
   SBRS_CHECK(in.size() == cols_ && out.size() == rows_);
+  apply(in.data(), out.data(), len);
+}
+
+void Matrix::apply(const uint8_t* const* in, uint8_t* const* out,
+                   size_t len) const {
   for (size_t r = 0; r < rows_; ++r) {
     uint8_t* dst = out[r];
-    for (size_t i = 0; i < len; ++i) dst[i] = 0;
+    std::memset(dst, 0, len);
     for (size_t c = 0; c < cols_; ++c) {
-      mul_add_row(dst, in[c], at(r, c), len);
+      kern::mul_add_row(dst, in[c], at(r, c), len);
     }
   }
 }

@@ -60,6 +60,11 @@ class Matrix {
   void apply(const std::vector<const uint8_t*>& in,
              const std::vector<uint8_t*>& out, size_t len) const;
 
+  /// Allocation-free variant of apply() for hot paths: `in` points at cols()
+  /// buffers, `out` at rows() buffers, all of length `len`. Output buffers
+  /// are zero-initialized by this function.
+  void apply(const uint8_t* const* in, uint8_t* const* out, size_t len) const;
+
   bool operator==(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_ && a_ == other.a_;
   }

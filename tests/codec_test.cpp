@@ -90,6 +90,20 @@ TEST_P(CodecRoundTrip, DuplicatedBlocksDoNotHelp) {
   EXPECT_FALSE(codec->decode(subset).has_value());
 }
 
+TEST_P(CodecRoundTrip, BulkEncodeMatchesPerBlockEncode) {
+  // Contract: a codec's bulk encode() override must produce exactly the
+  // blocks the base-class encode_block loop would.
+  const auto& p = GetParam();
+  auto codec = make_codec(p.kind, p.n, p.k, p.data_bits);
+  Rng rng(p.n * 53 + p.k * 29);
+  const Value v = random_value(p.data_bits, rng);
+  auto bulk = codec->encode(v);
+  ASSERT_EQ(bulk.size(), codec->n());
+  for (uint32_t i = 1; i <= codec->n(); ++i) {
+    EXPECT_EQ(bulk[i - 1], codec->encode_block(v, i)) << "block " << i;
+  }
+}
+
 TEST_P(CodecRoundTrip, SymmetricEncoding) {
   const auto& p = GetParam();
   auto codec = make_codec(p.kind, p.n, p.k, p.data_bits);
@@ -219,6 +233,72 @@ TEST(RsCodec, DistinctValuesGiveDistinctBlocks) {
     }
   }
   EXPECT_TRUE(any_different);
+}
+
+TEST(RsCodec, DuplicateIndexWithConflictingPayloadIsInconsistent) {
+  // Two blocks claiming the same index but carrying different payloads mean
+  // the set cannot come from one value: decode must return bottom instead of
+  // silently picking whichever copy came first.
+  RsCodec codec(6, 2, 256);
+  Rng rng(9);
+  const Value v = random_value(256, rng);
+  auto blocks = codec.encode(v);
+  Block forged = blocks[0];
+  forged.data[0] ^= 0x01;
+  // A full decodable set plus one conflicting duplicate of block 1.
+  std::vector<Block> set = {blocks[0], blocks[1], forged};
+  EXPECT_FALSE(codec.decode(set).has_value());
+  // Order must not matter: conflict detected even when the duplicate's twin
+  // arrives later.
+  std::vector<Block> reordered = {forged, blocks[1], blocks[0]};
+  EXPECT_FALSE(codec.decode(reordered).has_value());
+}
+
+TEST(RsCodec, DuplicateIndexWithIdenticalPayloadIsRedundant) {
+  RsCodec codec(6, 2, 256);
+  Rng rng(10);
+  const Value v = random_value(256, rng);
+  auto blocks = codec.encode(v);
+  std::vector<Block> set = {blocks[4], blocks[4], blocks[4], blocks[5]};
+  auto decoded = codec.decode(set);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, v);
+}
+
+TEST(RsCodec, DecodeInverseCacheIsHitAndStaysCorrect) {
+  RsCodec codec(12, 4, 4096);
+  Rng rng(11);
+  const Value v = random_value(4096, rng);
+  auto blocks = codec.encode(v);
+  std::vector<Block> parity(blocks.begin() + 4, blocks.begin() + 8);
+  ASSERT_EQ(codec.decode_cache_hits(), 0u);
+  for (int round = 0; round < 5; ++round) {
+    auto decoded = codec.decode(parity);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, v);
+  }
+  // First decode of this row set inverts; the next four hit the cache.
+  EXPECT_EQ(codec.decode_cache_hits(), 4u);
+  // A different value with the same row set reuses the cached inverse.
+  const Value v2 = random_value(4096, rng);
+  auto blocks2 = codec.encode(v2);
+  std::vector<Block> parity2(blocks2.begin() + 4, blocks2.begin() + 8);
+  auto decoded2 = codec.decode(parity2);
+  ASSERT_TRUE(decoded2.has_value());
+  EXPECT_EQ(*decoded2, v2);
+  EXPECT_EQ(codec.decode_cache_hits(), 5u);
+}
+
+TEST(RsCodec, SystematicDecodeDoesNotTouchInverseCache) {
+  RsCodec codec(8, 3, 512);
+  Rng rng(12);
+  const Value v = random_value(512, rng);
+  auto blocks = codec.encode(v);
+  std::vector<Block> data(blocks.begin(), blocks.begin() + 3);
+  auto decoded = codec.decode(data);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, v);
+  EXPECT_EQ(codec.decode_cache_hits(), 0u);
 }
 
 TEST(StripeCodec, NeedsAllBlocks) {

@@ -1,10 +1,13 @@
 // E2 — Theorem 2: the adaptive algorithm's storage vs concurrency.
 //
-// Sweeps the write-concurrency level and prints the measured maximum
-// base-object storage next to the paper's bound min((c+1)(2f+k)D/k,
-// 2(2f+k)D) (the Lemma 6 / Lemma 7 regimes). The channel column shows
-// Definition 2's additional in-flight contribution, which the paper's
-// upper-bound analysis does not charge (see DESIGN.md).
+// Sweeps the write-concurrency level (as a SweepRunner grid, one cell per
+// concurrency level) and prints the measured maximum base-object storage
+// next to the paper's bound min((c+1)(2f+k)D/k, 2(2f+k)D) (the Lemma 6 /
+// Lemma 7 regimes). The channel column shows Definition 2's additional
+// in-flight contribution, which the paper's upper-bound analysis does not
+// charge (see DESIGN.md).
+#include "harness/sweep.h"
+
 #include "bench_util.h"
 
 namespace sbrs::bench {
@@ -17,21 +20,29 @@ void print_sweep() {
   std::cout << "\n=== E2: adaptive register storage vs concurrency "
             << "(f=" << kF << ", k=" << kK << ", n=" << (2 * kF + kK)
             << ", D=" << kDataBits << " bits) ===\n";
-  auto alg = registers::make_adaptive(cfg_fk(kF, kK, kDataBits));
+  const std::vector<uint32_t> cs = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32};
+  std::vector<harness::SweepCell> grid;
+  for (uint32_t c : cs) grid.push_back(storage_cell("adaptive", kF, kK, kDataBits, c));
+  auto result = harness::SweepRunner(sweep_options()).run(grid);
+
   harness::Table table({"c", "max object bits", "Thm2 bound", "ratio",
-                        "max channel bits", "regime"});
-  for (uint32_t c : {1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u, 24u, 32u}) {
-    auto out = storage_run(*alg, c);
+                        "max channel bits", "steps/s", "regime"});
+  for (size_t i = 0; i < cs.size(); ++i) {
+    const auto& cell = result.cells[i];
+    const uint32_t c = cs[i];
     const uint64_t bound =
         bounds::adaptive_upper_bound_bits(kF, kK, c, kDataBits);
-    table.add_row(c, out.max_object_bits, bound,
-                  ratio(out.max_object_bits, bound), out.max_channel_bits,
+    table.add_row(c, cell.max_object_bits.max, bound,
+                  ratio(cell.max_object_bits.max, bound),
+                  cell.max_channel_bits.max,
+                  static_cast<uint64_t>(cell.steps_per_sec),
                   c + 1 < kK ? "coding (c+1 pieces/obj)" : "replica cap 2nD");
   }
   table.print();
   std::cout << "\nStorage grows ~linearly while c < k-1, then saturates at "
                "the replication cap — the min(f, c) adaptivity of Theorem "
-               "2.\n\n";
+               "2. (sweep: " << result.threads_used << " threads, "
+            << result.wall_seconds << "s)\n\n";
 }
 
 void BM_AdaptiveWriteStorm(benchmark::State& state) {

@@ -1,7 +1,10 @@
 // E7 — "the best of both" (Sections 1 and 5): replication vs pure coding vs
 // the adaptive algorithm across the concurrency axis. Coding wins at low c,
 // replication at high c, and the adaptive register tracks the minimum of
-// the two — the Theta(min(f, c) D) envelope.
+// the two — the Theta(min(f, c) D) envelope. The whole 3-algorithm x 10-c
+// grid runs as one parallel sweep.
+#include "harness/sweep.h"
+
 #include "bench_util.h"
 
 namespace sbrs::bench {
@@ -14,23 +17,28 @@ void print_sweep() {
   std::cout << "\n=== E7: storage crossover — replication vs coded vs "
             << "adaptive (f=" << kF << ", k=" << kK << ", D=" << kDataBits
             << " bits) ===\n";
-  auto abd = registers::make_abd(cfg_abd(kF, kDataBits));
-  auto coded = registers::make_coded(cfg_fk(kF, kK, kDataBits));
-  auto adaptive = registers::make_adaptive(cfg_fk(kF, kK, kDataBits));
+  const std::vector<uint32_t> cs = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32};
+  const std::vector<std::string> algs = {"abd", "coded", "adaptive"};
+  std::vector<harness::SweepCell> grid;
+  for (uint32_t c : cs) {
+    for (const auto& alg : algs) {
+      grid.push_back(storage_cell(alg, kF, kK, kDataBits, c));
+    }
+  }
+  auto result = harness::SweepRunner(sweep_options()).run(grid);
 
   harness::Table table({"c", "abd bits", "coded bits", "adaptive bits",
                         "adaptive regime"});
   const uint64_t cap =
       bounds::adaptive_upper_bound_bits(kF, kK, /*c=*/1000, kDataBits);
-  for (uint32_t c : {1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u, 24u, 32u}) {
-    auto abd_out = storage_run(*abd, c);
-    auto coded_out = storage_run(*coded, c);
-    auto adaptive_out = storage_run(*adaptive, c);
-    table.add_row(c, abd_out.max_object_bits, coded_out.max_object_bits,
-                  adaptive_out.max_object_bits,
-                  adaptive_out.max_object_bits >= cap
-                      ? "saturated (O(fD) cap)"
-                      : "coding (grows with c)");
+  for (size_t i = 0; i < cs.size(); ++i) {
+    const uint64_t abd_bits = result.cells[3 * i + 0].max_object_bits.max;
+    const uint64_t coded_bits = result.cells[3 * i + 1].max_object_bits.max;
+    const uint64_t adaptive_bits =
+        result.cells[3 * i + 2].max_object_bits.max;
+    table.add_row(cs[i], abd_bits, coded_bits, adaptive_bits,
+                  adaptive_bits >= cap ? "saturated (O(fD) cap)"
+                                       : "coding (grows with c)");
   }
   table.print();
   std::cout << "\nThe pure coded register grows Theta(cD) without bound; "

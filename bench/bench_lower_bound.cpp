@@ -6,6 +6,9 @@
 // must hold at every sweep point; the safe register (Appendix E) stays flat
 // at n*D/k, demonstrating that the bound is specific to regular semantics.
 #include "adversary/lower_bound.h"
+#include "harness/algorithms.h"
+#include "harness/sweep.h"
+
 #include "bench_util.h"
 
 namespace sbrs::bench {
@@ -13,28 +16,47 @@ namespace {
 
 constexpr uint64_t kDataBits = 4096;
 
+/// A lower-bound experiment is not a plain register run, so it rides the
+/// sweep engine's generic parallel_map: one job per (algorithm, parameter)
+/// cell, each constructing its own algorithm instance on the worker.
+struct AdCell {
+  std::string algorithm;
+  registers::RegisterConfig cfg;
+  uint32_t concurrency = 1;
+};
+
+std::vector<adversary::LowerBoundResult> run_ad_grid(
+    const std::vector<AdCell>& grid) {
+  return harness::parallel_map(
+      grid.size(), /*threads=*/0, [&](size_t i) {
+        const AdCell& cell = grid[i];
+        auto alg = harness::make_algorithm(cell.algorithm, cell.cfg);
+        return adversary::run_lower_bound_experiment(*alg, cell.concurrency);
+      });
+}
+
 void print_concurrency_sweep() {
   std::cout << "\n=== E1a: adversarial storage vs concurrency c "
             << "(f=4, k=4, D=" << kDataBits << " bits, l=D/2) ===\n";
   const auto cfg = cfg_fk(4, 4, kDataBits);
   const auto abd = cfg_abd(4, kDataBits);
 
-  std::vector<std::unique_ptr<registers::RegisterAlgorithm>> algs;
-  algs.push_back(registers::make_coded(cfg));
-  algs.push_back(registers::make_adaptive(cfg));
-  algs.push_back(registers::make_abd(abd));
-  algs.push_back(registers::make_safe(cfg));
+  std::vector<AdCell> grid;
+  for (const char* alg : {"coded", "adaptive", "abd", "safe"}) {
+    for (uint32_t c : {1u, 2u, 3u, 4u, 5u, 8u, 16u, 32u}) {
+      grid.push_back(AdCell{alg, std::string(alg) == "abd" ? abd : cfg, c});
+    }
+  }
+  auto results = run_ad_grid(grid);
 
   harness::Table table({"algorithm", "c", "max storage (bits)",
                         "bound min(f+1,c)D/2", "ratio", "|F|", "|C+|",
                         "fixed point"});
-  for (const auto& alg : algs) {
-    for (uint32_t c : {1u, 2u, 3u, 4u, 5u, 8u, 16u, 32u}) {
-      auto r = adversary::run_lower_bound_experiment(*alg, c);
-      table.add_row(r.algorithm, c, r.max_total_bits, r.predicted_bits,
-                    ratio(r.max_total_bits, r.predicted_bits),
-                    r.frozen_objects, r.c_plus_writes, r.stop_reason);
-    }
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row(r.algorithm, grid[i].concurrency, r.max_total_bits,
+                  r.predicted_bits, ratio(r.max_total_bits, r.predicted_bits),
+                  r.frozen_objects, r.c_plus_writes, r.stop_reason);
   }
   table.print();
 }
@@ -42,17 +64,22 @@ void print_concurrency_sweep() {
 void print_fault_sweep() {
   std::cout << "\n=== E1b: adversarial storage vs fault tolerance f "
             << "(c=16, k=f, D=" << kDataBits << " bits) ===\n";
+  std::vector<AdCell> grid;
+  std::vector<uint32_t> fs;
+  for (uint32_t f : {1u, 2u, 4u, 8u}) {
+    for (const char* alg : {"coded", "adaptive"}) {
+      grid.push_back(AdCell{alg, cfg_fk(f, f, kDataBits), 16});
+      fs.push_back(f);
+    }
+  }
+  auto results = run_ad_grid(grid);
+
   harness::Table table({"algorithm", "f", "max storage (bits)",
                         "bound min(f+1,c)D/2", "ratio"});
-  for (uint32_t f : {1u, 2u, 4u, 8u}) {
-    const auto cfg = cfg_fk(f, f, kDataBits);
-    auto coded = registers::make_coded(cfg);
-    auto adaptive = registers::make_adaptive(cfg);
-    for (auto* alg : {coded.get(), adaptive.get()}) {
-      auto r = adversary::run_lower_bound_experiment(*alg, 16);
-      table.add_row(r.algorithm, f, r.max_total_bits, r.predicted_bits,
-                    ratio(r.max_total_bits, r.predicted_bits));
-    }
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row(r.algorithm, fs[i], r.max_total_bits, r.predicted_bits,
+                  ratio(r.max_total_bits, r.predicted_bits));
   }
   table.print();
   std::cout << "\nAll regular algorithms satisfy measured >= bound; the "

@@ -10,9 +10,11 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bounds/formulas.h"
 #include "harness/runner.h"
+#include "harness/sweep.h"
 #include "harness/table.h"
 #include "registers/register_algorithm.h"
 
@@ -54,6 +56,30 @@ inline double ratio(uint64_t measured, uint64_t predicted) {
   return predicted == 0 ? 0.0
                         : static_cast<double>(measured) /
                               static_cast<double>(predicted);
+}
+
+/// One sweep-grid cell matching storage_run's shape: c writers, burst
+/// scheduler (maximum write concurrency), one write each.
+inline harness::SweepCell storage_cell(const std::string& alg, uint32_t f,
+                                       uint32_t k, uint64_t data_bits,
+                                       uint32_t c) {
+  harness::SweepCell cell;
+  cell.algorithm = alg;
+  cell.config = (alg == "abd" || alg == "abd-wb") ? cfg_abd(f, data_bits)
+                                                  : cfg_fk(f, k, data_bits);
+  cell.opts.writers = c;
+  cell.opts.writes_per_client = 1;
+  cell.opts.scheduler = harness::SchedKind::kBurst;
+  cell.opts.sample_every = 64;
+  cell.label = alg + " c=" + std::to_string(c);
+  return cell;
+}
+
+inline harness::SweepOptions sweep_options(uint32_t seeds_per_cell = 1) {
+  harness::SweepOptions so;
+  so.threads = 0;  // all hardware threads
+  so.seeds_per_cell = seeds_per_cell;
+  return so;
 }
 
 }  // namespace sbrs::bench

@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# Run the register-layer sweep benchmark and record the results as
+# BENCH_registers.json at the repo root (building first if needed), so the
+# register/simulator perf trajectory is tracked the same way the codec's is
+# (BENCH_codec.json).
+#
+# The fixed grid: {abd, safe, coded, coded-atomic, adaptive} x
+# {c = 1,2,4,8,16,32} concurrent writers, one 4096-bit write each, burst
+# scheduler (maximum write concurrency — the paper's storage-vs-concurrency
+# shape), 3 seeds per cell. Every cell records its max storage summaries and
+# steps/sec. The grid is run twice — single-threaded and with
+# $SWEEP_THREADS (default 8) workers — and both results land in the JSON
+# together with the measured scaling efficiency; per-cell fingerprints of
+# the two runs are identical by construction (deterministic seeding).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build"
+threads="${SWEEP_THREADS:-8}"
+out="$repo_root/BENCH_registers.json"
+
+if [ ! -x "$build_dir/sbrs_cli" ]; then
+  cmake -B "$build_dir" -S "$repo_root"
+  cmake --build "$build_dir" -j --target sbrs_cli
+fi
+
+grid="--sweep --algs=abd,safe,coded,coded-atomic,adaptive \
+  --cs=1,2,4,8,16,32 --sched=burst --f=4 --k=4 --data-bits=4096 \
+  --writes=1 --readers=0 --seeds=3 --seed=1"
+
+tmp_single=$(mktemp)
+tmp_multi=$(mktemp)
+trap 'rm -f "$tmp_single" "$tmp_multi"' EXIT
+
+# shellcheck disable=SC2086  # word splitting of $grid is intentional
+"$build_dir/sbrs_cli" $grid --threads=1 --json="$tmp_single" >/dev/null
+# shellcheck disable=SC2086
+"$build_dir/sbrs_cli" $grid --threads="$threads" --json="$tmp_multi" \
+  >/dev/null
+
+wall_single=$(awk -F': ' '/^  "wall_seconds"/ {gsub(/,/, "", $2); print $2; exit}' "$tmp_single")
+wall_multi=$(awk -F': ' '/^  "wall_seconds"/ {gsub(/,/, "", $2); print $2; exit}' "$tmp_multi")
+efficiency=$(awk "BEGIN {printf \"%.4f\", $wall_single / ($threads * $wall_multi)}")
+speedup=$(awk "BEGIN {printf \"%.4f\", $wall_single / $wall_multi}")
+hw_threads=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+{
+  printf '{\n'
+  printf '  "context": {\n'
+  printf '    "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%S+00:00)"
+  printf '    "host_name": "%s",\n' "$(hostname)"
+  printf '    "hardware_threads": %s,\n' "$hw_threads"
+  printf '    "grid": "abd,safe,coded,coded-atomic,adaptive x c=1,2,4,8,16,32; burst; f=4 k=4 D=4096; 3 seeds/cell"\n'
+  printf '  },\n'
+  printf '  "scaling": {\n'
+  printf '    "sweep_threads": %s,\n' "$threads"
+  printf '    "wall_seconds_threads_1": %s,\n' "$wall_single"
+  printf '    "wall_seconds_threads_n": %s,\n' "$wall_multi"
+  printf '    "speedup": %s,\n' "$speedup"
+  printf '    "efficiency": %s\n' "$efficiency"
+  printf '  },\n'
+  printf '  "single_thread": '
+  cat "$tmp_single"
+  printf '  ,\n  "threads_n": '
+  cat "$tmp_multi"
+  printf '}\n'
+} > "$out"
+
+echo "wrote $out (1 thread: ${wall_single}s, $threads threads: ${wall_multi}s, efficiency $efficiency on $hw_threads hardware threads)"

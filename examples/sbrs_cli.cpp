@@ -1,20 +1,29 @@
 // sbrs_cli — command-line experiment runner.
 //
 // Run any of the register algorithms under a configurable workload and
-// scheduler, print the storage/consistency outcome, and optionally dump the
-// storage time series as CSV. Useful for ad-hoc exploration beyond the
-// fixed sweeps in bench/.
+// scheduler and print the storage/consistency outcome — or run a whole
+// storage-vs-concurrency sweep grid on a thread pool and export it as JSON
+// (the Figure-style curves in one command).
 //
 //   $ ./examples/sbrs_cli --alg=adaptive --f=2 --k=4 --writers=6
 //         (--writes=2 --readers=2 --reads=2 --seed=7 --crashes=2 ...)
 //   $ ./examples/sbrs_cli --alg=coded --writers=16 --sched=burst
+//   $ ./examples/sbrs_cli --sweep --algs=abd,coded,adaptive --sched=burst \
+//         --cs=1,2,4,8,16,32 --seeds=5 --threads=8 --json=sweep.json
 //   $ ./examples/sbrs_cli --help
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "bounds/formulas.h"
+#include "common/check.h"
+#include "harness/algorithms.h"
+#include "harness/export.h"
 #include "harness/runner.h"
+#include "harness/sweep.h"
 #include "harness/table.h"
 
 namespace {
@@ -31,6 +40,13 @@ struct CliOptions {
   uint64_t seed = 1;
   std::string sched = "random";
   uint32_t crashes = 0;
+  // Sweep mode.
+  bool sweep = false;
+  std::string algs;            // comma list; default: the --alg value
+  std::string cs = "1,2,4,8,16,32";  // concurrency grid
+  uint32_t threads = 0;        // 0 = hardware concurrency
+  uint32_t seeds = 1;          // seeds per cell
+  std::string json;            // write sweep JSON here
   bool help = false;
 };
 
@@ -49,6 +65,16 @@ bool parse_int_flag(const std::string& arg, const char* name, Int* out) {
   return true;
 }
 
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
 CliOptions parse(int argc, char** argv) {
   CliOptions o;
   for (int i = 1; i < argc; ++i) {
@@ -56,8 +82,13 @@ CliOptions parse(int argc, char** argv) {
     std::string s;
     if (arg == "--help" || arg == "-h") {
       o.help = true;
+    } else if (arg == "--sweep") {
+      o.sweep = true;
     } else if (parse_flag(arg, "alg", &o.alg) ||
+               parse_flag(arg, "algs", &o.algs) ||
                parse_flag(arg, "sched", &o.sched) ||
+               parse_flag(arg, "cs", &o.cs) ||
+               parse_flag(arg, "json", &o.json) ||
                parse_int_flag(arg, "f", &o.f) ||
                parse_int_flag(arg, "k", &o.k) ||
                parse_int_flag(arg, "data-bits", &o.data_bits) ||
@@ -66,6 +97,8 @@ CliOptions parse(int argc, char** argv) {
                parse_int_flag(arg, "readers", &o.readers) ||
                parse_int_flag(arg, "reads", &o.reads) ||
                parse_int_flag(arg, "seed", &o.seed) ||
+               parse_int_flag(arg, "threads", &o.threads) ||
+               parse_int_flag(arg, "seeds", &o.seeds) ||
                parse_int_flag(arg, "crashes", &o.crashes)) {
       // parsed
     } else {
@@ -80,6 +113,7 @@ void usage() {
   std::cout <<
       "sbrs_cli — run a register algorithm on the simulated asynchronous "
       "shared memory\n\n"
+      "single run:\n"
       "  --alg=adaptive|abd|abd-wb|coded|coded-atomic|safe|no-replica\n"
       "  --f=N           tolerated object crashes (default 2)\n"
       "  --k=N           erasure-code dimension (default 4; abd forces 1)\n"
@@ -87,51 +121,117 @@ void usage() {
       "  --writers=N --writes=N --readers=N --reads=N   workload shape\n"
       "  --sched=random|rr|burst   scheduler (default random)\n"
       "  --seed=N        schedule seed (default 1)\n"
-      "  --crashes=N     crash up to N objects at random points\n";
+      "  --crashes=N     crash up to N objects at random points\n\n"
+      "sweep mode (parallel grid over algorithms x concurrency):\n"
+      "  --sweep         run the grid instead of a single experiment\n"
+      "  --algs=a,b,c    algorithms to sweep (default: the --alg value)\n"
+      "  --cs=1,2,4,...  writer-concurrency grid (default 1,2,4,8,16,32)\n"
+      "  --seeds=N       seeds per cell (default 1)\n"
+      "  --threads=N     worker threads (default: all hardware threads)\n"
+      "  --json=PATH     export the sweep result as JSON\n"
+      "  (the workload/scheduler flags above shape every cell;\n"
+      "   use --sched=burst for the paper's storage-vs-concurrency curves)\n";
+}
+
+sbrs::harness::SchedKind sched_kind(const std::string& name) {
+  if (name == "rr") return sbrs::harness::SchedKind::kRoundRobin;
+  if (name == "burst") return sbrs::harness::SchedKind::kBurst;
+  return sbrs::harness::SchedKind::kRandom;
+}
+
+sbrs::registers::RegisterConfig base_config(const CliOptions& cli) {
+  sbrs::registers::RegisterConfig cfg;
+  cfg.f = cli.f;
+  cfg.k = cli.k;
+  cfg.n = 2 * cli.f + cli.k;
+  cfg.data_bits = cli.data_bits;
+  return cfg;
+}
+
+int run_sweep(const CliOptions& cli) {
+  using namespace sbrs;
+  const auto algs = split_csv(cli.algs.empty() ? cli.alg : cli.algs);
+  const auto cs = split_csv(cli.cs);
+
+  std::vector<harness::SweepCell> grid;
+  for (const auto& alg : algs) {
+    for (const auto& c_str : cs) {
+      harness::SweepCell cell;
+      cell.algorithm = alg;
+      cell.config = base_config(cli);
+      cell.opts.writers = static_cast<uint32_t>(std::stoul(c_str));
+      cell.opts.writes_per_client = cli.writes;
+      cell.opts.readers = cli.readers;
+      cell.opts.reads_per_client = cli.reads;
+      cell.opts.scheduler = sched_kind(cli.sched);
+      cell.opts.object_crashes = cli.crashes;
+      cell.label = alg + " c=" + c_str;
+      grid.push_back(std::move(cell));
+    }
+  }
+
+  harness::SweepOptions so;
+  so.threads = cli.threads;
+  so.seeds_per_cell = cli.seeds;
+  so.base_seed = cli.seed;
+  auto result = harness::SweepRunner(so).run(grid);
+
+  harness::Table table({"cell", "max object bits (p50/max)",
+                        "max total bits (max)", "steps (p50)", "steps/s",
+                        "checks"});
+  for (const auto& cell : result.cells) {
+    table.add_row(cell.cell.label,
+                  std::to_string(cell.max_object_bits.p50) + " / " +
+                      std::to_string(cell.max_object_bits.max),
+                  cell.max_total_bits.max, cell.steps.p50,
+                  static_cast<uint64_t>(cell.steps_per_sec),
+                  cell.consistency_failures == 0
+                      ? "ok"
+                      : std::to_string(cell.consistency_failures) + " FAIL");
+  }
+  table.print();
+  std::cout << "sweep: " << grid.size() << " cells x " << cli.seeds
+            << " seeds on " << result.threads_used << " threads in "
+            << result.wall_seconds << "s\n";
+
+  if (!cli.json.empty()) {
+    std::ofstream os(cli.json);
+    if (!os) {
+      std::cerr << "cannot write " << cli.json << "\n";
+      return 1;
+    }
+    harness::write_sweep_json(os, result);
+    std::cout << "wrote " << cli.json << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
 
+int run_cli(const CliOptions& cli);
+
 int main(int argc, char** argv) {
-  using namespace sbrs;
   const CliOptions cli = parse(argc, argv);
   if (cli.help) {
     usage();
     return 2;
   }
-
-  registers::RegisterConfig cfg;
-  cfg.f = cli.f;
-  cfg.k = cli.k;
-  cfg.n = 2 * cli.f + cli.k;
-  cfg.data_bits = cli.data_bits;
-
-  std::unique_ptr<registers::RegisterAlgorithm> algorithm;
-  if (cli.alg == "adaptive") {
-    algorithm = registers::make_adaptive(cfg);
-  } else if (cli.alg == "no-replica") {
-    registers::AdaptiveOptions o;
-    o.enable_replica_path = false;
-    o.vp_unbounded = true;
-    algorithm = registers::make_adaptive(cfg, o);
-  } else if (cli.alg == "abd" || cli.alg == "abd-wb") {
-    registers::RegisterConfig abd = cfg;
-    abd.k = 1;
-    abd.n = 2 * cli.f + 1;
-    registers::AbdOptions o;
-    o.write_back = (cli.alg == "abd-wb");
-    algorithm = registers::make_abd(abd, o);
-  } else if (cli.alg == "coded") {
-    algorithm = registers::make_coded(cfg);
-  } else if (cli.alg == "coded-atomic") {
-    algorithm = registers::make_coded_atomic(cfg);
-  } else if (cli.alg == "safe") {
-    algorithm = registers::make_safe(cfg);
-  } else {
-    std::cerr << "unknown --alg=" << cli.alg << "\n";
+  // Bad flag *values* (unknown algorithm, malformed number lists, invalid
+  // register shapes) surface as exceptions from the library; turn them into
+  // the same usage-and-exit-2 path as unknown flags instead of aborting.
+  try {
+    return cli.sweep ? run_sweep(cli) : run_cli(cli);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n\n";
     usage();
     return 2;
   }
+}
+
+int run_cli(const CliOptions& cli) {
+  using namespace sbrs;
+  std::unique_ptr<registers::RegisterAlgorithm> algorithm =
+      harness::make_algorithm(cli.alg, base_config(cli));
 
   harness::RunOptions opts;
   opts.writers = cli.writers;
@@ -140,13 +240,7 @@ int main(int argc, char** argv) {
   opts.reads_per_client = cli.reads;
   opts.seed = cli.seed;
   opts.object_crashes = cli.crashes;
-  if (cli.sched == "rr") {
-    opts.scheduler = harness::SchedKind::kRoundRobin;
-  } else if (cli.sched == "burst") {
-    opts.scheduler = harness::SchedKind::kBurst;
-  } else {
-    opts.scheduler = harness::SchedKind::kRandom;
-  }
+  opts.scheduler = sched_kind(cli.sched);
 
   auto out = harness::run_register_experiment(*algorithm, opts);
 

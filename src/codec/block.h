@@ -16,9 +16,11 @@ struct Block {
   /// Block number i in E(v, i). 1-based to match the paper's bo_i indexing.
   uint32_t index = 0;
   /// The code block contents e; |e| in bits is what storage cost counts.
-  Bytes data;
+  /// Copy-on-write: copying a Block (into chunks, responses, RMW closures)
+  /// shares one buffer instead of duplicating value-sized payloads.
+  CowBytes data;
 
-  uint64_t bit_size() const { return sbrs::bit_size(data); }
+  uint64_t bit_size() const { return 8ull * data.size(); }
 
   friend bool operator==(const Block& a, const Block& b) {
     return a.index == b.index && a.data == b.data;

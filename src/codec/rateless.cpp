@@ -87,7 +87,7 @@ std::optional<Value> LtCodec::decode(std::span<const Block> blocks) const {
     Eq eq;
     auto nb = neighbors(b.index);
     eq.unknowns.insert(nb.begin(), nb.end());
-    eq.rhs = b.data;
+    eq.rhs = b.data.bytes();
     eqs.push_back(std::move(eq));
   }
 

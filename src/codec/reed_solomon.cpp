@@ -78,7 +78,7 @@ std::vector<Block> RsCodec::encode(const Value& v) const {
   // scratch the parity sweep reads from.
   std::array<const uint8_t*, 255> in;
   for (uint32_t c = 0; c < k_; ++c) {
-    uint8_t* shard = out[c].data.data();
+    uint8_t* shard = out[c].data.mutable_bytes().data();
     const size_t begin = static_cast<size_t>(c) * sb;
     if (begin < src.size()) {
       std::memcpy(shard, src.data() + begin, std::min(sb, src.size() - begin));
@@ -89,7 +89,7 @@ std::vector<Block> RsCodec::encode(const Value& v) const {
   if (n_ > k_) {
     std::array<uint8_t*, 255> parity_out;
     for (uint32_t r = 0; r < n_ - k_; ++r) {
-      parity_out[r] = out[k_ + r].data.data();
+      parity_out[r] = out[k_ + r].data.mutable_bytes().data();
     }
     parity_.apply(in.data(), parity_out.data(), sb);
   }

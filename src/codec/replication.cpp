@@ -31,9 +31,12 @@ Block ReplicationCodec::encode_block(const Value& v, uint32_t index) const {
 
 std::vector<Block> ReplicationCodec::encode(const Value& v) const {
   SBRS_CHECK(v.bit_size() == data_bits_);
+  // All n replicas share one copy-on-write buffer — replication's bulk
+  // encode is one value copy total, not one per replica.
+  const CowBytes shared(v.bytes());
   std::vector<Block> out;
   out.reserve(n_);
-  for (uint32_t i = 1; i <= n_; ++i) out.push_back(Block{i, v.bytes()});
+  for (uint32_t i = 1; i <= n_; ++i) out.push_back(Block{i, shared});
   return out;
 }
 
@@ -41,7 +44,7 @@ std::optional<Value> ReplicationCodec::decode(
     std::span<const Block> blocks) const {
   for (const Block& b : blocks) {
     if (b.index >= 1 && b.index <= n_ && b.bit_size() == data_bits_) {
-      return Value(b.data);
+      return Value(b.data.bytes());
     }
   }
   return std::nullopt;

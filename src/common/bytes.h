@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -19,6 +20,62 @@ using BytesView = std::span<const uint8_t>;
 
 /// Number of bits in a byte string (Definition 2 counts storage in bits).
 inline uint64_t bit_size(BytesView b) { return 8ull * b.size(); }
+
+/// Copy-on-write byte buffer.
+///
+/// Code-block payloads flow from one encode through many hands — write-round
+/// RMW closures, base-object chunk sets, readValue response copies, reader
+/// merge sets — and with plain Bytes every hop deep-copied a value-sized
+/// buffer. A CowBytes copy is a refcount bump; the underlying buffer is
+/// cloned only if someone calls mutable_bytes() while it is shared. The
+/// default-constructed state is an empty buffer.
+class CowBytes {
+ public:
+  CowBytes() = default;
+  /*implicit*/ CowBytes(Bytes bytes)
+      : data_(std::make_shared<Bytes>(std::move(bytes))) {}
+
+  const Bytes& bytes() const { return data_ ? *data_ : empty_bytes(); }
+
+  /// Mutable access; clones the buffer first when it is shared (or empty).
+  Bytes& mutable_bytes() {
+    if (!data_) {
+      data_ = std::make_shared<Bytes>();
+    } else if (data_.use_count() > 1) {
+      data_ = std::make_shared<Bytes>(*data_);
+    }
+    return *data_;
+  }
+
+  size_t size() const { return bytes().size(); }
+  bool empty() const { return bytes().empty(); }
+  const uint8_t* data() const { return bytes().data(); }
+  uint8_t operator[](size_t i) const { return bytes()[i]; }
+  Bytes::const_iterator begin() const { return bytes().begin(); }
+  Bytes::const_iterator end() const { return bytes().end(); }
+  operator BytesView() const { return bytes(); }
+
+  /// True when both refer to the same underlying buffer (equality is then
+  /// free); used as a fast path by the comparisons below.
+  bool shares_buffer_with(const CowBytes& other) const {
+    return data_ == other.data_;
+  }
+
+  friend bool operator==(const CowBytes& a, const CowBytes& b) {
+    return a.shares_buffer_with(b) || a.bytes() == b.bytes();
+  }
+  friend bool operator==(const CowBytes& a, const Bytes& b) {
+    return a.bytes() == b;
+  }
+
+ private:
+  static const Bytes& empty_bytes() {
+    static const Bytes kEmpty;
+    return kEmpty;
+  }
+
+  std::shared_ptr<Bytes> data_;
+};
 
 /// Hex rendering for debugging and golden tests ("0a1b..").
 std::string to_hex(BytesView bytes);

@@ -1,0 +1,58 @@
+#include "harness/algorithms.h"
+
+#include "common/check.h"
+
+namespace sbrs::harness {
+
+std::unique_ptr<registers::RegisterAlgorithm> make_algorithm(
+    const std::string& name, const registers::RegisterConfig& cfg) {
+  if (name == "adaptive") {
+    return registers::make_adaptive(cfg);
+  }
+  if (name == "no-replica") {
+    registers::AdaptiveOptions o;
+    o.enable_replica_path = false;
+    o.vp_unbounded = true;
+    return registers::make_adaptive(cfg, o);
+  }
+  if (name == "abd" || name == "abd-wb") {
+    registers::RegisterConfig abd = cfg;
+    abd.k = 1;
+    abd.n = 2 * cfg.f + 1;
+    registers::AbdOptions o;
+    o.write_back = (name == "abd-wb");
+    return registers::make_abd(abd, o);
+  }
+  if (name == "coded") {
+    return registers::make_coded(cfg);
+  }
+  if (name == "coded-atomic") {
+    return registers::make_coded_atomic(cfg);
+  }
+  if (name == "safe") {
+    return registers::make_safe(cfg);
+  }
+  SBRS_CHECK_MSG(false, "unknown algorithm name: " << name);
+  return nullptr;
+}
+
+ConsistencyGuarantee expected_consistency(const std::string& name) {
+  if (name == "safe") return ConsistencyGuarantee::kStronglySafe;
+  if (name == "coded" || name == "coded-atomic" || name == "no-replica") {
+    return ConsistencyGuarantee::kWeakRegular;
+  }
+  if (name == "abd" || name == "abd-wb" || name == "adaptive") {
+    return ConsistencyGuarantee::kStrongRegular;
+  }
+  SBRS_CHECK_MSG(false, "unknown algorithm name: " << name);
+  return ConsistencyGuarantee::kWeakRegular;
+}
+
+const std::vector<std::string>& algorithm_names() {
+  static const std::vector<std::string> kNames = {
+      "adaptive", "no-replica", "abd",  "abd-wb",
+      "coded",    "coded-atomic", "safe"};
+  return kNames;
+}
+
+}  // namespace sbrs::harness

@@ -1,0 +1,43 @@
+// Construction of register algorithms by name — the single mapping shared
+// by the sweep engine, the CLI, and the benches, so a grid cell can be
+// described as data ({name, RegisterConfig}) and instantiated fresh inside
+// any worker thread.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "registers/register_algorithm.h"
+
+namespace sbrs::harness {
+
+/// Instantiate a register algorithm by short name:
+///   adaptive      the paper's Section 5 algorithm
+///   no-replica    adaptive with the replica path ablated (Corollary 2)
+///   abd           replication baseline (forces k = 1, n = 2f + 1)
+///   abd-wb        ABD with reader write-back (atomic)
+///   coded         pure erasure-coded baseline
+///   coded-atomic  coded with reader write-back
+///   safe          the Appendix E wait-free safe register
+/// Throws CheckFailure on an unknown name or invalid config.
+std::unique_ptr<registers::RegisterAlgorithm> make_algorithm(
+    const std::string& name, const registers::RegisterConfig& cfg);
+
+/// All names make_algorithm accepts, in display order.
+const std::vector<std::string>& algorithm_names();
+
+/// The consistency level an algorithm is *supposed* to provide (the level
+/// its own tests pin). Sweep aggregation judges each run against this, so
+/// e.g. a safe register is not flagged for failing regularity it never
+/// promised, and a coded baseline is not flagged for lacking the write
+/// ordering only the strongly regular algorithms guarantee.
+enum class ConsistencyGuarantee {
+  kStronglySafe,   // safe
+  kWeakRegular,    // coded, coded-atomic, no-replica
+  kStrongRegular,  // abd, abd-wb, adaptive
+};
+
+ConsistencyGuarantee expected_consistency(const std::string& name);
+
+}  // namespace sbrs::harness

@@ -1,5 +1,8 @@
 #include "harness/export.h"
 
+#include <iomanip>
+#include <sstream>
+
 #include "common/check.h"
 
 namespace sbrs::harness {
@@ -28,6 +31,100 @@ size_t write_sweep_csv(std::ostream& os, const std::string& x_name,
     os << "\n";
   }
   return rows.size();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream esc;
+          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c);
+          out += esc.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_metric(std::ostream& os, const char* name,
+                  const MetricSummary& m, const char* indent) {
+  os << indent << "\"" << name << "\": {\"min\": " << m.min
+     << ", \"max\": " << m.max << ", \"mean\": " << m.mean
+     << ", \"p50\": " << m.p50 << ", \"p90\": " << m.p90
+     << ", \"p99\": " << m.p99 << "}";
+}
+
+}  // namespace
+
+void write_sweep_json(std::ostream& os, const SweepResult& result) {
+  // max_digits10: doubles (metric means, timings) round-trip exactly, so
+  // diffs of committed sweep artifacts only ever show real drift.
+  const auto saved_precision = os.precision(17);
+  os << "{\n";
+  os << "  \"options\": {\"threads\": " << result.options.threads
+     << ", \"threads_used\": " << result.threads_used
+     << ", \"seeds_per_cell\": " << result.options.seeds_per_cell
+     << ", \"base_seed\": " << result.options.base_seed
+     << ", \"check_consistency\": "
+     << (result.options.check_consistency ? "true" : "false") << "},\n";
+  os << "  \"wall_seconds\": " << result.wall_seconds << ",\n";
+  os << "  \"fingerprint\": \"" << std::hex << result.fingerprint()
+     << std::dec << "\",\n";
+  os << "  \"cells\": [\n";
+  for (size_t i = 0; i < result.cells.size(); ++i) {
+    const CellSummary& c = result.cells[i];
+    const std::string label =
+        c.cell.label.empty() ? c.cell.algorithm : c.cell.label;
+    os << "    {\n";
+    os << "      \"label\": \"" << json_escape(label) << "\",\n";
+    os << "      \"algorithm\": \"" << json_escape(c.cell.algorithm)
+       << "\",\n";
+    os << "      \"config\": {\"n\": " << c.cell.config.n
+       << ", \"k\": " << c.cell.config.k << ", \"f\": " << c.cell.config.f
+       << ", \"data_bits\": " << c.cell.config.data_bits << "},\n";
+    os << "      \"workload\": {\"writers\": " << c.cell.opts.writers
+       << ", \"writes_per_client\": " << c.cell.opts.writes_per_client
+       << ", \"readers\": " << c.cell.opts.readers
+       << ", \"reads_per_client\": " << c.cell.opts.reads_per_client
+       << ", \"scheduler\": \"" << to_string(c.cell.opts.scheduler)
+       << "\", \"object_crashes\": " << c.cell.opts.object_crashes
+       << ", \"client_crashes\": " << c.cell.opts.client_crashes << "},\n";
+    os << "      \"seeds\": " << c.seeds << ",\n";
+    write_metric(os, "max_total_bits", c.max_total_bits, "      ");
+    os << ",\n";
+    write_metric(os, "max_object_bits", c.max_object_bits, "      ");
+    os << ",\n";
+    write_metric(os, "max_channel_bits", c.max_channel_bits, "      ");
+    os << ",\n";
+    write_metric(os, "steps", c.steps, "      ");
+    os << ",\n";
+    os << "      \"consistency_failures\": " << c.consistency_failures
+       << ",\n";
+    os << "      \"liveness_failures\": " << c.liveness_failures << ",\n";
+    os << "      \"quiesced\": " << c.quiesced << ",\n";
+    os << "      \"fingerprint\": \"" << std::hex << c.fingerprint
+       << std::dec << "\",\n";
+    os << "      \"total_steps\": " << c.total_steps << ",\n";
+    os << "      \"wall_seconds\": " << c.wall_seconds << ",\n";
+    os << "      \"steps_per_sec\": " << c.steps_per_sec << "\n";
+    os << "    }" << (i + 1 < result.cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  os.precision(saved_precision);
 }
 
 std::vector<metrics::StorageSample> downsample(

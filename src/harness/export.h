@@ -1,11 +1,13 @@
-// Result export: CSV writers for storage time series and sweep results, so
-// the bench tables can be re-plotted (gnuplot/matplotlib) without rerunning.
+// Result export: CSV writers for storage time series and sweep results, and
+// the JSON writer for SweepRunner results, so the bench tables can be
+// re-plotted (gnuplot/matplotlib) without rerunning.
 #pragma once
 
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "harness/sweep.h"
 #include "metrics/storage_meter.h"
 
 namespace sbrs::harness {
@@ -30,5 +32,15 @@ size_t write_sweep_csv(std::ostream& os, const std::string& x_name,
 /// (keeping the first and last) for compact plotting.
 std::vector<metrics::StorageSample> downsample(
     const std::vector<metrics::StorageSample>& series, size_t max_points);
+
+/// Write a SweepResult as pretty-printed JSON: sweep options, then one
+/// object per cell with its config, workload, metric summaries
+/// (min/max/mean/p50/p90/p99), consistency counters, fingerprint, and
+/// timing. Timing fields are machine-dependent; everything else is
+/// deterministic for a given grid and base seed.
+void write_sweep_json(std::ostream& os, const SweepResult& result);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s);
 
 }  // namespace sbrs::harness

@@ -59,10 +59,12 @@ RunOutcome run_register_experiment(
   out.final_object_bits = simulator.meter().last_object_bits();
   out.final_total_bits = simulator.meter().last_total_bits();
 
-  out.values_legal = consistency::check_values_legal(out.history);
-  out.weak_regular = consistency::check_weak_regularity(out.history);
-  out.strong_regular = consistency::check_strong_regularity(out.history);
-  out.strongly_safe = consistency::check_strongly_safe(out.history);
+  if (opts.check_consistency) {
+    out.values_legal = consistency::check_values_legal(out.history);
+    out.weak_regular = consistency::check_weak_regularity(out.history);
+    out.strong_regular = consistency::check_strong_regularity(out.history);
+    out.strongly_safe = consistency::check_strongly_safe(out.history);
+  }
 
   // Liveness: every operation of a client that stayed alive completed.
   out.live = true;

@@ -21,6 +21,15 @@ enum class SchedKind {
   kBurst,       // all invocations first (maximum write concurrency)
 };
 
+inline const char* to_string(SchedKind k) {
+  switch (k) {
+    case SchedKind::kRandom: return "random";
+    case SchedKind::kRoundRobin: return "rr";
+    case SchedKind::kBurst: return "burst";
+  }
+  return "?";
+}
+
 struct RunOptions {
   uint32_t writers = 1;
   uint32_t writes_per_client = 1;
@@ -34,8 +43,15 @@ struct RunOptions {
   /// Crash up to this many writer/reader clients at random points.
   uint32_t client_crashes = 0;
   uint64_t max_steps = 2'000'000;
-  /// Storage series decimation (1 = sample every event).
-  uint64_t sample_every = 16;
+  /// Storage series decimation (1 = sample every event), forwarded verbatim
+  /// to SimConfig::sample_every. Decimation thins only the plotted series —
+  /// the storage maxima reported in RunOutcome are exact regardless. The
+  /// default is the same kDefaultSampleEvery constant SimConfig uses.
+  uint64_t sample_every = metrics::kDefaultSampleEvery;
+  /// Run the consistency-checker hierarchy on the resulting history. Off,
+  /// the CheckResults in RunOutcome stay at their ok defaults — used by
+  /// perf sweeps that only need the storage metrics.
+  bool check_consistency = true;
 };
 
 struct RunOutcome {

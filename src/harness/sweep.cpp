@@ -1,0 +1,206 @@
+#include "harness/sweep.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "harness/algorithms.h"
+
+namespace sbrs::harness {
+
+namespace {
+
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t mix_into(uint64_t h, uint64_t v) { return (h ^ v) * kFnvPrime; }
+
+/// The per-run result kept by a sweep worker: everything the aggregation
+/// needs, without the history (a big sweep would otherwise hold every run's
+/// full trace in memory at once).
+struct RunDigest {
+  uint64_t max_total_bits = 0;
+  uint64_t max_object_bits = 0;
+  uint64_t max_channel_bits = 0;
+  uint64_t steps = 0;
+  bool checks_ok = true;
+  bool live = true;
+  bool quiesced = false;
+  uint64_t fingerprint = 0;
+  double seconds = 0;
+};
+
+}  // namespace
+
+MetricSummary summarize_metric(std::vector<uint64_t> values) {
+  MetricSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  auto rank = [&](double q) {
+    // Nearest-rank percentile on the sorted sample.
+    const size_t idx = static_cast<size_t>(q * (values.size() - 1) + 0.5);
+    return values[std::min(idx, values.size() - 1)];
+  };
+  s.p50 = rank(0.50);
+  s.p90 = rank(0.90);
+  s.p99 = rank(0.99);
+  long double sum = 0;
+  for (uint64_t v : values) sum += v;
+  s.mean = static_cast<double>(sum / values.size());
+  return s;
+}
+
+uint64_t cell_seed(uint64_t base_seed, size_t cell_index,
+                   uint32_t seed_index) {
+  // Chained splitmix64 over {base, cell, seed-index}: any two runs of the
+  // grid differ in at least one input, and the result is independent of
+  // which worker thread picks the job up.
+  uint64_t state = base_seed;
+  (void)splitmix64(state);
+  state ^= 0x9e3779b97f4a7c15ull * (cell_index + 1);
+  (void)splitmix64(state);
+  state ^= 0xbf58476d1ce4e5b9ull * (seed_index + 1);
+  uint64_t seed = splitmix64(state);
+  return seed == 0 ? 1 : seed;  // seed 0 is reserved-ish; keep it nonzero
+}
+
+uint64_t outcome_fingerprint(const RunOutcome& out) {
+  uint64_t h = 1469598103934665603ull;
+  h = mix_into(h, out.max_total_bits);
+  h = mix_into(h, out.max_object_bits);
+  h = mix_into(h, out.max_channel_bits);
+  h = mix_into(h, out.final_total_bits);
+  h = mix_into(h, out.final_object_bits);
+  h = mix_into(h, out.report.steps);
+  h = mix_into(h, out.report.invoked_ops);
+  h = mix_into(h, out.report.completed_ops);
+  h = mix_into(h, out.report.rmws_triggered);
+  h = mix_into(h, out.report.rmws_delivered);
+  h = mix_into(h, out.values_legal.ok);
+  h = mix_into(h, out.weak_regular.ok);
+  h = mix_into(h, out.strong_regular.ok);
+  h = mix_into(h, out.strongly_safe.ok);
+  h = mix_into(h, out.live);
+  for (const auto& ev : out.history.events()) {
+    h = mix_into(h, ev.time);
+    h = mix_into(h, static_cast<uint64_t>(ev.kind));
+    h = mix_into(h, ev.op.value);
+    h = mix_into(h, ev.client.value);
+    h = mix_into(h, static_cast<uint64_t>(ev.op_kind));
+    h = mix_into(h, ev.value.fingerprint());
+  }
+  return h;
+}
+
+uint64_t SweepResult::fingerprint() const {
+  uint64_t h = 1469598103934665603ull;
+  for (const auto& c : cells) h = mix_into(h, c.fingerprint);
+  return h;
+}
+
+SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
+  SBRS_CHECK(opts_.seeds_per_cell >= 1);
+  const uint32_t seeds = opts_.seeds_per_cell;
+  uint32_t threads =
+      opts_.threads == 0 ? std::thread::hardware_concurrency() : opts_.threads;
+  if (threads == 0) threads = 1;
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+
+  // One job per (cell, seed-index); results land at their own index, so the
+  // aggregation below sees a schedule-independent job list.
+  const size_t jobs = grid.size() * seeds;
+  std::vector<RunDigest> digests = parallel_map(
+      jobs, threads, [&](size_t job) -> RunDigest {
+        const size_t cell_index = job / seeds;
+        const uint32_t seed_index = static_cast<uint32_t>(job % seeds);
+        const SweepCell& cell = grid[cell_index];
+
+        RunOptions opts = cell.opts;
+        opts.seed = cell_seed(opts_.base_seed, cell_index, seed_index);
+        opts.check_consistency = opts_.check_consistency;
+
+        // Fresh algorithm instance per run: no shared mutable state (codec
+        // caches etc.) crosses a worker boundary.
+        auto algorithm = make_algorithm(cell.algorithm, cell.config);
+
+        const auto start = std::chrono::steady_clock::now();
+        RunOutcome out = run_register_experiment(*algorithm, opts);
+        const auto end = std::chrono::steady_clock::now();
+
+        RunDigest d;
+        d.max_total_bits = out.max_total_bits;
+        d.max_object_bits = out.max_object_bits;
+        d.max_channel_bits = out.max_channel_bits;
+        d.steps = out.report.steps;
+        // Judge each run against the level its algorithm actually promises:
+        // a safe register legitimately fails regularity under concurrent
+        // reads, and the coded baselines promise only weak regularity.
+        d.checks_ok = out.values_legal.ok;
+        switch (expected_consistency(cell.algorithm)) {
+          case ConsistencyGuarantee::kStronglySafe:
+            d.checks_ok = d.checks_ok && out.strongly_safe.ok;
+            break;
+          case ConsistencyGuarantee::kWeakRegular:
+            d.checks_ok = d.checks_ok && out.weak_regular.ok;
+            break;
+          case ConsistencyGuarantee::kStrongRegular:
+            d.checks_ok = d.checks_ok && out.weak_regular.ok &&
+                          out.strong_regular.ok;
+            break;
+        }
+        d.live = out.live;
+        d.quiesced = out.report.quiesced;
+        d.fingerprint = outcome_fingerprint(out);
+        d.seconds = std::chrono::duration<double>(end - start).count();
+        return d;
+      });
+
+  SweepResult result;
+  result.options = opts_;
+  result.threads_used = threads;
+  result.cells.reserve(grid.size());
+  for (size_t c = 0; c < grid.size(); ++c) {
+    CellSummary cs;
+    cs.cell = grid[c];
+    cs.seeds = seeds;
+    std::vector<uint64_t> total, object, channel, steps;
+    total.reserve(seeds);
+    object.reserve(seeds);
+    channel.reserve(seeds);
+    steps.reserve(seeds);
+    uint64_t fp = 1469598103934665603ull;
+    for (uint32_t s = 0; s < seeds; ++s) {
+      const RunDigest& d = digests[c * seeds + s];
+      total.push_back(d.max_total_bits);
+      object.push_back(d.max_object_bits);
+      channel.push_back(d.max_channel_bits);
+      steps.push_back(d.steps);
+      if (!d.checks_ok) ++cs.consistency_failures;
+      if (!d.live) ++cs.liveness_failures;
+      if (d.quiesced) ++cs.quiesced;
+      cs.total_steps += d.steps;
+      cs.wall_seconds += d.seconds;
+      fp = mix_into(fp, d.fingerprint);
+    }
+    cs.fingerprint = fp;
+    cs.max_total_bits = summarize_metric(std::move(total));
+    cs.max_object_bits = summarize_metric(std::move(object));
+    cs.max_channel_bits = summarize_metric(std::move(channel));
+    cs.steps = summarize_metric(std::move(steps));
+    cs.steps_per_sec = cs.wall_seconds > 0
+                           ? static_cast<double>(cs.total_steps) /
+                                 cs.wall_seconds
+                           : 0.0;
+    result.cells.push_back(std::move(cs));
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+  return result;
+}
+
+}  // namespace sbrs::harness

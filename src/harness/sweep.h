@@ -1,0 +1,165 @@
+// SweepRunner: the parallel experiment-sweep engine.
+//
+// A sweep is a grid of cells, each naming a register algorithm, its
+// RegisterConfig, and the workload/scheduler RunOptions to drive it with.
+// Every cell is executed for `seeds_per_cell` seeds on a thread pool; each
+// (cell, seed-index) pair derives its schedule seed purely from
+// {base_seed, cell index, seed index}, so the per-cell outcomes — storage
+// maxima, step counts, consistency verdicts, history fingerprints — are
+// byte-identical no matter how many worker threads execute the grid or in
+// which order the pool happens to schedule them. Only the timing fields
+// (wall_seconds, steps_per_sec) depend on the machine.
+//
+// Algorithms are instantiated *inside* the worker (via make_algorithm), so
+// cells share no mutable state; the consistency checker likewise runs
+// per-cell on the worker thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "harness/runner.h"
+#include "registers/register_algorithm.h"
+
+namespace sbrs::harness {
+
+/// One grid cell. `opts.seed` is ignored — the engine derives the seed of
+/// every run from {SweepOptions::base_seed, cell index, seed index}.
+struct SweepCell {
+  std::string algorithm = "adaptive";
+  registers::RegisterConfig config;
+  RunOptions opts;
+  /// Optional display label (defaults to the algorithm name in exports).
+  std::string label;
+};
+
+/// Order statistics over the per-seed values of one metric. Percentiles use
+/// the nearest-rank method on the sorted values.
+struct MetricSummary {
+  uint64_t min = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  double mean = 0;
+};
+
+MetricSummary summarize_metric(std::vector<uint64_t> values);
+
+struct CellSummary {
+  SweepCell cell;
+  uint32_t seeds = 0;
+
+  // Deterministic aggregates (independent of thread count / schedule).
+  MetricSummary max_total_bits;
+  MetricSummary max_object_bits;
+  MetricSummary max_channel_bits;
+  MetricSummary steps;
+  /// Seeds whose history failed the algorithm's *own* consistency guarantee
+  /// (harness::expected_consistency): strongly-safe for `safe`, weak
+  /// regularity for the coded baselines, strong regularity for abd/adaptive;
+  /// values-legality always. 0 when check_consistency is off.
+  uint32_t consistency_failures = 0;
+  uint32_t liveness_failures = 0;     // seeds with a stuck live client
+  uint32_t quiesced = 0;              // seeds whose run fully quiesced
+  /// Order-independent fingerprint over all per-seed outcomes (histories
+  /// included); equal fingerprints mean identical per-cell results.
+  uint64_t fingerprint = 0;
+
+  // Timing (machine-dependent; excluded from determinism comparisons).
+  uint64_t total_steps = 0;
+  double wall_seconds = 0;    // sum of per-seed run times in this cell
+  double steps_per_sec = 0;   // total_steps / wall_seconds
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  uint32_t threads = 0;
+  uint32_t seeds_per_cell = 1;
+  /// Mixed (splitmix64) with cell and seed indices to seed each run.
+  uint64_t base_seed = 1;
+  /// Forwarded into each cell's RunOptions.check_consistency.
+  bool check_consistency = true;
+};
+
+struct SweepResult {
+  SweepOptions options;
+  uint32_t threads_used = 1;
+  std::vector<CellSummary> cells;  // same order as the input grid
+  double wall_seconds = 0;         // whole-sweep wall clock
+
+  /// Combined fingerprint of all cells (order-sensitive across cells).
+  uint64_t fingerprint() const;
+};
+
+/// The schedule seed of run (cell_index, seed_index): a splitmix64 mix of
+/// the base seed and both indices. Stable across releases of this engine —
+/// recorded seeds in exported JSON can be replayed individually.
+uint64_t cell_seed(uint64_t base_seed, size_t cell_index, uint32_t seed_index);
+
+/// Deterministic order-independent fingerprint of one run outcome (storage
+/// maxima, report counters, check verdicts, and the full history trace).
+uint64_t outcome_fingerprint(const RunOutcome& out);
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opts = {}) : opts_(opts) {}
+
+  /// Execute the grid; cells[i] of the result corresponds to grid[i].
+  SweepResult run(const std::vector<SweepCell>& grid) const;
+
+ private:
+  SweepOptions opts_;
+};
+
+/// Deterministic parallel map: evaluates fn(i) for i in [0, n) on up to
+/// `threads` workers and returns the results in index order. Work items are
+/// handed out dynamically but land at their own index, so the result vector
+/// is schedule-independent as long as fn is. The first exception thrown by
+/// any worker is rethrown on the caller after all workers join. Used by
+/// SweepRunner internally and directly by benches whose per-cell experiment
+/// is not a plain register run (e.g. the lower-bound adversary).
+template <typename Fn>
+auto parallel_map(size_t n, uint32_t threads, Fn&& fn)
+    -> std::vector<decltype(fn(size_t{0}))> {
+  using R = decltype(fn(size_t{0}));
+  std::vector<R> results(n);
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) results[i] = fn(i);
+    return results;
+  }
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        results[i] = fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  const size_t workers = std::min<size_t>(threads, n);
+  pool.reserve(workers);
+  for (size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+}  // namespace sbrs::harness

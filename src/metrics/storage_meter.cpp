@@ -2,12 +2,13 @@
 
 namespace sbrs::metrics {
 
-void StorageMeter::observe(const StorageSnapshot& snap) {
+void StorageMeter::observe(uint64_t time, uint64_t object_bits,
+                           uint64_t client_bits, uint64_t channel_bits) {
   StorageSample s;
-  s.time = snap.time;
-  s.object_bits = snap.object_bits();
-  s.channel_bits = snap.channel_bits();
-  s.total_bits = snap.total_bits();
+  s.time = time;
+  s.object_bits = object_bits;
+  s.channel_bits = channel_bits;
+  s.total_bits = object_bits + client_bits + channel_bits;
 
   if (s.total_bits > max_total_) max_total_ = s.total_bits;
   if (s.object_bits > max_object_) {
@@ -21,6 +22,12 @@ void StorageMeter::observe(const StorageSnapshot& snap) {
     series_.push_back(s);
   }
   ++observations_;
+}
+
+void StorageMeter::observe(const StorageSnapshot& snap) {
+  uint64_t client_bits = 0;
+  for (const auto& c : snap.clients) client_bits += c.footprint.total_bits();
+  observe(snap.time, snap.object_bits(), client_bits, snap.channel_bits());
 }
 
 }  // namespace sbrs::metrics

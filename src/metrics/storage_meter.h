@@ -1,9 +1,14 @@
 // Continuous storage-cost measurement over a run.
 //
-// The meter observes a StorageSnapshot after every simulator event and keeps
-// the maxima that the paper's Definition 2 cares about ("the maximum storage
-// cost at any point t in any run"), plus a decimated time series for the
-// benchmark plots.
+// The meter keeps the maxima that the paper's Definition 2 cares about ("the
+// maximum storage cost at any point t in any run"), plus a decimated time
+// series for the benchmark plots.
+//
+// Observations arrive in one of two forms:
+//   - the O(1) component-totals form fed by the simulator's incremental
+//     accounting (the hot path), or
+//   - a full StorageSnapshot (used by tests and by the debug cross-check).
+// Both produce bit-identical maxima and series entries for the same run.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +18,12 @@
 #include "metrics/snapshot.h"
 
 namespace sbrs::metrics {
+
+/// Shared default decimation for the storage time series, used by both the
+/// simulator's SimConfig and the harness's RunOptions so the two layers
+/// cannot drift apart. Decimation only thins the *series*; the maxima are
+/// updated on every observation and are always exact.
+inline constexpr uint64_t kDefaultSampleEvery = 16;
 
 struct StorageSample {
   uint64_t time = 0;
@@ -28,6 +39,13 @@ class StorageMeter {
   explicit StorageMeter(uint64_t sample_every = 1)
       : sample_every_(sample_every == 0 ? 1 : sample_every) {}
 
+  /// O(1) observation from pre-summed component totals (the simulator's
+  /// incremental accounting path). `client_bits` is storage held in client
+  /// algorithm state; total = object + client + channel.
+  void observe(uint64_t time, uint64_t object_bits, uint64_t client_bits,
+               uint64_t channel_bits);
+
+  /// Observation from a full snapshot; sums the components and delegates.
   void observe(const StorageSnapshot& snap);
 
   uint64_t max_total_bits() const { return max_total_; }

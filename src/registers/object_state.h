@@ -35,7 +35,14 @@ class RegisterObjectState final : public sim::ObjectStateBase {
     return out;
   }
 
-  uint64_t stored_bits() const { return footprint().total_bits(); }
+  /// Allocation-free bit total for the simulator's incremental accounting
+  /// (footprint() materializes a block list; this just sums sizes).
+  uint64_t stored_bits() const override {
+    uint64_t sum = 0;
+    for (const Chunk& c : vp) sum += c.block.bit_size();
+    for (const Chunk& c : vf) sum += c.block.bit_size();
+    return sum;
+  }
 };
 
 /// Downcast helper for RMW closures; checked.

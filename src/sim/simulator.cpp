@@ -24,6 +24,7 @@ class Simulator::ContextImpl final : public SimContext {
     p.fn = std::move(fn);
     p.request_footprint = std::move(request_footprint);
     p.trigger_seq = sim_.trigger_seq_++;
+    sim_.acct_channel_bits_ += p.request_footprint.total_bits();
     sim_.pending_.push_back(std::move(p));
     ++sim_.report_.rmws_triggered;
     return sim_.pending_.back().id;
@@ -71,6 +72,19 @@ Simulator::Simulator(SimConfig config, ObjectFactory object_factory,
   }
   client_alive_.assign(config_.num_clients, true);
   outstanding_.assign(config_.num_clients, std::nullopt);
+
+  // Seed the incremental accounting from the initial component states; from
+  // here on only deltas are applied at the mutation points.
+  object_bits_.resize(config_.num_objects);
+  for (uint32_t i = 0; i < config_.num_objects; ++i) {
+    object_bits_[i] = objects_[i]->stored_bits();
+    acct_object_bits_ += object_bits_[i];
+  }
+  client_bits_.resize(config_.num_clients);
+  for (uint32_t i = 0; i < config_.num_clients; ++i) {
+    client_bits_[i] = clients_[i]->footprint().total_bits();
+    acct_client_bits_ += client_bits_[i];
+  }
 
   meter_ = metrics::StorageMeter(config_.sample_every);
   observe_storage();
@@ -141,7 +155,46 @@ metrics::StorageSnapshot Simulator::snapshot() const {
   return snap;
 }
 
-void Simulator::observe_storage() { meter_.observe(snapshot()); }
+void Simulator::observe_storage() {
+  if (config_.verify_accounting) verify_accounting();
+  meter_.observe(time_, acct_object_bits_, acct_client_bits_,
+                 acct_channel_bits_);
+}
+
+void Simulator::refresh_object_bits(ObjectId o) {
+  const uint64_t now_bits = objects_[o.value]->stored_bits();
+  const uint64_t before = object_bits_[o.value];
+  object_bits_[o.value] = now_bits;
+  if (object_alive_[o.value] || config_.count_crashed) {
+    acct_object_bits_ += now_bits - before;  // wraps correctly for shrinks
+  }
+}
+
+void Simulator::refresh_client_bits(ClientId c) {
+  const uint64_t now_bits = clients_[c.value]->footprint().total_bits();
+  const uint64_t before = client_bits_[c.value];
+  client_bits_[c.value] = now_bits;
+  if (client_alive_[c.value] || config_.count_crashed) {
+    acct_client_bits_ += now_bits - before;
+  }
+}
+
+void Simulator::verify_accounting() const {
+  const metrics::StorageSnapshot snap = snapshot();
+  uint64_t client_bits = 0;
+  for (const auto& c : snap.clients) client_bits += c.footprint.total_bits();
+  SBRS_CHECK_MSG(acct_object_bits_ == snap.object_bits(),
+                 "incremental object bits " << acct_object_bits_
+                     << " != snapshot " << snap.object_bits() << " at t="
+                     << time_);
+  SBRS_CHECK_MSG(acct_client_bits_ == client_bits,
+                 "incremental client bits " << acct_client_bits_
+                     << " != snapshot " << client_bits << " at t=" << time_);
+  SBRS_CHECK_MSG(acct_channel_bits_ == snap.channel_bits(),
+                 "incremental channel bits " << acct_channel_bits_
+                     << " != snapshot " << snap.channel_bits() << " at t="
+                     << time_);
+}
 
 bool Simulator::step() {
   if (stopped_) return false;
@@ -208,6 +261,9 @@ void Simulator::do_deliver(RmwId id) {
   SBRS_CHECK_MSG(it != pending_.end(), "deliver of unknown " << id);
   PendingRmw p = std::move(*it);
   pending_.erase(it);
+  // The request's parameters leave the channel regardless of what happens
+  // at the (possibly crashed) target.
+  acct_channel_bits_ -= p.request_footprint.total_bits();
 
   // RMWs on crashed objects are lost (never take effect, never respond).
   if (!object_alive(p.target)) return;
@@ -215,6 +271,7 @@ void Simulator::do_deliver(RmwId id) {
   // The state change is atomic; the response is produced with it.
   ResponsePtr response = p.fn(*objects_[p.target.value]);
   ++report_.rmws_delivered;
+  refresh_object_bits(p.target);
 
   // A crashed client never observes the response; the effect stands
   // (matching the paper: RMWs may take effect after the client fails).
@@ -222,6 +279,7 @@ void Simulator::do_deliver(RmwId id) {
 
   ContextImpl ctx(*this, p.client);
   clients_[p.client.value]->on_response(p.id, std::move(response), ctx);
+  refresh_client_bits(p.client);
 }
 
 void Simulator::do_invoke(ClientId c) {
@@ -232,6 +290,7 @@ void Simulator::do_invoke(ClientId c) {
   history_.record_invoke(time_, inv);
   ContextImpl ctx(*this, c);
   clients_[c.value]->on_invoke(inv, ctx);
+  refresh_client_bits(c);
 }
 
 void Simulator::do_crash_object(ObjectId o) {
@@ -240,13 +299,19 @@ void Simulator::do_crash_object(ObjectId o) {
   object_alive_[o.value] = false;
   ++crashed_objects_;
   // Pending RMWs targeting the crashed object will be dropped on delivery.
+  // Its state is frozen from here on; when crashed storage is excluded from
+  // the Definition 2 total, it leaves the aggregate now.
+  if (!config_.count_crashed) acct_object_bits_ -= object_bits_[o.value];
 }
 
 void Simulator::do_crash_client(ClientId c) {
   SBRS_CHECK(c.value < client_alive_.size());
+  if (!client_alive_[c.value]) return;
   client_alive_[c.value] = false;
   // Its outstanding operation stays outstanding forever; its pending RMWs
-  // may still take effect on objects.
+  // may still take effect on objects (and stay counted as channel storage
+  // until delivered, matching snapshot()'s in_flight accounting).
+  if (!config_.count_crashed) acct_client_bits_ -= client_bits_[c.value];
 }
 
 }  // namespace sbrs::sim

@@ -32,11 +32,24 @@ struct SimConfig {
   uint32_t num_objects = 3;
   uint32_t num_clients = 2;
   uint64_t max_steps = 2'000'000;
-  /// Decimation for the storage-meter time series (maxima are exact).
-  uint64_t sample_every = 1;
+  /// Decimation for the storage-meter time series: one series entry every
+  /// `sample_every` events. Decimation thins only the plotted series — the
+  /// storage *maxima* are updated on every event and are always exact. The
+  /// default is shared with harness::RunOptions (kDefaultSampleEvery) so the
+  /// sim and harness layers cannot drift apart.
+  uint64_t sample_every = metrics::kDefaultSampleEvery;
   /// Count storage held at crashed base objects (Definition 2 counts all of
   /// S; flip off to measure live storage only).
   bool count_crashed = true;
+  /// Debug cross-check of the incremental storage accounting: rebuild the
+  /// full Definition 2 snapshot after every step and assert the delta-tracked
+  /// totals match it exactly. O(system size) per step — on by default in
+  /// debug builds, off in release.
+#ifdef NDEBUG
+  bool verify_accounting = false;
+#else
+  bool verify_accounting = true;
+#endif
 };
 
 struct RunReport {
@@ -91,8 +104,17 @@ class Simulator {
   const History& history() const { return history_; }
   const metrics::StorageMeter& meter() const { return meter_; }
 
-  /// Assemble the full Definition 2 storage snapshot.
+  /// Assemble the full Definition 2 storage snapshot. O(objects + clients +
+  /// pending RMWs) — measurement no longer calls this per step (the meter is
+  /// fed by incremental deltas); it remains for the adversary, tests, and
+  /// the verify_accounting cross-check.
   metrics::StorageSnapshot snapshot() const;
+
+  // Incrementally tracked component totals (equal to the corresponding
+  // snapshot() sums at all times; verify_accounting asserts this).
+  uint64_t tracked_object_bits() const { return acct_object_bits_; }
+  uint64_t tracked_client_bits() const { return acct_client_bits_; }
+  uint64_t tracked_channel_bits() const { return acct_channel_bits_; }
 
   /// Direct access to a base object's algorithm state (tests/verifiers).
   const ObjectStateBase& object_state(ObjectId o) const;
@@ -108,6 +130,13 @@ class Simulator {
   void do_crash_object(ObjectId o);
   void do_crash_client(ClientId c);
   void observe_storage();
+
+  // --- Incremental storage accounting (the Definition 2 totals are kept
+  // --- up to date by deltas applied at each mutation point, so observing
+  // --- storage after a step is O(1) instead of a full snapshot rebuild).
+  void refresh_object_bits(ObjectId o);
+  void refresh_client_bits(ClientId c);
+  void verify_accounting() const;
 
   SimConfig config_;
   std::unique_ptr<Workload> workload_;
@@ -130,6 +159,16 @@ class Simulator {
   metrics::StorageMeter meter_;
   RunReport report_;
   bool stopped_ = false;
+
+  // Per-component cached bit counts (always the component's true size, even
+  // when crashed) and the aggregated totals the meter observes. When
+  // count_crashed is false the aggregates exclude crashed components, to
+  // match snapshot()'s filtering.
+  std::vector<uint64_t> object_bits_;
+  std::vector<uint64_t> client_bits_;
+  uint64_t acct_object_bits_ = 0;
+  uint64_t acct_client_bits_ = 0;
+  uint64_t acct_channel_bits_ = 0;
 };
 
 }  // namespace sbrs::sim

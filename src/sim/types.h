@@ -36,6 +36,13 @@ class ObjectStateBase {
  public:
   virtual ~ObjectStateBase() = default;
   virtual metrics::StorageFootprint footprint() const = 0;
+
+  /// Total stored bits at this object — must equal footprint().total_bits().
+  /// The simulator's incremental accounting calls this after every RMW that
+  /// touches the object; override with an allocation-free sum (or a cached
+  /// counter) so the per-step cost is proportional to one object's state,
+  /// not the whole system's.
+  virtual uint64_t stored_bits() const { return footprint().total_bits(); }
 };
 
 /// An RMW's response payload, produced atomically with the state change.

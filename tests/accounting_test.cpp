@@ -1,0 +1,145 @@
+// The incremental-accounting exactness contract: the simulator's
+// delta-tracked storage totals must equal a full Definition 2 snapshot
+// rebuild after *every* step, for every register algorithm, with and
+// without crashes, and with crashed storage both counted and excluded.
+//
+// Two layers of checking:
+//   - SimConfig::verify_accounting makes the simulator itself assert
+//     tracked == snapshot each step (the debug cross-check);
+//   - the test additionally replays each step's snapshot into a second,
+//     snapshot-fed StorageMeter and requires the meters' maxima and the
+//     decimated series to be bit-identical — i.e. the O(1) path reports
+//     exactly what the old O(system) path did.
+#include <gtest/gtest.h>
+
+#include "harness/algorithms.h"
+#include "sim/schedulers.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+
+namespace sbrs {
+namespace {
+
+struct Scenario {
+  std::string algorithm;
+  uint32_t object_crashes = 0;
+  uint32_t client_crashes = 0;
+  bool count_crashed = true;
+};
+
+registers::RegisterConfig small_cfg() {
+  registers::RegisterConfig cfg;
+  cfg.f = 2;
+  cfg.k = 3;
+  cfg.n = 7;
+  cfg.data_bits = 512;
+  return cfg;
+}
+
+void run_scenario(const Scenario& sc, uint64_t seed) {
+  auto alg = harness::make_algorithm(sc.algorithm, small_cfg());
+  const auto& cfg = alg->config();
+
+  sim::UniformWorkload::Options wl;
+  wl.writers = 4;
+  wl.writes_per_client = 2;
+  wl.readers = 2;
+  wl.reads_per_client = 2;
+  wl.data_bits = cfg.data_bits;
+
+  sim::RandomScheduler::Options so;
+  so.seed = seed;
+  so.max_object_crashes = sc.object_crashes;
+  so.crash_object_permyriad = sc.object_crashes > 0 ? 50 : 0;
+  so.max_client_crashes = sc.client_crashes;
+  so.crash_client_permyriad = sc.client_crashes > 0 ? 50 : 0;
+
+  sim::SimConfig simc;
+  simc.num_objects = cfg.n;
+  simc.num_clients = wl.writers + wl.readers;
+  simc.max_steps = 50'000;
+  simc.sample_every = 3;  // deliberately not 1: series decimation must agree
+  simc.count_crashed = sc.count_crashed;
+  simc.verify_accounting = true;  // per-step assert, release build included
+
+  sim::Simulator sim(simc, alg->object_factory(), alg->client_factory(),
+                     std::make_unique<sim::UniformWorkload>(wl),
+                     std::make_unique<sim::RandomScheduler>(so));
+  sim.run();
+
+  SCOPED_TRACE(sc.algorithm);
+  const auto& meter = sim.meter();
+
+  // Replay: a second identical simulator, stepped manually, feeding a
+  // snapshot-rebuilt meter with the same cadence as the incremental one
+  // (one observation at construction + one per step).
+  auto alg2 = harness::make_algorithm(sc.algorithm, small_cfg());
+  sim::RandomScheduler::Options so2 = so;
+  sim::Simulator sim2(simc, alg2->object_factory(), alg2->client_factory(),
+                      std::make_unique<sim::UniformWorkload>(wl),
+                      std::make_unique<sim::RandomScheduler>(so2));
+  metrics::StorageMeter snap_meter(simc.sample_every);
+  snap_meter.observe(sim2.snapshot());
+  while (sim2.step()) {
+    snap_meter.observe(sim2.snapshot());
+  }
+
+  EXPECT_EQ(meter.observations(), snap_meter.observations());
+  EXPECT_EQ(meter.max_total_bits(), snap_meter.max_total_bits());
+  EXPECT_EQ(meter.max_object_bits(), snap_meter.max_object_bits());
+  EXPECT_EQ(meter.max_channel_bits(), snap_meter.max_channel_bits());
+  EXPECT_EQ(meter.max_object_time(), snap_meter.max_object_time());
+  EXPECT_EQ(meter.last_total_bits(), snap_meter.last_total_bits());
+  EXPECT_EQ(meter.last_object_bits(), snap_meter.last_object_bits());
+  ASSERT_EQ(meter.series().size(), snap_meter.series().size());
+  for (size_t i = 0; i < meter.series().size(); ++i) {
+    const auto& a = meter.series()[i];
+    const auto& b = snap_meter.series()[i];
+    EXPECT_EQ(a.time, b.time) << "sample " << i;
+    EXPECT_EQ(a.total_bits, b.total_bits) << "sample " << i;
+    EXPECT_EQ(a.object_bits, b.object_bits) << "sample " << i;
+    EXPECT_EQ(a.channel_bits, b.channel_bits) << "sample " << i;
+  }
+
+  // Final totals also agree with a direct snapshot.
+  const auto snap = sim.snapshot();
+  EXPECT_EQ(sim.tracked_object_bits(), snap.object_bits());
+  EXPECT_EQ(sim.tracked_channel_bits(), snap.channel_bits());
+}
+
+TEST(IncrementalAccounting, MatchesSnapshotForAllAlgorithms) {
+  for (const char* alg :
+       {"abd", "abd-wb", "safe", "coded", "coded-atomic", "adaptive",
+        "no-replica"}) {
+    run_scenario({alg}, /*seed=*/41);
+  }
+}
+
+TEST(IncrementalAccounting, MatchesSnapshotUnderObjectCrashes) {
+  for (const char* alg : {"abd", "coded", "adaptive"}) {
+    Scenario sc{alg};
+    sc.object_crashes = 2;
+    run_scenario(sc, /*seed=*/97);
+  }
+}
+
+TEST(IncrementalAccounting, MatchesSnapshotUnderClientCrashes) {
+  for (const char* alg : {"safe", "coded-atomic", "adaptive"}) {
+    Scenario sc{alg};
+    sc.client_crashes = 2;
+    run_scenario(sc, /*seed=*/131);
+  }
+}
+
+TEST(IncrementalAccounting, MatchesSnapshotExcludingCrashedStorage) {
+  for (const char* alg : {"abd", "coded", "adaptive"}) {
+    Scenario sc{alg};
+    sc.object_crashes = 2;
+    sc.client_crashes = 1;
+    sc.count_crashed = false;
+    run_scenario(sc, /*seed=*/173);
+  }
+}
+
+}  // namespace
+}  // namespace sbrs

@@ -184,7 +184,7 @@ TEST(RsCodec, SystematicPrefixIsRawData) {
   // Blocks 1..k hold the data shards verbatim (systematic generator).
   const Block b1 = codec.encode_block(v, 1);
   const Block b2 = codec.encode_block(v, 2);
-  Bytes joined = b1.data;
+  Bytes joined = b1.data.bytes();
   joined.insert(joined.end(), b2.data.begin(), b2.data.end());
   joined.resize(v.bytes().size());
   EXPECT_EQ(joined, v.bytes());
@@ -244,7 +244,7 @@ TEST(RsCodec, DuplicateIndexWithConflictingPayloadIsInconsistent) {
   const Value v = random_value(256, rng);
   auto blocks = codec.encode(v);
   Block forged = blocks[0];
-  forged.data[0] ^= 0x01;
+  forged.data.mutable_bytes()[0] ^= 0x01;  // clones: blocks[0] is untouched
   // A full decodable set plus one conflicting duplicate of block 1.
   std::vector<Block> set = {blocks[0], blocks[1], forged};
   EXPECT_FALSE(codec.decode(set).has_value());

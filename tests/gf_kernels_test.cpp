@@ -5,6 +5,7 @@
 // kernels, so both the 8/16-byte main loops and the tail loops are hit.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -72,19 +73,21 @@ class GfRowKernels : public ::testing::Test {
       mul_ref[i] = mul_slow(c, x[i]);
     }
 
+    // memcmp with a null pointer is UB even for length 0 (an empty vector's
+    // data() may be null), so route comparisons through std::equal.
     std::vector<uint8_t> ysave(y, y + len);
     kern::mul_add_row(y, x, c, len);
-    EXPECT_TRUE(std::memcmp(y, add_ref.data(), len) == 0)
+    EXPECT_TRUE(std::equal(add_ref.begin(), add_ref.end(), y))
         << "mul_add_row len=" << len << " off=" << offset << " c=" << int(c);
 
     std::copy(ysave.begin(), ysave.end(), y);
     kern::mul_row(y, x, c, len);
-    EXPECT_TRUE(std::memcmp(y, mul_ref.data(), len) == 0)
+    EXPECT_TRUE(std::equal(mul_ref.begin(), mul_ref.end(), y))
         << "mul_row len=" << len << " off=" << offset << " c=" << int(c);
 
     // In-place mul_row (y == x) must give the same result.
     kern::mul_row(x, x, c, len);
-    EXPECT_TRUE(std::memcmp(x, mul_ref.data(), len) == 0)
+    EXPECT_TRUE(std::equal(mul_ref.begin(), mul_ref.end(), x))
         << "in-place mul_row len=" << len << " off=" << offset;
 
     // Canaries: nothing outside [0, len) was touched in either buffer.

@@ -110,6 +110,42 @@ TEST(Meter, TracksMaximaAndSeries) {
   EXPECT_EQ(meter.series().size(), 3u);
 }
 
+TEST(Meter, ComponentTotalsOverloadMatchesSnapshotOverload) {
+  // The O(1) component-totals path (fed by the simulator's incremental
+  // accounting) must be observationally identical to the snapshot path.
+  StorageMeter from_snaps(2);
+  StorageMeter from_totals(2);
+  for (uint64_t i = 0; i < 7; ++i) {
+    StorageSnapshot snap;
+    snap.time = i;
+    snap.objects.push_back(
+        object_with(ObjectId{0}, {{codec::Source{OpId{1}, 1}, 10 * i}}));
+    StorageSnapshot::ClientEntry c;
+    c.id = ClientId{0};
+    c.footprint.add(codec::Source{OpId{2}, 1}, 3 * i);
+    snap.clients.push_back(c);
+    StorageSnapshot::InFlightEntry r;
+    r.footprint.add(codec::Source{OpId{3}, 2}, 7 * i);
+    snap.in_flight.push_back(r);
+
+    from_snaps.observe(snap);
+    from_totals.observe(i, 10 * i, 3 * i, 7 * i);
+  }
+  EXPECT_EQ(from_snaps.max_total_bits(), from_totals.max_total_bits());
+  EXPECT_EQ(from_snaps.max_object_bits(), from_totals.max_object_bits());
+  EXPECT_EQ(from_snaps.max_channel_bits(), from_totals.max_channel_bits());
+  EXPECT_EQ(from_snaps.max_object_time(), from_totals.max_object_time());
+  ASSERT_EQ(from_snaps.series().size(), from_totals.series().size());
+  for (size_t i = 0; i < from_snaps.series().size(); ++i) {
+    EXPECT_EQ(from_snaps.series()[i].total_bits,
+              from_totals.series()[i].total_bits);
+    EXPECT_EQ(from_snaps.series()[i].object_bits,
+              from_totals.series()[i].object_bits);
+    EXPECT_EQ(from_snaps.series()[i].channel_bits,
+              from_totals.series()[i].channel_bits);
+  }
+}
+
 TEST(Meter, DecimatesSeriesButNotMaxima) {
   StorageMeter meter(10);
   for (uint64_t i = 0; i < 25; ++i) {

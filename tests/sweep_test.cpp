@@ -1,0 +1,179 @@
+// Unit tests for the sweep engine: metric aggregation, the parallel map,
+// algorithm-by-name construction, grid execution, and the JSON export.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+#include "harness/algorithms.h"
+#include "harness/export.h"
+#include "harness/sweep.h"
+
+namespace sbrs::harness {
+namespace {
+
+registers::RegisterConfig cfg_small() {
+  registers::RegisterConfig cfg;
+  cfg.f = 1;
+  cfg.k = 2;
+  cfg.n = 4;
+  cfg.data_bits = 128;
+  return cfg;
+}
+
+TEST(MetricSummary, OrderStatistics) {
+  std::vector<uint64_t> values;
+  for (uint64_t v = 100; v >= 1; --v) values.push_back(v);  // 100..1
+  const MetricSummary s = summarize_metric(values);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 100u);
+  // Nearest-rank on the 0-based sorted sample: round(q * 99).
+  EXPECT_EQ(s.p50, 51u);
+  EXPECT_EQ(s.p90, 90u);
+  EXPECT_EQ(s.p99, 99u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+}
+
+TEST(MetricSummary, SingleAndEmpty) {
+  const MetricSummary one = summarize_metric({7});
+  EXPECT_EQ(one.min, 7u);
+  EXPECT_EQ(one.max, 7u);
+  EXPECT_EQ(one.p50, 7u);
+  EXPECT_EQ(one.p99, 7u);
+  EXPECT_DOUBLE_EQ(one.mean, 7.0);
+  const MetricSummary none = summarize_metric({});
+  EXPECT_EQ(none.max, 0u);
+}
+
+TEST(ParallelMap, ResultsLandAtTheirIndex) {
+  for (uint32_t threads : {1u, 4u, 32u}) {
+    auto out = parallel_map(100, threads,
+                            [](size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 100u);
+    for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ParallelMap, PropagatesWorkerExceptions) {
+  EXPECT_THROW(parallel_map(16, 4,
+                            [](size_t i) -> int {
+                              if (i == 9) throw std::runtime_error("boom");
+                              return 0;
+                            }),
+               std::runtime_error);
+}
+
+TEST(MakeAlgorithm, KnownNamesConstruct) {
+  for (const auto& name : algorithm_names()) {
+    auto alg = make_algorithm(name, cfg_small());
+    ASSERT_NE(alg, nullptr) << name;
+    EXPECT_FALSE(alg->name().empty());
+  }
+}
+
+TEST(MakeAlgorithm, AbdForcesReplicationShape) {
+  auto alg = make_algorithm("abd", cfg_small());
+  EXPECT_EQ(alg->config().k, 1u);
+  EXPECT_EQ(alg->config().n, 2 * cfg_small().f + 1);
+}
+
+TEST(MakeAlgorithm, UnknownNameThrows) {
+  EXPECT_THROW(make_algorithm("paxos", cfg_small()), CheckFailure);
+}
+
+SweepResult tiny_sweep(uint32_t threads, uint32_t seeds) {
+  std::vector<SweepCell> grid;
+  for (uint32_t c : {1u, 2u}) {
+    SweepCell cell;
+    cell.algorithm = "adaptive";
+    cell.config = cfg_small();
+    cell.opts.writers = c;
+    cell.opts.readers = 1;
+    cell.label = "adaptive c=" + std::to_string(c);
+    grid.push_back(std::move(cell));
+  }
+  SweepOptions so;
+  so.threads = threads;
+  so.seeds_per_cell = seeds;
+  so.base_seed = 3;
+  return SweepRunner(so).run(grid);
+}
+
+TEST(SweepRunner, AggregatesCellsInGridOrder) {
+  const SweepResult result = tiny_sweep(/*threads=*/2, /*seeds=*/4);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.cells[0].cell.label, "adaptive c=1");
+  EXPECT_EQ(result.cells[1].cell.label, "adaptive c=2");
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.seeds, 4u);
+    EXPECT_EQ(cell.consistency_failures, 0u) << cell.cell.label;
+    EXPECT_EQ(cell.liveness_failures, 0u);
+    EXPECT_EQ(cell.quiesced, 4u);
+    EXPECT_GT(cell.steps.min, 0u);
+    EXPECT_GT(cell.max_object_bits.max, 0u);
+    EXPECT_GE(cell.max_total_bits.max, cell.max_object_bits.max);
+    EXPECT_LE(cell.max_total_bits.p50, cell.max_total_bits.max);
+    EXPECT_GT(cell.total_steps, 0u);
+    EXPECT_NE(cell.fingerprint, 0u);
+  }
+  // More writers -> more storage pressure at the maximum.
+  EXPECT_GE(result.cells[1].max_object_bits.max,
+            result.cells[0].max_object_bits.max);
+}
+
+TEST(SweepRunner, SeedsProduceDistinctSchedules) {
+  // Enough concurrency that the random scheduler's choices change the run
+  // length: with 8 seeds the per-seed step counts must not all collapse to
+  // a single value.
+  SweepCell cell;
+  cell.algorithm = "adaptive";
+  cell.config = cfg_small();
+  cell.opts.writers = 4;
+  cell.opts.writes_per_client = 2;
+  cell.opts.readers = 2;
+  cell.opts.reads_per_client = 2;
+  SweepOptions so;
+  so.threads = 1;
+  so.seeds_per_cell = 8;
+  so.base_seed = 11;
+  const SweepResult result = SweepRunner(so).run({cell});
+  const auto& steps = result.cells[0].steps;
+  EXPECT_LT(steps.min, steps.max);
+}
+
+TEST(SweepJson, ContainsGridAndSummaries) {
+  const SweepResult result = tiny_sweep(/*threads=*/1, /*seeds=*/2);
+  std::ostringstream os;
+  write_sweep_json(os, result);
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"cells\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"adaptive c=1\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"adaptive c=2\""), std::string::npos);
+  EXPECT_NE(json.find("\"max_object_bits\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+  EXPECT_NE(json.find("\"steps_per_sec\""), std::string::npos);
+  EXPECT_NE(json.find("\"fingerprint\""), std::string::npos);
+
+  // Balanced braces/brackets (cheap well-formedness check — no JSON parser
+  // in the dependency set).
+  long depth = 0;
+  for (char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(SweepJson, EscapesStrings) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+}  // namespace
+}  // namespace sbrs::harness

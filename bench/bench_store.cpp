@@ -1,0 +1,98 @@
+// Store engine benchmark: throughput and tail latency of the sharded
+// multi-object store under YCSB-style load, per {algorithm, distribution}.
+//
+// Each benchmark iteration builds a fresh Store (so per-shard simulators
+// start from v0) and drains one full workload shard-parallel. Counters
+// record the deterministic outcome (logical-step latency percentiles, peak
+// storage) next to the wall-clock throughput google-benchmark measures —
+// the pairing the committed BENCH_store.json tracks over time.
+#include <benchmark/benchmark.h>
+
+#include "store/store.h"
+
+namespace sbrs::bench {
+namespace {
+
+constexpr uint32_t kShards = 16;
+constexpr uint32_t kKeys = 256;
+constexpr uint32_t kClients = 8;
+constexpr uint32_t kOpsPerClient = 32;
+
+store::StoreOptions store_options(const std::string& alg,
+                                  store::ycsb::Distribution dist) {
+  store::StoreOptions opts;
+  opts.algorithm = alg;
+  opts.register_config.f = 2;
+  opts.register_config.k = 4;
+  opts.register_config.n = 8;
+  opts.register_config.data_bits = 1024;
+  opts.num_shards = kShards;
+  opts.workload.num_keys = kKeys;
+  opts.workload.clients = kClients;
+  opts.workload.ops_per_client = kOpsPerClient;
+  opts.workload.mix = store::ycsb::Mix::kB;
+  opts.workload.distribution = dist;
+  opts.seed = 1;
+  opts.threads = 0;  // all hardware threads
+  // Checking dominates small-run wall time; the bench measures the engine.
+  opts.check_consistency = false;
+  return opts;
+}
+
+const char* dist_name(int index) {
+  switch (index) {
+    case 0: return "uniform";
+    case 1: return "zipfian";
+    default: return "latest";
+  }
+}
+
+store::ycsb::Distribution dist_of(int index) {
+  switch (index) {
+    case 0: return store::ycsb::Distribution::kUniform;
+    case 1: return store::ycsb::Distribution::kZipfian;
+    default: return store::ycsb::Distribution::kLatest;
+  }
+}
+
+void run_store_bench(benchmark::State& state, const std::string& alg) {
+  const auto dist = dist_of(static_cast<int>(state.range(0)));
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    store::Store engine(store_options(alg, dist));
+    store::StoreResult result = engine.run();
+    benchmark::DoNotOptimize(result.total_steps);
+    ops += result.completed_reads + result.completed_writes;
+    state.counters["read_p50_steps"] =
+        static_cast<double>(result.read_latency.p50());
+    state.counters["read_p99_steps"] =
+        static_cast<double>(result.read_latency.p99());
+    state.counters["write_p99_steps"] =
+        static_cast<double>(result.write_latency.p99());
+    state.counters["peak_bits_sum"] =
+        static_cast<double>(result.peak_total_bits_sum);
+    state.counters["hot_shard_bits"] =
+        static_cast<double>(result.max_shard_object_bits);
+  }
+  state.SetLabel(std::string(alg) + "/" + dist_name(static_cast<int>(state.range(0))));
+  state.counters["ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+
+void BM_StoreAdaptive(benchmark::State& state) {
+  run_store_bench(state, "adaptive");
+}
+void BM_StoreAbd(benchmark::State& state) { run_store_bench(state, "abd"); }
+void BM_StoreCoded(benchmark::State& state) {
+  run_store_bench(state, "coded");
+}
+
+// Arg: 0 = uniform, 1 = zipfian, 2 = latest.
+BENCHMARK(BM_StoreAdaptive)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StoreAbd)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StoreCoded)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sbrs::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+#!/usr/bin/env sh
+# Run the store-engine grid and record BENCH_store.json at the repo root
+# (building first if needed), tracking the multi-object store's throughput
+# and tail latency the same way BENCH_codec.json / BENCH_registers.json
+# track the codec and register layers.
+#
+# The fixed grid: {adaptive, abd, coded} x {uniform, zipfian, latest}, each
+# a 256-key / 16-shard / 8-client / 32-ops-per-client YCSB-B (95% read)
+# run with f=2 k=4 D=1024 and per-key consistency checking ON. Every cell's
+# full store JSON (options + deterministic block + timing) is embedded
+# under results.<algorithm>.<distribution>; the deterministic blocks are
+# thread-count-independent, so diffs of this file show real drift only in
+# the "timing" sections.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build"
+threads="${STORE_THREADS:-8}"
+out="$repo_root/BENCH_store.json"
+
+if [ ! -x "$build_dir/sbrs_cli" ]; then
+  cmake -B "$build_dir" -S "$repo_root"
+  cmake --build "$build_dir" -j --target sbrs_cli
+fi
+
+grid="--store --keys=256 --shards=16 --clients=8 --ops=32 --mix=B \
+  --f=2 --k=4 --data-bits=1024 --seed=1"
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+algs="adaptive abd coded"
+dists="uniform zipfian latest"
+
+for alg in $algs; do
+  for dist in $dists; do
+    # shellcheck disable=SC2086  # word splitting of $grid is intentional
+    "$build_dir/sbrs_cli" $grid --alg="$alg" --dist="$dist" \
+      --threads="$threads" --json="$tmpdir/$alg.$dist.json" >/dev/null
+  done
+done
+
+hw_threads=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+{
+  printf '{\n'
+  printf '  "context": {\n'
+  printf '    "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%S+00:00)"
+  printf '    "host_name": "%s",\n' "$(hostname)"
+  printf '    "hardware_threads": %s,\n' "$hw_threads"
+  printf '    "store_threads": %s,\n' "$threads"
+  printf '    "grid": "adaptive,abd,coded x uniform,zipfian,latest; YCSB-B; 256 keys / 16 shards / 8 clients x 32 ops; f=2 k=4 D=1024"\n'
+  printf '  },\n'
+  printf '  "results": {\n'
+  first_alg=1
+  for alg in $algs; do
+    [ $first_alg -eq 1 ] || printf '  ,\n'
+    first_alg=0
+    printf '  "%s": {\n' "$alg"
+    first_dist=1
+    for dist in $dists; do
+      [ $first_dist -eq 1 ] || printf '  ,\n'
+      first_dist=0
+      printf '  "%s": ' "$dist"
+      cat "$tmpdir/$alg.$dist.json"
+    done
+    printf '  }\n'
+  done
+  printf '  }\n'
+  printf '}\n'
+} > "$out"
+
+echo "wrote $out"

@@ -10,6 +10,8 @@
 //   $ ./examples/sbrs_cli --alg=coded --writers=16 --sched=burst
 //   $ ./examples/sbrs_cli --sweep --algs=abd,coded,adaptive --sched=burst \
 //         --cs=1,2,4,8,16,32 --seeds=5 --threads=8 --json=sweep.json
+//   $ ./examples/sbrs_cli --store --keys=512 --shards=32 --dist=zipfian \
+//         --mix=B --clients=8 --ops=64 --threads=8 --json=store.json
 //   $ ./examples/sbrs_cli --help
 #include <cstring>
 #include <fstream>
@@ -25,6 +27,7 @@
 #include "harness/runner.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
+#include "store/store.h"
 
 namespace {
 
@@ -46,7 +49,18 @@ struct CliOptions {
   std::string cs = "1,2,4,8,16,32";  // concurrency grid
   uint32_t threads = 0;        // 0 = hardware concurrency
   uint32_t seeds = 1;          // seeds per cell
-  std::string json;            // write sweep JSON here
+  std::string json;            // write sweep/store JSON here
+  // Store mode (sharded multi-object engine with YCSB-style load).
+  bool store = false;
+  uint32_t keys = 128;
+  uint32_t shards = 8;
+  uint32_t clients = 4;
+  uint32_t ops = 64;           // workload ops per client
+  std::string dist = "zipfian";
+  std::string mix = "B";
+  uint32_t read_pct = 95;      // with --mix=custom
+  double theta = 0.99;
+  bool no_check = false;
   bool help = false;
 };
 
@@ -84,11 +98,24 @@ CliOptions parse(int argc, char** argv) {
       o.help = true;
     } else if (arg == "--sweep") {
       o.sweep = true;
+    } else if (arg == "--store") {
+      o.store = true;
+    } else if (arg == "--no-check") {
+      o.no_check = true;
+    } else if (parse_flag(arg, "theta", &s)) {
+      o.theta = std::stod(s);
     } else if (parse_flag(arg, "alg", &o.alg) ||
                parse_flag(arg, "algs", &o.algs) ||
                parse_flag(arg, "sched", &o.sched) ||
                parse_flag(arg, "cs", &o.cs) ||
                parse_flag(arg, "json", &o.json) ||
+               parse_flag(arg, "dist", &o.dist) ||
+               parse_flag(arg, "mix", &o.mix) ||
+               parse_int_flag(arg, "keys", &o.keys) ||
+               parse_int_flag(arg, "shards", &o.shards) ||
+               parse_int_flag(arg, "clients", &o.clients) ||
+               parse_int_flag(arg, "ops", &o.ops) ||
+               parse_int_flag(arg, "read-pct", &o.read_pct) ||
                parse_int_flag(arg, "f", &o.f) ||
                parse_int_flag(arg, "k", &o.k) ||
                parse_int_flag(arg, "data-bits", &o.data_bits) ||
@@ -130,7 +157,19 @@ void usage() {
       "  --threads=N     worker threads (default: all hardware threads)\n"
       "  --json=PATH     export the sweep result as JSON\n"
       "  (the workload/scheduler flags above shape every cell;\n"
-      "   use --sched=burst for the paper's storage-vs-concurrency curves)\n";
+      "   use --sched=burst for the paper's storage-vs-concurrency curves)\n\n"
+      "store mode (sharded multi-object engine, YCSB-style load):\n"
+      "  --store         run the store engine instead of a single register\n"
+      "  --keys=N --shards=N --clients=N --ops=N   keyspace and load shape\n"
+      "  --dist=uniform|zipfian|latest   key popularity (default zipfian)\n"
+      "  --mix=A|B|C|F|custom            YCSB mix (default B = 95%% reads)\n"
+      "  --read-pct=N    read percentage for --mix=custom\n"
+      "  --theta=X       zipfian constant (default 0.99)\n"
+      "  --no-check      skip the per-key consistency checkers\n"
+      "  (--alg/--f/--k/--data-bits shape each shard's register pool;\n"
+      "   --crashes crashes up to N objects per shard; --threads/--json\n"
+      "   as in sweep mode — the JSON's \"deterministic\" block is\n"
+      "   byte-identical for any --threads value)\n";
 }
 
 sbrs::harness::SchedKind sched_kind(const std::string& name) {
@@ -206,20 +245,103 @@ int run_sweep(const CliOptions& cli) {
   return 0;
 }
 
+int run_store(const CliOptions& cli) {
+  using namespace sbrs;
+  store::StoreOptions opts;
+  opts.algorithm = cli.alg;
+  opts.register_config = base_config(cli);
+  opts.num_shards = cli.shards;
+  opts.workload.num_keys = cli.keys;
+  opts.workload.clients = cli.clients;
+  opts.workload.ops_per_client = cli.ops;
+  opts.workload.mix = store::ycsb::parse_mix(cli.mix);
+  opts.workload.read_percent = cli.read_pct;
+  opts.workload.distribution = store::ycsb::parse_distribution(cli.dist);
+  opts.workload.zipf_theta = cli.theta;
+  opts.workload.seed = cli.seed;
+  opts.scheduler = sched_kind(cli.sched);
+  opts.object_crashes_per_shard = cli.crashes;
+  opts.seed = cli.seed;
+  opts.threads = cli.threads;
+  opts.check_consistency = !cli.no_check;
+
+  store::Store store_engine(opts);
+  store::StoreResult result = store_engine.run();
+
+  harness::Table table({"shard", "keys", "ops", "peak object bits",
+                        "final bits", "read p50/p99", "write p50/p99",
+                        "checks", "live"});
+  for (const auto& s : result.shards) {
+    table.add_row(
+        s.shard, s.keys_mounted, s.report.completed_ops, s.max_object_bits,
+        s.final_object_bits,
+        std::to_string(s.read_latency.p50()) + " / " +
+            std::to_string(s.read_latency.p99()),
+        std::to_string(s.write_latency.p50()) + " / " +
+            std::to_string(s.write_latency.p99()),
+        s.keys_checked == 0
+            ? "-"
+            : (s.consistency_failures == 0
+                   ? "ok"
+                   : std::to_string(s.consistency_failures) + " FAIL"),
+        s.live ? "yes" : "NO");
+  }
+  table.print();
+
+  std::cout << "store: " << cli.keys << " keys x " << cli.shards
+            << " shards, mix " << store::ycsb::to_string(opts.workload.mix)
+            << " over " << store::ycsb::to_string(opts.workload.distribution)
+            << " keys, "
+            << (result.completed_reads + result.completed_writes)
+            << " ops in " << result.wall_seconds << "s ("
+            << static_cast<uint64_t>(result.ops_per_sec) << " ops/s on "
+            << result.threads_used << " threads)\n"
+            << "merged read p50/p99/p999: " << result.read_latency.p50()
+            << " / " << result.read_latency.p99() << " / "
+            << result.read_latency.p999() << " steps; write p50/p99: "
+            << result.write_latency.p50() << " / "
+            << result.write_latency.p99() << "\n"
+            << "peak storage (sum of shard peaks): "
+            << result.peak_total_bits_sum << " bits; hottest shard "
+            << result.max_shard_object_bits << " object bits; "
+            << result.keys_checked << " keys checked, "
+            << result.consistency_failures << " failures\n";
+
+  if (!cli.json.empty()) {
+    std::ofstream os(cli.json);
+    if (!os) {
+      std::cerr << "cannot write " << cli.json << "\n";
+      return 1;
+    }
+    store::write_store_json(os, result);
+    std::cout << "wrote " << cli.json << "\n";
+  }
+  if (!result.all_quiesced) {
+    std::cerr << "store run did not quiesce (step limit or scheduler stop "
+                 "left queued operations unexecuted)\n";
+  }
+  return result.consistency_failures == 0 && result.all_live &&
+                 result.all_quiesced
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
 int run_cli(const CliOptions& cli);
 
 int main(int argc, char** argv) {
-  const CliOptions cli = parse(argc, argv);
-  if (cli.help) {
-    usage();
-    return 2;
-  }
-  // Bad flag *values* (unknown algorithm, malformed number lists, invalid
-  // register shapes) surface as exceptions from the library; turn them into
-  // the same usage-and-exit-2 path as unknown flags instead of aborting.
+  // Bad flag *values* (malformed numbers from parse(), unknown algorithms,
+  // invalid register shapes from the library) surface as exceptions; turn
+  // them into the same usage-and-exit-2 path as unknown flags instead of
+  // aborting.
   try {
+    const CliOptions cli = parse(argc, argv);
+    if (cli.help) {
+      usage();
+      return 2;
+    }
+    if (cli.store) return run_store(cli);
     return cli.sweep ? run_sweep(cli) : run_cli(cli);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n\n";

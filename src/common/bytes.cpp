@@ -39,10 +39,10 @@ Bytes from_hex(const std::string& hex) {
 }
 
 uint64_t fnv1a(BytesView bytes) {
-  uint64_t h = 0xcbf29ce484222325ull;
+  uint64_t h = kFnv1aOffsetBasis;
   for (uint8_t b : bytes) {
     h ^= b;
-    h *= 0x100000001b3ull;
+    h *= kFnv1aPrime;
   }
   return h;
 }

@@ -84,6 +84,18 @@ std::string to_hex(BytesView bytes);
 /// malformed input (odd length or non-hex digit).
 Bytes from_hex(const std::string& hex);
 
+/// 64-bit FNV-1a parameters — the single definition shared by the byte hash
+/// below, the store's key->shard placement, and the word-level fingerprint
+/// mixers in harness/store. Fingerprint compatibility across subsystems
+/// rests on these never diverging.
+inline constexpr uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnv1aPrime = 0x100000001b3ull;
+
+/// One FNV-style mixing step folding a 64-bit word into hash state `h`.
+constexpr uint64_t fnv1a_mix(uint64_t h, uint64_t v) {
+  return (h ^ v) * kFnv1aPrime;
+}
+
 /// 64-bit FNV-1a over the bytes; used for cheap content fingerprints in tests
 /// and histories (never for storage accounting).
 uint64_t fnv1a(BytesView bytes);

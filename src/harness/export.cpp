@@ -69,6 +69,14 @@ void write_metric(std::ostream& os, const char* name,
 
 }  // namespace
 
+void write_latency_json(std::ostream& os,
+                        const metrics::LatencyHistogram& h) {
+  os << "{\"count\": " << h.count() << ", \"mean\": " << h.mean()
+     << ", \"min\": " << h.min() << ", \"p50\": " << h.p50()
+     << ", \"p90\": " << h.p90() << ", \"p99\": " << h.p99()
+     << ", \"p999\": " << h.p999() << ", \"max\": " << h.max() << "}";
+}
+
 void write_sweep_json(std::ostream& os, const SweepResult& result) {
   // max_digits10: doubles (metric means, timings) round-trip exactly, so
   // diffs of committed sweep artifacts only ever show real drift.
@@ -110,6 +118,9 @@ void write_sweep_json(std::ostream& os, const SweepResult& result) {
     write_metric(os, "max_channel_bits", c.max_channel_bits, "      ");
     os << ",\n";
     write_metric(os, "steps", c.steps, "      ");
+    os << ",\n";
+    os << "      \"latency_steps\": ";
+    write_latency_json(os, c.latency);
     os << ",\n";
     os << "      \"consistency_failures\": " << c.consistency_failures
        << ",\n";

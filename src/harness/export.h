@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "harness/sweep.h"
+#include "metrics/latency_histogram.h"
 #include "metrics/storage_meter.h"
 
 namespace sbrs::harness {
@@ -42,5 +43,11 @@ void write_sweep_json(std::ostream& os, const SweepResult& result);
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 std::string json_escape(const std::string& s);
+
+/// Write a latency histogram summary as one JSON object:
+/// {"count", "mean", "min", "p50", "p90", "p99", "p999", "max"}.
+/// Values are simulator steps; deterministic for a given run.
+void write_latency_json(std::ostream& os,
+                        const metrics::LatencyHistogram& h);
 
 }  // namespace sbrs::harness

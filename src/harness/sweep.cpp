@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/bytes.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "harness/algorithms.h"
@@ -11,9 +12,7 @@ namespace sbrs::harness {
 
 namespace {
 
-constexpr uint64_t kFnvPrime = 1099511628211ull;
-
-uint64_t mix_into(uint64_t h, uint64_t v) { return (h ^ v) * kFnvPrime; }
+uint64_t mix_into(uint64_t h, uint64_t v) { return fnv1a_mix(h, v); }
 
 /// The per-run result kept by a sweep worker: everything the aggregation
 /// needs, without the history (a big sweep would otherwise hold every run's
@@ -27,6 +26,7 @@ struct RunDigest {
   bool live = true;
   bool quiesced = false;
   uint64_t fingerprint = 0;
+  metrics::LatencyHistogram latency;
   double seconds = 0;
 };
 
@@ -66,8 +66,20 @@ uint64_t cell_seed(uint64_t base_seed, size_t cell_index,
   return seed == 0 ? 1 : seed;  // seed 0 is reserved-ish; keep it nonzero
 }
 
+uint64_t history_fingerprint(const sim::History& history, uint64_t h) {
+  for (const auto& ev : history.events()) {
+    h = mix_into(h, ev.time);
+    h = mix_into(h, static_cast<uint64_t>(ev.kind));
+    h = mix_into(h, ev.op.value);
+    h = mix_into(h, ev.client.value);
+    h = mix_into(h, static_cast<uint64_t>(ev.op_kind));
+    h = mix_into(h, ev.value.fingerprint());
+  }
+  return h;
+}
+
 uint64_t outcome_fingerprint(const RunOutcome& out) {
-  uint64_t h = 1469598103934665603ull;
+  uint64_t h = kFingerprintSeed;
   h = mix_into(h, out.max_total_bits);
   h = mix_into(h, out.max_object_bits);
   h = mix_into(h, out.max_channel_bits);
@@ -83,19 +95,11 @@ uint64_t outcome_fingerprint(const RunOutcome& out) {
   h = mix_into(h, out.strong_regular.ok);
   h = mix_into(h, out.strongly_safe.ok);
   h = mix_into(h, out.live);
-  for (const auto& ev : out.history.events()) {
-    h = mix_into(h, ev.time);
-    h = mix_into(h, static_cast<uint64_t>(ev.kind));
-    h = mix_into(h, ev.op.value);
-    h = mix_into(h, ev.client.value);
-    h = mix_into(h, static_cast<uint64_t>(ev.op_kind));
-    h = mix_into(h, ev.value.fingerprint());
-  }
-  return h;
+  return history_fingerprint(out.history, h);
 }
 
 uint64_t SweepResult::fingerprint() const {
-  uint64_t h = 1469598103934665603ull;
+  uint64_t h = kFingerprintSeed;
   for (const auto& c : cells) h = mix_into(h, c.fingerprint);
   return h;
 }
@@ -153,6 +157,7 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
         }
         d.live = out.live;
         d.quiesced = out.report.quiesced;
+        d.latency = out.report.op_latency;
         d.fingerprint = outcome_fingerprint(out);
         d.seconds = std::chrono::duration<double>(end - start).count();
         return d;
@@ -171,7 +176,7 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
     object.reserve(seeds);
     channel.reserve(seeds);
     steps.reserve(seeds);
-    uint64_t fp = 1469598103934665603ull;
+    uint64_t fp = kFingerprintSeed;
     for (uint32_t s = 0; s < seeds; ++s) {
       const RunDigest& d = digests[c * seeds + s];
       total.push_back(d.max_total_bits);
@@ -181,6 +186,7 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
       if (!d.checks_ok) ++cs.consistency_failures;
       if (!d.live) ++cs.liveness_failures;
       if (d.quiesced) ++cs.quiesced;
+      cs.latency.merge(d.latency);
       cs.total_steps += d.steps;
       cs.wall_seconds += d.seconds;
       fp = mix_into(fp, d.fingerprint);

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "harness/runner.h"
+#include "metrics/latency_histogram.h"
 #include "registers/register_algorithm.h"
 
 namespace sbrs::harness {
@@ -68,6 +69,9 @@ struct CellSummary {
   uint32_t consistency_failures = 0;
   uint32_t liveness_failures = 0;     // seeds with a stuck live client
   uint32_t quiesced = 0;              // seeds whose run fully quiesced
+  /// Operation latency (simulator steps, invoke to return) merged across
+  /// all the cell's seeds. Deterministic — logical time, not wall clock.
+  metrics::LatencyHistogram latency;
   /// Order-independent fingerprint over all per-seed outcomes (histories
   /// included); equal fingerprints mean identical per-cell results.
   uint64_t fingerprint = 0;
@@ -106,6 +110,17 @@ uint64_t cell_seed(uint64_t base_seed, size_t cell_index, uint32_t seed_index);
 /// Deterministic order-independent fingerprint of one run outcome (storage
 /// maxima, report counters, check verdicts, and the full history trace).
 uint64_t outcome_fingerprint(const RunOutcome& out);
+
+/// Seed of every fingerprint hash chain in the sweep and store engines
+/// (kept verbatim from the original sweep implementation so committed
+/// artifacts with recorded fingerprints stay comparable).
+inline constexpr uint64_t kFingerprintSeed = 1469598103934665603ull;
+
+/// FNV-style mix of a full history trace into hash state `h` — the single
+/// definition of "these two histories are identical" shared by the sweep
+/// engine's outcome_fingerprint and the store's per-shard fingerprints, so
+/// the two cannot silently diverge when HistoryEvent grows a field.
+uint64_t history_fingerprint(const sim::History& history, uint64_t h);
 
 class SweepRunner {
  public:

@@ -1,0 +1,105 @@
+#include "metrics/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sbrs::metrics {
+
+LatencyHistogram::LatencyHistogram(uint32_t precision_bits)
+    : precision_bits_(precision_bits) {
+  SBRS_CHECK_MSG(precision_bits >= 1 && precision_bits <= 16,
+                 "latency histogram precision out of range");
+}
+
+size_t LatencyHistogram::bucket_index(uint64_t value,
+                                      uint32_t precision_bits) {
+  const uint64_t m = uint64_t{1} << precision_bits;
+  if (value < m) return static_cast<size_t>(value);
+  // exponent e: 2^e <= value < 2^(e+1), e >= precision_bits. The top
+  // precision_bits bits below the leading one select the sub-bucket, so each
+  // octave contributes 2^precision_bits buckets and the scheme is continuous
+  // with the unit-bucket range (group 1 is exact too: shift == 0).
+  const uint32_t e = 63 - static_cast<uint32_t>(std::countl_zero(value));
+  const uint32_t group = e - precision_bits + 1;
+  const uint64_t sub = (value >> (e - precision_bits)) - m;
+  return static_cast<size_t>(group) * static_cast<size_t>(m) +
+         static_cast<size_t>(sub);
+}
+
+uint64_t LatencyHistogram::bucket_lower(size_t index, uint32_t precision_bits) {
+  const uint64_t m = uint64_t{1} << precision_bits;
+  const uint64_t group = index >> precision_bits;
+  if (group == 0) return index;
+  const uint64_t sub = index & (m - 1);
+  const uint32_t shift = static_cast<uint32_t>(group - 1);
+  return (m + sub) << shift;
+}
+
+uint64_t LatencyHistogram::bucket_upper(size_t index, uint32_t precision_bits) {
+  const uint64_t group = index >> precision_bits;
+  if (group == 0) return index;
+  const uint32_t shift = static_cast<uint32_t>(group - 1);
+  return bucket_lower(index, precision_bits) + ((uint64_t{1} << shift) - 1);
+}
+
+void LatencyHistogram::record(uint64_t value) {
+  const size_t idx = bucket_index(value, precision_bits_);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  ++counts_[idx];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  sum_ += value;
+  ++count_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  SBRS_CHECK_MSG(precision_bits_ == other.precision_bits_,
+                 "merging latency histograms of different precision");
+  if (other.count_ == 0) return;
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+uint64_t LatencyHistogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest value with cumulative count >= ceil(q * N).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= rank) {
+      return std::min(bucket_upper(i, precision_bits_), max_);
+    }
+  }
+  return max_;
+}
+
+bool operator==(const LatencyHistogram& a, const LatencyHistogram& b) {
+  if (a.precision_bits_ != b.precision_bits_ || a.count_ != b.count_ ||
+      a.sum_ != b.sum_ || a.min() != b.min() || a.max_ != b.max_) {
+    return false;
+  }
+  // Trailing zero buckets are representation noise, not content.
+  const size_t n = std::max(a.counts_.size(), b.counts_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t ca = i < a.counts_.size() ? a.counts_[i] : 0;
+    const uint64_t cb = i < b.counts_.size() ? b.counts_[i] : 0;
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+}  // namespace sbrs::metrics

@@ -1,0 +1,74 @@
+// Log-bucketed latency histogram (HDR-histogram style).
+//
+// Records non-negative integer values (the store measures operation latency
+// in simulator steps) into log-linear buckets: values below 2^precision_bits
+// land in exact unit buckets; above that, each power-of-two range is split
+// into 2^precision_bits sub-buckets, bounding the relative quantization
+// error by 2^-precision_bits. Histograms with equal precision are mergeable
+// by bucket-wise addition, which is how per-shard store results roll up into
+// one tail-latency view — merge(a, b) is exactly the histogram of the
+// concatenated samples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sbrs::metrics {
+
+class LatencyHistogram {
+ public:
+  /// Default precision: 128 sub-buckets per octave, <0.8% relative error.
+  static constexpr uint32_t kDefaultPrecisionBits = 7;
+
+  explicit LatencyHistogram(uint32_t precision_bits = kDefaultPrecisionBits);
+
+  void record(uint64_t value);
+
+  /// Bucket-wise merge; requires equal precision_bits (checked).
+  void merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+
+  /// Value at quantile q in [0, 1] by the nearest-rank method on the bucket
+  /// cumulative counts. Returns the highest value mapping to the selected
+  /// bucket (exact for values < 2^precision_bits), clamped to the true
+  /// recorded max; 0 on an empty histogram.
+  uint64_t percentile(double q) const;
+
+  uint64_t p50() const { return percentile(0.50); }
+  uint64_t p90() const { return percentile(0.90); }
+  uint64_t p99() const { return percentile(0.99); }
+  uint64_t p999() const { return percentile(0.999); }
+
+  uint32_t precision_bits() const { return precision_bits_; }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  // --- Bucket geometry (exposed for tests) ---
+
+  /// Index of the bucket `value` falls into.
+  static size_t bucket_index(uint64_t value, uint32_t precision_bits);
+  /// Smallest / largest value mapping to bucket `index`.
+  static uint64_t bucket_lower(size_t index, uint32_t precision_bits);
+  static uint64_t bucket_upper(size_t index, uint32_t precision_bits);
+
+  friend bool operator==(const LatencyHistogram& a, const LatencyHistogram& b);
+
+ private:
+  uint32_t precision_bits_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  std::vector<uint64_t> counts_;  // grows on demand, trailing zeros trimmed
+};
+
+bool operator==(const LatencyHistogram& a, const LatencyHistogram& b);
+
+}  // namespace sbrs::metrics

@@ -53,6 +53,13 @@ class ClientProtocol {
   virtual metrics::StorageFootprint footprint() const {
     return {};
   }
+
+  /// Total stored bits — must equal footprint().total_bits(). The
+  /// simulator's incremental accounting calls this after every client
+  /// callback (mirroring ObjectStateBase::stored_bits); override with a
+  /// cached counter when footprint() materializes a large block list, as
+  /// the store's multiplexing client does.
+  virtual uint64_t stored_bits() const { return footprint().total_bits(); }
 };
 
 using ClientFactory =

@@ -33,6 +33,9 @@ class Simulator::ContextImpl final : public SimContext {
   void complete(OpId op, std::optional<Value> result) override {
     SBRS_CHECK_MSG(sim_.outstanding_[self_.value] == op,
                    "complete for non-outstanding " << op);
+    const sim::OpRecord* rec = sim_.history_.find(op);
+    SBRS_CHECK_MSG(rec != nullptr, "complete for unrecorded " << op);
+    sim_.report_.op_latency.record(sim_.time_ - rec->invoke_time);
     sim_.history_.record_return(sim_.time_, op, result);
     sim_.outstanding_[self_.value] = std::nullopt;
     ++sim_.report_.completed_ops;
@@ -82,7 +85,7 @@ Simulator::Simulator(SimConfig config, ObjectFactory object_factory,
   }
   client_bits_.resize(config_.num_clients);
   for (uint32_t i = 0; i < config_.num_clients; ++i) {
-    client_bits_[i] = clients_[i]->footprint().total_bits();
+    client_bits_[i] = clients_[i]->stored_bits();
     acct_client_bits_ += client_bits_[i];
   }
 
@@ -171,7 +174,7 @@ void Simulator::refresh_object_bits(ObjectId o) {
 }
 
 void Simulator::refresh_client_bits(ClientId c) {
-  const uint64_t now_bits = clients_[c.value]->footprint().total_bits();
+  const uint64_t now_bits = clients_[c.value]->stored_bits();
   const uint64_t before = client_bits_[c.value];
   client_bits_[c.value] = now_bits;
   if (client_alive_[c.value] || config_.count_crashed) {

@@ -18,6 +18,7 @@
 #include "common/check.h"
 #include "common/ids.h"
 #include "common/rng.h"
+#include "metrics/latency_histogram.h"
 #include "metrics/snapshot.h"
 #include "metrics/storage_meter.h"
 #include "sim/client.h"
@@ -62,6 +63,10 @@ struct RunReport {
   size_t completed_ops = 0;
   uint64_t rmws_triggered = 0;
   uint64_t rmws_delivered = 0;
+  /// Latency (in simulator steps, invoke to return) of every completed
+  /// operation. Deterministic for a given seed — latency in this model is
+  /// logical time, not wall clock.
+  metrics::LatencyHistogram op_latency;
 };
 
 class Simulator {
@@ -77,6 +82,16 @@ class Simulator {
   /// Take exactly one scheduler-chosen step; returns false when the run is
   /// over. Used by drivers that interleave measurement with execution.
   bool step();
+
+  /// Re-arm a simulator that stopped because nothing was schedulable, so
+  /// more workload can be driven through it (the store's interactive
+  /// put/get path pushes operations into its queue workload and resumes).
+  /// A no-op once the step limit was hit or the scheduler said kStop.
+  void resume() {
+    if (!report_.hit_step_limit && report_.stop_reason.empty()) {
+      stopped_ = false;
+    }
+  }
 
   // --- State inspection (used by schedulers, meters, the adversary) ---
 

@@ -1,0 +1,110 @@
+#include "store/multi_client.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "store/multi_object.h"
+
+namespace sbrs::store {
+
+uint32_t OpKeyTable::key_of(OpId op) const {
+  const uint32_t* key = find(op);
+  SBRS_CHECK_MSG(key != nullptr, "no key recorded for " << op);
+  return *key;
+}
+
+/// Wraps the simulator-provided context for the duration of one inner
+/// callback: trigger() retargets the RMW closure onto the key's sub-state
+/// and records the id -> key routing entry; everything else passes through.
+class MultiKeyClient::KeyedContext final : public sim::SimContext {
+ public:
+  KeyedContext(MultiKeyClient& owner, sim::SimContext& inner, uint32_t key)
+      : owner_(owner), inner_(inner), key_(key) {}
+
+  RmwId trigger(ObjectId target, sim::RmwFn fn,
+                metrics::StorageFootprint request_footprint) override {
+    // The store owns the object factory, so every base object in a shard
+    // simulator is a MultiKeyObjectState; apply() keeps its cached bit
+    // totals current as a side effect.
+    sim::RmwFn wrapped =
+        [key = key_, fn = std::move(fn)](
+            sim::ObjectStateBase& state) -> sim::ResponsePtr {
+      return static_cast<MultiKeyObjectState&>(state).apply(key, fn);
+    };
+    const RmwId id =
+        inner_.trigger(target, std::move(wrapped), std::move(request_footprint));
+    owner_.rmw_key_[id.value] = key_;
+    return id;
+  }
+
+  void complete(OpId op, std::optional<Value> result) override {
+    inner_.complete(op, std::move(result));
+  }
+
+  ClientId self() const override { return inner_.self(); }
+  uint32_t num_objects() const override { return inner_.num_objects(); }
+  uint64_t now() const override { return inner_.now(); }
+
+ private:
+  MultiKeyClient& owner_;
+  sim::SimContext& inner_;
+  uint32_t key_;
+};
+
+MultiKeyClient::MultiKeyClient(ClientId self, sim::ClientFactory inner_factory,
+                               std::shared_ptr<const OpKeyTable> op_keys)
+    : self_(self),
+      inner_factory_(std::move(inner_factory)),
+      op_keys_(std::move(op_keys)) {
+  SBRS_CHECK(inner_factory_ != nullptr && op_keys_ != nullptr);
+}
+
+MultiKeyClient::Session& MultiKeyClient::session(uint32_t key) {
+  auto it = sessions_.find(key);
+  if (it == sessions_.end()) {
+    Session s;
+    s.protocol = inner_factory_(self_);
+    SBRS_CHECK(s.protocol != nullptr);
+    s.bits = s.protocol->footprint().total_bits();
+    total_bits_ += s.bits;
+    it = sessions_.emplace(key, std::move(s)).first;
+  }
+  return it->second;
+}
+
+void MultiKeyClient::refresh_session_bits(Session& s) {
+  const uint64_t now_bits = s.protocol->footprint().total_bits();
+  total_bits_ += now_bits - s.bits;  // wraps correctly for shrinks
+  s.bits = now_bits;
+}
+
+void MultiKeyClient::on_invoke(const sim::Invocation& inv,
+                               sim::SimContext& ctx) {
+  const uint32_t key = op_keys_->key_of(inv.op);
+  KeyedContext kctx(*this, ctx, key);
+  Session& s = session(key);
+  s.protocol->on_invoke(inv, kctx);
+  refresh_session_bits(s);
+}
+
+void MultiKeyClient::on_response(RmwId rmw, sim::ResponsePtr response,
+                                 sim::SimContext& ctx) {
+  auto it = rmw_key_.find(rmw.value);
+  SBRS_CHECK_MSG(it != rmw_key_.end(), "response for unrouted " << rmw);
+  const uint32_t key = it->second;
+  rmw_key_.erase(it);
+  KeyedContext kctx(*this, ctx, key);
+  Session& s = session(key);
+  s.protocol->on_response(rmw, std::move(response), kctx);
+  refresh_session_bits(s);
+}
+
+metrics::StorageFootprint MultiKeyClient::footprint() const {
+  metrics::StorageFootprint fp;
+  for (const auto& [key, s] : sessions_) {
+    fp.merge(s.protocol->footprint());
+  }
+  return fp;
+}
+
+}  // namespace sbrs::store

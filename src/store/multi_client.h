@@ -1,0 +1,85 @@
+// The client half of register multiplexing: one MultiKeyClient per store
+// session, owning one lazily created protocol instance of the wrapped
+// algorithm per key it has touched.
+//
+// Routing works in both directions:
+//   - down: when an operation is invoked, the key it targets is looked up
+//     in the shared OpKeyTable (filled by the shard's QueueWorkload as ops
+//     are issued); the inner protocol runs against a KeyedContext whose
+//     trigger() rewrites the RMW closure to land on that key's sub-state of
+//     the shared MultiKeyObjectState pool;
+//   - up: every triggered RMW id is remembered with its key, so responses
+//     are delivered to exactly the inner protocol that triggered them
+//     (sessions of other keys never see them — their own stale-response
+//     filtering is not relied upon for cross-key isolation).
+//
+// A session has at most one outstanding operation (simulator-enforced), so
+// at most one inner protocol is mid-operation at a time; the others are
+// idle between operations, exactly as a single-register client would be.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/client.h"
+#include "sim/types.h"
+
+namespace sbrs::store {
+
+/// OpId -> key id, written by the shard workload when it issues an op and
+/// read by the clients (and, post-run, by the per-key history splitter).
+class OpKeyTable {
+ public:
+  void assign(OpId op, uint32_t key) { map_[op.value] = key; }
+  /// Key of an issued op; throws CheckFailure for unknown ops.
+  uint32_t key_of(OpId op) const;
+  const uint32_t* find(OpId op) const {
+    auto it = map_.find(op.value);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<uint64_t, uint32_t> map_;
+};
+
+class MultiKeyClient final : public sim::ClientProtocol {
+ public:
+  MultiKeyClient(ClientId self, sim::ClientFactory inner_factory,
+                 std::shared_ptr<const OpKeyTable> op_keys);
+
+  void on_invoke(const sim::Invocation& inv, sim::SimContext& ctx) override;
+  void on_response(RmwId rmw, sim::ResponsePtr response,
+                   sim::SimContext& ctx) override;
+
+  /// Definition 2 client state: the union over the per-key sessions.
+  metrics::StorageFootprint footprint() const override;
+
+  /// Cached total so the simulator's per-step accounting stays O(1) in the
+  /// number of sessions (only the active key's session can change state,
+  /// and the routing callbacks refresh its cached bits afterwards).
+  uint64_t stored_bits() const override { return total_bits_; }
+
+  size_t sessions() const { return sessions_.size(); }
+
+ private:
+  class KeyedContext;
+
+  struct Session {
+    std::unique_ptr<sim::ClientProtocol> protocol;
+    uint64_t bits = 0;  // cached protocol->footprint().total_bits()
+  };
+
+  Session& session(uint32_t key);
+  void refresh_session_bits(Session& session);
+
+  ClientId self_;
+  sim::ClientFactory inner_factory_;
+  std::shared_ptr<const OpKeyTable> op_keys_;
+  std::map<uint32_t, Session> sessions_;  // ordered: deterministic footprint
+  std::unordered_map<uint64_t, uint32_t> rmw_key_;  // in-flight RMW -> key
+  uint64_t total_bits_ = 0;
+};
+
+}  // namespace sbrs::store

@@ -1,0 +1,50 @@
+#include "store/multi_object.h"
+
+#include "common/check.h"
+
+namespace sbrs::store {
+
+MultiKeyObjectState::MultiKeyObjectState(
+    ObjectId self, sim::ObjectFactory inner_factory,
+    const std::vector<uint32_t>& premount)
+    : self_(self), inner_factory_(std::move(inner_factory)) {
+  SBRS_CHECK(inner_factory_ != nullptr);
+  for (uint32_t key : premount) ensure(key);
+}
+
+sim::ObjectStateBase& MultiKeyObjectState::ensure(uint32_t key) {
+  auto it = subs_.find(key);
+  if (it == subs_.end()) {
+    Sub sub;
+    sub.state = inner_factory_(self_);
+    SBRS_CHECK(sub.state != nullptr);
+    sub.bits = sub.state->stored_bits();
+    total_bits_ += sub.bits;
+    it = subs_.emplace(key, std::move(sub)).first;
+  }
+  return *it->second.state;
+}
+
+sim::ResponsePtr MultiKeyObjectState::apply(uint32_t key,
+                                            const sim::RmwFn& fn) {
+  sim::ObjectStateBase& state = ensure(key);
+  sim::ResponsePtr response = fn(state);
+  Sub& sub = subs_.at(key);
+  const uint64_t now_bits = state.stored_bits();
+  total_bits_ += now_bits - sub.bits;  // wraps correctly for shrinks
+  sub.bits = now_bits;
+  return response;
+}
+
+metrics::StorageFootprint MultiKeyObjectState::footprint() const {
+  metrics::StorageFootprint fp;
+  for (const auto& [key, sub] : subs_) fp.merge(sub.state->footprint());
+  return fp;
+}
+
+const sim::ObjectStateBase* MultiKeyObjectState::sub(uint32_t key) const {
+  auto it = subs_.find(key);
+  return it == subs_.end() ? nullptr : it->second.state.get();
+}
+
+}  // namespace sbrs::store

@@ -1,0 +1,58 @@
+// Multiplexing many emulated registers over one simulated base object.
+//
+// A store shard runs ONE simulator whose n base objects are shared by every
+// key the shard owns: each MultiKeyObjectState holds an independent
+// per-key sub-state produced by the wrapped algorithm's own object factory
+// (with v0 pre-stored, exactly as in a single-register run). An RMW routed
+// through MultiKeyClient names its key; apply() dispatches it to that key's
+// sub-state only, so per-key protocol state never interacts across keys —
+// which is why each key individually keeps the wrapped algorithm's
+// consistency and storage guarantees while sharing the crash domain (an
+// object crash takes down its slice of *every* key, as one disk would).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/client.h"
+#include "sim/types.h"
+
+namespace sbrs::store {
+
+class MultiKeyObjectState final : public sim::ObjectStateBase {
+ public:
+  /// `premount` lists the key ids whose sub-states (with their v0 pieces)
+  /// exist from time zero — the store's loaded keyspace. Keys outside it
+  /// are mounted on first RMW touch, materializing their v0 then.
+  MultiKeyObjectState(ObjectId self, sim::ObjectFactory inner_factory,
+                      const std::vector<uint32_t>& premount);
+
+  /// Apply `fn` to key `key`'s sub-state (mounting it if needed) and keep
+  /// the cached bit total current — the simulator's incremental accounting
+  /// reads stored_bits() after every delivery, and re-summing all keys
+  /// there would make delivery O(keyspace).
+  sim::ResponsePtr apply(uint32_t key, const sim::RmwFn& fn);
+
+  metrics::StorageFootprint footprint() const override;
+  uint64_t stored_bits() const override { return total_bits_; }
+
+  size_t mounted_keys() const { return subs_.size(); }
+  /// The sub-state of `key`, or nullptr if never mounted (tests).
+  const sim::ObjectStateBase* sub(uint32_t key) const;
+
+ private:
+  sim::ObjectStateBase& ensure(uint32_t key);
+
+  ObjectId self_;
+  sim::ObjectFactory inner_factory_;
+  struct Sub {
+    std::unique_ptr<sim::ObjectStateBase> state;
+    uint64_t bits = 0;  // cached state->stored_bits()
+  };
+  std::map<uint32_t, Sub> subs_;  // ordered: deterministic footprint order
+  uint64_t total_bits_ = 0;
+};
+
+}  // namespace sbrs::store

@@ -1,0 +1,51 @@
+#include "store/queue_workload.h"
+
+#include "common/check.h"
+
+namespace sbrs::store {
+
+QueueWorkload::QueueWorkload(uint32_t num_sessions,
+                             std::shared_ptr<OpKeyTable> op_keys)
+    : queues_(num_sessions), issued_(num_sessions),
+      op_keys_(std::move(op_keys)) {
+  SBRS_CHECK(num_sessions >= 1 && op_keys_ != nullptr);
+}
+
+void QueueWorkload::push(ClientId session, Item item) {
+  SBRS_CHECK_MSG(session.value < queues_.size(),
+                 "push for unknown session " << session);
+  queues_[session.value].push_back(std::move(item));
+}
+
+bool QueueWorkload::has_more(ClientId c) const {
+  return c.value < queues_.size() && !queues_[c.value].empty();
+}
+
+sim::Invocation QueueWorkload::next(ClientId c, OpId id) {
+  SBRS_CHECK_MSG(has_more(c), "next() on drained session " << c);
+  Item item = std::move(queues_[c.value].front());
+  queues_[c.value].pop_front();
+
+  op_keys_->assign(id, item.key);
+  issued_[c.value].push_back(id);
+
+  sim::Invocation inv;
+  inv.op = id;
+  inv.client = c;
+  inv.kind = item.kind;
+  if (item.kind == sim::OpKind::kWrite) inv.value = std::move(item.value);
+  return inv;
+}
+
+const std::vector<OpId>& QueueWorkload::issued(ClientId session) const {
+  SBRS_CHECK(session.value < issued_.size());
+  return issued_[session.value];
+}
+
+size_t QueueWorkload::queued() const {
+  size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+}  // namespace sbrs::store

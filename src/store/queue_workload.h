@@ -1,0 +1,48 @@
+// The shard's operation feed: per-session FIFO queues that the Store fills
+// (the whole YCSB stream up front in batch mode; one item at a time in the
+// interactive put/get path) and the simulator drains via the standard
+// Workload interface. next() stamps the simulator-assigned OpId into the
+// shared OpKeyTable — that table is how the multiplexing clients and the
+// post-run per-key history splitter learn which key an operation targeted.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/value.h"
+#include "sim/workload.h"
+#include "store/multi_client.h"
+
+namespace sbrs::store {
+
+class QueueWorkload final : public sim::Workload {
+ public:
+  struct Item {
+    uint32_t key = 0;
+    sim::OpKind kind = sim::OpKind::kRead;
+    Value value;  // written value; unused for reads
+  };
+
+  QueueWorkload(uint32_t num_sessions, std::shared_ptr<OpKeyTable> op_keys);
+
+  void push(ClientId session, Item item);
+
+  bool has_more(ClientId c) const override;
+  sim::Invocation next(ClientId c, OpId id) override;
+
+  /// OpIds issued on behalf of `session`, in issue order (the interactive
+  /// driver uses this to find the completion record of the op it pushed).
+  const std::vector<OpId>& issued(ClientId session) const;
+
+  /// Items pushed but not yet issued, across all sessions.
+  size_t queued() const;
+
+ private:
+  std::vector<std::deque<Item>> queues_;
+  std::vector<std::vector<OpId>> issued_;
+  std::shared_ptr<OpKeyTable> op_keys_;
+};
+
+}  // namespace sbrs::store

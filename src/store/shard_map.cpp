@@ -1,0 +1,12 @@
+#include "store/shard_map.h"
+
+#include "common/bytes.h"
+
+namespace sbrs::store {
+
+uint64_t ShardMap::key_hash(std::string_view key) {
+  return fnv1a(BytesView(reinterpret_cast<const uint8_t*>(key.data()),
+                         key.size()));
+}
+
+}  // namespace sbrs::store

@@ -1,0 +1,35 @@
+// Deterministic key -> shard placement for the multi-object store.
+//
+// Keys are opaque strings; the map hashes them (FNV-1a 64) and reduces onto
+// a fixed shard count. The hash is part of the store's on-disk/JSON contract
+// (committed bench artifacts record per-shard results), so it is fixed here
+// rather than delegated to std::hash, whose value is implementation-defined.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/check.h"
+
+namespace sbrs::store {
+
+class ShardMap {
+ public:
+  explicit ShardMap(uint32_t num_shards) : num_shards_(num_shards) {
+    SBRS_CHECK_MSG(num_shards >= 1, "store needs at least one shard");
+  }
+
+  uint32_t num_shards() const { return num_shards_; }
+
+  uint32_t shard_of(std::string_view key) const {
+    return static_cast<uint32_t>(key_hash(key) % num_shards_);
+  }
+
+  /// FNV-1a 64 over the key bytes; stable across platforms and releases.
+  static uint64_t key_hash(std::string_view key);
+
+ private:
+  uint32_t num_shards_;
+};
+
+}  // namespace sbrs::store

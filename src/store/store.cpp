@@ -1,0 +1,453 @@
+#include "store/store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "consistency/checker.h"
+#include "harness/algorithms.h"
+#include "harness/export.h"
+#include "harness/sweep.h"
+#include "sim/schedulers.h"
+#include "store/multi_client.h"
+#include "store/multi_object.h"
+#include "store/queue_workload.h"
+
+namespace sbrs::store {
+
+namespace {
+
+uint64_t mix_into(uint64_t h, uint64_t v) { return fnv1a_mix(h, v); }
+
+std::unique_ptr<sim::Scheduler> make_scheduler(const StoreOptions& opts,
+                                               uint64_t shard_seed) {
+  switch (opts.scheduler) {
+    case harness::SchedKind::kRandom: {
+      sim::RandomScheduler::Options so;
+      so.seed = shard_seed;
+      so.max_object_crashes = opts.object_crashes_per_shard;
+      so.crash_object_permyriad = opts.object_crashes_per_shard > 0 ? 20 : 0;
+      return std::make_unique<sim::RandomScheduler>(so);
+    }
+    case harness::SchedKind::kRoundRobin:
+      return std::make_unique<sim::RoundRobinScheduler>();
+    case harness::SchedKind::kBurst:
+      return std::make_unique<sim::BurstScheduler>();
+  }
+  return nullptr;
+}
+
+/// Split the shard-wide event stream into one history per key, in a single
+/// pass (keyed map, so iteration is in key order). The checkers then see
+/// exactly what a single-register run of each key's operations would have
+/// recorded.
+std::map<uint32_t, sim::History> split_by_key(const sim::History& h,
+                                              const OpKeyTable& op_keys) {
+  std::map<uint32_t, sim::History> out;
+  for (const auto& ev : h.events()) {
+    const uint32_t* k = op_keys.find(ev.op);
+    if (k == nullptr) continue;
+    sim::History& sub = out[*k];
+    if (ev.kind == sim::HistoryEvent::Kind::kInvoke) {
+      sim::Invocation inv;
+      inv.op = ev.op;
+      inv.client = ev.client;
+      inv.kind = ev.op_kind;
+      inv.value = ev.value;
+      sub.record_invoke(ev.time, inv);
+    } else {
+      std::optional<Value> result;
+      if (ev.op_kind == sim::OpKind::kRead) result = ev.value;
+      sub.record_return(ev.time, ev.op, result);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+struct Store::Shard {
+  uint32_t index = 0;
+  std::unique_ptr<registers::RegisterAlgorithm> algorithm;
+  std::shared_ptr<OpKeyTable> op_keys;
+  QueueWorkload* workload = nullptr;  // owned by the simulator
+  std::unique_ptr<sim::Simulator> sim;
+  std::vector<uint32_t> premounted;  // key ids loaded at time zero
+};
+
+Store::Store(StoreOptions opts) : opts_(std::move(opts)), map_(opts_.num_shards) {
+  SBRS_CHECK_MSG(opts_.workload.clients >= 1, "store needs >= 1 session");
+
+  // The loaded keyspace: ids 0..num_keys-1 in name order, matching the
+  // ycsb::Op key indices, placed onto shards by key-name hash.
+  std::vector<std::vector<uint32_t>> premount(opts_.num_shards);
+  for (uint32_t i = 0; i < opts_.workload.num_keys; ++i) {
+    const uint32_t id = key_id(opts_.key_prefix + std::to_string(i));
+    SBRS_CHECK(id == i);
+    premount[key_shards_[id]].push_back(id);
+  }
+
+  shards_.reserve(opts_.num_shards);
+  for (uint32_t s = 0; s < opts_.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = s;
+    // A fresh algorithm instance per shard: codec caches and any other
+    // mutable algorithm state never cross a worker-thread boundary.
+    shard->algorithm =
+        harness::make_algorithm(opts_.algorithm, opts_.register_config);
+    shard->op_keys = std::make_shared<OpKeyTable>();
+    shard->premounted = std::move(premount[s]);
+
+    const auto& cfg = shard->algorithm->config();
+    sim::SimConfig sc;
+    sc.num_objects = cfg.n;
+    sc.num_clients = opts_.workload.clients;
+    sc.max_steps = opts_.max_steps_per_shard;
+
+    auto workload =
+        std::make_unique<QueueWorkload>(opts_.workload.clients, shard->op_keys);
+    shard->workload = workload.get();
+
+    sim::ObjectFactory inner_objects = shard->algorithm->object_factory();
+    const std::vector<uint32_t>& mounted = shard->premounted;
+    sim::ObjectFactory objects =
+        [inner_objects, mounted](ObjectId o) -> std::unique_ptr<sim::ObjectStateBase> {
+      return std::make_unique<MultiKeyObjectState>(o, inner_objects, mounted);
+    };
+
+    sim::ClientFactory inner_clients = shard->algorithm->client_factory();
+    std::shared_ptr<const OpKeyTable> op_keys = shard->op_keys;
+    sim::ClientFactory clients =
+        [inner_clients, op_keys](ClientId c) -> std::unique_ptr<sim::ClientProtocol> {
+      return std::make_unique<MultiKeyClient>(c, inner_clients, op_keys);
+    };
+
+    shard->sim = std::make_unique<sim::Simulator>(
+        sc, objects, clients, std::move(workload),
+        make_scheduler(opts_, harness::cell_seed(opts_.seed, s, 0)));
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Store::~Store() = default;
+
+uint32_t Store::key_id(const std::string& key) {
+  auto it = key_ids_.find(key);
+  if (it != key_ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(key_names_.size());
+  key_names_.push_back(key);
+  key_shards_.push_back(map_.shard_of(key));
+  key_ids_.emplace(key, id);
+  return id;
+}
+
+const std::string& Store::key_name(uint32_t id) const {
+  SBRS_CHECK(id < key_names_.size());
+  return key_names_[id];
+}
+
+uint32_t Store::num_keys() const {
+  return static_cast<uint32_t>(key_names_.size());
+}
+
+const sim::Simulator& Store::shard_sim(uint32_t shard) const {
+  SBRS_CHECK(shard < shards_.size());
+  return *shards_[shard]->sim;
+}
+
+std::optional<Value> Store::drive(const std::string& key, sim::OpKind kind,
+                                  Value value) {
+  const uint32_t id = key_id(key);
+  Shard& shard = *shards_[key_shards_[id]];
+  const ClientId session{0};
+
+  const size_t already_issued = shard.workload->issued(session).size();
+  QueueWorkload::Item item;
+  item.key = id;
+  item.kind = kind;
+  item.value = std::move(value);
+  shard.workload->push(session, std::move(item));
+
+  shard.sim->resume();
+  shard.sim->run();
+
+  const auto& issued = shard.workload->issued(session);
+  SBRS_CHECK_MSG(issued.size() > already_issued,
+                 "store op on '" << key << "' was never invoked "
+                                 << "(step limit reached?)");
+  const sim::OpRecord* rec = shard.sim->history().find(issued[already_issued]);
+  SBRS_CHECK_MSG(rec != nullptr && rec->complete(),
+                 "store op on '" << key << "' did not return "
+                                 << "(stuck protocol or step limit)");
+  if (kind == sim::OpKind::kRead) return rec->value;
+  return std::nullopt;
+}
+
+void Store::put(const std::string& key, const Value& value) {
+  SBRS_CHECK_MSG(value.bit_size() == opts_.register_config.data_bits,
+                 "put value must be exactly D = "
+                     << opts_.register_config.data_bits << " bits");
+  drive(key, sim::OpKind::kWrite, value);
+}
+
+Value Store::get(const std::string& key) {
+  auto result = drive(key, sim::OpKind::kRead, Value{});
+  SBRS_CHECK(result.has_value());
+  return std::move(*result);
+}
+
+ShardResult Store::summarize_shard(const Shard& shard) const {
+  ShardResult r;
+  r.shard = shard.index;
+  r.keys_mounted = static_cast<uint32_t>(shard.premounted.size());
+  r.report = shard.sim->report();
+
+  const auto& meter = shard.sim->meter();
+  r.max_total_bits = meter.max_total_bits();
+  r.max_object_bits = meter.max_object_bits();
+  r.max_channel_bits = meter.max_channel_bits();
+  r.final_object_bits = meter.last_object_bits();
+  r.final_total_bits = meter.last_total_bits();
+
+  const sim::History& history = shard.sim->history();
+  for (const auto& rec : history.ops()) {
+    if (!rec.complete()) continue;
+    const uint64_t latency = *rec.return_time - rec.invoke_time;
+    (rec.kind == sim::OpKind::kRead ? r.read_latency : r.write_latency)
+        .record(latency);
+  }
+
+  r.live = true;
+  for (const auto& rec : history.outstanding()) {
+    if (shard.sim->client_alive(rec.client)) r.live = false;
+  }
+
+  // Per-key histories in key-id order: deterministic verdict aggregation.
+  const std::map<uint32_t, sim::History> by_key =
+      split_by_key(history, *shard.op_keys);
+  r.keys_touched = static_cast<uint32_t>(by_key.size());
+
+  uint64_t fp = harness::kFingerprintSeed;
+  fp = mix_into(fp, shard.index);
+  if (opts_.check_consistency) {
+    const auto guarantee = harness::expected_consistency(opts_.algorithm);
+    for (const auto& [key, sub] : by_key) {
+      consistency::CheckResult legal = consistency::check_values_legal(sub);
+      bool ok = legal.ok;
+      std::vector<std::string> why = std::move(legal.violations);
+      auto apply = [&](consistency::CheckResult res) {
+        ok = ok && res.ok;
+        why.insert(why.end(), res.violations.begin(), res.violations.end());
+      };
+      switch (guarantee) {
+        case harness::ConsistencyGuarantee::kStronglySafe:
+          apply(consistency::check_strongly_safe(sub));
+          break;
+        case harness::ConsistencyGuarantee::kWeakRegular:
+          apply(consistency::check_weak_regularity(sub));
+          break;
+        case harness::ConsistencyGuarantee::kStrongRegular:
+          apply(consistency::check_weak_regularity(sub));
+          apply(consistency::check_strong_regularity(sub));
+          break;
+      }
+      ++r.keys_checked;
+      if (!ok) {
+        ++r.consistency_failures;
+        for (const auto& v : why) {
+          if (r.violations.size() >= 4) break;
+          r.violations.push_back("key '" + key_name(key) + "': " + v);
+        }
+      }
+      fp = mix_into(fp, ok);
+    }
+  }
+
+  fp = harness::history_fingerprint(history, fp);
+  fp = mix_into(fp, r.max_total_bits);
+  fp = mix_into(fp, r.max_object_bits);
+  fp = mix_into(fp, r.max_channel_bits);
+  fp = mix_into(fp, r.final_total_bits);
+  fp = mix_into(fp, r.report.steps);
+  fp = mix_into(fp, r.report.rmws_triggered);
+  fp = mix_into(fp, r.report.rmws_delivered);
+  fp = mix_into(fp, r.live);
+  r.fingerprint = fp;
+  return r;
+}
+
+StoreResult Store::assemble(std::vector<ShardResult> shards) const {
+  StoreResult result;
+  result.options = opts_;
+  for (const auto& s : shards) {
+    result.read_latency.merge(s.read_latency);
+    result.write_latency.merge(s.write_latency);
+    result.completed_reads += s.read_latency.count();
+    result.completed_writes += s.write_latency.count();
+    result.total_steps += s.report.steps;
+    result.peak_total_bits_sum += s.max_total_bits;
+    result.peak_object_bits_sum += s.max_object_bits;
+    result.final_object_bits_sum += s.final_object_bits;
+    result.max_shard_object_bits =
+        std::max(result.max_shard_object_bits, s.max_object_bits);
+    result.keys_checked += s.keys_checked;
+    result.consistency_failures += s.consistency_failures;
+    result.all_live = result.all_live && s.live;
+    result.all_quiesced = result.all_quiesced && s.report.quiesced;
+  }
+  result.shards = std::move(shards);
+  return result;
+}
+
+StoreResult Store::run() {
+  const auto ops = ycsb::generate(opts_.workload);
+
+  // Partition the stream onto the shards, preserving per-client order.
+  // Write values take tags from the store-lifetime counter, so repeated
+  // run() calls on one Store keep every written value distinct — the
+  // assumption the per-key checkers rest on (results are then cumulative
+  // over the store's whole history).
+  for (const auto& op : ops) {
+    SBRS_CHECK(op.key < opts_.workload.num_keys);
+    Shard& shard = *shards_[key_shards_[op.key]];
+    QueueWorkload::Item item;
+    item.key = op.key;
+    item.kind = op.kind;
+    if (op.kind == sim::OpKind::kWrite) {
+      item.value = Value::from_tag(next_write_tag_++,
+                                   opts_.register_config.data_bits);
+    }
+    shard.workload->push(ClientId{op.client}, std::move(item));
+  }
+
+  uint32_t threads =
+      opts_.threads == 0 ? std::thread::hardware_concurrency() : opts_.threads;
+  if (threads == 0) threads = 1;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<ShardResult> shard_results = harness::parallel_map(
+      shards_.size(), threads, [&](size_t i) -> ShardResult {
+        const auto shard_start = std::chrono::steady_clock::now();
+        shards_[i]->sim->resume();
+        shards_[i]->sim->run();
+        ShardResult r = summarize_shard(*shards_[i]);
+        r.wall_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - shard_start)
+                             .count();
+        return r;
+      });
+
+  StoreResult result = assemble(std::move(shard_results));
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.threads_used = threads;
+  const uint64_t completed = result.completed_reads + result.completed_writes;
+  result.ops_per_sec = result.wall_seconds > 0
+                           ? static_cast<double>(completed) / result.wall_seconds
+                           : 0.0;
+  return result;
+}
+
+StoreResult Store::summarize() {
+  std::vector<ShardResult> shard_results;
+  shard_results.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    shard_results.push_back(summarize_shard(*shard));
+  }
+  return assemble(std::move(shard_results));
+}
+
+uint64_t StoreResult::fingerprint() const {
+  uint64_t h = harness::kFingerprintSeed;
+  for (const auto& s : shards) h = mix_into(h, s.fingerprint);
+  return h;
+}
+
+void write_store_deterministic_json(std::ostream& os,
+                                    const StoreResult& r) {
+  os << "{\n";
+  os << "    \"fingerprint\": \"" << std::hex << r.fingerprint() << std::dec
+     << "\",\n";
+  os << "    \"completed_reads\": " << r.completed_reads
+     << ", \"completed_writes\": " << r.completed_writes
+     << ", \"total_steps\": " << r.total_steps << ",\n";
+  os << "    \"peak_total_bits_sum\": " << r.peak_total_bits_sum
+     << ", \"peak_object_bits_sum\": " << r.peak_object_bits_sum
+     << ", \"final_object_bits_sum\": " << r.final_object_bits_sum
+     << ", \"max_shard_object_bits\": " << r.max_shard_object_bits << ",\n";
+  os << "    \"keys_checked\": " << r.keys_checked
+     << ", \"consistency_failures\": " << r.consistency_failures
+     << ", \"all_live\": " << (r.all_live ? "true" : "false")
+     << ", \"all_quiesced\": " << (r.all_quiesced ? "true" : "false")
+     << ",\n";
+  os << "    \"read_latency_steps\": ";
+  harness::write_latency_json(os, r.read_latency);
+  os << ",\n    \"write_latency_steps\": ";
+  harness::write_latency_json(os, r.write_latency);
+  os << ",\n    \"shards\": [\n";
+  for (size_t i = 0; i < r.shards.size(); ++i) {
+    const ShardResult& s = r.shards[i];
+    os << "      {\"shard\": " << s.shard
+       << ", \"keys_mounted\": " << s.keys_mounted
+       << ", \"keys_touched\": " << s.keys_touched
+       << ", \"keys_checked\": " << s.keys_checked
+       << ", \"consistency_failures\": " << s.consistency_failures
+       << ", \"steps\": " << s.report.steps
+       << ", \"invoked_ops\": " << s.report.invoked_ops
+       << ", \"completed_ops\": " << s.report.completed_ops
+       << ", \"rmws_delivered\": " << s.report.rmws_delivered
+       << ", \"max_total_bits\": " << s.max_total_bits
+       << ", \"max_object_bits\": " << s.max_object_bits
+       << ", \"max_channel_bits\": " << s.max_channel_bits
+       << ", \"final_object_bits\": " << s.final_object_bits
+       << ", \"live\": " << (s.live ? "true" : "false")
+       << ", \"quiesced\": " << (s.report.quiesced ? "true" : "false")
+       << ", \"fingerprint\": \"" << std::hex << s.fingerprint << std::dec
+       << "\", \"read_latency_steps\": ";
+    harness::write_latency_json(os, s.read_latency);
+    os << ", \"write_latency_steps\": ";
+    harness::write_latency_json(os, s.write_latency);
+    os << "}" << (i + 1 < r.shards.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n";
+  os << "  }";
+}
+
+void write_store_json(std::ostream& os, const StoreResult& r) {
+  const auto saved_precision = os.precision(17);
+  const StoreOptions& o = r.options;
+  const auto& w = o.workload;
+  os << "{\n";
+  os << "  \"options\": {\"algorithm\": \"" << harness::json_escape(o.algorithm)
+     << "\", \"num_shards\": " << o.num_shards
+     << ", \"num_keys\": " << w.num_keys << ", \"clients\": " << w.clients
+     << ", \"ops_per_client\": " << w.ops_per_client << ", \"mix\": \""
+     << ycsb::to_string(w.mix) << "\", \"distribution\": \""
+     << ycsb::to_string(w.distribution) << "\", \"zipf_theta\": "
+     << w.zipf_theta << ", \"read_percent\": "
+     << (w.mix == ycsb::Mix::kCustom ? w.read_percent
+                                     : ycsb::read_percent_for(w.mix))
+     << ", \"record_bits\": " << o.register_config.data_bits
+     << ", \"n\": " << o.register_config.n << ", \"k\": "
+     << o.register_config.k << ", \"f\": " << o.register_config.f
+     << ", \"scheduler\": \"" << harness::to_string(o.scheduler)
+     << "\", \"object_crashes_per_shard\": " << o.object_crashes_per_shard
+     << ", \"seed\": " << o.seed << ", \"check_consistency\": "
+     << (o.check_consistency ? "true" : "false") << "},\n";
+  os << "  \"deterministic\": ";
+  write_store_deterministic_json(os, r);
+  os << ",\n";
+  os << "  \"timing\": {\"wall_seconds\": " << r.wall_seconds
+     << ", \"ops_per_sec\": " << r.ops_per_sec
+     << ", \"threads_used\": " << r.threads_used << "}\n";
+  os << "}\n";
+  os.precision(saved_precision);
+}
+
+}  // namespace sbrs::store

@@ -1,0 +1,190 @@
+// The sharded multi-object store engine.
+//
+// A Store mounts one emulated register per key over `num_shards` shards;
+// each shard is ONE simulator whose n base objects are shared by all of the
+// shard's keys (MultiKeyObjectState) and whose clients are multiplexing
+// sessions (MultiKeyClient). Keys place onto shards by hash (ShardMap).
+// Because sub-states never interact across keys, every key individually
+// keeps the wrapped algorithm's guarantees — strong regularity for
+// adaptive/abd, weak regularity for the coded baselines, O(min(f, c) D)
+// storage per key — while sharing crash domains and the storage pool the
+// way a real deployment would.
+//
+// Two driving modes share the shard infrastructure:
+//   - put()/get(): synchronous single-key operations (the shard simulator
+//     is resumed and stepped until the operation returns);
+//   - run(): a whole YCSB-style workload (src/store/ycsb.h) generated up
+//     front, partitioned into per-shard queues, and drained shard-parallel
+//     on harness::parallel_map with schedule-independent per-shard seeds —
+//     results are identical for any worker thread count.
+//
+// Consistency checking relies on written values being distinct (the batch
+// path derives them from the global stream position; interactive callers
+// should write distinct values or skip the checkers).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/runner.h"
+#include "metrics/latency_histogram.h"
+#include "registers/register_algorithm.h"
+#include "sim/simulator.h"
+#include "store/shard_map.h"
+#include "store/ycsb.h"
+
+namespace sbrs::store {
+
+struct StoreOptions {
+  /// Any harness::make_algorithm name (adaptive, abd, coded, ...).
+  std::string algorithm = "adaptive";
+  /// Per-shard pool shape: n base objects, erasure dimension k, fault
+  /// tolerance f; data_bits is the record size D.
+  registers::RegisterConfig register_config;
+  uint32_t num_shards = 8;
+  ycsb::Options workload;
+  harness::SchedKind scheduler = harness::SchedKind::kRandom;
+  /// Crash up to this many base objects per shard at random points (keep
+  /// <= f for liveness), scheduler == kRandom only.
+  uint32_t object_crashes_per_shard = 0;
+  /// Base seed; each shard's schedule seed is splitmix-derived from
+  /// {seed, shard index}, independent of thread count.
+  uint64_t seed = 1;
+  /// Worker threads for run(); 0 = hardware concurrency.
+  uint32_t threads = 0;
+  bool check_consistency = true;
+  uint64_t max_steps_per_shard = 8'000'000;
+  /// Records are named `<key_prefix><i>` for i in [0, workload.num_keys).
+  std::string key_prefix = "user";
+};
+
+/// Deterministic per-shard outcome (wall_seconds excepted).
+struct ShardResult {
+  uint32_t shard = 0;
+  uint32_t keys_mounted = 0;  // loaded keyspace owned by this shard
+  uint32_t keys_touched = 0;  // keys with at least one operation
+  uint32_t keys_checked = 0;
+  uint32_t consistency_failures = 0;  // keys failing their own guarantee
+  sim::RunReport report;
+  uint64_t max_total_bits = 0;
+  uint64_t max_object_bits = 0;
+  uint64_t max_channel_bits = 0;
+  uint64_t final_object_bits = 0;
+  uint64_t final_total_bits = 0;
+  metrics::LatencyHistogram read_latency;
+  metrics::LatencyHistogram write_latency;
+  bool live = true;   // no operation of a live session left outstanding
+  uint64_t fingerprint = 0;
+  std::vector<std::string> violations;  // first few, for diagnostics
+  double wall_seconds = 0;  // machine-dependent
+};
+
+struct StoreResult {
+  StoreOptions options;
+  std::vector<ShardResult> shards;  // in shard order
+
+  // Merged deterministic aggregates.
+  metrics::LatencyHistogram read_latency;
+  metrics::LatencyHistogram write_latency;
+  uint64_t completed_reads = 0;
+  uint64_t completed_writes = 0;
+  uint64_t total_steps = 0;
+  /// Sum over shards of each shard's Definition 2 peak — an upper bound on
+  /// the store-wide peak (shards need not peak simultaneously).
+  uint64_t peak_total_bits_sum = 0;
+  uint64_t peak_object_bits_sum = 0;
+  uint64_t final_object_bits_sum = 0;
+  /// The hottest shard's peak object storage (shard skew in one number).
+  uint64_t max_shard_object_bits = 0;
+  uint32_t keys_checked = 0;
+  uint32_t consistency_failures = 0;
+  bool all_live = true;
+  bool all_quiesced = true;
+
+  // Timing (machine-dependent; excluded from the deterministic export).
+  double wall_seconds = 0;
+  double ops_per_sec = 0;
+  uint32_t threads_used = 1;
+
+  /// Order-sensitive mix of the per-shard fingerprints: equal fingerprints
+  /// mean identical per-shard histories, storage maxima, and verdicts.
+  uint64_t fingerprint() const;
+};
+
+class Store {
+ public:
+  explicit Store(StoreOptions opts);
+  ~Store();
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  // --- Interactive API (session 0 of the key's shard) ---
+
+  /// Write `value` (D bits) to `key`, driving the shard until the write
+  /// returns. Keys outside the loaded keyspace are mounted on first touch.
+  void put(const std::string& key, const Value& value);
+
+  /// Read `key`, driving the shard until the read returns.
+  Value get(const std::string& key);
+
+  // --- Batch API ---
+
+  /// Generate the configured YCSB stream, partition it onto the shards,
+  /// drain all shards in parallel, and summarize (per-key consistency
+  /// checks included when check_consistency is set). May be called
+  /// repeatedly — written values stay distinct across calls and results
+  /// are cumulative over the store's whole history.
+  StoreResult run();
+
+  /// Summarize the shards' current state without driving more operations
+  /// (used after interactive traffic). Timing fields are zero.
+  StoreResult summarize();
+
+  const ShardMap& shard_map() const { return map_; }
+  const StoreOptions& options() const { return opts_; }
+
+  /// Dense id of `key`, registering it if new.
+  uint32_t key_id(const std::string& key);
+  const std::string& key_name(uint32_t id) const;
+  uint32_t num_keys() const;
+
+  /// The shard simulator owning `key` (tests / inspection).
+  const sim::Simulator& shard_sim(uint32_t shard) const;
+
+ private:
+  struct Shard;
+
+  std::optional<Value> drive(const std::string& key, sim::OpKind kind,
+                             Value value);
+  ShardResult summarize_shard(const Shard& shard) const;
+  StoreResult assemble(std::vector<ShardResult> shards) const;
+
+  StoreOptions opts_;
+  ShardMap map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::string> key_names_;
+  std::vector<uint32_t> key_shards_;  // shard_of(key_names_[i]), cached
+  std::unordered_map<std::string, uint32_t> key_ids_;
+  /// Store-lifetime write-value tag counter: keeps batch-written values
+  /// distinct across repeated run() calls (the checkers' precondition).
+  uint64_t next_write_tag_ = 1;
+};
+
+/// Pretty-printed JSON of the full result: an "options" block, the
+/// deterministic block (write_store_deterministic_json below, byte-stable
+/// across thread counts), and a "timing" block (machine-dependent).
+void write_store_json(std::ostream& os, const StoreResult& result);
+
+/// Only the deterministic portion: merged latency/storage aggregates,
+/// verdict counters, and the per-shard array. Byte-identical for the same
+/// {options, seed} no matter how many worker threads ran the shards.
+void write_store_deterministic_json(std::ostream& os,
+                                    const StoreResult& result);
+
+}  // namespace sbrs::store

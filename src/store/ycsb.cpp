@@ -1,0 +1,156 @@
+#include "store/ycsb.h"
+
+#include <cmath>
+#include <optional>
+
+#include "common/check.h"
+
+namespace sbrs::store::ycsb {
+
+const char* to_string(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform: return "uniform";
+    case Distribution::kZipfian: return "zipfian";
+    case Distribution::kLatest: return "latest";
+  }
+  return "?";
+}
+
+const char* to_string(Mix m) {
+  switch (m) {
+    case Mix::kA: return "A";
+    case Mix::kB: return "B";
+    case Mix::kC: return "C";
+    case Mix::kF: return "F";
+    case Mix::kCustom: return "custom";
+  }
+  return "?";
+}
+
+Distribution parse_distribution(const std::string& s) {
+  if (s == "uniform") return Distribution::kUniform;
+  if (s == "zipfian") return Distribution::kZipfian;
+  if (s == "latest") return Distribution::kLatest;
+  SBRS_CHECK_MSG(false, "unknown distribution '" << s
+                            << "' (want uniform|zipfian|latest)");
+  return Distribution::kUniform;
+}
+
+Mix parse_mix(const std::string& s) {
+  if (s == "A" || s == "a") return Mix::kA;
+  if (s == "B" || s == "b") return Mix::kB;
+  if (s == "C" || s == "c") return Mix::kC;
+  if (s == "F" || s == "f") return Mix::kF;
+  if (s == "custom") return Mix::kCustom;
+  SBRS_CHECK_MSG(false, "unknown mix '" << s << "' (want A|B|C|F|custom)");
+  return Mix::kB;
+}
+
+uint32_t read_percent_for(Mix m) {
+  switch (m) {
+    case Mix::kA: return 50;
+    case Mix::kB: return 95;
+    case Mix::kC: return 100;
+    case Mix::kF: return 50;
+    case Mix::kCustom: return 95;
+  }
+  return 95;
+}
+
+namespace {
+
+double zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  SBRS_CHECK_MSG(n >= 1, "zipfian over empty keyspace");
+  SBRS_CHECK_MSG(theta > 0 && theta < 1, "zipfian theta must be in (0, 1)");
+  zetan_ = zeta(n, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  const double zeta2 = zeta(2, theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfianGenerator::next(Rng& rng) const {
+  const double u = rng.uniform01();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+LatestGenerator::LatestGenerator(uint64_t n, double theta)
+    : zipf_(n, theta), latest_(n - 1) {}
+
+uint64_t LatestGenerator::next(Rng& rng) const {
+  const uint64_t back = zipf_.next(rng);
+  // latest - back, wrapped onto [0, n).
+  return (latest_ + zipf_.n() - back % zipf_.n()) % zipf_.n();
+}
+
+std::vector<Op> generate(const Options& opts) {
+  SBRS_CHECK_MSG(opts.num_keys >= 1, "ycsb needs at least one key");
+  SBRS_CHECK_MSG(opts.clients >= 1, "ycsb needs at least one client");
+  const uint32_t read_pct = opts.mix == Mix::kCustom
+                                ? opts.read_percent
+                                : read_percent_for(opts.mix);
+  SBRS_CHECK_MSG(read_pct <= 100, "read_percent out of range");
+
+  Rng rng(opts.seed);
+  // Only the requested distribution's generator is built: the zipfian
+  // constructor pays an O(num_keys) zeta sweep and validates theta, neither
+  // of which should apply to a uniform workload.
+  std::optional<ZipfianGenerator> zipf;
+  std::optional<LatestGenerator> latest;
+  if (opts.distribution == Distribution::kZipfian) {
+    zipf.emplace(opts.num_keys, opts.zipf_theta);
+  } else if (opts.distribution == Distribution::kLatest) {
+    latest.emplace(opts.num_keys, opts.zipf_theta);
+  }
+
+  auto pick_key = [&]() -> uint32_t {
+    switch (opts.distribution) {
+      case Distribution::kUniform:
+        return static_cast<uint32_t>(rng.below(opts.num_keys));
+      case Distribution::kZipfian:
+        return static_cast<uint32_t>(zipf->next(rng));
+      case Distribution::kLatest:
+        return static_cast<uint32_t>(latest->next(rng));
+    }
+    return 0;
+  };
+
+  std::vector<Op> out;
+  out.reserve(static_cast<size_t>(opts.clients) * opts.ops_per_client * 2);
+  // Round-robin across clients, one workload op per client per round; an
+  // F-mix read-modify-write contributes a read and a write back to back in
+  // its client's sequence (the stream stays per-client ordered after the
+  // Store partitions it into shard queues).
+  for (uint32_t i = 0; i < opts.ops_per_client; ++i) {
+    for (uint32_t c = 0; c < opts.clients; ++c) {
+      const uint32_t key = pick_key();
+      const bool is_read = rng.below(100) < read_pct;
+      if (is_read) {
+        out.push_back(Op{c, key, sim::OpKind::kRead});
+        continue;
+      }
+      if (opts.mix == Mix::kF) {
+        out.push_back(Op{c, key, sim::OpKind::kRead});
+      }
+      out.push_back(Op{c, key, sim::OpKind::kWrite});
+      if (latest.has_value()) latest->note_write(key);
+    }
+  }
+  return out;
+}
+
+}  // namespace sbrs::store::ycsb

@@ -1,0 +1,111 @@
+// YCSB-style workload generation for the multi-object store.
+//
+// The cloud-serving benchmark's core workloads map onto the register model
+// as follows: "read" = get (a register read), "update" = put (a register
+// write of a full record), "read-modify-write" = a get immediately followed
+// by a put on the same key by the same client (the register API has no
+// atomic RMW, matching YCSB-F's non-transactional default). Key popularity
+// follows one of three request distributions:
+//
+//   uniform   every record equally likely;
+//   zipfian   Gray et al.'s bounded zipfian over record ranks (YCSB's
+//             generator) — record 0 is the most popular, giving tests a
+//             monotone frequency-vs-rank shape to pin;
+//   latest    zipfian over recency: rank 0 is the most recently *written*
+//             record at generation time, so reads chase the write frontier.
+//
+// generate() produces the full deterministic operation stream up front (one
+// shared seeded RNG, clients interleaved round-robin), which the Store then
+// partitions by key hash into per-shard queues — so the stream, and with it
+// every per-shard simulation, is a pure function of the options.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/types.h"
+
+namespace sbrs::store::ycsb {
+
+enum class Distribution { kUniform, kZipfian, kLatest };
+
+/// The YCSB core mixes this store models (D and E need inserts/scans the
+/// register API does not expose). kCustom uses Options::read_percent.
+enum class Mix { kA, kB, kC, kF, kCustom };
+
+const char* to_string(Distribution d);
+const char* to_string(Mix m);
+/// Parse "uniform" / "zipfian" / "latest"; throws CheckFailure otherwise.
+Distribution parse_distribution(const std::string& s);
+/// Parse "A"/"a"/"B"/.../"F"; throws CheckFailure otherwise.
+Mix parse_mix(const std::string& s);
+
+/// Read percentage (out of 100) of a mix: A=50, B=95, C=100, F=50 (the
+/// write half of F being read-modify-write pairs).
+uint32_t read_percent_for(Mix m);
+
+struct Options {
+  uint32_t num_keys = 128;       // record count
+  uint32_t clients = 4;          // closed-loop sessions
+  uint32_t ops_per_client = 64;  // workload ops (an F-mix RMW counts as one)
+  Mix mix = Mix::kB;
+  uint32_t read_percent = 95;    // used only when mix == kCustom
+  Distribution distribution = Distribution::kZipfian;
+  double zipf_theta = 0.99;      // YCSB's zipfian constant
+  uint64_t seed = 1;
+};
+
+/// One generated operation: which client session performs it, on which
+/// record (key index in [0, num_keys)), read or write.
+struct Op {
+  uint32_t client = 0;
+  uint32_t key = 0;
+  sim::OpKind kind = sim::OpKind::kRead;
+};
+
+/// The full operation stream, deterministic in Options (including seed).
+/// RMW pairs of the F mix appear as adjacent read+write ops of one client;
+/// the stream is interleaved round-robin across clients, matching how
+/// closed-loop sessions would race in real time.
+std::vector<Op> generate(const Options& opts);
+
+/// Bounded zipfian over ranks [0, n) (Gray et al., "Quickly generating
+/// billion-record synthetic databases" — the YCSB generator): rank r is
+/// drawn with probability proportional to 1/(r+1)^theta. Stateless between
+/// draws; the caller supplies the RNG so streams stay replayable.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta);
+
+  uint64_t next(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+/// "Latest" request distribution: a zipfian draw over recency. next()
+/// returns the key `z` positions behind the most recent write (modulo the
+/// keyspace), where z ~ zipfian(n); note_write() advances the frontier.
+class LatestGenerator {
+ public:
+  LatestGenerator(uint64_t n, double theta);
+
+  uint64_t next(Rng& rng) const;
+  void note_write(uint64_t key) { latest_ = key; }
+  uint64_t latest() const { return latest_; }
+
+ private:
+  ZipfianGenerator zipf_;
+  uint64_t latest_;  // most recently written key; starts at n - 1
+};
+
+}  // namespace sbrs::store::ycsb

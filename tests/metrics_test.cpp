@@ -1,7 +1,10 @@
 // Unit tests for the storage accounting layer: footprints, snapshots
-// (Definitions 2 and 6), and the meter.
+// (Definitions 2 and 6), the meter, and the log-bucketed latency histogram.
 #include <gtest/gtest.h>
 
+#include "common/check.h"
+#include "common/rng.h"
+#include "metrics/latency_histogram.h"
 #include "metrics/snapshot.h"
 #include "metrics/storage_meter.h"
 
@@ -157,6 +160,118 @@ TEST(Meter, DecimatesSeriesButNotMaxima) {
   }
   EXPECT_EQ(meter.series().size(), 3u);  // t = 0, 10, 20
   EXPECT_EQ(meter.max_object_bits(), 24u);
+}
+
+TEST(LatencyHistogram, BucketBoundaries) {
+  const uint32_t p = 3;  // 8 unit buckets, then 8 sub-buckets per octave
+  // Values below 2^p land in exact unit buckets.
+  for (uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(v, p), v);
+    EXPECT_EQ(LatencyHistogram::bucket_lower(v, p), v);
+    EXPECT_EQ(LatencyHistogram::bucket_upper(v, p), v);
+  }
+  // The first octave [8, 16) is still exact (sub-bucket width 1)...
+  for (uint64_t v = 8; v < 16; ++v) {
+    const size_t idx = LatencyHistogram::bucket_index(v, p);
+    EXPECT_EQ(idx, v);
+    EXPECT_EQ(LatencyHistogram::bucket_lower(idx, p), v);
+    EXPECT_EQ(LatencyHistogram::bucket_upper(idx, p), v);
+  }
+  // ...then [16, 32) has 8 buckets of width 2: 16 and 17 share a bucket.
+  EXPECT_EQ(LatencyHistogram::bucket_index(16, p),
+            LatencyHistogram::bucket_index(17, p));
+  EXPECT_NE(LatencyHistogram::bucket_index(17, p),
+            LatencyHistogram::bucket_index(18, p));
+  EXPECT_EQ(LatencyHistogram::bucket_lower(LatencyHistogram::bucket_index(16, p), p),
+            16u);
+  EXPECT_EQ(LatencyHistogram::bucket_upper(LatencyHistogram::bucket_index(16, p), p),
+            17u);
+  // Buckets tile the range with no gaps or overlaps across octaves.
+  for (size_t idx = 0; idx < 64; ++idx) {
+    EXPECT_EQ(LatencyHistogram::bucket_lower(idx + 1, p),
+              LatencyHistogram::bucket_upper(idx, p) + 1)
+        << "gap/overlap at bucket " << idx;
+  }
+  // The relative quantization error is bounded by 2^-p.
+  for (uint64_t v : {100u, 1000u, 123456u, 87654321u}) {
+    const size_t idx = LatencyHistogram::bucket_index(v, p);
+    const uint64_t lo = LatencyHistogram::bucket_lower(idx, p);
+    const uint64_t hi = LatencyHistogram::bucket_upper(idx, p);
+    EXPECT_LE(lo, v);
+    EXPECT_GE(hi, v);
+    EXPECT_LE(hi - lo + 1, (lo >> p) + 1) << "bucket too wide at " << v;
+  }
+}
+
+TEST(LatencyHistogram, PercentilesOnKnownInputs) {
+  LatencyHistogram h;
+  // 1..100 with default precision (128 unit buckets): everything exact.
+  for (uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_EQ(h.p50(), 50u);
+  EXPECT_EQ(h.p90(), 90u);
+  EXPECT_EQ(h.p99(), 99u);
+  EXPECT_EQ(h.percentile(1.0), 100u);
+  EXPECT_EQ(h.percentile(0.0), 1u);
+
+  // A single value answers every quantile with itself.
+  LatencyHistogram one;
+  one.record(7);
+  EXPECT_EQ(one.p50(), 7u);
+  EXPECT_EQ(one.p999(), 7u);
+
+  // Empty histogram: all zeros, no crash.
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.p99(), 0u);
+  EXPECT_EQ(empty.mean(), 0.0);
+
+  // Out-of-linear-range values stay within their bucket's bounds and never
+  // exceed the recorded max.
+  LatencyHistogram big;
+  big.record(1'000'000);
+  big.record(2'000'000);
+  EXPECT_LE(big.p50(), 1'000'000u + (1'000'000u >> big.precision_bits()));
+  EXPECT_GE(big.p50(), 1'000'000u);
+  EXPECT_EQ(big.percentile(1.0), 2'000'000u);
+}
+
+TEST(LatencyHistogram, MergeEqualsHistogramOfUnion) {
+  Rng rng(77);
+  LatencyHistogram a, b, both;
+  for (int i = 0; i < 3000; ++i) {
+    // Mixed magnitudes: unit-bucket values and multi-octave values.
+    const uint64_t v = rng.chance(1, 3) ? rng.below(100)
+                                        : rng.below(5'000'000);
+    if (rng.chance(1, 2)) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    both.record(v);
+  }
+  LatencyHistogram merged = a;
+  merged.merge(b);
+  EXPECT_TRUE(merged == both);
+  EXPECT_EQ(merged.count(), both.count());
+  EXPECT_EQ(merged.min(), both.min());
+  EXPECT_EQ(merged.max(), both.max());
+  EXPECT_DOUBLE_EQ(merged.mean(), both.mean());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(merged.percentile(q), both.percentile(q)) << "q=" << q;
+  }
+  // Merging an empty histogram is the identity.
+  LatencyHistogram empty;
+  merged.merge(empty);
+  EXPECT_TRUE(merged == both);
+  empty.merge(both);
+  EXPECT_TRUE(empty == both);
+  // Different precisions refuse to merge.
+  LatencyHistogram coarse(4);
+  EXPECT_THROW(coarse.merge(both), CheckFailure);
 }
 
 }  // namespace

@@ -1,0 +1,190 @@
+// Statistical and determinism tests for the YCSB-style generators
+// (src/store/ycsb.h): zipfian frequency-vs-rank shape, latest-distribution
+// recency chasing, mix ratios, and stream determinism.
+//
+// All statistical assertions run under a fixed seed, so they are exact
+// regressions rather than flaky tolerance checks — the margins only need to
+// hold for these particular deterministic streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "store/ycsb.h"
+
+namespace sbrs::store::ycsb {
+namespace {
+
+TEST(Zipfian, FrequencyDecreasesWithRank) {
+  const uint64_t n = 100;
+  ZipfianGenerator zipf(n, 0.99);
+  Rng rng(42);
+  std::vector<uint64_t> freq(n, 0);
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) ++freq[zipf.next(rng)];
+
+  // Rank 0 is the hottest key by a wide margin...
+  EXPECT_GT(freq[0], freq[5]);
+  EXPECT_GT(freq[5], freq[50]);
+  // ...far above the uniform share (200 draws/key for n=100)...
+  EXPECT_GT(freq[0], 5 * draws / static_cast<int>(n));
+  // ...and the theoretical rank-0 mass 1/zeta_100(0.99) ~ 19% shows up.
+  EXPECT_GT(freq[0], draws * 15 / 100);
+  EXPECT_LT(freq[0], draws * 25 / 100);
+  // The tail is populated: a bounded zipfian, not a point mass.
+  uint64_t tail = 0;
+  for (uint64_t k = 50; k < n; ++k) tail += freq[k];
+  EXPECT_GT(tail, 0u);
+}
+
+TEST(Zipfian, EveryDrawInRange) {
+  ZipfianGenerator zipf(7, 0.5);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(zipf.next(rng), 7u);
+}
+
+TEST(Latest, ChasesTheWriteFrontier) {
+  const uint64_t n = 100;
+  LatestGenerator latest(n, 0.99);
+  EXPECT_EQ(latest.latest(), n - 1);  // before any write: newest record
+
+  latest.note_write(30);
+  Rng rng(7);
+  std::vector<uint64_t> freq(n, 0);
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) ++freq[latest.next(rng)];
+
+  // The most recently written key is the hottest, and the recency window
+  // just behind it carries most of the mass.
+  EXPECT_EQ(std::max_element(freq.begin(), freq.end()) - freq.begin(), 30);
+  const uint64_t recent = freq[30] + freq[29] + freq[28] + freq[27] + freq[26];
+  EXPECT_GT(recent, static_cast<uint64_t>(draws) * 35 / 100);
+  // Recency wraps around the keyspace: key 31 is the *oldest*, not adjacent.
+  EXPECT_LT(freq[31], freq[30]);
+}
+
+TEST(Generate, DeterministicAndClientOrdered) {
+  Options opts;
+  opts.num_keys = 64;
+  opts.clients = 5;
+  opts.ops_per_client = 40;
+  opts.mix = Mix::kA;
+  opts.distribution = Distribution::kZipfian;
+  opts.seed = 99;
+
+  const std::vector<Op> a = generate(opts);
+  const std::vector<Op> b = generate(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].client, b[i].client);
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+  }
+
+  // A different seed produces a different stream.
+  Options other = opts;
+  other.seed = 100;
+  const std::vector<Op> c = generate(other);
+  bool any_diff = c.size() != a.size();
+  for (size_t i = 0; !any_diff && i < a.size(); ++i) {
+    any_diff = a[i].key != c[i].key || a[i].kind != c[i].kind;
+  }
+  EXPECT_TRUE(any_diff);
+
+  // Every client got exactly ops_per_client workload ops (mix A: no RMW
+  // expansion), keys are in range, and clients interleave round-robin.
+  std::map<uint32_t, int> per_client;
+  for (const Op& op : a) {
+    EXPECT_LT(op.client, opts.clients);
+    EXPECT_LT(op.key, opts.num_keys);
+    ++per_client[op.client];
+  }
+  for (uint32_t c2 = 0; c2 < opts.clients; ++c2) {
+    EXPECT_EQ(per_client[c2], static_cast<int>(opts.ops_per_client));
+  }
+}
+
+TEST(Generate, MixRatiosAreRespected) {
+  Options opts;
+  opts.num_keys = 32;
+  opts.clients = 4;
+  opts.ops_per_client = 250;  // 1000 ops total
+  opts.seed = 5;
+
+  auto count_writes = [](const std::vector<Op>& ops) {
+    int w = 0;
+    for (const Op& op : ops) w += op.kind == sim::OpKind::kWrite;
+    return w;
+  };
+
+  opts.mix = Mix::kC;
+  EXPECT_EQ(count_writes(generate(opts)), 0);  // 100% reads
+
+  opts.mix = Mix::kB;  // 95/5
+  {
+    const auto ops = generate(opts);
+    const int w = count_writes(ops);
+    EXPECT_GT(w, 20);
+    EXPECT_LT(w, 90);
+  }
+
+  opts.mix = Mix::kA;  // 50/50
+  {
+    const auto ops = generate(opts);
+    const int w = count_writes(ops);
+    EXPECT_GT(w, 400);
+    EXPECT_LT(w, 600);
+  }
+
+  opts.mix = Mix::kF;  // every write is preceded by its RMW read
+  {
+    const auto ops = generate(opts);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind != sim::OpKind::kWrite) continue;
+      ASSERT_GT(i, 0u);
+      EXPECT_EQ(ops[i - 1].kind, sim::OpKind::kRead);
+      EXPECT_EQ(ops[i - 1].key, ops[i].key);
+      EXPECT_EQ(ops[i - 1].client, ops[i].client);
+    }
+  }
+
+  opts.mix = Mix::kCustom;
+  opts.read_percent = 0;  // all writes
+  EXPECT_EQ(count_writes(generate(opts)),
+            static_cast<int>(opts.clients * opts.ops_per_client));
+}
+
+TEST(Generate, UniformCoversTheKeyspace) {
+  Options opts;
+  opts.num_keys = 16;
+  opts.clients = 2;
+  opts.ops_per_client = 400;
+  opts.mix = Mix::kC;
+  opts.distribution = Distribution::kUniform;
+  opts.seed = 13;
+  std::vector<int> freq(opts.num_keys, 0);
+  for (const Op& op : generate(opts)) ++freq[op.key];
+  for (uint32_t k = 0; k < opts.num_keys; ++k) {
+    EXPECT_GT(freq[k], 10) << "key " << k << " starved under uniform";
+  }
+}
+
+TEST(ParseHelpers, RoundTripAndReject) {
+  EXPECT_EQ(parse_distribution("uniform"), Distribution::kUniform);
+  EXPECT_EQ(parse_distribution("zipfian"), Distribution::kZipfian);
+  EXPECT_EQ(parse_distribution("latest"), Distribution::kLatest);
+  EXPECT_THROW(parse_distribution("hot"), CheckFailure);
+  EXPECT_EQ(parse_mix("A"), Mix::kA);
+  EXPECT_EQ(parse_mix("b"), Mix::kB);
+  EXPECT_EQ(parse_mix("F"), Mix::kF);
+  EXPECT_THROW(parse_mix("Z"), CheckFailure);
+  EXPECT_EQ(read_percent_for(Mix::kA), 50u);
+  EXPECT_EQ(read_percent_for(Mix::kB), 95u);
+  EXPECT_EQ(read_percent_for(Mix::kC), 100u);
+}
+
+}  // namespace
+}  // namespace sbrs::store::ycsb

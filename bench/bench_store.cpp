@@ -92,6 +92,56 @@ BENCHMARK(BM_StoreAdaptive)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_StoreAbd)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_StoreCoded)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 
+// Open-loop load: Poisson arrivals onto each shard's logical clock at
+// `rate = arg / 1000` ops per step per shard, zipfian keys. Counters split
+// latency into service and sojourn time and record the queueing outcome —
+// past the per-shard capacity (~0.1 ops/step at 8 sessions) the sojourn
+// tail detaches from the service tail and `saturated` flips to 1.
+void run_store_open_loop_bench(benchmark::State& state,
+                               const std::string& alg) {
+  store::StoreOptions opts =
+      store_options(alg, store::ycsb::Distribution::kZipfian);
+  opts.arrival.process = sim::ArrivalProcess::kPoisson;
+  opts.arrival.rate = static_cast<double>(state.range(0)) / 1000.0;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    store::Store engine(opts);
+    store::StoreResult result = engine.run();
+    benchmark::DoNotOptimize(result.total_steps);
+    ops += result.completed_reads + result.completed_writes;
+    state.counters["service_p99_steps"] =
+        static_cast<double>(result.service_latency.p99());
+    state.counters["sojourn_p99_steps"] =
+        static_cast<double>(result.sojourn_latency.p99());
+    state.counters["max_queue_depth"] =
+        static_cast<double>(result.max_queue_depth);
+    state.counters["saturated"] = result.saturated ? 1 : 0;
+  }
+  state.SetLabel(alg + "/zipfian/rate=" +
+                 std::to_string(opts.arrival.rate));
+  state.counters["ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+
+void BM_StoreOpenLoopAdaptive(benchmark::State& state) {
+  run_store_open_loop_bench(state, "adaptive");
+}
+void BM_StoreOpenLoopAbd(benchmark::State& state) {
+  run_store_open_loop_bench(state, "abd");
+}
+void BM_StoreOpenLoopCoded(benchmark::State& state) {
+  run_store_open_loop_bench(state, "coded");
+}
+
+// Arg: offered rate in milli-ops per step per shard — below, near, and
+// well past the measured saturation point.
+BENCHMARK(BM_StoreOpenLoopAdaptive)
+    ->Arg(20)->Arg(80)->Arg(320)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StoreOpenLoopAbd)
+    ->Arg(20)->Arg(80)->Arg(320)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StoreOpenLoopCoded)
+    ->Arg(20)->Arg(80)->Arg(320)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace sbrs::bench
 

@@ -38,6 +38,25 @@ trap 'rm -f "$tmp_single" "$tmp_multi"' EXIT
 "$build_dir/sbrs_cli" $grid --threads="$threads" --json="$tmp_multi" \
   >/dev/null
 
+# Diff the deterministic sections of the two runs: everything except the
+# machine-dependent lines (wall clock, steps/sec, thread counts) must be
+# byte-identical — per-cell fingerprints included — or the "deterministic
+# seeding" claim this artifact rests on is broken and we refuse to record.
+strip_timing() {
+  grep -v -e '"wall_seconds"' -e '"steps_per_sec"' -e '"options"' "$1"
+}
+tmp_det_single=$(mktemp)
+tmp_det_multi=$(mktemp)
+trap 'rm -f "$tmp_single" "$tmp_multi" "$tmp_det_single" "$tmp_det_multi"' EXIT
+strip_timing "$tmp_single" > "$tmp_det_single"
+strip_timing "$tmp_multi" > "$tmp_det_multi"
+if ! diff -u "$tmp_det_single" "$tmp_det_multi" >&2; then
+  echo "FATAL: deterministic sections differ between --threads=1 and" \
+       "--threads=$threads runs" >&2
+  exit 1
+fi
+echo "deterministic sections identical across thread counts"
+
 wall_single=$(awk -F': ' '/^  "wall_seconds"/ {gsub(/,/, "", $2); print $2; exit}' "$tmp_single")
 wall_multi=$(awk -F': ' '/^  "wall_seconds"/ {gsub(/,/, "", $2); print $2; exit}' "$tmp_multi")
 efficiency=$(awk "BEGIN {printf \"%.4f\", $wall_single / ($threads * $wall_multi)}")

@@ -11,6 +11,13 @@
 # under results.<algorithm>.<distribution>; the deterministic blocks are
 # thread-count-independent, so diffs of this file show real drift only in
 # the "timing" sections.
+#
+# A second grid sweeps OPEN-LOOP Poisson load over zipfian keys for
+# {adaptive, abd, coded}: offered rate 0.02 -> 0.4 ops/step/shard, around
+# the measured per-shard capacity of ~0.1 at 8 sessions. Each cell lands
+# under open_loop.<algorithm>."rate_<r>" with its sojourn-vs-service
+# histograms, queue-depth maximum and saturation verdict — the top cells
+# (>= 2x saturation) are where p99 sojourn detaches from p99 service.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -31,12 +38,21 @@ trap 'rm -rf "$tmpdir"' EXIT
 
 algs="adaptive abd coded"
 dists="uniform zipfian latest"
+rates="0.02 0.05 0.1 0.2 0.4"
+open_grid="--store --keys=256 --shards=16 --clients=8 --ops=64 --mix=B \
+  --dist=zipfian --f=2 --k=4 --data-bits=1024 --seed=1 \
+  --open-loop --arrival=poisson"
 
 for alg in $algs; do
   for dist in $dists; do
     # shellcheck disable=SC2086  # word splitting of $grid is intentional
     "$build_dir/sbrs_cli" $grid --alg="$alg" --dist="$dist" \
       --threads="$threads" --json="$tmpdir/$alg.$dist.json" >/dev/null
+  done
+  for rate in $rates; do
+    # shellcheck disable=SC2086
+    "$build_dir/sbrs_cli" $open_grid --alg="$alg" --rate="$rate" \
+      --threads="$threads" --json="$tmpdir/$alg.rate_$rate.json" >/dev/null
   done
 done
 
@@ -49,7 +65,8 @@ hw_threads=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
   printf '    "host_name": "%s",\n' "$(hostname)"
   printf '    "hardware_threads": %s,\n' "$hw_threads"
   printf '    "store_threads": %s,\n' "$threads"
-  printf '    "grid": "adaptive,abd,coded x uniform,zipfian,latest; YCSB-B; 256 keys / 16 shards / 8 clients x 32 ops; f=2 k=4 D=1024"\n'
+  printf '    "grid": "adaptive,abd,coded x uniform,zipfian,latest; YCSB-B; 256 keys / 16 shards / 8 clients x 32 ops; f=2 k=4 D=1024",\n'
+  printf '    "open_loop_grid": "adaptive,abd,coded x poisson rate 0.02-0.4 ops/step/shard; zipfian YCSB-B; 256 keys / 16 shards / 8 clients x 64 ops"\n'
   printf '  },\n'
   printf '  "results": {\n'
   first_alg=1
@@ -63,6 +80,22 @@ hw_threads=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
       first_dist=0
       printf '  "%s": ' "$dist"
       cat "$tmpdir/$alg.$dist.json"
+    done
+    printf '  }\n'
+  done
+  printf '  },\n'
+  printf '  "open_loop": {\n'
+  first_alg=1
+  for alg in $algs; do
+    [ $first_alg -eq 1 ] || printf '  ,\n'
+    first_alg=0
+    printf '  "%s": {\n' "$alg"
+    first_rate=1
+    for rate in $rates; do
+      [ $first_rate -eq 1 ] || printf '  ,\n'
+      first_rate=0
+      printf '  "rate_%s": ' "$rate"
+      cat "$tmpdir/$alg.rate_$rate.json"
     done
     printf '  }\n'
   done

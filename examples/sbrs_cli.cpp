@@ -61,6 +61,11 @@ struct CliOptions {
   uint32_t read_pct = 95;      // with --mix=custom
   double theta = 0.99;
   bool no_check = false;
+  // Open-loop load (single, sweep and store modes).
+  bool open_loop = false;
+  std::string arrival = "poisson";  // fixed|burst|poisson with --open-loop
+  double rate = 0.25;          // offered ops per step (per shard in --store)
+  std::string burst;           // "ON,OFF" window lengths; implies burst
   bool help = false;
 };
 
@@ -102,8 +107,18 @@ CliOptions parse(int argc, char** argv) {
       o.store = true;
     } else if (arg == "--no-check") {
       o.no_check = true;
+    } else if (arg == "--open-loop") {
+      o.open_loop = true;
     } else if (parse_flag(arg, "theta", &s)) {
       o.theta = std::stod(s);
+    } else if (parse_flag(arg, "rate", &s)) {
+      o.rate = std::stod(s);
+      o.open_loop = true;
+    } else if (parse_flag(arg, "burst", &o.burst)) {
+      o.open_loop = true;
+      o.arrival = "burst";
+    } else if (parse_flag(arg, "arrival", &o.arrival)) {
+      o.open_loop = true;
     } else if (parse_flag(arg, "alg", &o.alg) ||
                parse_flag(arg, "algs", &o.algs) ||
                parse_flag(arg, "sched", &o.sched) ||
@@ -149,6 +164,14 @@ void usage() {
       "  --sched=random|rr|burst   scheduler (default random)\n"
       "  --seed=N        schedule seed (default 1)\n"
       "  --crashes=N     crash up to N objects at random points\n\n"
+      "open-loop load (applies to single, sweep and store modes):\n"
+      "  --open-loop     schedule arrivals instead of closed-loop sessions\n"
+      "                  (ops queue while sessions are busy; latency splits\n"
+      "                  into service and sojourn time)\n"
+      "  --arrival=fixed|burst|poisson   arrival process (default poisson)\n"
+      "  --rate=X        offered ops per simulator step (per shard in\n"
+      "                  --store mode); implies --open-loop\n"
+      "  --burst=ON,OFF  on/off window lengths for --arrival=burst\n\n"
       "sweep mode (parallel grid over algorithms x concurrency):\n"
       "  --sweep         run the grid instead of a single experiment\n"
       "  --algs=a,b,c    algorithms to sweep (default: the --alg value)\n"
@@ -178,6 +201,22 @@ sbrs::harness::SchedKind sched_kind(const std::string& name) {
   return sbrs::harness::SchedKind::kRandom;
 }
 
+sbrs::sim::ArrivalOptions arrival_options(const CliOptions& cli) {
+  sbrs::sim::ArrivalOptions a;
+  if (!cli.open_loop) return a;  // kClosedLoop
+  a.process = sbrs::sim::parse_arrival_process(cli.arrival);
+  a.rate = cli.rate;
+  if (!cli.burst.empty()) {
+    const auto parts = split_csv(cli.burst);
+    SBRS_CHECK_MSG(parts.size() == 2,
+                   "--burst wants ON,OFF window lengths, got '" << cli.burst
+                                                                << "'");
+    a.burst_on = std::stoull(parts[0]);
+    a.burst_off = std::stoull(parts[1]);
+  }
+  return a;
+}
+
 sbrs::registers::RegisterConfig base_config(const CliOptions& cli) {
   sbrs::registers::RegisterConfig cfg;
   cfg.f = cli.f;
@@ -204,6 +243,7 @@ int run_sweep(const CliOptions& cli) {
       cell.opts.reads_per_client = cli.reads;
       cell.opts.scheduler = sched_kind(cli.sched);
       cell.opts.object_crashes = cli.crashes;
+      cell.opts.arrival = arrival_options(cli);
       cell.label = alg + " c=" + c_str;
       grid.push_back(std::move(cell));
     }
@@ -259,6 +299,7 @@ int run_store(const CliOptions& cli) {
   opts.workload.distribution = store::ycsb::parse_distribution(cli.dist);
   opts.workload.zipf_theta = cli.theta;
   opts.workload.seed = cli.seed;
+  opts.arrival = arrival_options(cli);
   opts.scheduler = sched_kind(cli.sched);
   opts.object_crashes_per_shard = cli.crashes;
   opts.seed = cli.seed;
@@ -268,23 +309,31 @@ int run_store(const CliOptions& cli) {
   store::Store store_engine(opts);
   store::StoreResult result = store_engine.run();
 
+  const bool open = sim::open_loop(opts.arrival);
   harness::Table table({"shard", "keys", "ops", "peak object bits",
-                        "final bits", "read p50/p99", "write p50/p99",
-                        "checks", "live"});
+                        "final bits", "read p50/p99",
+                        open ? "sojourn p50/p99" : "write p50/p99",
+                        open ? "qdepth/left" : "checks",
+                        open ? "sat" : "live"});
   for (const auto& s : result.shards) {
     table.add_row(
         s.shard, s.keys_mounted, s.report.completed_ops, s.max_object_bits,
         s.final_object_bits,
         std::to_string(s.read_latency.p50()) + " / " +
             std::to_string(s.read_latency.p99()),
-        std::to_string(s.write_latency.p50()) + " / " +
-            std::to_string(s.write_latency.p99()),
-        s.keys_checked == 0
-            ? "-"
-            : (s.consistency_failures == 0
-                   ? "ok"
-                   : std::to_string(s.consistency_failures) + " FAIL"),
-        s.live ? "yes" : "NO");
+        open ? std::to_string(s.report.sojourn_latency.p50()) + " / " +
+                   std::to_string(s.report.sojourn_latency.p99())
+             : std::to_string(s.write_latency.p50()) + " / " +
+                   std::to_string(s.write_latency.p99()),
+        open ? std::to_string(s.max_queue_depth) + " / " +
+                   std::to_string(s.undispatched)
+             : (s.keys_checked == 0
+                    ? "-"
+                    : (s.consistency_failures == 0
+                           ? "ok"
+                           : std::to_string(s.consistency_failures) +
+                                 " FAIL")),
+        open ? (s.saturated ? "SAT" : "no") : (s.live ? "yes" : "NO"));
   }
   table.print();
 
@@ -306,6 +355,18 @@ int run_store(const CliOptions& cli) {
             << result.max_shard_object_bits << " object bits; "
             << result.keys_checked << " keys checked, "
             << result.consistency_failures << " failures\n";
+  if (open) {
+    std::cout << "open-loop " << sim::to_string(opts.arrival.process)
+              << " @ rate " << opts.arrival.rate
+              << " ops/step/shard: service p50/p99 "
+              << result.service_latency.p50() << " / "
+              << result.service_latency.p99() << " steps, sojourn p50/p99 "
+              << result.sojourn_latency.p50() << " / "
+              << result.sojourn_latency.p99() << " steps, max queue depth "
+              << result.max_queue_depth << ", undispatched "
+              << result.undispatched
+              << (result.saturated ? " — SATURATED\n" : "\n");
+  }
 
   if (!cli.json.empty()) {
     std::ofstream os(cli.json);
@@ -320,10 +381,14 @@ int run_store(const CliOptions& cli) {
     std::cerr << "store run did not quiesce (step limit or scheduler stop "
                  "left queued operations unexecuted)\n";
   }
-  return result.consistency_failures == 0 && result.all_live &&
-                 result.all_quiesced
-             ? 0
-             : 1;
+  // A *saturated* open-loop run legitimately ends with queued work and
+  // outstanding ops — that's the measurement, not a failure. An open-loop
+  // run that did NOT saturate has no excuse: a wedged op or unexecuted
+  // queue there is a liveness bug and must exit non-zero like any
+  // closed-loop run.
+  const bool drained_ok =
+      result.saturated || (result.all_live && result.all_quiesced);
+  return result.consistency_failures == 0 && drained_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -363,6 +428,7 @@ int run_cli(const CliOptions& cli) {
   opts.seed = cli.seed;
   opts.object_crashes = cli.crashes;
   opts.scheduler = sched_kind(cli.sched);
+  opts.arrival = arrival_options(cli);
 
   auto out = harness::run_register_experiment(*algorithm, opts);
 
@@ -388,6 +454,17 @@ int run_cli(const CliOptions& cli) {
   table.add_row("atomic",
                 consistency::check_atomicity(out.history).ok ? "yes" : "NO");
   table.add_row("live", out.live ? "yes" : "NO");
+  if (sbrs::sim::open_loop(opts.arrival)) {
+    table.add_row("service p50/p99 (steps)",
+                  std::to_string(out.report.op_latency.p50()) + " / " +
+                      std::to_string(out.report.op_latency.p99()));
+    table.add_row("sojourn p50/p99 (steps)",
+                  std::to_string(out.report.sojourn_latency.p50()) + " / " +
+                      std::to_string(out.report.sojourn_latency.p99()));
+    table.add_row("max queue depth", out.max_queue_depth);
+    table.add_row("undispatched", out.undispatched);
+    table.add_row("saturated", out.saturated ? "YES" : "no");
+  }
   table.print();
 
   if (!out.values_legal.ok) std::cout << out.values_legal.summary() << "\n";

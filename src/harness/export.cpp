@@ -109,7 +109,11 @@ void write_sweep_json(std::ostream& os, const SweepResult& result) {
        << ", \"reads_per_client\": " << c.cell.opts.reads_per_client
        << ", \"scheduler\": \"" << to_string(c.cell.opts.scheduler)
        << "\", \"object_crashes\": " << c.cell.opts.object_crashes
-       << ", \"client_crashes\": " << c.cell.opts.client_crashes << "},\n";
+       << ", \"client_crashes\": " << c.cell.opts.client_crashes
+       << ", \"arrival\": \"" << sim::to_string(c.cell.opts.arrival.process)
+       << "\", \"rate\": " << c.cell.opts.arrival.rate
+       << ", \"burst_on\": " << c.cell.opts.arrival.burst_on
+       << ", \"burst_off\": " << c.cell.opts.arrival.burst_off << "},\n";
     os << "      \"seeds\": " << c.seeds << ",\n";
     write_metric(os, "max_total_bits", c.max_total_bits, "      ");
     os << ",\n";
@@ -122,6 +126,12 @@ void write_sweep_json(std::ostream& os, const SweepResult& result) {
     os << "      \"latency_steps\": ";
     write_latency_json(os, c.latency);
     os << ",\n";
+    os << "      \"sojourn_steps\": ";
+    write_latency_json(os, c.sojourn);
+    os << ",\n";
+    write_metric(os, "max_queue_depth", c.max_queue_depth, "      ");
+    os << ",\n";
+    os << "      \"saturated_seeds\": " << c.saturated_seeds << ",\n";
     os << "      \"consistency_failures\": " << c.consistency_failures
        << ",\n";
     os << "      \"liveness_failures\": " << c.liveness_failures << ",\n";

@@ -10,12 +10,31 @@ RunOutcome run_register_experiment(
     const registers::RegisterAlgorithm& algorithm, const RunOptions& opts) {
   const auto& cfg = algorithm.config();
 
-  sim::UniformWorkload::Options wl;
-  wl.writers = opts.writers;
-  wl.writes_per_client = opts.writes_per_client;
-  wl.readers = opts.readers;
-  wl.reads_per_client = opts.reads_per_client;
-  wl.data_bits = cfg.data_bits;
+  // Closed loop: each session self-paces its own operations. Open loop: one
+  // arrival-scheduled stream, any free session dispatches the queue.
+  std::unique_ptr<sim::Workload> workload;
+  const sim::OpenLoopWorkload* open_workload = nullptr;
+  if (sim::open_loop(opts.arrival)) {
+    sim::OpenLoopWorkload::Options ol;
+    ol.clients = opts.writers + opts.readers;
+    ol.write_ops = opts.writers * opts.writes_per_client;
+    ol.read_ops = opts.readers * opts.reads_per_client;
+    ol.data_bits = cfg.data_bits;
+    auto w = std::make_unique<sim::OpenLoopWorkload>(
+        ol, sim::generate_arrivals(opts.arrival,
+                                   size_t{ol.write_ops} + ol.read_ops,
+                                   sim::arrival_seed(opts.seed)));
+    open_workload = w.get();
+    workload = std::move(w);
+  } else {
+    sim::UniformWorkload::Options wl;
+    wl.writers = opts.writers;
+    wl.writes_per_client = opts.writes_per_client;
+    wl.readers = opts.readers;
+    wl.reads_per_client = opts.reads_per_client;
+    wl.data_bits = cfg.data_bits;
+    workload = std::make_unique<sim::UniformWorkload>(wl);
+  }
 
   std::unique_ptr<sim::Scheduler> scheduler;
   switch (opts.scheduler) {
@@ -44,8 +63,7 @@ RunOutcome run_register_experiment(
   sc.sample_every = opts.sample_every;
 
   sim::Simulator simulator(sc, algorithm.object_factory(),
-                           algorithm.client_factory(),
-                           std::make_unique<sim::UniformWorkload>(wl),
+                           algorithm.client_factory(), std::move(workload),
                            std::move(scheduler));
   sim::RunReport report = simulator.run();
 
@@ -70,6 +88,12 @@ RunOutcome run_register_experiment(
   out.live = true;
   for (const auto& rec : out.history.outstanding()) {
     if (simulator.client_alive(rec.client)) out.live = false;
+  }
+
+  if (open_workload != nullptr) {
+    out.max_queue_depth = open_workload->max_queue_depth();
+    out.undispatched = open_workload->undispatched();
+    out.saturated = open_workload->saturated(report.hit_step_limit);
   }
   return out;
 }

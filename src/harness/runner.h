@@ -10,6 +10,7 @@
 
 #include "consistency/checker.h"
 #include "registers/register_algorithm.h"
+#include "sim/arrival.h"
 #include "sim/history.h"
 #include "sim/simulator.h"
 
@@ -37,6 +38,14 @@ struct RunOptions {
   uint32_t reads_per_client = 1;
   uint64_t seed = 1;
   SchedKind scheduler = SchedKind::kRandom;
+  /// Open-loop arrival process: when set (process != kClosedLoop), the
+  /// writers*writes + readers*reads operations become one arrival-scheduled
+  /// stream (kinds interleaved proportionally) dispatched to any free
+  /// session — sojourn time then includes queueing delay, and the outcome
+  /// carries queue-depth maxima and a saturation verdict. The Poisson
+  /// process draws from a PRNG seeded from `seed` (decorrelated from the
+  /// scheduler stream), so runs stay exactly replayable.
+  sim::ArrivalOptions arrival;
   /// Crash up to this many base objects at random points (must be <= f for
   /// the liveness guarantees to hold).
   uint32_t object_crashes = 0;
@@ -72,6 +81,12 @@ struct RunOutcome {
 
   /// All operations by non-crashed clients returned.
   bool live = false;
+
+  // Open-loop queueing outcome (zero / false for closed-loop runs; the
+  // sojourn histogram itself travels in report.sojourn_latency).
+  uint64_t max_queue_depth = 0;
+  uint64_t undispatched = 0;
+  bool saturated = false;
 };
 
 /// Run `algorithm` under the given workload/scheduler and check the

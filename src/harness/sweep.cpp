@@ -27,6 +27,9 @@ struct RunDigest {
   bool quiesced = false;
   uint64_t fingerprint = 0;
   metrics::LatencyHistogram latency;
+  metrics::LatencyHistogram sojourn;
+  uint64_t max_queue_depth = 0;
+  bool saturated = false;
   double seconds = 0;
 };
 
@@ -95,6 +98,15 @@ uint64_t outcome_fingerprint(const RunOutcome& out) {
   h = mix_into(h, out.strong_regular.ok);
   h = mix_into(h, out.strongly_safe.ok);
   h = mix_into(h, out.live);
+  // Open-loop outcome: arrival times are not part of the history trace, so
+  // pin the queue stats and the derived sojourn tail explicitly.
+  h = mix_into(h, out.max_queue_depth);
+  h = mix_into(h, out.undispatched);
+  h = mix_into(h, out.saturated);
+  h = mix_into(h, out.report.sojourn_latency.count());
+  h = mix_into(h, out.report.sojourn_latency.p50());
+  h = mix_into(h, out.report.sojourn_latency.p99());
+  h = mix_into(h, out.report.sojourn_latency.max());
   return history_fingerprint(out.history, h);
 }
 
@@ -158,6 +170,9 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
         d.live = out.live;
         d.quiesced = out.report.quiesced;
         d.latency = out.report.op_latency;
+        d.sojourn = out.report.sojourn_latency;
+        d.max_queue_depth = out.max_queue_depth;
+        d.saturated = out.saturated;
         d.fingerprint = outcome_fingerprint(out);
         d.seconds = std::chrono::duration<double>(end - start).count();
         return d;
@@ -171,11 +186,12 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
     CellSummary cs;
     cs.cell = grid[c];
     cs.seeds = seeds;
-    std::vector<uint64_t> total, object, channel, steps;
+    std::vector<uint64_t> total, object, channel, steps, qdepth;
     total.reserve(seeds);
     object.reserve(seeds);
     channel.reserve(seeds);
     steps.reserve(seeds);
+    qdepth.reserve(seeds);
     uint64_t fp = kFingerprintSeed;
     for (uint32_t s = 0; s < seeds; ++s) {
       const RunDigest& d = digests[c * seeds + s];
@@ -183,10 +199,16 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
       object.push_back(d.max_object_bits);
       channel.push_back(d.max_channel_bits);
       steps.push_back(d.steps);
+      qdepth.push_back(d.max_queue_depth);
       if (!d.checks_ok) ++cs.consistency_failures;
-      if (!d.live) ++cs.liveness_failures;
+      // A saturated open-loop seed legitimately ends with outstanding ops
+      // (the step budget cut it off mid-queue) — that's the measurement,
+      // not a stuck client; only unsaturated runs can fail liveness.
+      if (!d.live && !d.saturated) ++cs.liveness_failures;
       if (d.quiesced) ++cs.quiesced;
+      if (d.saturated) ++cs.saturated_seeds;
       cs.latency.merge(d.latency);
+      cs.sojourn.merge(d.sojourn);
       cs.total_steps += d.steps;
       cs.wall_seconds += d.seconds;
       fp = mix_into(fp, d.fingerprint);
@@ -196,6 +218,7 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
     cs.max_object_bits = summarize_metric(std::move(object));
     cs.max_channel_bits = summarize_metric(std::move(channel));
     cs.steps = summarize_metric(std::move(steps));
+    cs.max_queue_depth = summarize_metric(std::move(qdepth));
     cs.steps_per_sec = cs.wall_seconds > 0
                            ? static_cast<double>(cs.total_steps) /
                                  cs.wall_seconds

@@ -67,11 +67,24 @@ struct CellSummary {
   /// regularity for the coded baselines, strong regularity for abd/adaptive;
   /// values-legality always. 0 when check_consistency is off.
   uint32_t consistency_failures = 0;
-  uint32_t liveness_failures = 0;     // seeds with a stuck live client
+  /// Seeds with a stuck live client. Saturated open-loop seeds are
+  /// excused: their outstanding ops are the step budget cutting off a
+  /// queue, not a wedged protocol (they show up in saturated_seeds).
+  uint32_t liveness_failures = 0;
   uint32_t quiesced = 0;              // seeds whose run fully quiesced
   /// Operation latency (simulator steps, invoke to return) merged across
   /// all the cell's seeds. Deterministic — logical time, not wall clock.
   metrics::LatencyHistogram latency;
+  /// Sojourn time (arrival to return) merged across the cell's seeds;
+  /// equals `latency` for closed-loop cells, and dominates it past
+  /// saturation for open-loop cells.
+  metrics::LatencyHistogram sojourn;
+  /// Per-seed maxima of the open-loop arrival queue depth (all-zero for
+  /// closed-loop cells).
+  MetricSummary max_queue_depth;
+  /// Seeds whose offered load beat the drain rate (arrivals left queued or
+  /// the step budget cut the run off). 0 for closed-loop cells.
+  uint32_t saturated_seeds = 0;
   /// Order-independent fingerprint over all per-seed outcomes (histories
   /// included); equal fingerprints mean identical per-cell results.
   uint64_t fingerprint = 0;

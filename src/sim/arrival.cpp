@@ -1,0 +1,89 @@
+#include "sim/arrival.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sbrs::sim {
+
+const char* to_string(ArrivalProcess p) {
+  switch (p) {
+    case ArrivalProcess::kClosedLoop: return "closed";
+    case ArrivalProcess::kFixedRate: return "fixed";
+    case ArrivalProcess::kBursty: return "burst";
+    case ArrivalProcess::kPoisson: return "poisson";
+  }
+  return "?";
+}
+
+ArrivalProcess parse_arrival_process(const std::string& s) {
+  if (s == "closed") return ArrivalProcess::kClosedLoop;
+  if (s == "fixed") return ArrivalProcess::kFixedRate;
+  if (s == "burst" || s == "bursty") return ArrivalProcess::kBursty;
+  if (s == "poisson") return ArrivalProcess::kPoisson;
+  SBRS_CHECK_MSG(false, "unknown arrival process '"
+                            << s << "' (closed|fixed|burst|poisson)");
+  return ArrivalProcess::kClosedLoop;
+}
+
+uint64_t arrival_seed(uint64_t seed) {
+  uint64_t state = seed ^ 0xa55a1ee15c4ed01eull;
+  (void)splitmix64(state);
+  const uint64_t out = splitmix64(state);
+  return out == 0 ? 1 : out;
+}
+
+std::vector<uint64_t> generate_arrivals(const ArrivalOptions& opts,
+                                        size_t num_ops, uint64_t seed) {
+  SBRS_CHECK_MSG(open_loop(opts), "generate_arrivals on a closed-loop spec");
+  SBRS_CHECK_MSG(std::isfinite(opts.rate) && opts.rate > 0,
+                 "arrival rate must be positive, got " << opts.rate);
+
+  std::vector<uint64_t> out;
+  out.reserve(num_ops);
+  switch (opts.process) {
+    case ArrivalProcess::kClosedLoop:
+      break;  // unreachable (checked above)
+    case ArrivalProcess::kFixedRate: {
+      for (size_t i = 0; i < num_ops; ++i) {
+        out.push_back(
+            static_cast<uint64_t>(static_cast<double>(i) / opts.rate));
+      }
+      break;
+    }
+    case ArrivalProcess::kBursty: {
+      SBRS_CHECK_MSG(opts.burst_on >= 1, "burst_on must be >= 1");
+      // Pace the stream at the on-window peak rate on a virtual "on-time"
+      // axis, then splice the off-windows back in: cycle c's on-window
+      // [c*on, c*on + on) of on-time maps to real steps starting at
+      // c*(on + off). Mean rate over a whole cycle is exactly opts.rate.
+      const uint64_t on = opts.burst_on;
+      const uint64_t off = opts.burst_off;
+      const double peak_rate =
+          opts.rate * static_cast<double>(on + off) / static_cast<double>(on);
+      for (size_t i = 0; i < num_ops; ++i) {
+        const uint64_t on_time =
+            static_cast<uint64_t>(static_cast<double>(i) / peak_rate);
+        const uint64_t cycle = on_time / on;
+        out.push_back(cycle * (on + off) + on_time % on);
+      }
+      break;
+    }
+    case ArrivalProcess::kPoisson: {
+      Rng rng(seed);
+      double t = 0;
+      for (size_t i = 0; i < num_ops; ++i) {
+        // Inverse-CDF exponential interarrival; 1 - u in (0, 1] keeps the
+        // log argument away from zero.
+        const double u = 1.0 - rng.uniform01();
+        t += -std::log(u) / opts.rate;
+        out.push_back(static_cast<uint64_t>(t));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace sbrs::sim

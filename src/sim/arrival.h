@@ -1,0 +1,161 @@
+// Deterministic open-loop arrival schedules.
+//
+// A closed-loop session issues its next operation only after the previous
+// one returned, so latency histograms measure service time alone. An
+// open-loop run decouples arrivals from completions: every operation is
+// assigned an *arrival step* up front, queues until a session is free, and
+// its sojourn time (arrival -> return) includes the queueing delay — the
+// regime where the paper's concurrent-op storage blowup actually bites.
+//
+// generate_arrivals() is a pure function of {options, op count, seed}: the
+// schedule is computed before the simulation starts, so open-loop runs stay
+// exactly as replayable (and thread-count independent) as closed-loop ones.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sbrs::sim {
+
+enum class ArrivalProcess {
+  kClosedLoop,  // no arrival schedule: sessions self-pace (the default)
+  kFixedRate,   // op i arrives at floor(i / rate): a perfectly paced feed
+  kBursty,      // on-off: arrivals compressed into periodic on-windows
+  kPoisson,     // seeded exponential interarrivals with mean 1 / rate
+};
+
+const char* to_string(ArrivalProcess p);
+/// Parse "closed" / "fixed" / "burst" / "poisson"; throws CheckFailure
+/// otherwise.
+ArrivalProcess parse_arrival_process(const std::string& s);
+
+struct ArrivalOptions {
+  ArrivalProcess process = ArrivalProcess::kClosedLoop;
+  /// Mean offered load in operations per simulator step. For the store this
+  /// is per shard (each shard is one simulator with its own logical clock).
+  double rate = 0.25;
+  /// Bursty (on-off) shape: each cycle is `burst_on` steps of arrivals
+  /// followed by `burst_off` idle steps. The mean rate is preserved — the
+  /// on-window peak rate is rate * (on + off) / on.
+  uint64_t burst_on = 64;
+  uint64_t burst_off = 192;
+};
+
+inline bool open_loop(const ArrivalOptions& a) {
+  return a.process != ArrivalProcess::kClosedLoop;
+}
+
+/// Decorrelate the arrival-schedule RNG from the schedule RNG (both are
+/// seeded from the same run seed; an identical stream would couple crash
+/// points to arrival times).
+uint64_t arrival_seed(uint64_t seed);
+
+/// The arrival step of each of `num_ops` operations, nondecreasing.
+/// Deterministic in {opts, num_ops, seed}; `seed` is only consumed by the
+/// Poisson process. Requires an open-loop process and a positive finite
+/// rate.
+std::vector<uint64_t> generate_arrivals(const ArrivalOptions& opts,
+                                        size_t num_ops, uint64_t seed);
+
+/// The FIFO arrival queue shared by the open-loop workloads
+/// (sim::OpenLoopWorkload, store::QueueWorkload): payloads are pushed with
+/// nondecreasing arrival steps, released into a ready queue by
+/// advance_to(now), and popped at dispatch. Tracks the two queueing
+/// statistics saturation detection rests on — the depth maximum and the
+/// backlog left at the instant the last arrival was released.
+template <typename Payload>
+class ArrivalQueue {
+ public:
+  void push(uint64_t step, Payload payload) {
+    SBRS_CHECK_MSG(scheduled_.empty() || scheduled_.back().step <= step,
+                   "arrivals must be pushed in nondecreasing step order");
+    scheduled_.push_back(Entry{step, std::move(payload)});
+    final_backlog_.reset();  // a new batch re-evaluates its own backlog
+  }
+
+  /// Release every arrival scheduled at or before `now`.
+  void advance_to(uint64_t now) {
+    const bool had_pending = released_ < scheduled_.size();
+    while (released_ < scheduled_.size() &&
+           scheduled_[released_].step <= now) {
+      ready_.push_back(std::move(scheduled_[released_]));
+      ++released_;
+    }
+    max_queue_depth_ = std::max<uint64_t>(max_queue_depth_, ready_.size());
+    if (had_pending && released_ == scheduled_.size() &&
+        !final_backlog_.has_value()) {
+      final_backlog_ = ready_.size();
+    }
+  }
+
+  bool ready() const { return !ready_.empty(); }
+
+  /// Pop the oldest released entry: {arrival step, payload}.
+  std::pair<uint64_t, Payload> pop() {
+    SBRS_CHECK(!ready_.empty());
+    Entry e = std::move(ready_.front());
+    ready_.pop_front();
+    return {e.step, std::move(e.payload)};
+  }
+
+  /// Earliest not-yet-released arrival step, if any.
+  std::optional<uint64_t> next_arrival() const {
+    if (released_ >= scheduled_.size()) return std::nullopt;
+    return scheduled_[released_].step;
+  }
+
+  /// Largest number of released-but-undispatched entries ever queued.
+  uint64_t max_queue_depth() const { return max_queue_depth_; }
+
+  /// Entries not yet popped (queued now or arriving later).
+  size_t undispatched() const {
+    return ready_.size() + (scheduled_.size() - released_);
+  }
+
+  /// Queue depth at the instant the last arrival was released — the
+  /// backlog the offered load left behind. A stable system keeps this near
+  /// the session count; an overloaded one accumulates a backlog
+  /// proportional to the whole stream (the saturation signal for runs
+  /// that still drain within the step budget).
+  uint64_t final_backlog() const { return final_backlog_.value_or(0); }
+
+  /// Step of the latest scheduled arrival (0 when none): later batches
+  /// must base themselves at or past this to keep the push order legal.
+  uint64_t last_scheduled_step() const {
+    return scheduled_.empty() ? 0 : scheduled_.back().step;
+  }
+
+  /// The single saturation verdict every open-loop surface reports: the
+  /// step budget cut the arrivals off, or the backlog at the end of the
+  /// offered load exceeded 2x the session pool (a stable system keeps the
+  /// queue near the session count; an overloaded one accumulates the
+  /// whole stream). Always false when no arrival was ever scheduled —
+  /// a closed-loop run truncated by the step budget is a stuck run, not a
+  /// saturated one, and must keep failing liveness/quiescence checks.
+  bool saturated(uint64_t session_slots, bool hit_step_limit) const {
+    if (scheduled_.empty()) return false;
+    return undispatched() > 0 || hit_step_limit ||
+           final_backlog() > 2 * session_slots;
+  }
+
+ private:
+  struct Entry {
+    uint64_t step = 0;
+    Payload payload;
+  };
+
+  std::vector<Entry> scheduled_;  // sorted; [0, released_) went to ready_
+  size_t released_ = 0;
+  std::deque<Entry> ready_;       // released, awaiting dispatch
+  uint64_t max_queue_depth_ = 0;
+  std::optional<uint64_t> final_backlog_;
+};
+
+}  // namespace sbrs::sim

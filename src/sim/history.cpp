@@ -20,6 +20,10 @@ void History::record_invoke(uint64_t time, const Invocation& inv) {
   rec.op = inv.op;
   rec.client = inv.client;
   rec.kind = inv.kind;
+  rec.arrival_time = inv.arrival_time.value_or(time);
+  SBRS_CHECK_MSG(rec.arrival_time <= time,
+                 "op " << inv.op << " invoked at " << time
+                       << " before its arrival " << rec.arrival_time);
   rec.invoke_time = time;
   if (inv.kind == OpKind::kWrite) rec.value = inv.value;
   by_op_.emplace(inv.op, rec);

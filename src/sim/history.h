@@ -31,6 +31,10 @@ struct OpRecord {
   OpId op;
   ClientId client;
   OpKind kind = OpKind::kRead;
+  /// Arrival step (open-loop workloads); == invoke_time for closed-loop
+  /// ops, so return - arrival (sojourn) always bounds return - invoke
+  /// (service) from above.
+  uint64_t arrival_time = 0;
   uint64_t invoke_time = 0;
   std::optional<uint64_t> return_time;
   /// Written value (writes) / returned value (completed reads).

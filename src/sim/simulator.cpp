@@ -36,6 +36,7 @@ class Simulator::ContextImpl final : public SimContext {
     const sim::OpRecord* rec = sim_.history_.find(op);
     SBRS_CHECK_MSG(rec != nullptr, "complete for unrecorded " << op);
     sim_.report_.op_latency.record(sim_.time_ - rec->invoke_time);
+    sim_.report_.sojourn_latency.record(sim_.time_ - rec->arrival_time);
     sim_.history_.record_return(sim_.time_, op, result);
     sim_.outstanding_[self_.value] = std::nullopt;
     ++sim_.report_.completed_ops;
@@ -201,15 +202,27 @@ void Simulator::verify_accounting() const {
 
 bool Simulator::step() {
   if (stopped_) return false;
-  if (time_ >= config_.max_steps) {
-    report_.hit_step_limit = true;
-    stopped_ = true;
-    return false;
-  }
-  // Nothing left to schedule at all?
-  if (pending_.empty() && invocable_clients().empty()) {
-    stopped_ = true;
-    return false;
+  for (;;) {
+    if (time_ >= config_.max_steps) {
+      report_.hit_step_limit = true;
+      stopped_ = true;
+      return false;
+    }
+    // Release open-loop arrivals scheduled at or before the current time
+    // (a no-op for closed-loop workloads).
+    workload_->advance_to(time_);
+    if (!pending_.empty() || !invocable_clients().empty()) break;
+    // Nothing schedulable *now*. If the workload still has a future
+    // arrival, fast-forward the logical clock to it — an idle open-loop
+    // system waiting for load, not a finished run. The jump is clamped to
+    // the step budget so a truncated run reports exactly max_steps.
+    const std::optional<uint64_t> arrival = workload_->next_arrival();
+    if (!arrival.has_value()) {
+      stopped_ = true;
+      return false;
+    }
+    SBRS_CHECK_MSG(*arrival > time_, "unreleased arrival in the past");
+    time_ = std::min(*arrival, config_.max_steps);
   }
   Action a = scheduler_->next(*this);
   if (a.kind == Action::Kind::kStop) {
@@ -230,8 +243,9 @@ RunReport Simulator::run() {
   report_.invoked_ops = history_.invoke_count();
   bool all_returned = history_.outstanding().empty();
   bool workload_done = invocable_clients().empty();
-  // Quiesced: every op invoked and returned, and no client has more to do.
-  bool any_more = false;
+  // Quiesced: every op invoked and returned, and no client has more to do —
+  // neither released work nor a still-scheduled future arrival.
+  bool any_more = workload_->next_arrival().has_value();
   for (uint32_t i = 0; i < config_.num_clients; ++i) {
     if (client_alive_[i] && workload_->has_more(ClientId{i})) any_more = true;
   }

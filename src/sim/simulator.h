@@ -67,6 +67,11 @@ struct RunReport {
   /// operation. Deterministic for a given seed — latency in this model is
   /// logical time, not wall clock.
   metrics::LatencyHistogram op_latency;
+  /// Sojourn time (arrival to return) of every completed operation: service
+  /// time plus the queueing delay an open-loop workload imposes before a
+  /// session is free to invoke it. For closed-loop workloads arrival ==
+  /// invoke, so this histogram equals op_latency.
+  metrics::LatencyHistogram sojourn_latency;
 };
 
 class Simulator {

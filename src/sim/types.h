@@ -27,6 +27,11 @@ struct Invocation {
   OpKind kind = OpKind::kRead;
   /// The written value for writes; unused for reads.
   Value value;
+  /// When the operation *arrived* (open-loop workloads: the scheduled
+  /// arrival step, at or before the invoke). Unset means the op arrived at
+  /// its invoke time (closed-loop sessions self-pace), so sojourn time
+  /// degenerates to service time.
+  std::optional<uint64_t> arrival_time;
 };
 
 /// Base-object state. Algorithms subclass this with their concrete fields;

@@ -1,5 +1,7 @@
 #include "sim/workload.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace sbrs::sim {
@@ -33,6 +35,54 @@ Invocation UniformWorkload::next(ClientId c, OpId id) {
     inv.kind = OpKind::kRead;
   }
   return inv;
+}
+
+OpenLoopWorkload::OpenLoopWorkload(Options opts,
+                                   std::vector<uint64_t> arrivals)
+    : opts_(opts) {
+  SBRS_CHECK(opts_.clients >= 1);
+  SBRS_CHECK_MSG(
+      arrivals.size() == size_t{opts_.write_ops} + opts_.read_ops,
+      "arrival schedule has " << arrivals.size() << " entries for "
+                              << (opts_.write_ops + opts_.read_ops) << " ops");
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    queue_.push(arrivals[i], i);  // push() checks the nondecreasing order
+  }
+}
+
+bool OpenLoopWorkload::is_write(size_t index) const {
+  // Proportional (Bresenham) interleave of write_ops writes among the
+  // total: op i is a write iff the scaled write count advances at i.
+  const uint64_t total = uint64_t{opts_.write_ops} + opts_.read_ops;
+  return (index + 1) * opts_.write_ops / total >
+         index * opts_.write_ops / total;
+}
+
+bool OpenLoopWorkload::has_more(ClientId c) const {
+  return c.value < opts_.clients && queue_.ready();
+}
+
+Invocation OpenLoopWorkload::next(ClientId c, OpId id) {
+  SBRS_CHECK(has_more(c));
+  const auto [arrival, index] = queue_.pop();
+
+  Invocation inv;
+  inv.op = id;
+  inv.client = c;
+  inv.arrival_time = arrival;
+  if (is_write(index)) {
+    inv.kind = OpKind::kWrite;
+    inv.value = Value::from_tag(id.value, opts_.data_bits);
+  } else {
+    inv.kind = OpKind::kRead;
+  }
+  return inv;
+}
+
+void OpenLoopWorkload::advance_to(uint64_t now) { queue_.advance_to(now); }
+
+std::optional<uint64_t> OpenLoopWorkload::next_arrival() const {
+  return queue_.next_arrival();
 }
 
 bool ScriptedWorkload::has_more(ClientId c) const {

@@ -14,6 +14,7 @@
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/value.h"
+#include "sim/arrival.h"
 #include "sim/types.h"
 
 namespace sbrs::sim {
@@ -22,12 +23,24 @@ class Workload {
  public:
   virtual ~Workload() = default;
 
-  /// True if client `c` has at least one more operation to invoke.
+  /// True if client `c` has at least one more operation to invoke *now*
+  /// (open-loop workloads expose only operations whose arrival step has
+  /// been released by advance_to).
   virtual bool has_more(ClientId c) const = 0;
 
   /// Produce client `c`'s next operation, stamped with the simulator-
   /// assigned OpId. Called only when has_more(c).
   virtual Invocation next(ClientId c, OpId id) = 0;
+
+  /// Advance the workload's arrival clock to simulator time `now`,
+  /// releasing every operation whose arrival step is <= now. The simulator
+  /// calls this at the top of each step; closed-loop workloads ignore it.
+  virtual void advance_to(uint64_t now) { (void)now; }
+
+  /// Earliest not-yet-released arrival step, if any. When nothing is
+  /// schedulable but a future arrival exists, the simulator fast-forwards
+  /// its logical clock to it instead of stopping.
+  virtual std::optional<uint64_t> next_arrival() const { return std::nullopt; }
 };
 
 /// Each of the first `writers` clients performs `writes_per_client`
@@ -76,6 +89,47 @@ class ScriptedWorkload final : public Workload {
  private:
   std::vector<Step> steps_;
   std::vector<bool> consumed_ = {};
+};
+
+/// Open-loop workload for the register harness: a single arrival-ordered
+/// stream of `write_ops + read_ops` operations (kinds interleaved
+/// proportionally, write values tagged by OpId), released at the arrival
+/// steps supplied by sim::generate_arrivals and dispatched to ANY free
+/// client slot — in open loop the writer/reader split dissolves into a pool
+/// of server sessions draining one queue. Tracks the queue-depth maximum
+/// and the not-yet-dispatched backlog for saturation detection.
+class OpenLoopWorkload final : public Workload {
+ public:
+  struct Options {
+    uint32_t clients = 4;  // dispatch slots; any free slot serves the queue
+    uint32_t write_ops = 0;
+    uint32_t read_ops = 0;
+    uint64_t data_bits = 256;
+  };
+
+  /// `arrivals` has one nondecreasing arrival step per operation
+  /// (write_ops + read_ops entries).
+  OpenLoopWorkload(Options opts, std::vector<uint64_t> arrivals);
+
+  bool has_more(ClientId c) const override;
+  Invocation next(ClientId c, OpId id) override;
+  void advance_to(uint64_t now) override;
+  std::optional<uint64_t> next_arrival() const override;
+
+  /// Largest number of released-but-undispatched operations ever queued.
+  uint64_t max_queue_depth() const { return queue_.max_queue_depth(); }
+  /// Operations not yet handed to a client (queued now or arriving later).
+  size_t undispatched() const { return queue_.undispatched(); }
+  /// ArrivalQueue::saturated over this run's session pool.
+  bool saturated(bool hit_step_limit) const {
+    return queue_.saturated(opts_.clients, hit_step_limit);
+  }
+
+ private:
+  bool is_write(size_t index) const;
+
+  Options opts_;
+  ArrivalQueue<size_t> queue_;  // payload: global op index (kind selection)
 };
 
 /// Mixed read/write workload with a seeded RNG: every client flips a coin

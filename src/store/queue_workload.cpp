@@ -17,14 +17,29 @@ void QueueWorkload::push(ClientId session, Item item) {
   queues_[session.value].push_back(std::move(item));
 }
 
+void QueueWorkload::push_arrival(uint64_t step, Item item) {
+  queue_.push(step, std::move(item));
+}
+
 bool QueueWorkload::has_more(ClientId c) const {
-  return c.value < queues_.size() && !queues_[c.value].empty();
+  if (c.value >= queues_.size()) return false;
+  return !queues_[c.value].empty() || queue_.ready();
 }
 
 sim::Invocation QueueWorkload::next(ClientId c, OpId id) {
   SBRS_CHECK_MSG(has_more(c), "next() on drained session " << c);
-  Item item = std::move(queues_[c.value].front());
-  queues_[c.value].pop_front();
+  Item item;
+  std::optional<uint64_t> arrival;
+  if (!queues_[c.value].empty()) {
+    // Session-pinned items (batch closed-loop / interactive) first: the
+    // interactive driver relies on its session draining its own queue.
+    item = std::move(queues_[c.value].front());
+    queues_[c.value].pop_front();
+  } else {
+    auto [step, popped] = queue_.pop();
+    item = std::move(popped);
+    arrival = step;
+  }
 
   op_keys_->assign(id, item.key);
   issued_[c.value].push_back(id);
@@ -33,8 +48,15 @@ sim::Invocation QueueWorkload::next(ClientId c, OpId id) {
   inv.op = id;
   inv.client = c;
   inv.kind = item.kind;
+  inv.arrival_time = arrival;
   if (item.kind == sim::OpKind::kWrite) inv.value = std::move(item.value);
   return inv;
+}
+
+void QueueWorkload::advance_to(uint64_t now) { queue_.advance_to(now); }
+
+std::optional<uint64_t> QueueWorkload::next_arrival() const {
+  return queue_.next_arrival();
 }
 
 const std::vector<OpId>& QueueWorkload::issued(ClientId session) const {

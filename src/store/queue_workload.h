@@ -4,14 +4,23 @@
 // Workload interface. next() stamps the simulator-assigned OpId into the
 // shared OpKeyTable — that table is how the multiplexing clients and the
 // post-run per-key history splitter learn which key an operation targeted.
+//
+// Open-loop mode adds a third feed: push_arrival() schedules items at
+// absolute simulator steps; advance_to() (called by the simulator each
+// step) releases due items into a shared ready queue that ANY free session
+// drains, so each op carries an arrival timestamp and its sojourn time
+// (arrival -> return) includes the queueing delay. The ready queue's depth
+// maximum and the undispatched backlog feed saturation detection.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/value.h"
+#include "sim/arrival.h"
 #include "sim/workload.h"
 #include "store/multi_client.h"
 
@@ -29,8 +38,15 @@ class QueueWorkload final : public sim::Workload {
 
   void push(ClientId session, Item item);
 
+  /// Schedule `item` to arrive at simulator step `step` (open-loop mode).
+  /// Steps must be pushed in nondecreasing order; the item is dispatched to
+  /// whichever session the scheduler frees up first once released.
+  void push_arrival(uint64_t step, Item item);
+
   bool has_more(ClientId c) const override;
   sim::Invocation next(ClientId c, OpId id) override;
+  void advance_to(uint64_t now) override;
+  std::optional<uint64_t> next_arrival() const override;
 
   /// OpIds issued on behalf of `session`, in issue order (the interactive
   /// driver uses this to find the completion record of the op it pushed).
@@ -39,10 +55,28 @@ class QueueWorkload final : public sim::Workload {
   /// Items pushed but not yet issued, across all sessions.
   size_t queued() const;
 
+  /// Largest number of released-but-undispatched arrivals ever queued.
+  uint64_t max_queue_depth() const { return queue_.max_queue_depth(); }
+  /// Open-loop items not yet handed to a session (queued now or arriving
+  /// later) — nonzero after a run means the offered rate beat the drain
+  /// rate within the step budget (saturation).
+  size_t undispatched() const { return queue_.undispatched(); }
+  /// sim::ArrivalQueue::saturated over this shard's session pool.
+  bool saturated(bool hit_step_limit) const {
+    return queue_.saturated(queues_.size(), hit_step_limit);
+  }
+  /// Step of the latest scheduled arrival: a later batch (repeated
+  /// Store::run()) must base itself at or past this — a saturated first
+  /// batch can leave arrivals scheduled beyond the shard's current time.
+  uint64_t last_scheduled_step() const {
+    return queue_.last_scheduled_step();
+  }
+
  private:
   std::vector<std::deque<Item>> queues_;
   std::vector<std::vector<OpId>> issued_;
   std::shared_ptr<OpKeyTable> op_keys_;
+  sim::ArrivalQueue<Item> queue_;  // the open-loop feed
 };
 
 }  // namespace sbrs::store

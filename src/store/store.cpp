@@ -42,12 +42,10 @@ std::unique_ptr<sim::Scheduler> make_scheduler(const StoreOptions& opts,
   return nullptr;
 }
 
-/// Split the shard-wide event stream into one history per key, in a single
-/// pass (keyed map, so iteration is in key order). The checkers then see
-/// exactly what a single-register run of each key's operations would have
-/// recorded.
-std::map<uint32_t, sim::History> split_by_key(const sim::History& h,
-                                              const OpKeyTable& op_keys) {
+}  // namespace
+
+std::map<uint32_t, sim::History> split_history_by_key(
+    const sim::History& h, const OpKeyTable& op_keys) {
   std::map<uint32_t, sim::History> out;
   for (const auto& ev : h.events()) {
     const uint32_t* k = op_keys.find(ev.op);
@@ -68,8 +66,6 @@ std::map<uint32_t, sim::History> split_by_key(const sim::History& h,
   }
   return out;
 }
-
-}  // namespace
 
 struct Store::Shard {
   uint32_t index = 0;
@@ -160,6 +156,11 @@ const sim::Simulator& Store::shard_sim(uint32_t shard) const {
   return *shards_[shard]->sim;
 }
 
+const OpKeyTable& Store::shard_op_keys(uint32_t shard) const {
+  SBRS_CHECK(shard < shards_.size());
+  return *shards_[shard]->op_keys;
+}
+
 std::optional<Value> Store::drive(const std::string& key, sim::OpKind kind,
                                   Value value) {
   const uint32_t id = key_id(key);
@@ -222,6 +223,10 @@ ShardResult Store::summarize_shard(const Shard& shard) const {
         .record(latency);
   }
 
+  r.max_queue_depth = shard.workload->max_queue_depth();
+  r.undispatched = shard.workload->undispatched();
+  r.saturated = shard.workload->saturated(r.report.hit_step_limit);
+
   r.live = true;
   for (const auto& rec : history.outstanding()) {
     if (shard.sim->client_alive(rec.client)) r.live = false;
@@ -229,7 +234,7 @@ ShardResult Store::summarize_shard(const Shard& shard) const {
 
   // Per-key histories in key-id order: deterministic verdict aggregation.
   const std::map<uint32_t, sim::History> by_key =
-      split_by_key(history, *shard.op_keys);
+      split_history_by_key(history, *shard.op_keys);
   r.keys_touched = static_cast<uint32_t>(by_key.size());
 
   uint64_t fp = harness::kFingerprintSeed;
@@ -277,6 +282,15 @@ ShardResult Store::summarize_shard(const Shard& shard) const {
   fp = mix_into(fp, r.report.rmws_triggered);
   fp = mix_into(fp, r.report.rmws_delivered);
   fp = mix_into(fp, r.live);
+  // Open-loop queueing outcome: arrival times are not part of the history
+  // trace, so pin the derived sojourn tail and queue stats explicitly.
+  fp = mix_into(fp, r.max_queue_depth);
+  fp = mix_into(fp, r.undispatched);
+  fp = mix_into(fp, r.saturated);
+  fp = mix_into(fp, r.report.sojourn_latency.count());
+  fp = mix_into(fp, r.report.sojourn_latency.p50());
+  fp = mix_into(fp, r.report.sojourn_latency.p99());
+  fp = mix_into(fp, r.report.sojourn_latency.max());
   r.fingerprint = fp;
   return r;
 }
@@ -287,6 +301,12 @@ StoreResult Store::assemble(std::vector<ShardResult> shards) const {
   for (const auto& s : shards) {
     result.read_latency.merge(s.read_latency);
     result.write_latency.merge(s.write_latency);
+    result.service_latency.merge(s.report.op_latency);
+    result.sojourn_latency.merge(s.report.sojourn_latency);
+    result.max_queue_depth = std::max(result.max_queue_depth,
+                                      s.max_queue_depth);
+    result.undispatched += s.undispatched;
+    result.saturated = result.saturated || s.saturated;
     result.completed_reads += s.read_latency.count();
     result.completed_writes += s.write_latency.count();
     result.total_steps += s.report.steps;
@@ -306,15 +326,18 @@ StoreResult Store::assemble(std::vector<ShardResult> shards) const {
 
 StoreResult Store::run() {
   const auto ops = ycsb::generate(opts_.workload);
+  const bool open = sim::open_loop(opts_.arrival);
 
   // Partition the stream onto the shards, preserving per-client order.
   // Write values take tags from the store-lifetime counter, so repeated
   // run() calls on one Store keep every written value distinct — the
   // assumption the per-key checkers rest on (results are then cumulative
   // over the store's whole history).
+  std::vector<std::vector<QueueWorkload::Item>> open_items(
+      open ? opts_.num_shards : 0);
   for (const auto& op : ops) {
     SBRS_CHECK(op.key < opts_.workload.num_keys);
-    Shard& shard = *shards_[key_shards_[op.key]];
+    const uint32_t shard_index = key_shards_[op.key];
     QueueWorkload::Item item;
     item.key = op.key;
     item.kind = op.kind;
@@ -322,7 +345,30 @@ StoreResult Store::run() {
       item.value = Value::from_tag(next_write_tag_++,
                                    opts_.register_config.data_bits);
     }
-    shard.workload->push(ClientId{op.client}, std::move(item));
+    if (open) {
+      open_items[shard_index].push_back(std::move(item));
+    } else {
+      shards_[shard_index]->workload->push(ClientId{op.client},
+                                           std::move(item));
+    }
+  }
+
+  // Open loop: schedule each shard's sub-stream on that shard's own
+  // logical clock (each shard is one simulator), offset past any earlier
+  // traffic — including arrivals a saturated previous run() left scheduled
+  // beyond the step budget — so repeated run() calls keep the push order
+  // nondecreasing. Schedule seeds are splitmix-derived per shard,
+  // thread-count independent, and decorrelated from the scheduler stream.
+  for (uint32_t s = 0; open && s < opts_.num_shards; ++s) {
+    const std::vector<uint64_t> arrivals = sim::generate_arrivals(
+        opts_.arrival, open_items[s].size(),
+        sim::arrival_seed(harness::cell_seed(opts_.seed, s, 1)));
+    const uint64_t base = std::max(shards_[s]->sim->now(),
+                                   shards_[s]->workload->last_scheduled_step());
+    for (size_t i = 0; i < open_items[s].size(); ++i) {
+      shards_[s]->workload->push_arrival(base + arrivals[i],
+                                         std::move(open_items[s][i]));
+    }
   }
 
   uint32_t threads =
@@ -386,10 +432,17 @@ void write_store_deterministic_json(std::ostream& os,
      << ", \"all_live\": " << (r.all_live ? "true" : "false")
      << ", \"all_quiesced\": " << (r.all_quiesced ? "true" : "false")
      << ",\n";
+  os << "    \"max_queue_depth\": " << r.max_queue_depth
+     << ", \"undispatched\": " << r.undispatched
+     << ", \"saturated\": " << (r.saturated ? "true" : "false") << ",\n";
   os << "    \"read_latency_steps\": ";
   harness::write_latency_json(os, r.read_latency);
   os << ",\n    \"write_latency_steps\": ";
   harness::write_latency_json(os, r.write_latency);
+  os << ",\n    \"service_latency_steps\": ";
+  harness::write_latency_json(os, r.service_latency);
+  os << ",\n    \"sojourn_latency_steps\": ";
+  harness::write_latency_json(os, r.sojourn_latency);
   os << ",\n    \"shards\": [\n";
   for (size_t i = 0; i < r.shards.size(); ++i) {
     const ShardResult& s = r.shards[i];
@@ -406,6 +459,9 @@ void write_store_deterministic_json(std::ostream& os,
        << ", \"max_object_bits\": " << s.max_object_bits
        << ", \"max_channel_bits\": " << s.max_channel_bits
        << ", \"final_object_bits\": " << s.final_object_bits
+       << ", \"max_queue_depth\": " << s.max_queue_depth
+       << ", \"undispatched\": " << s.undispatched
+       << ", \"saturated\": " << (s.saturated ? "true" : "false")
        << ", \"live\": " << (s.live ? "true" : "false")
        << ", \"quiesced\": " << (s.report.quiesced ? "true" : "false")
        << ", \"fingerprint\": \"" << std::hex << s.fingerprint << std::dec
@@ -413,6 +469,8 @@ void write_store_deterministic_json(std::ostream& os,
     harness::write_latency_json(os, s.read_latency);
     os << ", \"write_latency_steps\": ";
     harness::write_latency_json(os, s.write_latency);
+    os << ", \"sojourn_latency_steps\": ";
+    harness::write_latency_json(os, s.report.sojourn_latency);
     os << "}" << (i + 1 < r.shards.size() ? "," : "") << "\n";
   }
   os << "    ]\n";
@@ -436,6 +494,10 @@ void write_store_json(std::ostream& os, const StoreResult& r) {
      << ", \"record_bits\": " << o.register_config.data_bits
      << ", \"n\": " << o.register_config.n << ", \"k\": "
      << o.register_config.k << ", \"f\": " << o.register_config.f
+     << ", \"arrival\": \"" << sim::to_string(o.arrival.process)
+     << "\", \"rate\": " << o.arrival.rate
+     << ", \"burst_on\": " << o.arrival.burst_on
+     << ", \"burst_off\": " << o.arrival.burst_off
      << ", \"scheduler\": \"" << harness::to_string(o.scheduler)
      << "\", \"object_crashes_per_shard\": " << o.object_crashes_per_shard
      << ", \"seed\": " << o.seed << ", \"check_consistency\": "

@@ -31,10 +31,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include <map>
+
 #include "harness/runner.h"
 #include "metrics/latency_histogram.h"
 #include "registers/register_algorithm.h"
+#include "sim/arrival.h"
+#include "sim/history.h"
 #include "sim/simulator.h"
+#include "store/multi_client.h"
 #include "store/shard_map.h"
 #include "store/ycsb.h"
 
@@ -48,6 +53,14 @@ struct StoreOptions {
   registers::RegisterConfig register_config;
   uint32_t num_shards = 8;
   ycsb::Options workload;
+  /// Open-loop arrival process for run(): when set (process !=
+  /// kClosedLoop), the generated stream is scheduled onto each shard's
+  /// logical clock (arrival.rate = offered ops per step PER SHARD, each
+  /// shard being one simulator) instead of session-paced; ops queue while
+  /// all sessions are busy, so latency splits into service and sojourn
+  /// time. The ycsb `client` assignment is ignored — any free session
+  /// dispatches the queue, the sessions acting as server slots.
+  sim::ArrivalOptions arrival;
   harness::SchedKind scheduler = harness::SchedKind::kRandom;
   /// Crash up to this many base objects per shard at random points (keep
   /// <= f for liveness), scheduler == kRandom only.
@@ -78,6 +91,13 @@ struct ShardResult {
   uint64_t final_total_bits = 0;
   metrics::LatencyHistogram read_latency;
   metrics::LatencyHistogram write_latency;
+  // Open-loop queueing outcome (zero / false for closed-loop runs; the
+  // sojourn histogram itself travels in report.sojourn_latency).
+  uint64_t max_queue_depth = 0;
+  uint64_t undispatched = 0;  // arrivals never handed to a session
+  /// Offered load beat the drain rate: the run ended with queued arrivals
+  /// or was cut off by the per-shard step budget.
+  bool saturated = false;
   bool live = true;   // no operation of a live session left outstanding
   uint64_t fingerprint = 0;
   std::vector<std::string> violations;  // first few, for diagnostics
@@ -91,6 +111,14 @@ struct StoreResult {
   // Merged deterministic aggregates.
   metrics::LatencyHistogram read_latency;
   metrics::LatencyHistogram write_latency;
+  /// All-op service time (invoke -> return) and sojourn time (arrival ->
+  /// return) merged across shards. Closed-loop runs: the two are equal;
+  /// open-loop runs past saturation: sojourn p99 >> service p99.
+  metrics::LatencyHistogram service_latency;
+  metrics::LatencyHistogram sojourn_latency;
+  uint64_t max_queue_depth = 0;  // deepest per-shard arrival queue
+  uint64_t undispatched = 0;     // summed over shards
+  bool saturated = false;        // any shard saturated
   uint64_t completed_reads = 0;
   uint64_t completed_writes = 0;
   uint64_t total_steps = 0;
@@ -157,6 +185,9 @@ class Store {
   /// The shard simulator owning `key` (tests / inspection).
   const sim::Simulator& shard_sim(uint32_t shard) const;
 
+  /// The op -> key table of `shard` (tests / external history splitting).
+  const OpKeyTable& shard_op_keys(uint32_t shard) const;
+
  private:
   struct Shard;
 
@@ -186,5 +217,14 @@ void write_store_json(std::ostream& os, const StoreResult& result);
 /// {options, seed} no matter how many worker threads ran the shards.
 void write_store_deterministic_json(std::ostream& os,
                                     const StoreResult& result);
+
+/// Split a shard-wide history into one history per key (keyed by the dense
+/// key id the OpKeyTable records), in a single pass. The checkers then see
+/// exactly what a single-register run of each key's operations would have
+/// recorded. Used internally by the per-key consistency pass and exposed
+/// for the store fuzz tests, which push randomized open-loop multi-key
+/// histories through the checker hierarchy directly.
+std::map<uint32_t, sim::History> split_history_by_key(
+    const sim::History& h, const OpKeyTable& op_keys);
 
 }  // namespace sbrs::store

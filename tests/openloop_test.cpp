@@ -1,0 +1,422 @@
+// Tests for the open-loop load subsystem: arrival-schedule determinism and
+// shape (fixed-rate / bursty on-off / Poisson, mirroring the statistical
+// style of ycsb_test.cpp — fixed seeds make every assertion an exact
+// regression), queue-depth invariants, sojourn >= service for every
+// operation across all algorithm variants, the pinned saturation
+// regression, and the thread-count independence of open-loop store runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "harness/algorithms.h"
+#include "harness/runner.h"
+#include "sim/arrival.h"
+#include "store/store.h"
+
+namespace sbrs {
+namespace {
+
+using sim::ArrivalOptions;
+using sim::ArrivalProcess;
+using sim::generate_arrivals;
+
+TEST(ArrivalSchedule, FixedRateIsExactAndNondecreasing) {
+  ArrivalOptions a;
+  a.process = ArrivalProcess::kFixedRate;
+  a.rate = 0.5;  // one op every 2 steps
+  const auto arrivals = generate_arrivals(a, 10, 1);
+  ASSERT_EQ(arrivals.size(), 10u);
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i], 2 * i);
+  }
+
+  a.rate = 2.0;  // two ops per step
+  const auto fast = generate_arrivals(a, 9, 1);
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i], i / 2);
+  }
+}
+
+TEST(ArrivalSchedule, SameSeedByteIdenticalDifferentSeedDiffers) {
+  ArrivalOptions a;
+  a.process = ArrivalProcess::kPoisson;
+  a.rate = 0.1;
+  const auto first = generate_arrivals(a, 500, 42);
+  const auto second = generate_arrivals(a, 500, 42);
+  EXPECT_EQ(first, second) << "same seed must give a byte-identical schedule";
+
+  const auto other = generate_arrivals(a, 500, 43);
+  EXPECT_NE(first, other) << "distinct seeds should move the arrivals";
+
+  // Deterministic processes ignore the seed entirely.
+  a.process = ArrivalProcess::kFixedRate;
+  EXPECT_EQ(generate_arrivals(a, 100, 1), generate_arrivals(a, 100, 999));
+}
+
+TEST(ArrivalSchedule, PoissonMeanInterarrivalMatchesRate) {
+  ArrivalOptions a;
+  a.process = ArrivalProcess::kPoisson;
+  a.rate = 0.05;  // mean interarrival 20 steps
+  const size_t n = 4000;
+  const auto arrivals = generate_arrivals(a, n, 7);
+  for (size_t i = 1; i < n; ++i) {
+    ASSERT_LE(arrivals[i - 1], arrivals[i]) << "arrivals must be sorted";
+  }
+  // Under this fixed seed the empirical mean interarrival sits within 5%
+  // of 1/rate (an exact regression, not a flaky tolerance check).
+  const double mean =
+      static_cast<double>(arrivals.back()) / static_cast<double>(n - 1);
+  EXPECT_GT(mean, 19.0);
+  EXPECT_LT(mean, 21.0);
+  // And it is genuinely random: not all interarrivals equal the mean.
+  size_t distinct_gaps = 0;
+  for (size_t i = 1; i < 50; ++i) {
+    if (arrivals[i] - arrivals[i - 1] != 20) ++distinct_gaps;
+  }
+  EXPECT_GT(distinct_gaps, 10u);
+}
+
+TEST(ArrivalSchedule, BurstyRespectsOnOffWindowsAndMeanRate) {
+  ArrivalOptions a;
+  a.process = ArrivalProcess::kBursty;
+  a.rate = 0.1;
+  a.burst_on = 16;
+  a.burst_off = 48;  // cycle 64, peak rate 0.4
+  const size_t n = 1000;
+  const auto arrivals = generate_arrivals(a, n, 1);
+  const uint64_t cycle = a.burst_on + a.burst_off;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) ASSERT_LE(arrivals[i - 1], arrivals[i]);
+    EXPECT_LT(arrivals[i] % cycle, a.burst_on)
+        << "arrival " << i << " at step " << arrivals[i]
+        << " falls in an off-window";
+  }
+  // The mean rate is preserved across whole cycles: the last arrival of a
+  // 1000-op stream at rate 0.1 lands near step 10'000.
+  EXPECT_GT(arrivals.back(), 9'000u);
+  EXPECT_LT(arrivals.back(), 11'000u);
+}
+
+TEST(ArrivalSchedule, RejectsClosedLoopAndBadRate) {
+  ArrivalOptions a;  // kClosedLoop
+  EXPECT_THROW(generate_arrivals(a, 4, 1), CheckFailure);
+  a.process = ArrivalProcess::kFixedRate;
+  a.rate = 0.0;
+  EXPECT_THROW(generate_arrivals(a, 4, 1), CheckFailure);
+}
+
+TEST(ArrivalSchedule, ParseRoundTripAndReject) {
+  EXPECT_EQ(sim::parse_arrival_process("closed"),
+            ArrivalProcess::kClosedLoop);
+  EXPECT_EQ(sim::parse_arrival_process("fixed"), ArrivalProcess::kFixedRate);
+  EXPECT_EQ(sim::parse_arrival_process("burst"), ArrivalProcess::kBursty);
+  EXPECT_EQ(sim::parse_arrival_process("poisson"),
+            ArrivalProcess::kPoisson);
+  EXPECT_THROW(sim::parse_arrival_process("uniform"), CheckFailure);
+  for (auto p : {ArrivalProcess::kClosedLoop, ArrivalProcess::kFixedRate,
+                 ArrivalProcess::kBursty, ArrivalProcess::kPoisson}) {
+    EXPECT_EQ(sim::parse_arrival_process(sim::to_string(p)), p);
+  }
+}
+
+registers::RegisterConfig small_config() {
+  registers::RegisterConfig cfg;
+  cfg.f = 1;
+  cfg.k = 2;
+  cfg.n = 4;
+  cfg.data_bits = 128;
+  return cfg;
+}
+
+harness::RunOptions open_loop_options(double rate) {
+  harness::RunOptions opts;
+  opts.writers = 2;
+  opts.writes_per_client = 8;
+  opts.readers = 2;
+  opts.reads_per_client = 8;
+  opts.seed = 5;
+  opts.arrival.process = ArrivalProcess::kPoisson;
+  opts.arrival.rate = rate;
+  return opts;
+}
+
+// Every algorithm variant, open loop: per-op sojourn bounds service from
+// above (arrival <= invoke for every op), the two histograms count the
+// same completions, and each variant still meets its own consistency
+// guarantee when ops are dispatched by queue order instead of session.
+TEST(OpenLoopRegister, SojournAtLeastServicePerOpAcrossAllAlgorithms) {
+  for (const std::string& alg : harness::algorithm_names()) {
+    SCOPED_TRACE(alg);
+    auto algorithm = harness::make_algorithm(alg, small_config());
+    const auto out =
+        harness::run_register_experiment(*algorithm, open_loop_options(0.1));
+
+    EXPECT_TRUE(out.live);
+    EXPECT_TRUE(out.report.quiesced);
+    EXPECT_EQ(out.report.sojourn_latency.count(),
+              out.report.op_latency.count());
+    EXPECT_GE(out.report.sojourn_latency.max(), out.report.op_latency.max());
+    size_t checked = 0;
+    for (const auto& rec : out.history.ops()) {
+      EXPECT_LE(rec.arrival_time, rec.invoke_time) << rec.op;
+      if (!rec.complete()) continue;
+      const uint64_t service = *rec.return_time - rec.invoke_time;
+      const uint64_t sojourn = *rec.return_time - rec.arrival_time;
+      EXPECT_GE(sojourn, service) << rec.op;
+      ++checked;
+    }
+    EXPECT_EQ(checked, 32u) << "all 32 scheduled ops should complete";
+
+    // The variant keeps its own promise under open-loop dispatch.
+    EXPECT_TRUE(out.values_legal.ok);
+    switch (harness::expected_consistency(alg)) {
+      case harness::ConsistencyGuarantee::kStronglySafe:
+        EXPECT_TRUE(out.strongly_safe.ok);
+        break;
+      case harness::ConsistencyGuarantee::kWeakRegular:
+        EXPECT_TRUE(out.weak_regular.ok);
+        break;
+      case harness::ConsistencyGuarantee::kStrongRegular:
+        EXPECT_TRUE(out.weak_regular.ok && out.strong_regular.ok);
+        break;
+    }
+  }
+}
+
+TEST(OpenLoopRegister, QueueDepthInvariants) {
+  // A trickle never queues more than the momentary burst the PRNG emits,
+  // and everything dispatches.
+  auto algorithm = harness::make_algorithm("adaptive", small_config());
+  const auto slow =
+      harness::run_register_experiment(*algorithm, open_loop_options(0.005));
+  EXPECT_EQ(slow.undispatched, 0u);
+  EXPECT_FALSE(slow.saturated);
+  EXPECT_LE(slow.max_queue_depth, 4u);
+  // Sojourn stays close to service when there is no queueing.
+  EXPECT_LE(slow.report.sojourn_latency.p99(),
+            slow.report.op_latency.p99() + 16);
+
+  // A flood queues nearly everything at once; the queue is bounded by the
+  // op count and still fully drains (finite workload, ample step budget).
+  const auto flood =
+      harness::run_register_experiment(*algorithm, open_loop_options(64.0));
+  EXPECT_EQ(flood.undispatched, 0u);
+  EXPECT_TRUE(flood.saturated);
+  EXPECT_GT(flood.max_queue_depth, 2 * 4u);
+  EXPECT_LE(flood.max_queue_depth, 32u);
+  EXPECT_GT(flood.report.sojourn_latency.p99(),
+            flood.report.op_latency.p99());
+}
+
+TEST(OpenLoopRegister, DispatchFollowsArrivalOrder) {
+  auto algorithm = harness::make_algorithm("adaptive", small_config());
+  const auto out =
+      harness::run_register_experiment(*algorithm, open_loop_options(0.5));
+  // The shared ready queue is FIFO: ops are invoked in arrival order.
+  uint64_t last_arrival = 0;
+  for (const auto& rec : out.history.ops()) {
+    EXPECT_GE(rec.arrival_time, last_arrival);
+    last_arrival = rec.arrival_time;
+  }
+}
+
+// The satellite saturation regression: a pinned small-config cell whose
+// offered rate exceeds capacity by an order of magnitude and whose step
+// budget truncates the run. The run must report saturation, leave arrivals
+// undispatched, keep the queue bounded by the (finite) stream, and stop at
+// exactly the step budget — the exact-step assertion pins the idle
+// fast-forward clamping too.
+TEST(OpenLoopStore, SaturationRegressionPinned) {
+  store::StoreOptions opts;
+  opts.algorithm = "adaptive";
+  opts.register_config = small_config();
+  opts.num_shards = 1;
+  opts.workload.num_keys = 8;
+  opts.workload.clients = 2;
+  opts.workload.ops_per_client = 64;  // 128 ops through one shard
+  opts.workload.mix = store::ycsb::Mix::kA;
+  opts.workload.distribution = store::ycsb::Distribution::kZipfian;
+  opts.seed = 3;
+  opts.threads = 1;
+  opts.arrival.process = ArrivalProcess::kFixedRate;
+  opts.arrival.rate = 4.0;          // far beyond the ~0.1 ops/step capacity
+  opts.max_steps_per_shard = 1024;  // cut the run off mid-drain
+
+  store::Store store(opts);
+  const store::StoreResult result = store.run();
+
+  ASSERT_EQ(result.shards.size(), 1u);
+  const store::ShardResult& s = result.shards[0];
+  EXPECT_TRUE(result.saturated);
+  EXPECT_TRUE(s.saturated);
+  EXPECT_TRUE(s.report.hit_step_limit);
+  EXPECT_FALSE(s.report.quiesced);
+  // Exactly the step budget was spent — not one step more.
+  EXPECT_EQ(s.report.steps, opts.max_steps_per_shard);
+  EXPECT_EQ(result.total_steps, opts.max_steps_per_shard);
+  // The queue is bounded by the finite stream and something was left over.
+  EXPECT_GT(result.undispatched, 0u);
+  EXPECT_LE(result.undispatched, 128u);
+  EXPECT_LE(result.max_queue_depth, 128u);
+  EXPECT_GT(result.max_queue_depth, 2u * opts.workload.clients);
+  // Undispatched + invoked accounts for the whole stream: nothing lost.
+  EXPECT_EQ(result.undispatched + s.report.invoked_ops, 128u);
+  // What did complete still checks out per key.
+  EXPECT_EQ(result.consistency_failures, 0u);
+}
+
+// The acceptance smoke: an open-loop zipfian store run well past
+// saturation keeps the deterministic block byte-identical for 1/4/9
+// worker threads, and its sojourn tail dominates its service tail.
+TEST(OpenLoopStore, DeterministicAcrossThreadCountsAndSojournDominates) {
+  store::StoreOptions opts;
+  opts.algorithm = "adaptive";
+  opts.register_config.f = 1;
+  opts.register_config.k = 2;
+  opts.register_config.n = 4;
+  opts.register_config.data_bits = 128;
+  opts.num_shards = 8;
+  opts.workload.num_keys = 64;
+  opts.workload.clients = 4;
+  opts.workload.ops_per_client = 48;
+  opts.workload.mix = store::ycsb::Mix::kB;
+  opts.workload.distribution = store::ycsb::Distribution::kZipfian;
+  opts.seed = 2016;
+  opts.arrival.process = ArrivalProcess::kPoisson;
+  opts.arrival.rate = 0.5;  // >= 2x the ~0.1 ops/step/shard capacity
+
+  std::string deterministic[3];
+  const uint32_t thread_counts[3] = {1, 4, 9};
+  for (int i = 0; i < 3; ++i) {
+    store::StoreOptions run_opts = opts;
+    run_opts.threads = thread_counts[i];
+    store::Store store(run_opts);
+    const store::StoreResult result = store.run();
+
+    EXPECT_EQ(result.consistency_failures, 0u);
+    EXPECT_TRUE(result.saturated);
+    EXPECT_EQ(result.undispatched, 0u) << "ample budget: the queue drains";
+    EXPECT_GT(result.sojourn_latency.p99(),
+              2 * result.service_latency.p99())
+        << "past saturation the sojourn tail must detach from service";
+    EXPECT_GE(result.sojourn_latency.count(),
+              result.service_latency.count());
+
+    std::ostringstream os;
+    store::write_store_deterministic_json(os, result);
+    deterministic[i] = os.str();
+  }
+  EXPECT_EQ(deterministic[0], deterministic[1]);
+  EXPECT_EQ(deterministic[0], deterministic[2])
+      << "open-loop results must not depend on the worker thread count";
+}
+
+// A saturated first run() leaves arrivals scheduled beyond the shard's
+// step budget; a second run() must base its batch past them (nondecreasing
+// push order) instead of throwing, and report the still-growing backlog.
+TEST(OpenLoopStore, RepeatedRunAfterSaturationDoesNotThrow) {
+  store::StoreOptions opts;
+  opts.algorithm = "adaptive";
+  opts.register_config = small_config();
+  opts.num_shards = 1;
+  opts.workload.num_keys = 8;
+  opts.workload.clients = 2;
+  opts.workload.ops_per_client = 32;
+  opts.workload.mix = store::ycsb::Mix::kA;
+  opts.seed = 3;
+  opts.threads = 1;
+  opts.arrival.process = ArrivalProcess::kFixedRate;
+  opts.arrival.rate = 0.01;         // arrivals stretch far past the budget
+  opts.max_steps_per_shard = 256;   // cut off early
+
+  store::Store store(opts);
+  const store::StoreResult first = store.run();
+  EXPECT_TRUE(first.saturated);
+  EXPECT_GT(first.undispatched, 0u);
+
+  const store::StoreResult second = store.run();  // must not throw
+  EXPECT_TRUE(second.saturated);
+  // The new batch queued on top of the leftover one; nothing was lost.
+  EXPECT_EQ(second.undispatched,
+            first.undispatched + 2u * opts.workload.ops_per_client);
+}
+
+// A CLOSED-loop run truncated by the step budget is a stuck run, not a
+// saturated one: the saturation excuse must never leak into closed-loop
+// verdicts (it would mask wedged protocols from the CLI's exit code).
+TEST(OpenLoopStore, ClosedLoopStepLimitIsNotSaturation) {
+  store::StoreOptions opts;
+  opts.algorithm = "adaptive";
+  opts.register_config = small_config();
+  opts.num_shards = 1;
+  opts.workload.num_keys = 8;
+  opts.workload.clients = 4;
+  opts.workload.ops_per_client = 32;
+  opts.workload.mix = store::ycsb::Mix::kA;
+  opts.seed = 3;
+  opts.threads = 1;
+  opts.max_steps_per_shard = 64;  // truncates mid-run; no arrival schedule
+
+  store::Store store(opts);
+  const store::StoreResult result = store.run();
+  ASSERT_TRUE(result.shards[0].report.hit_step_limit);
+  EXPECT_FALSE(result.saturated);
+  EXPECT_FALSE(result.all_quiesced);
+  EXPECT_EQ(result.max_queue_depth, 0u);
+}
+
+TEST(OpenLoopStore, BurstySchedulesQuiesceAndCheckOut) {
+  store::StoreOptions opts;
+  opts.algorithm = "coded";
+  opts.register_config = small_config();
+  opts.num_shards = 2;
+  opts.workload.num_keys = 16;
+  opts.workload.clients = 4;
+  opts.workload.ops_per_client = 24;
+  opts.workload.mix = store::ycsb::Mix::kA;
+  opts.seed = 9;
+  opts.threads = 2;
+  opts.arrival.process = ArrivalProcess::kBursty;
+  opts.arrival.rate = 0.05;
+  opts.arrival.burst_on = 8;
+  opts.arrival.burst_off = 56;
+
+  store::Store store(opts);
+  const store::StoreResult result = store.run();
+  EXPECT_TRUE(result.all_quiesced);
+  EXPECT_EQ(result.undispatched, 0u);
+  EXPECT_EQ(result.consistency_failures, 0u);
+  // On-off load queues inside the bursts even though the mean rate is low.
+  EXPECT_GT(result.max_queue_depth, 0u);
+  EXPECT_NE(result.sojourn_latency.count(), 0u);
+}
+
+TEST(OpenLoopStore, JsonCarriesQueueingFields) {
+  store::StoreOptions opts;
+  opts.algorithm = "adaptive";
+  opts.register_config = small_config();
+  opts.num_shards = 2;
+  opts.workload.num_keys = 16;
+  opts.workload.clients = 2;
+  opts.workload.ops_per_client = 8;
+  opts.threads = 1;
+  opts.arrival.process = ArrivalProcess::kFixedRate;
+  opts.arrival.rate = 0.1;
+
+  store::Store store(opts);
+  const store::StoreResult result = store.run();
+  std::ostringstream os;
+  store::write_store_json(os, result);
+  const std::string json = os.str();
+  for (const char* field :
+       {"\"arrival\": \"fixed\"", "\"rate\": 0.1", "\"sojourn_latency_steps\"",
+        "\"service_latency_steps\"", "\"max_queue_depth\"",
+        "\"undispatched\"", "\"saturated\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+}  // namespace
+}  // namespace sbrs

@@ -1,0 +1,179 @@
+// Store-level checker cross-validation: randomized open-loop multi-key
+// runs — including crash-heavy schedules — whose shard histories are split
+// per key and pushed through the consistency-checker hierarchy directly.
+// Complements checker_fuzz_test.cpp (single-register mutation fuzzing):
+// here the histories come out of the sharded multiplexer under queued
+// open-loop dispatch, so the split itself, the per-key isolation, and the
+// checkers' tolerance of arrival-queued interleavings are all on trial —
+// plus a mutation pass proving a corrupted per-key history is still caught
+// (the split must not launder corruption into something the checkers
+// accept).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "consistency/checker.h"
+#include "harness/algorithms.h"
+#include "store/store.h"
+
+namespace sbrs::store {
+namespace {
+
+StoreOptions fuzz_options(const std::string& alg, uint64_t seed,
+                          bool crash_heavy) {
+  StoreOptions opts;
+  opts.algorithm = alg;
+  opts.register_config.f = 2;
+  opts.register_config.k = 2;
+  opts.register_config.n = 6;
+  opts.register_config.data_bits = 96;
+  opts.num_shards = 3;
+  opts.workload.num_keys = 24;
+  opts.workload.clients = 4;
+  opts.workload.ops_per_client = 20;
+  opts.workload.mix = ycsb::Mix::kA;  // write-heavy: order bugs surface
+  opts.workload.distribution = ycsb::Distribution::kZipfian;
+  opts.workload.seed = seed;
+  opts.seed = seed;
+  opts.threads = 2;
+  // The store runs its own per-key pass too; keep it on so the fuzz also
+  // cross-checks our external verdicts against the engine's counters.
+  opts.check_consistency = true;
+  // Crash-heavy schedules: up to f objects per shard die mid-run.
+  opts.object_crashes_per_shard = crash_heavy ? 2 : 0;
+  // Randomized open-loop arrival shape, derived from the fuzz seed.
+  Rng rng(seed);
+  switch (rng.below(3)) {
+    case 0:
+      opts.arrival.process = sim::ArrivalProcess::kFixedRate;
+      break;
+    case 1:
+      opts.arrival.process = sim::ArrivalProcess::kBursty;
+      opts.arrival.burst_on = 8 + rng.below(32);
+      opts.arrival.burst_off = 16 + rng.below(64);
+      break;
+    default:
+      opts.arrival.process = sim::ArrivalProcess::kPoisson;
+      break;
+  }
+  // 0.02 .. 0.65 ops/step/shard: from trickle to well past saturation.
+  opts.arrival.rate = 0.02 + static_cast<double>(rng.below(64)) / 100.0;
+  return opts;
+}
+
+/// Run every split per-key history through the full hierarchy at the
+/// algorithm's own guarantee; returns the number of keys checked.
+size_t check_store_histories(const Store& store, const std::string& alg) {
+  const auto guarantee = harness::expected_consistency(alg);
+  size_t keys = 0;
+  for (uint32_t s = 0; s < store.options().num_shards; ++s) {
+    const auto by_key = split_history_by_key(store.shard_sim(s).history(),
+                                             store.shard_op_keys(s));
+    for (const auto& [key, sub] : by_key) {
+      SCOPED_TRACE("shard " + std::to_string(s) + " key " +
+                   std::to_string(key));
+      EXPECT_TRUE(consistency::check_values_legal(sub).ok);
+      switch (guarantee) {
+        case harness::ConsistencyGuarantee::kStronglySafe:
+          EXPECT_TRUE(consistency::check_strongly_safe(sub).ok);
+          break;
+        case harness::ConsistencyGuarantee::kWeakRegular:
+          EXPECT_TRUE(consistency::check_weak_regularity(sub).ok);
+          break;
+        case harness::ConsistencyGuarantee::kStrongRegular:
+          EXPECT_TRUE(consistency::check_weak_regularity(sub).ok);
+          EXPECT_TRUE(consistency::check_strong_regularity(sub).ok);
+          break;
+      }
+      ++keys;
+    }
+  }
+  return keys;
+}
+
+TEST(StoreFuzz, OpenLoopHistoriesPassTheirGuaranteePerKey) {
+  for (const std::string& alg : {"adaptive", "abd", "coded"}) {
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      SCOPED_TRACE(alg + " seed " + std::to_string(seed));
+      Store store(fuzz_options(alg, seed, /*crash_heavy=*/false));
+      const StoreResult result = store.run();
+      EXPECT_EQ(result.consistency_failures, 0u);
+      EXPECT_TRUE(result.all_live);
+      const size_t keys = check_store_histories(store, alg);
+      EXPECT_GT(keys, 0u);
+      EXPECT_EQ(keys, result.keys_checked)
+          << "external split disagrees with the engine's per-key pass";
+    }
+  }
+}
+
+TEST(StoreFuzz, CrashHeavyOpenLoopSchedulesStillCheckOutPerKey) {
+  for (const std::string& alg : {"adaptive", "coded-atomic", "safe"}) {
+    for (uint64_t seed = 11; seed <= 14; ++seed) {
+      SCOPED_TRACE(alg + " seed " + std::to_string(seed));
+      Store store(fuzz_options(alg, seed, /*crash_heavy=*/true));
+      const StoreResult result = store.run();
+      // f objects per shard may die; every key must keep its guarantee
+      // (liveness holds because crashes stay within f).
+      EXPECT_EQ(result.consistency_failures, 0u);
+      EXPECT_TRUE(result.all_live);
+      check_store_histories(store, alg);
+    }
+  }
+}
+
+/// Rebuild a history with one read's returned value replaced (the
+/// mutation-fuzz guard of checker_fuzz_test.cpp, applied to a split
+/// per-key history).
+sim::History mutate_read_value(const sim::History& h, OpId read_op,
+                               const Value& new_value) {
+  sim::History out;
+  for (const auto& ev : h.events()) {
+    if (ev.kind == sim::HistoryEvent::Kind::kInvoke) {
+      sim::Invocation inv;
+      inv.op = ev.op;
+      inv.client = ev.client;
+      inv.kind = ev.op_kind;
+      inv.value = ev.value;
+      out.record_invoke(ev.time, inv);
+    } else {
+      const bool target = ev.op == read_op && ev.op_kind == sim::OpKind::kRead;
+      std::optional<Value> v;
+      if (ev.op_kind == sim::OpKind::kRead) v = target ? new_value : ev.value;
+      out.record_return(ev.time, ev.op, v);
+    }
+  }
+  return out;
+}
+
+TEST(StoreFuzz, CorruptedPerKeyReadIsStillCaughtAfterTheSplit) {
+  Store store(fuzz_options("adaptive", 21, /*crash_heavy=*/false));
+  (void)store.run();
+  Rng rng(21);
+  size_t mutated = 0;
+  for (uint32_t s = 0; s < store.options().num_shards; ++s) {
+    const auto by_key = split_history_by_key(store.shard_sim(s).history(),
+                                             store.shard_op_keys(s));
+    for (const auto& [key, sub] : by_key) {
+      const auto reads = sub.reads();
+      if (reads.empty()) continue;
+      const auto& victim = reads[rng.pick_index(reads)];
+      if (!victim.complete()) continue;
+      // A value no write anywhere produced.
+      const auto corrupted = mutate_read_value(
+          sub, victim.op,
+          Value::from_tag(0xdead0000 + key,
+                          store.options().register_config.data_bits));
+      EXPECT_FALSE(consistency::check_values_legal(corrupted).ok)
+          << "shard " << s << " key " << key;
+      ++mutated;
+    }
+  }
+  EXPECT_GT(mutated, 8u) << "the mutation pass should exercise many keys";
+}
+
+}  // namespace
+}  // namespace sbrs::store

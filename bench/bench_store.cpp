@@ -142,6 +142,62 @@ BENCHMARK(BM_StoreOpenLoopAbd)
 BENCHMARK(BM_StoreOpenLoopCoded)
     ->Arg(20)->Arg(80)->Arg(320)->Unit(benchmark::kMillisecond);
 
+// Crash recovery under open-loop load: up to f objects per shard crash and
+// restart from disk `arg` steps later, so every run carries degraded
+// windows and repair traffic. Counters record the recovery outcome the
+// committed BENCH_store.json recovery section tracks: restarts, repair
+// bits, and the degraded-window sojourn tail next to the overall one.
+void run_store_recovery_bench(benchmark::State& state,
+                              const std::string& alg) {
+  store::StoreOptions opts =
+      store_options(alg, store::ycsb::Distribution::kZipfian);
+  opts.workload.mix = store::ycsb::Mix::kA;  // writes close repair windows
+  opts.workload.ops_per_client = 2 * kOpsPerClient;
+  opts.arrival.process = sim::ArrivalProcess::kPoisson;
+  opts.arrival.rate = 0.08;
+  opts.object_crashes_per_shard = 2;
+  opts.restart_after = static_cast<uint64_t>(state.range(0));
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    store::Store engine(opts);
+    store::StoreResult result = engine.run();
+    benchmark::DoNotOptimize(result.total_steps);
+    ops += result.completed_reads + result.completed_writes;
+    state.counters["object_restarts"] =
+        static_cast<double>(result.object_restarts);
+    state.counters["repair_bits"] = static_cast<double>(result.repair_bits);
+    state.counters["degraded_steps"] =
+        static_cast<double>(result.degraded_steps);
+    state.counters["degraded_sojourn_p99"] =
+        static_cast<double>(result.degraded_sojourn.p99());
+    state.counters["sojourn_p99_steps"] =
+        static_cast<double>(result.sojourn_latency.p99());
+  }
+  state.SetLabel(alg + "/zipfian/restart_after=" +
+                 std::to_string(state.range(0)));
+  state.counters["ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+
+void BM_StoreRecoveryAdaptive(benchmark::State& state) {
+  run_store_recovery_bench(state, "adaptive");
+}
+void BM_StoreRecoveryAbd(benchmark::State& state) {
+  run_store_recovery_bench(state, "abd");
+}
+void BM_StoreRecoveryCoded(benchmark::State& state) {
+  run_store_recovery_bench(state, "coded");
+}
+
+// Arg: restart delay in steps — a fast restart (short degraded window) vs
+// a slow one (long window, more lost RMWs to re-converge).
+BENCHMARK(BM_StoreRecoveryAdaptive)
+    ->Arg(100)->Arg(800)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StoreRecoveryAbd)
+    ->Arg(100)->Arg(800)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StoreRecoveryCoded)
+    ->Arg(100)->Arg(800)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace sbrs::bench
 

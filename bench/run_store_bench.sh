@@ -18,6 +18,14 @@
 # under open_loop.<algorithm>."rate_<r>" with its sojourn-vs-service
 # histograms, queue-depth maximum and saturation verdict — the top cells
 # (>= 2x saturation) are where p99 sojourn detaches from p99 service.
+#
+# A third grid records CRASH RECOVERY: write-heavy (YCSB-A) open-loop load
+# with up to f=2 object crashes per shard, each restarted from disk after
+# {100, 800} steps. Cells land under recovery.<algorithm>."restart_<d>"
+# with object_crash_events / object_restarts / repair_bits /
+# degraded_steps and the degraded-window sojourn histogram next to the
+# overall one — the instrument for "stored bits dip at crash, spike during
+# repair" runs. Deterministic blocks stay thread-count independent.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -39,9 +47,13 @@ trap 'rm -rf "$tmpdir"' EXIT
 algs="adaptive abd coded"
 dists="uniform zipfian latest"
 rates="0.02 0.05 0.1 0.2 0.4"
+restarts="100 800"
 open_grid="--store --keys=256 --shards=16 --clients=8 --ops=64 --mix=B \
   --dist=zipfian --f=2 --k=4 --data-bits=1024 --seed=1 \
   --open-loop --arrival=poisson"
+recovery_grid="--store --keys=256 --shards=16 --clients=8 --ops=64 --mix=A \
+  --dist=zipfian --f=2 --k=4 --data-bits=1024 --seed=1 \
+  --open-loop --arrival=poisson --rate=0.08 --crashes=2"
 
 for alg in $algs; do
   for dist in $dists; do
@@ -53,6 +65,12 @@ for alg in $algs; do
     # shellcheck disable=SC2086
     "$build_dir/sbrs_cli" $open_grid --alg="$alg" --rate="$rate" \
       --threads="$threads" --json="$tmpdir/$alg.rate_$rate.json" >/dev/null
+  done
+  for delay in $restarts; do
+    # shellcheck disable=SC2086
+    "$build_dir/sbrs_cli" $recovery_grid --alg="$alg" --restart="$delay" \
+      --threads="$threads" --json="$tmpdir/$alg.restart_$delay.json" \
+      >/dev/null
   done
 done
 
@@ -66,7 +84,8 @@ hw_threads=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
   printf '    "hardware_threads": %s,\n' "$hw_threads"
   printf '    "store_threads": %s,\n' "$threads"
   printf '    "grid": "adaptive,abd,coded x uniform,zipfian,latest; YCSB-B; 256 keys / 16 shards / 8 clients x 32 ops; f=2 k=4 D=1024",\n'
-  printf '    "open_loop_grid": "adaptive,abd,coded x poisson rate 0.02-0.4 ops/step/shard; zipfian YCSB-B; 256 keys / 16 shards / 8 clients x 64 ops"\n'
+  printf '    "open_loop_grid": "adaptive,abd,coded x poisson rate 0.02-0.4 ops/step/shard; zipfian YCSB-B; 256 keys / 16 shards / 8 clients x 64 ops",\n'
+  printf '    "recovery_grid": "adaptive,abd,coded x restart_after 100,800 steps; up to 2 crashes/shard restarted from disk; poisson rate 0.08; zipfian YCSB-A; 256 keys / 16 shards / 8 clients x 64 ops"\n'
   printf '  },\n'
   printf '  "results": {\n'
   first_alg=1
@@ -96,6 +115,22 @@ hw_threads=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
       first_rate=0
       printf '  "rate_%s": ' "$rate"
       cat "$tmpdir/$alg.rate_$rate.json"
+    done
+    printf '  }\n'
+  done
+  printf '  },\n'
+  printf '  "recovery": {\n'
+  first_alg=1
+  for alg in $algs; do
+    [ $first_alg -eq 1 ] || printf '  ,\n'
+    first_alg=0
+    printf '  "%s": {\n' "$alg"
+    first_delay=1
+    for delay in $restarts; do
+      [ $first_delay -eq 1 ] || printf '  ,\n'
+      first_delay=0
+      printf '  "restart_%s": ' "$delay"
+      cat "$tmpdir/$alg.restart_$delay.json"
     done
     printf '  }\n'
   done

@@ -43,6 +43,9 @@ struct CliOptions {
   uint64_t seed = 1;
   std::string sched = "random";
   uint32_t crashes = 0;
+  // Crash recovery (with --crashes and the random scheduler).
+  uint64_t restart = 0;            // steps after a crash; 0 = never restart
+  std::string restart_mode = "disk";  // disk|scratch
   // Sweep mode.
   bool sweep = false;
   std::string algs;            // comma list; default: the --alg value
@@ -141,7 +144,9 @@ CliOptions parse(int argc, char** argv) {
                parse_int_flag(arg, "seed", &o.seed) ||
                parse_int_flag(arg, "threads", &o.threads) ||
                parse_int_flag(arg, "seeds", &o.seeds) ||
-               parse_int_flag(arg, "crashes", &o.crashes)) {
+               parse_int_flag(arg, "crashes", &o.crashes) ||
+               parse_int_flag(arg, "restart", &o.restart) ||
+               parse_flag(arg, "restart-mode", &o.restart_mode)) {
       // parsed
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
@@ -164,6 +169,14 @@ void usage() {
       "  --sched=random|rr|burst   scheduler (default random)\n"
       "  --seed=N        schedule seed (default 1)\n"
       "  --crashes=N     crash up to N objects at random points\n\n"
+      "crash recovery (with --crashes; single, sweep and store modes):\n"
+      "  --restart=N     restart each crashed object N steps after its\n"
+      "                  crash (per-shard clock in --store mode); the\n"
+      "                  restarted object's repair traffic is reported as\n"
+      "                  repair_bits next to the degraded-window tails\n"
+      "  --restart-mode=disk|scratch   re-join with the state frozen at\n"
+      "                  crash time (disk, guarantees hold) or as an empty\n"
+      "                  replacement replica (scratch, models disk loss)\n\n"
       "open-loop load (applies to single, sweep and store modes):\n"
       "  --open-loop     schedule arrivals instead of closed-loop sessions\n"
       "                  (ops queue while sessions are busy; latency splits\n"
@@ -208,13 +221,28 @@ sbrs::sim::ArrivalOptions arrival_options(const CliOptions& cli) {
   a.rate = cli.rate;
   if (!cli.burst.empty()) {
     const auto parts = split_csv(cli.burst);
-    SBRS_CHECK_MSG(parts.size() == 2,
-                   "--burst wants ON,OFF window lengths, got '" << cli.burst
-                                                                << "'");
+    if (parts.size() != 2) {
+      throw std::invalid_argument("--burst wants ON,OFF window lengths, got '" +
+                                  cli.burst + "'");
+    }
     a.burst_on = std::stoull(parts[0]);
     a.burst_off = std::stoull(parts[1]);
   }
+  // Reject unusable specs (--rate=0, negative rates, --burst=0,0) as a
+  // usage error before any engine mounts — not as a division by zero or a
+  // schedule that never releases an arrival deep inside a run.
+  const std::string why = sbrs::sim::validate_arrival(a);
+  if (!why.empty()) throw std::invalid_argument(why);
   return a;
+}
+
+sbrs::sim::RestartMode restart_mode_of(const CliOptions& cli) {
+  if (cli.restart_mode == "disk") return sbrs::sim::RestartMode::kFromDisk;
+  if (cli.restart_mode == "scratch") {
+    return sbrs::sim::RestartMode::kFromScratch;
+  }
+  throw std::invalid_argument("--restart-mode wants disk|scratch, got '" +
+                              cli.restart_mode + "'");
 }
 
 sbrs::registers::RegisterConfig base_config(const CliOptions& cli) {
@@ -243,6 +271,8 @@ int run_sweep(const CliOptions& cli) {
       cell.opts.reads_per_client = cli.reads;
       cell.opts.scheduler = sched_kind(cli.sched);
       cell.opts.object_crashes = cli.crashes;
+      cell.opts.restart_after = cli.restart;
+      cell.opts.restart_mode = restart_mode_of(cli);
       cell.opts.arrival = arrival_options(cli);
       cell.label = alg + " c=" + c_str;
       grid.push_back(std::move(cell));
@@ -302,6 +332,8 @@ int run_store(const CliOptions& cli) {
   opts.arrival = arrival_options(cli);
   opts.scheduler = sched_kind(cli.sched);
   opts.object_crashes_per_shard = cli.crashes;
+  opts.restart_after = cli.restart;
+  opts.restart_mode = restart_mode_of(cli);
   opts.seed = cli.seed;
   opts.threads = cli.threads;
   opts.check_consistency = !cli.no_check;
@@ -355,6 +387,17 @@ int run_store(const CliOptions& cli) {
             << result.max_shard_object_bits << " object bits; "
             << result.keys_checked << " keys checked, "
             << result.consistency_failures << " failures\n";
+  if (result.object_crash_events > 0) {
+    std::cout << "recovery: " << result.object_crash_events
+              << " object crashes, " << result.object_restarts
+              << " restarts (" << sim::to_string(opts.restart_mode)
+              << "), repair traffic " << result.repair_bits
+              << " bits over " << result.degraded_steps
+              << " degraded steps; degraded sojourn p50/p99 "
+              << result.degraded_sojourn.p50() << " / "
+              << result.degraded_sojourn.p99() << " steps ("
+              << result.degraded_sojourn.count() << " ops)\n";
+  }
   if (open) {
     std::cout << "open-loop " << sim::to_string(opts.arrival.process)
               << " @ rate " << opts.arrival.rate
@@ -427,6 +470,8 @@ int run_cli(const CliOptions& cli) {
   opts.reads_per_client = cli.reads;
   opts.seed = cli.seed;
   opts.object_crashes = cli.crashes;
+  opts.restart_after = cli.restart;
+  opts.restart_mode = restart_mode_of(cli);
   opts.scheduler = sched_kind(cli.sched);
   opts.arrival = arrival_options(cli);
 
@@ -454,6 +499,16 @@ int run_cli(const CliOptions& cli) {
   table.add_row("atomic",
                 consistency::check_atomicity(out.history).ok ? "yes" : "NO");
   table.add_row("live", out.live ? "yes" : "NO");
+  if (out.report.object_crash_events > 0) {
+    table.add_row("object crashes / restarts",
+                  std::to_string(out.report.object_crash_events) + " / " +
+                      std::to_string(out.report.object_restarts));
+    table.add_row("repair bits", out.report.repair_bits);
+    table.add_row("degraded steps", out.report.degraded_steps);
+    table.add_row("degraded sojourn p50/p99 (steps)",
+                  std::to_string(out.report.degraded_sojourn.p50()) + " / " +
+                      std::to_string(out.report.degraded_sojourn.p99()));
+  }
   if (sbrs::sim::open_loop(opts.arrival)) {
     table.add_row("service p50/p99 (steps)",
                   std::to_string(out.report.op_latency.p50()) + " / " +

@@ -5,6 +5,22 @@
 namespace sbrs::adversary {
 
 sim::Action AdScheduler::next(const sim::Simulator& sim) {
+  // Targeted fault schedule first: due crash/restart events pre-empt the
+  // rules (the adversary is allowed any legal action; these model the f
+  // crash budget and crash recovery inside lower-bound runs).
+  while (fault_cursor_ < opts_.faults.size() &&
+         sim.now() >= opts_.faults[fault_cursor_].at_step) {
+    const Options::FaultEvent& ev = opts_.faults[fault_cursor_];
+    ++fault_cursor_;
+    if (ev.restart && !sim.object_alive(ev.object)) {
+      return sim::Action::restart_object(ev.object, ev.mode);
+    }
+    if (!ev.restart && sim.object_alive(ev.object)) {
+      return sim::Action::crash_object(ev.object);
+    }
+    // Already in the requested state: skip and look at the next event.
+  }
+
   const metrics::StorageSnapshot snap = sim.snapshot();
   last_ = tracker_.classify(sim.history(), snap);
 

@@ -37,6 +37,21 @@ class AdScheduler final : public sim::Scheduler {
     /// Stop as soon as |F| > f (the proof's other fixed point). If false,
     /// the adversary keeps scheduling rule-2 actions until stuck.
     bool stop_when_frozen = true;
+
+    /// One targeted fault the adversary injects on top of its rules: at the
+    /// first scheduling decision with now >= at_step, crash (restart ==
+    /// false) or restart `object`. Events already satisfied (crashing a
+    /// dead object, restarting a live one) are skipped silently.
+    struct FaultEvent {
+      uint64_t at_step = 0;
+      ObjectId object{};
+      bool restart = false;
+      sim::RestartMode mode = sim::RestartMode::kFromDisk;
+    };
+    /// Targeted crash→restart schedule, sorted by at_step. Lets lower-bound
+    /// experiments measure how much of the adversary's frozen storage a
+    /// crash erases and what the restarted object re-accumulates.
+    std::vector<FaultEvent> faults;
   };
 
   explicit AdScheduler(Options opts)
@@ -54,6 +69,7 @@ class AdScheduler final : public sim::Scheduler {
   ClassifiedState last_;
   std::string stop_reason_;
   uint64_t fair_counter_ = 0;
+  size_t fault_cursor_ = 0;  // next not-yet-applied Options::faults entry
 };
 
 }  // namespace sbrs::adversary

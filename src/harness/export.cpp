@@ -110,7 +110,10 @@ void write_sweep_json(std::ostream& os, const SweepResult& result) {
        << ", \"scheduler\": \"" << to_string(c.cell.opts.scheduler)
        << "\", \"object_crashes\": " << c.cell.opts.object_crashes
        << ", \"client_crashes\": " << c.cell.opts.client_crashes
-       << ", \"arrival\": \"" << sim::to_string(c.cell.opts.arrival.process)
+       << ", \"restart_after\": " << c.cell.opts.restart_after
+       << ", \"restart_permyriad\": " << c.cell.opts.restart_permyriad
+       << ", \"restart_mode\": \"" << sim::to_string(c.cell.opts.restart_mode)
+       << "\", \"arrival\": \"" << sim::to_string(c.cell.opts.arrival.process)
        << "\", \"rate\": " << c.cell.opts.arrival.rate
        << ", \"burst_on\": " << c.cell.opts.arrival.burst_on
        << ", \"burst_off\": " << c.cell.opts.arrival.burst_off << "},\n";
@@ -132,6 +135,15 @@ void write_sweep_json(std::ostream& os, const SweepResult& result) {
     write_metric(os, "max_queue_depth", c.max_queue_depth, "      ");
     os << ",\n";
     os << "      \"saturated_seeds\": " << c.saturated_seeds << ",\n";
+    os << "      \"object_crash_events\": " << c.object_crash_events
+       << ", \"object_restarts\": " << c.object_restarts << ",\n";
+    write_metric(os, "repair_bits", c.repair_bits, "      ");
+    os << ",\n";
+    write_metric(os, "degraded_steps", c.degraded_steps, "      ");
+    os << ",\n";
+    os << "      \"degraded_sojourn_steps\": ";
+    write_latency_json(os, c.degraded_sojourn);
+    os << ",\n";
     os << "      \"consistency_failures\": " << c.consistency_failures
        << ",\n";
     os << "      \"liveness_failures\": " << c.liveness_failures << ",\n";

@@ -10,6 +10,13 @@ RunOutcome run_register_experiment(
     const registers::RegisterAlgorithm& algorithm, const RunOptions& opts) {
   const auto& cfg = algorithm.config();
 
+  // Reject unusable arrival specs before any work (rate <= 0 would divide
+  // by zero; burst_on == 0 would never release an arrival).
+  {
+    const std::string why = sim::validate_arrival(opts.arrival);
+    SBRS_CHECK_MSG(why.empty(), why);
+  }
+
   // Closed loop: each session self-paces its own operations. Open loop: one
   // arrival-scheduled stream, any free session dispatches the queue.
   std::unique_ptr<sim::Workload> workload;
@@ -45,6 +52,13 @@ RunOutcome run_register_experiment(
       so.crash_object_permyriad = opts.object_crashes > 0 ? 20 : 0;
       so.max_client_crashes = opts.client_crashes;
       so.crash_client_permyriad = opts.client_crashes > 0 ? 20 : 0;
+      so.restart_after = opts.restart_after;
+      so.restart_object_permyriad = opts.restart_permyriad;
+      so.restart_mode = opts.restart_mode;
+      so.max_object_restarts =
+          (opts.restart_after > 0 || opts.restart_permyriad > 0)
+              ? opts.object_crashes
+              : 0;
       scheduler = std::make_unique<sim::RandomScheduler>(so);
       break;
     }

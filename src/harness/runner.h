@@ -51,6 +51,18 @@ struct RunOptions {
   uint32_t object_crashes = 0;
   /// Crash up to this many writer/reader clients at random points.
   uint32_t client_crashes = 0;
+  /// Crash recovery (random scheduler only, like the crash injection):
+  /// restart each crashed object this many steps after its crash (0 =
+  /// never), re-joining in `restart_mode`. Restart events are bounded by
+  /// object_crashes — every crash gets at most one restart.
+  uint64_t restart_after = 0;
+  /// Additionally restart a random crashed object with this per-step
+  /// probability (out of 10'000).
+  uint32_t restart_permyriad = 0;
+  /// kFromDisk re-joins with the state frozen at crash time (guarantees
+  /// hold); kFromScratch mounts an empty replacement (models data loss —
+  /// per-key guarantees may fail until repair traffic re-converges it).
+  sim::RestartMode restart_mode = sim::RestartMode::kFromDisk;
   uint64_t max_steps = 2'000'000;
   /// Storage series decimation (1 = sample every event), forwarded verbatim
   /// to SimConfig::sample_every. Decimation thins only the plotted series —

@@ -30,6 +30,11 @@ struct RunDigest {
   metrics::LatencyHistogram sojourn;
   uint64_t max_queue_depth = 0;
   bool saturated = false;
+  uint64_t object_crash_events = 0;
+  uint64_t object_restarts = 0;
+  uint64_t repair_bits = 0;
+  uint64_t degraded_steps = 0;
+  metrics::LatencyHistogram degraded_sojourn;
   double seconds = 0;
 };
 
@@ -77,6 +82,13 @@ uint64_t history_fingerprint(const sim::History& history, uint64_t h) {
     h = mix_into(h, ev.client.value);
     h = mix_into(h, static_cast<uint64_t>(ev.op_kind));
     h = mix_into(h, ev.value.fingerprint());
+    // Crash/restart bookkeeping events additionally pin their object and
+    // mode. Mixed only for those kinds so recovery-free histories keep the
+    // fingerprints recorded in committed artifacts.
+    if (!sim::is_op_event(ev)) {
+      h = mix_into(h, ev.object.value);
+      h = mix_into(h, static_cast<uint64_t>(ev.restart_mode));
+    }
   }
   return h;
 }
@@ -107,7 +119,24 @@ uint64_t outcome_fingerprint(const RunOutcome& out) {
   h = mix_into(h, out.report.sojourn_latency.p50());
   h = mix_into(h, out.report.sojourn_latency.p99());
   h = mix_into(h, out.report.sojourn_latency.max());
+  h = recovery_fingerprint(out.report, h);
   return history_fingerprint(out.history, h);
+}
+
+uint64_t recovery_fingerprint(const sim::RunReport& report, uint64_t h) {
+  // The crash/restart events themselves ride in the history trace; the
+  // derived counters are pinned here, conditionally so crash-free runs
+  // keep their recorded fingerprints.
+  if (report.object_crash_events == 0 && report.object_restarts == 0) {
+    return h;
+  }
+  h = mix_into(h, report.object_crash_events);
+  h = mix_into(h, report.object_restarts);
+  h = mix_into(h, report.repair_bits);
+  h = mix_into(h, report.degraded_steps);
+  h = mix_into(h, report.degraded_sojourn.count());
+  h = mix_into(h, report.degraded_sojourn.p99());
+  return h;
 }
 
 uint64_t SweepResult::fingerprint() const {
@@ -173,6 +202,11 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
         d.sojourn = out.report.sojourn_latency;
         d.max_queue_depth = out.max_queue_depth;
         d.saturated = out.saturated;
+        d.object_crash_events = out.report.object_crash_events;
+        d.object_restarts = out.report.object_restarts;
+        d.repair_bits = out.report.repair_bits;
+        d.degraded_steps = out.report.degraded_steps;
+        d.degraded_sojourn = out.report.degraded_sojourn;
         d.fingerprint = outcome_fingerprint(out);
         d.seconds = std::chrono::duration<double>(end - start).count();
         return d;
@@ -187,11 +221,14 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
     cs.cell = grid[c];
     cs.seeds = seeds;
     std::vector<uint64_t> total, object, channel, steps, qdepth;
+    std::vector<uint64_t> repair, degraded;
     total.reserve(seeds);
     object.reserve(seeds);
     channel.reserve(seeds);
     steps.reserve(seeds);
     qdepth.reserve(seeds);
+    repair.reserve(seeds);
+    degraded.reserve(seeds);
     uint64_t fp = kFingerprintSeed;
     for (uint32_t s = 0; s < seeds; ++s) {
       const RunDigest& d = digests[c * seeds + s];
@@ -209,6 +246,11 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
       if (d.saturated) ++cs.saturated_seeds;
       cs.latency.merge(d.latency);
       cs.sojourn.merge(d.sojourn);
+      cs.object_crash_events += d.object_crash_events;
+      cs.object_restarts += d.object_restarts;
+      repair.push_back(d.repair_bits);
+      degraded.push_back(d.degraded_steps);
+      cs.degraded_sojourn.merge(d.degraded_sojourn);
       cs.total_steps += d.steps;
       cs.wall_seconds += d.seconds;
       fp = mix_into(fp, d.fingerprint);
@@ -219,6 +261,8 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
     cs.max_channel_bits = summarize_metric(std::move(channel));
     cs.steps = summarize_metric(std::move(steps));
     cs.max_queue_depth = summarize_metric(std::move(qdepth));
+    cs.repair_bits = summarize_metric(std::move(repair));
+    cs.degraded_steps = summarize_metric(std::move(degraded));
     cs.steps_per_sec = cs.wall_seconds > 0
                            ? static_cast<double>(cs.total_steps) /
                                  cs.wall_seconds

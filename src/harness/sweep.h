@@ -85,6 +85,19 @@ struct CellSummary {
   /// Seeds whose offered load beat the drain rate (arrivals left queued or
   /// the step budget cut the run off). 0 for closed-loop cells.
   uint32_t saturated_seeds = 0;
+
+  // --- Crash-recovery outcome (all zero/empty for crash-free cells) ---
+
+  /// Base-object crash / restart events summed over the cell's seeds.
+  uint64_t object_crash_events = 0;
+  uint64_t object_restarts = 0;
+  /// Per-seed repair traffic (RunReport::repair_bits) and degraded-window
+  /// length (RunReport::degraded_steps) order statistics.
+  MetricSummary repair_bits;
+  MetricSummary degraded_steps;
+  /// Sojourn time of operations that returned while >= 1 object was down,
+  /// merged across seeds — the degraded-window tail next to `sojourn`.
+  metrics::LatencyHistogram degraded_sojourn;
   /// Order-independent fingerprint over all per-seed outcomes (histories
   /// included); equal fingerprints mean identical per-cell results.
   uint64_t fingerprint = 0;
@@ -134,6 +147,14 @@ inline constexpr uint64_t kFingerprintSeed = 1469598103934665603ull;
 /// engine's outcome_fingerprint and the store's per-shard fingerprints, so
 /// the two cannot silently diverge when HistoryEvent grows a field.
 uint64_t history_fingerprint(const sim::History& history, uint64_t h);
+
+/// Mix a run's crash-recovery outcome (crash/restart counts, repair_bits,
+/// degraded-window length and sojourn tail) into hash state `h`. Mixed
+/// only when the run actually saw a crash or restart, so recovery-free
+/// runs keep the fingerprints recorded in committed artifacts. Shared by
+/// outcome_fingerprint and the store's per-shard fingerprints — one
+/// definition of "same recovery outcome" for both engines.
+uint64_t recovery_fingerprint(const sim::RunReport& report, uint64_t h);
 
 class SweepRunner {
  public:

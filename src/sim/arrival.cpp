@@ -27,6 +27,20 @@ ArrivalProcess parse_arrival_process(const std::string& s) {
   return ArrivalProcess::kClosedLoop;
 }
 
+std::string validate_arrival(const ArrivalOptions& a) {
+  if (!open_loop(a)) return {};
+  if (!std::isfinite(a.rate) || a.rate <= 0) {
+    return "arrival rate must be a positive finite number of ops per step, "
+           "got " +
+           std::to_string(a.rate);
+  }
+  if (a.process == ArrivalProcess::kBursty && a.burst_on == 0) {
+    return "bursty arrivals need an on-window of >= 1 step (burst_on == 0 "
+           "never releases an arrival)";
+  }
+  return {};
+}
+
 uint64_t arrival_seed(uint64_t seed) {
   uint64_t state = seed ^ 0xa55a1ee15c4ed01eull;
   (void)splitmix64(state);
@@ -37,8 +51,8 @@ uint64_t arrival_seed(uint64_t seed) {
 std::vector<uint64_t> generate_arrivals(const ArrivalOptions& opts,
                                         size_t num_ops, uint64_t seed) {
   SBRS_CHECK_MSG(open_loop(opts), "generate_arrivals on a closed-loop spec");
-  SBRS_CHECK_MSG(std::isfinite(opts.rate) && opts.rate > 0,
-                 "arrival rate must be positive, got " << opts.rate);
+  const std::string why = validate_arrival(opts);
+  SBRS_CHECK_MSG(why.empty(), why);
 
   std::vector<uint64_t> out;
   out.reserve(num_ops);
@@ -53,7 +67,6 @@ std::vector<uint64_t> generate_arrivals(const ArrivalOptions& opts,
       break;
     }
     case ArrivalProcess::kBursty: {
-      SBRS_CHECK_MSG(opts.burst_on >= 1, "burst_on must be >= 1");
       // Pace the stream at the on-window peak rate on a virtual "on-time"
       // axis, then splice the off-windows back in: cycle c's on-window
       // [c*on, c*on + on) of on-time maps to real steps starting at

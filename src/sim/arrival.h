@@ -52,6 +52,16 @@ inline bool open_loop(const ArrivalOptions& a) {
   return a.process != ArrivalProcess::kClosedLoop;
 }
 
+/// Validate an arrival spec without generating a schedule: returns the
+/// empty string when the spec is usable, else a human-readable reason.
+/// Closed-loop specs are always valid (the open-loop knobs are ignored);
+/// open-loop specs need a positive finite rate, and bursty ones an
+/// on-window of at least one step (burst_on == 0 would divide by zero /
+/// never release an arrival). generate_arrivals enforces the same rule via
+/// SBRS_CHECK; front-ends (sbrs_cli, bench_store, the Store constructor)
+/// call this up front so a bad flag is a usage error, not a deep failure.
+std::string validate_arrival(const ArrivalOptions& a);
+
 /// Decorrelate the arrival-schedule RNG from the schedule RNG (both are
 /// seeded from the same run seed; an identical stream would couple crash
 /// points to arrival times).

@@ -54,6 +54,26 @@ void History::record_return(uint64_t time, OpId op,
   events_.push_back(ev);
 }
 
+void History::record_object_crash(uint64_t time, ObjectId o) {
+  HistoryEvent ev;
+  ev.kind = HistoryEvent::Kind::kCrashObject;
+  ev.time = time;
+  ev.object = o;
+  events_.push_back(ev);
+  ++object_crashes_;
+}
+
+void History::record_object_restart(uint64_t time, ObjectId o,
+                                    RestartMode mode) {
+  HistoryEvent ev;
+  ev.kind = HistoryEvent::Kind::kRestartObject;
+  ev.time = time;
+  ev.object = o;
+  ev.restart_mode = mode;
+  events_.push_back(ev);
+  ++object_restarts_;
+}
+
 std::vector<OpRecord> History::ops() const {
   std::vector<OpRecord> out;
   out.reserve(order_.size());

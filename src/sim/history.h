@@ -15,7 +15,7 @@
 namespace sbrs::sim {
 
 struct HistoryEvent {
-  enum class Kind { kInvoke, kReturn };
+  enum class Kind { kInvoke, kReturn, kCrashObject, kRestartObject };
   Kind kind;
   uint64_t time = 0;
   OpId op;
@@ -24,7 +24,19 @@ struct HistoryEvent {
   /// For write invokes: the written value. For read returns: the returned
   /// value. Empty otherwise.
   Value value;
+  /// For kCrashObject / kRestartObject: the base object. The consistency
+  /// checkers consume only operation records, so crash/restart events ride
+  /// in the trace (and its fingerprint) without affecting verdicts.
+  ObjectId object{};
+  RestartMode restart_mode = RestartMode::kFromDisk;  // kRestartObject only
 };
+
+/// True for the operation invoke/return events the checkers consume (the
+/// trace(r) of the paper); false for crash/restart bookkeeping events.
+inline bool is_op_event(const HistoryEvent& ev) {
+  return ev.kind == HistoryEvent::Kind::kInvoke ||
+         ev.kind == HistoryEvent::Kind::kReturn;
+}
 
 /// Summary of one operation assembled from its invoke/return events.
 struct OpRecord {
@@ -48,7 +60,17 @@ class History {
   void record_invoke(uint64_t time, const Invocation& inv);
   void record_return(uint64_t time, OpId op, const std::optional<Value>& result);
 
+  /// Record a base-object crash / restart in the trace. Pure bookkeeping:
+  /// operation accessors (ops/reads/writes/outstanding) ignore these, but
+  /// they are part of events() and the history fingerprint, so recovery
+  /// schedules pin replayability the same way operations do.
+  void record_object_crash(uint64_t time, ObjectId o);
+  void record_object_restart(uint64_t time, ObjectId o, RestartMode mode);
+
   const std::vector<HistoryEvent>& events() const { return events_; }
+
+  size_t object_crash_count() const { return object_crashes_; }
+  size_t object_restart_count() const { return object_restarts_; }
 
   /// All operations, in invocation order.
   std::vector<OpRecord> ops() const;
@@ -71,6 +93,8 @@ class History {
   std::vector<OpId> order_;
   std::unordered_map<OpId, OpRecord> by_op_;
   size_t returns_ = 0;
+  size_t object_crashes_ = 0;
+  size_t object_restarts_ = 0;
 };
 
 }  // namespace sbrs::sim

@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "common/ids.h"
+#include "sim/types.h"
 
 namespace sbrs::sim {
 
@@ -18,16 +19,18 @@ class Simulator;
 
 struct Action {
   enum class Kind {
-    kDeliverRmw,   // apply + respond a pending RMW
-    kInvoke,       // let a client invoke its next workload operation
-    kCrashObject,  // crash a base object
-    kCrashClient,  // crash a client
-    kStop,         // end the run (adversary reached its fixed point, etc.)
+    kDeliverRmw,     // apply + respond a pending RMW
+    kInvoke,         // let a client invoke its next workload operation
+    kCrashObject,    // crash a base object
+    kCrashClient,    // crash a client
+    kRestartObject,  // re-arm a crashed base object (crash recovery)
+    kStop,           // end the run (adversary reached its fixed point, etc.)
   };
   Kind kind = Kind::kStop;
   RmwId rmw{};       // for kDeliverRmw
   ClientId client{}; // for kInvoke / kCrashClient
-  ObjectId object{}; // for kCrashObject
+  ObjectId object{}; // for kCrashObject / kRestartObject
+  RestartMode restart_mode = RestartMode::kFromDisk;  // for kRestartObject
 
   static Action deliver(RmwId id) {
     Action a;
@@ -51,6 +54,13 @@ struct Action {
     Action a;
     a.kind = Kind::kCrashClient;
     a.client = c;
+    return a;
+  }
+  static Action restart_object(ObjectId o, RestartMode mode) {
+    Action a;
+    a.kind = Kind::kRestartObject;
+    a.object = o;
+    a.restart_mode = mode;
     return a;
   }
   static Action stop() { return Action{}; }

@@ -5,7 +5,47 @@
 namespace sbrs::sim {
 
 Action RandomScheduler::next(const Simulator& sim) {
-  // Crash injection first (bounded, probabilistic).
+  // Crash recovery first: restarts are considered before new crashes so a
+  // due restart is never starved by the crash budget. The whole block is
+  // gated on max_object_restarts, keeping pre-recovery seeds' schedules
+  // byte-identical (in particular, no RNG draw is taken unless the
+  // probabilistic restart knob is on).
+  if (object_restarts_ < opts_.max_object_restarts &&
+      (opts_.restart_after > 0 || opts_.restart_object_permyriad > 0)) {
+    if (crash_seen_.size() < sim.num_objects()) {
+      crash_seen_.resize(sim.num_objects(), 0);
+    }
+    for (uint32_t i = 0; i < sim.num_objects(); ++i) {
+      if (!sim.object_alive(ObjectId{i})) {
+        if (crash_seen_[i] == 0) crash_seen_[i] = sim.now() + 1;
+      } else {
+        crash_seen_[i] = 0;
+      }
+    }
+    if (opts_.restart_after > 0) {
+      for (uint32_t i = 0; i < sim.num_objects(); ++i) {
+        if (crash_seen_[i] != 0 &&
+            sim.now() + 1 >= crash_seen_[i] + opts_.restart_after) {
+          ++object_restarts_;
+          return Action::restart_object(ObjectId{i}, opts_.restart_mode);
+        }
+      }
+    }
+    if (opts_.restart_object_permyriad > 0 &&
+        rng_.below(10'000) < opts_.restart_object_permyriad) {
+      std::vector<ObjectId> dead;
+      for (uint32_t i = 0; i < sim.num_objects(); ++i) {
+        if (!sim.object_alive(ObjectId{i})) dead.push_back(ObjectId{i});
+      }
+      if (!dead.empty()) {
+        ++object_restarts_;
+        return Action::restart_object(dead[rng_.pick_index(dead)],
+                                      opts_.restart_mode);
+      }
+    }
+  }
+
+  // Crash injection next (bounded, probabilistic).
   if (object_crashes_ < opts_.max_object_crashes &&
       opts_.crash_object_permyriad > 0 &&
       rng_.below(10'000) < opts_.crash_object_permyriad) {

@@ -28,6 +28,16 @@ class RandomScheduler final : public Scheduler {
     /// Crash at most this many clients.
     uint32_t max_client_crashes = 0;
     uint32_t crash_client_permyriad = 0;
+    /// Crash recovery: restart each crashed object `restart_after` steps
+    /// after its crash was observed (0 = never), and/or restart a uniformly
+    /// chosen crashed object with probability restart_object_permyriad per
+    /// step. Both are bounded by max_object_restarts events and gated off
+    /// entirely when that bound is 0, so crash-only seeds keep their exact
+    /// pre-recovery schedules (no extra RNG draws are taken).
+    uint64_t restart_after = 0;
+    uint32_t restart_object_permyriad = 0;
+    uint32_t max_object_restarts = 0;
+    RestartMode restart_mode = RestartMode::kFromDisk;
   };
 
   explicit RandomScheduler(Options opts) : opts_(opts), rng_(opts.seed) {}
@@ -39,6 +49,10 @@ class RandomScheduler final : public Scheduler {
   Rng rng_;
   uint32_t object_crashes_ = 0;
   uint32_t client_crashes_ = 0;
+  uint32_t object_restarts_ = 0;
+  /// Step+1 at which each object was first observed crashed (0 = alive);
+  /// drives the deterministic restart_after delay.
+  std::vector<uint64_t> crash_seen_;
 };
 
 /// Deterministic near-synchronous scheduler: delivers pending RMWs FIFO,

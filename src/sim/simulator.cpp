@@ -37,6 +37,9 @@ class Simulator::ContextImpl final : public SimContext {
     SBRS_CHECK_MSG(rec != nullptr, "complete for unrecorded " << op);
     sim_.report_.op_latency.record(sim_.time_ - rec->invoke_time);
     sim_.report_.sojourn_latency.record(sim_.time_ - rec->arrival_time);
+    if (sim_.crashed_objects_ > 0) {
+      sim_.report_.degraded_sojourn.record(sim_.time_ - rec->arrival_time);
+    }
     sim_.history_.record_return(sim_.time_, op, result);
     sim_.outstanding_[self_.value] = std::nullopt;
     ++sim_.report_.completed_ops;
@@ -57,17 +60,21 @@ Simulator::Simulator(SimConfig config, ObjectFactory object_factory,
                      std::unique_ptr<Scheduler> scheduler)
     : config_(config),
       workload_(std::move(workload)),
-      scheduler_(std::move(scheduler)) {
+      scheduler_(std::move(scheduler)),
+      object_factory_(std::move(object_factory)) {
   SBRS_CHECK(config_.num_objects >= 1);
   SBRS_CHECK(config_.num_clients >= 1);
   SBRS_CHECK(workload_ != nullptr && scheduler_ != nullptr);
+  SBRS_CHECK(object_factory_ != nullptr);
 
   objects_.reserve(config_.num_objects);
   for (uint32_t i = 0; i < config_.num_objects; ++i) {
-    objects_.push_back(object_factory(ObjectId{i}));
+    objects_.push_back(object_factory_(ObjectId{i}));
     SBRS_CHECK(objects_.back() != nullptr);
   }
   object_alive_.assign(config_.num_objects, true);
+  object_repairing_.assign(config_.num_objects, false);
+  object_restart_time_.assign(config_.num_objects, 0);
 
   clients_.reserve(config_.num_clients);
   for (uint32_t i = 0; i < config_.num_clients; ++i) {
@@ -100,6 +107,10 @@ bool Simulator::object_alive(ObjectId o) const {
 
 bool Simulator::client_alive(ClientId c) const {
   return c.value < client_alive_.size() && client_alive_[c.value];
+}
+
+bool Simulator::object_repairing(ObjectId o) const {
+  return o.value < object_repairing_.size() && object_repairing_[o.value];
 }
 
 bool Simulator::can_invoke(ClientId c) const {
@@ -231,6 +242,10 @@ bool Simulator::step() {
     return false;
   }
   apply(a);
+  // Degraded window: this step ran while at least one base object was down
+  // (the crash action itself counts; the restart that revives the last one
+  // does not — crashed_objects_ is read after the action applied).
+  if (crashed_objects_ > 0) ++report_.degraded_steps;
   ++time_;
   observe_storage();
   return true;
@@ -267,6 +282,9 @@ void Simulator::apply(const Action& a) {
     case Action::Kind::kCrashClient:
       do_crash_client(a.client);
       break;
+    case Action::Kind::kRestartObject:
+      restart_object(a.object, a.restart_mode);
+      break;
     case Action::Kind::kStop:
       break;
   }
@@ -284,6 +302,25 @@ void Simulator::do_deliver(RmwId id) {
 
   // RMWs on crashed objects are lost (never take effect, never respond).
   if (!object_alive(p.target)) return;
+
+  // Repair window: every RMW a restarted-but-not-yet-overwritten object
+  // receives is recovery traffic — its request bits are charged to
+  // repair_bits (Definition 2 prices each request, so this is exactly the
+  // extra channel cost of the recovery). The window closes, inclusively,
+  // with the first delivered *payload-carrying* RMW of a write operation
+  // invoked after the restart: that store-phase round's overwrite
+  // re-converges the replica. The payload requirement matters for the
+  // two-round algorithms — ABD's query round of a fresh write is a pure
+  // read of timestamps (0 request bits) and leaves the replica stale.
+  if (object_repairing_[p.target.value]) {
+    report_.repair_bits += p.request_footprint.total_bits();
+    const sim::OpRecord* rec = history_.find(p.op);
+    if (rec != nullptr && rec->kind == OpKind::kWrite &&
+        rec->invoke_time >= object_restart_time_[p.target.value] &&
+        p.request_footprint.total_bits() > 0) {
+      object_repairing_[p.target.value] = false;
+    }
+  }
 
   // The state change is atomic; the response is produced with it.
   ResponsePtr response = p.fn(*objects_[p.target.value]);
@@ -314,11 +351,51 @@ void Simulator::do_crash_object(ObjectId o) {
   SBRS_CHECK(o.value < object_alive_.size());
   if (!object_alive_[o.value]) return;
   object_alive_[o.value] = false;
+  // A repairing object that crashes again is just crashed; a later restart
+  // opens a fresh repair window.
+  object_repairing_[o.value] = false;
   ++crashed_objects_;
+  ++report_.object_crash_events;
+  history_.record_object_crash(time_, o);
   // Pending RMWs targeting the crashed object will be dropped on delivery.
   // Its state is frozen from here on; when crashed storage is excluded from
   // the Definition 2 total, it leaves the aggregate now.
   if (!config_.count_crashed) acct_object_bits_ -= object_bits_[o.value];
+}
+
+void Simulator::restart_object(ObjectId o, RestartMode mode) {
+  SBRS_CHECK_MSG(o.value < object_alive_.size(), "restart of unknown " << o);
+  SBRS_CHECK_MSG(!object_alive_[o.value], "restart of live object " << o);
+  if (mode == RestartMode::kFromScratch) {
+    // A replacement replica that lost its disk: mount a fresh state from
+    // the factory (v0 pre-stored, as at time zero).
+    objects_[o.value] = object_factory_(o);
+    SBRS_CHECK(objects_[o.value] != nullptr);
+  } else {
+    // Re-join with the image frozen at crash time; the hook lets states
+    // shed volatile fields / recompute cached totals.
+    objects_[o.value]->on_restart(mode);
+  }
+  object_alive_[o.value] = true;
+  SBRS_CHECK(crashed_objects_ > 0);
+  --crashed_objects_;
+
+  // Exact accounting across the transition: while crashed, the cached
+  // object_bits_ stayed in the aggregate iff count_crashed; the restarted
+  // state's bits (possibly changed by replacement or the hook) re-enter
+  // now, so tracked totals equal a full snapshot on the very next check.
+  const uint64_t now_bits = objects_[o.value]->stored_bits();
+  if (config_.count_crashed) {
+    acct_object_bits_ += now_bits - object_bits_[o.value];
+  } else {
+    acct_object_bits_ += now_bits;
+  }
+  object_bits_[o.value] = now_bits;
+
+  object_repairing_[o.value] = true;
+  object_restart_time_[o.value] = time_;
+  ++report_.object_restarts;
+  history_.record_object_restart(time_, o, mode);
 }
 
 void Simulator::do_crash_client(ClientId c) {

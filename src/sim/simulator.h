@@ -72,6 +72,28 @@ struct RunReport {
   /// session is free to invoke it. For closed-loop workloads arrival ==
   /// invoke, so this histogram equals op_latency.
   metrics::LatencyHistogram sojourn_latency;
+
+  // --- Crash-recovery outcome (all zero/empty for crash-free runs) ---
+
+  /// Base-object crash and restart events over the whole run (a restarted
+  /// object that crashes again counts each event separately).
+  uint64_t object_crash_events = 0;
+  uint64_t object_restarts = 0;
+  /// RMW request bits delivered to restarted objects during their repair
+  /// window: from restart up to and including the first delivered
+  /// payload-carrying RMW of a fresh *write* operation (the store-phase
+  /// overwrite that re-converges the replica; a fresh write's query round
+  /// carries no payload and leaves the window open). The paper's
+  /// Definition 2 channel accounting prices each request, so this is
+  /// exactly the extra traffic recovery cost the deployment.
+  uint64_t repair_bits = 0;
+  /// Steps taken while at least one base object was crashed — the length
+  /// of the degraded windows (quorums shrunk to their floor).
+  uint64_t degraded_steps = 0;
+  /// Sojourn time of operations that *returned* during a degraded window.
+  /// Comparing its tail against sojourn_latency shows what crashes cost
+  /// the ops that lived through them.
+  metrics::LatencyHistogram degraded_sojourn;
 };
 
 class Simulator {
@@ -98,6 +120,20 @@ class Simulator {
     }
   }
 
+  /// Re-arm a crashed base object so it resumes receiving triggers and
+  /// serving RMW responses. kFromDisk re-joins with the state frozen at
+  /// crash time (the persisted image; on_restart lets it shed volatile
+  /// fields); kFromScratch discards that state and mounts a fresh object
+  /// from the factory. Either way the object enters a repair window: RMW
+  /// request bits it receives are charged to RunReport::repair_bits until
+  /// the first payload-carrying fresh-write RMW lands (the overwrite;
+  /// query rounds don't re-converge the replica and don't close). Tracked
+  /// storage totals stay exactly equal to full snapshots across the
+  /// transition, including with count_crashed == false. Callable by
+  /// schedulers (via Action::restart_object) and directly by drivers
+  /// between steps; a no-op error (CheckFailure) on a live object.
+  void restart_object(ObjectId o, RestartMode mode);
+
   // --- State inspection (used by schedulers, meters, the adversary) ---
 
   uint64_t now() const { return time_; }
@@ -107,6 +143,10 @@ class Simulator {
   bool object_alive(ObjectId o) const;
   bool client_alive(ClientId c) const;
   uint32_t crashed_objects() const { return crashed_objects_; }
+
+  /// True while `o` is restarted-but-not-yet-overwritten (its repair
+  /// window): traffic it receives counts toward RunReport::repair_bits.
+  bool object_repairing(ObjectId o) const;
 
   /// Pending RMWs in trigger order (oldest first).
   const std::deque<PendingRmw>& pending() const { return pending_; }
@@ -161,9 +201,19 @@ class Simulator {
   SimConfig config_;
   std::unique_ptr<Workload> workload_;
   std::unique_ptr<Scheduler> scheduler_;
+  /// Kept beyond construction: restart_object(kFromScratch) mounts a fresh
+  /// replacement state from it.
+  ObjectFactory object_factory_;
 
   std::vector<std::unique_ptr<ObjectStateBase>> objects_;
   std::vector<bool> object_alive_;
+  /// Objects inside their post-restart repair window (see restart_object).
+  std::vector<bool> object_repairing_;
+  /// Step of each object's latest restart (meaningful while repairing): a
+  /// delivered payload-carrying write-op RMW closes the window only if the
+  /// write was invoked at or after this — pre-crash writes still in flight
+  /// don't count as the re-converging overwrite.
+  std::vector<uint64_t> object_restart_time_;
   std::vector<std::unique_ptr<ClientProtocol>> clients_;
   std::vector<bool> client_alive_;
   std::vector<std::optional<OpId>> outstanding_;

@@ -20,6 +20,24 @@ inline std::ostream& operator<<(std::ostream& os, OpKind k) {
   return os << (k == OpKind::kRead ? "read" : "write");
 }
 
+/// How a crashed base object comes back (Simulator::restart_object).
+enum class RestartMode {
+  /// The state frozen at crash time is the persisted on-disk image; the
+  /// object re-joins with exactly its pre-crash sub-states (possibly stale —
+  /// later rounds overwrite them). Safe: indistinguishable from a slow
+  /// object that lost some messages, so quorum intersection still holds.
+  kFromDisk,
+  /// The frozen state is discarded and the object factory mounts a fresh
+  /// (v0 / empty) state — a replacement replica that lost its disk. Models
+  /// data loss beyond the f crash budget: per-key guarantees may be
+  /// violated until repair traffic re-converges the replica.
+  kFromScratch,
+};
+
+inline const char* to_string(RestartMode m) {
+  return m == RestartMode::kFromDisk ? "disk" : "scratch";
+}
+
 /// A high-level operation invocation on the emulated register.
 struct Invocation {
   OpId op;
@@ -48,6 +66,15 @@ class ObjectStateBase {
   /// counter) so the per-step cost is proportional to one object's state,
   /// not the whole system's.
   virtual uint64_t stored_bits() const { return footprint().total_bits(); }
+
+  /// Called by Simulator::restart_object when this object re-joins after a
+  /// crash with its persisted state (RestartMode::kFromDisk; from-scratch
+  /// restarts replace the object instead of invoking the hook). States that
+  /// cache derived totals (the store's MultiKeyObjectState) or hold
+  /// volatile fields recompute/drop them here; stored_bits() is re-read by
+  /// the simulator's accounting right after, so any shrink or growth the
+  /// hook causes stays exactly tracked.
+  virtual void on_restart(RestartMode mode) { (void)mode; }
 };
 
 /// An RMW's response payload, produced atomically with the state change.

@@ -36,6 +36,15 @@ sim::ResponsePtr MultiKeyObjectState::apply(uint32_t key,
   return response;
 }
 
+void MultiKeyObjectState::on_restart(sim::RestartMode mode) {
+  total_bits_ = 0;
+  for (auto& [key, sub] : subs_) {
+    sub.state->on_restart(mode);
+    sub.bits = sub.state->stored_bits();
+    total_bits_ += sub.bits;
+  }
+}
+
 metrics::StorageFootprint MultiKeyObjectState::footprint() const {
   metrics::StorageFootprint fp;
   for (const auto& [key, sub] : subs_) fp.merge(sub.state->footprint());

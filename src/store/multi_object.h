@@ -38,6 +38,13 @@ class MultiKeyObjectState final : public sim::ObjectStateBase {
   metrics::StorageFootprint footprint() const override;
   uint64_t stored_bits() const override { return total_bits_; }
 
+  /// From-disk restart: forward the hook to every mounted per-key sub-state
+  /// (they re-join with their frozen, possibly stale images) and rebuild the
+  /// cached per-key and total bit counts from scratch — the simulator reads
+  /// stored_bits() right after, so the accounting stays exact even if a
+  /// sub-state's hook shed volatile bits.
+  void on_restart(sim::RestartMode mode) override;
+
   size_t mounted_keys() const { return subs_.size(); }
   /// The sub-state of `key`, or nullptr if never mounted (tests).
   const sim::ObjectStateBase* sub(uint32_t key) const;

@@ -32,6 +32,10 @@ std::unique_ptr<sim::Scheduler> make_scheduler(const StoreOptions& opts,
       so.seed = shard_seed;
       so.max_object_crashes = opts.object_crashes_per_shard;
       so.crash_object_permyriad = opts.object_crashes_per_shard > 0 ? 20 : 0;
+      so.restart_after = opts.restart_after;
+      so.restart_mode = opts.restart_mode;
+      so.max_object_restarts =
+          opts.restart_after > 0 ? opts.object_crashes_per_shard : 0;
       return std::make_unique<sim::RandomScheduler>(so);
     }
     case harness::SchedKind::kRoundRobin:
@@ -48,6 +52,9 @@ std::map<uint32_t, sim::History> split_history_by_key(
     const sim::History& h, const OpKeyTable& op_keys) {
   std::map<uint32_t, sim::History> out;
   for (const auto& ev : h.events()) {
+    // Crash/restart bookkeeping events carry no operation and stay out of
+    // the per-key traces the checkers consume.
+    if (!sim::is_op_event(ev)) continue;
     const uint32_t* k = op_keys.find(ev.op);
     if (k == nullptr) continue;
     sim::History& sub = out[*k];
@@ -78,6 +85,10 @@ struct Store::Shard {
 
 Store::Store(StoreOptions opts) : opts_(std::move(opts)), map_(opts_.num_shards) {
   SBRS_CHECK_MSG(opts_.workload.clients >= 1, "store needs >= 1 session");
+  // An unusable arrival spec (rate <= 0, burst_on == 0) fails at mount
+  // time with the reason, not deep inside the first run().
+  const std::string arrival_why = sim::validate_arrival(opts_.arrival);
+  SBRS_CHECK_MSG(arrival_why.empty(), arrival_why);
 
   // The loaded keyspace: ids 0..num_keys-1 in name order, matching the
   // ycsb::Op key indices, placed onto shards by key-name hash.
@@ -291,6 +302,7 @@ ShardResult Store::summarize_shard(const Shard& shard) const {
   fp = mix_into(fp, r.report.sojourn_latency.p50());
   fp = mix_into(fp, r.report.sojourn_latency.p99());
   fp = mix_into(fp, r.report.sojourn_latency.max());
+  fp = harness::recovery_fingerprint(r.report, fp);
   r.fingerprint = fp;
   return r;
 }
@@ -307,6 +319,11 @@ StoreResult Store::assemble(std::vector<ShardResult> shards) const {
                                       s.max_queue_depth);
     result.undispatched += s.undispatched;
     result.saturated = result.saturated || s.saturated;
+    result.object_crash_events += s.report.object_crash_events;
+    result.object_restarts += s.report.object_restarts;
+    result.repair_bits += s.report.repair_bits;
+    result.degraded_steps += s.report.degraded_steps;
+    result.degraded_sojourn.merge(s.report.degraded_sojourn);
     result.completed_reads += s.read_latency.count();
     result.completed_writes += s.write_latency.count();
     result.total_steps += s.report.steps;
@@ -355,19 +372,31 @@ StoreResult Store::run() {
 
   // Open loop: schedule each shard's sub-stream on that shard's own
   // logical clock (each shard is one simulator), offset past any earlier
-  // traffic — including arrivals a saturated previous run() left scheduled
-  // beyond the step budget — so repeated run() calls keep the push order
-  // nondecreasing. Schedule seeds are splitmix-derived per shard,
-  // thread-count independent, and decorrelated from the scheduler stream.
-  for (uint32_t s = 0; open && s < opts_.num_shards; ++s) {
-    const std::vector<uint64_t> arrivals = sim::generate_arrivals(
-        opts_.arrival, open_items[s].size(),
-        sim::arrival_seed(harness::cell_seed(opts_.seed, s, 1)));
-    const uint64_t base = std::max(shards_[s]->sim->now(),
-                                   shards_[s]->workload->last_scheduled_step());
-    for (size_t i = 0; i < open_items[s].size(); ++i) {
-      shards_[s]->workload->push_arrival(base + arrivals[i],
-                                         std::move(open_items[s][i]));
+  // traffic so repeated run() calls keep the push order nondecreasing and
+  // never land a new arrival before traffic the shard already executed:
+  //   - a saturated previous batch left arrivals scheduled beyond the step
+  //     budget -> base at its last scheduled step;
+  //   - a fully drained previous batch (or prior interactive traffic with
+  //     no arrival schedule at all) -> base at the shard's current clock;
+  //   - a shard that received zero ops in every batch so far keeps base 0.
+  // Schedule seeds are splitmix-derived per {shard, batch}: thread-count
+  // independent, decorrelated from the scheduler stream (seed index 0),
+  // and fresh per batch — a second run() must not replay the first batch's
+  // interarrival pattern shifted past the old traffic.
+  if (open) {
+    const uint32_t batch_index =
+        static_cast<uint32_t>(1 + open_batches_++);
+    for (uint32_t s = 0; s < opts_.num_shards; ++s) {
+      const std::vector<uint64_t> arrivals = sim::generate_arrivals(
+          opts_.arrival, open_items[s].size(),
+          sim::arrival_seed(harness::cell_seed(opts_.seed, s, batch_index)));
+      const uint64_t base =
+          std::max(shards_[s]->sim->now(),
+                   shards_[s]->workload->last_scheduled_step());
+      for (size_t i = 0; i < open_items[s].size(); ++i) {
+        shards_[s]->workload->push_arrival(base + arrivals[i],
+                                           std::move(open_items[s][i]));
+      }
     }
   }
 
@@ -435,6 +464,13 @@ void write_store_deterministic_json(std::ostream& os,
   os << "    \"max_queue_depth\": " << r.max_queue_depth
      << ", \"undispatched\": " << r.undispatched
      << ", \"saturated\": " << (r.saturated ? "true" : "false") << ",\n";
+  os << "    \"object_crash_events\": " << r.object_crash_events
+     << ", \"object_restarts\": " << r.object_restarts
+     << ", \"repair_bits\": " << r.repair_bits
+     << ", \"degraded_steps\": " << r.degraded_steps << ",\n";
+  os << "    \"degraded_sojourn_steps\": ";
+  harness::write_latency_json(os, r.degraded_sojourn);
+  os << ",\n";
   os << "    \"read_latency_steps\": ";
   harness::write_latency_json(os, r.read_latency);
   os << ",\n    \"write_latency_steps\": ";
@@ -462,6 +498,10 @@ void write_store_deterministic_json(std::ostream& os,
        << ", \"max_queue_depth\": " << s.max_queue_depth
        << ", \"undispatched\": " << s.undispatched
        << ", \"saturated\": " << (s.saturated ? "true" : "false")
+       << ", \"object_crash_events\": " << s.report.object_crash_events
+       << ", \"object_restarts\": " << s.report.object_restarts
+       << ", \"repair_bits\": " << s.report.repair_bits
+       << ", \"degraded_steps\": " << s.report.degraded_steps
        << ", \"live\": " << (s.live ? "true" : "false")
        << ", \"quiesced\": " << (s.report.quiesced ? "true" : "false")
        << ", \"fingerprint\": \"" << std::hex << s.fingerprint << std::dec
@@ -500,7 +540,9 @@ void write_store_json(std::ostream& os, const StoreResult& r) {
      << ", \"burst_off\": " << o.arrival.burst_off
      << ", \"scheduler\": \"" << harness::to_string(o.scheduler)
      << "\", \"object_crashes_per_shard\": " << o.object_crashes_per_shard
-     << ", \"seed\": " << o.seed << ", \"check_consistency\": "
+     << ", \"restart_after\": " << o.restart_after
+     << ", \"restart_mode\": \"" << sim::to_string(o.restart_mode)
+     << "\", \"seed\": " << o.seed << ", \"check_consistency\": "
      << (o.check_consistency ? "true" : "false") << "},\n";
   os << "  \"deterministic\": ";
   write_store_deterministic_json(os, r);

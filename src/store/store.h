@@ -65,6 +65,17 @@ struct StoreOptions {
   /// Crash up to this many base objects per shard at random points (keep
   /// <= f for liveness), scheduler == kRandom only.
   uint32_t object_crashes_per_shard = 0;
+  /// Crash recovery: restart each crashed object this many steps (on its
+  /// shard's logical clock) after the crash (0 = never; scheduler ==
+  /// kRandom only, like the crash injection). Each crash gets at most one
+  /// restart; the restarted object enters a repair window whose traffic is
+  /// charged to repair_bits until the first post-restart write overwrites
+  /// it.
+  uint64_t restart_after = 0;
+  /// kFromDisk re-joins every key's sub-state frozen at crash time (per-key
+  /// guarantees hold); kFromScratch mounts an empty replacement replica
+  /// (models disk loss — guarantees may fail until repair re-converges it).
+  sim::RestartMode restart_mode = sim::RestartMode::kFromDisk;
   /// Base seed; each shard's schedule seed is splitmix-derived from
   /// {seed, shard index}, independent of thread count.
   uint64_t seed = 1;
@@ -119,6 +130,15 @@ struct StoreResult {
   uint64_t max_queue_depth = 0;  // deepest per-shard arrival queue
   uint64_t undispatched = 0;     // summed over shards
   bool saturated = false;        // any shard saturated
+  /// Crash-recovery outcome summed over shards (each shard's own counters
+  /// live in its ShardResult::report). degraded_sojourn merges the sojourn
+  /// time of operations that returned while >= 1 of their shard's objects
+  /// was down — the degraded-window tail next to sojourn_latency.
+  uint64_t object_crash_events = 0;
+  uint64_t object_restarts = 0;
+  uint64_t repair_bits = 0;
+  uint64_t degraded_steps = 0;
+  metrics::LatencyHistogram degraded_sojourn;
   uint64_t completed_reads = 0;
   uint64_t completed_writes = 0;
   uint64_t total_steps = 0;
@@ -205,6 +225,11 @@ class Store {
   /// Store-lifetime write-value tag counter: keeps batch-written values
   /// distinct across repeated run() calls (the checkers' precondition).
   uint64_t next_write_tag_ = 1;
+  /// Count of open-loop run() batches already scheduled: batch b draws its
+  /// per-shard arrival schedules from seed index 1 + b, so a repeated run()
+  /// gets fresh interarrival draws instead of replaying batch 0's pattern
+  /// shifted past the old traffic (index 0 is the shard scheduler's seed).
+  uint64_t open_batches_ = 0;
 };
 
 /// Pretty-printed JSON of the full result: an "options" block, the

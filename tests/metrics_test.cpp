@@ -274,5 +274,63 @@ TEST(LatencyHistogram, MergeEqualsHistogramOfUnion) {
   EXPECT_THROW(coarse.merge(both), CheckFailure);
 }
 
+// The empty-histogram contract: every accessor (percentile included, at any
+// quantile) returns 0, touches no bucket storage, and never reads past the
+// bucket array. Exporters call p50/p99/p999 on histograms that may have
+// recorded nothing (e.g. degraded_sojourn on a crash-free run), so this is
+// load-bearing, not decorative.
+TEST(LatencyHistogram, EmptyHistogramPercentilesAreZero) {
+  const LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_TRUE(h.counts().empty()) << "no bucket storage allocated";
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.percentile(q), 0u) << "q=" << q;
+  }
+  // Out-of-range quantiles are clamped, not misread.
+  EXPECT_EQ(h.percentile(-1.0), 0u);
+  EXPECT_EQ(h.percentile(2.0), 0u);
+}
+
+TEST(LatencyHistogram, SingleSamplePercentilesAreThatSample) {
+  for (const uint64_t v : {0ull, 1ull, 42ull, 1'000'000ull}) {
+    LatencyHistogram h;
+    h.record(v);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), v);
+    EXPECT_EQ(h.max(), v);
+    EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(v));
+    for (double q : {0.0, 0.5, 0.99, 1.0}) {
+      // Clamped to the true max: exact even above the unit-bucket range.
+      EXPECT_EQ(h.percentile(q), v) << "v=" << v << " q=" << q;
+    }
+  }
+}
+
+TEST(LatencyHistogram, MergingEmptyIntoPopulatedIsIdentity) {
+  LatencyHistogram populated;
+  for (uint64_t v : {3u, 7u, 9000u}) populated.record(v);
+  const LatencyHistogram before = populated;
+
+  LatencyHistogram empty;
+  populated.merge(empty);  // empty into populated: all stats unchanged
+  EXPECT_TRUE(populated == before);
+  EXPECT_EQ(populated.min(), 3u);
+  EXPECT_EQ(populated.max(), 9000u);
+  EXPECT_EQ(populated.p50(), 7u);
+
+  empty.merge(populated);  // populated into empty: adopts min/max/buckets
+  EXPECT_TRUE(empty == before);
+  EXPECT_EQ(empty.min(), 3u);
+
+  LatencyHistogram a, b;
+  a.merge(b);  // empty into empty stays empty
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.percentile(0.99), 0u);
+}
+
 }  // namespace
 }  // namespace sbrs::metrics

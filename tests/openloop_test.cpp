@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "common/check.h"
@@ -21,6 +22,59 @@ namespace {
 using sim::ArrivalOptions;
 using sim::ArrivalProcess;
 using sim::generate_arrivals;
+
+// The validation contract front-ends rely on to turn bad open-loop flags
+// into usage errors: rate must be positive and finite, bursty specs need a
+// non-empty on-window, and closed-loop specs are always fine (their knobs
+// are ignored). generate_arrivals enforces the same rule as a CheckFailure.
+TEST(ArrivalValidation, RejectsUnusableSpecs) {
+  ArrivalOptions a;
+  EXPECT_TRUE(sim::validate_arrival(a).empty()) << "closed loop is valid";
+  a.rate = 0.0;  // closed loop ignores the bad rate
+  EXPECT_TRUE(sim::validate_arrival(a).empty());
+
+  a.process = ArrivalProcess::kFixedRate;
+  EXPECT_FALSE(sim::validate_arrival(a).empty()) << "rate 0 divides by zero";
+  a.rate = -0.5;
+  EXPECT_FALSE(sim::validate_arrival(a).empty());
+  a.rate = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(sim::validate_arrival(a).empty());
+  a.rate = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(sim::validate_arrival(a).empty());
+  a.rate = 0.25;
+  EXPECT_TRUE(sim::validate_arrival(a).empty());
+
+  a.process = ArrivalProcess::kBursty;
+  a.burst_on = 0;
+  a.burst_off = 0;  // --burst=0,0: a schedule that never releases arrivals
+  EXPECT_FALSE(sim::validate_arrival(a).empty());
+  a.burst_on = 1;
+  EXPECT_TRUE(sim::validate_arrival(a).empty())
+      << "burst_off 0 alone is legal (continuous on-window)";
+
+  // generate_arrivals enforces the same contract.
+  a.burst_on = 0;
+  EXPECT_THROW(generate_arrivals(a, 4, 1), CheckFailure);
+  a.process = ArrivalProcess::kFixedRate;
+  a.rate = 0.0;
+  EXPECT_THROW(generate_arrivals(a, 4, 1), CheckFailure);
+}
+
+// The harness and the store reject bad specs at mount time, not mid-run.
+TEST(ArrivalValidation, EnginesRejectBadSpecsUpFront) {
+  harness::RunOptions opts;
+  opts.arrival.process = ArrivalProcess::kPoisson;
+  opts.arrival.rate = 0.0;
+  auto algorithm = harness::make_algorithm(
+      "adaptive", registers::RegisterConfig{});
+  EXPECT_THROW(harness::run_register_experiment(*algorithm, opts),
+               CheckFailure);
+
+  store::StoreOptions so;
+  so.arrival.process = ArrivalProcess::kBursty;
+  so.arrival.burst_on = 0;
+  EXPECT_THROW(store::Store{so}, CheckFailure);
+}
 
 TEST(ArrivalSchedule, FixedRateIsExactAndNondecreasing) {
   ArrivalOptions a;

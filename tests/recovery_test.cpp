@@ -1,0 +1,480 @@
+// Crash-recovery subsystem tests: Simulator::restart_object semantics (both
+// restart modes, the repair window, the degraded-window metrics), scheduler
+// and adversary restart schedules, exact storage accounting across every
+// crash/restart transition, per-key consistency on recovery histories, and
+// the thread-count independence of recovering store runs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "adversary/ad_scheduler.h"
+#include "common/check.h"
+#include "harness/algorithms.h"
+#include "harness/export.h"
+#include "harness/runner.h"
+#include "harness/sweep.h"
+#include "sim/schedulers.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+#include "store/store.h"
+
+namespace sbrs {
+namespace {
+
+registers::RegisterConfig small_cfg() {
+  registers::RegisterConfig cfg;
+  cfg.f = 2;
+  cfg.k = 2;
+  cfg.n = 6;
+  cfg.data_bits = 256;
+  return cfg;
+}
+
+/// Deterministic scheduler for pinning exact crash->restart interleavings:
+/// applies the scripted fault list at the given steps, otherwise delivers
+/// FIFO and invokes round-robin (every pending RMW eventually delivered).
+class ScriptedFaultScheduler final : public sim::Scheduler {
+ public:
+  struct Fault {
+    uint64_t at_step = 0;
+    ObjectId object{};
+    bool restart = false;
+    sim::RestartMode mode = sim::RestartMode::kFromDisk;
+  };
+
+  explicit ScriptedFaultScheduler(std::vector<Fault> faults)
+      : faults_(std::move(faults)) {}
+
+  sim::Action next(const sim::Simulator& sim) override {
+    while (cursor_ < faults_.size() &&
+           sim.now() >= faults_[cursor_].at_step) {
+      const Fault& f = faults_[cursor_];
+      ++cursor_;
+      if (f.restart && !sim.object_alive(f.object)) {
+        return sim::Action::restart_object(f.object, f.mode);
+      }
+      if (!f.restart && sim.object_alive(f.object)) {
+        return sim::Action::crash_object(f.object);
+      }
+    }
+    if (!sim.pending().empty()) {
+      return sim::Action::deliver(sim.pending().front().id);
+    }
+    const auto ready = sim.invocable_clients();
+    if (!ready.empty()) return sim::Action::invoke(ready.front());
+    return sim::Action::stop();
+  }
+
+ private:
+  std::vector<Fault> faults_;
+  size_t cursor_ = 0;
+};
+
+sim::Simulator make_sim(const std::string& alg, const sim::SimConfig& sc,
+                        std::vector<ScriptedFaultScheduler::Fault> faults,
+                        uint32_t writers = 2, uint32_t writes = 4,
+                        uint32_t readers = 1, uint32_t reads = 4) {
+  auto algorithm = harness::make_algorithm(alg, small_cfg());
+  sim::UniformWorkload::Options wl;
+  wl.writers = writers;
+  wl.writes_per_client = writes;
+  wl.readers = readers;
+  wl.reads_per_client = reads;
+  wl.data_bits = small_cfg().data_bits;
+  sim::SimConfig actual = sc;
+  // Algorithms may normalize their pool shape (abd forces n = 2f + 1).
+  actual.num_objects = algorithm->config().n;
+  actual.num_clients = writers + readers;
+  return sim::Simulator(
+      actual, algorithm->object_factory(), algorithm->client_factory(),
+      std::make_unique<sim::UniformWorkload>(wl),
+      std::make_unique<ScriptedFaultScheduler>(std::move(faults)));
+}
+
+sim::SimConfig strict_config() {
+  sim::SimConfig sc;
+  sc.num_objects = small_cfg().n;
+  sc.num_clients = 3;
+  sc.max_steps = 50'000;
+  sc.verify_accounting = true;  // per-step cross-check, release included
+  return sc;
+}
+
+// ------------------------- restart_object core -----------------------------
+
+TEST(Recovery, RestartOfLiveObjectThrows) {
+  auto sim = make_sim("abd", strict_config(), {});
+  EXPECT_THROW(sim.restart_object(ObjectId{0}, sim::RestartMode::kFromDisk),
+               CheckFailure);
+  EXPECT_THROW(sim.restart_object(ObjectId{99}, sim::RestartMode::kFromDisk),
+               CheckFailure);
+}
+
+TEST(Recovery, CrashedObjectRejoinsAndRepairWindowCloses) {
+  // Crash bo0 at step 10, restart it (from disk) at step 40. The workload
+  // keeps writing long past step 40, so a fresh write's RMW lands on the
+  // restarted object and closes its repair window.
+  auto sim = make_sim("abd", strict_config(),
+                      {{10, ObjectId{0}, false},
+                       {40, ObjectId{0}, true, sim::RestartMode::kFromDisk}},
+                      /*writers=*/2, /*writes=*/8, /*readers=*/1, /*reads=*/4);
+  bool saw_crashed = false;
+  bool saw_restarted = false;
+  while (sim.step()) {
+    if (!sim.object_alive(ObjectId{0})) saw_crashed = true;
+    if (saw_crashed && sim.object_alive(ObjectId{0})) saw_restarted = true;
+  }
+  // Finalize the summary fields (steps / invoked_ops / quiesced) that only
+  // run() fills in; the stepped-out simulator returns immediately.
+  const sim::RunReport report = sim.run();
+
+  EXPECT_TRUE(saw_crashed);
+  EXPECT_TRUE(saw_restarted);
+  EXPECT_TRUE(sim.object_alive(ObjectId{0}));
+  EXPECT_EQ(report.object_crash_events, 1u);
+  EXPECT_EQ(report.object_restarts, 1u);
+  EXPECT_EQ(sim.crashed_objects(), 0u);
+
+  // The restarted object received repair traffic, and the first fresh
+  // write overwrote it — the window is closed by the end of the run.
+  EXPECT_GT(report.repair_bits, 0u);
+  EXPECT_FALSE(sim.object_repairing(ObjectId{0}));
+
+  // The degraded window spans the crash->restart gap (the crash step
+  // counts, the restart step does not).
+  EXPECT_GT(report.degraded_steps, 0u);
+  EXPECT_LT(report.degraded_steps, report.steps);
+
+  // The trace carries both events, and the operation accessors ignore them.
+  EXPECT_EQ(sim.history().object_crash_count(), 1u);
+  EXPECT_EQ(sim.history().object_restart_count(), 1u);
+  EXPECT_EQ(sim.history().ops().size(), report.invoked_ops);
+
+  // All ops completed: a from-disk restart only adds capacity back.
+  EXPECT_TRUE(report.quiesced);
+}
+
+TEST(Recovery, FromScratchRestartMountsFreshStateWithExactAccounting) {
+  for (const bool count_crashed : {true, false}) {
+    sim::SimConfig sc = strict_config();
+    sc.count_crashed = count_crashed;
+    auto sim = make_sim(
+        "adaptive", sc,
+        {{12, ObjectId{1}, false},
+         {42, ObjectId{1}, true, sim::RestartMode::kFromScratch}},
+        /*writers=*/2, /*writes=*/8);
+    // verify_accounting asserts tracked == snapshot after every step,
+    // including the crash and restart transitions; run() throwing would
+    // fail the test.
+    const sim::RunReport report = sim.run();
+    EXPECT_EQ(report.object_restarts, 1u) << "count_crashed=" << count_crashed;
+
+    // The replacement was overwritten by post-restart rounds; pin the final
+    // exactness of the tracked totals against a full snapshot rebuild.
+    const auto snap = sim.snapshot();
+    EXPECT_EQ(sim.tracked_object_bits(), snap.object_bits());
+    EXPECT_EQ(sim.tracked_channel_bits(), snap.channel_bits());
+  }
+}
+
+TEST(Recovery, RepairWindowStaysOpenWithoutFreshWrites) {
+  // Crash and restart only after every write has been invoked and
+  // delivered; with no fresh (post-restart) write the repair window never
+  // closes — reads alone must not count as the re-converging overwrite.
+  auto sim = make_sim("abd", strict_config(),
+                      {{200, ObjectId{2}, false},
+                       {210, ObjectId{2}, true, sim::RestartMode::kFromDisk}},
+                      /*writers=*/1, /*writes=*/2, /*readers=*/2,
+                      /*reads=*/16);
+  sim.run();
+  if (sim.report().object_restarts == 1) {
+    EXPECT_TRUE(sim.object_repairing(ObjectId{2}));
+  }
+}
+
+// ------------------------- scheduler integration ---------------------------
+
+TEST(Recovery, RandomSchedulerRestartAfterRecoversEveryCrash) {
+  harness::RunOptions opts;
+  opts.writers = 4;
+  opts.writes_per_client = 4;
+  opts.readers = 2;
+  opts.reads_per_client = 4;
+  opts.object_crashes = 2;
+  opts.restart_after = 50;
+  opts.seed = 7;
+  auto algorithm = harness::make_algorithm("adaptive", small_cfg());
+  const auto out = harness::run_register_experiment(*algorithm, opts);
+
+  ASSERT_GT(out.report.object_crash_events, 0u)
+      << "seed 7 must inject at least one crash for this test to bite";
+  EXPECT_EQ(out.report.object_restarts, out.report.object_crash_events);
+  EXPECT_GT(out.report.degraded_steps, 0u);
+
+  // From-disk recovery: every consistency level the algorithm promises
+  // still holds, and liveness is intact.
+  EXPECT_TRUE(out.values_legal.ok);
+  EXPECT_TRUE(out.weak_regular.ok);
+  EXPECT_TRUE(out.strong_regular.ok);
+  EXPECT_TRUE(out.live);
+}
+
+TEST(Recovery, RestartPermyriadAloneAlsoRecovers) {
+  harness::RunOptions opts;
+  opts.writers = 4;
+  opts.writes_per_client = 8;
+  opts.readers = 2;
+  opts.reads_per_client = 8;
+  opts.object_crashes = 2;
+  opts.restart_permyriad = 400;  // ~4% per step: restarts come quickly
+  opts.seed = 11;
+  auto algorithm = harness::make_algorithm("abd", small_cfg());
+  const auto out = harness::run_register_experiment(*algorithm, opts);
+  ASSERT_GT(out.report.object_crash_events, 0u);
+  EXPECT_GT(out.report.object_restarts, 0u);
+  EXPECT_TRUE(out.values_legal.ok);
+  EXPECT_TRUE(out.live);
+}
+
+TEST(Recovery, RecoveryRunsAreExactlyReplayable) {
+  harness::RunOptions opts;
+  opts.writers = 4;
+  opts.writes_per_client = 4;
+  opts.readers = 2;
+  opts.reads_per_client = 4;
+  opts.object_crashes = 2;
+  opts.restart_after = 30;
+  opts.restart_mode = sim::RestartMode::kFromScratch;
+  opts.seed = 13;
+  opts.check_consistency = false;  // scratch restarts may violate; not the point
+  auto algorithm = harness::make_algorithm("coded", small_cfg());
+  const auto a = harness::run_register_experiment(*algorithm, opts);
+  auto algorithm2 = harness::make_algorithm("coded", small_cfg());
+  const auto b = harness::run_register_experiment(*algorithm2, opts);
+  EXPECT_EQ(harness::outcome_fingerprint(a), harness::outcome_fingerprint(b));
+  EXPECT_EQ(a.report.object_restarts, b.report.object_restarts);
+  EXPECT_EQ(a.report.repair_bits, b.report.repair_bits);
+  EXPECT_EQ(a.report.degraded_steps, b.report.degraded_steps);
+}
+
+TEST(Recovery, FingerprintDistinguishesRecoverySchedules) {
+  // Two runs differing only in restart_after must fingerprint differently
+  // (the crash/restart events ride in the history trace).
+  harness::RunOptions opts;
+  opts.writers = 4;
+  opts.writes_per_client = 4;
+  opts.readers = 2;
+  opts.reads_per_client = 4;
+  opts.object_crashes = 2;
+  opts.restart_after = 30;
+  opts.seed = 7;
+  auto alg1 = harness::make_algorithm("adaptive", small_cfg());
+  const auto a = harness::run_register_experiment(*alg1, opts);
+  ASSERT_GT(a.report.object_restarts, 0u);
+  opts.restart_after = 0;  // never restart
+  auto alg2 = harness::make_algorithm("adaptive", small_cfg());
+  const auto b = harness::run_register_experiment(*alg2, opts);
+  EXPECT_NE(harness::outcome_fingerprint(a), harness::outcome_fingerprint(b));
+}
+
+// ------------------------- adversary integration ---------------------------
+
+TEST(Recovery, AdSchedulerAppliesTargetedFaultSchedule) {
+  const auto cfg = small_cfg();
+  auto algorithm = harness::make_algorithm("coded", cfg);
+
+  sim::UniformWorkload::Options wl;
+  wl.writers = 4;
+  wl.writes_per_client = 1;
+  wl.data_bits = cfg.data_bits;
+
+  adversary::AdScheduler::Options ad;
+  ad.l_bits = cfg.data_bits / 2;
+  ad.data_bits = cfg.data_bits;
+  ad.concurrency = 0;  // disable the |C+| fixed point: run until starved
+  ad.f = cfg.f;
+  ad.stop_when_frozen = false;
+  // The first steps are rule-2 invocations (nothing is pending yet), so
+  // faults this early are guaranteed to be applied before any fixed point.
+  ad.faults = {{1, ObjectId{0}, false, sim::RestartMode::kFromDisk},
+               {3, ObjectId{0}, true, sim::RestartMode::kFromDisk}};
+
+  sim::SimConfig sc;
+  sc.num_objects = cfg.n;
+  sc.num_clients = 4;
+  sc.verify_accounting = true;
+
+  sim::Simulator sim(sc, algorithm->object_factory(),
+                     algorithm->client_factory(),
+                     std::make_unique<sim::UniformWorkload>(wl),
+                     std::make_unique<adversary::AdScheduler>(ad));
+  sim.run();
+  EXPECT_EQ(sim.history().object_crash_count(), 1u);
+  EXPECT_EQ(sim.history().object_restart_count(), 1u);
+  EXPECT_TRUE(sim.object_alive(ObjectId{0}));
+}
+
+// --------------------------- sweep integration -----------------------------
+
+TEST(Recovery, SweepCellsAggregateRecoveryOutcome) {
+  harness::SweepCell cell;
+  cell.algorithm = "adaptive";
+  cell.config = small_cfg();
+  cell.opts.writers = 4;
+  cell.opts.writes_per_client = 4;
+  cell.opts.readers = 2;
+  cell.opts.reads_per_client = 4;
+  cell.opts.object_crashes = 2;
+  cell.opts.restart_after = 40;
+
+  harness::SweepOptions so;
+  so.threads = 2;
+  so.seeds_per_cell = 4;
+  so.base_seed = 7;
+  const auto result = harness::SweepRunner(so).run({cell});
+  ASSERT_EQ(result.cells.size(), 1u);
+  const harness::CellSummary& cs = result.cells[0];
+  EXPECT_GT(cs.object_crash_events, 0u);
+  EXPECT_GT(cs.object_restarts, 0u);
+  EXPECT_GT(cs.degraded_steps.max, 0u);
+  EXPECT_EQ(cs.consistency_failures, 0u);
+  EXPECT_EQ(cs.liveness_failures, 0u);
+
+  std::ostringstream os;
+  harness::write_sweep_json(os, result);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"object_restarts\""), std::string::npos);
+  EXPECT_NE(json.find("\"repair_bits\""), std::string::npos);
+  EXPECT_NE(json.find("\"degraded_sojourn_steps\""), std::string::npos);
+  EXPECT_NE(json.find("\"restart_after\": 40"), std::string::npos);
+}
+
+// --------------------------- store integration -----------------------------
+
+store::StoreOptions recovery_store_options() {
+  store::StoreOptions opts;
+  opts.algorithm = "adaptive";
+  opts.register_config.f = 2;
+  opts.register_config.k = 2;
+  opts.register_config.n = 6;
+  opts.register_config.data_bits = 128;
+  opts.num_shards = 3;
+  opts.workload.num_keys = 24;
+  opts.workload.clients = 4;
+  opts.workload.ops_per_client = 24;
+  opts.workload.mix = store::ycsb::Mix::kA;  // write-heavy: windows close
+  opts.workload.distribution = store::ycsb::Distribution::kZipfian;
+  opts.seed = 5;
+  opts.threads = 2;
+  opts.object_crashes_per_shard = 2;
+  opts.restart_after = 60;
+  return opts;
+}
+
+TEST(Recovery, StoreRecoveryKeepsPerKeyGuarantees) {
+  store::Store engine(recovery_store_options());
+  const store::StoreResult result = engine.run();
+  ASSERT_GT(result.object_crash_events, 0u)
+      << "seed 5 must inject crashes for this test to bite";
+  // A crash within restart_after steps of the end of a shard's run may
+  // never restart; every other crash must.
+  EXPECT_GT(result.object_restarts, 0u);
+  EXPECT_LE(result.object_restarts, result.object_crash_events);
+  EXPECT_GT(result.repair_bits, 0u);
+  EXPECT_GT(result.degraded_steps, 0u);
+  EXPECT_EQ(result.consistency_failures, 0u)
+      << "from-disk restarts must keep every key's guarantee";
+  EXPECT_TRUE(result.all_live);
+}
+
+TEST(Recovery, StoreRecoveryDeterministicAcrossThreadCounts) {
+  std::vector<std::string> deterministic(3);
+  const uint32_t threads[] = {1, 4, 9};
+  for (size_t i = 0; i < 3; ++i) {
+    store::StoreOptions opts = recovery_store_options();
+    opts.threads = threads[i];
+    store::Store engine(opts);
+    const store::StoreResult result = engine.run();
+    ASSERT_GT(result.object_restarts, 0u);
+    std::ostringstream os;
+    store::write_store_deterministic_json(os, result);
+    deterministic[i] = os.str();
+  }
+  EXPECT_EQ(deterministic[0], deterministic[1]);
+  EXPECT_EQ(deterministic[0], deterministic[2])
+      << "recovery runs must not depend on the worker thread count";
+}
+
+TEST(Recovery, StoreRecoveryJsonCarriesRecoveryFields) {
+  store::Store engine(recovery_store_options());
+  const store::StoreResult result = engine.run();
+  std::ostringstream os;
+  store::write_store_json(os, result);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"object_restarts\""), std::string::npos);
+  EXPECT_NE(json.find("\"repair_bits\""), std::string::npos);
+  EXPECT_NE(json.find("\"degraded_steps\""), std::string::npos);
+  EXPECT_NE(json.find("\"degraded_sojourn_steps\""), std::string::npos);
+  EXPECT_NE(json.find("\"restart_after\": 60"), std::string::npos);
+  EXPECT_NE(json.find("\"restart_mode\": \"disk\""), std::string::npos);
+}
+
+// Satellite: repeated open-loop run() re-basing. Two identical stores
+// driven through two batches each must agree byte-for-byte regardless of
+// thread count, and the second batch must queue on top of the first
+// without colliding (cumulative counts, no throw).
+TEST(Recovery, RepeatedOpenLoopRunsRebaseDeterministically) {
+  auto make = [](uint32_t threads) {
+    store::StoreOptions opts;
+    opts.algorithm = "adaptive";
+    opts.register_config.f = 1;
+    opts.register_config.k = 2;
+    opts.register_config.n = 4;
+    opts.register_config.data_bits = 128;
+    opts.num_shards = 3;
+    opts.workload.num_keys = 16;
+    opts.workload.clients = 3;
+    opts.workload.ops_per_client = 8;
+    opts.workload.mix = store::ycsb::Mix::kA;
+    opts.seed = 17;
+    opts.threads = threads;
+    opts.arrival.process = sim::ArrivalProcess::kPoisson;
+    opts.arrival.rate = 0.05;
+    return opts;
+  };
+
+  std::vector<std::string> second_batch(3);
+  const uint32_t threads[] = {1, 4, 9};
+  for (size_t i = 0; i < 3; ++i) {
+    store::Store engine(make(threads[i]));
+    const store::StoreResult first = engine.run();
+    const store::StoreResult second = engine.run();
+    EXPECT_EQ(second.completed_reads + second.completed_writes,
+              2 * (first.completed_reads + first.completed_writes));
+    EXPECT_EQ(second.consistency_failures, 0u);
+    std::ostringstream os;
+    store::write_store_deterministic_json(os, second);
+    second_batch[i] = os.str();
+  }
+  EXPECT_EQ(second_batch[0], second_batch[1]);
+  EXPECT_EQ(second_batch[0], second_batch[2])
+      << "re-based second batches must not depend on the thread count";
+}
+
+// The second batch must not replay the first batch's arrival pattern:
+// per-batch seed indices give fresh interarrival draws.
+TEST(Recovery, RepeatedRunsDrawFreshArrivalSchedules) {
+  sim::ArrivalOptions a;
+  a.process = sim::ArrivalProcess::kPoisson;
+  a.rate = 0.1;
+  const auto batch1 = sim::generate_arrivals(
+      a, 32, sim::arrival_seed(harness::cell_seed(17, 0, 1)));
+  const auto batch2 = sim::generate_arrivals(
+      a, 32, sim::arrival_seed(harness::cell_seed(17, 0, 2)));
+  EXPECT_NE(batch1, batch2)
+      << "per-batch seed indices must decorrelate repeated run() batches";
+}
+
+}  // namespace
+}  // namespace sbrs

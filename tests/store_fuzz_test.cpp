@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,7 +24,7 @@ namespace sbrs::store {
 namespace {
 
 StoreOptions fuzz_options(const std::string& alg, uint64_t seed,
-                          bool crash_heavy) {
+                          bool crash_heavy, bool with_restarts = false) {
   StoreOptions opts;
   opts.algorithm = alg;
   opts.register_config.f = 2;
@@ -46,6 +47,12 @@ StoreOptions fuzz_options(const std::string& alg, uint64_t seed,
   opts.object_crashes_per_shard = crash_heavy ? 2 : 0;
   // Randomized open-loop arrival shape, derived from the fuzz seed.
   Rng rng(seed);
+  // Interleaved restarts: crashed objects come back from disk after a
+  // randomized (seed-derived) delay, re-joining mid-stream with stale
+  // per-key sub-states that later rounds overwrite.
+  if (with_restarts) {
+    opts.restart_after = 32 + rng.below(96);
+  }
   switch (rng.below(3)) {
     case 0:
       opts.arrival.process = sim::ArrivalProcess::kFixedRate;
@@ -125,6 +132,27 @@ TEST(StoreFuzz, CrashHeavyOpenLoopSchedulesStillCheckOutPerKey) {
   }
 }
 
+TEST(StoreFuzz, CrashRestartSchedulesStillCheckOutPerKey) {
+  // Crash-heavy schedules with interleaved from-disk restarts: a restarted
+  // object serves stale sub-states until fresh rounds overwrite them, and
+  // every key must still keep the algorithm's own guarantee.
+  uint64_t total_restarts = 0;
+  for (const std::string& alg : {"adaptive", "abd", "coded-atomic"}) {
+    for (uint64_t seed = 31; seed <= 34; ++seed) {
+      SCOPED_TRACE(alg + " seed " + std::to_string(seed));
+      Store store(fuzz_options(alg, seed, /*crash_heavy=*/true,
+                               /*with_restarts=*/true));
+      const StoreResult result = store.run();
+      EXPECT_EQ(result.consistency_failures, 0u);
+      EXPECT_TRUE(result.all_live);
+      total_restarts += result.object_restarts;
+      check_store_histories(store, alg);
+    }
+  }
+  EXPECT_GT(total_restarts, 0u)
+      << "the seeds must exercise at least one actual restart";
+}
+
 /// Rebuild a history with one read's returned value replaced (the
 /// mutation-fuzz guard of checker_fuzz_test.cpp, applied to a split
 /// per-key history).
@@ -173,6 +201,52 @@ TEST(StoreFuzz, CorruptedPerKeyReadIsStillCaughtAfterTheSplit) {
     }
   }
   EXPECT_GT(mutated, 8u) << "the mutation pass should exercise many keys";
+}
+
+TEST(StoreFuzz, CorruptedPostRestartReadIsStillCaught) {
+  // The split must not launder post-restart corruption either: corrupt only
+  // reads invoked at or after the shard's first restart and require the
+  // checkers to reject every one of them.
+  size_t mutated = 0;
+  for (uint64_t seed = 41; seed <= 44 && mutated < 6; ++seed) {
+    Store store(fuzz_options("adaptive", seed, /*crash_heavy=*/true,
+                             /*with_restarts=*/true));
+    (void)store.run();
+    Rng rng(seed);
+    for (uint32_t s = 0; s < store.options().num_shards; ++s) {
+      const sim::History& shard_history = store.shard_sim(s).history();
+      // The shard's first restart step, if it had one.
+      std::optional<uint64_t> restart_at;
+      for (const auto& ev : shard_history.events()) {
+        if (ev.kind == sim::HistoryEvent::Kind::kRestartObject) {
+          restart_at = ev.time;
+          break;
+        }
+      }
+      if (!restart_at.has_value()) continue;
+      const auto by_key =
+          split_history_by_key(shard_history, store.shard_op_keys(s));
+      for (const auto& [key, sub] : by_key) {
+        std::vector<sim::OpRecord> late_reads;
+        for (const auto& rec : sub.reads()) {
+          if (rec.complete() && rec.invoke_time >= *restart_at) {
+            late_reads.push_back(rec);
+          }
+        }
+        if (late_reads.empty()) continue;
+        const auto& victim = late_reads[rng.pick_index(late_reads)];
+        const auto corrupted = mutate_read_value(
+            sub, victim.op,
+            Value::from_tag(0xbad0000 + key,
+                            store.options().register_config.data_bits));
+        EXPECT_FALSE(consistency::check_values_legal(corrupted).ok)
+            << "shard " << s << " key " << key << " post-restart read";
+        ++mutated;
+      }
+    }
+  }
+  EXPECT_GT(mutated, 0u)
+      << "the seeds must yield post-restart reads to corrupt";
 }
 
 }  // namespace

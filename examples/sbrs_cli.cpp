@@ -23,8 +23,10 @@
 #include "bounds/formulas.h"
 #include "common/check.h"
 #include "harness/algorithms.h"
+#include "harness/campaign.h"
 #include "harness/export.h"
 #include "harness/runner.h"
+#include "harness/scenario.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 #include "store/store.h"
@@ -46,6 +48,20 @@ struct CliOptions {
   // Crash recovery (with --crashes and the random scheduler).
   uint64_t restart = 0;            // steps after a crash; 0 = never restart
   std::string restart_mode = "disk";  // disk|scratch
+  bool restart_set = false;        // --restart given explicitly
+  bool restart_mode_set = false;   // --restart-mode given explicitly
+  // Link faults (single, sweep and store modes; random scheduler only).
+  uint32_t partitions = 0;         // partition events to inject
+  uint64_t heal = 512;             // auto-heal delay in steps
+  uint32_t drop = 0;               // drop permyriad per triggered RMW
+  uint64_t max_drops = UINT64_MAX;
+  uint64_t reorder = 0;            // bounded reorder window W
+  bool verify_accounting = false;  // force the accounting cross-check on
+  // Scenario / campaign modes.
+  std::string scenario;            // run one scenario file
+  std::string campaign;            // comma list of scenario files
+  std::string bundle_dir;          // triage bundles for campaign failures
+  bool seed_set = false;           // --seed given explicitly
   // Sweep mode.
   bool sweep = false;
   std::string algs;            // comma list; default: the --alg value
@@ -112,6 +128,14 @@ CliOptions parse(int argc, char** argv) {
       o.no_check = true;
     } else if (arg == "--open-loop") {
       o.open_loop = true;
+    } else if (arg == "--verify-accounting") {
+      o.verify_accounting = true;
+    } else if (parse_int_flag(arg, "restart", &o.restart)) {
+      o.restart_set = true;
+    } else if (parse_flag(arg, "restart-mode", &o.restart_mode)) {
+      o.restart_mode_set = true;
+    } else if (parse_int_flag(arg, "seed", &o.seed)) {
+      o.seed_set = true;
     } else if (parse_flag(arg, "theta", &s)) {
       o.theta = std::stod(s);
     } else if (parse_flag(arg, "rate", &s)) {
@@ -141,12 +165,17 @@ CliOptions parse(int argc, char** argv) {
                parse_int_flag(arg, "writes", &o.writes) ||
                parse_int_flag(arg, "readers", &o.readers) ||
                parse_int_flag(arg, "reads", &o.reads) ||
-               parse_int_flag(arg, "seed", &o.seed) ||
                parse_int_flag(arg, "threads", &o.threads) ||
                parse_int_flag(arg, "seeds", &o.seeds) ||
                parse_int_flag(arg, "crashes", &o.crashes) ||
-               parse_int_flag(arg, "restart", &o.restart) ||
-               parse_flag(arg, "restart-mode", &o.restart_mode)) {
+               parse_int_flag(arg, "partitions", &o.partitions) ||
+               parse_int_flag(arg, "heal", &o.heal) ||
+               parse_int_flag(arg, "drop", &o.drop) ||
+               parse_int_flag(arg, "max-drops", &o.max_drops) ||
+               parse_int_flag(arg, "reorder", &o.reorder) ||
+               parse_flag(arg, "scenario", &o.scenario) ||
+               parse_flag(arg, "campaign", &o.campaign) ||
+               parse_flag(arg, "bundle-dir", &o.bundle_dir)) {
       // parsed
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
@@ -177,6 +206,31 @@ void usage() {
       "  --restart-mode=disk|scratch   re-join with the state frozen at\n"
       "                  crash time (disk, guarantees hold) or as an empty\n"
       "                  replacement replica (scratch, models disk loss)\n\n"
+      "link faults (single, sweep and store modes; random scheduler only):\n"
+      "  --partitions=N  inject up to N partition events (symmetric whole-\n"
+      "                  object cuts or asymmetric client-subset cuts);\n"
+      "                  per shard in --store mode\n"
+      "  --heal=N        auto-heal delay of each partition in steps\n"
+      "                  (default 512)\n"
+      "  --drop=N        drop each triggered RMW with probability N/10000\n"
+      "  --max-drops=N   cap the probabilistic drops (keep <= f for\n"
+      "                  liveness)\n"
+      "  --reorder=W     bounded reordering: uniform per-RMW release offset\n"
+      "                  in [0, W] steps\n"
+      "  --verify-accounting   cross-check incremental storage accounting\n"
+      "                  against full snapshots every step (slow; on by\n"
+      "                  default in Debug builds)\n\n"
+      "scenario / campaign modes (declarative fault experiments; see\n"
+      "docs/scenario_schema.md and scenarios/):\n"
+      "  --scenario=FILE run one scenario file and judge its expect block\n"
+      "                  (--seed overrides the file's seed; exit 1 on any\n"
+      "                  violation)\n"
+      "  --campaign=F1,F2,...   sweep scenario files x --seeds seeds on\n"
+      "                  --threads workers; exit 1 if any run fails\n"
+      "  --bundle-dir=DIR       write a triage bundle per failed campaign\n"
+      "                  run (scenario file, outcome, trace, one-line\n"
+      "                  repro command)\n"
+      "  (--json writes the campaign summary JSON)\n\n"
       "open-loop load (applies to single, sweep and store modes):\n"
       "  --open-loop     schedule arrivals instead of closed-loop sessions\n"
       "                  (ops queue while sessions are busy; latency splits\n"
@@ -236,6 +290,14 @@ sbrs::sim::ArrivalOptions arrival_options(const CliOptions& cli) {
   return a;
 }
 
+sbrs::sim::LinkFaultOptions link_fault_options(const CliOptions& cli) {
+  sbrs::sim::LinkFaultOptions lf;
+  lf.drop_permyriad = cli.drop;
+  lf.max_drops = cli.max_drops;
+  lf.reorder_window = cli.reorder;
+  return lf;
+}
+
 sbrs::sim::RestartMode restart_mode_of(const CliOptions& cli) {
   if (cli.restart_mode == "disk") return sbrs::sim::RestartMode::kFromDisk;
   if (cli.restart_mode == "scratch") {
@@ -273,6 +335,10 @@ int run_sweep(const CliOptions& cli) {
       cell.opts.object_crashes = cli.crashes;
       cell.opts.restart_after = cli.restart;
       cell.opts.restart_mode = restart_mode_of(cli);
+      cell.opts.partitions = cli.partitions;
+      cell.opts.heal_after = cli.heal;
+      cell.opts.link_faults = link_fault_options(cli);
+      if (cli.verify_accounting) cell.opts.verify_accounting = true;
       cell.opts.arrival = arrival_options(cli);
       cell.label = alg + " c=" + c_str;
       grid.push_back(std::move(cell));
@@ -334,6 +400,10 @@ int run_store(const CliOptions& cli) {
   opts.object_crashes_per_shard = cli.crashes;
   opts.restart_after = cli.restart;
   opts.restart_mode = restart_mode_of(cli);
+  opts.partitions_per_shard = cli.partitions;
+  opts.heal_after = cli.heal;
+  opts.link_faults = link_fault_options(cli);
+  if (cli.verify_accounting) opts.verify_accounting = true;
   opts.seed = cli.seed;
   opts.threads = cli.threads;
   opts.check_consistency = !cli.no_check;
@@ -434,6 +504,90 @@ int run_store(const CliOptions& cli) {
   return result.consistency_failures == 0 && drained_ok ? 0 : 1;
 }
 
+int run_scenario_file(const CliOptions& cli) {
+  using namespace sbrs;
+  const harness::Scenario scenario = harness::load_scenario(cli.scenario);
+  const uint64_t file_seed = scenario.mode == "register"
+                                 ? scenario.run.seed
+                                 : scenario.store_opts.seed;
+  const uint64_t seed = cli.seed_set ? cli.seed : file_seed;
+  const harness::ScenarioOutcome out = harness::run_scenario(scenario, seed);
+
+  harness::Table table({"metric", "value"});
+  table.add_row("scenario", out.name);
+  table.add_row("mode", out.mode);
+  table.add_row("seed", out.seed);
+  table.add_row("steps", out.steps);
+  table.add_row("stop reason", out.stop_reason);
+  table.add_row("peak total bits", out.max_total_bits);
+  table.add_row("partitions / heals", std::to_string(out.partition_events) +
+                                          " / " +
+                                          std::to_string(out.heal_events));
+  table.add_row("rmws dropped / delayed",
+                std::to_string(out.rmws_dropped) + " / " +
+                    std::to_string(out.rmws_delayed));
+  table.add_row("degraded steps", out.degraded_steps);
+  table.add_row("fingerprint", [&] {
+    std::ostringstream fp;
+    fp << std::hex << out.fingerprint;
+    return fp.str();
+  }());
+  table.add_row("verdict", out.ok ? "PASS" : "FAIL");
+  table.print();
+
+  for (const auto& v : out.violations) {
+    std::cout << "violation: " << v << "\n";
+  }
+  if (!out.ok) {
+    std::cout << "repro: " << harness::repro_command(scenario, seed) << "\n";
+  }
+  return out.ok ? 0 : 1;
+}
+
+int run_campaign_cli(const CliOptions& cli) {
+  using namespace sbrs;
+  harness::CampaignOptions opts;
+  opts.scenario_files = split_csv(cli.campaign);
+  opts.seeds_per_scenario = cli.seeds;
+  opts.base_seed = cli.seed;
+  opts.threads = cli.threads;
+  opts.bundle_dir = cli.bundle_dir;
+  const harness::CampaignResult result = harness::run_campaign(opts);
+
+  harness::Table table(
+      {"scenario", "seed", "verdict", "stop", "partitions", "drops",
+       "violations"});
+  for (const auto& run : result.runs) {
+    table.add_row(run.scenario, run.seed, run.outcome.ok ? "pass" : "FAIL",
+                  run.outcome.stop_reason, run.outcome.partition_events,
+                  run.outcome.rmws_dropped,
+                  run.outcome.violations.empty()
+                      ? "-"
+                      : run.outcome.violations.front());
+  }
+  table.print();
+  std::cout << "campaign: " << result.runs.size() << " runs ("
+            << opts.scenario_files.size() << " scenarios x " << cli.seeds
+            << " seeds) on " << result.threads_used << " threads in "
+            << result.wall_seconds << "s — " << result.failures
+            << " failed\n";
+  for (const auto& run : result.runs) {
+    if (!run.bundle_path.empty()) {
+      std::cout << "triage bundle: " << run.bundle_path << "\n";
+    }
+  }
+  if (!cli.json.empty()) {
+    std::ofstream os(cli.json);
+    if (!os) {
+      std::cerr << "cannot write " << cli.json << "\n";
+      return 1;
+    }
+    harness::write_campaign_json(os, result);
+    std::cout << "wrote " << cli.json << "\n";
+  }
+  return result.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int run_cli(const CliOptions& cli);
@@ -449,6 +603,18 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
+    // Recovery knobs without anything that crashes are a spec contradiction
+    // — the run would silently never restart anything. Scenario/campaign
+    // modes carry their fault plan in the file, not these flags.
+    if ((cli.restart_set || cli.restart_mode_set) && cli.crashes == 0 &&
+        cli.scenario.empty() && cli.campaign.empty()) {
+      throw std::invalid_argument(
+          "--restart/--restart-mode need a crash-producing knob "
+          "(--crashes > 0): nothing would ever crash, so nothing could "
+          "restart");
+    }
+    if (!cli.scenario.empty()) return run_scenario_file(cli);
+    if (!cli.campaign.empty()) return run_campaign_cli(cli);
     if (cli.store) return run_store(cli);
     return cli.sweep ? run_sweep(cli) : run_cli(cli);
   } catch (const std::exception& e) {
@@ -472,8 +638,18 @@ int run_cli(const CliOptions& cli) {
   opts.object_crashes = cli.crashes;
   opts.restart_after = cli.restart;
   opts.restart_mode = restart_mode_of(cli);
+  opts.partitions = cli.partitions;
+  opts.heal_after = cli.heal;
+  opts.link_faults = link_fault_options(cli);
+  if (cli.verify_accounting) opts.verify_accounting = true;
   opts.scheduler = sched_kind(cli.sched);
   opts.arrival = arrival_options(cli);
+  {
+    // Fault knobs that can't work with this scheduler are a usage error
+    // (exit 2), not a CHECK failure deep inside the run.
+    const std::string why = harness::validate_fault_options(opts);
+    if (!why.empty()) throw std::invalid_argument(why);
+  }
 
   auto out = harness::run_register_experiment(*algorithm, opts);
 
@@ -499,6 +675,16 @@ int run_cli(const CliOptions& cli) {
   table.add_row("atomic",
                 consistency::check_atomicity(out.history).ok ? "yes" : "NO");
   table.add_row("live", out.live ? "yes" : "NO");
+  if (out.report.partition_events > 0 || out.report.rmws_dropped > 0 ||
+      out.report.rmws_delayed > 0) {
+    table.add_row("partitions / heals",
+                  std::to_string(out.report.partition_events) + " / " +
+                      std::to_string(out.report.heal_events));
+    table.add_row("rmws dropped / delayed",
+                  std::to_string(out.report.rmws_dropped) + " / " +
+                      std::to_string(out.report.rmws_delayed));
+    table.add_row("stop reason", out.report.stop_reason);
+  }
   if (out.report.object_crash_events > 0) {
     table.add_row("object crashes / restarts",
                   std::to_string(out.report.object_crash_events) + " / " +

@@ -1,0 +1,339 @@
+#include "common/json.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace sbrs::json {
+
+bool Value::as_bool() const {
+  SBRS_CHECK_MSG(is_bool(), "JSON value is not a bool");
+  return bool_;
+}
+
+double Value::as_double() const {
+  SBRS_CHECK_MSG(is_number(), "JSON value is not a number");
+  return dbl_;
+}
+
+uint64_t Value::as_u64() const {
+  SBRS_CHECK_MSG(is_number() && exact_u64_,
+                 "JSON value is not a non-negative integer");
+  return u64_;
+}
+
+int64_t Value::as_i64() const {
+  SBRS_CHECK_MSG(is_number(), "JSON value is not a number");
+  if (exact_u64_) {
+    SBRS_CHECK_MSG(u64_ <= static_cast<uint64_t>(INT64_MAX),
+                   "JSON integer out of int64 range");
+    return static_cast<int64_t>(u64_);
+  }
+  return static_cast<int64_t>(dbl_);
+}
+
+const std::string& Value::as_string() const {
+  SBRS_CHECK_MSG(is_string(), "JSON value is not a string");
+  return str_;
+}
+
+const Value::Array& Value::as_array() const {
+  SBRS_CHECK_MSG(is_array(), "JSON value is not an array");
+  return *arr_;
+}
+
+const Value::Object& Value::as_object() const {
+  SBRS_CHECK_MSG(is_object(), "JSON value is not an object");
+  return *obj_;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  auto it = obj_->find(key);
+  return it == obj_->end() ? nullptr : &it->second;
+}
+
+bool Value::get_bool(const std::string& key, bool fallback) const {
+  const Value* v = find(key);
+  return v == nullptr ? fallback : v->as_bool();
+}
+
+double Value::get_double(const std::string& key, double fallback) const {
+  const Value* v = find(key);
+  return v == nullptr ? fallback : v->as_double();
+}
+
+uint64_t Value::get_u64(const std::string& key, uint64_t fallback) const {
+  const Value* v = find(key);
+  return v == nullptr ? fallback : v->as_u64();
+}
+
+std::string Value::get_string(const std::string& key,
+                              const std::string& fallback) const {
+  const Value* v = find(key);
+  return v == nullptr ? fallback : v->as_string();
+}
+
+Value Value::make_null() { return Value{}; }
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::make_u64(uint64_t x) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.u64_ = x;
+  v.dbl_ = static_cast<double>(x);
+  v.exact_u64_ = true;
+  return v;
+}
+
+Value Value::make_double(double x) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.dbl_ = x;
+  return v;
+}
+
+Value Value::make_string(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::make_array(Array a) {
+  Value v;
+  v.type_ = Type::kArray;
+  v.arr_ = std::make_shared<Array>(std::move(a));
+  return v;
+}
+
+Value Value::make_object(Object o) {
+  Value v;
+  v.type_ = Type::kObject;
+  v.obj_ = std::make_shared<Object>(std::move(o));
+  return v;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    fail_unless(pos_ == text_.size(), "trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    size_t line = 1, col = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    SBRS_CHECK_MSG(false, "JSON parse error at " << line << ":" << col << ": "
+                                                 << what);
+    std::abort();  // unreachable — SBRS_CHECK_MSG(false, ...) throws
+  }
+
+  void fail_unless(bool ok, const char* what) const {
+    if (!ok) fail(what);
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (!at_end() && peek() != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume(char c) {
+    if (at_end() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  void expect(char c, const char* what) {
+    if (!consume(c)) fail(what);
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) != w) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    fail_unless(!at_end(), "unexpected end of input");
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Value::make_string(parse_string());
+    if (consume_word("true")) return Value::make_bool(true);
+    if (consume_word("false")) return Value::make_bool(false);
+    if (consume_word("null")) return Value::make_null();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail("unexpected character");
+  }
+
+  Value parse_object() {
+    expect('{', "expected '{'");
+    Value::Object members;
+    skip_ws();
+    if (consume('}')) return Value::make_object(std::move(members));
+    for (;;) {
+      skip_ws();
+      if (consume('}')) break;  // trailing comma tolerated
+      fail_unless(!at_end() && peek() == '"', "expected member name");
+      std::string key = parse_string();
+      // Hand-edited config: a duplicate member is a typo'd override, not a
+      // last-one-wins merge.
+      if (members.count(key) != 0) fail("duplicate member \"" + key + "\"");
+      skip_ws();
+      expect(':', "expected ':' after member name");
+      members[std::move(key)] = parse_value();
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}', "expected ',' or '}' in object");
+      break;
+    }
+    return Value::make_object(std::move(members));
+  }
+
+  Value parse_array() {
+    expect('[', "expected '['");
+    Value::Array items;
+    skip_ws();
+    if (consume(']')) return Value::make_array(std::move(items));
+    for (;;) {
+      skip_ws();
+      if (consume(']')) break;  // trailing comma tolerated
+      items.push_back(parse_value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']', "expected ',' or ']' in array");
+      break;
+    }
+    return Value::make_array(std::move(items));
+  }
+
+  std::string parse_string() {
+    expect('"', "expected '\"'");
+    std::string out;
+    for (;;) {
+      fail_unless(!at_end(), "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      fail_unless(!at_end(), "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          fail_unless(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<uint32_t>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode (surrogate pairs unsupported — scenario files are
+          // ASCII identifiers; reject rather than mis-encode).
+          fail_unless(cp < 0xD800 || cp > 0xDFFF,
+                      "surrogate \\u escapes unsupported");
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const size_t start = pos_;
+    bool negative = false;
+    bool integral = true;
+    if (consume('-')) negative = true;
+    fail_unless(!at_end() && peek() >= '0' && peek() <= '9',
+                "malformed number");
+    while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    if (!at_end() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      fail_unless(!at_end() && peek() >= '0' && peek() <= '9',
+                  "malformed fraction");
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      fail_unless(!at_end() && peek() >= '0' && peek() <= '9',
+                  "malformed exponent");
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string lit(text_.substr(start, pos_ - start));
+    if (integral && !negative) {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long u = std::strtoull(lit.c_str(), &end, 10);
+      if (errno == 0 && end == lit.c_str() + lit.size()) {
+        return Value::make_u64(u);
+      }
+    }
+    return Value::make_double(std::strtod(lit.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace sbrs::json

@@ -1,0 +1,88 @@
+// A small recursive-descent JSON parser — just enough for the declarative
+// scenario files (src/harness/scenario.h). No external dependency, no
+// streaming, no NaN/Infinity extensions; `//` line comments and trailing
+// commas ARE accepted (scenario files are hand-edited config, not wire
+// data). Numbers keep an exact unsigned-64 representation when the literal
+// is a plain non-negative integer, so seeds and step counts round-trip
+// without double truncation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbrs::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Objects keep their members in a sorted map: scenario semantics never
+  /// depend on member order, and iteration is deterministic.
+  using Object = std::map<std::string, Value>;
+  using Array = std::vector<Value>;
+
+  Value() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; SBRS_CHECK-fail (with the member path when known)
+  // on a type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  /// The literal must be a plain non-negative integer (no '.', 'e', '-').
+  uint64_t as_u64() const;
+  int64_t as_i64() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or when not an object).
+  const Value* find(const std::string& key) const;
+
+  // --- Convenience getters for optional members with defaults ---
+  bool get_bool(const std::string& key, bool fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  uint64_t get_u64(const std::string& key, uint64_t fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+
+  // Construction (used by tests; the parser builds values directly).
+  static Value make_null();
+  static Value make_bool(bool b);
+  static Value make_u64(uint64_t v);
+  static Value make_double(double v);
+  static Value make_string(std::string s);
+  static Value make_array(Array a);
+  static Value make_object(Object o);
+
+ private:
+  friend class Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double dbl_ = 0;
+  uint64_t u64_ = 0;
+  /// True when the literal was a plain non-negative integer that fits
+  /// uint64 — as_u64() demands it.
+  bool exact_u64_ = false;
+  std::string str_;
+  // Indirection keeps Value movable/copyable without recursive layout.
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+/// Parse one JSON document (throws sbrs::CheckFailure with line:column on
+/// malformed input; trailing garbage after the document is an error too).
+Value parse(std::string_view text);
+
+}  // namespace sbrs::json

@@ -1,0 +1,229 @@
+#include "harness/campaign.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "common/check.h"
+#include "harness/export.h"
+#include "harness/sweep.h"
+
+namespace sbrs::harness {
+
+namespace {
+
+const char* event_kind_name(sim::HistoryEvent::Kind k) {
+  switch (k) {
+    case sim::HistoryEvent::Kind::kInvoke: return "invoke";
+    case sim::HistoryEvent::Kind::kReturn: return "return";
+    case sim::HistoryEvent::Kind::kCrashObject: return "crash-object";
+    case sim::HistoryEvent::Kind::kRestartObject: return "restart-object";
+    case sim::HistoryEvent::Kind::kPartition: return "partition";
+    case sim::HistoryEvent::Kind::kHeal: return "heal";
+  }
+  return "?";
+}
+
+/// Human-readable history trace: one event per line, replay-diffable.
+void write_trace(std::ostream& os, const sim::History& history) {
+  for (const auto& ev : history.events()) {
+    os << ev.time << " " << event_kind_name(ev.kind);
+    if (sim::is_op_event(ev)) {
+      os << " op=" << ev.op.value << " client=" << ev.client.value << " "
+         << (ev.op_kind == sim::OpKind::kRead ? "read" : "write");
+      if (ev.value.bit_size() > 0) {
+        os << " value_fp=" << std::hex << ev.value.fingerprint() << std::dec;
+      }
+    } else {
+      os << " object=" << ev.object.value;
+      if (ev.kind == sim::HistoryEvent::Kind::kPartition ||
+          ev.kind == sim::HistoryEvent::Kind::kHeal) {
+        os << " client=" << ev.client.value;
+      }
+      if (ev.kind == sim::HistoryEvent::Kind::kRestartObject) {
+        os << " mode=" << sim::to_string(ev.restart_mode);
+      }
+    }
+    os << "\n";
+  }
+}
+
+void write_run_json(std::ostream& os, const Scenario& scenario,
+                    const ScenarioOutcome& o) {
+  os << "{\n";
+  os << "  \"scenario\": \"" << json_escape(o.name) << "\",\n";
+  os << "  \"file\": \"" << json_escape(scenario.source_path) << "\",\n";
+  os << "  \"mode\": \"" << json_escape(o.mode) << "\",\n";
+  os << "  \"seed\": " << o.seed << ",\n";
+  os << "  \"ok\": " << (o.ok ? "true" : "false") << ",\n";
+  os << "  \"violations\": [";
+  for (size_t i = 0; i < o.violations.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << json_escape(o.violations[i]) << "\"";
+  }
+  os << "],\n";
+  os << "  \"stop_reason\": \"" << json_escape(o.stop_reason) << "\",\n";
+  os << "  \"fingerprint\": \"" << std::hex << o.fingerprint << std::dec
+     << "\",\n";
+  os << "  \"steps\": " << o.steps
+     << ", \"max_total_bits\": " << o.max_total_bits
+     << ", \"degraded_steps\": " << o.degraded_steps << ",\n";
+  os << "  \"partition_events\": " << o.partition_events
+     << ", \"heal_events\": " << o.heal_events
+     << ", \"rmws_dropped\": " << o.rmws_dropped
+     << ", \"rmws_delayed\": " << o.rmws_delayed << ",\n";
+  os << "  \"object_crash_events\": " << o.object_crash_events
+     << ", \"object_restarts\": " << o.object_restarts << ",\n";
+  os << "  \"repro\": \"" << json_escape(repro_command(scenario, o.seed))
+     << "\"\n";
+  os << "}\n";
+}
+
+/// Filesystem-safe bundle directory name for one failed run.
+std::string bundle_name(const ScenarioOutcome& o) {
+  std::string base;
+  for (char c : o.name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    base += ok ? c : '-';
+  }
+  if (base.empty()) base = "scenario";
+  return base + "-seed" + std::to_string(o.seed);
+}
+
+}  // namespace
+
+std::string write_triage_bundle(const std::string& bundle_dir,
+                                const Scenario& scenario,
+                                const ScenarioOutcome& outcome) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(bundle_dir) / bundle_name(outcome);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  SBRS_CHECK_MSG(!ec, "campaign: cannot create bundle directory "
+                          << dir.string() << ": " << ec.message());
+
+  {
+    std::ofstream os(dir / "scenario.json");
+    SBRS_CHECK_MSG(os.good(), "campaign: cannot write scenario.json");
+    os << scenario.source_text;
+    if (!scenario.source_text.empty() && scenario.source_text.back() != '\n') {
+      os << "\n";
+    }
+  }
+  {
+    std::ofstream os(dir / "run.json");
+    SBRS_CHECK_MSG(os.good(), "campaign: cannot write run.json");
+    write_run_json(os, scenario, outcome);
+  }
+  {
+    std::ofstream os(dir / "repro.txt");
+    SBRS_CHECK_MSG(os.good(), "campaign: cannot write repro.txt");
+    os << repro_command(scenario, outcome.seed) << "\n";
+  }
+  if (outcome.register_out.has_value()) {
+    std::ofstream os(dir / "trace.txt");
+    SBRS_CHECK_MSG(os.good(), "campaign: cannot write trace.txt");
+    write_trace(os, outcome.register_out->history);
+  }
+  return dir.string();
+}
+
+CampaignResult run_campaign(const CampaignOptions& opts) {
+  SBRS_CHECK_MSG(!opts.scenario_files.empty(),
+                 "campaign: no scenario files given");
+  SBRS_CHECK_MSG(opts.seeds_per_scenario >= 1,
+                 "campaign: seeds_per_scenario must be >= 1");
+
+  // Parse errors throw here, before any run: a broken campaign spec is a
+  // usage error, not a triage finding.
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(opts.scenario_files.size());
+  for (const auto& file : opts.scenario_files) {
+    scenarios.push_back(load_scenario(file));
+  }
+
+  uint32_t threads =
+      opts.threads == 0 ? std::thread::hardware_concurrency() : opts.threads;
+  if (threads == 0) threads = 1;
+
+  const size_t total = scenarios.size() * opts.seeds_per_scenario;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<ScenarioOutcome> outcomes =
+      parallel_map(total, threads, [&](size_t i) -> ScenarioOutcome {
+        const size_t sc = i / opts.seeds_per_scenario;
+        const uint64_t seed =
+            opts.base_seed + (i % opts.seeds_per_scenario);
+        return run_scenario(scenarios[sc], seed);
+      });
+
+  CampaignResult result;
+  result.options = opts;
+  result.threads_used = threads;
+  result.runs.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    const size_t sc = i / opts.seeds_per_scenario;
+    CampaignRun run;
+    run.scenario = scenarios[sc].name;
+    run.file = scenarios[sc].source_path;
+    run.seed = outcomes[i].seed;
+    run.outcome = std::move(outcomes[i]);
+    if (!run.outcome.ok) {
+      ++result.failures;
+      // Bundles are written serially here, after the parallel phase: the
+      // layout on disk never depends on worker scheduling.
+      if (!opts.bundle_dir.empty()) {
+        run.bundle_path =
+            write_triage_bundle(opts.bundle_dir, scenarios[sc], run.outcome);
+      }
+    }
+    // The history kept for the bundle can be large; drop it once triaged.
+    run.outcome.register_out.reset();
+    result.runs.push_back(std::move(run));
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+void write_campaign_json(std::ostream& os, const CampaignResult& result) {
+  os << "{\n";
+  os << "  \"options\": {\"seeds_per_scenario\": "
+     << result.options.seeds_per_scenario
+     << ", \"base_seed\": " << result.options.base_seed
+     << ", \"scenarios\": " << result.options.scenario_files.size()
+     << ", \"bundle_dir\": \"" << json_escape(result.options.bundle_dir)
+     << "\"},\n";
+  os << "  \"failures\": " << result.failures
+     << ", \"runs_total\": " << result.runs.size()
+     << ", \"threads_used\": " << result.threads_used
+     << ", \"wall_seconds\": " << result.wall_seconds << ",\n";
+  os << "  \"runs\": [\n";
+  for (size_t i = 0; i < result.runs.size(); ++i) {
+    const CampaignRun& r = result.runs[i];
+    const ScenarioOutcome& o = r.outcome;
+    os << "    {\"scenario\": \"" << json_escape(r.scenario)
+       << "\", \"file\": \"" << json_escape(r.file)
+       << "\", \"seed\": " << r.seed
+       << ", \"ok\": " << (o.ok ? "true" : "false")
+       << ", \"stop_reason\": \"" << json_escape(o.stop_reason)
+       << "\", \"fingerprint\": \"" << std::hex << o.fingerprint << std::dec
+       << "\", \"steps\": " << o.steps
+       << ", \"partition_events\": " << o.partition_events
+       << ", \"heal_events\": " << o.heal_events
+       << ", \"rmws_dropped\": " << o.rmws_dropped
+       << ", \"rmws_delayed\": " << o.rmws_delayed
+       << ", \"degraded_steps\": " << o.degraded_steps
+       << ", \"violations\": [";
+    for (size_t j = 0; j < o.violations.size(); ++j) {
+      os << (j ? ", " : "") << "\"" << json_escape(o.violations[j]) << "\"";
+    }
+    os << "], \"bundle\": \"" << json_escape(r.bundle_path) << "\"}"
+       << (i + 1 < result.runs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+}  // namespace sbrs::harness

@@ -1,0 +1,75 @@
+// The fault-campaign runner: sweep scenario files × seeds on the worker
+// pool and triage every failure.
+//
+// A campaign takes a list of scenario files (harness/scenario.h), runs each
+// one at `seeds_per_scenario` consecutive seeds (base_seed, base_seed+1,
+// ...) via parallel_map — schedule-independent like the sweep engine — and
+// aggregates pass/fail per (scenario, seed). Every run that violates its
+// scenario's expect block (or trips an engine invariant: consistency,
+// liveness, storage-accounting cross-check) produces a TRIAGE BUNDLE: a
+// directory holding the scenario file verbatim, the resolved seed and
+// outcome, the full history trace (register mode), the fingerprints, and a
+// one-line repro command that reproduces the violation in a single
+// sbrs_cli invocation. Bundles are written serially after the parallel
+// phase, so the filesystem layout is deterministic too.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.h"
+
+namespace sbrs::harness {
+
+struct CampaignOptions {
+  std::vector<std::string> scenario_files;
+  uint32_t seeds_per_scenario = 1;
+  uint64_t base_seed = 1;
+  /// Worker threads; 0 = hardware concurrency.
+  uint32_t threads = 0;
+  /// Where triage bundles land (one subdirectory per failed run). Empty =
+  /// don't write bundles, just report.
+  std::string bundle_dir;
+};
+
+/// One (scenario, seed) verdict, plus the path of its bundle if it failed
+/// and bundles are enabled.
+struct CampaignRun {
+  std::string scenario;  // scenario name
+  std::string file;      // source path
+  uint64_t seed = 0;
+  ScenarioOutcome outcome;
+  std::string bundle_path;  // empty unless failed with bundle_dir set
+};
+
+struct CampaignResult {
+  CampaignOptions options;
+  std::vector<CampaignRun> runs;  // scenario-major, seed-minor order
+  uint32_t failures = 0;
+  uint32_t threads_used = 1;
+  double wall_seconds = 0;  // machine-dependent
+
+  bool ok() const { return failures == 0; }
+};
+
+/// Load every scenario file, run the grid, write triage bundles for the
+/// failures. Scenario files that fail to parse throw (a broken campaign
+/// spec is a usage error, not a finding).
+CampaignResult run_campaign(const CampaignOptions& opts);
+
+/// Campaign summary JSON: per-run verdicts (stop reasons, fault counters,
+/// violations, bundle paths) plus the failure total. Deterministic except
+/// wall_seconds.
+void write_campaign_json(std::ostream& os, const CampaignResult& result);
+
+/// Write one triage bundle directory for a failed run; returns its path.
+/// Layout: scenario.json (the file verbatim), run.json (seed, violations,
+/// counters, fingerprint, repro command), trace.txt (register-mode history
+/// trace), repro.txt (the one-line repro command).
+std::string write_triage_bundle(const std::string& bundle_dir,
+                                const Scenario& scenario,
+                                const ScenarioOutcome& outcome);
+
+}  // namespace sbrs::harness

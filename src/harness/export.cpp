@@ -113,7 +113,9 @@ void write_sweep_json(std::ostream& os, const SweepResult& result) {
        << ", \"restart_after\": " << c.cell.opts.restart_after
        << ", \"restart_permyriad\": " << c.cell.opts.restart_permyriad
        << ", \"restart_mode\": \"" << sim::to_string(c.cell.opts.restart_mode)
-       << "\", \"arrival\": \"" << sim::to_string(c.cell.opts.arrival.process)
+       << "\", \"partitions\": " << c.cell.opts.partitions
+       << ", \"heal_after\": " << c.cell.opts.heal_after
+       << ", \"arrival\": \"" << sim::to_string(c.cell.opts.arrival.process)
        << "\", \"rate\": " << c.cell.opts.arrival.rate
        << ", \"burst_on\": " << c.cell.opts.arrival.burst_on
        << ", \"burst_off\": " << c.cell.opts.arrival.burst_off << "},\n";
@@ -148,6 +150,19 @@ void write_sweep_json(std::ostream& os, const SweepResult& result) {
        << ",\n";
     os << "      \"liveness_failures\": " << c.liveness_failures << ",\n";
     os << "      \"quiesced\": " << c.quiesced << ",\n";
+    os << "      \"partition_events\": " << c.partition_events
+       << ", \"heal_events\": " << c.heal_events
+       << ", \"rmws_dropped\": " << c.rmws_dropped
+       << ", \"rmws_delayed\": " << c.rmws_delayed << ",\n";
+    os << "      \"stop_reasons\": {";
+    {
+      size_t j = 0;
+      for (const auto& [reason, count] : c.stop_reasons) {
+        os << (j++ ? ", " : "") << "\"" << json_escape(reason)
+           << "\": " << count;
+      }
+    }
+    os << "},\n";
     os << "      \"fingerprint\": \"" << std::hex << c.fingerprint
        << std::dec << "\",\n";
     os << "      \"total_steps\": " << c.total_steps << ",\n";

@@ -6,6 +6,41 @@
 
 namespace sbrs::harness {
 
+bool has_link_faults(const RunOptions& opts) {
+  if (opts.partitions > 0) return true;
+  const sim::LinkFaultOptions& lf = opts.link_faults;
+  if (lf.drop_permyriad > 0 || lf.delay_permyriad > 0 ||
+      lf.reorder_window > 0 || !lf.windows.empty()) {
+    return true;
+  }
+  for (const sim::FaultEvent& e : opts.fault_timeline) {
+    switch (e.kind) {
+      case sim::FaultEvent::Kind::kPartitionLink:
+      case sim::FaultEvent::Kind::kPartitionObject:
+      case sim::FaultEvent::Kind::kHealLink:
+      case sim::FaultEvent::Kind::kHealObject:
+      case sim::FaultEvent::Kind::kHealAll:
+        return true;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+std::string validate_fault_options(const RunOptions& opts) {
+  if (opts.scheduler == SchedKind::kRandom) return {};
+  if (has_link_faults(opts)) {
+    return "link faults (partitions, drops, delays, reordering) need the "
+           "random scheduler — the deterministic schedulers are not "
+           "fault-aware";
+  }
+  if (opts.object_crashes > 0 || opts.client_crashes > 0) {
+    return "crash injection needs the random scheduler";
+  }
+  return {};
+}
+
 RunOutcome run_register_experiment(
     const registers::RegisterAlgorithm& algorithm, const RunOptions& opts) {
   const auto& cfg = algorithm.config();
@@ -16,6 +51,11 @@ RunOutcome run_register_experiment(
     const std::string why = sim::validate_arrival(opts.arrival);
     SBRS_CHECK_MSG(why.empty(), why);
   }
+  // Link faults require a fault-aware scheduler (crash injection with a
+  // deterministic scheduler stays a silent no-op for compatibility; link
+  // faults are new and strict).
+  SBRS_CHECK_MSG(opts.scheduler == SchedKind::kRandom || !has_link_faults(opts),
+                 validate_fault_options(opts));
 
   // Closed loop: each session self-paces its own operations. Open loop: one
   // arrival-scheduled stream, any free session dispatches the queue.
@@ -59,6 +99,9 @@ RunOutcome run_register_experiment(
           (opts.restart_after > 0 || opts.restart_permyriad > 0)
               ? opts.object_crashes
               : 0;
+      so.max_partitions = opts.partitions;
+      so.partition_permyriad = opts.partitions > 0 ? 20 : 0;
+      so.partition_heal_after = opts.heal_after;
       scheduler = std::make_unique<sim::RandomScheduler>(so);
       break;
     }
@@ -69,12 +112,21 @@ RunOutcome run_register_experiment(
       scheduler = std::make_unique<sim::BurstScheduler>();
       break;
   }
+  if (!opts.fault_timeline.empty()) {
+    scheduler = std::make_unique<sim::ScriptedFaultScheduler>(
+        opts.fault_timeline, std::move(scheduler));
+  }
 
   sim::SimConfig sc;
   sc.num_objects = cfg.n;
   sc.num_clients = opts.writers + opts.readers;
   sc.max_steps = opts.max_steps;
   sc.sample_every = opts.sample_every;
+  sc.link_faults = opts.link_faults;
+  sc.link_faults.seed = sim::fault_seed(opts.seed);
+  if (opts.verify_accounting.has_value()) {
+    sc.verify_accounting = *opts.verify_accounting;
+  }
 
   sim::Simulator simulator(sc, algorithm.object_factory(),
                            algorithm.client_factory(), std::move(workload),

@@ -8,10 +8,14 @@
 #include <memory>
 #include <string>
 
+#include <optional>
+#include <vector>
+
 #include "consistency/checker.h"
 #include "registers/register_algorithm.h"
 #include "sim/arrival.h"
 #include "sim/history.h"
+#include "sim/linkfault.h"
 #include "sim/simulator.h"
 
 namespace sbrs::harness {
@@ -63,6 +67,25 @@ struct RunOptions {
   /// hold); kFromScratch mounts an empty replacement (models data loss —
   /// per-key guarantees may fail until repair traffic re-converges it).
   sim::RestartMode restart_mode = sim::RestartMode::kFromDisk;
+  /// Link partitions (random scheduler only): inject up to this many
+  /// partition events at random points — symmetric (whole object) or
+  /// asymmetric (a strict client subset), see RandomScheduler::Options.
+  uint32_t partitions = 0;
+  /// Auto-heal delay of each injected partition, in steps. Partitions held
+  /// past every quorum's patience stall the run (reported, not an error).
+  uint64_t heal_after = 512;
+  /// Probabilistic message faults (drops, delay/jitter, reorder windows),
+  /// applied at trigger time. The `seed` field is overwritten with
+  /// sim::fault_seed(seed) — the stream is always decorrelated from the
+  /// schedule. Random scheduler only, like the crash knobs.
+  sim::LinkFaultOptions link_faults;
+  /// Scripted fault timeline (crash/restart/partition/heal at absolute
+  /// steps): wraps the scheduler in a ScriptedFaultScheduler. This is the
+  /// execution path of the declarative scenario files.
+  std::vector<sim::FaultEvent> fault_timeline;
+  /// Override SimConfig::verify_accounting (unset = build-type default:
+  /// on in Debug, off in Release).
+  std::optional<bool> verify_accounting;
   uint64_t max_steps = 2'000'000;
   /// Storage series decimation (1 = sample every event), forwarded verbatim
   /// to SimConfig::sample_every. Decimation thins only the plotted series —
@@ -100,6 +123,19 @@ struct RunOutcome {
   uint64_t undispatched = 0;
   bool saturated = false;
 };
+
+/// True when `opts` configures any link-level fault source (partition
+/// injection, probabilistic drop/delay/reorder, or a timeline containing
+/// partition/heal events).
+bool has_link_faults(const RunOptions& opts);
+
+/// Validate the fault-injection knobs without running: returns the empty
+/// string when the spec is usable, else a human-readable reason. Link
+/// faults and crash/restart injection need the random scheduler (the
+/// deterministic schedulers are not fault-aware and would try to deliver
+/// across cut links). Front-ends treat a nonempty reason as a usage error;
+/// run_register_experiment enforces the same rule via SBRS_CHECK.
+std::string validate_fault_options(const RunOptions& opts);
 
 /// Run `algorithm` under the given workload/scheduler and check the
 /// resulting history against the consistency hierarchy.

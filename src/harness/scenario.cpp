@@ -1,0 +1,546 @@
+#include "harness/scenario.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "consistency/checker.h"
+#include "harness/algorithms.h"
+#include "harness/sweep.h"
+
+namespace sbrs::harness {
+
+namespace {
+
+/// Reject unknown members: a typo in a hand-written scenario must fail
+/// loudly, not silently become a default.
+void check_keys(const json::Value& obj,
+                std::initializer_list<const char*> allowed,
+                const char* context) {
+  for (const auto& [key, value] : obj.as_object()) {
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    SBRS_CHECK_MSG(known, "scenario: unknown member \"" << key << "\" in "
+                                                        << context);
+  }
+}
+
+sim::RestartMode parse_restart_mode(const std::string& s) {
+  if (s == "disk") return sim::RestartMode::kFromDisk;
+  if (s == "scratch") return sim::RestartMode::kFromScratch;
+  SBRS_CHECK_MSG(false, "scenario: restart mode wants disk|scratch, got \""
+                            << s << "\"");
+  return sim::RestartMode::kFromDisk;
+}
+
+SchedKind parse_sched(const std::string& s) {
+  if (s == "random") return SchedKind::kRandom;
+  if (s == "rr") return SchedKind::kRoundRobin;
+  if (s == "burst") return SchedKind::kBurst;
+  SBRS_CHECK_MSG(false, "scenario: scheduler wants random|rr|burst, got \""
+                            << s << "\"");
+  return SchedKind::kRandom;
+}
+
+sim::FaultEvent::Kind parse_event_kind(const std::string& s) {
+  using K = sim::FaultEvent::Kind;
+  if (s == "crash_object") return K::kCrashObject;
+  if (s == "restart_object") return K::kRestartObject;
+  if (s == "crash_client") return K::kCrashClient;
+  if (s == "partition_link") return K::kPartitionLink;
+  if (s == "partition_object") return K::kPartitionObject;
+  if (s == "heal_link") return K::kHealLink;
+  if (s == "heal_object") return K::kHealObject;
+  if (s == "heal_all") return K::kHealAll;
+  SBRS_CHECK_MSG(false, "scenario: unknown timeline event kind \"" << s
+                                                                   << "\"");
+  return K::kCrashObject;
+}
+
+sim::FaultWindow parse_window(const json::Value& v) {
+  check_keys(v, {"kind", "from", "until", "object", "permyriad", "delay",
+                 "jitter", "max_events"},
+             "faults.windows[]");
+  sim::FaultWindow w;
+  const std::string kind = v.get_string("kind", "drop");
+  if (kind == "drop") {
+    w.kind = sim::FaultWindow::Kind::kDrop;
+  } else if (kind == "delay") {
+    w.kind = sim::FaultWindow::Kind::kDelay;
+  } else if (kind == "reorder") {
+    w.kind = sim::FaultWindow::Kind::kReorder;
+  } else {
+    SBRS_CHECK_MSG(false, "scenario: window kind wants drop|delay|reorder, "
+                          "got \""
+                              << kind << "\"");
+  }
+  w.from = v.get_u64("from", 0);
+  w.until = v.get_u64("until", UINT64_MAX);
+  w.object = static_cast<uint32_t>(v.get_u64("object", sim::kAllObjects));
+  w.permyriad = static_cast<uint32_t>(v.get_u64("permyriad", 10'000));
+  w.delay = v.get_u64("delay", 0);
+  w.jitter = v.get_u64("jitter", 0);
+  w.max_events = v.get_u64("max_events", UINT64_MAX);
+  return w;
+}
+
+/// A timeline entry is either one absolute event ("at") or a rate-based
+/// trigger ("from"/"every"/"count") expanded to `count` events spaced
+/// `every` steps apart — deterministic, no RNG.
+void parse_timeline_entry(const json::Value& v,
+                          std::vector<sim::FaultEvent>* out) {
+  check_keys(v, {"kind", "at", "from", "every", "count", "object", "client",
+                 "heal_after", "mode"},
+             "faults.timeline[]");
+  sim::FaultEvent e;
+  e.kind = parse_event_kind(v.get_string("kind", ""));
+  e.object = static_cast<uint32_t>(v.get_u64("object", 0));
+  e.client = static_cast<uint32_t>(v.get_u64("client", 0));
+  e.heal_after = v.get_u64("heal_after", 0);
+  e.mode = parse_restart_mode(v.get_string("mode", "disk"));
+
+  if (v.find("at") != nullptr) {
+    SBRS_CHECK_MSG(v.find("every") == nullptr && v.find("count") == nullptr,
+                   "scenario: timeline entry mixes \"at\" with "
+                   "\"every\"/\"count\"");
+    e.at = v.get_u64("at", 0);
+    out->push_back(e);
+    return;
+  }
+  const uint64_t every = v.get_u64("every", 0);
+  const uint64_t count = v.get_u64("count", 0);
+  SBRS_CHECK_MSG(every > 0 && count > 0,
+                 "scenario: rate-based timeline entry needs \"every\" > 0 "
+                 "and \"count\" > 0 (or use \"at\")");
+  SBRS_CHECK_MSG(count <= 100'000,
+                 "scenario: timeline \"count\" too large (> 100000)");
+  uint64_t at = v.get_u64("from", every);
+  for (uint64_t i = 0; i < count; ++i, at += every) {
+    e.at = at;
+    out->push_back(e);
+  }
+}
+
+/// The parsed fault block, mode-agnostic; the caller maps it onto
+/// RunOptions or StoreOptions.
+struct FaultSpec {
+  uint32_t partitions = 0;
+  uint64_t heal_after = 512;
+  uint32_t crashes = 0;
+  uint32_t client_crashes = 0;
+  uint64_t restart_after = 0;
+  uint32_t restart_permyriad = 0;
+  sim::RestartMode restart_mode = sim::RestartMode::kFromDisk;
+  sim::LinkFaultOptions link_faults;
+  std::vector<sim::FaultEvent> timeline;
+};
+
+FaultSpec parse_faults(const json::Value& v) {
+  check_keys(v,
+             {"partitions", "heal_after", "crashes", "client_crashes",
+              "restart_after", "restart_permyriad", "restart_mode",
+              "drop_permyriad", "max_drops", "delay_permyriad", "delay_steps",
+              "delay_jitter", "reorder_window", "windows", "timeline"},
+             "faults");
+  FaultSpec f;
+  f.partitions = static_cast<uint32_t>(v.get_u64("partitions", 0));
+  f.heal_after = v.get_u64("heal_after", 512);
+  f.crashes = static_cast<uint32_t>(v.get_u64("crashes", 0));
+  f.client_crashes = static_cast<uint32_t>(v.get_u64("client_crashes", 0));
+  f.restart_after = v.get_u64("restart_after", 0);
+  f.restart_permyriad =
+      static_cast<uint32_t>(v.get_u64("restart_permyriad", 0));
+  f.restart_mode = parse_restart_mode(v.get_string("restart_mode", "disk"));
+  f.link_faults.drop_permyriad =
+      static_cast<uint32_t>(v.get_u64("drop_permyriad", 0));
+  f.link_faults.max_drops = v.get_u64("max_drops", UINT64_MAX);
+  f.link_faults.delay_permyriad =
+      static_cast<uint32_t>(v.get_u64("delay_permyriad", 0));
+  f.link_faults.delay_steps = v.get_u64("delay_steps", 0);
+  f.link_faults.delay_jitter = v.get_u64("delay_jitter", 0);
+  f.link_faults.reorder_window = v.get_u64("reorder_window", 0);
+  if (const json::Value* windows = v.find("windows")) {
+    for (const auto& w : windows->as_array()) {
+      f.link_faults.windows.push_back(parse_window(w));
+    }
+  }
+  if (const json::Value* timeline = v.find("timeline")) {
+    for (const auto& e : timeline->as_array()) {
+      parse_timeline_entry(e, &f.timeline);
+    }
+  }
+  return f;
+}
+
+ScenarioExpect parse_expect(const json::Value& v) {
+  check_keys(v, {"consistency", "live", "max_total_bits", "quiesced"},
+             "expect");
+  ScenarioExpect e;
+  e.consistency = v.get_string("consistency", "algorithm");
+  SBRS_CHECK_MSG(e.consistency == "algorithm" ||
+                     e.consistency == "strongly_safe" ||
+                     e.consistency == "weak_regular" ||
+                     e.consistency == "strong_regular" ||
+                     e.consistency == "atomic" || e.consistency == "none",
+                 "scenario: expect.consistency wants algorithm|strongly_safe|"
+                 "weak_regular|strong_regular|atomic|none, got \""
+                     << e.consistency << "\"");
+  e.live = v.get_bool("live", true);
+  if (const json::Value* b = v.find("max_total_bits")) {
+    e.max_total_bits = b->as_u64();
+  }
+  if (const json::Value* q = v.find("quiesced")) {
+    e.quiesced = q->as_bool();
+  }
+  return e;
+}
+
+sim::ArrivalOptions parse_arrival(const json::Value& v) {
+  check_keys(v, {"process", "rate", "burst_on", "burst_off"}, "arrival");
+  sim::ArrivalOptions a;
+  a.process = sim::parse_arrival_process(v.get_string("process", "poisson"));
+  a.rate = v.get_double("rate", a.rate);
+  a.burst_on = v.get_u64("burst_on", a.burst_on);
+  a.burst_off = v.get_u64("burst_off", a.burst_off);
+  const std::string why = sim::validate_arrival(a);
+  SBRS_CHECK_MSG(why.empty(), "scenario: " << why);
+  return a;
+}
+
+std::optional<ConsistencyGuarantee> store_check_level(
+    const std::string& consistency) {
+  if (consistency == "strongly_safe") {
+    return ConsistencyGuarantee::kStronglySafe;
+  }
+  if (consistency == "weak_regular") return ConsistencyGuarantee::kWeakRegular;
+  if (consistency == "strong_regular") {
+    return ConsistencyGuarantee::kStrongRegular;
+  }
+  return std::nullopt;  // "algorithm" (and "none" disables checking)
+}
+
+void append_violations(std::vector<std::string>* out, const char* what,
+                       const consistency::CheckResult& res) {
+  if (res.ok) return;
+  for (const auto& v : res.violations) {
+    if (out->size() >= 8) return;
+    out->push_back(std::string(what) + ": " + v);
+  }
+  if (res.violations.empty()) out->push_back(std::string(what) + ": failed");
+}
+
+void judge_register_consistency(const Scenario& s, const RunOutcome& out,
+                                ScenarioOutcome* r) {
+  std::string level = s.expect.consistency;
+  if (level == "none") return;
+  if (level == "algorithm") {
+    switch (expected_consistency(s.algorithm)) {
+      case ConsistencyGuarantee::kStronglySafe:
+        level = "strongly_safe";
+        break;
+      case ConsistencyGuarantee::kWeakRegular:
+        level = "weak_regular";
+        break;
+      case ConsistencyGuarantee::kStrongRegular:
+        level = "strong_regular";
+        break;
+    }
+  }
+  append_violations(&r->violations, "values-legal", out.values_legal);
+  if (level == "strongly_safe") {
+    append_violations(&r->violations, "strongly-safe", out.strongly_safe);
+  } else if (level == "weak_regular") {
+    append_violations(&r->violations, "weak-regularity", out.weak_regular);
+  } else if (level == "strong_regular") {
+    append_violations(&r->violations, "weak-regularity", out.weak_regular);
+    append_violations(&r->violations, "strong-regularity", out.strong_regular);
+  } else if (level == "atomic") {
+    append_violations(&r->violations, "atomicity",
+                      consistency::check_atomicity(out.history));
+  }
+}
+
+void run_register_mode(const Scenario& s, uint64_t seed, ScenarioOutcome* r) {
+  std::unique_ptr<registers::RegisterAlgorithm> algorithm =
+      make_algorithm(s.algorithm, s.config);
+  RunOptions opts = s.run;
+  opts.seed = seed;
+  RunOutcome out = run_register_experiment(*algorithm, opts);
+
+  r->stop_reason = out.report.stop_reason;
+  r->fingerprint = outcome_fingerprint(out);
+  r->steps = out.report.steps;
+  r->max_total_bits = out.max_total_bits;
+  r->degraded_steps = out.report.degraded_steps;
+  r->partition_events = out.report.partition_events;
+  r->heal_events = out.report.heal_events;
+  r->rmws_dropped = out.report.rmws_dropped;
+  r->rmws_delayed = out.report.rmws_delayed;
+  r->object_crash_events = out.report.object_crash_events;
+  r->object_restarts = out.report.object_restarts;
+
+  judge_register_consistency(s, out, r);
+  if (s.expect.live && !out.live && !out.saturated) {
+    r->violations.push_back("liveness: a live client's operation never "
+                            "returned (stop: " +
+                            out.report.stop_reason + ")");
+  }
+  if (s.expect.quiesced.has_value() &&
+      *s.expect.quiesced != out.report.quiesced) {
+    r->violations.push_back(std::string("quiesced: expected ") +
+                            (*s.expect.quiesced ? "true" : "false") +
+                            ", run " + (out.report.quiesced ? "did" : "did not") +
+                            " quiesce");
+  }
+  if (s.expect.max_total_bits.has_value() &&
+      out.max_total_bits > *s.expect.max_total_bits) {
+    r->violations.push_back(
+        "storage: peak total bits " + std::to_string(out.max_total_bits) +
+        " exceed expect.max_total_bits " +
+        std::to_string(*s.expect.max_total_bits));
+  }
+  r->register_out = std::move(out);
+}
+
+void run_store_mode(const Scenario& s, uint64_t seed, ScenarioOutcome* r) {
+  store::StoreOptions opts = s.store_opts;
+  opts.seed = seed;
+  opts.workload.seed = seed;
+  if (s.expect.consistency == "none") {
+    opts.check_consistency = false;
+  } else {
+    opts.check_level = store_check_level(s.expect.consistency);
+  }
+  store::Store engine(opts);
+  store::StoreResult result = engine.run();
+
+  r->fingerprint = result.fingerprint();
+  r->steps = result.total_steps;
+  r->max_total_bits = result.peak_total_bits_sum;
+  r->degraded_steps = result.degraded_steps;
+  r->partition_events = result.partition_events;
+  r->heal_events = result.heal_events;
+  r->rmws_dropped = result.rmws_dropped;
+  r->rmws_delayed = result.rmws_delayed;
+  r->object_crash_events = result.object_crash_events;
+  r->object_restarts = result.object_restarts;
+  for (const auto& shard : result.shards) {
+    if (r->stop_reason.empty()) r->stop_reason = shard.report.stop_reason;
+    for (const auto& v : shard.violations) {
+      if (r->violations.size() >= 8) break;
+      r->violations.push_back("shard " + std::to_string(shard.shard) + " " +
+                              v);
+    }
+  }
+  if (result.consistency_failures > 0 && r->violations.empty()) {
+    r->violations.push_back(
+        std::to_string(result.consistency_failures) +
+        " keys failed their consistency guarantee");
+  }
+  if (s.expect.live && !result.all_live && !result.saturated) {
+    r->violations.push_back(
+        "liveness: a live session's operation never returned");
+  }
+  if (s.expect.quiesced.has_value() &&
+      *s.expect.quiesced != result.all_quiesced) {
+    r->violations.push_back(std::string("quiesced: expected ") +
+                            (*s.expect.quiesced ? "true" : "false") +
+                            ", store " +
+                            (result.all_quiesced ? "did" : "did not") +
+                            " quiesce");
+  }
+  if (s.expect.max_total_bits.has_value() &&
+      result.peak_total_bits_sum > *s.expect.max_total_bits) {
+    r->violations.push_back(
+        "storage: sum of shard peaks " +
+        std::to_string(result.peak_total_bits_sum) +
+        " exceeds expect.max_total_bits " +
+        std::to_string(*s.expect.max_total_bits));
+  }
+}
+
+}  // namespace
+
+Scenario parse_scenario(const std::string& text, const std::string& path) {
+  const json::Value doc = json::parse(text);
+  SBRS_CHECK_MSG(doc.is_object(), "scenario: document must be an object");
+  check_keys(doc,
+             {"name", "mode", "algorithm", "config", "workload", "arrival",
+              "store", "scheduler", "seed", "max_steps", "verify_accounting",
+              "faults", "expect"},
+             "the top level");
+
+  Scenario s;
+  s.source_path = path;
+  s.source_text = text;
+  s.name = doc.get_string("name", path.empty() ? "scenario" : path);
+  s.mode = doc.get_string("mode", "register");
+  SBRS_CHECK_MSG(s.mode == "register" || s.mode == "store",
+                 "scenario: mode wants register|store, got \"" << s.mode
+                                                               << "\"");
+  s.algorithm = doc.get_string("algorithm", "adaptive");
+
+  if (const json::Value* cfg = doc.find("config")) {
+    check_keys(*cfg, {"n", "k", "f", "data_bits"}, "config");
+    s.config.f = static_cast<uint32_t>(cfg->get_u64("f", 2));
+    s.config.k = static_cast<uint32_t>(cfg->get_u64("k", 4));
+    s.config.n = static_cast<uint32_t>(
+        cfg->get_u64("n", 2 * uint64_t{s.config.f} + s.config.k));
+    s.config.data_bits = cfg->get_u64("data_bits", 256);
+  } else {
+    s.config.f = 2;
+    s.config.k = 4;
+    s.config.n = 8;
+    s.config.data_bits = 256;
+  }
+
+  const uint64_t seed = doc.get_u64("seed", 1);
+  const SchedKind sched = parse_sched(doc.get_string("scheduler", "random"));
+  const uint64_t max_steps = doc.get_u64("max_steps", 2'000'000);
+
+  FaultSpec faults;
+  if (const json::Value* f = doc.find("faults")) faults = parse_faults(*f);
+  if (const json::Value* e = doc.find("expect")) {
+    s.expect = parse_expect(*e);
+  }
+  SBRS_CHECK_MSG(s.mode == "register" || s.expect.consistency != "atomic",
+                 "scenario: expect.consistency \"atomic\" is register mode "
+                 "only (the store checks per-key guarantees)");
+
+  if (s.mode == "register") {
+    SBRS_CHECK_MSG(doc.find("store") == nullptr,
+                   "scenario: \"store\" block in register mode");
+    RunOptions& r = s.run;
+    if (const json::Value* w = doc.find("workload")) {
+      check_keys(*w,
+                 {"writers", "writes_per_client", "readers",
+                  "reads_per_client"},
+                 "workload");
+      r.writers = static_cast<uint32_t>(w->get_u64("writers", 2));
+      r.writes_per_client =
+          static_cast<uint32_t>(w->get_u64("writes_per_client", 4));
+      r.readers = static_cast<uint32_t>(w->get_u64("readers", 2));
+      r.reads_per_client =
+          static_cast<uint32_t>(w->get_u64("reads_per_client", 4));
+    }
+    if (const json::Value* a = doc.find("arrival")) {
+      r.arrival = parse_arrival(*a);
+    }
+    r.seed = seed;
+    r.scheduler = sched;
+    r.max_steps = max_steps;
+    r.partitions = faults.partitions;
+    r.heal_after = faults.heal_after;
+    r.object_crashes = faults.crashes;
+    r.client_crashes = faults.client_crashes;
+    r.restart_after = faults.restart_after;
+    r.restart_permyriad = faults.restart_permyriad;
+    r.restart_mode = faults.restart_mode;
+    r.link_faults = faults.link_faults;
+    r.fault_timeline = std::move(faults.timeline);
+    if (const json::Value* va = doc.find("verify_accounting")) {
+      r.verify_accounting = va->as_bool();
+    }
+    const std::string why = validate_fault_options(r);
+    SBRS_CHECK_MSG(why.empty(), "scenario: " << why);
+  } else {
+    SBRS_CHECK_MSG(doc.find("workload") == nullptr,
+                   "scenario: store mode shapes its load in the \"store\" "
+                   "block, not \"workload\"");
+    SBRS_CHECK_MSG(faults.client_crashes == 0 && faults.restart_permyriad == 0,
+                   "scenario: store mode does not support client_crashes / "
+                   "restart_permyriad");
+    store::StoreOptions& o = s.store_opts;
+    o.algorithm = s.algorithm;
+    o.register_config = s.config;
+    if (const json::Value* st = doc.find("store")) {
+      check_keys(*st,
+                 {"num_shards", "num_keys", "clients", "ops_per_client",
+                  "mix", "read_percent", "distribution", "zipf_theta",
+                  "max_steps_per_shard", "key_prefix"},
+                 "store");
+      o.num_shards = static_cast<uint32_t>(st->get_u64("num_shards", 8));
+      o.workload.num_keys =
+          static_cast<uint32_t>(st->get_u64("num_keys", 128));
+      o.workload.clients = static_cast<uint32_t>(st->get_u64("clients", 4));
+      o.workload.ops_per_client =
+          static_cast<uint32_t>(st->get_u64("ops_per_client", 64));
+      o.workload.mix = store::ycsb::parse_mix(st->get_string("mix", "B"));
+      o.workload.read_percent =
+          static_cast<uint32_t>(st->get_u64("read_percent", 95));
+      o.workload.distribution = store::ycsb::parse_distribution(
+          st->get_string("distribution", "zipfian"));
+      o.workload.zipf_theta = st->get_double("zipf_theta", 0.99);
+      o.max_steps_per_shard =
+          st->get_u64("max_steps_per_shard", o.max_steps_per_shard);
+      o.key_prefix = st->get_string("key_prefix", o.key_prefix);
+    }
+    if (const json::Value* a = doc.find("arrival")) {
+      o.arrival = parse_arrival(*a);
+    }
+    o.seed = seed;
+    o.workload.seed = seed;
+    o.scheduler = sched;
+    o.partitions_per_shard = faults.partitions;
+    o.heal_after = faults.heal_after;
+    o.object_crashes_per_shard = faults.crashes;
+    o.restart_after = faults.restart_after;
+    o.restart_mode = faults.restart_mode;
+    o.link_faults = faults.link_faults;
+    o.fault_timeline = std::move(faults.timeline);
+    if (const json::Value* va = doc.find("verify_accounting")) {
+      o.verify_accounting = va->as_bool();
+    }
+    SBRS_CHECK_MSG(
+        sched == SchedKind::kRandom ||
+            (o.partitions_per_shard == 0 && o.fault_timeline.empty() &&
+             o.link_faults.drop_permyriad == 0 &&
+             o.link_faults.delay_permyriad == 0 &&
+             o.link_faults.reorder_window == 0 &&
+             o.link_faults.windows.empty()),
+        "scenario: link faults need the random scheduler");
+  }
+  return s;
+}
+
+Scenario load_scenario(const std::string& path) {
+  std::ifstream is(path);
+  SBRS_CHECK_MSG(is.good(), "scenario: cannot read \"" << path << "\"");
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse_scenario(buf.str(), path);
+}
+
+ScenarioOutcome run_scenario(const Scenario& scenario, uint64_t seed) {
+  ScenarioOutcome r;
+  r.name = scenario.name;
+  r.mode = scenario.mode;
+  r.seed = seed;
+  try {
+    if (scenario.mode == "register") {
+      run_register_mode(scenario, seed, &r);
+    } else {
+      run_store_mode(scenario, seed, &r);
+    }
+  } catch (const CheckFailure& e) {
+    // An engine invariant fired mid-run (accounting cross-check, simulator
+    // CHECK): that IS a campaign finding, not a crash of the runner.
+    r.violations.push_back(std::string("engine invariant: ") + e.what());
+  }
+  r.ok = r.violations.empty();
+  return r;
+}
+
+std::string repro_command(const Scenario& scenario, uint64_t seed) {
+  const std::string file =
+      scenario.source_path.empty() ? "<scenario-file>" : scenario.source_path;
+  return "sbrs_cli --scenario=" + file + " --seed=" + std::to_string(seed);
+}
+
+}  // namespace sbrs::harness

@@ -1,0 +1,104 @@
+// Declarative fault-campaign scenarios.
+//
+// A scenario is a JSON file describing one experiment end to end: the
+// algorithm and register shape, the workload mix and arrival process, the
+// fault plan (probabilistic knobs and/or a scripted timeline of
+// partition/heal/crash/restart events, with absolute or rate-based
+// triggers), and an `expect` block stating the guarantees the run must
+// keep. Scenarios are the unit the campaign runner (harness/campaign.h)
+// sweeps over seeds; a run that breaks its expectations produces a triage
+// bundle that pins the scenario + seed for one-command reproduction.
+//
+// The schema is documented with a worked example in
+// docs/scenario_schema.md; shipped examples live under scenarios/.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+#include "registers/register_algorithm.h"
+#include "store/store.h"
+
+namespace sbrs::harness {
+
+/// The `expect` block: what the run must satisfy to pass.
+struct ScenarioExpect {
+  /// Consistency level to check: "algorithm" (the algorithm's own declared
+  /// guarantee — the default), "strongly_safe", "weak_regular",
+  /// "strong_regular", "atomic" (register mode only), or "none".
+  std::string consistency = "algorithm";
+  /// Every operation of a live client must return (saturated open-loop
+  /// runs are excused, as everywhere else in the harness).
+  bool live = true;
+  /// Peak Definition-2 storage upper bound in bits (register mode: the
+  /// run's max_total_bits; store mode: the sum of shard peaks).
+  std::optional<uint64_t> max_total_bits;
+  /// Demand the run (all shards) fully quiesced.
+  std::optional<bool> quiesced;
+};
+
+/// One parsed scenario. Exactly one of the two mode option sets is live
+/// (`mode` selects): register mode drives run_register_experiment with
+/// `run`, store mode drives store::Store with `store_opts`.
+struct Scenario {
+  std::string name;
+  std::string mode = "register";  // "register" | "store"
+  std::string algorithm = "adaptive";
+  registers::RegisterConfig config;
+  RunOptions run;
+  store::StoreOptions store_opts;
+  ScenarioExpect expect;
+  /// Provenance (filled by load_scenario): the path the scenario came from
+  /// and its raw text — triage bundles copy the text verbatim.
+  std::string source_path;
+  std::string source_text;
+};
+
+/// Parse a scenario document. Unknown members anywhere in the document are
+/// an error (scenario files are hand-written; typos must not silently
+/// become defaults). Throws sbrs::CheckFailure with the reason.
+Scenario parse_scenario(const std::string& text, const std::string& path = "");
+
+/// Read `path` and parse it. Throws sbrs::CheckFailure on IO errors too.
+Scenario load_scenario(const std::string& path);
+
+/// Outcome of one scenario execution at one seed — everything the campaign
+/// summary and a triage bundle need.
+struct ScenarioOutcome {
+  std::string name;
+  std::string mode;
+  uint64_t seed = 0;
+  /// All expectations held and no engine invariant (consistency, liveness,
+  /// accounting) fired.
+  bool ok = true;
+  std::vector<std::string> violations;
+  std::string stop_reason;  // register mode (store mode: per shard)
+  uint64_t fingerprint = 0;
+  uint64_t steps = 0;
+  uint64_t max_total_bits = 0;  // register: peak; store: sum of shard peaks
+  uint64_t degraded_steps = 0;
+  uint64_t partition_events = 0;
+  uint64_t heal_events = 0;
+  uint64_t rmws_dropped = 0;
+  uint64_t rmws_delayed = 0;
+  uint64_t object_crash_events = 0;
+  uint64_t object_restarts = 0;
+  /// Register mode only: the raw outcome (history included), kept for
+  /// trace dumps in triage bundles.
+  std::optional<RunOutcome> register_out;
+};
+
+/// Execute `scenario` at `seed` (overriding any seed the file names) and
+/// judge it against its expect block. Engine invariant failures
+/// (sbrs::CheckFailure from accounting verification etc.) are caught and
+/// reported as violations, not propagated.
+ScenarioOutcome run_scenario(const Scenario& scenario, uint64_t seed);
+
+/// One-line shell command that reproduces this outcome: used in triage
+/// bundles and printed by the campaign runner on failure.
+std::string repro_command(const Scenario& scenario, uint64_t seed);
+
+}  // namespace sbrs::harness

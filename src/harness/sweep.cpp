@@ -35,6 +35,11 @@ struct RunDigest {
   uint64_t repair_bits = 0;
   uint64_t degraded_steps = 0;
   metrics::LatencyHistogram degraded_sojourn;
+  uint64_t partition_events = 0;
+  uint64_t heal_events = 0;
+  uint64_t rmws_dropped = 0;
+  uint64_t rmws_delayed = 0;
+  std::string stop_reason;
   double seconds = 0;
 };
 
@@ -120,6 +125,7 @@ uint64_t outcome_fingerprint(const RunOutcome& out) {
   h = mix_into(h, out.report.sojourn_latency.p99());
   h = mix_into(h, out.report.sojourn_latency.max());
   h = recovery_fingerprint(out.report, h);
+  h = link_fault_fingerprint(out.report, h);
   return history_fingerprint(out.history, h);
 }
 
@@ -136,6 +142,21 @@ uint64_t recovery_fingerprint(const sim::RunReport& report, uint64_t h) {
   h = mix_into(h, report.degraded_steps);
   h = mix_into(h, report.degraded_sojourn.count());
   h = mix_into(h, report.degraded_sojourn.p99());
+  return h;
+}
+
+uint64_t link_fault_fingerprint(const sim::RunReport& report, uint64_t h) {
+  // Partition/heal events ride in the history trace like crash/restart;
+  // the derived counters are pinned here, conditionally so fault-free runs
+  // keep their recorded fingerprints.
+  if (report.partition_events == 0 && report.heal_events == 0 &&
+      report.rmws_dropped == 0 && report.rmws_delayed == 0) {
+    return h;
+  }
+  h = mix_into(h, report.partition_events);
+  h = mix_into(h, report.heal_events);
+  h = mix_into(h, report.rmws_dropped);
+  h = mix_into(h, report.rmws_delayed);
   return h;
 }
 
@@ -207,6 +228,11 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
         d.repair_bits = out.report.repair_bits;
         d.degraded_steps = out.report.degraded_steps;
         d.degraded_sojourn = out.report.degraded_sojourn;
+        d.partition_events = out.report.partition_events;
+        d.heal_events = out.report.heal_events;
+        d.rmws_dropped = out.report.rmws_dropped;
+        d.rmws_delayed = out.report.rmws_delayed;
+        d.stop_reason = out.report.stop_reason;
         d.fingerprint = outcome_fingerprint(out);
         d.seconds = std::chrono::duration<double>(end - start).count();
         return d;
@@ -251,6 +277,11 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
       repair.push_back(d.repair_bits);
       degraded.push_back(d.degraded_steps);
       cs.degraded_sojourn.merge(d.degraded_sojourn);
+      cs.partition_events += d.partition_events;
+      cs.heal_events += d.heal_events;
+      cs.rmws_dropped += d.rmws_dropped;
+      cs.rmws_delayed += d.rmws_delayed;
+      ++cs.stop_reasons[d.stop_reason];
       cs.total_steps += d.steps;
       cs.wall_seconds += d.seconds;
       fp = mix_into(fp, d.fingerprint);

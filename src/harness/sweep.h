@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstdint>
 #include <exception>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -98,6 +99,19 @@ struct CellSummary {
   /// Sojourn time of operations that returned while >= 1 object was down,
   /// merged across seeds — the degraded-window tail next to `sojourn`.
   metrics::LatencyHistogram degraded_sojourn;
+
+  // --- Link-fault outcome (all zero for fault-free cells) ---
+
+  /// RunReport link-fault counters summed over the cell's seeds.
+  uint64_t partition_events = 0;
+  uint64_t heal_events = 0;
+  uint64_t rmws_dropped = 0;
+  uint64_t rmws_delayed = 0;
+
+  /// Why each seed's run ended (RunReport::stop_reason -> seed count):
+  /// "quiesced", "step-limit", "stalled", or a scheduler's own reason.
+  /// Campaign summaries key off this to say how a cell died.
+  std::map<std::string, uint32_t> stop_reasons;
   /// Order-independent fingerprint over all per-seed outcomes (histories
   /// included); equal fingerprints mean identical per-cell results.
   uint64_t fingerprint = 0;
@@ -155,6 +169,13 @@ uint64_t history_fingerprint(const sim::History& history, uint64_t h);
 /// outcome_fingerprint and the store's per-shard fingerprints — one
 /// definition of "same recovery outcome" for both engines.
 uint64_t recovery_fingerprint(const sim::RunReport& report, uint64_t h);
+
+/// Mix a run's link-fault outcome (partition/heal transitions, dropped and
+/// delayed RMW counts) into hash state `h`. Mixed only when the run saw a
+/// link fault, so fault-free runs keep the fingerprints recorded in
+/// committed artifacts — the same conditional pattern as
+/// recovery_fingerprint, shared by both engines for the same reason.
+uint64_t link_fault_fingerprint(const sim::RunReport& report, uint64_t h);
 
 class SweepRunner {
  public:

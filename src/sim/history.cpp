@@ -74,6 +74,26 @@ void History::record_object_restart(uint64_t time, ObjectId o,
   ++object_restarts_;
 }
 
+void History::record_partition(uint64_t time, ClientId c, ObjectId o) {
+  HistoryEvent ev;
+  ev.kind = HistoryEvent::Kind::kPartition;
+  ev.time = time;
+  ev.client = c;
+  ev.object = o;
+  events_.push_back(ev);
+  ++partitions_;
+}
+
+void History::record_heal(uint64_t time, ClientId c, ObjectId o) {
+  HistoryEvent ev;
+  ev.kind = HistoryEvent::Kind::kHeal;
+  ev.time = time;
+  ev.client = c;
+  ev.object = o;
+  events_.push_back(ev);
+  ++heals_;
+}
+
 std::vector<OpRecord> History::ops() const {
   std::vector<OpRecord> out;
   out.reserve(order_.size());

@@ -15,7 +15,14 @@
 namespace sbrs::sim {
 
 struct HistoryEvent {
-  enum class Kind { kInvoke, kReturn, kCrashObject, kRestartObject };
+  enum class Kind {
+    kInvoke,
+    kReturn,
+    kCrashObject,
+    kRestartObject,
+    kPartition,  // a (client, object) link was cut (sim/linkfault.h)
+    kHeal,       // a cut link re-opened (explicit heal or auto-heal)
+  };
   Kind kind;
   uint64_t time = 0;
   OpId op;
@@ -24,9 +31,11 @@ struct HistoryEvent {
   /// For write invokes: the written value. For read returns: the returned
   /// value. Empty otherwise.
   Value value;
-  /// For kCrashObject / kRestartObject: the base object. The consistency
-  /// checkers consume only operation records, so crash/restart events ride
-  /// in the trace (and its fingerprint) without affecting verdicts.
+  /// For kCrashObject / kRestartObject / kPartition / kHeal: the base
+  /// object (partition/heal events also set `client` to the link's client).
+  /// The consistency checkers consume only operation records, so fault
+  /// bookkeeping events ride in the trace (and its fingerprint) without
+  /// affecting verdicts.
   ObjectId object{};
   RestartMode restart_mode = RestartMode::kFromDisk;  // kRestartObject only
 };
@@ -67,10 +76,19 @@ class History {
   void record_object_crash(uint64_t time, ObjectId o);
   void record_object_restart(uint64_t time, ObjectId o, RestartMode mode);
 
+  /// Record a link partition / heal transition (one event per link whose
+  /// state actually changed). Bookkeeping like crash/restart: invisible to
+  /// the checkers, pinned by the fingerprint — and only present in faulted
+  /// runs, so fault-free recorded artifacts stay byte-identical.
+  void record_partition(uint64_t time, ClientId c, ObjectId o);
+  void record_heal(uint64_t time, ClientId c, ObjectId o);
+
   const std::vector<HistoryEvent>& events() const { return events_; }
 
   size_t object_crash_count() const { return object_crashes_; }
   size_t object_restart_count() const { return object_restarts_; }
+  size_t partition_count() const { return partitions_; }
+  size_t heal_count() const { return heals_; }
 
   /// All operations, in invocation order.
   std::vector<OpRecord> ops() const;
@@ -95,6 +113,8 @@ class History {
   size_t returns_ = 0;
   size_t object_crashes_ = 0;
   size_t object_restarts_ = 0;
+  size_t partitions_ = 0;
+  size_t heals_ = 0;
 };
 
 }  // namespace sbrs::sim

@@ -1,0 +1,179 @@
+#include "sim/linkfault.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sbrs::sim {
+
+uint64_t fault_seed(uint64_t seed) {
+  // Same shape as arrival_seed, different tweak constant: the fault stream
+  // must coincide with neither the schedule nor the arrival stream.
+  uint64_t state = seed ^ 0x0fa17ab1e5eedf00ull;
+  (void)splitmix64(state);
+  const uint64_t out = splitmix64(state);
+  return out == 0 ? 1 : out;
+}
+
+LinkFaultTable::LinkFaultTable(const LinkFaultOptions& opts,
+                               uint32_t num_clients, uint32_t num_objects)
+    : num_clients_(num_clients), num_objects_(num_objects), rng_(opts.seed) {
+  heal_at_.assign(static_cast<size_t>(num_clients) * num_objects, 0);
+  // Normalize the scalar knobs into run-wide windows, then append the
+  // explicit ones. Order matters only for RNG draw sequence, which is
+  // pinned by this fixed normalization.
+  if (opts.drop_permyriad > 0) {
+    FaultWindow w;
+    w.kind = FaultWindow::Kind::kDrop;
+    w.permyriad = opts.drop_permyriad;
+    w.max_events = opts.max_drops;
+    windows_.push_back(ActiveWindow{w, 0});
+  }
+  if (opts.delay_permyriad > 0 &&
+      (opts.delay_steps > 0 || opts.delay_jitter > 0)) {
+    FaultWindow w;
+    w.kind = FaultWindow::Kind::kDelay;
+    w.permyriad = opts.delay_permyriad;
+    w.delay = opts.delay_steps;
+    w.jitter = opts.delay_jitter;
+    windows_.push_back(ActiveWindow{w, 0});
+  }
+  if (opts.reorder_window > 0) {
+    FaultWindow w;
+    w.kind = FaultWindow::Kind::kReorder;
+    w.delay = opts.reorder_window;
+    windows_.push_back(ActiveWindow{w, 0});
+  }
+  for (const FaultWindow& w : opts.windows) {
+    windows_.push_back(ActiveWindow{w, 0});
+  }
+}
+
+void LinkFaultTable::on_trigger(PendingRmw& p, uint64_t now) {
+  for (ActiveWindow& aw : windows_) {
+    const FaultWindow& w = aw.w;
+    if (now < w.from || now >= w.until) continue;
+    if (w.object != kAllObjects && w.object != p.target.value) continue;
+    if (aw.fired >= w.max_events) continue;
+    // Sure-fire windows (permyriad >= 10'000) skip the draw so an
+    // always-on reorder window costs one draw per trigger, not two.
+    if (w.permyriad < 10'000 && rng_.below(10'000) >= w.permyriad) continue;
+    ++aw.fired;
+    switch (w.kind) {
+      case FaultWindow::Kind::kDrop:
+        p.dropped = true;
+        return;  // a dropped request can't also be delayed
+      case FaultWindow::Kind::kDelay: {
+        const uint64_t extra =
+            w.delay + (w.jitter > 0 ? rng_.below(w.jitter + 1) : 0);
+        p.deliverable_at = std::max(p.deliverable_at, now + extra);
+        break;
+      }
+      case FaultWindow::Kind::kReorder: {
+        const uint64_t extra = w.delay > 0 ? rng_.below(w.delay + 1) : 0;
+        p.deliverable_at = std::max(p.deliverable_at, now + extra);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<Link> LinkFaultTable::cut_link(ClientId c, ObjectId o,
+                                           uint64_t heal_at) {
+  SBRS_CHECK_MSG(c.value < num_clients_ && o.value < num_objects_,
+                 "cut of unknown link (" << c << ", " << o << ")");
+  SBRS_CHECK_MSG(heal_at > 0, "cut with a heal deadline in the past");
+  engaged_ = true;
+  uint64_t& slot = heal_at_[index(c, o)];
+  const bool was_open = slot == 0;
+  slot = heal_at;  // re-cutting a cut link just moves its deadline
+  if (!was_open) return {};
+  ++cut_links_;
+  return {Link{c, o}};
+}
+
+std::vector<Link> LinkFaultTable::cut_object(ObjectId o, uint64_t heal_at) {
+  std::vector<Link> changed;
+  for (uint32_t c = 0; c < num_clients_; ++c) {
+    auto one = cut_link(ClientId{c}, o, heal_at);
+    changed.insert(changed.end(), one.begin(), one.end());
+  }
+  return changed;
+}
+
+std::vector<Link> LinkFaultTable::heal_link(ClientId c, ObjectId o) {
+  SBRS_CHECK_MSG(c.value < num_clients_ && o.value < num_objects_,
+                 "heal of unknown link (" << c << ", " << o << ")");
+  uint64_t& slot = heal_at_[index(c, o)];
+  if (slot == 0) return {};
+  slot = 0;
+  SBRS_CHECK(cut_links_ > 0);
+  --cut_links_;
+  return {Link{c, o}};
+}
+
+std::vector<Link> LinkFaultTable::heal_object(ObjectId o) {
+  std::vector<Link> changed;
+  for (uint32_t c = 0; c < num_clients_; ++c) {
+    auto one = heal_link(ClientId{c}, o);
+    changed.insert(changed.end(), one.begin(), one.end());
+  }
+  return changed;
+}
+
+std::vector<Link> LinkFaultTable::heal_all() {
+  std::vector<Link> changed;
+  for (uint32_t c = 0; c < num_clients_; ++c) {
+    for (uint32_t o = 0; o < num_objects_; ++o) {
+      auto one = heal_link(ClientId{c}, ObjectId{o});
+      changed.insert(changed.end(), one.begin(), one.end());
+    }
+  }
+  return changed;
+}
+
+std::vector<Link> LinkFaultTable::advance_to(uint64_t now) {
+  std::vector<Link> healed;
+  if (cut_links_ == 0) return healed;
+  for (uint32_t c = 0; c < num_clients_; ++c) {
+    for (uint32_t o = 0; o < num_objects_; ++o) {
+      uint64_t& slot = heal_at_[index(ClientId{c}, ObjectId{o})];
+      if (slot != 0 && slot != UINT64_MAX && slot <= now) {
+        slot = 0;
+        SBRS_CHECK(cut_links_ > 0);
+        --cut_links_;
+        healed.push_back(Link{ClientId{c}, ObjectId{o}});
+      }
+    }
+  }
+  return healed;
+}
+
+bool LinkFaultTable::link_cut(ClientId c, ObjectId o) const {
+  if (cut_links_ == 0) return false;
+  if (c.value >= num_clients_ || o.value >= num_objects_) return false;
+  return heal_at_[index(c, o)] != 0;
+}
+
+std::optional<uint64_t> LinkFaultTable::next_auto_heal() const {
+  if (cut_links_ == 0) return std::nullopt;
+  std::optional<uint64_t> out;
+  for (uint64_t h : heal_at_) {
+    if (h == 0 || h == UINT64_MAX) continue;
+    if (!out.has_value() || h < *out) out = h;
+  }
+  return out;
+}
+
+std::optional<uint64_t> LinkFaultTable::next_release(
+    const std::deque<PendingRmw>& pending, uint64_t now) const {
+  std::optional<uint64_t> out;
+  for (const PendingRmw& p : pending) {
+    if (p.dropped || p.deliverable_at <= now) continue;
+    if (link_cut(p.client, p.target)) continue;
+    if (!out.has_value() || p.deliverable_at < *out) out = p.deliverable_at;
+  }
+  return out;
+}
+
+}  // namespace sbrs::sim

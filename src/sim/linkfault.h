@@ -1,0 +1,207 @@
+// Link-level fault injection between client-object pairs.
+//
+// The paper's adversary controls asynchrony completely; crash/restart of
+// whole components (PR 5) is only the coarsest corner of that power. This
+// layer adds the message-level faults that stress quorum intersection:
+//
+//   - partitions with heal: a link (client, object) or a whole object is
+//     cut — RMWs across it stay triggered (and keep their Definition 2
+//     channel bits) but are undeliverable until the link heals, either by
+//     an explicit heal action or an auto-heal deadline;
+//   - delay/jitter windows: a triggered RMW is stamped undeliverable
+//     until step T = now + delay (+ uniform jitter);
+//   - probabilistic drops: the request vanishes in the network (the
+//     client protocol must survive on the remaining quorums);
+//   - bounded reordering: a uniform per-RMW release offset in [0, W]
+//     permutes delivery order even under FIFO schedulers, but never by
+//     more than the window.
+//
+// All probabilistic draws come from a dedicated fault RNG stream
+// (fault_seed, decorrelated from the schedule and arrival streams) and are
+// taken only when a fault source is configured, so fault-free runs keep
+// their recorded schedules and fingerprints byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "sim/types.h"
+
+namespace sbrs::sim {
+
+/// Sentinel for "every object" in a FaultWindow.
+inline constexpr uint32_t kAllObjects = UINT32_MAX;
+
+/// One message-fault source, active over the half-open step interval
+/// [from, until): each RMW triggered inside it (toward `object`, or any
+/// object when kAllObjects) fires with probability permyriad / 10'000, at
+/// most max_events times over the run.
+struct FaultWindow {
+  enum class Kind {
+    kDrop,     // the request vanishes (never delivered, never responds)
+    kDelay,    // undeliverable for `delay` + uniform[0, jitter] steps
+    kReorder,  // undeliverable for uniform[0, delay] steps (bounded shuffle)
+  };
+  Kind kind = Kind::kDrop;
+  uint64_t from = 0;
+  uint64_t until = UINT64_MAX;
+  uint32_t object = kAllObjects;
+  uint32_t permyriad = 10'000;  // fire probability per triggered RMW
+  /// kDelay: fixed extra steps; kReorder: the reorder bound W.
+  uint64_t delay = 0;
+  /// kDelay only: extra uniform draw in [0, jitter].
+  uint64_t jitter = 0;
+  uint64_t max_events = UINT64_MAX;
+};
+
+/// Configuration of the fault table. The scalar knobs are shorthand for
+/// one run-wide window each (normalized at construction); `windows` holds
+/// arbitrary further sources. Empty options == no fault source == zero RNG
+/// draws, the guarantee fault-free artifacts rest on.
+struct LinkFaultOptions {
+  /// Drop each triggered RMW with this probability (out of 10'000), at
+  /// most max_drops times. Keep total drops <= f for liveness: safety
+  /// holds under arbitrary drops, but every quorum round must still find
+  /// n - f responsive objects.
+  uint32_t drop_permyriad = 0;
+  uint64_t max_drops = UINT64_MAX;
+  /// Delay each triggered RMW with probability delay_permyriad by
+  /// delay_steps + uniform[0, delay_jitter] steps.
+  uint32_t delay_permyriad = 0;
+  uint64_t delay_steps = 0;
+  uint64_t delay_jitter = 0;
+  /// Bounded reordering: every triggered RMW gets a uniform release offset
+  /// in [0, reorder_window] steps (0 = off).
+  uint64_t reorder_window = 0;
+  /// Seed of the dedicated fault RNG stream (derive via fault_seed so it
+  /// never collides with the schedule or arrival streams).
+  uint64_t seed = 1;
+  std::vector<FaultWindow> windows;
+};
+
+/// One scripted fault-timeline entry, applied by ScriptedFaultScheduler at
+/// the first step >= `at` (one simulator action per event). The scenario
+/// parser (harness/scenario.h) builds these from JSON timelines.
+struct FaultEvent {
+  enum class Kind {
+    kCrashObject,
+    kRestartObject,
+    kCrashClient,
+    kPartitionLink,    // cut (client, object)
+    kPartitionObject,  // cut every client's link to object
+    kHealLink,
+    kHealObject,
+    kHealAll,
+  };
+  Kind kind = Kind::kCrashObject;
+  uint64_t at = 0;
+  uint32_t object = 0;
+  uint32_t client = 0;
+  /// Partitions: auto-heal this many steps after the cut (0 = only an
+  /// explicit heal event re-opens the link).
+  uint64_t heal_after = 0;
+  RestartMode mode = RestartMode::kFromDisk;  // kRestartObject only
+};
+
+/// A (client, object) link, as reported by the cut/heal mutators so the
+/// simulator can record exactly the transitions that happened.
+struct Link {
+  ClientId client;
+  ObjectId object;
+};
+
+/// Decorrelate the fault RNG from the schedule/arrival streams (all are
+/// derived from the same run seed).
+uint64_t fault_seed(uint64_t seed);
+
+/// The partition/drop/delay state between every client-object pair,
+/// consulted by the simulator at trigger time (on_trigger stamps drops and
+/// release times onto the PendingRmw) and at scheduling/delivery time
+/// (deliverable). Cheap when idle: engaged() stays false until a fault
+/// source is configured or a first cut happens, and the simulator keeps
+/// its O(1) fast paths until then.
+class LinkFaultTable {
+ public:
+  LinkFaultTable() = default;
+  LinkFaultTable(const LinkFaultOptions& opts, uint32_t num_clients,
+                 uint32_t num_objects);
+
+  /// Any window can ever fire (scalar knobs are normalized into windows).
+  bool configured() const { return !windows_.empty(); }
+
+  /// configured(), or at least one link was ever cut: the simulator and
+  /// fault-aware schedulers switch to deliverability-filtered paths. Sticky
+  /// by design — once engaged, filtered and unfiltered picks coincide
+  /// whenever no fault is active, so determinism is unaffected.
+  bool engaged() const { return engaged_ || configured(); }
+
+  /// Stamp drop / release-time effects of the active windows onto a freshly
+  /// triggered RMW. No RNG draw unless a window is active for it.
+  void on_trigger(PendingRmw& p, uint64_t now);
+
+  /// Force engaged() on without cutting anything (used when a scripted
+  /// kDelayRmw stamps a release time from outside the table, so the
+  /// deliverability-filtered paths take over).
+  void engage() { engaged_ = true; }
+
+  // --- Partition mutators. Each returns the links whose state actually
+  // --- changed (cutting a cut link only updates its heal deadline; healing
+  // --- an open link is a no-op), in (client, object) order.
+  std::vector<Link> cut_link(ClientId c, ObjectId o, uint64_t heal_at);
+  std::vector<Link> cut_object(ObjectId o, uint64_t heal_at);
+  std::vector<Link> heal_link(ClientId c, ObjectId o);
+  std::vector<Link> heal_object(ObjectId o);
+  std::vector<Link> heal_all();
+
+  /// Apply every auto-heal deadline at or before `now`; returns the links
+  /// that healed (the simulator records them in the history trace).
+  std::vector<Link> advance_to(uint64_t now);
+
+  bool link_cut(ClientId c, ObjectId o) const;
+  uint32_t cut_links() const { return cut_links_; }
+
+  /// Earliest pending auto-heal deadline, if any cut link has one.
+  std::optional<uint64_t> next_auto_heal() const;
+
+  /// A pending RMW the scheduler may deliver *now*: dropped RMWs are
+  /// always deliverable (delivery = the loss taking effect, draining the
+  /// channel); live ones need their release time reached and their link
+  /// open.
+  bool deliverable(const PendingRmw& p, uint64_t now) const {
+    return p.dropped ||
+           (p.deliverable_at <= now && !link_cut(p.client, p.target));
+  }
+
+  /// Earliest future release time among pending RMWs that are only waiting
+  /// out a delay (their link is open): the simulator fast-forwards its
+  /// idle clock to it. Cut links are excluded — their release comes from a
+  /// heal, covered by next_auto_heal / the scripted timeline.
+  std::optional<uint64_t> next_release(const std::deque<PendingRmw>& pending,
+                                       uint64_t now) const;
+
+ private:
+  struct ActiveWindow {
+    FaultWindow w;
+    uint64_t fired = 0;
+  };
+
+  size_t index(ClientId c, ObjectId o) const {
+    return static_cast<size_t>(c.value) * num_objects_ + o.value;
+  }
+
+  std::vector<ActiveWindow> windows_;
+  uint32_t num_clients_ = 0;
+  uint32_t num_objects_ = 0;
+  /// Per-link heal deadline: 0 = link open, UINT64_MAX = cut until an
+  /// explicit heal, else cut until that step (inclusive trigger at >= it).
+  std::vector<uint64_t> heal_at_;
+  uint32_t cut_links_ = 0;
+  bool engaged_ = false;
+  Rng rng_{1};
+};
+
+}  // namespace sbrs::sim

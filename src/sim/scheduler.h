@@ -19,18 +19,29 @@ class Simulator;
 
 struct Action {
   enum class Kind {
-    kDeliverRmw,     // apply + respond a pending RMW
-    kInvoke,         // let a client invoke its next workload operation
-    kCrashObject,    // crash a base object
-    kCrashClient,    // crash a client
-    kRestartObject,  // re-arm a crashed base object (crash recovery)
-    kStop,           // end the run (adversary reached its fixed point, etc.)
+    kDeliverRmw,       // apply + respond a pending RMW
+    kInvoke,           // let a client invoke its next workload operation
+    kCrashObject,      // crash a base object
+    kCrashClient,      // crash a client
+    kRestartObject,    // re-arm a crashed base object (crash recovery)
+    kPartitionLink,    // cut one (client, object) link (sim/linkfault.h)
+    kPartitionObject,  // cut every client's link to an object
+    kHealLink,         // re-open one link
+    kHealObject,       // re-open every link to an object
+    kHealAll,          // re-open every link
+    kDropRmw,          // remove a pending RMW from the channel (lost)
+    kDelayRmw,         // push a pending RMW's release time forward
+    kStop,             // end the run (adversary reached its fixed point)
   };
   Kind kind = Kind::kStop;
-  RmwId rmw{};       // for kDeliverRmw
-  ClientId client{}; // for kInvoke / kCrashClient
-  ObjectId object{}; // for kCrashObject / kRestartObject
+  RmwId rmw{};       // for kDeliverRmw / kDropRmw / kDelayRmw
+  ClientId client{}; // for kInvoke / kCrashClient / link partitions
+  ObjectId object{}; // for kCrashObject / kRestartObject / partitions
   RestartMode restart_mode = RestartMode::kFromDisk;  // for kRestartObject
+  /// kPartition*: auto-heal this many steps after the cut (0 = only an
+  /// explicit heal re-opens the link).
+  uint64_t heal_after = 0;
+  uint64_t delay = 0;  // for kDelayRmw: extra undeliverable steps
 
   static Action deliver(RmwId id) {
     Action a;
@@ -63,6 +74,52 @@ struct Action {
     a.restart_mode = mode;
     return a;
   }
+  static Action partition_link(ClientId c, ObjectId o, uint64_t heal_after) {
+    Action a;
+    a.kind = Kind::kPartitionLink;
+    a.client = c;
+    a.object = o;
+    a.heal_after = heal_after;
+    return a;
+  }
+  static Action partition_object(ObjectId o, uint64_t heal_after) {
+    Action a;
+    a.kind = Kind::kPartitionObject;
+    a.object = o;
+    a.heal_after = heal_after;
+    return a;
+  }
+  static Action heal_link(ClientId c, ObjectId o) {
+    Action a;
+    a.kind = Kind::kHealLink;
+    a.client = c;
+    a.object = o;
+    return a;
+  }
+  static Action heal_object(ObjectId o) {
+    Action a;
+    a.kind = Kind::kHealObject;
+    a.object = o;
+    return a;
+  }
+  static Action heal_all() {
+    Action a;
+    a.kind = Kind::kHealAll;
+    return a;
+  }
+  static Action drop_rmw(RmwId id) {
+    Action a;
+    a.kind = Kind::kDropRmw;
+    a.rmw = id;
+    return a;
+  }
+  static Action delay_rmw(RmwId id, uint64_t delay) {
+    Action a;
+    a.kind = Kind::kDelayRmw;
+    a.rmw = id;
+    a.delay = delay;
+    return a;
+  }
   static Action stop() { return Action{}; }
 };
 
@@ -77,6 +134,18 @@ class Scheduler {
 
   /// A short reason string recorded when the scheduler stops the run.
   virtual std::string stop_reason() const { return ""; }
+
+  /// Earliest future step at which this scheduler has an action to take
+  /// even if nothing is schedulable before then (a due restart, a scripted
+  /// fault-timeline event). When nothing is deliverable or invocable, the
+  /// simulator fast-forwards its idle clock to the minimum of this, the
+  /// next workload arrival, and the next link-fault release/heal instead
+  /// of stopping. Non-const: implementations may update their own
+  /// observation bookkeeping.
+  virtual std::optional<uint64_t> next_wakeup(const Simulator& sim) {
+    (void)sim;
+    return std::nullopt;
+  }
 };
 
 }  // namespace sbrs::sim

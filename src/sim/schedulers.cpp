@@ -1,27 +1,60 @@
 #include "sim/schedulers.h"
 
+#include <algorithm>
+
 #include "sim/simulator.h"
 
 namespace sbrs::sim {
 
+void RandomScheduler::observe_crashes(const Simulator& sim) {
+  if (crash_seen_.size() < sim.num_objects()) {
+    crash_seen_.resize(sim.num_objects(), 0);
+  }
+  for (uint32_t i = 0; i < sim.num_objects(); ++i) {
+    if (!sim.object_alive(ObjectId{i})) {
+      if (crash_seen_[i] == 0) crash_seen_[i] = sim.now() + 1;
+    } else {
+      crash_seen_[i] = 0;
+    }
+  }
+}
+
+std::optional<uint64_t> RandomScheduler::next_wakeup(const Simulator& sim) {
+  // Only the deterministic restart delay yields a wakeup: a probabilistic
+  // restart needs steps to happen, and partitions auto-heal through the
+  // fault table's own deadline. No RNG draws here, ever.
+  if (object_restarts_ >= opts_.max_object_restarts ||
+      opts_.restart_after == 0) {
+    return std::nullopt;
+  }
+  observe_crashes(sim);
+  std::optional<uint64_t> due;
+  for (uint32_t i = 0; i < crash_seen_.size(); ++i) {
+    if (crash_seen_[i] == 0) continue;
+    // next() fires the restart once now + 1 >= seen + restart_after.
+    const uint64_t t = crash_seen_[i] + opts_.restart_after - 1;
+    if (!due.has_value() || t < *due) due = t;
+  }
+  return due;
+}
+
 Action RandomScheduler::next(const Simulator& sim) {
-  // Crash recovery first: restarts are considered before new crashes so a
+  // An asymmetric partition in progress dribbles its remaining link cuts
+  // first, one action per step.
+  if (!queued_.empty()) {
+    Action a = queued_.front();
+    queued_.pop_front();
+    return a;
+  }
+
+  // Crash recovery next: restarts are considered before new crashes so a
   // due restart is never starved by the crash budget. The whole block is
   // gated on max_object_restarts, keeping pre-recovery seeds' schedules
   // byte-identical (in particular, no RNG draw is taken unless the
   // probabilistic restart knob is on).
   if (object_restarts_ < opts_.max_object_restarts &&
       (opts_.restart_after > 0 || opts_.restart_object_permyriad > 0)) {
-    if (crash_seen_.size() < sim.num_objects()) {
-      crash_seen_.resize(sim.num_objects(), 0);
-    }
-    for (uint32_t i = 0; i < sim.num_objects(); ++i) {
-      if (!sim.object_alive(ObjectId{i})) {
-        if (crash_seen_[i] == 0) crash_seen_[i] = sim.now() + 1;
-      } else {
-        crash_seen_[i] = 0;
-      }
-    }
+    observe_crashes(sim);
     if (opts_.restart_after > 0) {
       for (uint32_t i = 0; i < sim.num_objects(); ++i) {
         if (crash_seen_[i] != 0 &&
@@ -72,13 +105,55 @@ Action RandomScheduler::next(const Simulator& sim) {
     }
   }
 
+  // Link partitions (bounded, probabilistic; gated like the crash knobs).
+  if (partitions_ < opts_.max_partitions && opts_.partition_permyriad > 0 &&
+      rng_.below(10'000) < opts_.partition_permyriad) {
+    ++partitions_;
+    const ObjectId o{static_cast<uint32_t>(rng_.below(sim.num_objects()))};
+    if (sim.num_clients() < 2 || rng_.below(2) == 0) {
+      // Symmetric: the object drops off the network for everyone.
+      return Action::partition_object(o, opts_.partition_heal_after);
+    }
+    // Asymmetric: a strict subset of clients loses the object — the
+    // reachability split that stresses quorum intersection. One link cut
+    // per step, the rest queued.
+    const uint32_t k =
+        static_cast<uint32_t>(1 + rng_.below(sim.num_clients() - 1));
+    std::vector<ClientId> cs;
+    cs.reserve(sim.num_clients());
+    for (uint32_t i = 0; i < sim.num_clients(); ++i) cs.push_back(ClientId{i});
+    rng_.shuffle(cs);
+    for (uint32_t i = 0; i < k; ++i) {
+      queued_.push_back(
+          Action::partition_link(cs[i], o, opts_.partition_heal_after));
+    }
+    Action a = queued_.front();
+    queued_.pop_front();
+    return a;
+  }
+
   // Deliverable RMWs: those targeting live objects. RMWs to crashed objects
   // are eventually dropped; we deliver them too (delivery = drop) so the
-  // pending queue drains, but deprioritize nothing — uniform choice.
+  // pending queue drains, but deprioritize nothing — uniform choice. Under
+  // link faults the pick is filtered to deliverable RMWs; while no fault is
+  // active the filtered and unfiltered paths take identical draws and pick
+  // identical RMWs, so engaging the fault layer never perturbs a schedule.
   const auto& pending = sim.pending();
   const auto ready = sim.invocable_clients();
 
-  const bool can_deliver = !pending.empty();
+  const bool fault_aware =
+      opts_.max_partitions > 0 || sim.link_fault_mode();
+  std::vector<RmwId> deliverable;
+  bool can_deliver;
+  if (fault_aware) {
+    deliverable.reserve(pending.size());
+    for (const auto& p : pending) {
+      if (sim.rmw_deliverable(p)) deliverable.push_back(p.id);
+    }
+    can_deliver = !deliverable.empty();
+  } else {
+    can_deliver = !pending.empty();
+  }
   const bool can_invoke = !ready.empty();
   if (!can_deliver && !can_invoke) return Action::stop();
 
@@ -86,6 +161,9 @@ Action RandomScheduler::next(const Simulator& sim) {
   uint64_t w_invoke = can_invoke ? opts_.invoke_weight : 0;
   const uint64_t total = w_deliver + w_invoke;
   if (rng_.below(total) < w_deliver) {
+    if (fault_aware) {
+      return Action::deliver(deliverable[rng_.pick_index(deliverable)]);
+    }
     const size_t i = static_cast<size_t>(rng_.below(pending.size()));
     return Action::deliver(pending[i].id);
   }
@@ -122,6 +200,56 @@ Action BurstScheduler::next(const Simulator& sim) {
   if (!ready.empty()) return Action::invoke(ready.front());
   if (!sim.pending().empty()) return Action::deliver(sim.pending().front().id);
   return Action::stop();
+}
+
+ScriptedFaultScheduler::ScriptedFaultScheduler(
+    std::vector<FaultEvent> timeline, std::unique_ptr<Scheduler> inner)
+    : timeline_(std::move(timeline)), inner_(std::move(inner)) {
+  SBRS_CHECK(inner_ != nullptr);
+  std::stable_sort(timeline_.begin(), timeline_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+Action ScriptedFaultScheduler::next(const Simulator& sim) {
+  while (cursor_ < timeline_.size() && timeline_[cursor_].at <= sim.now()) {
+    const FaultEvent& e = timeline_[cursor_++];
+    const ObjectId o{e.object};
+    const ClientId c{e.client};
+    switch (e.kind) {
+      case FaultEvent::Kind::kCrashObject:
+        if (sim.object_alive(o)) return Action::crash_object(o);
+        break;  // already down: skip, keep draining due events
+      case FaultEvent::Kind::kRestartObject:
+        if (!sim.object_alive(o)) return Action::restart_object(o, e.mode);
+        break;
+      case FaultEvent::Kind::kCrashClient:
+        if (sim.client_alive(c)) return Action::crash_client(c);
+        break;
+      case FaultEvent::Kind::kPartitionLink:
+        return Action::partition_link(c, o, e.heal_after);
+      case FaultEvent::Kind::kPartitionObject:
+        return Action::partition_object(o, e.heal_after);
+      case FaultEvent::Kind::kHealLink:
+        return Action::heal_link(c, o);
+      case FaultEvent::Kind::kHealObject:
+        return Action::heal_object(o);
+      case FaultEvent::Kind::kHealAll:
+        return Action::heal_all();
+    }
+  }
+  return inner_->next(sim);
+}
+
+std::optional<uint64_t> ScriptedFaultScheduler::next_wakeup(
+    const Simulator& sim) {
+  std::optional<uint64_t> wake = inner_->next_wakeup(sim);
+  if (cursor_ < timeline_.size() &&
+      (!wake.has_value() || timeline_[cursor_].at < *wake)) {
+    wake = timeline_[cursor_].at;
+  }
+  return wake;
 }
 
 }  // namespace sbrs::sim

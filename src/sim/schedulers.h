@@ -3,9 +3,13 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "sim/linkfault.h"
 #include "sim/scheduler.h"
 
 namespace sbrs::sim {
@@ -38,21 +42,67 @@ class RandomScheduler final : public Scheduler {
     uint32_t restart_object_permyriad = 0;
     uint32_t max_object_restarts = 0;
     RestartMode restart_mode = RestartMode::kFromDisk;
+    /// Link partitions: with probability partition_permyriad per step,
+    /// partition a uniformly chosen object — symmetrically (every client's
+    /// link) or asymmetrically (a strict client subset, dribbled out one
+    /// link-cut action per step), a fair coin choosing which. At most
+    /// max_partitions partition events; the whole block is gated on that
+    /// bound like the crash knobs, so partition-free seeds keep their
+    /// exact schedules. Each cut heals partition_heal_after steps later —
+    /// keep it > 0, a never-healing cut can stall the run.
+    uint32_t max_partitions = 0;
+    uint32_t partition_permyriad = 0;
+    uint64_t partition_heal_after = 0;
   };
 
   explicit RandomScheduler(Options opts) : opts_(opts), rng_(opts.seed) {}
 
   Action next(const Simulator& sim) override;
 
+  /// Earliest due deterministic restart (restart_after), so a stalled
+  /// simulator fast-forwards to it instead of ending the run.
+  std::optional<uint64_t> next_wakeup(const Simulator& sim) override;
+
  private:
+  /// Update crash_seen_ from the simulator's current crash state (shared
+  /// by next and next_wakeup; idempotent within a step).
+  void observe_crashes(const Simulator& sim);
+
   Options opts_;
   Rng rng_;
   uint32_t object_crashes_ = 0;
   uint32_t client_crashes_ = 0;
   uint32_t object_restarts_ = 0;
+  uint32_t partitions_ = 0;
+  /// Remaining link-cut actions of an asymmetric partition in progress
+  /// (emitted one per next() call before anything else).
+  std::deque<Action> queued_;
   /// Step+1 at which each object was first observed crashed (0 = alive);
   /// drives the deterministic restart_after delay.
   std::vector<uint64_t> crash_seen_;
+};
+
+/// Wraps any scheduler with a scripted fault timeline: at the first step
+/// at or past each event's `at`, the event becomes the matching Action
+/// (one per step, in timeline order, no-op events — crashing a dead
+/// object, restarting a live one — skipped); between due events the inner
+/// scheduler chooses as usual. next_wakeup surfaces the next timeline
+/// step so idle simulators fast-forward to scripted faults instead of
+/// stopping. This is the execution engine of the declarative scenario
+/// timelines (harness/scenario.h).
+class ScriptedFaultScheduler final : public Scheduler {
+ public:
+  ScriptedFaultScheduler(std::vector<FaultEvent> timeline,
+                         std::unique_ptr<Scheduler> inner);
+
+  Action next(const Simulator& sim) override;
+  std::string stop_reason() const override { return inner_->stop_reason(); }
+  std::optional<uint64_t> next_wakeup(const Simulator& sim) override;
+
+ private:
+  std::vector<FaultEvent> timeline_;  // sorted by `at`, stable
+  std::unique_ptr<Scheduler> inner_;
+  size_t cursor_ = 0;
 };
 
 /// Deterministic near-synchronous scheduler: delivers pending RMWs FIFO,

@@ -24,6 +24,14 @@ class Simulator::ContextImpl final : public SimContext {
     p.fn = std::move(fn);
     p.request_footprint = std::move(request_footprint);
     p.trigger_seq = sim_.trigger_seq_++;
+    if (sim_.faults_.configured()) {
+      sim_.faults_.on_trigger(p, sim_.time_);
+      if (p.dropped) {
+        ++sim_.report_.rmws_dropped;
+      } else if (p.deliverable_at > sim_.time_) {
+        ++sim_.report_.rmws_delayed;
+      }
+    }
     sim_.acct_channel_bits_ += p.request_footprint.total_bits();
     sim_.pending_.push_back(std::move(p));
     ++sim_.report_.rmws_triggered;
@@ -37,7 +45,7 @@ class Simulator::ContextImpl final : public SimContext {
     SBRS_CHECK_MSG(rec != nullptr, "complete for unrecorded " << op);
     sim_.report_.op_latency.record(sim_.time_ - rec->invoke_time);
     sim_.report_.sojourn_latency.record(sim_.time_ - rec->arrival_time);
-    if (sim_.crashed_objects_ > 0) {
+    if (sim_.crashed_objects_ > 0 || sim_.faults_.cut_links() > 0) {
       sim_.report_.degraded_sojourn.record(sim_.time_ - rec->arrival_time);
     }
     sim_.history_.record_return(sim_.time_, op, result);
@@ -83,6 +91,9 @@ Simulator::Simulator(SimConfig config, ObjectFactory object_factory,
   }
   client_alive_.assign(config_.num_clients, true);
   outstanding_.assign(config_.num_clients, std::nullopt);
+
+  faults_ = LinkFaultTable(config_.link_faults, config_.num_clients,
+                           config_.num_objects);
 
   // Seed the incremental accounting from the initial component states; from
   // here on only deltas are applied at the mutation points.
@@ -211,6 +222,19 @@ void Simulator::verify_accounting() const {
                      << time_);
 }
 
+bool Simulator::actionable_now() {
+  if (faults_.engaged()) {
+    for (const auto& p : pending_) {
+      if (faults_.deliverable(p, time_)) return true;
+    }
+  } else if (!pending_.empty()) {
+    return true;
+  }
+  if (!invocable_clients().empty()) return true;
+  const auto wake = scheduler_->next_wakeup(*this);
+  return wake.has_value() && *wake <= time_;
+}
+
 bool Simulator::step() {
   if (stopped_) return false;
   for (;;) {
@@ -220,32 +244,48 @@ bool Simulator::step() {
       return false;
     }
     // Release open-loop arrivals scheduled at or before the current time
-    // (a no-op for closed-loop workloads).
+    // (a no-op for closed-loop workloads), then apply every auto-heal
+    // deadline that has come due.
     workload_->advance_to(time_);
-    if (!pending_.empty() || !invocable_clients().empty()) break;
-    // Nothing schedulable *now*. If the workload still has a future
-    // arrival, fast-forward the logical clock to it — an idle open-loop
-    // system waiting for load, not a finished run. The jump is clamped to
-    // the step budget so a truncated run reports exactly max_steps.
-    const std::optional<uint64_t> arrival = workload_->next_arrival();
-    if (!arrival.has_value()) {
+    if (faults_.engaged()) record_heals(faults_.advance_to(time_));
+    if (actionable_now()) break;
+    // Nothing schedulable *now*. Fast-forward the logical clock to the
+    // earliest future event that can unblock the run: the next open-loop
+    // arrival, the next auto-heal, the next delayed-RMW release, or the
+    // scheduler's own wakeup (a due restart, a scripted fault event). The
+    // jump is clamped to the step budget so a truncated run reports
+    // exactly max_steps; with no future event the run is over.
+    std::optional<uint64_t> target = workload_->next_arrival();
+    const auto consider = [&target](std::optional<uint64_t> t) {
+      if (t.has_value() && (!target.has_value() || *t < *target)) target = t;
+    };
+    if (faults_.engaged()) {
+      consider(faults_.next_auto_heal());
+      consider(faults_.next_release(pending_, time_));
+    }
+    consider(scheduler_->next_wakeup(*this));
+    if (!target.has_value()) {
       stopped_ = true;
       return false;
     }
-    SBRS_CHECK_MSG(*arrival > time_, "unreleased arrival in the past");
-    time_ = std::min(*arrival, config_.max_steps);
+    SBRS_CHECK_MSG(*target > time_, "fast-forward target in the past");
+    time_ = std::min(*target, config_.max_steps);
   }
   Action a = scheduler_->next(*this);
   if (a.kind == Action::Kind::kStop) {
     report_.stop_reason = scheduler_->stop_reason();
+    scheduler_stopped_ = !report_.stop_reason.empty();
     stopped_ = true;
     return false;
   }
   apply(a);
   // Degraded window: this step ran while at least one base object was down
-  // (the crash action itself counts; the restart that revives the last one
-  // does not — crashed_objects_ is read after the action applied).
-  if (crashed_objects_ > 0) ++report_.degraded_steps;
+  // or at least one link was cut (the crash/partition action itself counts;
+  // the restart/heal that revives the last one does not — the state is read
+  // after the action applied).
+  if (crashed_objects_ > 0 || faults_.cut_links() > 0) {
+    ++report_.degraded_steps;
+  }
   ++time_;
   observe_storage();
   return true;
@@ -265,6 +305,15 @@ RunReport Simulator::run() {
     if (client_alive_[i] && workload_->has_more(ClientId{i})) any_more = true;
   }
   report_.quiesced = all_returned && workload_done && !any_more;
+  // Classify the stop for the exports: a scheduler that stated a reason
+  // keeps it, everything else reduces to the three simulator outcomes.
+  if (report_.hit_step_limit) {
+    report_.stop_reason = "step-limit";
+  } else if (scheduler_stopped_) {
+    if (report_.stop_reason.empty()) report_.stop_reason = "scheduler-stop";
+  } else {
+    report_.stop_reason = report_.quiesced ? "quiesced" : "stalled";
+  }
   return report_;
 }
 
@@ -285,20 +334,107 @@ void Simulator::apply(const Action& a) {
     case Action::Kind::kRestartObject:
       restart_object(a.object, a.restart_mode);
       break;
+    case Action::Kind::kPartitionLink:
+      partition_link(a.client, a.object, a.heal_after);
+      break;
+    case Action::Kind::kPartitionObject:
+      partition_object(a.object, a.heal_after);
+      break;
+    case Action::Kind::kHealLink:
+      heal_link(a.client, a.object);
+      break;
+    case Action::Kind::kHealObject:
+      heal_object(a.object);
+      break;
+    case Action::Kind::kHealAll:
+      heal_all();
+      break;
+    case Action::Kind::kDropRmw:
+      do_drop_rmw(a.rmw);
+      break;
+    case Action::Kind::kDelayRmw:
+      do_delay_rmw(a.rmw, a.delay);
+      break;
     case Action::Kind::kStop:
       break;
   }
+}
+
+void Simulator::record_partitions(const std::vector<Link>& cut) {
+  for (const Link& l : cut) {
+    history_.record_partition(time_, l.client, l.object);
+    ++report_.partition_events;
+  }
+}
+
+void Simulator::record_heals(const std::vector<Link>& healed) {
+  for (const Link& l : healed) {
+    history_.record_heal(time_, l.client, l.object);
+    ++report_.heal_events;
+  }
+}
+
+void Simulator::partition_link(ClientId c, ObjectId o, uint64_t heal_after) {
+  const uint64_t heal_at =
+      heal_after == 0 ? UINT64_MAX : time_ + heal_after;
+  record_partitions(faults_.cut_link(c, o, heal_at));
+}
+
+void Simulator::partition_object(ObjectId o, uint64_t heal_after) {
+  const uint64_t heal_at =
+      heal_after == 0 ? UINT64_MAX : time_ + heal_after;
+  record_partitions(faults_.cut_object(o, heal_at));
+}
+
+void Simulator::heal_link(ClientId c, ObjectId o) {
+  record_heals(faults_.heal_link(c, o));
+}
+
+void Simulator::heal_object(ObjectId o) {
+  record_heals(faults_.heal_object(o));
+}
+
+void Simulator::heal_all() { record_heals(faults_.heal_all()); }
+
+void Simulator::do_drop_rmw(RmwId id) {
+  auto it = std::find_if(pending_.begin(), pending_.end(),
+                         [&](const PendingRmw& p) { return p.id == id; });
+  SBRS_CHECK_MSG(it != pending_.end(), "drop of unknown " << id);
+  // The request vanishes from the network immediately: its parameters
+  // leave the channel and the target never sees it.
+  acct_channel_bits_ -= it->request_footprint.total_bits();
+  pending_.erase(it);
+  ++report_.rmws_dropped;
+}
+
+void Simulator::do_delay_rmw(RmwId id, uint64_t delay) {
+  auto it = std::find_if(pending_.begin(), pending_.end(),
+                         [&](const PendingRmw& p) { return p.id == id; });
+  SBRS_CHECK_MSG(it != pending_.end(), "delay of unknown " << id);
+  it->deliverable_at = std::max(it->deliverable_at, time_ + delay);
+  // The release time was stamped outside the table; engage it so the
+  // deliverability-filtered scheduling paths respect the delay.
+  faults_.engage();
+  ++report_.rmws_delayed;
 }
 
 void Simulator::do_deliver(RmwId id) {
   auto it = std::find_if(pending_.begin(), pending_.end(),
                          [&](const PendingRmw& p) { return p.id == id; });
   SBRS_CHECK_MSG(it != pending_.end(), "deliver of unknown " << id);
+  SBRS_CHECK_MSG(faults_.deliverable(*it, time_),
+                 "deliver of undeliverable (partitioned or delayed) " << id
+                     << " — fault injection needs a fault-aware scheduler");
   PendingRmw p = std::move(*it);
   pending_.erase(it);
   // The request's parameters leave the channel regardless of what happens
   // at the (possibly crashed) target.
   acct_channel_bits_ -= p.request_footprint.total_bits();
+
+  // Dropped RMWs: this delivery is the loss taking effect — the request
+  // left the channel and never reaches the object (counted in
+  // rmws_dropped at the drop draw).
+  if (p.dropped) return;
 
   // RMWs on crashed objects are lost (never take effect, never respond).
   if (!object_alive(p.target)) return;

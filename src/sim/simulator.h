@@ -23,6 +23,7 @@
 #include "metrics/storage_meter.h"
 #include "sim/client.h"
 #include "sim/history.h"
+#include "sim/linkfault.h"
 #include "sim/scheduler.h"
 #include "sim/types.h"
 #include "sim/workload.h"
@@ -51,6 +52,11 @@ struct SimConfig {
 #else
   bool verify_accounting = true;
 #endif
+  /// Probabilistic message faults between client-object pairs (drops,
+  /// delays, reordering windows) applied at trigger time; partitions are
+  /// driven through Actions instead. Empty options keep the fault layer
+  /// fully disengaged — zero RNG draws, identical schedules.
+  LinkFaultOptions link_faults;
 };
 
 struct RunReport {
@@ -58,6 +64,10 @@ struct RunReport {
   bool hit_step_limit = false;
   /// True when every workload operation was invoked and returned.
   bool quiesced = false;
+  /// Why run() ended: "quiesced" (drained), "step-limit", "stalled"
+  /// (undrained but nothing will ever be schedulable again), or the
+  /// scheduler's own stated reason ("scheduler-stop" when it gave none).
+  /// Empty until run() completes once.
   std::string stop_reason;
   size_t invoked_ops = 0;
   size_t completed_ops = 0;
@@ -94,6 +104,20 @@ struct RunReport {
   /// Comparing its tail against sojourn_latency shows what crashes cost
   /// the ops that lived through them.
   metrics::LatencyHistogram degraded_sojourn;
+
+  // --- Link-fault outcome (all zero for fault-free runs). Partition time
+  // --- is charged into degraded_steps/degraded_sojourn above: a step is
+  // --- degraded while any object is crashed OR any link is cut.
+
+  /// Link-level partition / heal transitions (one per link per cut or
+  /// re-open; a whole-object partition counts each client's link).
+  uint64_t partition_events = 0;
+  uint64_t heal_events = 0;
+  /// RMWs lost in the network (probabilistic drops plus scripted
+  /// kDropRmw actions) and RMWs stamped with a future release time
+  /// (delay / reorder windows plus scripted kDelayRmw actions).
+  uint64_t rmws_dropped = 0;
+  uint64_t rmws_delayed = 0;
 };
 
 class Simulator {
@@ -113,11 +137,11 @@ class Simulator {
   /// Re-arm a simulator that stopped because nothing was schedulable, so
   /// more workload can be driven through it (the store's interactive
   /// put/get path pushes operations into its queue workload and resumes).
-  /// A no-op once the step limit was hit or the scheduler said kStop.
+  /// A no-op once the step limit was hit or the scheduler stopped the run
+  /// for a stated reason (an idle kStop with an empty reason — the fair
+  /// schedulers' "nothing to do" — stays resumable).
   void resume() {
-    if (!report_.hit_step_limit && report_.stop_reason.empty()) {
-      stopped_ = false;
-    }
+    if (!report_.hit_step_limit && !scheduler_stopped_) stopped_ = false;
   }
 
   /// Re-arm a crashed base object so it resumes receiving triggers and
@@ -133,6 +157,20 @@ class Simulator {
   /// schedulers (via Action::restart_object) and directly by drivers
   /// between steps; a no-op error (CheckFailure) on a live object.
   void restart_object(ObjectId o, RestartMode mode);
+
+  // --- Link partitions (sim/linkfault.h). Cut links hold RMWs in the
+  // --- channel (undeliverable, still priced by Definition 2) until the
+  // --- link heals — by these calls, by the matching Actions, or by the
+  // --- auto-heal deadline `heal_after` steps after the cut (0 = explicit
+  // --- heal only). Each link-state transition is recorded in the history
+  // --- trace and counted in RunReport::partition_events / heal_events;
+  // --- re-cutting a cut link only moves its deadline.
+
+  void partition_link(ClientId c, ObjectId o, uint64_t heal_after = 0);
+  void partition_object(ObjectId o, uint64_t heal_after = 0);
+  void heal_link(ClientId c, ObjectId o);
+  void heal_object(ObjectId o);
+  void heal_all();
 
   // --- State inspection (used by schedulers, meters, the adversary) ---
 
@@ -150,6 +188,20 @@ class Simulator {
 
   /// Pending RMWs in trigger order (oldest first).
   const std::deque<PendingRmw>& pending() const { return pending_; }
+
+  const LinkFaultTable& faults() const { return faults_; }
+
+  /// True once any fault source exists (configured windows or a first
+  /// partition): fault-aware schedulers switch to deliverability-filtered
+  /// RMW picks. Sticky, but filtered and unfiltered picks coincide while
+  /// no fault is active, so engaging it never perturbs a schedule.
+  bool link_fault_mode() const { return faults_.engaged(); }
+
+  /// Whether the scheduler may deliver `p` now (see
+  /// LinkFaultTable::deliverable). Always true when faults are disengaged.
+  bool rmw_deliverable(const PendingRmw& p) const {
+    return faults_.deliverable(p, time_);
+  }
 
   /// True if `c` is alive, has no outstanding operation, and the workload
   /// has another operation for it.
@@ -189,7 +241,16 @@ class Simulator {
   void do_invoke(ClientId c);
   void do_crash_object(ObjectId o);
   void do_crash_client(ClientId c);
+  void do_drop_rmw(RmwId id);
+  void do_delay_rmw(RmwId id, uint64_t delay);
   void observe_storage();
+
+  /// Something the scheduler can act on *now*: a deliverable pending RMW,
+  /// an invocable client, or a due scheduler wakeup. Non-const because
+  /// next_wakeup may update scheduler bookkeeping.
+  bool actionable_now();
+  void record_heals(const std::vector<Link>& healed);
+  void record_partitions(const std::vector<Link>& cut);
 
   // --- Incremental storage accounting (the Definition 2 totals are kept
   // --- up to date by deltas applied at each mutation point, so observing
@@ -219,6 +280,7 @@ class Simulator {
   std::vector<std::optional<OpId>> outstanding_;
 
   std::deque<PendingRmw> pending_;
+  LinkFaultTable faults_;
   uint64_t time_ = 0;
   uint64_t next_op_id_ = 1;   // OpId 0 is reserved for the initial value v0
   uint64_t next_rmw_id_ = 1;
@@ -229,6 +291,10 @@ class Simulator {
   metrics::StorageMeter meter_;
   RunReport report_;
   bool stopped_ = false;
+  /// The scheduler ended the run with a stated reason (kStop + nonempty
+  /// stop_reason): terminal, resume() won't re-arm. An idle kStop (empty
+  /// reason) is equivalent to "nothing schedulable" and stays resumable.
+  bool scheduler_stopped_ = false;
 
   // Per-component cached bit counts (always the component's true size, even
   // when crashed) and the aggregated totals the meter observes. When

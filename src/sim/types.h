@@ -96,6 +96,12 @@ struct PendingRmw {
   /// Monotone sequence number of the trigger; the adversary uses it to find
   /// the longest-pending RMW (Definition 7, rule 1).
   uint64_t trigger_seq = 0;
+  /// Link-fault stamps (sim/linkfault.h), applied at trigger time. The RMW
+  /// cannot be delivered before step `deliverable_at` (delay / reorder
+  /// windows); a `dropped` RMW stays in the channel but its delivery is the
+  /// loss taking effect — it never reaches the object.
+  uint64_t deliverable_at = 0;
+  bool dropped = false;
 };
 
 }  // namespace sbrs::sim

@@ -24,8 +24,32 @@ namespace {
 
 uint64_t mix_into(uint64_t h, uint64_t v) { return fnv1a_mix(h, v); }
 
+/// StoreOptions counterpart of harness::has_link_faults.
+bool store_has_link_faults(const StoreOptions& opts) {
+  if (opts.partitions_per_shard > 0) return true;
+  const sim::LinkFaultOptions& lf = opts.link_faults;
+  if (lf.drop_permyriad > 0 || lf.delay_permyriad > 0 ||
+      lf.reorder_window > 0 || !lf.windows.empty()) {
+    return true;
+  }
+  for (const sim::FaultEvent& e : opts.fault_timeline) {
+    switch (e.kind) {
+      case sim::FaultEvent::Kind::kPartitionLink:
+      case sim::FaultEvent::Kind::kPartitionObject:
+      case sim::FaultEvent::Kind::kHealLink:
+      case sim::FaultEvent::Kind::kHealObject:
+      case sim::FaultEvent::Kind::kHealAll:
+        return true;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
 std::unique_ptr<sim::Scheduler> make_scheduler(const StoreOptions& opts,
                                                uint64_t shard_seed) {
+  std::unique_ptr<sim::Scheduler> scheduler;
   switch (opts.scheduler) {
     case harness::SchedKind::kRandom: {
       sim::RandomScheduler::Options so;
@@ -36,14 +60,24 @@ std::unique_ptr<sim::Scheduler> make_scheduler(const StoreOptions& opts,
       so.restart_mode = opts.restart_mode;
       so.max_object_restarts =
           opts.restart_after > 0 ? opts.object_crashes_per_shard : 0;
-      return std::make_unique<sim::RandomScheduler>(so);
+      so.max_partitions = opts.partitions_per_shard;
+      so.partition_permyriad = opts.partitions_per_shard > 0 ? 20 : 0;
+      so.partition_heal_after = opts.heal_after;
+      scheduler = std::make_unique<sim::RandomScheduler>(so);
+      break;
     }
     case harness::SchedKind::kRoundRobin:
-      return std::make_unique<sim::RoundRobinScheduler>();
+      scheduler = std::make_unique<sim::RoundRobinScheduler>();
+      break;
     case harness::SchedKind::kBurst:
-      return std::make_unique<sim::BurstScheduler>();
+      scheduler = std::make_unique<sim::BurstScheduler>();
+      break;
   }
-  return nullptr;
+  if (!opts.fault_timeline.empty()) {
+    scheduler = std::make_unique<sim::ScriptedFaultScheduler>(
+        opts.fault_timeline, std::move(scheduler));
+  }
+  return scheduler;
 }
 
 }  // namespace
@@ -89,6 +123,11 @@ Store::Store(StoreOptions opts) : opts_(std::move(opts)), map_(opts_.num_shards)
   // time with the reason, not deep inside the first run().
   const std::string arrival_why = sim::validate_arrival(opts_.arrival);
   SBRS_CHECK_MSG(arrival_why.empty(), arrival_why);
+  SBRS_CHECK_MSG(
+      opts_.scheduler == harness::SchedKind::kRandom ||
+          !store_has_link_faults(opts_),
+      "link faults (partitions, drops, delays, reordering) need the random "
+      "scheduler — the deterministic schedulers are not fault-aware");
 
   // The loaded keyspace: ids 0..num_keys-1 in name order, matching the
   // ycsb::Op key indices, placed onto shards by key-name hash.
@@ -115,6 +154,11 @@ Store::Store(StoreOptions opts) : opts_(std::move(opts)), map_(opts_.num_shards)
     sc.num_objects = cfg.n;
     sc.num_clients = opts_.workload.clients;
     sc.max_steps = opts_.max_steps_per_shard;
+    sc.link_faults = opts_.link_faults;
+    sc.link_faults.seed = sim::fault_seed(harness::cell_seed(opts_.seed, s, 0));
+    if (opts_.verify_accounting.has_value()) {
+      sc.verify_accounting = *opts_.verify_accounting;
+    }
 
     auto workload =
         std::make_unique<QueueWorkload>(opts_.workload.clients, shard->op_keys);
@@ -251,7 +295,8 @@ ShardResult Store::summarize_shard(const Shard& shard) const {
   uint64_t fp = harness::kFingerprintSeed;
   fp = mix_into(fp, shard.index);
   if (opts_.check_consistency) {
-    const auto guarantee = harness::expected_consistency(opts_.algorithm);
+    const auto guarantee = opts_.check_level.value_or(
+        harness::expected_consistency(opts_.algorithm));
     for (const auto& [key, sub] : by_key) {
       consistency::CheckResult legal = consistency::check_values_legal(sub);
       bool ok = legal.ok;
@@ -303,6 +348,7 @@ ShardResult Store::summarize_shard(const Shard& shard) const {
   fp = mix_into(fp, r.report.sojourn_latency.p99());
   fp = mix_into(fp, r.report.sojourn_latency.max());
   fp = harness::recovery_fingerprint(r.report, fp);
+  fp = harness::link_fault_fingerprint(r.report, fp);
   r.fingerprint = fp;
   return r;
 }
@@ -324,6 +370,10 @@ StoreResult Store::assemble(std::vector<ShardResult> shards) const {
     result.repair_bits += s.report.repair_bits;
     result.degraded_steps += s.report.degraded_steps;
     result.degraded_sojourn.merge(s.report.degraded_sojourn);
+    result.partition_events += s.report.partition_events;
+    result.heal_events += s.report.heal_events;
+    result.rmws_dropped += s.report.rmws_dropped;
+    result.rmws_delayed += s.report.rmws_delayed;
     result.completed_reads += s.read_latency.count();
     result.completed_writes += s.write_latency.count();
     result.total_steps += s.report.steps;
@@ -468,6 +518,10 @@ void write_store_deterministic_json(std::ostream& os,
      << ", \"object_restarts\": " << r.object_restarts
      << ", \"repair_bits\": " << r.repair_bits
      << ", \"degraded_steps\": " << r.degraded_steps << ",\n";
+  os << "    \"partition_events\": " << r.partition_events
+     << ", \"heal_events\": " << r.heal_events
+     << ", \"rmws_dropped\": " << r.rmws_dropped
+     << ", \"rmws_delayed\": " << r.rmws_delayed << ",\n";
   os << "    \"degraded_sojourn_steps\": ";
   harness::write_latency_json(os, r.degraded_sojourn);
   os << ",\n";
@@ -502,8 +556,14 @@ void write_store_deterministic_json(std::ostream& os,
        << ", \"object_restarts\": " << s.report.object_restarts
        << ", \"repair_bits\": " << s.report.repair_bits
        << ", \"degraded_steps\": " << s.report.degraded_steps
+       << ", \"partition_events\": " << s.report.partition_events
+       << ", \"heal_events\": " << s.report.heal_events
+       << ", \"rmws_dropped\": " << s.report.rmws_dropped
+       << ", \"rmws_delayed\": " << s.report.rmws_delayed
        << ", \"live\": " << (s.live ? "true" : "false")
        << ", \"quiesced\": " << (s.report.quiesced ? "true" : "false")
+       << ", \"stop_reason\": \""
+       << harness::json_escape(s.report.stop_reason) << "\""
        << ", \"fingerprint\": \"" << std::hex << s.fingerprint << std::dec
        << "\", \"read_latency_steps\": ";
     harness::write_latency_json(os, s.read_latency);
@@ -542,7 +602,9 @@ void write_store_json(std::ostream& os, const StoreResult& r) {
      << "\", \"object_crashes_per_shard\": " << o.object_crashes_per_shard
      << ", \"restart_after\": " << o.restart_after
      << ", \"restart_mode\": \"" << sim::to_string(o.restart_mode)
-     << "\", \"seed\": " << o.seed << ", \"check_consistency\": "
+     << "\", \"partitions_per_shard\": " << o.partitions_per_shard
+     << ", \"heal_after\": " << o.heal_after
+     << ", \"seed\": " << o.seed << ", \"check_consistency\": "
      << (o.check_consistency ? "true" : "false") << "},\n";
   os << "  \"deterministic\": ";
   write_store_deterministic_json(os, r);

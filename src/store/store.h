@@ -33,6 +33,7 @@
 
 #include <map>
 
+#include "harness/algorithms.h"
 #include "harness/runner.h"
 #include "metrics/latency_histogram.h"
 #include "registers/register_algorithm.h"
@@ -76,6 +77,27 @@ struct StoreOptions {
   /// guarantees hold); kFromScratch mounts an empty replacement replica
   /// (models disk loss — guarantees may fail until repair re-converges it).
   sim::RestartMode restart_mode = sim::RestartMode::kFromDisk;
+  /// Link partitions per shard (scheduler == kRandom only): inject up to
+  /// this many partition events per shard — symmetric or asymmetric, see
+  /// sim::RandomScheduler::Options.
+  uint32_t partitions_per_shard = 0;
+  /// Auto-heal delay of injected partitions, in per-shard steps.
+  uint64_t heal_after = 512;
+  /// Probabilistic message faults (drops, delay/jitter, reorder windows)
+  /// applied on every shard; each shard's fault stream is seeded from
+  /// sim::fault_seed(cell_seed(seed, shard, 0)) — thread-count independent
+  /// and decorrelated from the shard's schedule stream.
+  sim::LinkFaultOptions link_faults;
+  /// Scripted fault timeline applied to EVERY shard (times are on each
+  /// shard's own logical clock). The scenario runner's execution path.
+  std::vector<sim::FaultEvent> fault_timeline;
+  /// Override the per-key consistency guarantee checked (default: the
+  /// algorithm's own, harness::expected_consistency). Scenario files use
+  /// this to demand a weaker/stronger level than the algorithm declares.
+  std::optional<harness::ConsistencyGuarantee> check_level;
+  /// Override SimConfig::verify_accounting on every shard (unset =
+  /// build-type default: on in Debug, off in Release).
+  std::optional<bool> verify_accounting;
   /// Base seed; each shard's schedule seed is splitmix-derived from
   /// {seed, shard index}, independent of thread count.
   uint64_t seed = 1;
@@ -139,6 +161,11 @@ struct StoreResult {
   uint64_t repair_bits = 0;
   uint64_t degraded_steps = 0;
   metrics::LatencyHistogram degraded_sojourn;
+  /// Link-fault outcome summed over shards (zero for fault-free runs).
+  uint64_t partition_events = 0;
+  uint64_t heal_events = 0;
+  uint64_t rmws_dropped = 0;
+  uint64_t rmws_delayed = 0;
   uint64_t completed_reads = 0;
   uint64_t completed_writes = 0;
   uint64_t total_steps = 0;

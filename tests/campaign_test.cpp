@@ -1,0 +1,194 @@
+// Campaign-runner tests: the shipped scenarios/ files all pass, the grid
+// is deterministic across worker-thread counts, and the acceptance-pin
+// canary path — a deliberately-broken expectation must produce a triage
+// bundle whose recorded scenario + seed reproduce the violation in one
+// run_scenario call.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "harness/campaign.h"
+#include "harness/scenario.h"
+
+#ifndef SBRS_SOURCE_DIR
+#error "SBRS_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace sbrs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string shipped(const char* name) {
+  return std::string(SBRS_SOURCE_DIR) + "/scenarios/" + name;
+}
+
+std::vector<std::string> shipped_scenarios() {
+  return {shipped("partition-heal.json"), shipped("delay-spike.json"),
+          shipped("drop-storm.json"), shipped("repair-storm.json")};
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << path;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+/// A scratch directory removed on scope exit.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("sbrs-campaign-test-" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+TEST(Campaign, ShippedScenariosAllPass) {
+  harness::CampaignOptions opts;
+  opts.scenario_files = shipped_scenarios();
+  opts.seeds_per_scenario = 2;
+  opts.base_seed = 1;
+  const auto result = harness::run_campaign(opts);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.failures, 0u);
+  ASSERT_EQ(result.runs.size(), 8u);
+  for (const auto& run : result.runs) {
+    EXPECT_TRUE(run.outcome.ok)
+        << run.scenario << " seed " << run.seed << ": "
+        << (run.outcome.violations.empty() ? std::string("?")
+                                           : run.outcome.violations[0]);
+    EXPECT_TRUE(run.bundle_path.empty());
+  }
+  // Scenario-major, seed-minor order.
+  EXPECT_EQ(result.runs[0].scenario, "partition-heal");
+  EXPECT_EQ(result.runs[0].seed, 1u);
+  EXPECT_EQ(result.runs[1].seed, 2u);
+  EXPECT_EQ(result.runs[2].scenario, "delay-spike");
+}
+
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+  auto fingerprints_at = [](uint32_t threads) {
+    harness::CampaignOptions opts;
+    opts.scenario_files = {shipped("partition-heal.json"),
+                           shipped("repair-storm.json")};
+    opts.seeds_per_scenario = 3;
+    opts.threads = threads;
+    const auto result = harness::run_campaign(opts);
+    std::vector<uint64_t> fps;
+    for (const auto& run : result.runs) fps.push_back(run.outcome.fingerprint);
+    return fps;
+  };
+  const auto one = fingerprints_at(1);
+  const auto four = fingerprints_at(4);
+  const auto nine = fingerprints_at(9);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, nine);
+}
+
+TEST(Campaign, CampaignJsonDeterministicModuloWallClock) {
+  auto summary_at = [](uint32_t threads) {
+    harness::CampaignOptions opts;
+    opts.scenario_files = {shipped("drop-storm.json")};
+    opts.seeds_per_scenario = 2;
+    opts.threads = threads;
+    auto result = harness::run_campaign(opts);
+    // The two knowingly environment-dependent fields.
+    result.wall_seconds = 0;
+    result.threads_used = 1;
+    std::ostringstream os;
+    harness::write_campaign_json(os, result);
+    return os.str();
+  };
+  EXPECT_EQ(summary_at(1), summary_at(4));
+}
+
+TEST(Campaign, EmptyCampaignIsUsageError) {
+  EXPECT_THROW(harness::run_campaign({}), CheckFailure);
+  harness::CampaignOptions opts;
+  opts.scenario_files = {shipped("drop-storm.json")};
+  opts.seeds_per_scenario = 0;
+  EXPECT_THROW(harness::run_campaign(opts), CheckFailure);
+  opts.seeds_per_scenario = 1;
+  opts.scenario_files = {"/nonexistent/scenario.json"};
+  EXPECT_THROW(harness::run_campaign(opts), CheckFailure);  // parse = usage
+}
+
+// The ISSUE acceptance pin: a canary scenario with a deliberately-broken
+// expectation makes the campaign emit a triage bundle, and the bundle's
+// recorded scenario + seed reproduce the violation in one invocation.
+TEST(Campaign, CanaryEmitsReproducibleTriageBundle) {
+  TempDir tmp;
+  const std::string canary_path = (tmp.path / "canary.json").string();
+  {
+    std::ofstream os(canary_path);
+    os << R"({
+  "name": "canary-storage",
+  "config": {"f": 1, "k": 2, "data_bits": 64},
+  "workload": {"writers": 1, "writes_per_client": 2,
+               "readers": 1, "reads_per_client": 2},
+  "expect": {"max_total_bits": 1}
+})";
+  }
+
+  harness::CampaignOptions opts;
+  opts.scenario_files = {canary_path, shipped("drop-storm.json")};
+  opts.bundle_dir = (tmp.path / "bundles").string();
+  const auto result = harness::run_campaign(opts);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.failures, 1u);
+
+  const auto& failed = result.runs[0];
+  ASSERT_FALSE(failed.outcome.ok);
+  ASSERT_FALSE(failed.bundle_path.empty());
+  const fs::path bundle(failed.bundle_path);
+  EXPECT_EQ(bundle.filename().string(), "canary-storage-seed1");
+
+  // Bundle layout: scenario file verbatim, run.json, repro.txt, trace.txt.
+  EXPECT_TRUE(fs::exists(bundle / "scenario.json"));
+  EXPECT_TRUE(fs::exists(bundle / "run.json"));
+  EXPECT_TRUE(fs::exists(bundle / "repro.txt"));
+  EXPECT_TRUE(fs::exists(bundle / "trace.txt"));
+
+  const std::string copied = read_file((bundle / "scenario.json").string());
+  EXPECT_EQ(copied.substr(0, copied.find_last_not_of('\n') + 1),
+            read_file(canary_path));
+
+  const std::string repro = read_file((bundle / "repro.txt").string());
+  EXPECT_NE(repro.find("--scenario=" + canary_path), std::string::npos)
+      << repro;
+  EXPECT_NE(repro.find("--seed=1"), std::string::npos) << repro;
+
+  const std::string run_json = read_file((bundle / "run.json").string());
+  EXPECT_NE(run_json.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(run_json.find("max_total_bits"), std::string::npos);
+
+  // THE pin: replaying the bundled scenario at the recorded seed reproduces
+  // the violation — same verdict, same fingerprint.
+  const auto replay = harness::run_scenario(
+      harness::load_scenario((bundle / "scenario.json").string()),
+      failed.seed);
+  EXPECT_FALSE(replay.ok);
+  EXPECT_EQ(replay.fingerprint, failed.outcome.fingerprint);
+  ASSERT_FALSE(replay.violations.empty());
+  EXPECT_EQ(replay.violations[0], failed.outcome.violations[0]);
+
+  // The passing scenario produced no bundle.
+  EXPECT_TRUE(result.runs[1].bundle_path.empty());
+  EXPECT_TRUE(result.runs[1].outcome.ok);
+}
+
+}  // namespace
+}  // namespace sbrs

@@ -1,0 +1,189 @@
+// Property/fuzz coverage for link-fault injection: every register
+// algorithm variant must keep its declared consistency guarantee (and
+// values-legality, and liveness) under randomized drop + reorder +
+// partition/heal schedules across seeds; and a deliberately corrupted read
+// in a partitioned run's history must be caught by the checker hierarchy —
+// evidence the checkers still have teeth when fault bookkeeping events
+// ride in the trace.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "consistency/checker.h"
+#include "harness/algorithms.h"
+#include "harness/runner.h"
+#include "sim/history.h"
+
+namespace sbrs {
+namespace {
+
+const char* kVariants[] = {"adaptive", "no-replica", "abd",  "abd-wb",
+                           "coded",    "coded-atomic", "safe"};
+
+registers::RegisterConfig fuzz_cfg() {
+  registers::RegisterConfig cfg;
+  cfg.f = 1;
+  cfg.k = 2;
+  cfg.n = 4;
+  cfg.data_bits = 64;
+  return cfg;
+}
+
+harness::RunOptions fuzz_opts(uint64_t seed) {
+  harness::RunOptions opts;
+  opts.writers = 2;
+  opts.writes_per_client = 4;
+  opts.readers = 2;
+  opts.reads_per_client = 4;
+  opts.seed = seed;
+  // The full storm: random partitions (auto-healed), a bounded drop budget
+  // (<= f, so quorums stay reachable), and a reorder window.
+  opts.partitions = 2;
+  opts.heal_after = 250;
+  opts.link_faults.drop_permyriad = 400;
+  opts.link_faults.max_drops = 1;  // == f for fuzz_cfg
+  opts.link_faults.reorder_window = 6;
+  return opts;
+}
+
+/// The declared-guarantee judgment, mirroring the scenario runner:
+/// values-legality always, plus the algorithm's own consistency level.
+void expect_guarantee_holds(const std::string& name,
+                            const harness::RunOutcome& out,
+                            const std::string& context) {
+  EXPECT_TRUE(out.values_legal.ok)
+      << context << ": " << out.values_legal.summary();
+  switch (harness::expected_consistency(name)) {
+    case harness::ConsistencyGuarantee::kStronglySafe:
+      EXPECT_TRUE(out.strongly_safe.ok)
+          << context << ": " << out.strongly_safe.summary();
+      break;
+    case harness::ConsistencyGuarantee::kWeakRegular:
+      EXPECT_TRUE(out.weak_regular.ok)
+          << context << ": " << out.weak_regular.summary();
+      break;
+    case harness::ConsistencyGuarantee::kStrongRegular:
+      EXPECT_TRUE(out.weak_regular.ok)
+          << context << ": " << out.weak_regular.summary();
+      EXPECT_TRUE(out.strong_regular.ok)
+          << context << ": " << out.strong_regular.summary();
+      break;
+  }
+}
+
+TEST(FaultFuzz, AllVariantsKeepDeclaredGuaranteeUnderLinkFaultStorm) {
+  uint64_t faulted_runs = 0;
+  for (const char* name : kVariants) {
+    auto algorithm = harness::make_algorithm(name, fuzz_cfg());
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto opts = fuzz_opts(seed);
+      const auto out = harness::run_register_experiment(*algorithm, opts);
+      const std::string context =
+          std::string(name) + " seed " + std::to_string(seed);
+      expect_guarantee_holds(name, out, context);
+      EXPECT_TRUE(out.live) << context << " (stop: " << out.report.stop_reason
+                            << ")";
+      // Partitions always auto-heal, so the books must balance.
+      EXPECT_EQ(out.report.partition_events, out.report.heal_events)
+          << context;
+      EXPECT_LE(out.report.rmws_dropped, 1u) << context;  // the budget
+      if (out.report.partition_events > 0 || out.report.rmws_dropped > 0) {
+        ++faulted_runs;
+      }
+    }
+  }
+  // The storm must actually materialize across the sweep, or the test
+  // proves nothing.
+  EXPECT_GT(faulted_runs, 20u);
+}
+
+TEST(FaultFuzz, ScriptedPartitionStormAcrossVariants) {
+  // Deterministic rate-based cuts on top of the probabilistic storm: every
+  // variant rides out three scripted whole-object partitions.
+  for (const char* name : kVariants) {
+    auto algorithm = harness::make_algorithm(name, fuzz_cfg());
+    harness::RunOptions opts = fuzz_opts(11);
+    opts.partitions = 0;
+    for (uint64_t i = 0; i < 3; ++i) {
+      sim::FaultEvent cut;
+      cut.kind = sim::FaultEvent::Kind::kPartitionObject;
+      cut.at = 150 + 300 * i;
+      cut.object = static_cast<uint32_t>(i % fuzz_cfg().n);
+      cut.heal_after = 200;
+      opts.fault_timeline.push_back(cut);
+    }
+    const auto out = harness::run_register_experiment(*algorithm, opts);
+    const std::string context = std::string(name) + " scripted storm";
+    expect_guarantee_holds(name, out, context);
+    EXPECT_TRUE(out.live) << context;
+    EXPECT_GT(out.report.partition_events, 0u) << context;
+  }
+}
+
+TEST(FaultFuzz, CorruptedReadIsCaughtUnderPartitions) {
+  // Take a passing partitioned run, then rebuild its history with one
+  // completed read's value replaced by a value nobody ever wrote. The
+  // checker hierarchy must flag the mutated trace while still passing the
+  // original — fault bookkeeping events must not blind the checkers.
+  const auto cfg = fuzz_cfg();
+  auto algorithm = harness::make_algorithm("adaptive", cfg);
+  const auto opts = fuzz_opts(7);
+  const auto out = harness::run_register_experiment(*algorithm, opts);
+  ASSERT_TRUE(out.values_legal.ok);
+  ASSERT_GT(out.history.completed_reads(), 0u);
+
+  const Value bogus = Value::from_tag(0xDEADBEEFu, cfg.data_bits);
+  sim::History mutated;
+  bool corrupted = false;
+  for (const auto& ev : out.history.events()) {
+    switch (ev.kind) {
+      case sim::HistoryEvent::Kind::kInvoke: {
+        sim::Invocation inv;
+        inv.op = ev.op;
+        inv.client = ev.client;
+        inv.kind = ev.op_kind;
+        inv.value = ev.value;
+        mutated.record_invoke(ev.time, inv);
+        break;
+      }
+      case sim::HistoryEvent::Kind::kReturn:
+        if (!corrupted && ev.op_kind == sim::OpKind::kRead) {
+          mutated.record_return(ev.time, ev.op, bogus);
+          corrupted = true;
+        } else {
+          mutated.record_return(ev.time, ev.op,
+                                ev.op_kind == sim::OpKind::kRead
+                                    ? std::optional<Value>(ev.value)
+                                    : std::nullopt);
+        }
+        break;
+      case sim::HistoryEvent::Kind::kCrashObject:
+        mutated.record_object_crash(ev.time, ev.object);
+        break;
+      case sim::HistoryEvent::Kind::kRestartObject:
+        mutated.record_object_restart(ev.time, ev.object, ev.restart_mode);
+        break;
+      case sim::HistoryEvent::Kind::kPartition:
+        mutated.record_partition(ev.time, ev.client, ev.object);
+        break;
+      case sim::HistoryEvent::Kind::kHeal:
+        mutated.record_heal(ev.time, ev.client, ev.object);
+        break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_EQ(mutated.partition_count(), out.history.partition_count());
+
+  // Original (bookkeeping events included) passes the full hierarchy ...
+  EXPECT_TRUE(consistency::check_values_legal(out.history).ok);
+  EXPECT_TRUE(consistency::check_strong_regularity(out.history).ok);
+  // ... the mutated trace is caught at its base.
+  const auto verdict = consistency::check_values_legal(mutated);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_FALSE(verdict.violations.empty());
+  EXPECT_FALSE(consistency::check_strong_regularity(mutated).ok);
+}
+
+}  // namespace
+}  // namespace sbrs

@@ -1,0 +1,336 @@
+// Link-fault injection tests: LinkFaultTable unit semantics (cut/heal
+// bookkeeping, auto-heal deadlines, deliverability filtering), the
+// simulator's partition/drop/delay behavior end to end (events recorded in
+// the history trace, fault counters in RunReport, degraded-window
+// accounting, determinism), scripted fault timelines, fingerprint
+// compatibility for fault-free runs, and the scheduler-compatibility
+// guard.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "harness/algorithms.h"
+#include "harness/runner.h"
+#include "harness/sweep.h"
+#include "sim/linkfault.h"
+#include "sim/schedulers.h"
+#include "sim/simulator.h"
+#include "store/store.h"
+
+namespace sbrs {
+namespace {
+
+registers::RegisterConfig small_cfg() {
+  registers::RegisterConfig cfg;
+  cfg.f = 1;
+  cfg.k = 2;
+  cfg.n = 4;
+  cfg.data_bits = 64;
+  return cfg;
+}
+
+harness::RunOptions base_opts(uint64_t seed) {
+  harness::RunOptions opts;
+  opts.writers = 2;
+  opts.writes_per_client = 5;
+  opts.readers = 2;
+  opts.reads_per_client = 5;
+  opts.seed = seed;
+  return opts;
+}
+
+// --- LinkFaultTable unit semantics ---
+
+TEST(LinkFaultTable, FaultSeedDecorrelates) {
+  EXPECT_NE(sim::fault_seed(1), 1u);
+  EXPECT_NE(sim::fault_seed(1), sim::fault_seed(2));
+  EXPECT_NE(sim::fault_seed(0), 0u);  // never the degenerate zero state
+}
+
+TEST(LinkFaultTable, CutAndHealBookkeeping) {
+  sim::LinkFaultTable t({}, /*num_clients=*/2, /*num_objects=*/3);
+  EXPECT_FALSE(t.configured());
+  EXPECT_FALSE(t.engaged());
+  EXPECT_EQ(t.cut_links(), 0u);
+
+  auto changed = t.cut_link(ClientId{0}, ObjectId{1}, UINT64_MAX);
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0].client.value, 0u);
+  EXPECT_EQ(changed[0].object.value, 1u);
+  EXPECT_TRUE(t.engaged());  // sticky once anything was cut
+  EXPECT_TRUE(t.link_cut(ClientId{0}, ObjectId{1}));
+  EXPECT_FALSE(t.link_cut(ClientId{1}, ObjectId{1}));
+  EXPECT_EQ(t.cut_links(), 1u);
+
+  // Re-cutting a cut link only moves the deadline: no state transition.
+  EXPECT_TRUE(t.cut_link(ClientId{0}, ObjectId{1}, 100).empty());
+  EXPECT_EQ(t.cut_links(), 1u);
+
+  // Whole-object cut reports only the links that actually changed.
+  changed = t.cut_object(ObjectId{1}, UINT64_MAX);
+  ASSERT_EQ(changed.size(), 1u);  // (0,1) already cut; only (1,1) changes
+  EXPECT_EQ(changed[0].client.value, 1u);
+  EXPECT_EQ(t.cut_links(), 2u);
+
+  // Healing an open link is a no-op; healing cut ones reports them.
+  EXPECT_TRUE(t.heal_link(ClientId{0}, ObjectId{0}).empty());
+  changed = t.heal_object(ObjectId{1});
+  EXPECT_EQ(changed.size(), 2u);
+  EXPECT_EQ(t.cut_links(), 0u);
+  EXPECT_TRUE(t.engaged());  // stays engaged after full heal
+}
+
+TEST(LinkFaultTable, AutoHealDeadlines) {
+  sim::LinkFaultTable t({}, 2, 2);
+  t.cut_link(ClientId{0}, ObjectId{0}, /*heal_at=*/50);
+  t.cut_link(ClientId{1}, ObjectId{1}, /*heal_at=*/90);
+  ASSERT_TRUE(t.next_auto_heal().has_value());
+  EXPECT_EQ(*t.next_auto_heal(), 50u);
+
+  EXPECT_TRUE(t.advance_to(49).empty());
+  auto healed = t.advance_to(50);
+  ASSERT_EQ(healed.size(), 1u);
+  EXPECT_EQ(healed[0].client.value, 0u);
+  EXPECT_EQ(t.cut_links(), 1u);
+  EXPECT_EQ(*t.next_auto_heal(), 90u);
+
+  // Cut-forever links never surface a deadline.
+  t.advance_to(90);
+  t.cut_link(ClientId{0}, ObjectId{1}, UINT64_MAX);
+  EXPECT_FALSE(t.next_auto_heal().has_value());
+}
+
+TEST(LinkFaultTable, DeliverabilityFiltering) {
+  sim::LinkFaultTable t({}, 2, 2);
+  sim::PendingRmw p;
+  p.client = ClientId{0};
+  p.target = ObjectId{1};
+  EXPECT_TRUE(t.deliverable(p, 0));
+
+  p.deliverable_at = 10;  // delayed
+  EXPECT_FALSE(t.deliverable(p, 9));
+  EXPECT_TRUE(t.deliverable(p, 10));
+
+  t.cut_link(ClientId{0}, ObjectId{1}, UINT64_MAX);
+  EXPECT_FALSE(t.deliverable(p, 100));  // partitioned
+  p.dropped = true;
+  EXPECT_TRUE(t.deliverable(p, 0));  // drops always deliverable (= the loss)
+}
+
+TEST(LinkFaultTable, NextReleaseSkipsCutAndDroppedRmws) {
+  sim::LinkFaultTable t({}, 2, 2);
+  std::deque<sim::PendingRmw> pending(3);
+  pending[0].client = ClientId{0};
+  pending[0].target = ObjectId{0};
+  pending[0].deliverable_at = 40;
+  pending[1].client = ClientId{0};
+  pending[1].target = ObjectId{1};
+  pending[1].deliverable_at = 20;  // on a link we cut below
+  pending[2].client = ClientId{1};
+  pending[2].target = ObjectId{0};
+  pending[2].dropped = true;
+
+  t.cut_link(ClientId{0}, ObjectId{1}, UINT64_MAX);
+  auto release = t.next_release(pending, 0);
+  ASSERT_TRUE(release.has_value());
+  EXPECT_EQ(*release, 40u);  // cut link's 20 excluded; dropped excluded
+}
+
+// --- Fingerprint compatibility ---
+
+TEST(LinkFaultFingerprint, FaultFreeReportsLeaveHashUntouched) {
+  sim::RunReport report;
+  const uint64_t h = 0x1234abcdu;
+  EXPECT_EQ(harness::link_fault_fingerprint(report, h), h);
+  report.rmws_dropped = 1;
+  EXPECT_NE(harness::link_fault_fingerprint(report, h), h);
+}
+
+// --- End-to-end partition injection (random scheduler) ---
+
+TEST(PartitionRun, InjectsHealsAndKeepsGuarantees) {
+  auto algorithm = harness::make_algorithm("adaptive", small_cfg());
+  bool saw_degraded_window = false;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    harness::RunOptions opts = base_opts(seed);
+    opts.partitions = 2;
+    opts.heal_after = 300;
+    auto out = harness::run_register_experiment(*algorithm, opts);
+
+    EXPECT_TRUE(out.values_legal.ok) << "seed " << seed;
+    EXPECT_TRUE(out.strong_regular.ok) << "seed " << seed;
+    EXPECT_TRUE(out.live) << "seed " << seed;
+    // Every cut heals (auto-heal), so the counters must balance by the end.
+    EXPECT_EQ(out.report.partition_events, out.report.heal_events)
+        << "seed " << seed;
+    // History trace records exactly the transitions the report counted.
+    EXPECT_EQ(out.history.partition_count(), out.report.partition_events);
+    EXPECT_EQ(out.history.heal_count(), out.report.heal_events);
+    if (out.report.partition_events > 0 && out.report.degraded_steps > 0) {
+      saw_degraded_window = true;
+    }
+  }
+  EXPECT_TRUE(saw_degraded_window)
+      << "no seed in 1..10 opened a measurable degraded window";
+}
+
+TEST(PartitionRun, DeterministicAcrossRepeatedRuns) {
+  auto algorithm = harness::make_algorithm("adaptive", small_cfg());
+  harness::RunOptions opts = base_opts(7);
+  opts.partitions = 2;
+  opts.heal_after = 250;
+  opts.link_faults.drop_permyriad = 100;
+  opts.link_faults.max_drops = 1;
+  opts.link_faults.reorder_window = 4;
+  const auto a = harness::run_register_experiment(*algorithm, opts);
+  const auto b = harness::run_register_experiment(*algorithm, opts);
+  EXPECT_EQ(harness::outcome_fingerprint(a), harness::outcome_fingerprint(b));
+  EXPECT_EQ(a.report.partition_events, b.report.partition_events);
+  EXPECT_EQ(a.report.rmws_dropped, b.report.rmws_dropped);
+  EXPECT_EQ(a.report.steps, b.report.steps);
+}
+
+TEST(PartitionRun, PartitionTimeChargedToDegradedWindow) {
+  // A scripted whole-object cut with a long heal delay must charge the
+  // partitioned span into degraded_steps even with zero crashes.
+  auto algorithm = harness::make_algorithm("adaptive", small_cfg());
+  harness::RunOptions opts = base_opts(3);
+  opts.writes_per_client = 8;
+  opts.reads_per_client = 8;
+  sim::FaultEvent cut;
+  cut.kind = sim::FaultEvent::Kind::kPartitionObject;
+  cut.at = 50;
+  cut.object = 0;
+  cut.heal_after = 400;
+  opts.fault_timeline = {cut};
+  auto out = harness::run_register_experiment(*algorithm, opts);
+  EXPECT_EQ(out.report.object_crash_events, 0u);
+  EXPECT_GT(out.report.partition_events, 0u);
+  EXPECT_GT(out.report.degraded_steps, 0u);
+  EXPECT_TRUE(out.live);
+  EXPECT_TRUE(out.strong_regular.ok);
+}
+
+TEST(PartitionRun, AccountingCrossCheckHoldsAcrossPartitionHeal) {
+  // verify_accounting recomputes Definition-2 storage from full snapshots
+  // every step; a partition/heal cycle must keep the incremental totals
+  // exactly equal throughout (the run CHECK-fails otherwise).
+  auto algorithm = harness::make_algorithm("adaptive", small_cfg());
+  harness::RunOptions opts = base_opts(7);
+  opts.partitions = 2;
+  opts.heal_after = 200;
+  opts.verify_accounting = true;
+  auto out = harness::run_register_experiment(*algorithm, opts);
+  EXPECT_TRUE(out.live);
+  EXPECT_EQ(out.report.partition_events, out.report.heal_events);
+}
+
+// --- Probabilistic drops and delays ---
+
+TEST(DropRun, BudgetedDropsAreCountedAndSurvived) {
+  registers::RegisterConfig cfg;
+  cfg.f = 2;
+  cfg.k = 2;
+  cfg.n = 6;
+  cfg.data_bits = 64;
+  auto algorithm = harness::make_algorithm("adaptive", cfg);
+  harness::RunOptions opts = base_opts(5);
+  opts.link_faults.drop_permyriad = 10'000;  // drop every RMW...
+  opts.link_faults.max_drops = 2;            // ...until the budget is spent
+  auto out = harness::run_register_experiment(*algorithm, opts);
+  EXPECT_EQ(out.report.rmws_dropped, 2u);
+  EXPECT_TRUE(out.live);
+  EXPECT_TRUE(out.values_legal.ok);
+  EXPECT_TRUE(out.strong_regular.ok);
+}
+
+TEST(DelayRun, DelaysAreCountedAndRunStillQuiesces) {
+  auto algorithm = harness::make_algorithm("abd", small_cfg());
+  harness::RunOptions opts = base_opts(9);
+  opts.link_faults.delay_permyriad = 10'000;
+  opts.link_faults.delay_steps = 40;
+  opts.link_faults.delay_jitter = 10;
+  auto out = harness::run_register_experiment(*algorithm, opts);
+  EXPECT_GT(out.report.rmws_delayed, 0u);
+  EXPECT_TRUE(out.live);
+  EXPECT_TRUE(out.report.quiesced);
+  EXPECT_EQ(out.report.stop_reason, "quiesced");
+}
+
+TEST(StopReason, ClassifiesQuiescedAndStepLimit) {
+  auto algorithm = harness::make_algorithm("adaptive", small_cfg());
+  harness::RunOptions opts = base_opts(1);
+  auto out = harness::run_register_experiment(*algorithm, opts);
+  EXPECT_EQ(out.report.stop_reason, "quiesced");
+
+  opts.max_steps = 20;  // cut the run off mid-flight
+  out = harness::run_register_experiment(*algorithm, opts);
+  EXPECT_EQ(out.report.stop_reason, "step-limit");
+}
+
+// --- Store-level partition/heal determinism (the acceptance pin) ---
+
+TEST(PartitionStore, DeterministicJsonAcrossThreadCounts) {
+  // A partitioned+healed store run must produce a byte-identical
+  // deterministic JSON block for any worker-thread count, with a
+  // measurable degraded window.
+  store::StoreOptions opts;
+  opts.algorithm = "adaptive";
+  opts.register_config = small_cfg();
+  opts.num_shards = 4;
+  opts.workload.num_keys = 32;
+  opts.workload.clients = 3;
+  opts.workload.ops_per_client = 16;
+  opts.workload.mix = store::ycsb::Mix::kA;
+  opts.seed = 5;
+  opts.partitions_per_shard = 1;
+  opts.heal_after = 300;
+  opts.link_faults.reorder_window = 4;
+
+  std::string deterministic[3];
+  const uint32_t threads[] = {1, 4, 9};
+  for (int i = 0; i < 3; ++i) {
+    store::StoreOptions run_opts = opts;
+    run_opts.threads = threads[i];
+    store::Store engine(run_opts);
+    const store::StoreResult result = engine.run();
+
+    EXPECT_TRUE(result.all_live);
+    EXPECT_EQ(result.consistency_failures, 0u);
+    EXPECT_GT(result.partition_events, 0u);
+    EXPECT_EQ(result.partition_events, result.heal_events);
+    EXPECT_GT(result.degraded_steps, 0u);
+
+    std::ostringstream os;
+    store::write_store_deterministic_json(os, result);
+    deterministic[i] = os.str();
+  }
+  EXPECT_EQ(deterministic[0], deterministic[1]);
+  EXPECT_EQ(deterministic[0], deterministic[2])
+      << "partitioned store results must not depend on the thread count";
+}
+
+// --- Scheduler compatibility guard ---
+
+TEST(FaultValidation, LinkFaultsRejectDeterministicSchedulers) {
+  auto algorithm = harness::make_algorithm("adaptive", small_cfg());
+  harness::RunOptions opts = base_opts(1);
+  opts.scheduler = harness::SchedKind::kRoundRobin;
+  opts.partitions = 1;
+  EXPECT_FALSE(harness::validate_fault_options(opts).empty());
+  EXPECT_THROW(harness::run_register_experiment(*algorithm, opts),
+               CheckFailure);
+
+  opts.partitions = 0;
+  EXPECT_TRUE(harness::has_link_faults(opts) == false);
+  opts.link_faults.reorder_window = 3;
+  EXPECT_TRUE(harness::has_link_faults(opts));
+  EXPECT_THROW(harness::run_register_experiment(*algorithm, opts),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace sbrs

@@ -1,0 +1,59 @@
+// Trace-layer overhead: the disabled path (SimConfig::trace == nullptr,
+// one pointer test per emission site) must be free next to the identical
+// untraced workload — BM_TraceOverhead/N mirrors BM_AdaptiveWriteStorm/N
+// exactly, so CI can diff the two and fail on a disabled-path regression.
+// BM_TraceOverheadRecording measures the enabled path (a TraceRecorder
+// attached, spans + counter samples assembled in memory) for scale.
+#include "obs/trace.h"
+
+#include "bench_util.h"
+#include "harness/runner.h"
+
+namespace sbrs::bench {
+namespace {
+
+constexpr uint32_t kF = 4, kK = 8;
+constexpr uint64_t kDataBits = 4096;
+
+/// The exact BM_AdaptiveWriteStorm workload with tracing disabled: any
+/// measurable gap between this and BM_AdaptiveWriteStorm at the same arg
+/// is overhead the null-sink guards leaked into the hot path.
+void BM_TraceOverhead(benchmark::State& state) {
+  auto alg = registers::make_adaptive(cfg_fk(kF, kK, kDataBits));
+  const uint32_t c = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto out = storage_run(*alg, c);
+    benchmark::DoNotOptimize(out.max_object_bits);
+  }
+}
+BENCHMARK(BM_TraceOverhead)->Arg(2)->Arg(8)->Arg(32);
+
+/// Same workload with a recorder attached: the cost of actually assembling
+/// op/RMW spans and counter samples in memory.
+void BM_TraceOverheadRecording(benchmark::State& state) {
+  auto alg = registers::make_adaptive(cfg_fk(kF, kK, kDataBits));
+  const uint32_t c = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    obs::TraceRecorder rec;
+    harness::RunOptions opts;
+    opts.writers = c;
+    opts.writes_per_client = 1;
+    opts.scheduler = harness::SchedKind::kBurst;
+    opts.sample_every = 64;
+    opts.trace = &rec;
+    auto out = harness::run_register_experiment(*alg, opts);
+    benchmark::DoNotOptimize(out.max_object_bits);
+    state.counters["spans"] =
+        static_cast<double>(rec.ops().size() + rec.rmws().size());
+  }
+}
+BENCHMARK(BM_TraceOverheadRecording)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace sbrs::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -13,8 +13,11 @@
 //   $ ./examples/sbrs_cli --store --keys=512 --shards=32 --dist=zipfian \
 //         --mix=B --clients=8 --ops=64 --threads=8 --json=store.json
 //   $ ./examples/sbrs_cli --help
+#include <chrono>
 #include <cstring>
 #include <fstream>
+#include <functional>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -29,6 +32,8 @@
 #include "harness/scenario.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "store/store.h"
 
 namespace {
@@ -62,6 +67,10 @@ struct CliOptions {
   std::string campaign;            // comma list of scenario files
   std::string bundle_dir;          // triage bundles for campaign failures
   bool seed_set = false;           // --seed given explicitly
+  // Observability (single, scenario, store and sweep modes).
+  std::string trace;               // Chrome trace_event JSON output path
+  std::string timeseries;          // per-step counter CSV output path
+  uint32_t progress_every = 0;     // heartbeat every N units; 0 = silent
   // Sweep mode.
   bool sweep = false;
   std::string algs;            // comma list; default: the --alg value
@@ -130,6 +139,10 @@ CliOptions parse(int argc, char** argv) {
       o.open_loop = true;
     } else if (arg == "--verify-accounting") {
       o.verify_accounting = true;
+    } else if (arg == "--progress") {
+      o.progress_every = 1;
+    } else if (parse_int_flag(arg, "progress", &o.progress_every)) {
+      // parsed (--progress=N)
     } else if (parse_int_flag(arg, "restart", &o.restart)) {
       o.restart_set = true;
     } else if (parse_flag(arg, "restart-mode", &o.restart_mode)) {
@@ -175,7 +188,9 @@ CliOptions parse(int argc, char** argv) {
                parse_int_flag(arg, "reorder", &o.reorder) ||
                parse_flag(arg, "scenario", &o.scenario) ||
                parse_flag(arg, "campaign", &o.campaign) ||
-               parse_flag(arg, "bundle-dir", &o.bundle_dir)) {
+               parse_flag(arg, "bundle-dir", &o.bundle_dir) ||
+               parse_flag(arg, "trace", &o.trace) ||
+               parse_flag(arg, "timeseries", &o.timeseries)) {
       // parsed
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
@@ -231,6 +246,23 @@ void usage() {
       "                  run (scenario file, outcome, trace, one-line\n"
       "                  repro command)\n"
       "  (--json writes the campaign summary JSON)\n\n"
+      "observability (see docs/observability.md):\n"
+      "  --trace=PATH    write a Chrome trace_event JSON of the run —\n"
+      "                  op spans, RMW message spans, partition/repair\n"
+      "                  intervals, crash instants, counter tracks — open\n"
+      "                  it in ui.perfetto.dev or chrome://tracing.\n"
+      "                  Single, --scenario and --store modes trace the\n"
+      "                  run itself (one process per store shard); --sweep\n"
+      "                  re-runs cell 0 / seed 0 traced after the sweep.\n"
+      "                  Deterministic: same seed, same bytes, any\n"
+      "                  --threads value\n"
+      "  --timeseries=PATH   write the per-step counter samples (queue\n"
+      "                  depth, in-flight RMWs, stored bits, fault counts;\n"
+      "                  one row per sampled step) as CSV — single and\n"
+      "                  --store modes\n"
+      "  --progress[=N]  heartbeat to stderr every N completed units\n"
+      "                  (default 1) during --sweep and --campaign runs:\n"
+      "                  done/total, failures so far, elapsed seconds\n\n"
       "open-loop load (applies to single, sweep and store modes):\n"
       "  --open-loop     schedule arrivals instead of closed-loop sessions\n"
       "                  (ops queue while sessions are busy; latency splits\n"
@@ -260,6 +292,38 @@ void usage() {
       "   --crashes crashes up to N objects per shard; --threads/--json\n"
       "   as in sweep mode — the JSON's \"deterministic\" block is\n"
       "   byte-identical for any --threads value)\n";
+}
+
+/// Write `content` to `path`; false (with a message on stderr) on failure.
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  os << content;
+  std::cout << "wrote " << path << "\n";
+  return true;
+}
+
+/// The --progress heartbeat: a stderr line every `every` completed units
+/// (and always on the last one). Campaign/sweep call it under an internal
+/// mutex, so no synchronization is needed here.
+std::function<void(size_t, size_t, size_t)> progress_reporter(
+    uint32_t every, const char* unit) {
+  if (every == 0) return {};
+  const auto start = std::chrono::steady_clock::now();
+  return [every, unit, start](size_t done, size_t total, size_t failures) {
+    if (done % every != 0 && done != total) return;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::ostringstream line;  // one write: lines never interleave mid-row
+    line << "progress: " << done << "/" << total << " " << unit << ", "
+         << failures << " failure" << (failures == 1 ? "" : "s") << ", "
+         << std::fixed << std::setprecision(1) << elapsed << "s elapsed\n";
+    std::cerr << line.str();
+  };
 }
 
 sbrs::harness::SchedKind sched_kind(const std::string& name) {
@@ -349,6 +413,7 @@ int run_sweep(const CliOptions& cli) {
   so.threads = cli.threads;
   so.seeds_per_cell = cli.seeds;
   so.base_seed = cli.seed;
+  so.progress = progress_reporter(cli.progress_every, "runs");
   auto result = harness::SweepRunner(so).run(grid);
 
   harness::Table table({"cell", "max object bits (p50/max)",
@@ -377,6 +442,24 @@ int run_sweep(const CliOptions& cli) {
     }
     harness::write_sweep_json(os, result);
     std::cout << "wrote " << cli.json << "\n";
+  }
+
+  if (!cli.trace.empty()) {
+    // Opt-in structured trace of the sweep: a deterministic traced replay
+    // of cell 0 / seed 0 (tracing every cell of a big grid would be
+    // gigabytes; one exemplar cell is what a Perfetto look wants).
+    obs::TraceRecorder rec;
+    harness::RunOptions opts = grid[0].opts;
+    opts.seed = harness::cell_seed(so.base_seed, 0, 0);
+    opts.check_consistency = so.check_consistency;
+    opts.trace = &rec;
+    auto algorithm = harness::make_algorithm(grid[0].algorithm, grid[0].config);
+    harness::run_register_experiment(*algorithm, opts);
+    rec.annotate("cell", grid[0].label);
+    rec.annotate("seed", std::to_string(opts.seed));
+    std::ostringstream ts;
+    obs::write_trace_json(ts, rec);
+    if (!write_file(cli.trace, ts.str())) return 1;
   }
   return 0;
 }
@@ -407,6 +490,7 @@ int run_store(const CliOptions& cli) {
   opts.seed = cli.seed;
   opts.threads = cli.threads;
   opts.check_consistency = !cli.no_check;
+  opts.trace = !cli.trace.empty() || !cli.timeseries.empty();
 
   store::Store store_engine(opts);
   store::StoreResult result = store_engine.run();
@@ -490,6 +574,16 @@ int run_store(const CliOptions& cli) {
     store::write_store_json(os, result);
     std::cout << "wrote " << cli.json << "\n";
   }
+  if (!cli.trace.empty()) {
+    std::ostringstream ts;
+    store::write_store_trace_json(ts, store_engine);
+    if (!write_file(cli.trace, ts.str())) return 1;
+  }
+  if (!cli.timeseries.empty()) {
+    std::ostringstream ts;
+    store::write_store_timeseries_csv(ts, store_engine);
+    if (!write_file(cli.timeseries, ts.str())) return 1;
+  }
   if (!result.all_quiesced) {
     std::cerr << "store run did not quiesce (step limit or scheduler stop "
                  "left queued operations unexecuted)\n";
@@ -511,7 +605,10 @@ int run_scenario_file(const CliOptions& cli) {
                                  ? scenario.run.seed
                                  : scenario.store_opts.seed;
   const uint64_t seed = cli.seed_set ? cli.seed : file_seed;
-  const harness::ScenarioOutcome out = harness::run_scenario(scenario, seed);
+  std::string trace_json;
+  const harness::ScenarioOutcome out = harness::run_scenario(
+      scenario, seed, cli.trace.empty() ? nullptr : &trace_json);
+  if (!cli.trace.empty() && !write_file(cli.trace, trace_json)) return 1;
 
   harness::Table table({"metric", "value"});
   table.add_row("scenario", out.name);
@@ -552,6 +649,7 @@ int run_campaign_cli(const CliOptions& cli) {
   opts.base_seed = cli.seed;
   opts.threads = cli.threads;
   opts.bundle_dir = cli.bundle_dir;
+  opts.progress = progress_reporter(cli.progress_every, "runs");
   const harness::CampaignResult result = harness::run_campaign(opts);
 
   harness::Table table(
@@ -650,6 +748,9 @@ int run_cli(const CliOptions& cli) {
     const std::string why = harness::validate_fault_options(opts);
     if (!why.empty()) throw std::invalid_argument(why);
   }
+  obs::TraceRecorder recorder;
+  const bool tracing = !cli.trace.empty() || !cli.timeseries.empty();
+  if (tracing) opts.trace = &recorder;
 
   auto out = harness::run_register_experiment(*algorithm, opts);
 
@@ -710,5 +811,20 @@ int run_cli(const CliOptions& cli) {
 
   if (!out.values_legal.ok) std::cout << out.values_legal.summary() << "\n";
   if (!out.weak_regular.ok) std::cout << out.weak_regular.summary() << "\n";
+
+  if (tracing) {
+    recorder.annotate("algorithm", out.algorithm);
+    recorder.annotate("seed", std::to_string(opts.seed));
+    if (!cli.trace.empty()) {
+      std::ostringstream ts;
+      obs::write_trace_json(ts, recorder);
+      if (!write_file(cli.trace, ts.str())) return 1;
+    }
+    if (!cli.timeseries.empty()) {
+      std::ostringstream ts;
+      obs::write_timeseries_csv(ts, {{&recorder, 0, "sim"}});
+      if (!write_file(cli.timeseries, ts.str())) return 1;
+    }
+  }
   return 0;
 }

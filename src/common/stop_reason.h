@@ -1,0 +1,28 @@
+// The canonical stop_reason vocabulary.
+//
+// RunReport::stop_reason is a free-form string (schedulers may state their
+// own reasons), but the simulator's own classification uses exactly these
+// four values, and every consumer — the sweep engine's stop_reasons
+// histogram, the store's per-shard reports, the campaign/scenario judges,
+// the JSON writers, tests — compares against them. Keeping them as named
+// constants in one header means a typo is a compile error instead of a
+// silently mis-classified run.
+#pragma once
+
+namespace sbrs {
+
+/// Every workload operation was invoked and returned, and no client has
+/// more to do (the run drained).
+inline constexpr const char* kStopQuiesced = "quiesced";
+
+/// SimConfig::max_steps cut the run off mid-flight.
+inline constexpr const char* kStopStepLimit = "step-limit";
+
+/// Undrained, but nothing will ever be schedulable again (e.g. a partition
+/// held past every quorum's patience).
+inline constexpr const char* kStopStalled = "stalled";
+
+/// The scheduler ended the run without stating its own reason.
+inline constexpr const char* kStopSchedulerStop = "scheduler-stop";
+
+}  // namespace sbrs

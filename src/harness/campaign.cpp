@@ -3,6 +3,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <thread>
 
 #include "common/check.h"
@@ -95,7 +96,8 @@ std::string bundle_name(const ScenarioOutcome& o) {
 
 std::string write_triage_bundle(const std::string& bundle_dir,
                                 const Scenario& scenario,
-                                const ScenarioOutcome& outcome) {
+                                const ScenarioOutcome& outcome,
+                                const std::string& trace_json) {
   namespace fs = std::filesystem;
   const fs::path dir = fs::path(bundle_dir) / bundle_name(outcome);
   std::error_code ec;
@@ -126,6 +128,11 @@ std::string write_triage_bundle(const std::string& bundle_dir,
     SBRS_CHECK_MSG(os.good(), "campaign: cannot write trace.txt");
     write_trace(os, outcome.register_out->history);
   }
+  if (!trace_json.empty()) {
+    std::ofstream os(dir / "trace.json");
+    SBRS_CHECK_MSG(os.good(), "campaign: cannot write trace.json");
+    os << trace_json;
+  }
   return dir.string();
 }
 
@@ -149,12 +156,22 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
 
   const size_t total = scenarios.size() * opts.seeds_per_scenario;
   const auto start = std::chrono::steady_clock::now();
+  std::mutex progress_mu;
+  size_t done = 0;
+  size_t failed = 0;
   std::vector<ScenarioOutcome> outcomes =
       parallel_map(total, threads, [&](size_t i) -> ScenarioOutcome {
         const size_t sc = i / opts.seeds_per_scenario;
         const uint64_t seed =
             opts.base_seed + (i % opts.seeds_per_scenario);
-        return run_scenario(scenarios[sc], seed);
+        ScenarioOutcome out = run_scenario(scenarios[sc], seed);
+        if (opts.progress) {
+          std::lock_guard<std::mutex> lock(progress_mu);
+          ++done;
+          if (!out.ok) ++failed;
+          opts.progress(done, total, failed);
+        }
+        return out;
       });
 
   CampaignResult result;
@@ -171,10 +188,15 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     if (!run.outcome.ok) {
       ++result.failures;
       // Bundles are written serially here, after the parallel phase: the
-      // layout on disk never depends on worker scheduling.
+      // layout on disk never depends on worker scheduling. Each failed
+      // (scenario, seed) is re-run with a trace recorder attached — the
+      // replay is deterministic, so trace.json shows the exact spans of the
+      // violating run at the cost of one serial re-execution per failure.
       if (!opts.bundle_dir.empty()) {
-        run.bundle_path =
-            write_triage_bundle(opts.bundle_dir, scenarios[sc], run.outcome);
+        std::string trace_json;
+        run_scenario(scenarios[sc], run.seed, &trace_json);
+        run.bundle_path = write_triage_bundle(opts.bundle_dir, scenarios[sc],
+                                              run.outcome, trace_json);
       }
     }
     // The history kept for the bundle can be large; drop it once triaged.

@@ -8,13 +8,16 @@
 // scenario's expect block (or trips an engine invariant: consistency,
 // liveness, storage-accounting cross-check) produces a TRIAGE BUNDLE: a
 // directory holding the scenario file verbatim, the resolved seed and
-// outcome, the full history trace (register mode), the fingerprints, and a
-// one-line repro command that reproduces the violation in a single
-// sbrs_cli invocation. Bundles are written serially after the parallel
-// phase, so the filesystem layout is deterministic too.
+// outcome, the full history trace (register mode), a structured trace.json
+// (Chrome trace_event, from a deterministic traced replay of the failing
+// seed), the fingerprints, and a one-line repro command that reproduces the
+// violation in a single sbrs_cli invocation. Bundles are written serially
+// after the parallel phase, so the filesystem layout is deterministic too.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -32,6 +35,10 @@ struct CampaignOptions {
   /// Where triage bundles land (one subdirectory per failed run). Empty =
   /// don't write bundles, just report.
   std::string bundle_dir;
+  /// Heartbeat called (under an internal mutex, from worker threads) after
+  /// every completed (scenario, seed) run: (runs done, runs total, failures
+  /// so far). Powers sbrs_cli --progress; leave unset for silence.
+  std::function<void(size_t done, size_t total, size_t failures)> progress;
 };
 
 /// One (scenario, seed) verdict, plus the path of its bundle if it failed
@@ -67,9 +74,14 @@ void write_campaign_json(std::ostream& os, const CampaignResult& result);
 /// Write one triage bundle directory for a failed run; returns its path.
 /// Layout: scenario.json (the file verbatim), run.json (seed, violations,
 /// counters, fingerprint, repro command), trace.txt (register-mode history
-/// trace), repro.txt (the one-line repro command).
+/// trace), repro.txt (the one-line repro command), and — when `trace_json`
+/// is nonempty — trace.json (the structured Chrome trace_event document of
+/// the failing run, loadable in ui.perfetto.dev). run_campaign fills
+/// trace_json by deterministically re-running just the failed (scenario,
+/// seed) with a recorder attached.
 std::string write_triage_bundle(const std::string& bundle_dir,
                                 const Scenario& scenario,
-                                const ScenarioOutcome& outcome);
+                                const ScenarioOutcome& outcome,
+                                const std::string& trace_json = {});
 
 }  // namespace sbrs::harness

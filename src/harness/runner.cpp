@@ -124,6 +124,7 @@ RunOutcome run_register_experiment(
   sc.sample_every = opts.sample_every;
   sc.link_faults = opts.link_faults;
   sc.link_faults.seed = sim::fault_seed(opts.seed);
+  sc.trace = opts.trace;
   if (opts.verify_accounting.has_value()) {
     sc.verify_accounting = *opts.verify_accounting;
   }

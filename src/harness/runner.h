@@ -96,6 +96,11 @@ struct RunOptions {
   /// the CheckResults in RunOutcome stay at their ok defaults — used by
   /// perf sweeps that only need the storage metrics.
   bool check_consistency = true;
+  /// Structured trace sink (borrowed, must outlive the run; nullptr = no
+  /// tracing). Forwarded verbatim to SimConfig::trace — the disabled path
+  /// is a single pointer test per emission site, so untraced runs are
+  /// byte-identical to pre-trace builds.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct RunOutcome {

@@ -8,6 +8,8 @@
 #include "consistency/checker.h"
 #include "harness/algorithms.h"
 #include "harness/sweep.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 
 namespace sbrs::harness {
 
@@ -266,12 +268,37 @@ void judge_register_consistency(const Scenario& s, const RunOutcome& out,
   }
 }
 
-void run_register_mode(const Scenario& s, uint64_t seed, ScenarioOutcome* r) {
+/// Serialize `rec` into *trace_json with deterministic provenance labels.
+/// Works on partial traces too: open spans clamp to the last recorded step.
+void serialize_trace(const Scenario& s, uint64_t seed, obs::TraceRecorder* rec,
+                     std::string* trace_json) {
+  rec->annotate("scenario", s.name);
+  rec->annotate("mode", s.mode);
+  rec->annotate("seed", std::to_string(seed));
+  std::ostringstream os;
+  obs::write_trace_json(os, *rec);
+  *trace_json = os.str();
+}
+
+void run_register_mode(const Scenario& s, uint64_t seed, ScenarioOutcome* r,
+                       std::string* trace_json) {
   std::unique_ptr<registers::RegisterAlgorithm> algorithm =
       make_algorithm(s.algorithm, s.config);
   RunOptions opts = s.run;
   opts.seed = seed;
-  RunOutcome out = run_register_experiment(*algorithm, opts);
+  obs::TraceRecorder recorder;
+  if (trace_json != nullptr) opts.trace = &recorder;
+  RunOutcome out;
+  try {
+    out = run_register_experiment(*algorithm, opts);
+  } catch (...) {
+    // An engine invariant fired mid-run: the partial trace is the most
+    // valuable artifact of all — serialize it before the CheckFailure
+    // propagates to run_scenario's violation handler.
+    if (trace_json != nullptr) serialize_trace(s, seed, &recorder, trace_json);
+    throw;
+  }
+  if (trace_json != nullptr) serialize_trace(s, seed, &recorder, trace_json);
 
   r->stop_reason = out.report.stop_reason;
   r->fingerprint = outcome_fingerprint(out);
@@ -308,17 +335,34 @@ void run_register_mode(const Scenario& s, uint64_t seed, ScenarioOutcome* r) {
   r->register_out = std::move(out);
 }
 
-void run_store_mode(const Scenario& s, uint64_t seed, ScenarioOutcome* r) {
+void run_store_mode(const Scenario& s, uint64_t seed, ScenarioOutcome* r,
+                    std::string* trace_json) {
   store::StoreOptions opts = s.store_opts;
   opts.seed = seed;
   opts.workload.seed = seed;
+  opts.trace = trace_json != nullptr;
   if (s.expect.consistency == "none") {
     opts.check_consistency = false;
   } else {
     opts.check_level = store_check_level(s.expect.consistency);
   }
   store::Store engine(opts);
-  store::StoreResult result = engine.run();
+  store::StoreResult result;
+  try {
+    result = engine.run();
+  } catch (...) {
+    if (trace_json != nullptr) {
+      std::ostringstream os;
+      store::write_store_trace_json(os, engine);
+      *trace_json = os.str();
+    }
+    throw;
+  }
+  if (trace_json != nullptr) {
+    std::ostringstream os;
+    store::write_store_trace_json(os, engine);
+    *trace_json = os.str();
+  }
 
   r->fingerprint = result.fingerprint();
   r->steps = result.total_steps;
@@ -517,16 +561,17 @@ Scenario load_scenario(const std::string& path) {
   return parse_scenario(buf.str(), path);
 }
 
-ScenarioOutcome run_scenario(const Scenario& scenario, uint64_t seed) {
+ScenarioOutcome run_scenario(const Scenario& scenario, uint64_t seed,
+                             std::string* trace_json) {
   ScenarioOutcome r;
   r.name = scenario.name;
   r.mode = scenario.mode;
   r.seed = seed;
   try {
     if (scenario.mode == "register") {
-      run_register_mode(scenario, seed, &r);
+      run_register_mode(scenario, seed, &r, trace_json);
     } else {
-      run_store_mode(scenario, seed, &r);
+      run_store_mode(scenario, seed, &r, trace_json);
     }
   } catch (const CheckFailure& e) {
     // An engine invariant fired mid-run (accounting cross-check, simulator

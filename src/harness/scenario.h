@@ -95,7 +95,15 @@ struct ScenarioOutcome {
 /// judge it against its expect block. Engine invariant failures
 /// (sbrs::CheckFailure from accounting verification etc.) are caught and
 /// reported as violations, not propagated.
-ScenarioOutcome run_scenario(const Scenario& scenario, uint64_t seed);
+///
+/// When `trace_json` is non-null the run executes with a structured trace
+/// recorder attached and *trace_json receives the Chrome trace_event JSON
+/// document (see src/obs/export.h) — including for runs cut short by an
+/// engine invariant, where the partial trace (open spans clamped to the
+/// last recorded step) is exactly what a triage bundle wants. Tracing is
+/// deterministic: same scenario + seed, same bytes.
+ScenarioOutcome run_scenario(const Scenario& scenario, uint64_t seed,
+                             std::string* trace_json = nullptr);
 
 /// One-line shell command that reproduces this outcome: used in triage
 /// bundles and printed by the campaign runner on failure.

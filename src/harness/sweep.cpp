@@ -178,6 +178,9 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
   // One job per (cell, seed-index); results land at their own index, so the
   // aggregation below sees a schedule-independent job list.
   const size_t jobs = grid.size() * seeds;
+  std::mutex progress_mu;
+  size_t progress_done = 0;
+  size_t progress_failed = 0;
   std::vector<RunDigest> digests = parallel_map(
       jobs, threads, [&](size_t job) -> RunDigest {
         const size_t cell_index = job / seeds;
@@ -235,6 +238,12 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
         d.stop_reason = out.report.stop_reason;
         d.fingerprint = outcome_fingerprint(out);
         d.seconds = std::chrono::duration<double>(end - start).count();
+        if (opts_.progress) {
+          std::lock_guard<std::mutex> lock(progress_mu);
+          ++progress_done;
+          if (!d.checks_ok || (!d.live && !d.saturated)) ++progress_failed;
+          opts_.progress(progress_done, jobs, progress_failed);
+        }
         return d;
       });
 

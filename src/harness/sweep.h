@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -109,8 +110,9 @@ struct CellSummary {
   uint64_t rmws_delayed = 0;
 
   /// Why each seed's run ended (RunReport::stop_reason -> seed count):
-  /// "quiesced", "step-limit", "stalled", or a scheduler's own reason.
-  /// Campaign summaries key off this to say how a cell died.
+  /// the common/stop_reason.h constants (kStopQuiesced, kStopStepLimit,
+  /// kStopStalled) or a scheduler's own reason. Campaign summaries key off
+  /// this to say how a cell died.
   std::map<std::string, uint32_t> stop_reasons;
   /// Order-independent fingerprint over all per-seed outcomes (histories
   /// included); equal fingerprints mean identical per-cell results.
@@ -130,6 +132,11 @@ struct SweepOptions {
   uint64_t base_seed = 1;
   /// Forwarded into each cell's RunOptions.check_consistency.
   bool check_consistency = true;
+  /// Heartbeat called (under an internal mutex, from worker threads) after
+  /// every completed (cell, seed) run: (runs done, runs total, failures so
+  /// far — consistency or non-saturated liveness). Powers sbrs_cli
+  /// --progress; leave unset for silence.
+  std::function<void(size_t done, size_t total, size_t failures)> progress;
 };
 
 struct SweepResult {

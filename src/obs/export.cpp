@@ -1,0 +1,265 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <set>
+
+namespace sbrs::obs {
+
+namespace {
+
+/// Minimal JSON string escaping (the exporters construct most names
+/// themselves; process names and annotations come from callers).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Comma-separated one-event-per-line emitter for the traceEvents array.
+class Emitter {
+ public:
+  explicit Emitter(std::ostream& os) : os_(os) {}
+
+  std::ostream& event() {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+    return os_;
+  }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+constexpr uint32_t kCounterTid = 0;
+constexpr uint32_t kClientTidBase = 1;
+constexpr uint32_t kObjectTidBase = 1000;
+
+void emit_process(Emitter& e, const TraceProcess& p) {
+  const TraceRecorder& t = *p.trace;
+  const uint64_t clamp = t.end_step();
+  const uint32_t pid = p.pid;
+
+  // --- Metadata: process + the threads (tracks) this process uses ---
+  e.event() << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+            << ",\"args\":{\"name\":\"" << escape(p.name) << "\"}}";
+  if (!t.annotations().empty()) {
+    std::string labels;
+    for (const auto& [k, v] : t.annotations()) {
+      if (!labels.empty()) labels += "; ";
+      labels += k + "=" + v;
+    }
+    e.event() << "{\"name\":\"process_labels\",\"ph\":\"M\",\"pid\":" << pid
+              << ",\"args\":{\"labels\":\"" << escape(labels) << "\"}}";
+  }
+
+  std::set<uint32_t> clients, objects;
+  for (const auto& s : t.ops()) clients.insert(s.client.value);
+  for (const auto& s : t.rmws()) {
+    clients.insert(s.client.value);
+    objects.insert(s.target.value);
+  }
+  for (const auto& s : t.partitions()) objects.insert(s.object.value);
+  for (const auto& s : t.repairs()) objects.insert(s.object.value);
+  for (const auto& i : t.instants()) {
+    if (i.kind == TraceRecorder::Instant::Kind::kClientCrash) {
+      clients.insert(i.client.value);
+    } else {
+      objects.insert(i.object.value);
+    }
+  }
+  if (!t.series().empty()) {
+    e.event() << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+              << ",\"tid\":" << kCounterTid
+              << ",\"args\":{\"name\":\"counters\"}}";
+  }
+  for (uint32_t c : clients) {
+    e.event() << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+              << ",\"tid\":" << (kClientTidBase + c)
+              << ",\"args\":{\"name\":\"client c" << c << "\"}}";
+  }
+  for (uint32_t o : objects) {
+    e.event() << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+              << ",\"tid\":" << (kObjectTidBase + o)
+              << ",\"args\":{\"name\":\"object bo" << o << "\"}}";
+  }
+
+  // --- Op spans: arrival -> return on the client's track ---
+  for (const auto& s : t.ops()) {
+    const bool open = s.ret == TraceRecorder::kOpen;
+    const uint64_t end = open ? clamp : s.ret;
+    e.event() << "{\"name\":\"" << (s.is_write ? "write" : "read")
+              << "\",\"cat\":\"op\",\"ph\":\"X\",\"ts\":" << s.arrival
+              << ",\"dur\":" << (end - s.arrival) << ",\"pid\":" << pid
+              << ",\"tid\":" << (kClientTidBase + s.client.value)
+              << ",\"args\":{\"op\":" << s.op.value << ",\"invoke\":"
+              << s.invoke << ",\"degraded\":" << (s.degraded ? "true" : "false")
+              << (open ? ",\"open\":true" : "") << "}}";
+  }
+
+  // --- RMW message spans: async trigger -> deliver/drop (cat "rmw") ---
+  for (const auto& s : t.rmws()) {
+    const bool open = s.end == TraceRecorder::kOpen;
+    const uint64_t end = open ? clamp : s.end;
+    const std::string name = "rmw:bo" + std::to_string(s.target.value);
+    e.event() << "{\"name\":\"" << name
+              << "\",\"cat\":\"rmw\",\"ph\":\"b\",\"id\":" << s.rmw.value
+              << ",\"ts\":" << s.trigger << ",\"pid\":" << pid
+              << ",\"tid\":" << (kClientTidBase + s.client.value)
+              << ",\"args\":{\"op\":" << s.op.value << ",\"client\":"
+              << s.client.value << ",\"bits\":" << s.request_bits
+              << ",\"delayed\":" << (s.delayed ? "true" : "false")
+              << ",\"dropped\":" << (s.dropped ? "true" : "false") << "}}";
+    e.event() << "{\"name\":\"" << name
+              << "\",\"cat\":\"rmw\",\"ph\":\"e\",\"id\":" << s.rmw.value
+              << ",\"ts\":" << end << ",\"pid\":" << pid << ",\"tid\":"
+              << (kClientTidBase + s.client.value) << ",\"args\":{"
+              << "\"outcome\":\""
+              << (open ? "in-flight" : to_string(s.outcome))
+              << "\",\"repair\":" << (s.repair ? "true" : "false") << "}}";
+  }
+
+  // --- Partition intervals: async cut -> heal (cat "partition") ---
+  for (const auto& s : t.partitions()) {
+    const bool open = s.end == TraceRecorder::kOpen;
+    const uint64_t end = open ? clamp : s.end;
+    const uint64_t id = (uint64_t{s.client.value} << 32) | s.object.value;
+    const std::string name = "partition c" + std::to_string(s.client.value) +
+                             "-bo" + std::to_string(s.object.value);
+    e.event() << "{\"name\":\"" << name
+              << "\",\"cat\":\"partition\",\"ph\":\"b\",\"id\":" << id
+              << ",\"ts\":" << s.begin << ",\"pid\":" << pid << ",\"tid\":"
+              << (kObjectTidBase + s.object.value) << ",\"args\":{}}";
+    e.event() << "{\"name\":\"" << name
+              << "\",\"cat\":\"partition\",\"ph\":\"e\",\"id\":" << id
+              << ",\"ts\":" << end << ",\"pid\":" << pid << ",\"tid\":"
+              << (kObjectTidBase + s.object.value) << ",\"args\":{"
+              << (open ? "\"open\":true" : "") << "}}";
+  }
+
+  // --- Repair windows: complete spans on the object's track ---
+  for (const auto& s : t.repairs()) {
+    const bool open = s.end == TraceRecorder::kOpen;
+    const uint64_t end = open ? clamp : s.end;
+    e.event() << "{\"name\":\"repair\",\"cat\":\"repair\",\"ph\":\"X\",\"ts\":"
+              << s.begin << ",\"dur\":" << (end - s.begin) << ",\"pid\":"
+              << pid << ",\"tid\":" << (kObjectTidBase + s.object.value)
+              << ",\"args\":{" << (open ? "\"open\":true" : "") << "}}";
+  }
+
+  // --- Crash / restart instants ---
+  for (const auto& i : t.instants()) {
+    switch (i.kind) {
+      case TraceRecorder::Instant::Kind::kObjectCrash:
+        e.event() << "{\"name\":\"crash\",\"cat\":\"fault\",\"ph\":\"i\","
+                  << "\"s\":\"t\",\"ts\":" << i.step << ",\"pid\":" << pid
+                  << ",\"tid\":" << (kObjectTidBase + i.object.value) << "}";
+        break;
+      case TraceRecorder::Instant::Kind::kObjectRestart:
+        e.event() << "{\"name\":\"restart(" << i.mode
+                  << ")\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+                  << i.step << ",\"pid\":" << pid << ",\"tid\":"
+                  << (kObjectTidBase + i.object.value) << "}";
+        break;
+      case TraceRecorder::Instant::Kind::kClientCrash:
+        e.event() << "{\"name\":\"client-crash\",\"cat\":\"fault\",\"ph\":"
+                  << "\"i\",\"s\":\"t\",\"ts\":" << i.step << ",\"pid\":"
+                  << pid << ",\"tid\":" << (kClientTidBase + i.client.value)
+                  << "}";
+        break;
+    }
+  }
+
+  // --- Counter tracks (the per-step time-series registry) ---
+  for (const auto& c : t.series()) {
+    e.event() << "{\"name\":\"storage bits\",\"ph\":\"C\",\"ts\":" << c.step
+              << ",\"pid\":" << pid << ",\"tid\":" << kCounterTid
+              << ",\"args\":{\"total\":" << c.total_bits << ",\"object\":"
+              << c.object_bits << ",\"channel\":" << c.channel_bits << "}}";
+    e.event() << "{\"name\":\"in-flight rmws\",\"ph\":\"C\",\"ts\":" << c.step
+              << ",\"pid\":" << pid << ",\"tid\":" << kCounterTid
+              << ",\"args\":{\"rmws\":" << c.in_flight_rmws << "}}";
+    e.event() << "{\"name\":\"queue\",\"ph\":\"C\",\"ts\":" << c.step
+              << ",\"pid\":" << pid << ",\"tid\":" << kCounterTid
+              << ",\"args\":{\"depth\":" << c.queue_depth << ",\"backlog\":"
+              << c.backlog << "}}";
+    e.event() << "{\"name\":\"faults\",\"ph\":\"C\",\"ts\":" << c.step
+              << ",\"pid\":" << pid << ",\"tid\":" << kCounterTid
+              << ",\"args\":{\"crashed_objects\":" << c.crashed_objects
+              << ",\"cut_links\":" << c.cut_links << "}}";
+  }
+}
+
+}  // namespace
+
+void write_trace_json(std::ostream& os,
+                      const std::vector<TraceProcess>& processes) {
+  os << "{\"traceEvents\":[\n";
+  Emitter e(os);
+  for (const auto& p : processes) {
+    if (p.trace != nullptr) emit_process(e, p);
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_trace_json(std::ostream& os, const TraceRecorder& trace) {
+  TraceProcess p;
+  p.trace = &trace;
+  p.pid = 0;
+  p.name = "sim";
+  write_trace_json(os, {p});
+}
+
+void write_timeseries_csv(std::ostream& os,
+                          const std::vector<TraceProcess>& processes) {
+  os << "process,step,in_flight_rmws,queue_depth,backlog,total_bits,"
+        "object_bits,channel_bits,crashed_objects,cut_links\n";
+  for (const auto& p : processes) {
+    if (p.trace == nullptr) continue;
+    for (const auto& c : p.trace->series()) {
+      os << p.pid << "," << c.step << "," << c.in_flight_rmws << ","
+         << c.queue_depth << "," << c.backlog << "," << c.total_bits << ","
+         << c.object_bits << "," << c.channel_bits << ","
+         << c.crashed_objects << "," << c.cut_links << "\n";
+    }
+  }
+}
+
+void write_timeseries_json(std::ostream& os,
+                           const std::vector<TraceProcess>& processes) {
+  os << "[\n";
+  bool first = true;
+  for (const auto& p : processes) {
+    if (p.trace == nullptr) continue;
+    for (const auto& c : p.trace->series()) {
+      if (!first) os << ",\n";
+      first = false;
+      os << "{\"process\":" << p.pid << ",\"step\":" << c.step
+         << ",\"in_flight_rmws\":" << c.in_flight_rmws << ",\"queue_depth\":"
+         << c.queue_depth << ",\"backlog\":" << c.backlog << ",\"total_bits\":"
+         << c.total_bits << ",\"object_bits\":" << c.object_bits
+         << ",\"channel_bits\":" << c.channel_bits << ",\"crashed_objects\":"
+         << c.crashed_objects << ",\"cut_links\":" << c.cut_links << "}";
+    }
+  }
+  os << "\n]\n";
+}
+
+}  // namespace sbrs::obs

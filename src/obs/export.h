@@ -1,0 +1,58 @@
+// Trace exporters: Chrome/Perfetto `trace_event` JSON and a time-series
+// dump (CSV or JSON) of the per-step counter registry.
+//
+// The trace_event output loads directly in ui.perfetto.dev (or
+// chrome://tracing): one process per simulator (the store maps shard i to
+// pid i, merged in shard index order), client threads carrying op spans,
+// per-object tracks carrying repair-window spans and crash/restart
+// instants, async spans for RMW messages (cat "rmw") and partition
+// intervals (cat "partition"), and counter tracks for the sampled series.
+// Timestamps are logical steps written as integers: the output is
+// byte-identical for the same {config, seed} regardless of thread count.
+//
+// Track layout per process (docs/observability.md has the full schema):
+//   tid 0            counter tracks ("storage bits", "in-flight rmws",
+//                    "queue", "faults")
+//   tid 1 + c        client c: "write"/"read" op spans (ph X), client-crash
+//                    instants, and the b/e ends of its RMW spans
+//   tid 1000 + o     object o: "repair" window spans (ph X), crash/restart
+//                    instants, partition b/e interval ends
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace sbrs::obs {
+
+/// One simulator's recorded trace, mapped to a trace_event process.
+struct TraceProcess {
+  const TraceRecorder* trace = nullptr;
+  uint32_t pid = 0;
+  std::string name;  // process_name metadata, e.g. "sim" or "shard3"
+};
+
+/// Serialize `processes` as trace_event JSON (one event per line). Spans
+/// still open (the run was cut off or an invariant fired mid-run) are
+/// clamped to their recorder's end_step() and flagged with "open": true.
+void write_trace_json(std::ostream& os,
+                      const std::vector<TraceProcess>& processes);
+
+/// Convenience: a single recorder as pid 0, name "sim".
+void write_trace_json(std::ostream& os, const TraceRecorder& trace);
+
+/// The counter series as CSV: header
+///   process,step,in_flight_rmws,queue_depth,backlog,total_bits,
+///   object_bits,channel_bits,crashed_objects,cut_links
+/// with one row per sample, processes in input order.
+void write_timeseries_csv(std::ostream& os,
+                          const std::vector<TraceProcess>& processes);
+
+/// The same series as a JSON array of objects (one per sample).
+void write_timeseries_json(std::ostream& os,
+                           const std::vector<TraceProcess>& processes);
+
+}  // namespace sbrs::obs

@@ -1,0 +1,165 @@
+#include "obs/trace.h"
+
+namespace sbrs::obs {
+
+const char* to_string(RmwOutcome o) {
+  switch (o) {
+    case RmwOutcome::kDelivered: return "delivered";
+    case RmwOutcome::kDropped: return "dropped";
+    case RmwOutcome::kLostCrashed: return "lost-crashed";
+  }
+  return "?";
+}
+
+void TraceRecorder::bump(uint64_t step) {
+  if (step != kOpen && step > end_step_) end_step_ = step;
+}
+
+void TraceRecorder::op_invoke(uint64_t step, OpId op, ClientId client,
+                              bool is_write, uint64_t arrival_step) {
+  bump(step);
+  OpSpan s;
+  s.op = op;
+  s.client = client;
+  s.is_write = is_write;
+  s.arrival = arrival_step;
+  s.invoke = step;
+  open_ops_[op.value] = ops_.size();
+  ops_.push_back(s);
+}
+
+void TraceRecorder::op_return(uint64_t step, OpId op, bool degraded) {
+  bump(step);
+  auto it = open_ops_.find(op.value);
+  if (it == open_ops_.end()) return;  // a return without a recorded invoke
+  ops_[it->second].ret = step;
+  ops_[it->second].degraded = degraded;
+  open_ops_.erase(it);
+}
+
+void TraceRecorder::rmw_trigger(uint64_t step, RmwId rmw, OpId op,
+                                ClientId client, ObjectId target,
+                                uint64_t request_bits, uint64_t deliverable_at,
+                                bool dropped) {
+  bump(step);
+  RmwSpan s;
+  s.rmw = rmw;
+  s.op = op;
+  s.client = client;
+  s.target = target;
+  s.request_bits = request_bits;
+  s.trigger = step;
+  s.delayed = deliverable_at > step;
+  s.dropped = dropped;
+  open_rmws_[rmw.value] = rmws_.size();
+  rmws_.push_back(s);
+}
+
+void TraceRecorder::rmw_delay(uint64_t step, RmwId rmw,
+                              uint64_t deliverable_at) {
+  bump(step);
+  (void)deliverable_at;
+  auto it = open_rmws_.find(rmw.value);
+  if (it == open_rmws_.end()) return;
+  rmws_[it->second].delayed = true;
+}
+
+void TraceRecorder::rmw_deliver(uint64_t step, RmwId rmw, RmwOutcome outcome,
+                                bool repair) {
+  bump(step);
+  auto it = open_rmws_.find(rmw.value);
+  if (it == open_rmws_.end()) return;
+  RmwSpan& s = rmws_[it->second];
+  s.end = step;
+  s.outcome = outcome;
+  s.repair = repair;
+  if (outcome == RmwOutcome::kDropped) s.dropped = true;
+  open_rmws_.erase(it);
+}
+
+void TraceRecorder::link_partition(uint64_t step, ClientId client,
+                                   ObjectId object) {
+  bump(step);
+  const uint64_t key = (uint64_t{client.value} << 32) | object.value;
+  IntervalSpan s;
+  s.client = client;
+  s.object = object;
+  s.begin = step;
+  open_partitions_[key] = partitions_.size();
+  partitions_.push_back(s);
+}
+
+void TraceRecorder::link_heal(uint64_t step, ClientId client,
+                              ObjectId object) {
+  bump(step);
+  const uint64_t key = (uint64_t{client.value} << 32) | object.value;
+  auto it = open_partitions_.find(key);
+  if (it == open_partitions_.end()) return;
+  partitions_[it->second].end = step;
+  open_partitions_.erase(it);
+}
+
+void TraceRecorder::object_crash(uint64_t step, ObjectId object) {
+  bump(step);
+  // A repairing object that crashes again leaves its repair window: close
+  // the interval here (the simulator clears the flag without a close hook).
+  auto it = open_repairs_.find(object.value);
+  if (it != open_repairs_.end()) {
+    repairs_[it->second].end = step;
+    open_repairs_.erase(it);
+  }
+  Instant i;
+  i.kind = Instant::Kind::kObjectCrash;
+  i.step = step;
+  i.object = object;
+  instants_.push_back(i);
+}
+
+void TraceRecorder::object_restart(uint64_t step, ObjectId object,
+                                   const char* mode) {
+  bump(step);
+  Instant i;
+  i.kind = Instant::Kind::kObjectRestart;
+  i.step = step;
+  i.object = object;
+  i.mode = mode;
+  instants_.push_back(i);
+
+  IntervalSpan s;
+  s.client = ClientId{UINT32_MAX};
+  s.object = object;
+  s.begin = step;
+  open_repairs_[object.value] = repairs_.size();
+  repairs_.push_back(s);
+}
+
+void TraceRecorder::repair_close(uint64_t step, ObjectId object) {
+  bump(step);
+  auto it = open_repairs_.find(object.value);
+  if (it == open_repairs_.end()) return;
+  repairs_[it->second].end = step;
+  open_repairs_.erase(it);
+}
+
+void TraceRecorder::client_crash(uint64_t step, ClientId client) {
+  bump(step);
+  Instant i;
+  i.kind = Instant::Kind::kClientCrash;
+  i.step = step;
+  i.client = client;
+  instants_.push_back(i);
+}
+
+void TraceRecorder::sample(const CounterSample& s) {
+  bump(s.step);
+  series_.push_back(s);
+}
+
+void TraceRecorder::finish(uint64_t step) { bump(step); }
+
+void TraceRecorder::annotate(const std::string& key,
+                             const std::string& value) {
+  annotations_.emplace_back(key, value);
+}
+
+}  // namespace sbrs::obs

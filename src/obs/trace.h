@@ -1,0 +1,219 @@
+// Structured tracing: typed event spans over a run's logical timeline.
+//
+// The simulator emits typed events — op spans (arrival -> invoke -> return),
+// RMW message spans (trigger -> deliver/drop), partition and repair-window
+// intervals, crash/restart instants, decimated counter samples — through the
+// TraceSink interface. Timestamps are logical steps, so a trace is a pure
+// function of {config, seed}: the same run produces byte-identical exports
+// no matter how many worker threads executed it, and per-shard store traces
+// merge deterministically in shard order.
+//
+// The disabled path is a null pointer: SimConfig::trace defaults to nullptr
+// and every emission site is guarded by one pointer test (the same O(1)
+// discipline as LinkFaultTable::engaged()), so trace-free runs take zero
+// extra RNG draws, allocate nothing, and keep every existing artifact and
+// fingerprint byte-identical. Tracing never enters any fingerprint.
+//
+// TraceRecorder is the standard sink: it assembles the event stream into
+// spans/instants/series in memory; the exporters (obs/export.h) serialize a
+// recorder to Chrome/Perfetto trace_event JSON or a time-series table.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace sbrs::obs {
+
+/// What happened when an RMW left the channel.
+enum class RmwOutcome {
+  kDelivered,    // reached a live object and took effect
+  kDropped,      // lost in the network (probabilistic or scripted drop)
+  kLostCrashed,  // delivered to a crashed object: never takes effect
+};
+
+const char* to_string(RmwOutcome o);
+
+/// One decimated sample of the per-step time-series registry (taken every
+/// SimConfig::sample_every steps, like the storage-meter series).
+struct CounterSample {
+  uint64_t step = 0;
+  uint64_t in_flight_rmws = 0;  // channel occupancy (pending RMWs)
+  uint64_t queue_depth = 0;     // open-loop released-but-undispatched ops
+  uint64_t backlog = 0;         // open-loop ops not yet handed to a session
+  uint64_t total_bits = 0;      // Definition 2 total (object+client+channel)
+  uint64_t object_bits = 0;
+  uint64_t channel_bits = 0;
+  uint32_t crashed_objects = 0;
+  uint32_t cut_links = 0;
+};
+
+/// The event interface the engines emit into. All hooks take the logical
+/// step at which the event happened; implementations must not assume any
+/// cross-event ordering beyond nondecreasing steps per emitting simulator.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// A high-level operation was invoked. `arrival_step` <= `step`: the
+  /// scheduled arrival for open-loop workloads, == step for closed-loop.
+  virtual void op_invoke(uint64_t step, OpId op, ClientId client,
+                         bool is_write, uint64_t arrival_step) = 0;
+  /// The operation returned. `degraded`: it returned while >= 1 object was
+  /// crashed or >= 1 link was cut (the degraded_sojourn condition).
+  virtual void op_return(uint64_t step, OpId op, bool degraded) = 0;
+
+  /// An RMW entered the channel. `deliverable_at` > step means a
+  /// delay/reorder window stamped a future release; `dropped` means the
+  /// loss draw already condemned it (it still occupies the channel until
+  /// its delivery slot).
+  virtual void rmw_trigger(uint64_t step, RmwId rmw, OpId op, ClientId client,
+                           ObjectId target, uint64_t request_bits,
+                           uint64_t deliverable_at, bool dropped) = 0;
+  /// A scripted kDelayRmw action pushed the release time to
+  /// `deliverable_at`.
+  virtual void rmw_delay(uint64_t step, RmwId rmw, uint64_t deliverable_at) = 0;
+  /// The RMW left the channel. `repair`: it landed on an object inside its
+  /// post-restart repair window (its bits were charged to repair_bits).
+  virtual void rmw_deliver(uint64_t step, RmwId rmw, RmwOutcome outcome,
+                           bool repair) = 0;
+
+  /// One link was cut / re-opened (a whole-object partition emits one event
+  /// per client link, matching RunReport::partition_events).
+  virtual void link_partition(uint64_t step, ClientId client,
+                              ObjectId object) = 0;
+  virtual void link_heal(uint64_t step, ClientId client, ObjectId object) = 0;
+
+  virtual void object_crash(uint64_t step, ObjectId object) = 0;
+  /// `mode` is sim::to_string(RestartMode): "disk" | "scratch". Opens the
+  /// object's repair window.
+  virtual void object_restart(uint64_t step, ObjectId object,
+                              const char* mode) = 0;
+  /// The repair window closed: the first payload-carrying fresh-write RMW
+  /// landed on the restarted object.
+  virtual void repair_close(uint64_t step, ObjectId object) = 0;
+  virtual void client_crash(uint64_t step, ClientId client) = 0;
+
+  /// One decimated counter sample (every SimConfig::sample_every steps).
+  virtual void sample(const CounterSample& s) = 0;
+
+  /// The run ended at `step`. Idempotent; a recorder serialized without a
+  /// finish (an engine invariant fired mid-run) still exports everything
+  /// recorded so far, with open spans clamped to the last event seen.
+  virtual void finish(uint64_t step) = 0;
+};
+
+/// The standard in-memory sink: assembles the event stream into spans,
+/// instants and series for the exporters. One recorder per simulator; the
+/// store attaches one per shard (each written by exactly one worker) and
+/// merges them in shard order at serialization time.
+class TraceRecorder final : public TraceSink {
+ public:
+  /// Sentinel end step of a span that never closed.
+  static constexpr uint64_t kOpen = UINT64_MAX;
+
+  struct OpSpan {
+    OpId op;
+    ClientId client;
+    bool is_write = false;
+    uint64_t arrival = 0;
+    uint64_t invoke = 0;
+    uint64_t ret = kOpen;
+    bool degraded = false;
+  };
+
+  struct RmwSpan {
+    RmwId rmw;
+    OpId op;
+    ClientId client;
+    ObjectId target;
+    uint64_t request_bits = 0;
+    uint64_t trigger = 0;
+    uint64_t end = kOpen;
+    RmwOutcome outcome = RmwOutcome::kDelivered;  // meaningful once closed
+    bool repair = false;
+    bool delayed = false;  // a future release time was ever stamped
+    bool dropped = false;  // the loss draw / scripted drop condemned it
+  };
+
+  /// A partition interval on one link, or a repair window on one object
+  /// (client.value == UINT32_MAX for repair windows).
+  struct IntervalSpan {
+    ClientId client;
+    ObjectId object;
+    uint64_t begin = 0;
+    uint64_t end = kOpen;
+  };
+
+  struct Instant {
+    enum class Kind { kObjectCrash, kObjectRestart, kClientCrash };
+    Kind kind = Kind::kObjectCrash;
+    uint64_t step = 0;
+    ClientId client;       // kClientCrash
+    ObjectId object;       // kObjectCrash / kObjectRestart
+    const char* mode = "";  // kObjectRestart: "disk" | "scratch"
+  };
+
+  // --- TraceSink ---
+  void op_invoke(uint64_t step, OpId op, ClientId client, bool is_write,
+                 uint64_t arrival_step) override;
+  void op_return(uint64_t step, OpId op, bool degraded) override;
+  void rmw_trigger(uint64_t step, RmwId rmw, OpId op, ClientId client,
+                   ObjectId target, uint64_t request_bits,
+                   uint64_t deliverable_at, bool dropped) override;
+  void rmw_delay(uint64_t step, RmwId rmw, uint64_t deliverable_at) override;
+  void rmw_deliver(uint64_t step, RmwId rmw, RmwOutcome outcome,
+                   bool repair) override;
+  void link_partition(uint64_t step, ClientId client, ObjectId object) override;
+  void link_heal(uint64_t step, ClientId client, ObjectId object) override;
+  void object_crash(uint64_t step, ObjectId object) override;
+  void object_restart(uint64_t step, ObjectId object,
+                      const char* mode) override;
+  void repair_close(uint64_t step, ObjectId object) override;
+  void client_crash(uint64_t step, ClientId client) override;
+  void sample(const CounterSample& s) override;
+  void finish(uint64_t step) override;
+
+  /// Run-level key/value annotation (stop_reason, saturation verdict, ...),
+  /// exported into the trace's metadata block. Insertion-ordered, so
+  /// annotate calls must themselves be deterministic.
+  void annotate(const std::string& key, const std::string& value);
+
+  // --- Assembled state (exporters / tests) ---
+  const std::vector<OpSpan>& ops() const { return ops_; }
+  const std::vector<RmwSpan>& rmws() const { return rmws_; }
+  const std::vector<IntervalSpan>& partitions() const { return partitions_; }
+  const std::vector<IntervalSpan>& repairs() const { return repairs_; }
+  const std::vector<Instant>& instants() const { return instants_; }
+  const std::vector<CounterSample>& series() const { return series_; }
+  const std::vector<std::pair<std::string, std::string>>& annotations() const {
+    return annotations_;
+  }
+  /// Running max over every event step seen (also the finish step once
+  /// finish ran): the clamp exporters use for spans still open.
+  uint64_t end_step() const { return end_step_; }
+
+ private:
+  void bump(uint64_t step);
+
+  std::vector<OpSpan> ops_;
+  std::vector<RmwSpan> rmws_;
+  std::vector<IntervalSpan> partitions_;
+  std::vector<IntervalSpan> repairs_;
+  std::vector<Instant> instants_;
+  std::vector<CounterSample> series_;
+  std::vector<std::pair<std::string, std::string>> annotations_;
+
+  // Open-span lookup (value -> index into the vectors above).
+  std::map<uint64_t, size_t> open_ops_;
+  std::map<uint64_t, size_t> open_rmws_;
+  std::map<uint64_t, size_t> open_partitions_;  // key: client<<32 | object
+  std::map<uint32_t, size_t> open_repairs_;     // key: object
+  uint64_t end_step_ = 0;
+};
+
+}  // namespace sbrs::obs

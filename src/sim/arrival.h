@@ -124,6 +124,10 @@ class ArrivalQueue {
   /// Largest number of released-but-undispatched entries ever queued.
   uint64_t max_queue_depth() const { return max_queue_depth_; }
 
+  /// Released-but-undispatched entries queued right now (the trace layer's
+  /// queue-depth counter samples this each step).
+  uint64_t depth() const { return ready_.size(); }
+
   /// Entries not yet popped (queued now or arriving later).
   size_t undispatched() const {
     return ready_.size() + (scheduled_.size() - released_);

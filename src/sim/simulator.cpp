@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/stop_reason.h"
+
 namespace sbrs::sim {
 
 /// The per-step capability object handed to clients. It queues side effects
@@ -35,6 +37,12 @@ class Simulator::ContextImpl final : public SimContext {
     sim_.acct_channel_bits_ += p.request_footprint.total_bits();
     sim_.pending_.push_back(std::move(p));
     ++sim_.report_.rmws_triggered;
+    if (sim_.config_.trace != nullptr) {
+      const PendingRmw& q = sim_.pending_.back();
+      sim_.config_.trace->rmw_trigger(sim_.time_, q.id, q.op, self_, q.target,
+                                      q.request_footprint.total_bits(),
+                                      q.deliverable_at, q.dropped);
+    }
     return sim_.pending_.back().id;
   }
 
@@ -45,12 +53,17 @@ class Simulator::ContextImpl final : public SimContext {
     SBRS_CHECK_MSG(rec != nullptr, "complete for unrecorded " << op);
     sim_.report_.op_latency.record(sim_.time_ - rec->invoke_time);
     sim_.report_.sojourn_latency.record(sim_.time_ - rec->arrival_time);
-    if (sim_.crashed_objects_ > 0 || sim_.faults_.cut_links() > 0) {
+    const bool degraded =
+        sim_.crashed_objects_ > 0 || sim_.faults_.cut_links() > 0;
+    if (degraded) {
       sim_.report_.degraded_sojourn.record(sim_.time_ - rec->arrival_time);
     }
     sim_.history_.record_return(sim_.time_, op, result);
     sim_.outstanding_[self_.value] = std::nullopt;
     ++sim_.report_.completed_ops;
+    if (sim_.config_.trace != nullptr) {
+      sim_.config_.trace->op_return(sim_.time_, op, degraded);
+    }
   }
 
   ClientId self() const override { return self_; }
@@ -288,6 +301,23 @@ bool Simulator::step() {
   }
   ++time_;
   observe_storage();
+  // The per-step time-series registry: one counter sample per sample_every
+  // steps (the storage-meter decimation), feeding the trace's counter
+  // tracks. Pure reads of the incrementally tracked totals — O(1).
+  if (config_.trace != nullptr &&
+      time_ % (config_.sample_every == 0 ? 1 : config_.sample_every) == 0) {
+    obs::CounterSample s;
+    s.step = time_;
+    s.in_flight_rmws = pending_.size();
+    s.queue_depth = workload_->queue_depth();
+    s.backlog = workload_->backlog();
+    s.total_bits = acct_object_bits_ + acct_client_bits_ + acct_channel_bits_;
+    s.object_bits = acct_object_bits_;
+    s.channel_bits = acct_channel_bits_;
+    s.crashed_objects = crashed_objects_;
+    s.cut_links = static_cast<uint32_t>(faults_.cut_links());
+    config_.trace->sample(s);
+  }
   return true;
 }
 
@@ -308,12 +338,13 @@ RunReport Simulator::run() {
   // Classify the stop for the exports: a scheduler that stated a reason
   // keeps it, everything else reduces to the three simulator outcomes.
   if (report_.hit_step_limit) {
-    report_.stop_reason = "step-limit";
+    report_.stop_reason = kStopStepLimit;
   } else if (scheduler_stopped_) {
-    if (report_.stop_reason.empty()) report_.stop_reason = "scheduler-stop";
+    if (report_.stop_reason.empty()) report_.stop_reason = kStopSchedulerStop;
   } else {
-    report_.stop_reason = report_.quiesced ? "quiesced" : "stalled";
+    report_.stop_reason = report_.quiesced ? kStopQuiesced : kStopStalled;
   }
+  if (config_.trace != nullptr) config_.trace->finish(time_);
   return report_;
 }
 
@@ -364,6 +395,9 @@ void Simulator::record_partitions(const std::vector<Link>& cut) {
   for (const Link& l : cut) {
     history_.record_partition(time_, l.client, l.object);
     ++report_.partition_events;
+    if (config_.trace != nullptr) {
+      config_.trace->link_partition(time_, l.client, l.object);
+    }
   }
 }
 
@@ -371,6 +405,9 @@ void Simulator::record_heals(const std::vector<Link>& healed) {
   for (const Link& l : healed) {
     history_.record_heal(time_, l.client, l.object);
     ++report_.heal_events;
+    if (config_.trace != nullptr) {
+      config_.trace->link_heal(time_, l.client, l.object);
+    }
   }
 }
 
@@ -405,6 +442,9 @@ void Simulator::do_drop_rmw(RmwId id) {
   acct_channel_bits_ -= it->request_footprint.total_bits();
   pending_.erase(it);
   ++report_.rmws_dropped;
+  if (config_.trace != nullptr) {
+    config_.trace->rmw_deliver(time_, id, obs::RmwOutcome::kDropped, false);
+  }
 }
 
 void Simulator::do_delay_rmw(RmwId id, uint64_t delay) {
@@ -416,6 +456,9 @@ void Simulator::do_delay_rmw(RmwId id, uint64_t delay) {
   // deliverability-filtered scheduling paths respect the delay.
   faults_.engage();
   ++report_.rmws_delayed;
+  if (config_.trace != nullptr) {
+    config_.trace->rmw_delay(time_, id, it->deliverable_at);
+  }
 }
 
 void Simulator::do_deliver(RmwId id) {
@@ -434,10 +477,22 @@ void Simulator::do_deliver(RmwId id) {
   // Dropped RMWs: this delivery is the loss taking effect — the request
   // left the channel and never reaches the object (counted in
   // rmws_dropped at the drop draw).
-  if (p.dropped) return;
+  if (p.dropped) {
+    if (config_.trace != nullptr) {
+      config_.trace->rmw_deliver(time_, p.id, obs::RmwOutcome::kDropped,
+                                 false);
+    }
+    return;
+  }
 
   // RMWs on crashed objects are lost (never take effect, never respond).
-  if (!object_alive(p.target)) return;
+  if (!object_alive(p.target)) {
+    if (config_.trace != nullptr) {
+      config_.trace->rmw_deliver(time_, p.id, obs::RmwOutcome::kLostCrashed,
+                                 false);
+    }
+    return;
+  }
 
   // Repair window: every RMW a restarted-but-not-yet-overwritten object
   // receives is recovery traffic — its request bits are charged to
@@ -448,14 +503,22 @@ void Simulator::do_deliver(RmwId id) {
   // re-converges the replica. The payload requirement matters for the
   // two-round algorithms — ABD's query round of a fresh write is a pure
   // read of timestamps (0 request bits) and leaves the replica stale.
-  if (object_repairing_[p.target.value]) {
+  const bool repairing = object_repairing_[p.target.value];
+  if (repairing) {
     report_.repair_bits += p.request_footprint.total_bits();
     const sim::OpRecord* rec = history_.find(p.op);
     if (rec != nullptr && rec->kind == OpKind::kWrite &&
         rec->invoke_time >= object_restart_time_[p.target.value] &&
         p.request_footprint.total_bits() > 0) {
       object_repairing_[p.target.value] = false;
+      if (config_.trace != nullptr) {
+        config_.trace->repair_close(time_, p.target);
+      }
     }
+  }
+  if (config_.trace != nullptr) {
+    config_.trace->rmw_deliver(time_, p.id, obs::RmwOutcome::kDelivered,
+                               repairing);
   }
 
   // The state change is atomic; the response is produced with it.
@@ -478,6 +541,10 @@ void Simulator::do_invoke(ClientId c) {
   SBRS_CHECK(inv.client == c);
   outstanding_[c.value] = inv.op;
   history_.record_invoke(time_, inv);
+  if (config_.trace != nullptr) {
+    config_.trace->op_invoke(time_, inv.op, c, inv.kind == OpKind::kWrite,
+                             inv.arrival_time.value_or(time_));
+  }
   ContextImpl ctx(*this, c);
   clients_[c.value]->on_invoke(inv, ctx);
   refresh_client_bits(c);
@@ -493,6 +560,7 @@ void Simulator::do_crash_object(ObjectId o) {
   ++crashed_objects_;
   ++report_.object_crash_events;
   history_.record_object_crash(time_, o);
+  if (config_.trace != nullptr) config_.trace->object_crash(time_, o);
   // Pending RMWs targeting the crashed object will be dropped on delivery.
   // Its state is frozen from here on; when crashed storage is excluded from
   // the Definition 2 total, it leaves the aggregate now.
@@ -532,12 +600,16 @@ void Simulator::restart_object(ObjectId o, RestartMode mode) {
   object_restart_time_[o.value] = time_;
   ++report_.object_restarts;
   history_.record_object_restart(time_, o, mode);
+  if (config_.trace != nullptr) {
+    config_.trace->object_restart(time_, o, to_string(mode));
+  }
 }
 
 void Simulator::do_crash_client(ClientId c) {
   SBRS_CHECK(c.value < client_alive_.size());
   if (!client_alive_[c.value]) return;
   client_alive_[c.value] = false;
+  if (config_.trace != nullptr) config_.trace->client_crash(time_, c);
   // Its outstanding operation stays outstanding forever; its pending RMWs
   // may still take effect on objects (and stay counted as channel storage
   // until delivered, matching snapshot()'s in_flight accounting).

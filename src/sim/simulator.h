@@ -21,6 +21,7 @@
 #include "metrics/latency_histogram.h"
 #include "metrics/snapshot.h"
 #include "metrics/storage_meter.h"
+#include "obs/trace.h"
 #include "sim/client.h"
 #include "sim/history.h"
 #include "sim/linkfault.h"
@@ -57,6 +58,15 @@ struct SimConfig {
   /// driven through Actions instead. Empty options keep the fault layer
   /// fully disengaged — zero RNG draws, identical schedules.
   LinkFaultOptions link_faults;
+  /// Structured trace sink (obs/trace.h): op spans, RMW message spans,
+  /// partition/repair intervals, crash/restart instants and decimated
+  /// counter samples are emitted into it as the run executes, stamped with
+  /// logical steps. Null (the default) disables tracing entirely: every
+  /// emission site is one pointer test, no RNG draw, no allocation — the
+  /// same O(1) disabled-path discipline as LinkFaultTable::engaged(), so
+  /// trace-free runs keep artifacts and fingerprints byte-identical. The
+  /// sink is borrowed, not owned; it must outlive the simulator.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct RunReport {
@@ -64,10 +74,11 @@ struct RunReport {
   bool hit_step_limit = false;
   /// True when every workload operation was invoked and returned.
   bool quiesced = false;
-  /// Why run() ended: "quiesced" (drained), "step-limit", "stalled"
+  /// Why run() ended: kStopQuiesced (drained), kStopStepLimit, kStopStalled
   /// (undrained but nothing will ever be schedulable again), or the
-  /// scheduler's own stated reason ("scheduler-stop" when it gave none).
-  /// Empty until run() completes once.
+  /// scheduler's own stated reason (kStopSchedulerStop when it gave none).
+  /// The canonical values live in common/stop_reason.h. Empty until run()
+  /// completes once.
   std::string stop_reason;
   size_t invoked_ops = 0;
   size_t completed_ops = 0;

@@ -41,6 +41,15 @@ class Workload {
   /// schedulable but a future arrival exists, the simulator fast-forwards
   /// its logical clock to it instead of stopping.
   virtual std::optional<uint64_t> next_arrival() const { return std::nullopt; }
+
+  /// Current released-but-undispatched queue depth (the trace layer's
+  /// per-step counter registry samples this). Closed-loop workloads have no
+  /// queue: 0.
+  virtual uint64_t queue_depth() const { return 0; }
+
+  /// Operations not yet handed to a session — queued now or arriving later
+  /// (the open-loop saturation backlog). Closed-loop: 0.
+  virtual uint64_t backlog() const { return 0; }
 };
 
 /// Each of the first `writers` clients performs `writes_per_client`
@@ -115,6 +124,8 @@ class OpenLoopWorkload final : public Workload {
   Invocation next(ClientId c, OpId id) override;
   void advance_to(uint64_t now) override;
   std::optional<uint64_t> next_arrival() const override;
+  uint64_t queue_depth() const override { return queue_.depth(); }
+  uint64_t backlog() const override { return queue_.undispatched(); }
 
   /// Largest number of released-but-undispatched operations ever queued.
   uint64_t max_queue_depth() const { return queue_.max_queue_depth(); }

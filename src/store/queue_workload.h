@@ -47,6 +47,8 @@ class QueueWorkload final : public sim::Workload {
   sim::Invocation next(ClientId c, OpId id) override;
   void advance_to(uint64_t now) override;
   std::optional<uint64_t> next_arrival() const override;
+  uint64_t queue_depth() const override { return queue_.depth(); }
+  uint64_t backlog() const override { return queue_.undispatched(); }
 
   /// OpIds issued on behalf of `session`, in issue order (the interactive
   /// driver uses this to find the completion record of the op it pushed).

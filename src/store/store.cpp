@@ -13,6 +13,7 @@
 #include "harness/algorithms.h"
 #include "harness/export.h"
 #include "harness/sweep.h"
+#include "obs/export.h"
 #include "sim/schedulers.h"
 #include "store/multi_client.h"
 #include "store/multi_object.h"
@@ -115,6 +116,9 @@ struct Store::Shard {
   QueueWorkload* workload = nullptr;  // owned by the simulator
   std::unique_ptr<sim::Simulator> sim;
   std::vector<uint32_t> premounted;  // key ids loaded at time zero
+  /// Written only by the worker draining this shard (run() hands each shard
+  /// to exactly one task), read only after the parallel_map barrier.
+  std::unique_ptr<obs::TraceRecorder> trace;
 };
 
 Store::Store(StoreOptions opts) : opts_(std::move(opts)), map_(opts_.num_shards) {
@@ -158,6 +162,10 @@ Store::Store(StoreOptions opts) : opts_(std::move(opts)), map_(opts_.num_shards)
     sc.link_faults.seed = sim::fault_seed(harness::cell_seed(opts_.seed, s, 0));
     if (opts_.verify_accounting.has_value()) {
       sc.verify_accounting = *opts_.verify_accounting;
+    }
+    if (opts_.trace) {
+      shard->trace = std::make_unique<obs::TraceRecorder>();
+      sc.trace = shard->trace.get();
     }
 
     auto workload =
@@ -214,6 +222,11 @@ const sim::Simulator& Store::shard_sim(uint32_t shard) const {
 const OpKeyTable& Store::shard_op_keys(uint32_t shard) const {
   SBRS_CHECK(shard < shards_.size());
   return *shards_[shard]->op_keys;
+}
+
+const obs::TraceRecorder* Store::shard_trace(uint32_t shard) const {
+  SBRS_CHECK(shard < shards_.size());
+  return shards_[shard]->trace.get();
 }
 
 std::optional<Value> Store::drive(const std::string& key, sim::OpKind kind,
@@ -614,6 +627,31 @@ void write_store_json(std::ostream& os, const StoreResult& r) {
      << ", \"threads_used\": " << r.threads_used << "}\n";
   os << "}\n";
   os.precision(saved_precision);
+}
+
+namespace {
+
+std::vector<obs::TraceProcess> trace_processes(const Store& store) {
+  SBRS_CHECK_MSG(store.options().trace,
+                 "store trace export needs StoreOptions::trace");
+  std::vector<obs::TraceProcess> procs;
+  procs.reserve(store.options().num_shards);
+  for (uint32_t s = 0; s < store.options().num_shards; ++s) {
+    const obs::TraceRecorder* rec = store.shard_trace(s);
+    SBRS_CHECK(rec != nullptr);
+    procs.push_back({rec, s, "shard" + std::to_string(s)});
+  }
+  return procs;
+}
+
+}  // namespace
+
+void write_store_trace_json(std::ostream& os, const Store& store) {
+  obs::write_trace_json(os, trace_processes(store));
+}
+
+void write_store_timeseries_csv(std::ostream& os, const Store& store) {
+  obs::write_timeseries_csv(os, trace_processes(store));
 }
 
 }  // namespace sbrs::store

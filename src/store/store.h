@@ -104,6 +104,12 @@ struct StoreOptions {
   /// Worker threads for run(); 0 = hardware concurrency.
   uint32_t threads = 0;
   bool check_consistency = true;
+  /// Attach an obs::TraceRecorder to every shard simulator. Each recorder
+  /// is written by exactly one worker (run() drains one shard per task), so
+  /// tracing stays race-free and the merged export (write_store_trace_json)
+  /// is byte-identical for any thread count. Off (the default), no recorder
+  /// exists and every shard runs the null-sink O(1) path.
+  bool trace = false;
   uint64_t max_steps_per_shard = 8'000'000;
   /// Records are named `<key_prefix><i>` for i in [0, workload.num_keys).
   std::string key_prefix = "user";
@@ -235,6 +241,10 @@ class Store {
   /// The op -> key table of `shard` (tests / external history splitting).
   const OpKeyTable& shard_op_keys(uint32_t shard) const;
 
+  /// The trace recorder of `shard`, or nullptr when StoreOptions::trace is
+  /// off (tests / custom exporters; write_store_trace_json merges them all).
+  const obs::TraceRecorder* shard_trace(uint32_t shard) const;
+
  private:
   struct Shard;
 
@@ -278,5 +288,15 @@ void write_store_deterministic_json(std::ostream& os,
 /// histories through the checker hierarchy directly.
 std::map<uint32_t, sim::History> split_history_by_key(
     const sim::History& h, const OpKeyTable& op_keys);
+
+/// Chrome trace_event JSON of every shard's trace, one process per shard
+/// (pid = shard index, name "shard<i>"), merged in shard-index order — the
+/// bytes are identical for any worker thread count. Requires
+/// StoreOptions::trace; throws CheckFailure otherwise.
+void write_store_trace_json(std::ostream& os, const Store& store);
+
+/// CSV counterpart (see obs::write_timeseries_csv) of the shards' per-step
+/// counter series, `process` column = "shard<i>".
+void write_store_timeseries_csv(std::ostream& os, const Store& store);
 
 }  // namespace sbrs::store

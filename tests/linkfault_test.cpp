@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/stop_reason.h"
 #include "harness/algorithms.h"
 #include "harness/runner.h"
 #include "harness/sweep.h"
@@ -257,18 +258,18 @@ TEST(DelayRun, DelaysAreCountedAndRunStillQuiesces) {
   EXPECT_GT(out.report.rmws_delayed, 0u);
   EXPECT_TRUE(out.live);
   EXPECT_TRUE(out.report.quiesced);
-  EXPECT_EQ(out.report.stop_reason, "quiesced");
+  EXPECT_EQ(out.report.stop_reason, kStopQuiesced);
 }
 
 TEST(StopReason, ClassifiesQuiescedAndStepLimit) {
   auto algorithm = harness::make_algorithm("adaptive", small_cfg());
   harness::RunOptions opts = base_opts(1);
   auto out = harness::run_register_experiment(*algorithm, opts);
-  EXPECT_EQ(out.report.stop_reason, "quiesced");
+  EXPECT_EQ(out.report.stop_reason, kStopQuiesced);
 
   opts.max_steps = 20;  // cut the run off mid-flight
   out = harness::run_register_experiment(*algorithm, opts);
-  EXPECT_EQ(out.report.stop_reason, "step-limit");
+  EXPECT_EQ(out.report.stop_reason, kStopStepLimit);
 }
 
 // --- Store-level partition/heal determinism (the acceptance pin) ---

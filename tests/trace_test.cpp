@@ -1,0 +1,418 @@
+// Structured-trace tests: recorder span lifecycles driven through real
+// register runs, Chrome trace_event export shape, determinism pins (same
+// seed -> byte-identical trace; store traces byte-identical across worker
+// thread counts), the golden partition-heal interval pin against a
+// scripted fault timeline, the disabled path's fingerprint neutrality, the
+// campaign bundle's trace.json, and the sweep/campaign progress heartbeat.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stop_reason.h"
+#include "harness/campaign.h"
+#include "harness/runner.h"
+#include "harness/scenario.h"
+#include "harness/sweep.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "store/store.h"
+
+#ifndef SBRS_SOURCE_DIR
+#error "SBRS_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace sbrs {
+namespace {
+
+namespace fs = std::filesystem;
+
+registers::RegisterConfig small_cfg() {
+  registers::RegisterConfig cfg;
+  cfg.f = 1;
+  cfg.k = 2;
+  cfg.n = 4;
+  cfg.data_bits = 64;
+  return cfg;
+}
+
+harness::RunOptions base_opts(uint64_t seed) {
+  harness::RunOptions opts;
+  opts.writers = 2;
+  opts.writes_per_client = 5;
+  opts.readers = 2;
+  opts.reads_per_client = 5;
+  opts.seed = seed;
+  return opts;
+}
+
+std::string shipped(const char* name) {
+  return std::string(SBRS_SOURCE_DIR) + "/scenarios/" + name;
+}
+
+std::string trace_json_of(const obs::TraceRecorder& rec) {
+  std::ostringstream os;
+  obs::write_trace_json(os, rec);
+  return os.str();
+}
+
+size_t count_of(const std::string& hay, const std::string& needle) {
+  size_t n = 0;
+  for (size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+/// A scratch directory removed on scope exit.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("sbrs-trace-test-" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+std::string read_file(const fs::path& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << path;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+// --- Recorder span lifecycles through a real run ---
+
+TEST(TraceRecorder, OpAndRmwSpansCloseOnAQuiescedRun) {
+  auto algorithm = harness::make_algorithm("adaptive", small_cfg());
+  harness::RunOptions opts = base_opts(11);
+  obs::TraceRecorder rec;
+  opts.trace = &rec;
+  auto out = harness::run_register_experiment(*algorithm, opts);
+  ASSERT_TRUE(out.live);
+  EXPECT_EQ(out.report.stop_reason, kStopQuiesced);
+
+  // Every invoked operation produced a span, and every span closed with
+  // invoke/return ordered around the arrival.
+  EXPECT_EQ(rec.ops().size(), out.report.invoked_ops);
+  for (const auto& op : rec.ops()) {
+    EXPECT_NE(op.ret, obs::TraceRecorder::kOpen);
+    EXPECT_LE(op.arrival, op.invoke);
+    EXPECT_LE(op.invoke, op.ret);
+    EXPECT_FALSE(op.degraded);  // fault-free run
+  }
+  // Every triggered RMW span closed as delivered (no faults configured).
+  EXPECT_EQ(rec.rmws().size(), out.report.rmws_triggered);
+  for (const auto& rmw : rec.rmws()) {
+    EXPECT_NE(rmw.end, obs::TraceRecorder::kOpen);
+    EXPECT_LE(rmw.trigger, rmw.end);
+    EXPECT_EQ(rmw.outcome, obs::RmwOutcome::kDelivered);
+    EXPECT_FALSE(rmw.dropped);
+  }
+  EXPECT_TRUE(rec.partitions().empty());
+  EXPECT_TRUE(rec.instants().empty());
+  // finish() pinned the trace end to the run's final step.
+  EXPECT_EQ(rec.end_step(), out.report.steps);
+  // The per-step registry sampled throughout the run.
+  ASSERT_FALSE(rec.series().empty());
+  for (const auto& s : rec.series()) {
+    EXPECT_LE(s.step, out.report.steps);
+    EXPECT_EQ(s.queue_depth, 0u);  // closed-loop: no arrival queue
+  }
+}
+
+TEST(TraceRecorder, DropsAndCrashInstantsAreRecorded) {
+  registers::RegisterConfig cfg = small_cfg();
+  cfg.f = 2;
+  cfg.n = 2 * cfg.f + cfg.k;
+  auto algorithm = harness::make_algorithm("adaptive", cfg);
+  harness::RunOptions opts = base_opts(5);
+  opts.link_faults.drop_permyriad = 2'000;
+  opts.link_faults.max_drops = 4;
+  opts.object_crashes = 1;
+  obs::TraceRecorder rec;
+  opts.trace = &rec;
+  auto out = harness::run_register_experiment(*algorithm, opts);
+
+  size_t dropped = 0;
+  for (const auto& rmw : rec.rmws()) {
+    if (rmw.outcome == obs::RmwOutcome::kDropped) {
+      ++dropped;
+      EXPECT_TRUE(rmw.dropped);
+    }
+  }
+  EXPECT_EQ(dropped, out.report.rmws_dropped);
+
+  size_t crashes = 0;
+  for (const auto& i : rec.instants()) {
+    if (i.kind == obs::TraceRecorder::Instant::Kind::kObjectCrash) ++crashes;
+  }
+  EXPECT_EQ(crashes, out.report.object_crash_events);
+}
+
+// --- The golden partition-heal pin ---
+
+TEST(TraceGolden, ScriptedPartitionIntervalMatchesFaultTimeline) {
+  // partition_object at=400 heal_after=500: the auto-heal fires when the
+  // fault table advances to step 900, so EVERY recorded partition interval
+  // must be exactly [400, 900] — the span begin/end are the fault timeline,
+  // not approximations of it.
+  auto algorithm = harness::make_algorithm("adaptive", small_cfg());
+  harness::RunOptions opts = base_opts(7);
+  opts.writes_per_client = 6;
+  opts.reads_per_client = 6;
+  sim::FaultEvent cut;
+  cut.kind = sim::FaultEvent::Kind::kPartitionObject;
+  cut.at = 400;
+  cut.object = 0;
+  cut.heal_after = 500;
+  opts.fault_timeline = {cut};
+  obs::TraceRecorder rec;
+  opts.trace = &rec;
+  auto out = harness::run_register_experiment(*algorithm, opts);
+  ASSERT_TRUE(out.live);
+
+  ASSERT_EQ(rec.partitions().size(), 4u);  // one link span per client
+  for (const auto& span : rec.partitions()) {
+    EXPECT_EQ(span.object.value, 0u);
+    EXPECT_EQ(span.begin, 400u);
+    EXPECT_EQ(span.end, 900u);
+  }
+
+  // And the exported JSON pins the same numbers as b/e event timestamps.
+  const std::string json = trace_json_of(rec);
+  EXPECT_EQ(count_of(json, "\"cat\":\"partition\",\"ph\":\"b\""), 4u);
+  EXPECT_EQ(count_of(json, "\"ph\":\"b\",\"id\":0,\"ts\":400"), 1u);
+  EXPECT_EQ(count_of(json, "\"ph\":\"e\",\"id\":0,\"ts\":900"), 1u);
+}
+
+// --- Determinism pins ---
+
+TEST(TraceDeterminism, SameSeedSameBytes) {
+  const harness::Scenario scenario =
+      harness::load_scenario(shipped("partition-heal.json"));
+  std::string a, b;
+  harness::run_scenario(scenario, 7, &a);
+  harness::run_scenario(scenario, 7, &b);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // A different seed produces a different trace (the schedule moved).
+  std::string c;
+  harness::run_scenario(scenario, 8, &c);
+  EXPECT_NE(a, c);
+  // The document carries the spans the scenario is about.
+  EXPECT_GT(count_of(a, "\"cat\":\"op\""), 0u);
+  EXPECT_GT(count_of(a, "\"cat\":\"rmw\""), 0u);
+  EXPECT_GT(count_of(a, "\"cat\":\"partition\""), 0u);
+  EXPECT_GT(count_of(a, "\"ph\":\"C\""), 0u);
+  EXPECT_EQ(a.rfind("{\"traceEvents\":[", 0), 0u);
+}
+
+TEST(TraceDeterminism, StoreTraceIdenticalAcrossThreadCounts) {
+  store::StoreOptions base;
+  base.algorithm = "adaptive";
+  base.register_config = small_cfg();
+  base.num_shards = 4;
+  base.workload.num_keys = 24;
+  base.workload.clients = 3;
+  base.workload.ops_per_client = 16;
+  base.workload.seed = 17;
+  base.seed = 17;
+  base.object_crashes_per_shard = 1;
+  base.restart_after = 200;
+  base.partitions_per_shard = 1;
+  base.heal_after = 150;
+  base.trace = true;
+
+  std::vector<std::string> docs;
+  for (uint32_t threads : {1u, 4u, 9u}) {
+    store::StoreOptions opts = base;
+    opts.threads = threads;
+    store::Store engine(opts);
+    engine.run();
+    std::ostringstream os;
+    store::write_store_trace_json(os, engine);
+    docs.push_back(os.str());
+  }
+  ASSERT_FALSE(docs[0].empty());
+  EXPECT_EQ(docs[0], docs[1]);
+  EXPECT_EQ(docs[0], docs[2]);
+  // One process per shard, merged in shard-index order.
+  EXPECT_EQ(count_of(docs[0], "\"name\":\"process_name\""), 4u);
+  EXPECT_LT(docs[0].find("\"shard0\""), docs[0].find("\"shard3\""));
+}
+
+TEST(TraceDeterminism, DisabledPathKeepsRunFingerprints) {
+  // Attaching a recorder must be purely observational: the traced run's
+  // outcome fingerprint (history, storage maxima, verdicts) is identical
+  // to the untraced run's — the null-sink path changes no behavior.
+  harness::RunOptions opts = base_opts(23);
+  opts.partitions = 2;
+  opts.heal_after = 150;
+
+  auto plain_alg = harness::make_algorithm("adaptive", small_cfg());
+  auto plain = harness::run_register_experiment(*plain_alg, opts);
+
+  obs::TraceRecorder rec;
+  opts.trace = &rec;
+  auto traced_alg = harness::make_algorithm("adaptive", small_cfg());
+  auto traced = harness::run_register_experiment(*traced_alg, opts);
+
+  EXPECT_EQ(harness::outcome_fingerprint(plain),
+            harness::outcome_fingerprint(traced));
+  EXPECT_EQ(plain.report.steps, traced.report.steps);
+  EXPECT_FALSE(rec.ops().empty());
+}
+
+// --- Export shape ---
+
+TEST(TraceExport, TimeseriesCsvHasOneRowPerSample) {
+  auto algorithm = harness::make_algorithm("adaptive", small_cfg());
+  harness::RunOptions opts = base_opts(3);
+  opts.sample_every = 8;
+  obs::TraceRecorder rec;
+  opts.trace = &rec;
+  harness::run_register_experiment(*algorithm, opts);
+
+  std::ostringstream os;
+  obs::write_timeseries_csv(os, {{&rec, 0, "sim"}});
+  const std::string csv = os.str();
+  std::istringstream lines(csv);
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header,
+            "process,step,in_flight_rmws,queue_depth,backlog,total_bits,"
+            "object_bits,channel_bits,crashed_objects,cut_links");
+  size_t rows = 0;
+  for (std::string line; std::getline(lines, line);) ++rows;
+  EXPECT_EQ(rows, rec.series().size());
+  EXPECT_GT(rows, 0u);
+}
+
+TEST(TraceExport, AnnotationsBecomeProcessLabels) {
+  obs::TraceRecorder rec;
+  rec.op_invoke(1, OpId{0}, ClientId{0}, true, 0);
+  rec.op_return(5, OpId{0}, false);
+  rec.finish(5);
+  rec.annotate("scenario", "demo");
+  const std::string json = trace_json_of(rec);
+  EXPECT_NE(json.find("\"process_labels\""), std::string::npos);
+  EXPECT_NE(json.find("scenario=demo"), std::string::npos);
+}
+
+TEST(TraceExport, OpenSpansClampToEndStepAndAreFlagged) {
+  // A mid-run export (what a CheckFailure triage path sees): the op span
+  // never returned, so it clamps to the last recorded step and is flagged.
+  obs::TraceRecorder rec;
+  rec.op_invoke(10, OpId{0}, ClientId{0}, true, 4);
+  rec.rmw_trigger(12, RmwId{0}, OpId{0}, ClientId{0}, ObjectId{1}, 64, 12,
+                  false);
+  rec.finish(40);
+  const std::string json = trace_json_of(rec);
+  EXPECT_NE(json.find("\"open\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"in-flight\""), std::string::npos);
+  EXPECT_EQ(rec.end_step(), 40u);
+}
+
+// --- Campaign integration ---
+
+TEST(TraceCampaign, FailedRunBundleCarriesReproducibleTraceJson) {
+  TempDir tmp;
+  // A deliberately impossible storage expectation: every seed fails, every
+  // failure gets a bundle.
+  const std::string text = R"({
+    "name": "trace-canary",
+    "mode": "register",
+    "algorithm": "adaptive",
+    "config": {"f": 1, "k": 2, "data_bits": 64},
+    "workload": {"writers": 2, "writes_per_client": 2,
+                 "readers": 1, "reads_per_client": 2},
+    "seed": 3,
+    "expect": {"max_total_bits": 1}
+  })";
+  const fs::path file = tmp.path / "trace-canary.json";
+  std::ofstream(file) << text;
+
+  harness::CampaignOptions opts;
+  opts.scenario_files = {file.string()};
+  opts.seeds_per_scenario = 1;
+  opts.base_seed = 9;
+  opts.threads = 2;
+  opts.bundle_dir = (tmp.path / "bundles").string();
+  const harness::CampaignResult result = harness::run_campaign(opts);
+  ASSERT_EQ(result.failures, 1u);
+  ASSERT_FALSE(result.runs[0].bundle_path.empty());
+
+  const fs::path bundle_trace =
+      fs::path(result.runs[0].bundle_path) / "trace.json";
+  ASSERT_TRUE(fs::exists(bundle_trace));
+  const std::string bundled = read_file(bundle_trace);
+  EXPECT_GT(count_of(bundled, "\"cat\":\"op\""), 0u);
+
+  // The bundle's trace is exactly what re-running the pinned (scenario,
+  // seed) with tracing produces — the repro command's output matches.
+  const harness::Scenario scenario = harness::load_scenario(file.string());
+  std::string replay;
+  harness::run_scenario(scenario, result.runs[0].seed, &replay);
+  EXPECT_EQ(bundled, replay);
+}
+
+// --- Progress heartbeat plumbing ---
+
+TEST(Progress, SweepReportsEveryCompletedRun) {
+  harness::SweepCell cell;
+  cell.algorithm = "adaptive";
+  cell.config = small_cfg();
+  cell.opts = base_opts(1);
+  std::vector<harness::SweepCell> grid = {cell, cell};
+
+  harness::SweepOptions so;
+  so.threads = 2;
+  so.seeds_per_cell = 3;
+  size_t calls = 0, last_done = 0, last_total = 0, last_failures = 1;
+  so.progress = [&](size_t done, size_t total, size_t failures) {
+    ++calls;
+    EXPECT_GT(done, last_done);  // under the mutex, done is monotonic
+    last_done = done;
+    last_total = total;
+    last_failures = failures;
+  };
+  harness::SweepRunner(so).run(grid);
+  EXPECT_EQ(calls, 6u);
+  EXPECT_EQ(last_done, 6u);
+  EXPECT_EQ(last_total, 6u);
+  EXPECT_EQ(last_failures, 0u);
+}
+
+TEST(Progress, CampaignReportsEveryCompletedRun) {
+  harness::CampaignOptions opts;
+  opts.scenario_files = {shipped("partition-heal.json")};
+  opts.seeds_per_scenario = 2;
+  opts.threads = 2;
+  size_t calls = 0, last_done = 0;
+  opts.progress = [&](size_t done, size_t total, size_t failures) {
+    ++calls;
+    EXPECT_GT(done, last_done);
+    last_done = done;
+    EXPECT_EQ(total, 2u);
+    EXPECT_EQ(failures, 0u);
+  };
+  const harness::CampaignResult result = harness::run_campaign(opts);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(calls, 2u);
+  EXPECT_EQ(last_done, 2u);
+}
+
+}  // namespace
+}  // namespace sbrs

@@ -198,6 +198,53 @@ BENCHMARK(BM_StoreRecoveryAbd)
 BENCHMARK(BM_StoreRecoveryCoded)
     ->Arg(100)->Arg(800)->Unit(benchmark::kMillisecond);
 
+// Active anti-entropy on a pure-read store: with YCSB mix C no foreground
+// write ever closes a repair window, so the background pump is the only
+// thing re-converging scratch-restarted replicas. Arg = repair_every (the
+// pump period); sweeping it reads out the repair-bandwidth vs
+// degraded-window tradeoff — a fast pump spends more repair pushes to
+// close windows sooner, a slow one leaves replicas degraded longer. The
+// counters mirror the sweep export's repair section: pushes, repair bits,
+// degraded steps, and the still-open window count (must be 0).
+void BM_StoreAntiEntropy(benchmark::State& state) {
+  store::StoreOptions opts =
+      store_options("adaptive", store::ycsb::Distribution::kZipfian);
+  opts.workload.mix = store::ycsb::Mix::kC;  // zero foreground writes
+  opts.object_crashes_per_shard = 2;
+  opts.restart_after = 100;
+  opts.restart_mode = sim::RestartMode::kFromScratch;
+  opts.repair_every = static_cast<uint64_t>(state.range(0));
+  // Pump-only: with read-repair on, the first overlapping read closes the
+  // window a few steps after restart and the rate sweep reads flat.
+  opts.read_repair = false;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    store::Store engine(opts);
+    store::StoreResult result = engine.run();
+    benchmark::DoNotOptimize(result.total_steps);
+    ops += result.completed_reads + result.completed_writes;
+    state.counters["repair_pushes"] =
+        static_cast<double>(result.repair_pushes);
+    state.counters["repair_bits"] = static_cast<double>(result.repair_bits);
+    state.counters["degraded_steps"] =
+        static_cast<double>(result.degraded_steps);
+    state.counters["repair_window_steps"] =
+        static_cast<double>(result.repair_window_steps);
+    state.counters["open_repair_windows"] =
+        static_cast<double>(result.open_repair_windows);
+    state.counters["read_p99_steps"] =
+        static_cast<double>(result.read_latency.p99());
+  }
+  state.SetLabel("adaptive/zipfian/mixC/repair_every=" +
+                 std::to_string(state.range(0)));
+  state.counters["ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+
+// Arg: the anti-entropy pump period in steps.
+BENCHMARK(BM_StoreAntiEntropy)
+    ->Arg(40)->Arg(160)->Arg(640)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace sbrs::bench
 

@@ -55,6 +55,13 @@ struct CliOptions {
   std::string restart_mode = "disk";  // disk|scratch
   bool restart_set = false;        // --restart given explicitly
   bool restart_mode_set = false;   // --restart-mode given explicitly
+  // Active repair (with --crashes and --restart). --repair-every keeps the
+  // string form: sweep mode accepts a comma list (one grid cell per rate,
+  // the repair-bandwidth-vs-degraded-window curve in one command); the
+  // other modes take a single value.
+  std::string repair_every;        // anti-entropy pump period(s) in steps
+  bool read_repair = false;        // reads push repair into open windows
+  uint64_t repair_budget = UINT64_MAX;  // repair-push bit cap per run/shard
   // Link faults (single, sweep and store modes; random scheduler only).
   uint32_t partitions = 0;         // partition events to inject
   uint64_t heal = 512;             // auto-heal delay in steps
@@ -143,6 +150,8 @@ CliOptions parse(int argc, char** argv) {
       o.progress_every = 1;
     } else if (parse_int_flag(arg, "progress", &o.progress_every)) {
       // parsed (--progress=N)
+    } else if (arg == "--read-repair") {
+      o.read_repair = true;
     } else if (parse_int_flag(arg, "restart", &o.restart)) {
       o.restart_set = true;
     } else if (parse_flag(arg, "restart-mode", &o.restart_mode)) {
@@ -186,6 +195,8 @@ CliOptions parse(int argc, char** argv) {
                parse_int_flag(arg, "drop", &o.drop) ||
                parse_int_flag(arg, "max-drops", &o.max_drops) ||
                parse_int_flag(arg, "reorder", &o.reorder) ||
+               parse_flag(arg, "repair-every", &o.repair_every) ||
+               parse_int_flag(arg, "repair-budget", &o.repair_budget) ||
                parse_flag(arg, "scenario", &o.scenario) ||
                parse_flag(arg, "campaign", &o.campaign) ||
                parse_flag(arg, "bundle-dir", &o.bundle_dir) ||
@@ -221,6 +232,17 @@ void usage() {
       "  --restart-mode=disk|scratch   re-join with the state frozen at\n"
       "                  crash time (disk, guarantees hold) or as an empty\n"
       "                  replacement replica (scratch, models disk loss)\n\n"
+      "active repair (with --crashes and --restart; closes the restarted\n"
+      "object's repair window without waiting for a foreground write):\n"
+      "  --repair-every=N   background anti-entropy: push one repair RMW\n"
+      "                  into every open repair window each N steps (random\n"
+      "                  scheduler only); in --sweep mode a comma list runs\n"
+      "                  one grid cell per rate — the repair-bandwidth vs\n"
+      "                  degraded-window curve in one command\n"
+      "  --read-repair   a read completing against a repairing object\n"
+      "                  piggybacks a repair push (any scheduler)\n"
+      "  --repair-budget=N   cap the repair-push bits per run (per shard\n"
+      "                  in --store mode); pushes stop once spent\n\n"
       "link faults (single, sweep and store modes; random scheduler only):\n"
       "  --partitions=N  inject up to N partition events (symmetric whole-\n"
       "                  object cuts or asymmetric client-subset cuts);\n"
@@ -371,6 +393,17 @@ sbrs::sim::RestartMode restart_mode_of(const CliOptions& cli) {
                               cli.restart_mode + "'");
 }
 
+/// The --repair-every rates: {} when the flag is absent, else every parsed
+/// value. Only sweep mode accepts more than one (one grid cell per rate);
+/// single/store callers take rates.front() after a size check in main().
+std::vector<uint64_t> repair_rates(const CliOptions& cli) {
+  std::vector<uint64_t> rates;
+  for (const auto& r : split_csv(cli.repair_every)) {
+    rates.push_back(std::stoull(r));
+  }
+  return rates;
+}
+
 sbrs::registers::RegisterConfig base_config(const CliOptions& cli) {
   sbrs::registers::RegisterConfig cfg;
   cfg.f = cli.f;
@@ -384,28 +417,44 @@ int run_sweep(const CliOptions& cli) {
   using namespace sbrs;
   const auto algs = split_csv(cli.algs.empty() ? cli.alg : cli.algs);
   const auto cs = split_csv(cli.cs);
+  // --repair-every=40,160,640 fans each (alg, c) point out into one cell
+  // per anti-entropy rate: the exported cells then differ only in
+  // repair_every, which is exactly the repair-bandwidth (repair_bits) vs
+  // degraded-window (degraded_steps, degraded_sojourn) tradeoff curve.
+  std::vector<uint64_t> rates = repair_rates(cli);
+  if (rates.empty()) rates.push_back(0);
 
   std::vector<harness::SweepCell> grid;
   for (const auto& alg : algs) {
     for (const auto& c_str : cs) {
-      harness::SweepCell cell;
-      cell.algorithm = alg;
-      cell.config = base_config(cli);
-      cell.opts.writers = static_cast<uint32_t>(std::stoul(c_str));
-      cell.opts.writes_per_client = cli.writes;
-      cell.opts.readers = cli.readers;
-      cell.opts.reads_per_client = cli.reads;
-      cell.opts.scheduler = sched_kind(cli.sched);
-      cell.opts.object_crashes = cli.crashes;
-      cell.opts.restart_after = cli.restart;
-      cell.opts.restart_mode = restart_mode_of(cli);
-      cell.opts.partitions = cli.partitions;
-      cell.opts.heal_after = cli.heal;
-      cell.opts.link_faults = link_fault_options(cli);
-      if (cli.verify_accounting) cell.opts.verify_accounting = true;
-      cell.opts.arrival = arrival_options(cli);
-      cell.label = alg + " c=" + c_str;
-      grid.push_back(std::move(cell));
+      for (uint64_t rate : rates) {
+        harness::SweepCell cell;
+        cell.algorithm = alg;
+        cell.config = base_config(cli);
+        cell.opts.writers = static_cast<uint32_t>(std::stoul(c_str));
+        cell.opts.writes_per_client = cli.writes;
+        cell.opts.readers = cli.readers;
+        cell.opts.reads_per_client = cli.reads;
+        cell.opts.scheduler = sched_kind(cli.sched);
+        cell.opts.object_crashes = cli.crashes;
+        cell.opts.restart_after = cli.restart;
+        cell.opts.restart_mode = restart_mode_of(cli);
+        cell.opts.partitions = cli.partitions;
+        cell.opts.heal_after = cli.heal;
+        cell.opts.link_faults = link_fault_options(cli);
+        if (cli.verify_accounting) cell.opts.verify_accounting = true;
+        cell.opts.arrival = arrival_options(cli);
+        cell.opts.repair_every = rate;
+        cell.opts.read_repair = cli.read_repair;
+        cell.opts.repair_budget = cli.repair_budget;
+        cell.label = alg + " c=" + c_str;
+        // Repair-free sweeps keep their pre-repair labels (and artifacts)
+        // byte-identical; only an explicit --repair-every tags the cells.
+        if (!cli.repair_every.empty()) {
+          cell.label += " r=" + std::to_string(rate);
+        }
+        grid.push_back(std::move(cell));
+      }
     }
   }
 
@@ -486,6 +535,16 @@ int run_store(const CliOptions& cli) {
   opts.partitions_per_shard = cli.partitions;
   opts.heal_after = cli.heal;
   opts.link_faults = link_fault_options(cli);
+  {
+    const auto rates = repair_rates(cli);
+    if (rates.size() > 1) {
+      throw std::invalid_argument(
+          "--repair-every takes one value outside --sweep mode");
+    }
+    if (!rates.empty()) opts.repair_every = rates.front();
+  }
+  opts.read_repair = cli.read_repair;
+  opts.repair_budget = cli.repair_budget;
   if (cli.verify_accounting) opts.verify_accounting = true;
   opts.seed = cli.seed;
   opts.threads = cli.threads;
@@ -551,6 +610,12 @@ int run_store(const CliOptions& cli) {
               << result.degraded_sojourn.p50() << " / "
               << result.degraded_sojourn.p99() << " steps ("
               << result.degraded_sojourn.count() << " ops)\n";
+    if (result.repair_pushes > 0 || result.open_repair_windows > 0) {
+      std::cout << "active repair: " << result.repair_pushes
+                << " pushes (read-repair + anti-entropy), "
+                << result.open_repair_windows
+                << " repair window(s) still open at run end\n";
+    }
   }
   if (open) {
     std::cout << "open-loop " << sim::to_string(opts.arrival.process)
@@ -624,6 +689,15 @@ int run_scenario_file(const CliOptions& cli) {
                 std::to_string(out.rmws_dropped) + " / " +
                     std::to_string(out.rmws_delayed));
   table.add_row("degraded steps", out.degraded_steps);
+  if (out.object_crash_events > 0 || out.repair_pushes > 0) {
+    table.add_row("object crashes / restarts",
+                  std::to_string(out.object_crash_events) + " / " +
+                      std::to_string(out.object_restarts));
+    table.add_row("repair pushes / bits",
+                  std::to_string(out.repair_pushes) + " / " +
+                      std::to_string(out.repair_bits));
+    table.add_row("open repair windows", out.open_repair_windows);
+  }
   table.add_row("fingerprint", [&] {
     std::ostringstream fp;
     fp << std::hex << out.fingerprint;
@@ -711,6 +785,17 @@ int main(int argc, char** argv) {
           "(--crashes > 0): nothing would ever crash, so nothing could "
           "restart");
     }
+    // Same contradiction for the active-repair knobs: repair windows only
+    // open when a crashed object restarts, so repair flags without
+    // --crashes + --restart would silently never fire.
+    if ((!cli.repair_every.empty() || cli.read_repair) &&
+        (cli.crashes == 0 || !cli.restart_set) && cli.scenario.empty() &&
+        cli.campaign.empty()) {
+      throw std::invalid_argument(
+          "--repair-every/--read-repair need open repair windows to act "
+          "on: pass --crashes > 0 and --restart so restarted objects "
+          "actually enter a repair window");
+    }
     if (!cli.scenario.empty()) return run_scenario_file(cli);
     if (!cli.campaign.empty()) return run_campaign_cli(cli);
     if (cli.store) return run_store(cli);
@@ -739,6 +824,16 @@ int run_cli(const CliOptions& cli) {
   opts.partitions = cli.partitions;
   opts.heal_after = cli.heal;
   opts.link_faults = link_fault_options(cli);
+  {
+    const auto rates = repair_rates(cli);
+    if (rates.size() > 1) {
+      throw std::invalid_argument(
+          "--repair-every takes one value outside --sweep mode");
+    }
+    if (!rates.empty()) opts.repair_every = rates.front();
+  }
+  opts.read_repair = cli.read_repair;
+  opts.repair_budget = cli.repair_budget;
   if (cli.verify_accounting) opts.verify_accounting = true;
   opts.scheduler = sched_kind(cli.sched);
   opts.arrival = arrival_options(cli);
@@ -791,6 +886,11 @@ int run_cli(const CliOptions& cli) {
                   std::to_string(out.report.object_crash_events) + " / " +
                       std::to_string(out.report.object_restarts));
     table.add_row("repair bits", out.report.repair_bits);
+    if (out.report.repair_pushes > 0 || out.report.open_repair_windows > 0) {
+      table.add_row("repair pushes / open windows",
+                    std::to_string(out.report.repair_pushes) + " / " +
+                        std::to_string(out.report.open_repair_windows));
+    }
     table.add_row("degraded steps", out.report.degraded_steps);
     table.add_row("degraded sojourn p50/p99 (steps)",
                   std::to_string(out.report.degraded_sojourn.p50()) + " / " +

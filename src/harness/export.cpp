@@ -115,6 +115,9 @@ void write_sweep_json(std::ostream& os, const SweepResult& result) {
        << ", \"restart_mode\": \"" << sim::to_string(c.cell.opts.restart_mode)
        << "\", \"partitions\": " << c.cell.opts.partitions
        << ", \"heal_after\": " << c.cell.opts.heal_after
+       << ", \"repair_every\": " << c.cell.opts.repair_every
+       << ", \"read_repair\": "
+       << (c.cell.opts.read_repair ? "true" : "false")
        << ", \"arrival\": \"" << sim::to_string(c.cell.opts.arrival.process)
        << "\", \"rate\": " << c.cell.opts.arrival.rate
        << ", \"burst_on\": " << c.cell.opts.arrival.burst_on
@@ -141,6 +144,9 @@ void write_sweep_json(std::ostream& os, const SweepResult& result) {
        << ", \"object_restarts\": " << c.object_restarts << ",\n";
     write_metric(os, "repair_bits", c.repair_bits, "      ");
     os << ",\n";
+    os << "      \"repair_pushes\": " << c.repair_pushes
+       << ", \"open_repair_windows\": " << c.open_repair_windows
+       << ", \"repair_window_steps\": " << c.repair_window_steps << ",\n";
     write_metric(os, "degraded_steps", c.degraded_steps, "      ");
     os << ",\n";
     os << "      \"degraded_sojourn_steps\": ";

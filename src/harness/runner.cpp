@@ -1,6 +1,7 @@
 #include "harness/runner.h"
 
 #include "common/check.h"
+#include "registers/repair.h"
 #include "sim/schedulers.h"
 #include "sim/workload.h"
 
@@ -38,6 +39,11 @@ std::string validate_fault_options(const RunOptions& opts) {
   if (opts.object_crashes > 0 || opts.client_crashes > 0) {
     return "crash injection needs the random scheduler";
   }
+  if (opts.repair_every > 0) {
+    return "anti-entropy (repair_every) needs the random scheduler — only "
+           "its pump emits repair actions (read_repair works with any "
+           "scheduler)";
+  }
   return {};
 }
 
@@ -56,6 +62,9 @@ RunOutcome run_register_experiment(
   // faults are new and strict).
   SBRS_CHECK_MSG(opts.scheduler == SchedKind::kRandom || !has_link_faults(opts),
                  validate_fault_options(opts));
+  SBRS_CHECK_MSG(
+      opts.scheduler == SchedKind::kRandom || opts.repair_every == 0,
+      validate_fault_options(opts));
 
   // Closed loop: each session self-paces its own operations. Open loop: one
   // arrival-scheduled stream, any free session dispatches the queue.
@@ -102,6 +111,7 @@ RunOutcome run_register_experiment(
       so.max_partitions = opts.partitions;
       so.partition_permyriad = opts.partitions > 0 ? 20 : 0;
       so.partition_heal_after = opts.heal_after;
+      so.repair_every = opts.repair_every;
       scheduler = std::make_unique<sim::RandomScheduler>(so);
       break;
     }
@@ -125,6 +135,11 @@ RunOutcome run_register_experiment(
   sc.link_faults = opts.link_faults;
   sc.link_faults.seed = sim::fault_seed(opts.seed);
   sc.trace = opts.trace;
+  if (opts.repair_every > 0 || opts.read_repair) {
+    sc.repair_planner = registers::make_repair_planner(algorithm);
+    sc.read_repair = opts.read_repair;
+    sc.repair_budget = opts.repair_budget;
+  }
   if (opts.verify_accounting.has_value()) {
     sc.verify_accounting = *opts.verify_accounting;
   }

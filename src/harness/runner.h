@@ -67,6 +67,16 @@ struct RunOptions {
   /// hold); kFromScratch mounts an empty replacement (models data loss —
   /// per-key guarantees may fail until repair traffic re-converges it).
   sim::RestartMode restart_mode = sim::RestartMode::kFromDisk;
+  /// Anti-entropy pump (random scheduler only): push the newest decodable
+  /// block back to each repairing object every `repair_every` steps
+  /// (registers/repair.h), closing repair windows without foreground
+  /// writes. 0 = passive recovery only.
+  uint64_t repair_every = 0;
+  /// Read-repair: completed reads trigger one repair push per object whose
+  /// repair window is open (any scheduler).
+  bool read_repair = false;
+  /// Bound on the bits of repair-push traffic triggered per run.
+  uint64_t repair_budget = UINT64_MAX;
   /// Link partitions (random scheduler only): inject up to this many
   /// partition events at random points — symmetric (whole object) or
   /// asymmetric (a strict client subset), see RandomScheduler::Options.

@@ -180,8 +180,29 @@ FaultSpec parse_faults(const json::Value& v) {
   return f;
 }
 
+/// The parsed `repair` block, mode-agnostic like FaultSpec.
+struct RepairSpec {
+  uint64_t every = 0;
+  bool read_repair = false;
+  uint64_t budget = UINT64_MAX;
+};
+
+RepairSpec parse_repair(const json::Value& v) {
+  check_keys(v, {"every", "read_repair", "budget"}, "repair");
+  RepairSpec r;
+  r.every = v.get_u64("every", 0);
+  r.read_repair = v.get_bool("read_repair", false);
+  r.budget = v.get_u64("budget", UINT64_MAX);
+  SBRS_CHECK_MSG(r.every > 0 || r.read_repair,
+                 "scenario: repair block needs \"every\" > 0 (anti-entropy) "
+                 "and/or \"read_repair\": true");
+  return r;
+}
+
 ScenarioExpect parse_expect(const json::Value& v) {
-  check_keys(v, {"consistency", "live", "max_total_bits", "quiesced"},
+  check_keys(v,
+             {"consistency", "live", "max_total_bits", "quiesced",
+              "repair_windows_closed"},
              "expect");
   ScenarioExpect e;
   e.consistency = v.get_string("consistency", "algorithm");
@@ -199,6 +220,9 @@ ScenarioExpect parse_expect(const json::Value& v) {
   }
   if (const json::Value* q = v.find("quiesced")) {
     e.quiesced = q->as_bool();
+  }
+  if (const json::Value* w = v.find("repair_windows_closed")) {
+    e.repair_windows_closed = w->as_bool();
   }
   return e;
 }
@@ -235,6 +259,18 @@ void append_violations(std::vector<std::string>* out, const char* what,
     out->push_back(std::string(what) + ": " + v);
   }
   if (res.violations.empty()) out->push_back(std::string(what) + ": failed");
+}
+
+void judge_repair_windows(const Scenario& s, uint32_t open,
+                          std::vector<std::string>* violations) {
+  if (!s.expect.repair_windows_closed.has_value()) return;
+  if (*s.expect.repair_windows_closed && open > 0) {
+    violations->push_back("repair: " + std::to_string(open) +
+                          " repair window(s) still open at run end");
+  } else if (!*s.expect.repair_windows_closed && open == 0) {
+    violations->push_back(
+        "repair: expected >= 1 repair window to stay open, all closed");
+  }
 }
 
 void judge_register_consistency(const Scenario& s, const RunOutcome& out,
@@ -311,8 +347,12 @@ void run_register_mode(const Scenario& s, uint64_t seed, ScenarioOutcome* r,
   r->rmws_delayed = out.report.rmws_delayed;
   r->object_crash_events = out.report.object_crash_events;
   r->object_restarts = out.report.object_restarts;
+  r->repair_pushes = out.report.repair_pushes;
+  r->repair_bits = out.report.repair_bits;
+  r->open_repair_windows = out.report.open_repair_windows;
 
   judge_register_consistency(s, out, r);
+  judge_repair_windows(s, r->open_repair_windows, &r->violations);
   if (s.expect.live && !out.live && !out.saturated) {
     r->violations.push_back("liveness: a live client's operation never "
                             "returned (stop: " +
@@ -374,6 +414,10 @@ void run_store_mode(const Scenario& s, uint64_t seed, ScenarioOutcome* r,
   r->rmws_delayed = result.rmws_delayed;
   r->object_crash_events = result.object_crash_events;
   r->object_restarts = result.object_restarts;
+  r->repair_pushes = result.repair_pushes;
+  r->repair_bits = result.repair_bits;
+  r->open_repair_windows = result.open_repair_windows;
+  judge_repair_windows(s, r->open_repair_windows, &r->violations);
   for (const auto& shard : result.shards) {
     if (r->stop_reason.empty()) r->stop_reason = shard.report.stop_reason;
     for (const auto& v : shard.violations) {
@@ -417,7 +461,7 @@ Scenario parse_scenario(const std::string& text, const std::string& path) {
   check_keys(doc,
              {"name", "mode", "algorithm", "config", "workload", "arrival",
               "store", "scheduler", "seed", "max_steps", "verify_accounting",
-              "faults", "expect"},
+              "faults", "repair", "expect"},
              "the top level");
 
   Scenario s;
@@ -450,6 +494,8 @@ Scenario parse_scenario(const std::string& text, const std::string& path) {
 
   FaultSpec faults;
   if (const json::Value* f = doc.find("faults")) faults = parse_faults(*f);
+  RepairSpec repair;
+  if (const json::Value* rp = doc.find("repair")) repair = parse_repair(*rp);
   if (const json::Value* e = doc.find("expect")) {
     s.expect = parse_expect(*e);
   }
@@ -488,6 +534,9 @@ Scenario parse_scenario(const std::string& text, const std::string& path) {
     r.restart_mode = faults.restart_mode;
     r.link_faults = faults.link_faults;
     r.fault_timeline = std::move(faults.timeline);
+    r.repair_every = repair.every;
+    r.read_repair = repair.read_repair;
+    r.repair_budget = repair.budget;
     if (const json::Value* va = doc.find("verify_accounting")) {
       r.verify_accounting = va->as_bool();
     }
@@ -538,6 +587,9 @@ Scenario parse_scenario(const std::string& text, const std::string& path) {
     o.restart_mode = faults.restart_mode;
     o.link_faults = faults.link_faults;
     o.fault_timeline = std::move(faults.timeline);
+    o.repair_every = repair.every;
+    o.read_repair = repair.read_repair;
+    o.repair_budget = repair.budget;
     if (const json::Value* va = doc.find("verify_accounting")) {
       o.verify_accounting = va->as_bool();
     }
@@ -549,6 +601,9 @@ Scenario parse_scenario(const std::string& text, const std::string& path) {
              o.link_faults.reorder_window == 0 &&
              o.link_faults.windows.empty()),
         "scenario: link faults need the random scheduler");
+    SBRS_CHECK_MSG(o.repair_every == 0 || sched == SchedKind::kRandom,
+                   "scenario: repair.every (anti-entropy) needs the random "
+                   "scheduler");
   }
   return s;
 }

@@ -38,6 +38,11 @@ struct ScenarioExpect {
   std::optional<uint64_t> max_total_bits;
   /// Demand the run (all shards) fully quiesced.
   std::optional<bool> quiesced;
+  /// Demand that every repair window opened by a restart was closed again
+  /// by the end of the run (fresh writes, read-repair, or anti-entropy —
+  /// the `repair` block turns the active mechanisms on). `false` demands
+  /// the opposite: at least one window stayed open.
+  std::optional<bool> repair_windows_closed;
 };
 
 /// One parsed scenario. Exactly one of the two mode option sets is live
@@ -86,6 +91,10 @@ struct ScenarioOutcome {
   uint64_t rmws_delayed = 0;
   uint64_t object_crash_events = 0;
   uint64_t object_restarts = 0;
+  /// Active-repair outcome (store mode: summed over shards).
+  uint64_t repair_pushes = 0;
+  uint64_t repair_bits = 0;
+  uint32_t open_repair_windows = 0;
   /// Register mode only: the raw outcome (history included), kept for
   /// trace dumps in triage bundles.
   std::optional<RunOutcome> register_out;

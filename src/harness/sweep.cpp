@@ -33,7 +33,10 @@ struct RunDigest {
   uint64_t object_crash_events = 0;
   uint64_t object_restarts = 0;
   uint64_t repair_bits = 0;
+  uint64_t repair_pushes = 0;
+  uint64_t open_repair_windows = 0;
   uint64_t degraded_steps = 0;
+  uint64_t repair_window_steps = 0;
   metrics::LatencyHistogram degraded_sojourn;
   uint64_t partition_events = 0;
   uint64_t heal_events = 0;
@@ -142,6 +145,13 @@ uint64_t recovery_fingerprint(const sim::RunReport& report, uint64_t h) {
   h = mix_into(h, report.degraded_steps);
   h = mix_into(h, report.degraded_sojourn.count());
   h = mix_into(h, report.degraded_sojourn.p99());
+  // Active-repair outcome, pinned only when a push actually fired so
+  // passive-recovery runs keep the fingerprints recorded in committed
+  // artifacts.
+  if (report.repair_pushes > 0) {
+    h = mix_into(h, report.repair_pushes);
+    h = mix_into(h, report.open_repair_windows);
+  }
   return h;
 }
 
@@ -229,7 +239,10 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
         d.object_crash_events = out.report.object_crash_events;
         d.object_restarts = out.report.object_restarts;
         d.repair_bits = out.report.repair_bits;
+        d.repair_pushes = out.report.repair_pushes;
+        d.open_repair_windows = out.report.open_repair_windows;
         d.degraded_steps = out.report.degraded_steps;
+        d.repair_window_steps = out.report.repair_window_steps;
         d.degraded_sojourn = out.report.degraded_sojourn;
         d.partition_events = out.report.partition_events;
         d.heal_events = out.report.heal_events;
@@ -284,6 +297,9 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& grid) const {
       cs.object_crash_events += d.object_crash_events;
       cs.object_restarts += d.object_restarts;
       repair.push_back(d.repair_bits);
+      cs.repair_pushes += d.repair_pushes;
+      cs.open_repair_windows += d.open_repair_windows;
+      cs.repair_window_steps += d.repair_window_steps;
       degraded.push_back(d.degraded_steps);
       cs.degraded_sojourn.merge(d.degraded_sojourn);
       cs.partition_events += d.partition_events;

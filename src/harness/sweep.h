@@ -97,6 +97,16 @@ struct CellSummary {
   /// length (RunReport::degraded_steps) order statistics.
   MetricSummary repair_bits;
   MetricSummary degraded_steps;
+  /// Active-repair pushes (read-repair + anti-entropy) summed over seeds,
+  /// and repair windows still open at run end — the repair-bandwidth vs
+  /// degraded-window tradeoff curve reads {repair_bits, degraded_steps,
+  /// sojourn} across cells that differ only in RunOptions::repair_every.
+  uint64_t repair_pushes = 0;
+  uint64_t open_repair_windows = 0;
+  /// Steps with >= 1 repair window open, summed over seeds — the window
+  /// length the pump rate buys down (degraded_steps only counts crashed
+  /// time, which repair rate cannot change).
+  uint64_t repair_window_steps = 0;
   /// Sojourn time of operations that returned while >= 1 object was down,
   /// merged across seeds — the degraded-window tail next to `sojourn`.
   metrics::LatencyHistogram degraded_sojourn;

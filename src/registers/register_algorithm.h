@@ -53,6 +53,12 @@ class RegisterAlgorithm {
 
   /// Factory for client protocol instances.
   virtual sim::ClientFactory client_factory() const = 0;
+
+  /// Planner for active repair pushes (read-repair / anti-entropy,
+  /// registers/repair.h). The default re-installs the newest decodable
+  /// block at the stale replica; the returned closure captures only the
+  /// codec and config, so it outlives the algorithm object.
+  virtual sim::RepairPlanner repair_planner() const;
 };
 
 /// Options for the adaptive algorithm; the defaults are the paper's

@@ -1,0 +1,129 @@
+#include "registers/repair.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/check.h"
+#include "sim/simulator.h"
+
+namespace sbrs::registers {
+
+std::optional<sim::RepairPlan> plan_register_repair(
+    const std::vector<const RegisterObjectState*>& peers,
+    const RegisterObjectState& target, uint32_t target_index,
+    uint32_t k, const codec::CodecPtr& codec) {
+  if (peers.empty()) return std::nullopt;
+
+  TimeStamp watermark = TimeStamp::zero();
+  std::vector<Chunk> seen;
+  for (const RegisterObjectState* p : peers) {
+    watermark = std::max(watermark, p->stored_ts);
+    const std::vector<Chunk> cs = p->all_chunks();
+    seen.insert(seen.end(), cs.begin(), cs.end());
+  }
+
+  // Candidate timestamps at or above the watermark, newest first (the read
+  // algorithms' scan order), deduplicated.
+  std::vector<TimeStamp> cands;
+  for (const Chunk& c : seen) {
+    if (c.ts >= watermark) cands.push_back(c.ts);
+  }
+  std::sort(cands.begin(), cands.end(), std::greater<>());
+  cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+
+  std::optional<TimeStamp> best;
+  for (const TimeStamp& ts : cands) {
+    if (distinct_indices_at(seen, ts) >= k) {
+      best = ts;
+      break;
+    }
+  }
+  if (!best.has_value()) return std::nullopt;
+  const TimeStamp wm = watermark;
+
+  // Target already fresh: a zero-bit digest push. The RMW mutates nothing
+  // but its delivery still closes the repair window.
+  bool target_has_best = false;
+  for (const Chunk& c : target.all_chunks()) {
+    if (c.ts >= *best) {
+      target_has_best = true;
+      break;
+    }
+  }
+  if (target_has_best && target.stored_ts >= wm) {
+    sim::RepairPlan plan;
+    plan.fn = [](sim::ObjectStateBase&) -> sim::ResponsePtr { return nullptr; };
+    return plan;  // empty request footprint: zero bits on the channel
+  }
+
+  // Decode the best value and re-encode the target's block.
+  const std::vector<codec::Block> blocks = blocks_at(seen, *best);
+  const std::optional<Value> v = codec->decode(blocks);
+  if (!v.has_value()) return std::nullopt;
+
+  // Provenance: the original write's op, read off any peer chunk at `best`
+  // (at least one exists — distinct_indices_at(seen, best) >= k >= 1).
+  codec::Source src{};
+  for (const Chunk& c : seen) {
+    if (c.ts == *best) {
+      src.op = c.block.source.op;
+      break;
+    }
+  }
+  src.index = target_index;
+
+  Chunk chunk;
+  chunk.ts = *best;
+  chunk.block = codec::TaggedBlock{src, codec->encode_block(*v, target_index)};
+
+  sim::RepairPlan plan;
+  plan.request_footprint.add(chunk.block);
+  plan.fn = [chunk, wm](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+    auto& st = as_register_state(s);
+    // Same shape as the write protocols' commit round: garbage-collect
+    // below the (committed) watermark, install the piece, raise storedTS —
+    // but only to the watermark, never to the pushed chunk's timestamp.
+    std::erase_if(st.vp, [&](const Chunk& c) { return c.ts < wm; });
+    std::erase_if(st.vf, [&](const Chunk& c) { return c.ts < wm; });
+    const auto dup = [&](const std::vector<Chunk>& cs) {
+      for (const Chunk& c : cs) {
+        if (c.ts == chunk.ts && c.index() == chunk.index()) return true;
+      }
+      return false;
+    };
+    if (!dup(st.vp) && !dup(st.vf)) st.vp.push_back(chunk);
+    st.stored_ts = std::max(st.stored_ts, wm);
+    return nullptr;
+  };
+  return plan;
+}
+
+sim::RepairPlanner make_repair_planner(const RegisterAlgorithm& alg) {
+  const uint32_t k = alg.config().k;
+  codec::CodecPtr codec = alg.codec();
+  return [k, codec = std::move(codec)](
+             const sim::Simulator& sim,
+             ObjectId o) -> std::optional<sim::RepairPlan> {
+    std::vector<const RegisterObjectState*> peers;
+    peers.reserve(sim.num_objects());
+    for (uint32_t i = 0; i < sim.num_objects(); ++i) {
+      const ObjectId id{i};
+      if (i == o.value || !sim.object_alive(id) || sim.object_repairing(id)) {
+        continue;
+      }
+      const auto* st =
+          dynamic_cast<const RegisterObjectState*>(&sim.object_state(id));
+      if (st != nullptr) peers.push_back(st);
+    }
+    const auto* target =
+        dynamic_cast<const RegisterObjectState*>(&sim.object_state(o));
+    if (target == nullptr) return std::nullopt;
+    return plan_register_repair(peers, *target, o.value + 1, k, codec);
+  };
+}
+
+sim::RepairPlanner RegisterAlgorithm::repair_planner() const {
+  return make_repair_planner(*this);
+}
+
+}  // namespace sbrs::registers

@@ -1,0 +1,51 @@
+// Active repair for the register families (read-repair + anti-entropy).
+//
+// A restarted base object sits in its repair window until fresh traffic
+// re-converges it (sim/simulator.h). Passive recovery closes the window
+// only on the first payload-carrying fresh write — on read-mostly keys it
+// can stay open forever. The planner here builds the *repair push*: an RMW
+// from the replica mesh (sim::kRepairSource) that re-installs the newest
+// decodable block at the stale replica and closes the window on delivery.
+//
+// Safety: the push only ever raises the target's storedTS to the peers'
+// commit watermark (max peer storedTS), never to a mid-flight write's
+// timestamp — quorum intersection guarantees k pieces at a timestamp only
+// once its update round committed at a quorum, so advancing storedTS past
+// the watermark could garbage-collect pieces readers still need and stall
+// FW-termination. The pushed chunk itself may carry a newer (not yet
+// committed) timestamp; that is exactly what a slow in-flight pre-write
+// would have stored.
+#pragma once
+
+#include "codec/codec.h"
+#include "registers/object_state.h"
+#include "registers/register_algorithm.h"
+#include "sim/types.h"
+
+namespace sbrs::registers {
+
+/// Plan one repair push toward `target` given the live peers' states.
+///
+/// watermark = max peer storedTS; best = the newest timestamp >= watermark
+/// with >= k distinct block indices among the peers' chunks (the read
+/// algorithm's decodability test). Returns:
+///  - nullopt when no peer state is visible or nothing decodable yet
+///    (the pump retries later);
+///  - a zero-bit digest plan when the target already holds a chunk at
+///    `best` and storedTS >= watermark (freshness confirmed; the delivery
+///    still closes the window);
+///  - otherwise a plan whose RMW garbage-collects pieces below the
+///    watermark, installs the re-encoded block `target_index` of the
+///    decoded best value into Vp (skipping exact (ts, index) duplicates),
+///    and raises storedTS to the watermark.
+std::optional<sim::RepairPlan> plan_register_repair(
+    const std::vector<const RegisterObjectState*>& peers,
+    const RegisterObjectState& target, uint32_t target_index,
+    uint32_t k, const codec::CodecPtr& codec);
+
+/// The default planner for a register algorithm: peers are the live,
+/// non-repairing base objects; the pushed block index follows the
+/// object-to-block convention (object o stores block o.value + 1).
+sim::RepairPlanner make_repair_planner(const RegisterAlgorithm& alg);
+
+}  // namespace sbrs::registers

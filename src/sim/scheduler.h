@@ -24,6 +24,7 @@ struct Action {
     kCrashObject,      // crash a base object
     kCrashClient,      // crash a client
     kRestartObject,    // re-arm a crashed base object (crash recovery)
+    kRepairObject,     // trigger one anti-entropy repair push at an object
     kPartitionLink,    // cut one (client, object) link (sim/linkfault.h)
     kPartitionObject,  // cut every client's link to an object
     kHealLink,         // re-open one link
@@ -72,6 +73,12 @@ struct Action {
     a.kind = Kind::kRestartObject;
     a.object = o;
     a.restart_mode = mode;
+    return a;
+  }
+  static Action repair_object(ObjectId o) {
+    Action a;
+    a.kind = Kind::kRepairObject;
+    a.object = o;
     return a;
   }
   static Action partition_link(ClientId c, ObjectId o, uint64_t heal_after) {

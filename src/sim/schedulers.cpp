@@ -19,21 +19,41 @@ void RandomScheduler::observe_crashes(const Simulator& sim) {
   }
 }
 
-std::optional<uint64_t> RandomScheduler::next_wakeup(const Simulator& sim) {
-  // Only the deterministic restart delay yields a wakeup: a probabilistic
-  // restart needs steps to happen, and partitions auto-heal through the
-  // fault table's own deadline. No RNG draws here, ever.
-  if (object_restarts_ >= opts_.max_object_restarts ||
-      opts_.restart_after == 0) {
-    return std::nullopt;
+void RandomScheduler::observe_repair(const Simulator& sim) {
+  if (repair_due_.size() < sim.num_objects()) {
+    repair_due_.resize(sim.num_objects(), 0);
   }
-  observe_crashes(sim);
+  for (uint32_t i = 0; i < sim.num_objects(); ++i) {
+    if (sim.object_repairing(ObjectId{i})) {
+      if (repair_due_[i] == 0) repair_due_[i] = sim.now() + opts_.repair_every;
+    } else {
+      repair_due_[i] = 0;  // window closed (or object crashed again)
+    }
+  }
+}
+
+std::optional<uint64_t> RandomScheduler::next_wakeup(const Simulator& sim) {
+  // Only the deterministic restart delay and the anti-entropy pump yield
+  // wakeups: a probabilistic restart needs steps to happen, and partitions
+  // auto-heal through the fault table's own deadline. No RNG draws here,
+  // ever.
   std::optional<uint64_t> due;
-  for (uint32_t i = 0; i < crash_seen_.size(); ++i) {
-    if (crash_seen_[i] == 0) continue;
-    // next() fires the restart once now + 1 >= seen + restart_after.
-    const uint64_t t = crash_seen_[i] + opts_.restart_after - 1;
-    if (!due.has_value() || t < *due) due = t;
+  if (object_restarts_ < opts_.max_object_restarts &&
+      opts_.restart_after > 0) {
+    observe_crashes(sim);
+    for (uint32_t i = 0; i < crash_seen_.size(); ++i) {
+      if (crash_seen_[i] == 0) continue;
+      // next() fires the restart once now + 1 >= seen + restart_after.
+      const uint64_t t = crash_seen_[i] + opts_.restart_after - 1;
+      if (!due.has_value() || t < *due) due = t;
+    }
+  }
+  if (opts_.repair_every > 0 && sim.repair_budget_left()) {
+    observe_repair(sim);
+    for (uint32_t i = 0; i < repair_due_.size(); ++i) {
+      if (repair_due_[i] == 0) continue;
+      if (!due.has_value() || repair_due_[i] < *due) due = repair_due_[i];
+    }
   }
   return due;
 }
@@ -74,6 +94,20 @@ Action RandomScheduler::next(const Simulator& sim) {
         ++object_restarts_;
         return Action::restart_object(dead[rng_.pick_index(dead)],
                                       opts_.restart_mode);
+      }
+    }
+  }
+
+  // Anti-entropy pump: one repair push per repairing object every
+  // repair_every steps, budget permitting. Fully gated (zero bookkeeping,
+  // zero RNG draws when off) so repair-free seeds keep their schedules.
+  if (opts_.repair_every > 0) {
+    observe_repair(sim);
+    for (uint32_t i = 0; i < sim.num_objects(); ++i) {
+      if (repair_due_[i] != 0 && sim.now() >= repair_due_[i] &&
+          sim.repair_budget_left()) {
+        repair_due_[i] = sim.now() + opts_.repair_every;  // re-arm
+        return Action::repair_object(ObjectId{i});
       }
     }
   }

@@ -53,6 +53,14 @@ class RandomScheduler final : public Scheduler {
     uint32_t max_partitions = 0;
     uint32_t partition_permyriad = 0;
     uint64_t partition_heal_after = 0;
+    /// Anti-entropy pump: while an object sits in its repair window, emit
+    /// one kRepairObject action toward it every `repair_every` steps (the
+    /// first push fires repair_every steps after the window is observed
+    /// open, so a fresh write racing the restart still gets first shot).
+    /// 0 disables the pump entirely — no bookkeeping, no RNG draws, no
+    /// wakeups — so repair-free seeds keep their exact schedules. The
+    /// pump stops early when the simulator's repair-bit budget is spent.
+    uint64_t repair_every = 0;
   };
 
   explicit RandomScheduler(Options opts) : opts_(opts), rng_(opts.seed) {}
@@ -80,6 +88,14 @@ class RandomScheduler final : public Scheduler {
   /// Step+1 at which each object was first observed crashed (0 = alive);
   /// drives the deterministic restart_after delay.
   std::vector<uint64_t> crash_seen_;
+  /// Anti-entropy pump state (repair_every > 0 only): the step at which the
+  /// next repair push toward each object is due (0 = window not open / no
+  /// push scheduled).
+  std::vector<uint64_t> repair_due_;
+
+  /// Update repair_due_ from the simulator's current repair-window state
+  /// (shared by next and next_wakeup; idempotent within a step; no RNG).
+  void observe_repair(const Simulator& sim);
 };
 
 /// Wraps any scheduler with a scripted fault timeline: at the first step

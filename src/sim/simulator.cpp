@@ -64,6 +64,15 @@ class Simulator::ContextImpl final : public SimContext {
     if (sim_.config_.trace != nullptr) {
       sim_.config_.trace->op_return(sim_.time_, op, degraded);
     }
+    // Read-repair: a read that completed while repair windows are open just
+    // proved stale replicas are visible — push the newest decodable block
+    // back at each of them. One pointer-test guard when off; the pushes
+    // draw no randomness.
+    if (sim_.config_.read_repair && rec->kind == OpKind::kRead) {
+      for (uint32_t i = 0; i < sim_.config_.num_objects; ++i) {
+        if (sim_.object_repairing_[i]) sim_.trigger_repair(ObjectId{i});
+      }
+    }
   }
 
   ClientId self() const override { return self_; }
@@ -326,6 +335,13 @@ RunReport Simulator::run() {
   }
   report_.steps = time_;
   report_.invoked_ops = history_.invoke_count();
+  report_.open_repair_windows = open_repair_windows();
+  // Windows still open at run end accrue their duration up to the last step.
+  for (uint32_t i = 0; i < object_repairing_.size(); ++i) {
+    if (object_repairing_[i]) {
+      report_.repair_window_steps += time_ - object_restart_time_[i];
+    }
+  }
   bool all_returned = history_.outstanding().empty();
   bool workload_done = invocable_clients().empty();
   // Quiesced: every op invoked and returned, and no client has more to do —
@@ -364,6 +380,11 @@ void Simulator::apply(const Action& a) {
       break;
     case Action::Kind::kRestartObject:
       restart_object(a.object, a.restart_mode);
+      break;
+    case Action::Kind::kRepairObject:
+      // A no-op (still one step) when the window already closed or nothing
+      // is decodable yet — the pump re-arms and retries.
+      trigger_repair(a.object);
       break;
     case Action::Kind::kPartitionLink:
       partition_link(a.client, a.object, a.heal_after);
@@ -498,19 +519,30 @@ void Simulator::do_deliver(RmwId id) {
   // receives is recovery traffic — its request bits are charged to
   // repair_bits (Definition 2 prices each request, so this is exactly the
   // extra channel cost of the recovery). The window closes, inclusively,
-  // with the first delivered *payload-carrying* RMW of a write operation
-  // invoked after the restart: that store-phase round's overwrite
-  // re-converges the replica. The payload requirement matters for the
-  // two-round algorithms — ABD's query round of a fresh write is a pure
-  // read of timestamps (0 request bits) and leaves the replica stale.
+  // with the first delivered RMW that re-converges the replica: either a
+  // *payload-carrying* RMW of a write operation invoked strictly after the
+  // restart (the store-phase overwrite), or a repair push (read-repair /
+  // anti-entropy — re-converging by construction, so even a zero-bit
+  // digest push closes). The payload requirement matters for the two-round
+  // algorithms — ABD's query round of a fresh write is a pure read of
+  // timestamps (0 request bits) and leaves the replica stale. A write
+  // invoked at the restart step itself does NOT close: its payload may
+  // have been computed against pre-restart reads, so only strictly-later
+  // invocations count as the overwrite.
   const bool repairing = object_repairing_[p.target.value];
   if (repairing) {
     report_.repair_bits += p.request_footprint.total_bits();
-    const sim::OpRecord* rec = history_.find(p.op);
-    if (rec != nullptr && rec->kind == OpKind::kWrite &&
-        rec->invoke_time >= object_restart_time_[p.target.value] &&
-        p.request_footprint.total_bits() > 0) {
+    bool closes = p.is_repair;
+    if (!closes) {
+      const sim::OpRecord* rec = history_.find(p.op);
+      closes = rec != nullptr && rec->kind == OpKind::kWrite &&
+               rec->invoke_time > object_restart_time_[p.target.value] &&
+               p.request_footprint.total_bits() > 0;
+    }
+    if (closes) {
       object_repairing_[p.target.value] = false;
+      report_.repair_window_steps +=
+          time_ - object_restart_time_[p.target.value];
       if (config_.trace != nullptr) {
         config_.trace->repair_close(time_, p.target);
       }
@@ -555,7 +587,11 @@ void Simulator::do_crash_object(ObjectId o) {
   if (!object_alive_[o.value]) return;
   object_alive_[o.value] = false;
   // A repairing object that crashes again is just crashed; a later restart
-  // opens a fresh repair window.
+  // opens a fresh repair window. The cut-short window still counts toward
+  // the open-window duration up to the crash.
+  if (object_repairing_[o.value]) {
+    report_.repair_window_steps += time_ - object_restart_time_[o.value];
+  }
   object_repairing_[o.value] = false;
   ++crashed_objects_;
   ++report_.object_crash_events;
@@ -603,6 +639,49 @@ void Simulator::restart_object(ObjectId o, RestartMode mode) {
   if (config_.trace != nullptr) {
     config_.trace->object_restart(time_, o, to_string(mode));
   }
+}
+
+uint32_t Simulator::open_repair_windows() const {
+  uint32_t open = 0;
+  for (uint32_t i = 0; i < config_.num_objects; ++i) {
+    if (object_repairing_[i]) ++open;
+  }
+  return open;
+}
+
+bool Simulator::trigger_repair(ObjectId o) {
+  SBRS_CHECK_MSG(o.value < object_alive_.size(), "repair of unknown " << o);
+  if (config_.repair_planner == nullptr) return false;
+  if (!object_alive_[o.value] || !object_repairing_[o.value]) return false;
+  if (!repair_budget_left()) return false;
+  std::optional<RepairPlan> plan = config_.repair_planner(*this, o);
+  if (!plan.has_value()) return false;  // nothing decodable yet; retry later
+  SBRS_CHECK(plan->fn != nullptr);
+
+  PendingRmw p;
+  p.id = RmwId{next_rmw_id_++};
+  p.op = OpId::none();  // replica-mesh traffic belongs to no operation
+  p.client = kRepairSource;
+  p.target = o;
+  p.fn = std::move(plan->fn);
+  p.request_footprint = std::move(plan->request_footprint);
+  p.trigger_seq = trigger_seq_++;
+  p.is_repair = true;
+  // Deliberately NOT routed through faults_.on_trigger: the push models
+  // replica-mesh traffic outside the client-object links, and skipping the
+  // fault draws keeps the fault RNG stream identical to a repair-free run.
+  const uint64_t bits = p.request_footprint.total_bits();
+  acct_channel_bits_ += bits;
+  repair_push_bits_ += bits;
+  pending_.push_back(std::move(p));
+  ++report_.rmws_triggered;
+  ++report_.repair_pushes;
+  if (config_.trace != nullptr) {
+    const PendingRmw& q = pending_.back();
+    config_.trace->rmw_trigger(time_, q.id, q.op, kRepairSource, o, bits,
+                               q.deliverable_at, false);
+  }
+  return true;
 }
 
 void Simulator::do_crash_client(ClientId c) {

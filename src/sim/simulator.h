@@ -58,6 +58,20 @@ struct SimConfig {
   /// driven through Actions instead. Empty options keep the fault layer
   /// fully disengaged — zero RNG draws, identical schedules.
   LinkFaultOptions link_faults;
+  /// Active repair (read-repair + anti-entropy pumps) planner: builds the
+  /// push RMW that re-converges one repairing object from its live peers.
+  /// Null (the default) disables active repair entirely — no extra RMWs,
+  /// no RNG draws, repair-free runs keep their artifacts byte-identical.
+  RepairPlanner repair_planner;
+  /// Read-repair: when a *read* completes while >= 1 object sits inside
+  /// its repair window, trigger one repair push per repairing object (the
+  /// read just proved the stale replica is visible traffic). Requires
+  /// repair_planner; off by default.
+  bool read_repair = false;
+  /// Budget (in request bits) for the repair pushes of the whole run:
+  /// trigger_repair refuses once the bits already pushed reach it. The
+  /// default is unbounded.
+  uint64_t repair_budget = UINT64_MAX;
   /// Structured trace sink (obs/trace.h): op spans, RMW message spans,
   /// partition/repair intervals, crash/restart instants and decimated
   /// counter samples are emitted into it as the run executes, stamped with
@@ -101,16 +115,30 @@ struct RunReport {
   uint64_t object_crash_events = 0;
   uint64_t object_restarts = 0;
   /// RMW request bits delivered to restarted objects during their repair
-  /// window: from restart up to and including the first delivered
-  /// payload-carrying RMW of a fresh *write* operation (the store-phase
-  /// overwrite that re-converges the replica; a fresh write's query round
-  /// carries no payload and leaves the window open). The paper's
-  /// Definition 2 channel accounting prices each request, so this is
-  /// exactly the extra traffic recovery cost the deployment.
+  /// window: from restart up to and including the close — the first
+  /// delivered payload-carrying RMW of a write invoked strictly after the
+  /// restart (the store-phase overwrite that re-converges the replica; a
+  /// fresh write's query round carries no payload and leaves the window
+  /// open), or the first delivered repair push (read-repair / anti-entropy,
+  /// which re-converges by construction). The paper's Definition 2 channel
+  /// accounting prices each request, so this is exactly the extra traffic
+  /// recovery cost the deployment.
   uint64_t repair_bits = 0;
+  /// Repair pushes triggered by the active repair subsystem (read-repair
+  /// hooks plus anti-entropy pump actions); 0 whenever repair is off.
+  uint64_t repair_pushes = 0;
+  /// Repair windows still open when the run ended — with active repair on
+  /// and decodable peers this should drain to 0 even without foreground
+  /// writes.
+  uint32_t open_repair_windows = 0;
   /// Steps taken while at least one base object was crashed — the length
   /// of the degraded windows (quorums shrunk to their floor).
   uint64_t degraded_steps = 0;
+  /// Logical time spent inside repair windows, summed per window from the
+  /// restart to the close (or to a re-crash / the end of the run). The axis
+  /// repair bandwidth buys down: a faster anti-entropy pump spends more
+  /// pushes to shrink this.
+  uint64_t repair_window_steps = 0;
   /// Sojourn time of operations that *returned* during a degraded window.
   /// Comparing its tail against sojourn_latency shows what crashes cost
   /// the ops that lived through them.
@@ -168,6 +196,28 @@ class Simulator {
   /// schedulers (via Action::restart_object) and directly by drivers
   /// between steps; a no-op error (CheckFailure) on a live object.
   void restart_object(ObjectId o, RestartMode mode);
+
+  /// Trigger one repair push toward repairing object `o`: ask the
+  /// configured repair planner for the push RMW and inject it into the
+  /// channel as replica-mesh traffic (client = kRepairSource, no response
+  /// is observed; the push ignores client-link partitions and takes no
+  /// fault-RNG draws, so fault schedules are unperturbed). On delivery to
+  /// the still-repairing target the push closes its repair window — even a
+  /// zero-bit digest push (the planner found the replica already fresh).
+  /// Returns false (a no-op) when repair is unconfigured, `o` is not in a
+  /// repair window, the repair-bit budget is exhausted, or the planner
+  /// found nothing decodable yet. Called by the anti-entropy pump
+  /// (Action::repair_object) and the read-repair hook.
+  bool trigger_repair(ObjectId o);
+
+  /// True while the repair-push budget (SimConfig::repair_budget) has bits
+  /// left; the anti-entropy pump stops pumping once it is spent.
+  bool repair_budget_left() const {
+    return repair_push_bits_ < config_.repair_budget;
+  }
+
+  /// Objects currently inside a repair window.
+  uint32_t open_repair_windows() const;
 
   // --- Link partitions (sim/linkfault.h). Cut links hold RMWs in the
   // --- channel (undeliverable, still priced by Definition 2) until the
@@ -283,8 +333,10 @@ class Simulator {
   std::vector<bool> object_repairing_;
   /// Step of each object's latest restart (meaningful while repairing): a
   /// delivered payload-carrying write-op RMW closes the window only if the
-  /// write was invoked at or after this — pre-crash writes still in flight
-  /// don't count as the re-converging overwrite.
+  /// write was invoked strictly after this — pre-crash writes still in
+  /// flight don't count as the re-converging overwrite, and neither does a
+  /// write invoked at the restart step itself (its payload may have been
+  /// computed against pre-restart reads).
   std::vector<uint64_t> object_restart_time_;
   std::vector<std::unique_ptr<ClientProtocol>> clients_;
   std::vector<bool> client_alive_;
@@ -316,6 +368,10 @@ class Simulator {
   uint64_t acct_object_bits_ = 0;
   uint64_t acct_client_bits_ = 0;
   uint64_t acct_channel_bits_ = 0;
+  /// Request bits of the repair pushes triggered so far, checked against
+  /// SimConfig::repair_budget (distinct from RunReport::repair_bits, which
+  /// charges *delivered* in-window traffic of any origin).
+  uint64_t repair_push_bits_ = 0;
 };
 
 }  // namespace sbrs::sim

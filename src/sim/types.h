@@ -102,6 +102,34 @@ struct PendingRmw {
   /// loss taking effect — it never reaches the object.
   uint64_t deliverable_at = 0;
   bool dropped = false;
+  /// A repair push (Simulator::trigger_repair): originates from the replica
+  /// mesh, not a client (client is kRepairSource), belongs to no operation,
+  /// and closes the target's repair window on delivery.
+  bool is_repair = false;
 };
+
+/// The sentinel "client" repair pushes are attributed to: replica-mesh
+/// traffic has no client session, never observes a response (client_alive
+/// is false for it), and is never partitioned by client-link cuts.
+inline constexpr ClientId kRepairSource{UINT32_MAX};
+
+/// One planned repair push toward a repairing object: the RMW that writes
+/// the newest decodable block(s) back (or confirms freshness with a
+/// zero-bit digest check) and the request footprint charged to the channel
+/// and, on delivery inside the window, to RunReport::repair_bits.
+struct RepairPlan {
+  RmwFn fn;
+  metrics::StorageFootprint request_footprint;
+};
+
+class Simulator;
+
+/// Builds the repair push for one repairing object from the current system
+/// state (live peers' chunks), or nullopt when nothing is decodable yet.
+/// Installed via SimConfig::repair_planner by the register algorithms
+/// (registers/repair.h) and the store (store/repair.h). Must not mutate
+/// anything and must draw no randomness — repair determinism rides on it.
+using RepairPlanner =
+    std::function<std::optional<RepairPlan>(const Simulator&, ObjectId)>;
 
 }  // namespace sbrs::sim

@@ -56,4 +56,11 @@ const sim::ObjectStateBase* MultiKeyObjectState::sub(uint32_t key) const {
   return it == subs_.end() ? nullptr : it->second.state.get();
 }
 
+std::vector<uint32_t> MultiKeyObjectState::mounted_key_ids() const {
+  std::vector<uint32_t> out;
+  out.reserve(subs_.size());
+  for (const auto& [key, sub] : subs_) out.push_back(key);
+  return out;
+}
+
 }  // namespace sbrs::store

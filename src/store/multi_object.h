@@ -48,6 +48,9 @@ class MultiKeyObjectState final : public sim::ObjectStateBase {
   size_t mounted_keys() const { return subs_.size(); }
   /// The sub-state of `key`, or nullptr if never mounted (tests).
   const sim::ObjectStateBase* sub(uint32_t key) const;
+  /// Ids of all mounted keys, ascending (the repair planner walks them to
+  /// build the per-key repair fan; store/repair.h).
+  std::vector<uint32_t> mounted_key_ids() const;
 
  private:
   sim::ObjectStateBase& ensure(uint32_t key);

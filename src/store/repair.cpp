@@ -1,0 +1,89 @@
+#include "store/repair.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "registers/object_state.h"
+#include "registers/repair.h"
+#include "sim/simulator.h"
+#include "store/multi_object.h"
+
+namespace sbrs::store {
+
+sim::RepairPlanner make_store_repair_planner(
+    const registers::RegisterAlgorithm& alg) {
+  const uint32_t k = alg.config().k;
+  codec::CodecPtr codec = alg.codec();
+  return [k, codec = std::move(codec)](
+             const sim::Simulator& sim,
+             ObjectId o) -> std::optional<sim::RepairPlan> {
+    const auto* target =
+        dynamic_cast<const MultiKeyObjectState*>(&sim.object_state(o));
+    if (target == nullptr) return std::nullopt;
+
+    std::vector<const MultiKeyObjectState*> peers;
+    peers.reserve(sim.num_objects());
+    for (uint32_t i = 0; i < sim.num_objects(); ++i) {
+      const ObjectId id{i};
+      if (i == o.value || !sim.object_alive(id) || sim.object_repairing(id)) {
+        continue;
+      }
+      const auto* st =
+          dynamic_cast<const MultiKeyObjectState*>(&sim.object_state(id));
+      if (st != nullptr) peers.push_back(st);
+    }
+    if (peers.empty()) return std::nullopt;
+
+    // Union of mounted keys across the target and its peers, ascending —
+    // a key any replica knows about must be covered before the window may
+    // close.
+    std::vector<uint32_t> keys = target->mounted_key_ids();
+    for (const MultiKeyObjectState* p : peers) {
+      const std::vector<uint32_t> pk = p->mounted_key_ids();
+      keys.insert(keys.end(), pk.begin(), pk.end());
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    static const registers::RegisterObjectState kEmpty;
+    std::vector<std::pair<uint32_t, sim::RmwFn>> fns;
+    fns.reserve(keys.size());
+    metrics::StorageFootprint footprint;
+    for (uint32_t key : keys) {
+      std::vector<const registers::RegisterObjectState*> key_peers;
+      key_peers.reserve(peers.size());
+      for (const MultiKeyObjectState* p : peers) {
+        const auto* st =
+            dynamic_cast<const registers::RegisterObjectState*>(p->sub(key));
+        if (st != nullptr) key_peers.push_back(st);
+      }
+      const auto* tsub =
+          dynamic_cast<const registers::RegisterObjectState*>(target->sub(key));
+      std::optional<sim::RepairPlan> plan = registers::plan_register_repair(
+          key_peers, tsub != nullptr ? *tsub : kEmpty, o.value + 1, k, codec);
+      // A single undecodable key withholds the whole push: delivery closes
+      // the window for the entire shard object, all keys or nothing.
+      if (!plan.has_value()) return std::nullopt;
+      footprint.merge(plan->request_footprint);
+      fns.emplace_back(key, std::move(plan->fn));
+    }
+
+    sim::RepairPlan plan;
+    plan.request_footprint = std::move(footprint);
+    plan.fn = [fns = std::move(fns)](
+                  sim::ObjectStateBase& s) -> sim::ResponsePtr {
+      auto* mk = dynamic_cast<MultiKeyObjectState*>(&s);
+      SBRS_CHECK_MSG(mk != nullptr, "store repair on non-multi-key state");
+      // apply() keeps the cached per-key bit totals exact, and mounts any
+      // key the target had never seen (materializing v0 first, exactly as
+      // a first client touch would).
+      for (const auto& [key, fn] : fns) mk->apply(key, fn);
+      return nullptr;
+    };
+    return plan;
+  };
+}
+
+}  // namespace sbrs::store

@@ -1,0 +1,25 @@
+// Store-level active repair: the per-shard planner behind read-repair and
+// the anti-entropy pump (sim::SimConfig::repair_planner).
+//
+// A shard's base object multiplexes one register sub-state per key
+// (store/multi_object.h), so one repair push re-converges *every* key the
+// replica is stale on: the planner walks the union of mounted keys across
+// the target and its live peers, plans one register repair per key
+// (registers/repair.h), and bundles them into a single RMW whose delivery
+// closes the shard object's repair window. Conservative gate: if any key
+// is not yet decodable from the live peers, the whole push is withheld
+// (nullopt) — closing the window early would hide a still-stale key.
+#pragma once
+
+#include "registers/register_algorithm.h"
+#include "sim/types.h"
+
+namespace sbrs::store {
+
+/// Planner for a shard simulator whose objects are MultiKeyObjectState
+/// wrappers around `alg`'s per-key states. The returned closure captures
+/// only the codec and config, so it outlives `alg`.
+sim::RepairPlanner make_store_repair_planner(
+    const registers::RegisterAlgorithm& alg);
+
+}  // namespace sbrs::store

@@ -18,6 +18,7 @@
 #include "store/multi_client.h"
 #include "store/multi_object.h"
 #include "store/queue_workload.h"
+#include "store/repair.h"
 
 namespace sbrs::store {
 
@@ -64,6 +65,7 @@ std::unique_ptr<sim::Scheduler> make_scheduler(const StoreOptions& opts,
       so.max_partitions = opts.partitions_per_shard;
       so.partition_permyriad = opts.partitions_per_shard > 0 ? 20 : 0;
       so.partition_heal_after = opts.heal_after;
+      so.repair_every = opts.repair_every;
       scheduler = std::make_unique<sim::RandomScheduler>(so);
       break;
     }
@@ -132,6 +134,10 @@ Store::Store(StoreOptions opts) : opts_(std::move(opts)), map_(opts_.num_shards)
           !store_has_link_faults(opts_),
       "link faults (partitions, drops, delays, reordering) need the random "
       "scheduler — the deterministic schedulers are not fault-aware");
+  SBRS_CHECK_MSG(
+      opts_.repair_every == 0 || opts_.scheduler == harness::SchedKind::kRandom,
+      "anti-entropy (repair_every) needs the random scheduler — only its "
+      "pump emits repair actions (read_repair works with any scheduler)");
 
   // The loaded keyspace: ids 0..num_keys-1 in name order, matching the
   // ycsb::Op key indices, placed onto shards by key-name hash.
@@ -160,6 +166,11 @@ Store::Store(StoreOptions opts) : opts_(std::move(opts)), map_(opts_.num_shards)
     sc.max_steps = opts_.max_steps_per_shard;
     sc.link_faults = opts_.link_faults;
     sc.link_faults.seed = sim::fault_seed(harness::cell_seed(opts_.seed, s, 0));
+    if (opts_.repair_every > 0 || opts_.read_repair) {
+      sc.repair_planner = make_store_repair_planner(*shard->algorithm);
+      sc.read_repair = opts_.read_repair;
+      sc.repair_budget = opts_.repair_budget;
+    }
     if (opts_.verify_accounting.has_value()) {
       sc.verify_accounting = *opts_.verify_accounting;
     }
@@ -381,7 +392,10 @@ StoreResult Store::assemble(std::vector<ShardResult> shards) const {
     result.object_crash_events += s.report.object_crash_events;
     result.object_restarts += s.report.object_restarts;
     result.repair_bits += s.report.repair_bits;
+    result.repair_pushes += s.report.repair_pushes;
+    result.open_repair_windows += s.report.open_repair_windows;
     result.degraded_steps += s.report.degraded_steps;
+    result.repair_window_steps += s.report.repair_window_steps;
     result.degraded_sojourn.merge(s.report.degraded_sojourn);
     result.partition_events += s.report.partition_events;
     result.heal_events += s.report.heal_events;
@@ -530,7 +544,10 @@ void write_store_deterministic_json(std::ostream& os,
   os << "    \"object_crash_events\": " << r.object_crash_events
      << ", \"object_restarts\": " << r.object_restarts
      << ", \"repair_bits\": " << r.repair_bits
-     << ", \"degraded_steps\": " << r.degraded_steps << ",\n";
+     << ", \"repair_pushes\": " << r.repair_pushes
+     << ", \"open_repair_windows\": " << r.open_repair_windows
+     << ", \"degraded_steps\": " << r.degraded_steps
+     << ", \"repair_window_steps\": " << r.repair_window_steps << ",\n";
   os << "    \"partition_events\": " << r.partition_events
      << ", \"heal_events\": " << r.heal_events
      << ", \"rmws_dropped\": " << r.rmws_dropped
@@ -568,7 +585,10 @@ void write_store_deterministic_json(std::ostream& os,
        << ", \"object_crash_events\": " << s.report.object_crash_events
        << ", \"object_restarts\": " << s.report.object_restarts
        << ", \"repair_bits\": " << s.report.repair_bits
+       << ", \"repair_pushes\": " << s.report.repair_pushes
+       << ", \"open_repair_windows\": " << s.report.open_repair_windows
        << ", \"degraded_steps\": " << s.report.degraded_steps
+       << ", \"repair_window_steps\": " << s.report.repair_window_steps
        << ", \"partition_events\": " << s.report.partition_events
        << ", \"heal_events\": " << s.report.heal_events
        << ", \"rmws_dropped\": " << s.report.rmws_dropped
@@ -617,6 +637,8 @@ void write_store_json(std::ostream& os, const StoreResult& r) {
      << ", \"restart_mode\": \"" << sim::to_string(o.restart_mode)
      << "\", \"partitions_per_shard\": " << o.partitions_per_shard
      << ", \"heal_after\": " << o.heal_after
+     << ", \"repair_every\": " << o.repair_every
+     << ", \"read_repair\": " << (o.read_repair ? "true" : "false")
      << ", \"seed\": " << o.seed << ", \"check_consistency\": "
      << (o.check_consistency ? "true" : "false") << "},\n";
   os << "  \"deterministic\": ";

@@ -77,6 +77,19 @@ struct StoreOptions {
   /// guarantees hold); kFromScratch mounts an empty replacement replica
   /// (models disk loss — guarantees may fail until repair re-converges it).
   sim::RestartMode restart_mode = sim::RestartMode::kFromDisk;
+  /// Anti-entropy pump (scheduler == kRandom only): while a restarted
+  /// object's repair window is open, push the newest decodable block of
+  /// every mounted key back to it every `repair_every` per-shard steps
+  /// (store/repair.h); the push's delivery closes the window even with zero
+  /// foreground writes. 0 = passive recovery only.
+  uint64_t repair_every = 0;
+  /// Read-repair: a read completing on a shard with open repair windows
+  /// triggers one repair push per repairing object (piggybacking window
+  /// closure on foreground reads; works with every scheduler).
+  bool read_repair = false;
+  /// Per-shard bound on the bits of repair-push traffic triggered; pushes
+  /// stop once spent (windows then only close passively).
+  uint64_t repair_budget = UINT64_MAX;
   /// Link partitions per shard (scheduler == kRandom only): inject up to
   /// this many partition events per shard — symmetric or asymmetric, see
   /// sim::RandomScheduler::Options.
@@ -165,7 +178,15 @@ struct StoreResult {
   uint64_t object_crash_events = 0;
   uint64_t object_restarts = 0;
   uint64_t repair_bits = 0;
+  /// Active-repair outcome summed over shards: pushes triggered (read-repair
+  /// + anti-entropy) and repair windows still open at the end of the run
+  /// (0 = every restarted replica re-converged).
+  uint64_t repair_pushes = 0;
+  uint32_t open_repair_windows = 0;
   uint64_t degraded_steps = 0;
+  /// Steps (summed over shards) with >= 1 repair window open — the
+  /// degraded-window axis the anti-entropy rate trades repair_bits against.
+  uint64_t repair_window_steps = 0;
   metrics::LatencyHistogram degraded_sojourn;
   /// Link-fault outcome summed over shards (zero for fault-free runs).
   uint64_t partition_events = 0;

@@ -182,6 +182,8 @@ TEST(Recovery, RepairWindowStaysOpenWithoutFreshWrites) {
   // Crash and restart only after every write has been invoked and
   // delivered; with no fresh (post-restart) write the repair window never
   // closes — reads alone must not count as the re-converging overwrite.
+  // (ReadRepairClosesReadOnlyWindow below is the same run with active
+  // repair on, where the expectation flips.)
   auto sim = make_sim("abd", strict_config(),
                       {{200, ObjectId{2}, false},
                        {210, ObjectId{2}, true, sim::RestartMode::kFromDisk}},
@@ -190,6 +192,163 @@ TEST(Recovery, RepairWindowStaysOpenWithoutFreshWrites) {
   sim.run();
   if (sim.report().object_restarts == 1) {
     EXPECT_TRUE(sim.object_repairing(ObjectId{2}));
+  }
+}
+
+TEST(Recovery, WriteInvokedAtRestartStepDoesNotCloseWindow) {
+  // The window-close boundary: a write invoked at the *exact* step the
+  // object restarted may have computed its payload against pre-restart
+  // reads, so it must NOT close the repair window — only strictly-later
+  // invocations count. Pin it by restarting directly (the public
+  // restart_object API, no step consumed) at a moment when the next action
+  // is guaranteed to be the writer's final invocation: that write's
+  // invoke_time then equals the restart time exactly. Under the buggy
+  // `invoke_time >= restart_time` comparison this closed the window.
+  auto sim = make_sim("abd", strict_config(), {{6, ObjectId{0}, false}},
+                      /*writers=*/1, /*writes=*/2, /*readers=*/1,
+                      /*reads=*/2);
+  std::optional<uint64_t> restart_time;
+  while (true) {
+    if (!restart_time.has_value() && !sim.object_alive(ObjectId{0}) &&
+        sim.pending().empty() && !sim.invocable_clients().empty() &&
+        sim.invocable_clients().front() == ClientId{0}) {
+      sim.restart_object(ObjectId{0}, sim::RestartMode::kFromDisk);
+      restart_time = sim.now();
+      // The very next action is client 0's invocation at this same step.
+    }
+    if (!sim.step()) break;
+  }
+  ASSERT_TRUE(restart_time.has_value())
+      << "the writer must still have an invocation left after the crash";
+  const sim::RunReport report = sim.run();
+  EXPECT_EQ(report.object_restarts, 1u);
+
+  // The boundary write really was invoked at the restart step, carried a
+  // payload, and was the last write of the run.
+  bool boundary_write = false;
+  for (const auto& op : sim.history().ops()) {
+    if (op.kind == sim::OpKind::kWrite) {
+      EXPECT_LE(op.invoke_time, *restart_time);
+      if (op.invoke_time == *restart_time) boundary_write = true;
+    }
+  }
+  ASSERT_TRUE(boundary_write)
+      << "tune the crash step: no write was invoked at the restart step";
+
+  // Its store-phase RMWs delivered payload bits into the window (charged
+  // as repair traffic) without closing it.
+  EXPECT_GT(report.repair_bits, 0u);
+  EXPECT_TRUE(sim.object_repairing(ObjectId{0}))
+      << "a write invoked at the restart step itself must not close the "
+         "repair window";
+}
+
+/// Crashes bo0 at step 10, scratch-restarts it at 40, then re-crashes it
+/// at the exact moment a repair push toward it enters the channel — the
+/// push is then guaranteed to deliver as kLostCrashed. FIFO delivery and
+/// round-robin invocation otherwise.
+class CrashOnRepairPushScheduler final : public sim::Scheduler {
+ public:
+  sim::Action next(const sim::Simulator& sim) override {
+    if (!crashed_ && sim.now() >= 10 && sim.object_alive(ObjectId{0})) {
+      crashed_ = true;
+      return sim::Action::crash_object(ObjectId{0});
+    }
+    if (crashed_ && !restarted_ && sim.now() >= 40 &&
+        !sim.object_alive(ObjectId{0})) {
+      restarted_ = true;
+      return sim::Action::restart_object(ObjectId{0},
+                                         sim::RestartMode::kFromScratch);
+    }
+    if (restarted_ && !recrashed_) {
+      for (const auto& p : sim.pending()) {
+        if (p.is_repair && p.target.value == 0) {
+          recrashed_ = true;
+          return sim::Action::crash_object(ObjectId{0});
+        }
+      }
+    }
+    if (!sim.pending().empty()) {
+      return sim::Action::deliver(sim.pending().front().id);
+    }
+    const auto ready = sim.invocable_clients();
+    if (!ready.empty()) return sim::Action::invoke(ready.front());
+    return sim::Action::stop();
+  }
+
+ private:
+  bool crashed_ = false;
+  bool restarted_ = false;
+  bool recrashed_ = false;
+};
+
+TEST(Recovery, CrashDuringRepairDrainsPushBitsExactly) {
+  // Accounting audit for kLostCrashed deliveries inside a repair cycle:
+  // the scratch restart opens a window, a read completing inside it pushes
+  // repair, and the target re-crashes with the push still in the channel —
+  // the push then delivers as kLostCrashed and its request bits must drain
+  // from the channel account. verify_accounting cross-checks the tracked
+  // totals against a full snapshot after EVERY step, so any drift (the
+  // drain skipped, or applied twice) throws mid-run and fails the test.
+  auto algorithm = harness::make_algorithm("adaptive", small_cfg());
+  sim::UniformWorkload::Options wl;
+  wl.writers = 1;
+  wl.writes_per_client = 2;  // exhausted early: a read-only tail after 40
+  wl.readers = 2;
+  wl.reads_per_client = 16;
+  wl.data_bits = small_cfg().data_bits;
+  sim::SimConfig sc = strict_config();
+  sc.num_objects = algorithm->config().n;
+  sc.num_clients = 3;
+  sc.read_repair = true;
+  sc.repair_planner = algorithm->repair_planner();
+  sim::Simulator sim(sc, algorithm->object_factory(),
+                     algorithm->client_factory(),
+                     std::make_unique<sim::UniformWorkload>(wl),
+                     std::make_unique<CrashOnRepairPushScheduler>());
+  const sim::RunReport report = sim.run();  // throws on any accounting drift
+  EXPECT_EQ(report.object_crash_events, 2u)
+      << "the second crash must have caught a repair push in flight";
+  EXPECT_EQ(report.object_restarts, 1u);
+  ASSERT_GT(report.repair_pushes, 0u)
+      << "a read inside the window must have triggered a repair push";
+
+  // Final exactness: the tracked totals equal a from-scratch snapshot
+  // rebuild even after the push was lost to the re-crash.
+  const auto snap = sim.snapshot();
+  EXPECT_EQ(sim.tracked_object_bits(), snap.object_bits());
+  EXPECT_EQ(sim.tracked_channel_bits(), snap.channel_bits());
+}
+
+TEST(Recovery, ReadRepairClosesReadOnlyWindow) {
+  // The flip side of RepairWindowStaysOpenWithoutFreshWrites: same
+  // read-only tail (all writes done long before the crash), but with
+  // read-repair on a read completing inside the window pushes the newest
+  // coded block back and the push's delivery closes the window.
+  auto algorithm = harness::make_algorithm("abd", small_cfg());
+  sim::UniformWorkload::Options wl;
+  wl.writers = 1;
+  wl.writes_per_client = 2;
+  wl.readers = 2;
+  wl.reads_per_client = 16;
+  wl.data_bits = small_cfg().data_bits;
+  sim::SimConfig sc = strict_config();
+  sc.num_objects = algorithm->config().n;
+  sc.num_clients = 3;
+  sc.read_repair = true;
+  sc.repair_planner = algorithm->repair_planner();
+  sim::Simulator sim(
+      sc, algorithm->object_factory(), algorithm->client_factory(),
+      std::make_unique<sim::UniformWorkload>(wl),
+      std::make_unique<ScriptedFaultScheduler>(
+          std::vector<ScriptedFaultScheduler::Fault>{
+              {200, ObjectId{2}, false},
+              {210, ObjectId{2}, true, sim::RestartMode::kFromDisk}}));
+  const sim::RunReport report = sim.run();
+  if (report.object_restarts == 1 && report.repair_pushes > 0) {
+    EXPECT_FALSE(sim.object_repairing(ObjectId{2}))
+        << "a delivered repair push must close the window";
+    EXPECT_EQ(report.open_repair_windows, 0u);
   }
 }
 
@@ -278,6 +437,87 @@ TEST(Recovery, FingerprintDistinguishesRecoverySchedules) {
   EXPECT_NE(harness::outcome_fingerprint(a), harness::outcome_fingerprint(b));
 }
 
+TEST(Recovery, AntiEntropyClosesWindowsWithoutForegroundWrites) {
+  // Read-dominated run whose writes are exhausted early: restarted objects
+  // would stay in their repair window forever (the regression pinned by
+  // RepairWindowStaysOpenWithoutFreshWrites). The background anti-entropy
+  // pump must close every window — the run keeps fast-forwarding to pump
+  // wakeups after the workload quiesces, so no window is left open.
+  harness::RunOptions opts;
+  opts.writers = 1;
+  opts.writes_per_client = 2;
+  opts.readers = 2;
+  opts.reads_per_client = 16;
+  opts.object_crashes = 2;
+  opts.restart_after = 50;
+  opts.repair_every = 25;
+  opts.seed = 7;
+  auto algorithm = harness::make_algorithm("adaptive", small_cfg());
+  const auto out = harness::run_register_experiment(*algorithm, opts);
+  ASSERT_GT(out.report.object_crash_events, 0u)
+      << "seed 7 must inject at least one crash for this test to bite";
+  EXPECT_EQ(out.report.object_restarts, out.report.object_crash_events);
+  EXPECT_GT(out.report.repair_pushes, 0u);
+  EXPECT_EQ(out.report.open_repair_windows, 0u)
+      << "anti-entropy must close every repair window before the run ends";
+  EXPECT_TRUE(out.values_legal.ok);
+  EXPECT_TRUE(out.live);
+}
+
+TEST(Recovery, AntiEntropyRunsAreExactlyReplayable) {
+  harness::RunOptions opts;
+  opts.writers = 2;
+  opts.writes_per_client = 4;
+  opts.readers = 2;
+  opts.reads_per_client = 4;
+  opts.object_crashes = 2;
+  opts.restart_after = 40;
+  opts.restart_mode = sim::RestartMode::kFromScratch;
+  opts.repair_every = 30;
+  opts.read_repair = true;
+  opts.seed = 13;
+  opts.check_consistency = false;  // scratch restarts may violate; not the point
+  auto alg1 = harness::make_algorithm("coded", small_cfg());
+  const auto a = harness::run_register_experiment(*alg1, opts);
+  auto alg2 = harness::make_algorithm("coded", small_cfg());
+  const auto b = harness::run_register_experiment(*alg2, opts);
+  EXPECT_EQ(harness::outcome_fingerprint(a), harness::outcome_fingerprint(b));
+  EXPECT_EQ(a.report.repair_pushes, b.report.repair_pushes);
+  EXPECT_EQ(a.report.open_repair_windows, b.report.open_repair_windows);
+}
+
+TEST(Recovery, RepairBudgetStopsAntiEntropyPushes) {
+  // A 1-bit budget: the first non-digest push spends it, after which both
+  // the pump and read-repair must stop triggering. Scratch restarts force
+  // real (non-zero-bit) pushes, so exactly one push fires.
+  harness::RunOptions opts;
+  opts.writers = 1;
+  opts.writes_per_client = 2;
+  opts.readers = 2;
+  opts.reads_per_client = 16;
+  opts.object_crashes = 2;
+  opts.restart_after = 50;
+  opts.restart_mode = sim::RestartMode::kFromScratch;
+  opts.repair_every = 25;
+  opts.repair_budget = 1;
+  opts.seed = 7;
+  opts.check_consistency = false;  // scratch restarts may violate; not the point
+  auto algorithm = harness::make_algorithm("adaptive", small_cfg());
+  const auto out = harness::run_register_experiment(*algorithm, opts);
+  ASSERT_GT(out.report.object_restarts, 0u);
+  EXPECT_EQ(out.report.repair_pushes, 1u)
+      << "the first real push exhausts a 1-bit budget";
+
+  // Unbudgeted control at the same seed: at least as many pushes, and the
+  // budget being the only difference, the stream of pushes must be a
+  // prefix — the budgeted run cannot push more.
+  opts.repair_budget = UINT64_MAX;
+  auto algorithm2 = harness::make_algorithm("adaptive", small_cfg());
+  const auto full = harness::run_register_experiment(*algorithm2, opts);
+  EXPECT_GE(full.report.repair_pushes, out.report.repair_pushes);
+  EXPECT_EQ(full.report.open_repair_windows, 0u);
+}
+
 // ------------------------- adversary integration ---------------------------
 
 TEST(Recovery, AdSchedulerAppliesTargetedFaultSchedule) {
@@ -348,6 +588,46 @@ TEST(Recovery, SweepCellsAggregateRecoveryOutcome) {
   EXPECT_NE(json.find("\"repair_bits\""), std::string::npos);
   EXPECT_NE(json.find("\"degraded_sojourn_steps\""), std::string::npos);
   EXPECT_NE(json.find("\"restart_after\": 40"), std::string::npos);
+  EXPECT_NE(json.find("\"repair_pushes\""), std::string::npos);
+  EXPECT_NE(json.find("\"open_repair_windows\""), std::string::npos);
+  EXPECT_NE(json.find("\"repair_every\": 0"), std::string::npos);
+}
+
+TEST(Recovery, SweepRepairRateCellsTradeBandwidthForWindowLength) {
+  // The tentpole's tradeoff curve, at sweep-engine level: three cells that
+  // differ only in repair_every. Faster pumps may spend more pushes; every
+  // rate must close all windows (the runs keep going until the pump wins).
+  std::vector<harness::SweepCell> grid;
+  for (const uint64_t rate : {20u, 80u, 320u}) {
+    harness::SweepCell cell;
+    cell.algorithm = "adaptive";
+    cell.config = small_cfg();
+    cell.opts.writers = 1;
+    cell.opts.writes_per_client = 2;
+    cell.opts.readers = 2;
+    cell.opts.reads_per_client = 16;
+    cell.opts.object_crashes = 2;
+    cell.opts.restart_after = 40;
+    cell.opts.repair_every = rate;
+    cell.label = "adaptive r=" + std::to_string(rate);
+    grid.push_back(std::move(cell));
+  }
+  harness::SweepOptions so;
+  so.threads = 2;
+  so.seeds_per_cell = 3;
+  so.base_seed = 7;
+  const auto result = harness::SweepRunner(so).run(grid);
+  ASSERT_EQ(result.cells.size(), 3u);
+  uint64_t restarts = 0;
+  for (const auto& cs : result.cells) {
+    restarts += cs.object_restarts;
+    EXPECT_EQ(cs.open_repair_windows, 0u) << cs.cell.label;
+    EXPECT_EQ(cs.consistency_failures, 0u) << cs.cell.label;
+  }
+  ASSERT_GT(restarts, 0u) << "base seed 7 must inject restarts somewhere";
+  // The same {cell, seed} grid re-run must fingerprint identically.
+  const auto again = harness::SweepRunner(so).run(grid);
+  EXPECT_EQ(result.fingerprint(), again.fingerprint());
 }
 
 // --------------------------- store integration -----------------------------
@@ -418,6 +698,59 @@ TEST(Recovery, StoreRecoveryJsonCarriesRecoveryFields) {
   EXPECT_NE(json.find("\"degraded_sojourn_steps\""), std::string::npos);
   EXPECT_NE(json.find("\"restart_after\": 60"), std::string::npos);
   EXPECT_NE(json.find("\"restart_mode\": \"disk\""), std::string::npos);
+}
+
+TEST(Recovery, StoreAntiEntropyClosesWindowsOnReadOnlyKeys) {
+  // Pure-read store load (mix C): no foreground write ever lands, so every
+  // repair window opened by a restart can only be closed by active repair.
+  // Without it the windows stay open; with the pump they all close.
+  store::StoreOptions opts = recovery_store_options();
+  opts.workload.mix = store::ycsb::Mix::kC;
+  {
+    store::Store engine(opts);
+    const store::StoreResult result = engine.run();
+    ASSERT_GT(result.object_restarts, 0u);
+    EXPECT_EQ(result.repair_pushes, 0u);
+    EXPECT_GT(result.open_repair_windows, 0u)
+        << "with repair off, a read-only run must leave its windows open";
+  }
+  opts.repair_every = 40;
+  opts.read_repair = true;
+  {
+    store::Store engine(opts);
+    const store::StoreResult result = engine.run();
+    ASSERT_GT(result.object_restarts, 0u);
+    EXPECT_GT(result.repair_pushes, 0u);
+    EXPECT_EQ(result.open_repair_windows, 0u)
+        << "anti-entropy must close every window without foreground writes";
+    EXPECT_EQ(result.consistency_failures, 0u);
+    EXPECT_TRUE(result.all_live);
+  }
+}
+
+TEST(Recovery, StoreAntiEntropyDeterministicAcrossThreadCounts) {
+  // Window-close determinism: the repairing, pumping, read-repairing store
+  // must export byte-identical deterministic JSON for any worker count.
+  std::vector<std::string> deterministic(3);
+  const uint32_t threads[] = {1, 4, 9};
+  for (size_t i = 0; i < 3; ++i) {
+    store::StoreOptions opts = recovery_store_options();
+    opts.workload.mix = store::ycsb::Mix::kC;  // only repair closes windows
+    opts.repair_every = 40;
+    opts.read_repair = true;
+    opts.threads = threads[i];
+    store::Store engine(opts);
+    const store::StoreResult result = engine.run();
+    ASSERT_GT(result.object_restarts, 0u);
+    ASSERT_GT(result.repair_pushes, 0u);
+    EXPECT_EQ(result.open_repair_windows, 0u);
+    std::ostringstream os;
+    store::write_store_deterministic_json(os, result);
+    deterministic[i] = os.str();
+  }
+  EXPECT_EQ(deterministic[0], deterministic[1]);
+  EXPECT_EQ(deterministic[0], deterministic[2])
+      << "anti-entropy runs must not depend on the worker thread count";
 }
 
 // Satellite: repeated open-loop run() re-basing. Two identical stores

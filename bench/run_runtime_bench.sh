@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Run the threaded-runtime benchmark and record the results as
+# BENCH_runtime.json at the repo root (google-benchmark JSON, building
+# first if needed), tracking the real-thread backend's throughput next to
+# the layers BENCH_codec.json / BENCH_registers.json / BENCH_store.json
+# already cover.
+#
+# The fixed shape: every register variant, f=1 k=2 (n=4) D=1024, 3 writers
+# x 32 writes + 3 readers x 32 reads, closed loop, on BOTH backends —
+# BM_ThreadedOps times the real thread/channel mesh (wall-clock ns), and
+# BM_SimOps times the logical-step simulator on the identical workload, so
+# the recorded JSON carries the mesh-overhead comparison directly. The
+# results table printed before the timings cross-checks each threaded run
+# against a simulator run (both checker-clean at the variant's promised
+# consistency level) and aborts the recording on any FAIL.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build"
+out="$repo_root/BENCH_runtime.json"
+
+if [ ! -x "$build_dir/bench/bench_runtime" ]; then
+  cmake -B "$build_dir" -S "$repo_root"
+  cmake --build "$build_dir" -j --target bench_runtime
+fi
+
+tmp=$(mktemp)
+console=$(mktemp)
+trap 'rm -f "$tmp" "$console"' EXIT
+
+"$build_dir/bench/bench_runtime" \
+  --benchmark_format=json \
+  --benchmark_out="$tmp" \
+  --benchmark_out_format=json \
+  "$@" | tee "$console"
+
+if grep -q FAIL "$console"; then
+  echo "FATAL: a consistency check or sim cross-check failed; not" \
+       "recording $out" >&2
+  exit 1
+fi
+
+mv "$tmp" "$out"
+rm -f "$console"
+trap - EXIT
+echo "wrote $out"

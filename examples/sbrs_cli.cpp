@@ -32,6 +32,7 @@
 #include "harness/scenario.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
+#include "metrics/latency_histogram.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "store/store.h"
@@ -40,6 +41,7 @@ namespace {
 
 struct CliOptions {
   std::string alg = "adaptive";
+  std::string backend = "sim";  // sim|threads (single and store modes)
   uint32_t f = 2;
   uint32_t k = 4;
   uint64_t data_bits = 4096;
@@ -169,6 +171,7 @@ CliOptions parse(int argc, char** argv) {
     } else if (parse_flag(arg, "arrival", &o.arrival)) {
       o.open_loop = true;
     } else if (parse_flag(arg, "alg", &o.alg) ||
+               parse_flag(arg, "backend", &o.backend) ||
                parse_flag(arg, "algs", &o.algs) ||
                parse_flag(arg, "sched", &o.sched) ||
                parse_flag(arg, "cs", &o.cs) ||
@@ -217,6 +220,10 @@ void usage() {
       "shared memory\n\n"
       "single run:\n"
       "  --alg=adaptive|abd|abd-wb|coded|coded-atomic|safe|no-replica\n"
+      "  --backend=sim|threads   execution backend (default sim). threads\n"
+      "                  mounts the same protocol on real threads/channels\n"
+      "                  (docs/runtime_backend.md): closed-loop fault-free\n"
+      "                  only, latencies in wall-clock ns, real ops/s\n"
       "  --f=N           tolerated object crashes (default 2)\n"
       "  --k=N           erasure-code dimension (default 4; abd forces 1)\n"
       "  --data-bits=N   value size D in bits (default 4096)\n"
@@ -310,7 +317,9 @@ void usage() {
       "  --read-pct=N    read percentage for --mix=custom\n"
       "  --theta=X       zipfian constant (default 0.99)\n"
       "  --no-check      skip the per-key consistency checkers\n"
-      "  (--alg/--f/--k/--data-bits shape each shard's register pool;\n"
+      "  (--backend=threads runs each shard's batch on the threaded\n"
+      "   runtime: real ops/s, ns latencies, shard fingerprints 0;\n"
+      "   --alg/--f/--k/--data-bits shape each shard's register pool;\n"
       "   --crashes crashes up to N objects per shard; --threads/--json\n"
       "   as in sweep mode — the JSON's \"deterministic\" block is\n"
       "   byte-identical for any --threads value)\n";
@@ -516,6 +525,7 @@ int run_sweep(const CliOptions& cli) {
 int run_store(const CliOptions& cli) {
   using namespace sbrs;
   store::StoreOptions opts;
+  opts.backend = harness::parse_backend(cli.backend);
   opts.algorithm = cli.alg;
   opts.register_config = base_config(cli);
   opts.num_shards = cli.shards;
@@ -555,9 +565,14 @@ int run_store(const CliOptions& cli) {
   store::StoreResult result = store_engine.run();
 
   const bool open = sim::open_loop(opts.arrival);
+  // Latency columns label their unit (logical steps on the simulator,
+  // wall-clock ns on the threaded backend) from the histograms themselves.
+  const std::string lat_unit =
+      std::string(" (") + metrics::unit_suffix(result.read_latency.unit()) +
+      ")";
   harness::Table table({"shard", "keys", "ops", "peak object bits",
-                        "final bits", "read p50/p99",
-                        open ? "sojourn p50/p99" : "write p50/p99",
+                        "final bits", "read p50/p99" + lat_unit,
+                        (open ? "sojourn p50/p99" : "write p50/p99") + lat_unit,
                         open ? "qdepth/left" : "checks",
                         open ? "sat" : "live"});
   for (const auto& s : result.shards) {
@@ -585,15 +600,16 @@ int run_store(const CliOptions& cli) {
   std::cout << "store: " << cli.keys << " keys x " << cli.shards
             << " shards, mix " << store::ycsb::to_string(opts.workload.mix)
             << " over " << store::ycsb::to_string(opts.workload.distribution)
-            << " keys, "
+            << " keys, backend " << harness::to_string(opts.backend) << ", "
             << (result.completed_reads + result.completed_writes)
             << " ops in " << result.wall_seconds << "s ("
             << static_cast<uint64_t>(result.ops_per_sec) << " ops/s on "
             << result.threads_used << " threads)\n"
             << "merged read p50/p99/p999: " << result.read_latency.p50()
             << " / " << result.read_latency.p99() << " / "
-            << result.read_latency.p999() << " steps; write p50/p99: "
-            << result.write_latency.p50() << " / "
+            << result.read_latency.p999() << " "
+            << metrics::unit_suffix(result.read_latency.unit())
+            << "; write p50/p99: " << result.write_latency.p50() << " / "
             << result.write_latency.p99() << "\n"
             << "peak storage (sum of shard peaks): "
             << result.peak_total_bits_sum << " bits; hottest shard "
@@ -837,15 +853,25 @@ int run_cli(const CliOptions& cli) {
   if (cli.verify_accounting) opts.verify_accounting = true;
   opts.scheduler = sched_kind(cli.sched);
   opts.arrival = arrival_options(cli);
+  opts.backend = harness::parse_backend(cli.backend);
   {
-    // Fault knobs that can't work with this scheduler are a usage error
-    // (exit 2), not a CHECK failure deep inside the run.
+    // Fault knobs that can't work with this scheduler or backend are a
+    // usage error (exit 2), not a CHECK failure deep inside the run.
     const std::string why = harness::validate_fault_options(opts);
     if (!why.empty()) throw std::invalid_argument(why);
+    const std::string bwhy = harness::validate_backend_options(opts);
+    if (!bwhy.empty()) throw std::invalid_argument(bwhy);
   }
   obs::TraceRecorder recorder;
   const bool tracing = !cli.trace.empty() || !cli.timeseries.empty();
-  if (tracing) opts.trace = &recorder;
+  if (tracing) {
+    if (opts.backend == harness::Backend::kThreads) {
+      throw std::invalid_argument(
+          "--trace/--timeseries record simulator step streams — they need "
+          "--backend=sim");
+    }
+    opts.trace = &recorder;
+  }
 
   auto out = harness::run_register_experiment(*algorithm, opts);
 
@@ -854,6 +880,35 @@ int run_cli(const CliOptions& cli) {
   table.add_row("n / k / f", std::to_string(algorithm->config().n) + " / " +
                                  std::to_string(algorithm->config().k) +
                                  " / " + std::to_string(algorithm->config().f));
+  if (out.backend == harness::Backend::kThreads) {
+    // Threaded runtime: real clocks — report wall time, throughput, and the
+    // per-kind nanosecond tails next to the logical metrics.
+    const std::string u =
+        std::string(" (") + metrics::unit_suffix(out.report.op_latency.unit()) +
+        ")";
+    std::ostringstream wall;
+    wall << std::fixed << std::setprecision(4) << out.wall_seconds << " s";
+    table.add_row("backend", harness::to_string(out.backend));
+    table.add_row("wall time", wall.str());
+    table.add_row("throughput (ops/s)",
+                  out.wall_seconds > 0.0
+                      ? static_cast<uint64_t>(out.report.completed_ops /
+                                              out.wall_seconds)
+                      : 0);
+    table.add_row("op p50/p99" + u,
+                  std::to_string(out.report.op_latency.p50()) + " / " +
+                      std::to_string(out.report.op_latency.p99()));
+    if (!out.read_latency.empty()) {
+      table.add_row("read p50/p99" + u,
+                    std::to_string(out.read_latency.p50()) + " / " +
+                        std::to_string(out.read_latency.p99()));
+    }
+    if (!out.write_latency.empty()) {
+      table.add_row("write p50/p99" + u,
+                    std::to_string(out.write_latency.p50()) + " / " +
+                        std::to_string(out.write_latency.p99()));
+    }
+  }
   table.add_row("steps", out.report.steps);
   table.add_row("ops invoked / completed",
                 std::to_string(out.report.invoked_ops) + " / " +

@@ -131,10 +131,12 @@ void write_sweep_json(std::ostream& os, const SweepResult& result) {
     os << ",\n";
     write_metric(os, "steps", c.steps, "      ");
     os << ",\n";
-    os << "      \"latency_steps\": ";
+    os << "      \"latency_" << metrics::unit_suffix(c.latency.unit())
+       << "\": ";
     write_latency_json(os, c.latency);
     os << ",\n";
-    os << "      \"sojourn_steps\": ";
+    os << "      \"sojourn_" << metrics::unit_suffix(c.sojourn.unit())
+       << "\": ";
     write_latency_json(os, c.sojourn);
     os << ",\n";
     write_metric(os, "max_queue_depth", c.max_queue_depth, "      ");
@@ -149,7 +151,8 @@ void write_sweep_json(std::ostream& os, const SweepResult& result) {
        << ", \"repair_window_steps\": " << c.repair_window_steps << ",\n";
     write_metric(os, "degraded_steps", c.degraded_steps, "      ");
     os << ",\n";
-    os << "      \"degraded_sojourn_steps\": ";
+    os << "      \"degraded_sojourn_"
+       << metrics::unit_suffix(c.degraded_sojourn.unit()) << "\": ";
     write_latency_json(os, c.degraded_sojourn);
     os << ",\n";
     os << "      \"consistency_failures\": " << c.consistency_failures

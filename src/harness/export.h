@@ -46,7 +46,10 @@ std::string json_escape(const std::string& s);
 
 /// Write a latency histogram summary as one JSON object:
 /// {"count", "mean", "min", "p50", "p90", "p99", "p999", "max"}.
-/// Values are simulator steps; deterministic for a given run.
+/// Values are in the histogram's unit (h.unit(): simulator steps or
+/// wall-clock nanoseconds); callers embed the unit in the surrounding key
+/// (metrics::unit_suffix). Step-valued summaries are deterministic for a
+/// given run.
 void write_latency_json(std::ostream& os,
                         const metrics::LatencyHistogram& h);
 

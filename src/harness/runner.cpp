@@ -1,11 +1,20 @@
 #include "harness/runner.h"
 
 #include "common/check.h"
+#include "common/stop_reason.h"
 #include "registers/repair.h"
+#include "runtime/backend.h"
 #include "sim/schedulers.h"
 #include "sim/workload.h"
 
 namespace sbrs::harness {
+
+Backend parse_backend(const std::string& s) {
+  if (s == "sim") return Backend::kSim;
+  if (s == "threads") return Backend::kThreads;
+  SBRS_CHECK_MSG(false, "unknown backend '" << s << "' (sim | threads)");
+  return Backend::kSim;
+}
 
 bool has_link_faults(const RunOptions& opts) {
   if (opts.partitions > 0) return true;
@@ -47,9 +56,116 @@ std::string validate_fault_options(const RunOptions& opts) {
   return {};
 }
 
+std::string validate_backend_options(const RunOptions& opts) {
+  if (opts.backend == Backend::kSim) return {};
+  if (sim::open_loop(opts.arrival)) {
+    return "the threaded backend runs closed-loop sessions only (open-loop "
+           "arrival processes are a simulator capability)";
+  }
+  if (opts.object_crashes > 0 || opts.client_crashes > 0 ||
+      opts.partitions > 0 || opts.repair_every > 0 || opts.read_repair ||
+      !opts.fault_timeline.empty() || has_link_faults(opts)) {
+    return "fault injection and repair are simulator capabilities — the "
+           "threaded backend runs fault-free";
+  }
+  return {};
+}
+
+namespace {
+
+/// The threaded-backend path of run_register_experiment: pre-assign the
+/// closed-loop op list per session (same OpId/value scheme UniformWorkload
+/// uses, so cross-backend histories are comparable value-for-value), run
+/// the thread mesh, and dress the result in the same RunOutcome shape.
+RunOutcome run_register_experiment_threads(
+    const registers::RegisterAlgorithm& algorithm, const RunOptions& opts) {
+  const auto& cfg = algorithm.config();
+
+  runtime::ThreadBackendOptions topts;
+  topts.num_objects = cfg.n;
+  topts.object_factory = algorithm.object_factory();
+  topts.client_factory = algorithm.client_factory();
+
+  // Sessions mirror UniformWorkload: clients [0, writers) write
+  // writes_per_client values tagged by OpId, the rest read. OpIds are dealt
+  // sequentially across sessions (uniqueness is all that matters).
+  uint64_t next_op = 0;
+  const uint32_t num_clients = opts.writers + opts.readers;
+  for (uint32_t c = 0; c < num_clients; ++c) {
+    runtime::SessionSpec session;
+    session.client = ClientId{c};
+    const bool is_writer = c < opts.writers;
+    const uint32_t ops =
+        is_writer ? opts.writes_per_client : opts.reads_per_client;
+    for (uint32_t i = 0; i < ops; ++i) {
+      runtime::Invocation inv;
+      inv.op = OpId{next_op++};
+      inv.client = session.client;
+      if (is_writer) {
+        inv.kind = runtime::OpKind::kWrite;
+        inv.value = Value::from_tag(inv.op.value, cfg.data_bits);
+      } else {
+        inv.kind = runtime::OpKind::kRead;
+      }
+      session.ops.push_back(std::move(inv));
+    }
+    topts.sessions.push_back(std::move(session));
+  }
+
+  runtime::ThreadRunReport treport = runtime::run_threaded(topts);
+
+  RunOutcome out;
+  out.algorithm = algorithm.name();
+  out.backend = Backend::kThreads;
+  out.wall_seconds = treport.wall_seconds;
+  out.history = std::move(treport.history);
+
+  // Dress the thread run in the RunReport shape the rest of the harness
+  // consumes. steps counts recorded history events (the thread backend's
+  // logical clock); latencies are wall-clock nanoseconds.
+  out.report.steps = out.history.events().size();
+  out.report.quiesced = out.history.outstanding().empty();
+  out.report.stop_reason = kStopQuiesced;
+  out.report.invoked_ops = treport.invoked_ops;
+  out.report.completed_ops = treport.completed_ops;
+  out.report.rmws_triggered = treport.rmws_triggered;
+  out.report.rmws_delivered = treport.rmws_delivered;
+  out.report.op_latency = treport.op_latency;
+  // Closed-loop: arrival == invoke, sojourn degenerates to service time.
+  out.report.sojourn_latency = treport.op_latency;
+  out.read_latency = treport.read_latency;
+  out.write_latency = treport.write_latency;
+
+  // Storage: the threaded backend tracks per-object maxima (an upper-bound
+  // envelope, not an instant-consistent global max) and exact quiescent
+  // totals.
+  out.max_object_bits = treport.max_object_bits;
+  out.max_total_bits = treport.sum_max_object_bits;
+  out.max_channel_bits = 0;  // in-flight accounting is a simulator metric
+  out.final_object_bits = treport.final_object_bits;
+  out.final_total_bits = treport.final_total_bits;
+
+  if (opts.check_consistency) {
+    out.values_legal = consistency::check_values_legal(out.history);
+    out.weak_regular = consistency::check_weak_regularity(out.history);
+    out.strong_regular = consistency::check_strong_regularity(out.history);
+    out.strongly_safe = consistency::check_strongly_safe(out.history);
+  }
+  out.live = treport.live && out.history.outstanding().empty();
+  return out;
+}
+
+}  // namespace
+
 RunOutcome run_register_experiment(
     const registers::RegisterAlgorithm& algorithm, const RunOptions& opts) {
   const auto& cfg = algorithm.config();
+
+  if (opts.backend == Backend::kThreads) {
+    const std::string why = validate_backend_options(opts);
+    SBRS_CHECK_MSG(why.empty(), why);
+    return run_register_experiment_threads(algorithm, opts);
+  }
 
   // Reject unusable arrival specs before any work (rate <= 0 would divide
   // by zero; burst_on == 0 would never release an arrival).

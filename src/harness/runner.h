@@ -35,6 +35,19 @@ inline const char* to_string(SchedKind k) {
   return "?";
 }
 
+/// Which execution backend mounts the protocol (docs/runtime_backend.md).
+enum class Backend {
+  kSim,      // deterministic logical-step simulator (default)
+  kThreads,  // real threads / channels / clocks (runtime/backend.h)
+};
+
+inline const char* to_string(Backend b) {
+  return b == Backend::kSim ? "sim" : "threads";
+}
+
+/// Parse "sim" / "threads"; throws CheckFailure on anything else.
+Backend parse_backend(const std::string& s);
+
 struct RunOptions {
   uint32_t writers = 1;
   uint32_t writes_per_client = 1;
@@ -111,6 +124,12 @@ struct RunOptions {
   /// is a single pointer test per emission site, so untraced runs are
   /// byte-identical to pre-trace builds.
   obs::TraceSink* trace = nullptr;
+  /// Execution backend. kThreads mounts the same protocol on the threaded
+  /// runtime (closed-loop fault-free workloads only — see
+  /// validate_backend_options); latency histograms then carry wall-clock
+  /// nanoseconds instead of logical steps, and RunReport::steps counts
+  /// recorded history events rather than scheduler steps.
+  Backend backend = Backend::kSim;
 };
 
 struct RunOutcome {
@@ -137,6 +156,16 @@ struct RunOutcome {
   uint64_t max_queue_depth = 0;
   uint64_t undispatched = 0;
   bool saturated = false;
+
+  /// Which backend produced this outcome, and (threads backend) how long
+  /// the run took on the wall clock. 0.0 for simulator runs.
+  Backend backend = Backend::kSim;
+  double wall_seconds = 0.0;
+
+  /// Per-kind latency split (threads backend only — empty for simulator
+  /// runs, whose per-kind split lives in the store layer). Unit kNanos.
+  metrics::LatencyHistogram read_latency;
+  metrics::LatencyHistogram write_latency;
 };
 
 /// True when `opts` configures any link-level fault source (partition
@@ -151,6 +180,12 @@ bool has_link_faults(const RunOptions& opts);
 /// across cut links). Front-ends treat a nonempty reason as a usage error;
 /// run_register_experiment enforces the same rule via SBRS_CHECK.
 std::string validate_fault_options(const RunOptions& opts);
+
+/// Validate the backend choice against the rest of the options: the
+/// threaded backend runs closed-loop, fault-free workloads (no crash /
+/// partition / link-fault / repair / timeline knobs, no open-loop arrival
+/// process — those are simulator capabilities). Empty string = usable.
+std::string validate_backend_options(const RunOptions& opts);
 
 /// Run `algorithm` under the given workload/scheduler and check the
 /// resulting history against the consistency hierarchy.

@@ -70,16 +70,9 @@ MetricSummary summarize_metric(std::vector<uint64_t> values) {
 
 uint64_t cell_seed(uint64_t base_seed, size_t cell_index,
                    uint32_t seed_index) {
-  // Chained splitmix64 over {base, cell, seed-index}: any two runs of the
-  // grid differ in at least one input, and the result is independent of
-  // which worker thread picks the job up.
-  uint64_t state = base_seed;
-  (void)splitmix64(state);
-  state ^= 0x9e3779b97f4a7c15ull * (cell_index + 1);
-  (void)splitmix64(state);
-  state ^= 0xbf58476d1ce4e5b9ull * (seed_index + 1);
-  uint64_t seed = splitmix64(state);
-  return seed == 0 ? 1 : seed;  // seed 0 is reserved-ish; keep it nonzero
+  // Thin alias of the registry shape (common/rng.h): derived seeds are
+  // frozen by recorded artifacts.
+  return derive_cell_seed(base_seed, cell_index, seed_index);
 }
 
 uint64_t history_fingerprint(const sim::History& history, uint64_t h) {

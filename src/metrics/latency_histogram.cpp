@@ -8,8 +8,28 @@
 
 namespace sbrs::metrics {
 
-LatencyHistogram::LatencyHistogram(uint32_t precision_bits)
-    : precision_bits_(precision_bits) {
+const char* to_string(LatencyUnit u) {
+  switch (u) {
+    case LatencyUnit::kSteps:
+      return "steps";
+    case LatencyUnit::kNanos:
+      return "nanoseconds";
+  }
+  return "?";
+}
+
+const char* unit_suffix(LatencyUnit u) {
+  switch (u) {
+    case LatencyUnit::kSteps:
+      return "steps";
+    case LatencyUnit::kNanos:
+      return "ns";
+  }
+  return "?";
+}
+
+LatencyHistogram::LatencyHistogram(uint32_t precision_bits, LatencyUnit unit)
+    : precision_bits_(precision_bits), unit_(unit) {
   SBRS_CHECK_MSG(precision_bits >= 1 && precision_bits <= 16,
                  "latency histogram precision out of range");
 }
@@ -59,6 +79,12 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
   SBRS_CHECK_MSG(precision_bits_ == other.precision_bits_,
                  "merging latency histograms of different precision");
   if (other.count_ == 0) return;
+  if (count_ == 0) {
+    unit_ = other.unit_;  // empty accumulator adopts the incoming unit
+  } else {
+    SBRS_CHECK_MSG(unit_ == other.unit_,
+                   "merging latency histograms of different units");
+  }
   if (other.counts_.size() > counts_.size()) {
     counts_.resize(other.counts_.size(), 0);
   }
@@ -92,6 +118,10 @@ bool operator==(const LatencyHistogram& a, const LatencyHistogram& b) {
       a.sum_ != b.sum_ || a.min() != b.min() || a.max_ != b.max_) {
     return false;
   }
+  // Unit is content only once there is content: two empty histograms are
+  // equal whatever their declared units (an empty accumulator has not
+  // committed to one yet — see merge()).
+  if (a.count_ != 0 && a.unit_ != b.unit_) return false;
   // Trailing zero buckets are representation noise, not content.
   const size_t n = std::max(a.counts_.size(), b.counts_.size());
   for (size_t i = 0; i < n; ++i) {

@@ -16,16 +16,36 @@
 
 namespace sbrs::metrics {
 
+/// What one recorded latency value means. The simulator measures in logical
+/// steps, the threaded runtime backend in wall-clock nanoseconds; the unit
+/// rides with the histogram through merges and exports so a steps table is
+/// never read as a nanoseconds table (or summed into one).
+enum class LatencyUnit {
+  kSteps,  // logical simulator steps
+  kNanos,  // wall-clock nanoseconds (steady_clock)
+};
+
+const char* to_string(LatencyUnit u);
+
+/// Short unit suffix used in export keys and table headers: "steps" / "ns".
+const char* unit_suffix(LatencyUnit u);
+
 class LatencyHistogram {
  public:
   /// Default precision: 128 sub-buckets per octave, <0.8% relative error.
   static constexpr uint32_t kDefaultPrecisionBits = 7;
 
-  explicit LatencyHistogram(uint32_t precision_bits = kDefaultPrecisionBits);
+  explicit LatencyHistogram(uint32_t precision_bits = kDefaultPrecisionBits,
+                            LatencyUnit unit = LatencyUnit::kSteps);
+  explicit LatencyHistogram(LatencyUnit unit)
+      : LatencyHistogram(kDefaultPrecisionBits, unit) {}
 
   void record(uint64_t value);
 
-  /// Bucket-wise merge; requires equal precision_bits (checked).
+  /// Bucket-wise merge; requires equal precision_bits (checked). An empty
+  /// histogram adopts the other side's unit (so default-constructed
+  /// accumulators work for either backend); merging two non-empty
+  /// histograms of different units is a unit error (checked).
   void merge(const LatencyHistogram& other);
 
   uint64_t count() const { return count_; }
@@ -48,6 +68,7 @@ class LatencyHistogram {
   uint64_t p999() const { return percentile(0.999); }
 
   uint32_t precision_bits() const { return precision_bits_; }
+  LatencyUnit unit() const { return unit_; }
   const std::vector<uint64_t>& counts() const { return counts_; }
 
   // --- Bucket geometry (exposed for tests) ---
@@ -62,6 +83,7 @@ class LatencyHistogram {
 
  private:
   uint32_t precision_bits_;
+  LatencyUnit unit_ = LatencyUnit::kSteps;
   uint64_t count_ = 0;
   uint64_t sum_ = 0;
   uint64_t min_ = 0;

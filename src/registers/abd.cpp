@@ -33,10 +33,10 @@ class AbdClient final : public RoundClient {
         self_(self),
         p_(std::move(params)) {}
 
-  void on_invoke(const sim::Invocation& inv, sim::SimContext& ctx) override {
+  void on_invoke(const runtime::Invocation& inv, runtime::ExecutionContext& ctx) override {
     SBRS_CHECK(phase_ == Phase::kIdle);
     op_ = inv.op;
-    if (inv.kind == sim::OpKind::kWrite) {
+    if (inv.kind == runtime::OpKind::kWrite) {
       value_ = inv.value;
       phase_ = Phase::kWriteReadTs;
     } else {
@@ -49,8 +49,8 @@ class AbdClient final : public RoundClient {
 
  protected:
   void on_quorum(uint64_t /*round*/,
-                 const std::vector<sim::ResponsePtr>& responses,
-                 sim::SimContext& ctx) override {
+                 const std::vector<runtime::ResponsePtr>& responses,
+                 runtime::ExecutionContext& ctx) override {
     switch (phase_) {
       case Phase::kWriteReadTs: {
         const TimeStamp ts{max_ts_num(responses) + 1, self_};
@@ -101,14 +101,14 @@ class AbdClient final : public RoundClient {
     kReadWriteBack
   };
 
-  void start_store_round(sim::SimContext& ctx, TimeStamp ts, const Value& v,
+  void start_store_round(runtime::ExecutionContext& ctx, TimeStamp ts, const Value& v,
                          OpId op) {
     codec::EncoderOracle oracle(p_.codec, op, v);
     start_round(
         ctx,
-        [&, ts](ObjectId o) -> sim::RmwFn {
+        [&, ts](ObjectId o) -> runtime::RmwFn {
           const Chunk replica{ts, oracle.get(o.value + 1)};
-          return [replica, o](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+          return [replica, o](runtime::ObjectStateBase& s) -> runtime::ResponsePtr {
             auto& st = as_register_state(s);
             if (st.stored_ts < replica.ts) {
               st.stored_ts = replica.ts;
@@ -127,12 +127,12 @@ class AbdClient final : public RoundClient {
   /// Write-back of a read value: re-stores the freshest chunk (with its
   /// original provenance) so that subsequent reads cannot observe older
   /// values — the classic ABD second phase giving atomicity.
-  void start_write_back_round(sim::SimContext& ctx, const Chunk& chunk) {
+  void start_write_back_round(runtime::ExecutionContext& ctx, const Chunk& chunk) {
     start_round(
         ctx,
-        [&](ObjectId o) -> sim::RmwFn {
+        [&](ObjectId o) -> runtime::RmwFn {
           const Chunk c = chunk;
-          return [c, o](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+          return [c, o](runtime::ObjectStateBase& s) -> runtime::ResponsePtr {
             auto& st = as_register_state(s);
             if (st.stored_ts < c.ts) {
               st.stored_ts = c.ts;
@@ -174,9 +174,9 @@ class AbdAlgorithm final : public RegisterAlgorithm {
   const RegisterConfig& config() const override { return params_.cfg; }
   codec::CodecPtr codec() const override { return params_.codec; }
 
-  sim::ObjectFactory object_factory() const override {
+  runtime::ObjectFactory object_factory() const override {
     auto params = params_;
-    return [params](ObjectId o) -> std::unique_ptr<sim::ObjectStateBase> {
+    return [params](ObjectId o) -> std::unique_ptr<runtime::ObjectStateBase> {
       auto st = std::make_unique<RegisterObjectState>();
       const Value v0 = Value::initial(params.cfg.data_bits);
       codec::EncoderOracle oracle(params.codec, OpId::none(), v0);
@@ -185,9 +185,9 @@ class AbdAlgorithm final : public RegisterAlgorithm {
     };
   }
 
-  sim::ClientFactory client_factory() const override {
+  runtime::ClientFactory client_factory() const override {
     auto params = params_;
-    return [params](ClientId c) -> std::unique_ptr<sim::ClientProtocol> {
+    return [params](ClientId c) -> std::unique_ptr<runtime::ClientProtocol> {
       return std::make_unique<AbdClient>(c, params);
     };
   }

@@ -49,10 +49,10 @@ class AdaptiveClient final : public RoundClient {
         self_(self),
         p_(std::move(params)) {}
 
-  void on_invoke(const sim::Invocation& inv, sim::SimContext& ctx) override {
+  void on_invoke(const runtime::Invocation& inv, runtime::ExecutionContext& ctx) override {
     SBRS_CHECK(phase_ == Phase::kIdle);
     op_ = inv.op;
-    if (inv.kind == sim::OpKind::kWrite) {
+    if (inv.kind == runtime::OpKind::kWrite) {
       // Encode v into n pieces via the write's encoder oracle (line 4).
       codec::EncoderOracle oracle(p_.codec, inv.op, inv.value);
       writeset_ = oracle.get_all();
@@ -67,8 +67,8 @@ class AdaptiveClient final : public RoundClient {
 
  protected:
   void on_quorum(uint64_t /*round*/,
-                 const std::vector<sim::ResponsePtr>& responses,
-                 sim::SimContext& ctx) override {
+                 const std::vector<runtime::ResponsePtr>& responses,
+                 runtime::ExecutionContext& ctx) override {
     switch (phase_) {
       case Phase::kWriteReadTs: {
         // Lines 5-7: pick a timestamp above everything observed.
@@ -107,13 +107,13 @@ class AdaptiveClient final : public RoundClient {
  private:
   enum class Phase { kIdle, kWriteReadTs, kWriteUpdate, kWriteGc, kReadLoop };
 
-  void start_read_value_round(sim::SimContext& ctx) {
+  void start_read_value_round(runtime::ExecutionContext& ctx) {
     start_round(
         ctx, [](ObjectId o) { return make_read_value_rmw(o); },
         [](ObjectId) { return metrics::StorageFootprint{}; });
   }
 
-  void start_update_round(sim::SimContext& ctx) {
+  void start_update_round(runtime::ExecutionContext& ctx) {
     const TimeStamp ts = ts_;
     const TimeStamp sts = observed_sts_;
     const uint32_t cap = p_.vp_capacity();
@@ -129,9 +129,9 @@ class AdaptiveClient final : public RoundClient {
 
     start_round(
         ctx,
-        [=, this](ObjectId o) -> sim::RmwFn {
+        [=, this](ObjectId o) -> runtime::RmwFn {
           const Chunk piece{ts, writeset_[o.value]};
-          return [=](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+          return [=](runtime::ObjectStateBase& s) -> runtime::ResponsePtr {
             auto& st = as_register_state(s);
             // Line 33: a newer write already committed here; do nothing.
             if (ts <= st.stored_ts) {
@@ -164,13 +164,13 @@ class AdaptiveClient final : public RoundClient {
         });
   }
 
-  void start_gc_round(sim::SimContext& ctx) {
+  void start_gc_round(runtime::ExecutionContext& ctx) {
     const TimeStamp ts = ts_;
     start_round(
         ctx,
-        [=, this](ObjectId o) -> sim::RmwFn {
+        [=, this](ObjectId o) -> runtime::RmwFn {
           const Chunk piece{ts, writeset_[o.value]};
-          return [=](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+          return [=](runtime::ObjectStateBase& s) -> runtime::ResponsePtr {
             auto& st = as_register_state(s);
             // Lines 41-42: keep only chunks at least as new as my write.
             std::erase_if(st.vp, [&](const Chunk& c) { return c.ts < ts; });
@@ -195,7 +195,7 @@ class AdaptiveClient final : public RoundClient {
   /// Algorithm 2 lines 18-21: the highest timestamp >= storedTS with at
   /// least k distinct pieces, decoded.
   std::optional<Value> try_decode(
-      const std::vector<sim::ResponsePtr>& responses) {
+      const std::vector<runtime::ResponsePtr>& responses) {
     const TimeStamp watermark = max_stored_ts(responses);
     const std::vector<Chunk> read_set = merge_chunks(responses);
     std::optional<TimeStamp> best;
@@ -238,9 +238,9 @@ class AdaptiveAlgorithm final : public RegisterAlgorithm {
   const RegisterConfig& config() const override { return params_.cfg; }
   codec::CodecPtr codec() const override { return params_.codec; }
 
-  sim::ObjectFactory object_factory() const override {
+  runtime::ObjectFactory object_factory() const override {
     auto params = params_;
-    return [params](ObjectId o) -> std::unique_ptr<sim::ObjectStateBase> {
+    return [params](ObjectId o) -> std::unique_ptr<runtime::ObjectStateBase> {
       auto st = std::make_unique<RegisterObjectState>();
       // Initialization (Algorithm 1, line 9): bo_i holds the i-th piece of
       // v0 with the zero timestamp, sourced from the fictitious write op0.
@@ -251,9 +251,9 @@ class AdaptiveAlgorithm final : public RegisterAlgorithm {
     };
   }
 
-  sim::ClientFactory client_factory() const override {
+  runtime::ClientFactory client_factory() const override {
     auto params = params_;
-    return [params](ClientId c) -> std::unique_ptr<sim::ClientProtocol> {
+    return [params](ClientId c) -> std::unique_ptr<runtime::ClientProtocol> {
       return std::make_unique<AdaptiveClient>(c, params);
     };
   }

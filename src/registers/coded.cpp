@@ -40,10 +40,10 @@ class CodedClient final : public RoundClient {
         self_(self),
         p_(std::move(params)) {}
 
-  void on_invoke(const sim::Invocation& inv, sim::SimContext& ctx) override {
+  void on_invoke(const runtime::Invocation& inv, runtime::ExecutionContext& ctx) override {
     SBRS_CHECK(phase_ == Phase::kIdle);
     op_ = inv.op;
-    if (inv.kind == sim::OpKind::kWrite) {
+    if (inv.kind == runtime::OpKind::kWrite) {
       codec::EncoderOracle oracle(p_.codec, inv.op, inv.value);
       writeset_ = oracle.get_all();
       phase_ = Phase::kWriteReadTs;
@@ -55,8 +55,8 @@ class CodedClient final : public RoundClient {
 
  protected:
   void on_quorum(uint64_t /*round*/,
-                 const std::vector<sim::ResponsePtr>& responses,
-                 sim::SimContext& ctx) override {
+                 const std::vector<runtime::ResponsePtr>& responses,
+                 runtime::ExecutionContext& ctx) override {
     switch (phase_) {
       case Phase::kWriteReadTs: {
         ts_ = TimeStamp{max_ts_num(responses) + 1, self_};
@@ -98,19 +98,19 @@ class CodedClient final : public RoundClient {
     kReadLoop
   };
 
-  void start_read_value_round(sim::SimContext& ctx) {
+  void start_read_value_round(runtime::ExecutionContext& ctx) {
     start_round(
         ctx, [](ObjectId o) { return make_read_value_rmw(o); },
         [](ObjectId) { return metrics::StorageFootprint{}; });
   }
 
-  void start_store_round(sim::SimContext& ctx) {
+  void start_store_round(runtime::ExecutionContext& ctx) {
     const TimeStamp ts = ts_;
     start_round(
         ctx,
-        [=, this](ObjectId o) -> sim::RmwFn {
+        [=, this](ObjectId o) -> runtime::RmwFn {
           const Chunk piece{ts, writeset_[o.value]};
-          return [piece, o](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+          return [piece, o](runtime::ObjectStateBase& s) -> runtime::ResponsePtr {
             auto& st = as_register_state(s);
             // Keep every piece not superseded by a *committed* write —
             // coded pieces of outstanding writes cannot be dropped safely.
@@ -128,12 +128,12 @@ class CodedClient final : public RoundClient {
         });
   }
 
-  void start_commit_round(sim::SimContext& ctx) {
+  void start_commit_round(runtime::ExecutionContext& ctx) {
     const TimeStamp ts = ts_;
     start_round(
         ctx,
-        [=](ObjectId o) -> sim::RmwFn {
-          return [ts, o](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+        [=](ObjectId o) -> runtime::RmwFn {
+          return [ts, o](runtime::ObjectStateBase& s) -> runtime::ResponsePtr {
             auto& st = as_register_state(s);
             st.stored_ts = std::max(st.stored_ts, ts);
             std::erase_if(st.vp, [&](const Chunk& c) {
@@ -146,7 +146,7 @@ class CodedClient final : public RoundClient {
   }
 
   std::optional<Value> try_decode(
-      const std::vector<sim::ResponsePtr>& responses) {
+      const std::vector<runtime::ResponsePtr>& responses) {
     const TimeStamp watermark = max_stored_ts(responses);
     const std::vector<Chunk> read_set = merge_chunks(responses);
     std::optional<TimeStamp> best;
@@ -182,9 +182,9 @@ class CodedAlgorithm final : public RegisterAlgorithm {
   const RegisterConfig& config() const override { return params_.cfg; }
   codec::CodecPtr codec() const override { return params_.codec; }
 
-  sim::ObjectFactory object_factory() const override {
+  runtime::ObjectFactory object_factory() const override {
     auto params = params_;
-    return [params](ObjectId o) -> std::unique_ptr<sim::ObjectStateBase> {
+    return [params](ObjectId o) -> std::unique_ptr<runtime::ObjectStateBase> {
       auto st = std::make_unique<RegisterObjectState>();
       const Value v0 = Value::initial(params.cfg.data_bits);
       codec::EncoderOracle oracle(params.codec, OpId::none(), v0);
@@ -193,9 +193,9 @@ class CodedAlgorithm final : public RegisterAlgorithm {
     };
   }
 
-  sim::ClientFactory client_factory() const override {
+  runtime::ClientFactory client_factory() const override {
     auto params = params_;
-    return [params](ClientId c) -> std::unique_ptr<sim::ClientProtocol> {
+    return [params](ClientId c) -> std::unique_ptr<runtime::ClientProtocol> {
       return std::make_unique<CodedClient>(c, params);
     };
   }

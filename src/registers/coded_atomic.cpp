@@ -34,10 +34,10 @@ class CodedAtomicClient final : public RoundClient {
         self_(self),
         p_(std::move(params)) {}
 
-  void on_invoke(const sim::Invocation& inv, sim::SimContext& ctx) override {
+  void on_invoke(const runtime::Invocation& inv, runtime::ExecutionContext& ctx) override {
     SBRS_CHECK(phase_ == Phase::kIdle);
     op_ = inv.op;
-    if (inv.kind == sim::OpKind::kWrite) {
+    if (inv.kind == runtime::OpKind::kWrite) {
       codec::EncoderOracle oracle(p_.codec, inv.op, inv.value);
       writeset_ = oracle.get_all();
       phase_ = Phase::kWriteReadTs;
@@ -49,8 +49,8 @@ class CodedAtomicClient final : public RoundClient {
 
  protected:
   void on_quorum(uint64_t /*round*/,
-                 const std::vector<sim::ResponsePtr>& responses,
-                 sim::SimContext& ctx) override {
+                 const std::vector<runtime::ResponsePtr>& responses,
+                 runtime::ExecutionContext& ctx) override {
     switch (phase_) {
       case Phase::kWriteReadTs: {
         ts_ = TimeStamp{max_ts_num(responses) + 1, self_};
@@ -105,7 +105,7 @@ class CodedAtomicClient final : public RoundClient {
     kReadWriteBack
   };
 
-  void start_read_value_round(sim::SimContext& ctx) {
+  void start_read_value_round(runtime::ExecutionContext& ctx) {
     start_round(
         ctx, [](ObjectId o) { return make_read_value_rmw(o); },
         [](ObjectId) { return metrics::StorageFootprint{}; });
@@ -113,14 +113,14 @@ class CodedAtomicClient final : public RoundClient {
 
   /// Store piece i of `set` at bo_i with timestamp ts; when `commit`, also
   /// raise the watermark to ts (the read write-back's combined RMW).
-  void start_store_round(sim::SimContext& ctx,
+  void start_store_round(runtime::ExecutionContext& ctx,
                          const std::vector<codec::TaggedBlock>& set,
                          TimeStamp ts, bool commit) {
     start_round(
         ctx,
-        [=, &set](ObjectId o) -> sim::RmwFn {
+        [=, &set](ObjectId o) -> runtime::RmwFn {
           const Chunk piece{ts, set[o.value]};
-          return [piece, commit, o](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+          return [piece, commit, o](runtime::ObjectStateBase& s) -> runtime::ResponsePtr {
             auto& st = as_register_state(s);
             std::erase_if(st.vp, [&](const Chunk& c) {
               return c.ts < st.stored_ts;
@@ -149,11 +149,11 @@ class CodedAtomicClient final : public RoundClient {
         });
   }
 
-  void start_commit_round(sim::SimContext& ctx, TimeStamp ts) {
+  void start_commit_round(runtime::ExecutionContext& ctx, TimeStamp ts) {
     start_round(
         ctx,
-        [=](ObjectId o) -> sim::RmwFn {
-          return [ts, o](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+        [=](ObjectId o) -> runtime::RmwFn {
+          return [ts, o](runtime::ObjectStateBase& s) -> runtime::ResponsePtr {
             auto& st = as_register_state(s);
             st.stored_ts = std::max(st.stored_ts, ts);
             std::erase_if(st.vp, [&](const Chunk& c) {
@@ -166,7 +166,7 @@ class CodedAtomicClient final : public RoundClient {
   }
 
   std::optional<Value> try_decode(
-      const std::vector<sim::ResponsePtr>& responses) {
+      const std::vector<runtime::ResponsePtr>& responses) {
     const TimeStamp watermark = max_stored_ts(responses);
     const std::vector<Chunk> read_set = merge_chunks(responses);
     std::optional<TimeStamp> best;
@@ -206,9 +206,9 @@ class CodedAtomicAlgorithm final : public RegisterAlgorithm {
   const RegisterConfig& config() const override { return params_.cfg; }
   codec::CodecPtr codec() const override { return params_.codec; }
 
-  sim::ObjectFactory object_factory() const override {
+  runtime::ObjectFactory object_factory() const override {
     auto params = params_;
-    return [params](ObjectId o) -> std::unique_ptr<sim::ObjectStateBase> {
+    return [params](ObjectId o) -> std::unique_ptr<runtime::ObjectStateBase> {
       auto st = std::make_unique<RegisterObjectState>();
       const Value v0 = Value::initial(params.cfg.data_bits);
       codec::EncoderOracle oracle(params.codec, OpId::none(), v0);
@@ -217,9 +217,9 @@ class CodedAtomicAlgorithm final : public RegisterAlgorithm {
     };
   }
 
-  sim::ClientFactory client_factory() const override {
+  runtime::ClientFactory client_factory() const override {
     auto params = params_;
-    return [params](ClientId c) -> std::unique_ptr<sim::ClientProtocol> {
+    return [params](ClientId c) -> std::unique_ptr<runtime::ClientProtocol> {
       return std::make_unique<CodedAtomicClient>(c, params);
     };
   }

@@ -4,7 +4,7 @@
 #include <memory>
 
 #include "registers/chunk.h"
-#include "sim/types.h"
+#include "runtime/types.h"
 
 namespace sbrs::registers {
 
@@ -31,12 +31,12 @@ struct AckResponse {
 };
 
 template <typename T>
-sim::ResponsePtr make_response(T value) {
+runtime::ResponsePtr make_response(T value) {
   return std::make_shared<const T>(std::move(value));
 }
 
 template <typename T>
-const T* response_as(const sim::ResponsePtr& p) {
+const T* response_as(const runtime::ResponsePtr& p) {
   return static_cast<const T*>(p.get());
 }
 

@@ -4,7 +4,7 @@
 
 namespace sbrs::registers {
 
-RegisterObjectState& as_register_state(sim::ObjectStateBase& s) {
+RegisterObjectState& as_register_state(runtime::ObjectStateBase& s) {
   auto* cast = dynamic_cast<RegisterObjectState*>(&s);
   SBRS_CHECK_MSG(cast != nullptr, "object state is not RegisterObjectState");
   return *cast;

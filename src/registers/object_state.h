@@ -11,11 +11,11 @@
 
 #include "metrics/footprint.h"
 #include "registers/chunk.h"
-#include "sim/types.h"
+#include "runtime/types.h"
 
 namespace sbrs::registers {
 
-class RegisterObjectState final : public sim::ObjectStateBase {
+class RegisterObjectState final : public runtime::ObjectStateBase {
  public:
   TimeStamp stored_ts = TimeStamp::zero();
   std::vector<Chunk> vp;
@@ -46,6 +46,6 @@ class RegisterObjectState final : public sim::ObjectStateBase {
 };
 
 /// Downcast helper for RMW closures; checked.
-RegisterObjectState& as_register_state(sim::ObjectStateBase& s);
+RegisterObjectState& as_register_state(runtime::ObjectStateBase& s);
 
 }  // namespace sbrs::registers

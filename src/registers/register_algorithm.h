@@ -20,7 +20,7 @@
 #include <string>
 
 #include "codec/codec.h"
-#include "sim/client.h"
+#include "runtime/context.h"
 
 namespace sbrs::registers {
 
@@ -49,16 +49,16 @@ class RegisterAlgorithm {
 
   /// Factory for the base-object states (with v0 pre-stored per the
   /// algorithm's initialization).
-  virtual sim::ObjectFactory object_factory() const = 0;
+  virtual runtime::ObjectFactory object_factory() const = 0;
 
   /// Factory for client protocol instances.
-  virtual sim::ClientFactory client_factory() const = 0;
+  virtual runtime::ClientFactory client_factory() const = 0;
 
   /// Planner for active repair pushes (read-repair / anti-entropy,
   /// registers/repair.h). The default re-installs the newest decodable
   /// block at the stale replica; the returned closure captures only the
   /// codec and config, so it outlives the algorithm object.
-  virtual sim::RepairPlanner repair_planner() const;
+  virtual runtime::RepairPlanner repair_planner() const;
 };
 
 /// Options for the adaptive algorithm; the defaults are the paper's

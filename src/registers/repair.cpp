@@ -4,11 +4,10 @@
 #include <functional>
 
 #include "common/check.h"
-#include "sim/simulator.h"
 
 namespace sbrs::registers {
 
-std::optional<sim::RepairPlan> plan_register_repair(
+std::optional<runtime::RepairPlan> plan_register_repair(
     const std::vector<const RegisterObjectState*>& peers,
     const RegisterObjectState& target, uint32_t target_index,
     uint32_t k, const codec::CodecPtr& codec) {
@@ -51,8 +50,8 @@ std::optional<sim::RepairPlan> plan_register_repair(
     }
   }
   if (target_has_best && target.stored_ts >= wm) {
-    sim::RepairPlan plan;
-    plan.fn = [](sim::ObjectStateBase&) -> sim::ResponsePtr { return nullptr; };
+    runtime::RepairPlan plan;
+    plan.fn = [](runtime::ObjectStateBase&) -> runtime::ResponsePtr { return nullptr; };
     return plan;  // empty request footprint: zero bits on the channel
   }
 
@@ -76,9 +75,9 @@ std::optional<sim::RepairPlan> plan_register_repair(
   chunk.ts = *best;
   chunk.block = codec::TaggedBlock{src, codec->encode_block(*v, target_index)};
 
-  sim::RepairPlan plan;
+  runtime::RepairPlan plan;
   plan.request_footprint.add(chunk.block);
-  plan.fn = [chunk, wm](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+  plan.fn = [chunk, wm](runtime::ObjectStateBase& s) -> runtime::ResponsePtr {
     auto& st = as_register_state(s);
     // Same shape as the write protocols' commit round: garbage-collect
     // below the (committed) watermark, install the piece, raise storedTS —
@@ -98,12 +97,12 @@ std::optional<sim::RepairPlan> plan_register_repair(
   return plan;
 }
 
-sim::RepairPlanner make_repair_planner(const RegisterAlgorithm& alg) {
+runtime::RepairPlanner make_repair_planner(const RegisterAlgorithm& alg) {
   const uint32_t k = alg.config().k;
   codec::CodecPtr codec = alg.codec();
   return [k, codec = std::move(codec)](
-             const sim::Simulator& sim,
-             ObjectId o) -> std::optional<sim::RepairPlan> {
+             const runtime::SystemView& sim,
+             ObjectId o) -> std::optional<runtime::RepairPlan> {
     std::vector<const RegisterObjectState*> peers;
     peers.reserve(sim.num_objects());
     for (uint32_t i = 0; i < sim.num_objects(); ++i) {
@@ -122,7 +121,7 @@ sim::RepairPlanner make_repair_planner(const RegisterAlgorithm& alg) {
   };
 }
 
-sim::RepairPlanner RegisterAlgorithm::repair_planner() const {
+runtime::RepairPlanner RegisterAlgorithm::repair_planner() const {
   return make_repair_planner(*this);
 }
 

@@ -1,10 +1,11 @@
 // Active repair for the register families (read-repair + anti-entropy).
 //
 // A restarted base object sits in its repair window until fresh traffic
-// re-converges it (sim/simulator.h). Passive recovery closes the window
+// re-converges it. The planner sees the system only through the
+// backend-neutral runtime::SystemView. Passive recovery closes the window
 // only on the first payload-carrying fresh write — on read-mostly keys it
 // can stay open forever. The planner here builds the *repair push*: an RMW
-// from the replica mesh (sim::kRepairSource) that re-installs the newest
+// from the replica mesh (runtime::kRepairSource) that re-installs the newest
 // decodable block at the stale replica and closes the window on delivery.
 //
 // Safety: the push only ever raises the target's storedTS to the peers'
@@ -20,7 +21,7 @@
 #include "codec/codec.h"
 #include "registers/object_state.h"
 #include "registers/register_algorithm.h"
-#include "sim/types.h"
+#include "runtime/types.h"
 
 namespace sbrs::registers {
 
@@ -38,7 +39,7 @@ namespace sbrs::registers {
 ///    watermark, installs the re-encoded block `target_index` of the
 ///    decoded best value into Vp (skipping exact (ts, index) duplicates),
 ///    and raises storedTS to the watermark.
-std::optional<sim::RepairPlan> plan_register_repair(
+std::optional<runtime::RepairPlan> plan_register_repair(
     const std::vector<const RegisterObjectState*>& peers,
     const RegisterObjectState& target, uint32_t target_index,
     uint32_t k, const codec::CodecPtr& codec);
@@ -46,6 +47,6 @@ std::optional<sim::RepairPlan> plan_register_repair(
 /// The default planner for a register algorithm: peers are the live,
 /// non-repairing base objects; the pushed block index follows the
 /// object-to-block convention (object o stores block o.value + 1).
-sim::RepairPlanner make_repair_planner(const RegisterAlgorithm& alg);
+runtime::RepairPlanner make_repair_planner(const RegisterAlgorithm& alg);
 
 }  // namespace sbrs::registers

@@ -2,8 +2,8 @@
 
 namespace sbrs::registers {
 
-sim::RmwFn make_read_value_rmw(ObjectId from) {
-  return [from](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+runtime::RmwFn make_read_value_rmw(ObjectId from) {
+  return [from](runtime::ObjectStateBase& s) -> runtime::ResponsePtr {
     auto& st = as_register_state(s);
     ReadValueResponse r;
     r.from = from;
@@ -14,7 +14,7 @@ sim::RmwFn make_read_value_rmw(ObjectId from) {
   };
 }
 
-uint64_t max_ts_num(const std::vector<sim::ResponsePtr>& responses) {
+uint64_t max_ts_num(const std::vector<runtime::ResponsePtr>& responses) {
   uint64_t best = 0;
   for (const auto& rp : responses) {
     const auto* r = response_as<ReadValueResponse>(rp);
@@ -25,7 +25,7 @@ uint64_t max_ts_num(const std::vector<sim::ResponsePtr>& responses) {
   return best;
 }
 
-TimeStamp max_stored_ts(const std::vector<sim::ResponsePtr>& responses) {
+TimeStamp max_stored_ts(const std::vector<runtime::ResponsePtr>& responses) {
   TimeStamp best = TimeStamp::zero();
   for (const auto& rp : responses) {
     const auto* r = response_as<ReadValueResponse>(rp);
@@ -34,7 +34,7 @@ TimeStamp max_stored_ts(const std::vector<sim::ResponsePtr>& responses) {
   return best;
 }
 
-std::vector<Chunk> merge_chunks(const std::vector<sim::ResponsePtr>& responses) {
+std::vector<Chunk> merge_chunks(const std::vector<runtime::ResponsePtr>& responses) {
   std::vector<Chunk> out;
   for (const auto& rp : responses) {
     const auto* r = response_as<ReadValueResponse>(rp);

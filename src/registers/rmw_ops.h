@@ -8,16 +8,16 @@ namespace sbrs::registers {
 
 /// readValue() RMW (Algorithm 3, lines 23-31): return a copy of the
 /// object's chunks and watermark without modifying it.
-sim::RmwFn make_read_value_rmw(ObjectId from);
+runtime::RmwFn make_read_value_rmw(ObjectId from);
 
 /// Maximum ts.num visible in a readValue quorum: over the storedTS fields
 /// and over every chunk's timestamp (Algorithm 2, line 6).
-uint64_t max_ts_num(const std::vector<sim::ResponsePtr>& responses);
+uint64_t max_ts_num(const std::vector<runtime::ResponsePtr>& responses);
 
 /// Maximum storedTS watermark over a readValue quorum (readValue line 30).
-TimeStamp max_stored_ts(const std::vector<sim::ResponsePtr>& responses);
+TimeStamp max_stored_ts(const std::vector<runtime::ResponsePtr>& responses);
 
 /// Union of all chunks returned by a readValue quorum (the ReadSet).
-std::vector<Chunk> merge_chunks(const std::vector<sim::ResponsePtr>& responses);
+std::vector<Chunk> merge_chunks(const std::vector<runtime::ResponsePtr>& responses);
 
 }  // namespace sbrs::registers

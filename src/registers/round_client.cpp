@@ -3,7 +3,7 @@
 namespace sbrs::registers {
 
 uint64_t RoundClient::start_round(
-    sim::SimContext& ctx, const std::function<sim::RmwFn(ObjectId)>& fn_for,
+    runtime::ExecutionContext& ctx, const std::function<runtime::RmwFn(ObjectId)>& fn_for,
     const std::function<metrics::StorageFootprint(ObjectId)>& footprint_for) {
   SBRS_CHECK_MSG(!round_active_, "round already in flight");
   const uint64_t round = next_round_++;
@@ -18,8 +18,8 @@ uint64_t RoundClient::start_round(
   return round;
 }
 
-void RoundClient::on_response(RmwId rmw, sim::ResponsePtr response,
-                              sim::SimContext& ctx) {
+void RoundClient::on_response(RmwId rmw, runtime::ResponsePtr response,
+                              runtime::ExecutionContext& ctx) {
   auto it = rmw_round_.find(rmw);
   if (it == rmw_round_.end()) return;  // not ours / already forgotten
   const uint64_t round = it->second;
@@ -33,7 +33,7 @@ void RoundClient::on_response(RmwId rmw, sim::ResponsePtr response,
   // Quorum reached: close the round *before* the callback so the subclass
   // can immediately start the next round or complete the operation.
   round_active_ = false;
-  std::vector<sim::ResponsePtr> responses;
+  std::vector<runtime::ResponsePtr> responses;
   responses.swap(collected_);
   on_quorum(round, responses, ctx);
 }

@@ -15,18 +15,18 @@
 
 #include "common/check.h"
 #include "registers/messages.h"
-#include "sim/client.h"
+#include "runtime/context.h"
 
 namespace sbrs::registers {
 
-class RoundClient : public sim::ClientProtocol {
+class RoundClient : public runtime::ClientProtocol {
  public:
   RoundClient(uint32_t n, uint32_t f) : n_(n), f_(f) {
     SBRS_CHECK_MSG(2 * f < n, "need f < n/2 (paper Section 2)");
   }
 
-  void on_response(RmwId rmw, sim::ResponsePtr response,
-                   sim::SimContext& ctx) final;
+  void on_response(RmwId rmw, runtime::ResponsePtr response,
+                   runtime::ExecutionContext& ctx) final;
 
  protected:
   /// Broadcast one RMW per base object; fn_for(i)/footprint_for(i) build the
@@ -34,14 +34,14 @@ class RoundClient : public sim::ClientProtocol {
   /// number. Only one round may be in flight per client (operations are
   /// sequential and rounds within an operation are sequential).
   uint64_t start_round(
-      sim::SimContext& ctx,
-      const std::function<sim::RmwFn(ObjectId)>& fn_for,
+      runtime::ExecutionContext& ctx,
+      const std::function<runtime::RmwFn(ObjectId)>& fn_for,
       const std::function<metrics::StorageFootprint(ObjectId)>& footprint_for);
 
   /// Called once the round's quorum (n - f responses) is reached.
   virtual void on_quorum(uint64_t round,
-                         const std::vector<sim::ResponsePtr>& responses,
-                         sim::SimContext& ctx) = 0;
+                         const std::vector<runtime::ResponsePtr>& responses,
+                         runtime::ExecutionContext& ctx) = 0;
 
   uint32_t n() const { return n_; }
   uint32_t f() const { return f_; }
@@ -55,7 +55,7 @@ class RoundClient : public sim::ClientProtocol {
   uint64_t active_round_ = 0;
   bool round_active_ = false;
   std::map<RmwId, uint64_t> rmw_round_;
-  std::vector<sim::ResponsePtr> collected_;
+  std::vector<runtime::ResponsePtr> collected_;
 };
 
 }  // namespace sbrs::registers

@@ -35,10 +35,10 @@ class SafeClient final : public RoundClient {
         self_(self),
         p_(std::move(params)) {}
 
-  void on_invoke(const sim::Invocation& inv, sim::SimContext& ctx) override {
+  void on_invoke(const runtime::Invocation& inv, runtime::ExecutionContext& ctx) override {
     SBRS_CHECK(phase_ == Phase::kIdle);
     op_ = inv.op;
-    if (inv.kind == sim::OpKind::kWrite) {
+    if (inv.kind == runtime::OpKind::kWrite) {
       codec::EncoderOracle oracle(p_.codec, inv.op, inv.value);
       writeset_ = oracle.get_all();
       phase_ = Phase::kWriteReadTs;
@@ -52,8 +52,8 @@ class SafeClient final : public RoundClient {
 
  protected:
   void on_quorum(uint64_t /*round*/,
-                 const std::vector<sim::ResponsePtr>& responses,
-                 sim::SimContext& ctx) override {
+                 const std::vector<runtime::ResponsePtr>& responses,
+                 runtime::ExecutionContext& ctx) override {
     switch (phase_) {
       case Phase::kWriteReadTs: {
         const TimeStamp ts{max_ts_num(responses) + 1, self_};
@@ -80,12 +80,12 @@ class SafeClient final : public RoundClient {
  private:
   enum class Phase { kIdle, kWriteReadTs, kWriteStore, kRead };
 
-  void start_store_round(sim::SimContext& ctx, TimeStamp ts) {
+  void start_store_round(runtime::ExecutionContext& ctx, TimeStamp ts) {
     start_round(
         ctx,
-        [=, this](ObjectId o) -> sim::RmwFn {
+        [=, this](ObjectId o) -> runtime::RmwFn {
           const Chunk piece{ts, writeset_[o.value]};
-          return [piece, o](sim::ObjectStateBase& s) -> sim::ResponsePtr {
+          return [piece, o](runtime::ObjectStateBase& s) -> runtime::ResponsePtr {
             auto& st = as_register_state(s);
             // Algorithm 5 lines 10-12: overwrite only with a newer ts. The
             // object stores exactly one piece at all times.
@@ -105,7 +105,7 @@ class SafeClient final : public RoundClient {
 
   /// Algorithm 5 lines 15-18: decode if any timestamp has k pieces in the
   /// quorum, else return v0 (legal: a write must be concurrent).
-  Value decode_or_v0(const std::vector<sim::ResponsePtr>& responses) {
+  Value decode_or_v0(const std::vector<runtime::ResponsePtr>& responses) {
     const std::vector<Chunk> read_set = merge_chunks(responses);
     std::optional<TimeStamp> best;
     for (const Chunk& c : read_set) {
@@ -141,9 +141,9 @@ class SafeAlgorithm final : public RegisterAlgorithm {
   const RegisterConfig& config() const override { return params_.cfg; }
   codec::CodecPtr codec() const override { return params_.codec; }
 
-  sim::ObjectFactory object_factory() const override {
+  runtime::ObjectFactory object_factory() const override {
     auto params = params_;
-    return [params](ObjectId o) -> std::unique_ptr<sim::ObjectStateBase> {
+    return [params](ObjectId o) -> std::unique_ptr<runtime::ObjectStateBase> {
       auto st = std::make_unique<RegisterObjectState>();
       const Value v0 = Value::initial(params.cfg.data_bits);
       codec::EncoderOracle oracle(params.codec, OpId::none(), v0);
@@ -152,9 +152,9 @@ class SafeAlgorithm final : public RegisterAlgorithm {
     };
   }
 
-  sim::ClientFactory client_factory() const override {
+  runtime::ClientFactory client_factory() const override {
     auto params = params_;
-    return [params](ClientId c) -> std::unique_ptr<sim::ClientProtocol> {
+    return [params](ClientId c) -> std::unique_ptr<runtime::ClientProtocol> {
       return std::make_unique<SafeClient>(c, params);
     };
   }

@@ -1,0 +1,289 @@
+#include "runtime/backend.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+#include "runtime/channel.h"
+
+namespace sbrs::runtime {
+
+namespace {
+
+struct RmwReply {
+  RmwId id;
+  ResponsePtr response;
+};
+
+/// An RMW in flight toward an object worker. `reply_to` is the triggering
+/// client's (unbounded) reply channel; the worker's send to it never blocks,
+/// which is the no-deadlock argument for the whole mesh.
+struct RmwRequest {
+  RmwId id;
+  RmwFn fn;
+  Channel<RmwReply>* reply_to = nullptr;
+};
+
+/// History + event clock shared by every thread. One mutex orders all
+/// invoke/return events and stamps them with a monotone sequence number;
+/// because the stamp is taken while the op is genuinely in flight, the
+/// recorded interval is contained in the real interval and checker-derived
+/// precedence is sound.
+class HistoryRecorder {
+ public:
+  void record_invoke(const Invocation& inv) {
+    std::lock_guard<std::mutex> lk(mu_);
+    history_.record_invoke(next_seq(), inv);
+  }
+
+  void record_return(OpId op, const std::optional<Value>& result) {
+    std::lock_guard<std::mutex> lk(mu_);
+    history_.record_return(next_seq(), op, result);
+  }
+
+  uint64_t now() const { return seq_.load(std::memory_order_relaxed); }
+
+  History take() { return std::move(history_); }
+
+ private:
+  uint64_t next_seq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::mutex mu_;
+  std::atomic<uint64_t> seq_{0};
+  History history_;
+};
+
+struct SharedState {
+  std::vector<std::unique_ptr<Channel<RmwRequest>>> request_channels;
+  /// One unbounded reply channel per session. Owned here — NOT on the
+  /// driver's stack — because workers may still be sending stale replies
+  /// (to rounds whose op already completed) after the driver has finished
+  /// its whole session and returned; the channels must outlive the workers.
+  std::vector<std::unique_ptr<Channel<RmwReply>>> reply_channels;
+  HistoryRecorder recorder;
+  std::atomic<uint64_t> rmws_triggered{0};
+  std::atomic<uint64_t> rmws_delivered{0};
+  uint32_t num_objects = 0;
+};
+
+/// The ExecutionContext a driver thread hands its protocol. Lives for the
+/// whole session (the protocol only sees it inside callbacks, per the
+/// interface contract).
+class ThreadContext final : public ExecutionContext {
+ public:
+  ThreadContext(ClientId self, SharedState& shared,
+                Channel<RmwReply>& replies)
+      : self_(self), shared_(shared), replies_(replies) {
+    // Disjoint per-client id ranges make RmwIds globally unique without
+    // cross-thread coordination: high bits carry the client, low bits a
+    // local counter.
+    next_rmw_ = (uint64_t{self.value} + 1) << 40;
+  }
+
+  RmwId trigger(ObjectId target, RmwFn fn,
+                metrics::StorageFootprint /*request_footprint*/) override {
+    SBRS_CHECK_MSG(target.value < shared_.num_objects,
+                   "trigger on out-of-range object");
+    const RmwId id{next_rmw_++};
+    shared_.rmws_triggered.fetch_add(1, std::memory_order_relaxed);
+    // Bounded send: backpressure from a flooded object propagates to the
+    // protocol that keeps it busy. Channels only close after every driver
+    // has joined, so the send cannot fail mid-session.
+    const bool sent = shared_.request_channels[target.value]->send(
+        RmwRequest{id, std::move(fn), &replies_});
+    SBRS_CHECK_MSG(sent, "request channel closed while sessions still live");
+    return id;
+  }
+
+  void complete(OpId op, std::optional<Value> result) override {
+    shared_.recorder.record_return(op, result);
+    completed_ = op;
+  }
+
+  ClientId self() const override { return self_; }
+  uint32_t num_objects() const override { return shared_.num_objects; }
+  uint64_t now() const override { return shared_.recorder.now(); }
+
+  /// Driver-side: did the protocol complete `op` since the last check?
+  bool take_completion(OpId op) {
+    if (completed_ && *completed_ == op) {
+      completed_.reset();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  ClientId self_;
+  SharedState& shared_;
+  Channel<RmwReply>& replies_;
+  uint64_t next_rmw_ = 0;
+  std::optional<OpId> completed_;
+};
+
+struct WorkerResult {
+  uint64_t max_stored_bits = 0;
+  uint64_t final_stored_bits = 0;
+  uint64_t rmws_applied = 0;
+};
+
+struct DriverResult {
+  metrics::LatencyHistogram op_latency{metrics::LatencyUnit::kNanos};
+  metrics::LatencyHistogram read_latency{metrics::LatencyUnit::kNanos};
+  metrics::LatencyHistogram write_latency{metrics::LatencyUnit::kNanos};
+  uint64_t invoked = 0;
+  uint64_t completed = 0;
+  uint64_t final_client_bits = 0;
+  bool finished = false;
+};
+
+}  // namespace
+
+ThreadRunReport run_threaded(const ThreadBackendOptions& opts) {
+  SBRS_CHECK_MSG(opts.num_objects > 0, "threaded run needs >= 1 object");
+  SBRS_CHECK_MSG(static_cast<bool>(opts.object_factory),
+                 "threaded run needs an object factory");
+  SBRS_CHECK_MSG(static_cast<bool>(opts.client_factory),
+                 "threaded run needs a client factory");
+  {
+    // OpIds must be globally unique: they key the history.
+    std::unordered_set<uint64_t> seen;
+    for (const auto& s : opts.sessions) {
+      for (const auto& inv : s.ops) {
+        SBRS_CHECK_MSG(inv.client == s.client,
+                       "session op attributed to a different client");
+        SBRS_CHECK_MSG(seen.insert(inv.op.value).second,
+                       "duplicate OpId across sessions");
+      }
+    }
+  }
+
+  SharedState shared;
+  shared.num_objects = opts.num_objects;
+  shared.request_channels.reserve(opts.num_objects);
+  for (uint32_t o = 0; o < opts.num_objects; ++o) {
+    shared.request_channels.push_back(
+        std::make_unique<Channel<RmwRequest>>(opts.request_channel_capacity));
+  }
+  shared.reply_channels.reserve(opts.sessions.size());
+  for (size_t s = 0; s < opts.sessions.size(); ++s) {
+    shared.reply_channels.push_back(
+        std::make_unique<Channel<RmwReply>>(0));  // unbounded
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // --- Object workers: exclusive owners of their ObjectStateBase. ---
+  std::vector<WorkerResult> worker_results(opts.num_objects);
+  std::vector<std::thread> workers;
+  workers.reserve(opts.num_objects);
+  for (uint32_t o = 0; o < opts.num_objects; ++o) {
+    workers.emplace_back([o, &opts, &shared, &worker_results] {
+      std::unique_ptr<ObjectStateBase> state =
+          opts.object_factory(ObjectId{o});
+      SBRS_CHECK_MSG(state != nullptr, "object factory returned null");
+      WorkerResult& res = worker_results[o];
+      res.max_stored_bits = state->stored_bits();
+      Channel<RmwRequest>& requests = *shared.request_channels[o];
+      while (auto req = requests.recv()) {
+        ResponsePtr response = req->fn(*state);
+        res.max_stored_bits =
+            std::max(res.max_stored_bits, state->stored_bits());
+        ++res.rmws_applied;
+        shared.rmws_delivered.fetch_add(1, std::memory_order_relaxed);
+        // Reply channels are unbounded: this send never blocks, so the
+        // worker always drains and trigger() backpressure cannot deadlock.
+        req->reply_to->send(RmwReply{req->id, std::move(response)});
+      }
+      res.final_stored_bits = state->stored_bits();
+    });
+  }
+
+  // --- Client drivers: one thread per closed-loop session. ---
+  std::vector<DriverResult> driver_results(opts.sessions.size());
+  std::vector<std::thread> drivers;
+  drivers.reserve(opts.sessions.size());
+  for (size_t s = 0; s < opts.sessions.size(); ++s) {
+    drivers.emplace_back([s, &opts, &shared, &driver_results] {
+      const SessionSpec& session = opts.sessions[s];
+      DriverResult& res = driver_results[s];
+      Channel<RmwReply>& replies = *shared.reply_channels[s];
+      ThreadContext ctx(session.client, shared, replies);
+      std::unique_ptr<ClientProtocol> protocol =
+          opts.client_factory(session.client);
+      SBRS_CHECK_MSG(protocol != nullptr, "client factory returned null");
+
+      for (const Invocation& inv : session.ops) {
+        shared.recorder.record_invoke(inv);
+        ++res.invoked;
+        const auto op_start = std::chrono::steady_clock::now();
+        protocol->on_invoke(inv, ctx);
+        // Drain replies (current round's and stale earlier ones — the
+        // protocols ignore unknown RmwIds) until the protocol completes
+        // this op.
+        while (!ctx.take_completion(inv.op)) {
+          auto reply = replies.recv();
+          SBRS_CHECK_MSG(reply.has_value(),
+                         "reply channel closed mid-operation");
+          protocol->on_response(reply->id, std::move(reply->response), ctx);
+        }
+        const auto op_end = std::chrono::steady_clock::now();
+        const uint64_t ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(op_end -
+                                                                 op_start)
+                .count());
+        res.op_latency.record(ns);
+        (inv.kind == OpKind::kRead ? res.read_latency : res.write_latency)
+            .record(ns);
+        ++res.completed;
+      }
+      res.final_client_bits = protocol->stored_bits();
+      res.finished = true;
+      // Stale replies still queued (or still being sent by workers) are
+      // abandoned; the channel is owned by SharedState and outlives the
+      // workers, so late worker sends land harmlessly.
+    });
+  }
+
+  // Graceful shutdown: sessions first, then starve + join the workers.
+  for (auto& t : drivers) t.join();
+  for (auto& ch : shared.request_channels) ch->close();
+  for (auto& t : workers) t.join();
+
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  ThreadRunReport report;
+  report.history = shared.recorder.take();
+  report.rmws_triggered =
+      shared.rmws_triggered.load(std::memory_order_relaxed);
+  report.rmws_delivered =
+      shared.rmws_delivered.load(std::memory_order_relaxed);
+  report.live = !opts.sessions.empty();
+  for (const auto& d : driver_results) {
+    report.op_latency.merge(d.op_latency);
+    report.read_latency.merge(d.read_latency);
+    report.write_latency.merge(d.write_latency);
+    report.invoked_ops += d.invoked;
+    report.completed_ops += d.completed;
+    report.final_client_bits += d.final_client_bits;
+    report.live = report.live && d.finished;
+  }
+  for (const auto& w : worker_results) {
+    report.max_object_bits = std::max(report.max_object_bits, w.max_stored_bits);
+    report.sum_max_object_bits += w.max_stored_bits;
+    report.final_object_bits += w.final_stored_bits;
+  }
+  report.final_total_bits = report.final_object_bits + report.final_client_bits;
+  report.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  return report;
+}
+
+}  // namespace sbrs::runtime

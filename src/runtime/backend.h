@@ -1,0 +1,95 @@
+// The threaded runtime backend: the same register protocols the simulator
+// schedules adversarially, mounted on real OS threads, real channels and a
+// real clock.
+//
+// Topology mirrors the paper's model one-to-one:
+//   - one worker thread per base object, exclusively owning that object's
+//     ObjectStateBase and applying RMWs atomically by construction (only
+//     its thread ever touches the state);
+//   - one driver thread per client session, running a closed-loop list of
+//     pre-assigned invocations through an unmodified ClientProtocol;
+//   - bounded MPSC request channels into each object (backpressure), an
+//     unbounded reply channel per client (an object can always complete a
+//     send, so the mesh cannot deadlock; replies to already-completed
+//     rounds are simply never drained).
+//
+// Histories are captured under one mutex with a monotone sequence number as
+// the event time: the recorded interval of every operation is contained in
+// its real-time interval, so precedence derived from recorded times is real
+// precedence and the simulator's consistency checkers verify threaded
+// executions unchanged. Per-op wall-clock latencies (steady_clock, ns) feed
+// metrics::LatencyHistogram tagged LatencyUnit::kNanos.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "metrics/latency_histogram.h"
+#include "runtime/context.h"
+#include "runtime/history.h"
+#include "runtime/types.h"
+
+namespace sbrs::runtime {
+
+/// One client's closed-loop session: the driver invokes ops[i], waits for
+/// the protocol to complete it, then invokes ops[i+1]. OpIds must be
+/// globally unique across sessions; every Invocation's client must equal
+/// `client`.
+struct SessionSpec {
+  ClientId client;
+  std::vector<Invocation> ops;
+};
+
+struct ThreadBackendOptions {
+  uint32_t num_objects = 0;
+  ObjectFactory object_factory;
+  ClientFactory client_factory;
+  std::vector<SessionSpec> sessions;
+  /// Per-object request channel bound (0 = unbounded). Small bounds give
+  /// honest backpressure; the default comfortably covers one in-flight RMW
+  /// from every client of a typical run.
+  size_t request_channel_capacity = 1024;
+};
+
+/// What a threaded run produces: the same history shape the simulator
+/// emits (checkable by the same checkers), wall-clock latency histograms,
+/// and the storage extrema the paper's metrics care about.
+struct ThreadRunReport {
+  History history;
+
+  /// Wall-clock per-operation service latencies, nanoseconds.
+  metrics::LatencyHistogram op_latency{metrics::LatencyUnit::kNanos};
+  metrics::LatencyHistogram read_latency{metrics::LatencyUnit::kNanos};
+  metrics::LatencyHistogram write_latency{metrics::LatencyUnit::kNanos};
+
+  uint64_t invoked_ops = 0;
+  uint64_t completed_ops = 0;
+  uint64_t rmws_triggered = 0;
+  uint64_t rmws_delivered = 0;
+
+  /// Storage at quiescence (after all sessions drained and workers joined).
+  uint64_t final_object_bits = 0;
+  uint64_t final_client_bits = 0;
+  uint64_t final_total_bits = 0;
+  /// Upper bound on max object storage: each worker samples its object's
+  /// stored_bits after every RMW it applies; the reported value is the max
+  /// over objects of the per-object max. (A true global-instant max would
+  /// need a stop-the-world snapshot; per-object maxima bound it from
+  /// above... per-object, and their sum bounds the global total.)
+  uint64_t max_object_bits = 0;
+  uint64_t sum_max_object_bits = 0;
+
+  double wall_seconds = 0.0;
+  /// Every session ran its op list to completion.
+  bool live = false;
+};
+
+/// Run the sessions against num_objects base objects. Blocks until every
+/// session has completed all its ops, then shuts the mesh down gracefully
+/// (join clients, close request channels, join workers). Deterministic in
+/// outcome-space (the checkers accept any schedule) but NOT in schedule —
+/// that is the point.
+ThreadRunReport run_threaded(const ThreadBackendOptions& opts);
+
+}  // namespace sbrs::runtime

@@ -1,0 +1,101 @@
+// Bounded MPSC channel for the threaded runtime backend.
+//
+// The simulator's "channel" is a logical multiset the adversary delivers
+// from; here it is a real mutex+condvar queue between client driver threads
+// and the one worker thread that owns a base object. Capacity bounds give
+// backpressure on the request path (a flooded object slows its writers
+// down instead of buffering unboundedly); reply channels are unbounded so
+// an object worker can always complete a send and never deadlocks against
+// a client that has stopped draining (stale replies to already-completed
+// rounds are simply never received).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace sbrs::runtime {
+
+/// Multi-producer single-consumer (and, as used here, sometimes MPMC-safe)
+/// blocking queue. capacity == 0 means unbounded.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(size_t capacity = 0) : capacity_(capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks while the channel is full (bounded mode). Returns false if the
+  /// channel was closed (the item is dropped — receivers are gone).
+  bool send(T item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk, [&] {
+      return closed_ || capacity_ == 0 || queue_.size() < capacity_;
+    });
+    if (closed_) return false;
+    queue_.push_back(std::move(item));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the channel is closed and
+  /// drained. nullopt means closed-and-empty: the sender side is done.
+  std::optional<T> recv() {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking receive: nullopt if currently empty (whether or not the
+  /// channel is closed).
+  std::optional<T> try_recv() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Close the channel: senders start failing, receivers drain the
+  /// remaining items and then see nullopt. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace sbrs::runtime

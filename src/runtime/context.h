@@ -1,0 +1,79 @@
+// The client protocol interface: how register algorithms plug into an
+// execution backend. Clients are reactive state machines — they act when an
+// operation is invoked on them and when a triggered RMW responds, matching
+// the paper's model where local computation is free and only base-object
+// access is scheduled.
+//
+// ExecutionContext is the full capability set a backend grants a protocol
+// while it is taking a step: the simulator's ContextImpl routes trigger()
+// into the pending-RMW channel of the logical-step scheduler; the threaded
+// backend's context sends the RMW over a bounded MPSC channel to the target
+// object's worker thread. Protocol code cannot tell the difference — that
+// is the whole point.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/ids.h"
+#include "metrics/footprint.h"
+#include "runtime/types.h"
+
+namespace sbrs::runtime {
+
+/// The capabilities a backend grants a client while it is taking a step.
+/// Valid only for the duration of the callback that received it.
+class ExecutionContext {
+ public:
+  virtual ~ExecutionContext() = default;
+
+  /// Trigger an RMW on a base object; `request_footprint` declares the code
+  /// blocks riding in the request (counted as channel storage until the RMW
+  /// is delivered). Returns the RMW's id for matching the response.
+  virtual RmwId trigger(ObjectId target, RmwFn fn,
+                        metrics::StorageFootprint request_footprint) = 0;
+
+  /// Complete (return from) the given high-level operation. Reads pass the
+  /// returned value; writes pass nullopt ("ok").
+  virtual void complete(OpId op, std::optional<Value> result) = 0;
+
+  virtual ClientId self() const = 0;
+  virtual uint32_t num_objects() const = 0;
+  /// The backend's notion of "now": logical steps in the simulator, a
+  /// monotone event sequence number in the threaded backend. Only ordering
+  /// is meaningful across backends, never magnitudes.
+  virtual uint64_t now() const = 0;
+};
+
+class ClientProtocol {
+ public:
+  virtual ~ClientProtocol() = default;
+
+  /// A high-level operation was invoked at this client.
+  virtual void on_invoke(const Invocation& inv, ExecutionContext& ctx) = 0;
+
+  /// A previously triggered RMW was delivered and produced `response`.
+  virtual void on_response(RmwId rmw, ResponsePtr response,
+                           ExecutionContext& ctx) = 0;
+
+  /// Code blocks held in this client's local *algorithm* state (Definition
+  /// 2 counts these; oracle state — e.g. the written value awaiting
+  /// encoding, or a reader's accumulated decode set — is free).
+  virtual metrics::StorageFootprint footprint() const {
+    return {};
+  }
+
+  /// Total stored bits — must equal footprint().total_bits(). The
+  /// simulator's incremental accounting calls this after every client
+  /// callback (mirroring ObjectStateBase::stored_bits); override with a
+  /// cached counter when footprint() materializes a large block list, as
+  /// the store's multiplexing client does.
+  virtual uint64_t stored_bits() const { return footprint().total_bits(); }
+};
+
+using ClientFactory =
+    std::function<std::unique_ptr<ClientProtocol>(ClientId)>;
+using ObjectFactory =
+    std::function<std::unique_ptr<ObjectStateBase>(ObjectId)>;
+
+}  // namespace sbrs::runtime

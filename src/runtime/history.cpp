@@ -1,8 +1,8 @@
-#include "sim/history.h"
+#include "runtime/history.h"
 
 #include "common/check.h"
 
-namespace sbrs::sim {
+namespace sbrs::runtime {
 
 void History::record_invoke(uint64_t time, const Invocation& inv) {
   SBRS_CHECK_MSG(by_op_.find(inv.op) == by_op_.end(),
@@ -154,4 +154,4 @@ size_t History::completed_reads() const {
   return n;
 }
 
-}  // namespace sbrs::sim
+}  // namespace sbrs::runtime

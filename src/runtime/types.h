@@ -1,0 +1,143 @@
+// Backend-neutral vocabulary of the register emulations: the types a
+// protocol (the seven register variants, the store's multiplexers) needs to
+// compile, with no reference to any particular execution backend.
+//
+// Two backends mount these protocols today:
+//   - the deterministic logical-step simulator (src/sim/), which keeps the
+//     paper-faithful adversarial scheduling, fault injection and Definition
+//     2 storage accounting used by CI and the sweeps;
+//   - the threaded runtime backend (src/runtime/backend.h), which runs the
+//     same protocol objects on one OS thread per base object with bounded
+//     channels and wall-clock latencies.
+//
+// src/sim/types.h re-exports everything here under sbrs::sim (type aliases,
+// so the two spellings are the *same* types) — existing simulator code and
+// tests compile unchanged, and artifacts stay byte-identical.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <ostream>
+
+#include "common/ids.h"
+#include "common/value.h"
+#include "metrics/footprint.h"
+
+namespace sbrs::runtime {
+
+enum class OpKind { kRead, kWrite };
+
+inline std::ostream& operator<<(std::ostream& os, OpKind k) {
+  return os << (k == OpKind::kRead ? "read" : "write");
+}
+
+/// How a crashed base object comes back (sim::Simulator::restart_object;
+/// the threaded backend does not inject crashes yet, but protocol states
+/// implement the hook backend-independently).
+enum class RestartMode {
+  /// The state frozen at crash time is the persisted on-disk image; the
+  /// object re-joins with exactly its pre-crash sub-states (possibly stale —
+  /// later rounds overwrite them). Safe: indistinguishable from a slow
+  /// object that lost some messages, so quorum intersection still holds.
+  kFromDisk,
+  /// The frozen state is discarded and the object factory mounts a fresh
+  /// (v0 / empty) state — a replacement replica that lost its disk. Models
+  /// data loss beyond the f crash budget: per-key guarantees may be
+  /// violated until repair traffic re-converges the replica.
+  kFromScratch,
+};
+
+inline const char* to_string(RestartMode m) {
+  return m == RestartMode::kFromDisk ? "disk" : "scratch";
+}
+
+/// A high-level operation invocation on the emulated register.
+struct Invocation {
+  OpId op;
+  ClientId client;
+  OpKind kind = OpKind::kRead;
+  /// The written value for writes; unused for reads.
+  Value value;
+  /// When the operation *arrived* (open-loop workloads: the scheduled
+  /// arrival step, at or before the invoke). Unset means the op arrived at
+  /// its invoke time (closed-loop sessions self-pace), so sojourn time
+  /// degenerates to service time.
+  std::optional<uint64_t> arrival_time;
+};
+
+/// Base-object state. Algorithms subclass this with their concrete fields;
+/// the backends only need to extract the storage footprint (the code
+/// blocks stored — metadata like timestamps is free).
+class ObjectStateBase {
+ public:
+  virtual ~ObjectStateBase() = default;
+  virtual metrics::StorageFootprint footprint() const = 0;
+
+  /// Total stored bits at this object — must equal footprint().total_bits().
+  /// The simulator's incremental accounting calls this after every RMW that
+  /// touches the object; override with an allocation-free sum (or a cached
+  /// counter) so the per-step cost is proportional to one object's state,
+  /// not the whole system's.
+  virtual uint64_t stored_bits() const { return footprint().total_bits(); }
+
+  /// Called by sim::Simulator::restart_object when this object re-joins
+  /// after a crash with its persisted state (RestartMode::kFromDisk;
+  /// from-scratch restarts replace the object instead of invoking the
+  /// hook). States that cache derived totals (the store's
+  /// MultiKeyObjectState) or hold volatile fields recompute/drop them here;
+  /// stored_bits() is re-read by the simulator's accounting right after, so
+  /// any shrink or growth the hook causes stays exactly tracked.
+  virtual void on_restart(RestartMode mode) { (void)mode; }
+};
+
+/// An RMW's response payload, produced atomically with the state change.
+/// Algorithms define concrete response types and downcast.
+using ResponsePtr = std::shared_ptr<const void>;
+
+/// The atomic read-modify-write function applied to a base object.
+using RmwFn = std::function<ResponsePtr(ObjectStateBase&)>;
+
+/// The sentinel "client" repair pushes are attributed to: replica-mesh
+/// traffic has no client session, never observes a response (client_alive
+/// is false for it), and is never partitioned by client-link cuts.
+inline constexpr ClientId kRepairSource{UINT32_MAX};
+
+/// One planned repair push toward a repairing object: the RMW that writes
+/// the newest decodable block(s) back (or confirms freshness with a
+/// zero-bit digest check) and the request footprint charged to the channel
+/// and, on delivery inside the window, to RunReport::repair_bits.
+struct RepairPlan {
+  RmwFn fn;
+  metrics::StorageFootprint request_footprint;
+};
+
+/// The read-only view of a running system that repair planning needs: which
+/// base objects exist, which are reachable, which sit inside a repair
+/// window, and their current states. The simulator implements it directly
+/// (sim::Simulator derives from it); a future runtime-backend repair mesh
+/// would implement it over its own object registry. Keeping planners typed
+/// against this interface — not the Simulator — is what lets the register
+/// and store layers compile with no backend headers.
+class SystemView {
+ public:
+  virtual ~SystemView() = default;
+
+  virtual uint32_t num_objects() const = 0;
+  virtual bool object_alive(ObjectId o) const = 0;
+  /// True while `o` is restarted-but-not-yet-overwritten (its repair
+  /// window): it must not be read as a repair *source*.
+  virtual bool object_repairing(ObjectId o) const = 0;
+  /// Direct access to a base object's algorithm state.
+  virtual const ObjectStateBase& object_state(ObjectId o) const = 0;
+};
+
+/// Builds the repair push for one repairing object from the current system
+/// state (live peers' chunks), or nullopt when nothing is decodable yet.
+/// Installed via sim::SimConfig::repair_planner by the register algorithms
+/// (registers/repair.h) and the store (store/repair.h). Must not mutate
+/// anything and must draw no randomness — repair determinism rides on it.
+using RepairPlanner =
+    std::function<std::optional<RepairPlan>(const SystemView&, ObjectId)>;
+
+}  // namespace sbrs::runtime

@@ -42,10 +42,7 @@ std::string validate_arrival(const ArrivalOptions& a) {
 }
 
 uint64_t arrival_seed(uint64_t seed) {
-  uint64_t state = seed ^ 0xa55a1ee15c4ed01eull;
-  (void)splitmix64(state);
-  const uint64_t out = splitmix64(state);
-  return out == 0 ? 1 : out;
+  return derive_stream_seed(seed, seed_stream::kArrival);
 }
 
 std::vector<uint64_t> generate_arrivals(const ArrivalOptions& opts,

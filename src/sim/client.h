@@ -1,70 +1,25 @@
-// The client protocol interface: how register algorithms plug into the
-// simulator. Clients are reactive state machines — they act when an
-// operation is invoked on them and when a triggered RMW responds, matching
-// the paper's model where local computation is free and only base-object
-// access is scheduled.
+// The client protocol interface, re-exported under sbrs::sim.
+//
+// The interface itself is backend-neutral and lives in runtime/context.h
+// (ExecutionContext + ClientProtocol + factories); this shim keeps the
+// simulator-era spellings — sim::SimContext in particular — valid as
+// aliases of the same types, so the simulator, tests and any downstream
+// code compile unchanged against the split.
 #pragma once
-
-#include <memory>
-#include <optional>
 
 #include "common/ids.h"
 #include "common/rng.h"
-#include "metrics/footprint.h"
+#include "runtime/context.h"
 #include "sim/types.h"
 
 namespace sbrs::sim {
 
-/// The capabilities the simulator grants a client while it is taking a
-/// step. Valid only for the duration of the callback that received it.
-class SimContext {
- public:
-  virtual ~SimContext() = default;
+/// The historical name of runtime::ExecutionContext: the capabilities the
+/// simulator grants a client while it is taking a step.
+using SimContext = runtime::ExecutionContext;
 
-  /// Trigger an RMW on a base object; `request_footprint` declares the code
-  /// blocks riding in the request (counted as channel storage until the RMW
-  /// is delivered). Returns the RMW's id for matching the response.
-  virtual RmwId trigger(ObjectId target, RmwFn fn,
-                        metrics::StorageFootprint request_footprint) = 0;
-
-  /// Complete (return from) the given high-level operation. Reads pass the
-  /// returned value; writes pass nullopt ("ok").
-  virtual void complete(OpId op, std::optional<Value> result) = 0;
-
-  virtual ClientId self() const = 0;
-  virtual uint32_t num_objects() const = 0;
-  virtual uint64_t now() const = 0;
-};
-
-class ClientProtocol {
- public:
-  virtual ~ClientProtocol() = default;
-
-  /// A high-level operation was invoked at this client.
-  virtual void on_invoke(const Invocation& inv, SimContext& ctx) = 0;
-
-  /// A previously triggered RMW was delivered and produced `response`.
-  virtual void on_response(RmwId rmw, ResponsePtr response,
-                           SimContext& ctx) = 0;
-
-  /// Code blocks held in this client's local *algorithm* state (Definition
-  /// 2 counts these; oracle state — e.g. the written value awaiting
-  /// encoding, or a reader's accumulated decode set — is free).
-  virtual metrics::StorageFootprint footprint() const {
-    return {};
-  }
-
-  /// Total stored bits — must equal footprint().total_bits(). The
-  /// simulator's incremental accounting calls this after every client
-  /// callback (mirroring ObjectStateBase::stored_bits); override with a
-  /// cached counter when footprint() materializes a large block list, as
-  /// the store's multiplexing client does.
-  virtual uint64_t stored_bits() const { return footprint().total_bits(); }
-};
-
-using ClientFactory =
-    std::function<std::unique_ptr<ClientProtocol>(ClientId)>;
-using ObjectFactory =
-    std::function<std::unique_ptr<ObjectStateBase>(ObjectId)>;
+using ClientProtocol = runtime::ClientProtocol;
+using ClientFactory = runtime::ClientFactory;
+using ObjectFactory = runtime::ObjectFactory;
 
 }  // namespace sbrs::sim

@@ -1,120 +1,21 @@
-// Run histories: the trace(r) of the paper's formalism — the subsequence of
-// operation invocations and returns. Consumed by the consistency checkers
-// and by the adversary (to know which writes are outstanding).
+// Run histories, re-exported under sbrs::sim.
+//
+// History itself is backend-neutral (runtime/history.h): the simulator
+// stamps events with logical steps, the threaded backend with a monotone
+// sequence number. The aliases here keep sim::History (and with it every
+// consistency-checker signature and recorded fingerprint) exactly what it
+// was before the backend split.
 #pragma once
 
-#include <cstdint>
-#include <optional>
-#include <unordered_map>
-#include <vector>
-
-#include "common/ids.h"
-#include "common/value.h"
+#include "runtime/history.h"
 #include "sim/types.h"
 
 namespace sbrs::sim {
 
-struct HistoryEvent {
-  enum class Kind {
-    kInvoke,
-    kReturn,
-    kCrashObject,
-    kRestartObject,
-    kPartition,  // a (client, object) link was cut (sim/linkfault.h)
-    kHeal,       // a cut link re-opened (explicit heal or auto-heal)
-  };
-  Kind kind;
-  uint64_t time = 0;
-  OpId op;
-  ClientId client;
-  OpKind op_kind = OpKind::kRead;
-  /// For write invokes: the written value. For read returns: the returned
-  /// value. Empty otherwise.
-  Value value;
-  /// For kCrashObject / kRestartObject / kPartition / kHeal: the base
-  /// object (partition/heal events also set `client` to the link's client).
-  /// The consistency checkers consume only operation records, so fault
-  /// bookkeeping events ride in the trace (and its fingerprint) without
-  /// affecting verdicts.
-  ObjectId object{};
-  RestartMode restart_mode = RestartMode::kFromDisk;  // kRestartObject only
-};
+using HistoryEvent = runtime::HistoryEvent;
+using OpRecord = runtime::OpRecord;
+using History = runtime::History;
 
-/// True for the operation invoke/return events the checkers consume (the
-/// trace(r) of the paper); false for crash/restart bookkeeping events.
-inline bool is_op_event(const HistoryEvent& ev) {
-  return ev.kind == HistoryEvent::Kind::kInvoke ||
-         ev.kind == HistoryEvent::Kind::kReturn;
-}
-
-/// Summary of one operation assembled from its invoke/return events.
-struct OpRecord {
-  OpId op;
-  ClientId client;
-  OpKind kind = OpKind::kRead;
-  /// Arrival step (open-loop workloads); == invoke_time for closed-loop
-  /// ops, so return - arrival (sojourn) always bounds return - invoke
-  /// (service) from above.
-  uint64_t arrival_time = 0;
-  uint64_t invoke_time = 0;
-  std::optional<uint64_t> return_time;
-  /// Written value (writes) / returned value (completed reads).
-  Value value;
-
-  bool complete() const { return return_time.has_value(); }
-};
-
-class History {
- public:
-  void record_invoke(uint64_t time, const Invocation& inv);
-  void record_return(uint64_t time, OpId op, const std::optional<Value>& result);
-
-  /// Record a base-object crash / restart in the trace. Pure bookkeeping:
-  /// operation accessors (ops/reads/writes/outstanding) ignore these, but
-  /// they are part of events() and the history fingerprint, so recovery
-  /// schedules pin replayability the same way operations do.
-  void record_object_crash(uint64_t time, ObjectId o);
-  void record_object_restart(uint64_t time, ObjectId o, RestartMode mode);
-
-  /// Record a link partition / heal transition (one event per link whose
-  /// state actually changed). Bookkeeping like crash/restart: invisible to
-  /// the checkers, pinned by the fingerprint — and only present in faulted
-  /// runs, so fault-free recorded artifacts stay byte-identical.
-  void record_partition(uint64_t time, ClientId c, ObjectId o);
-  void record_heal(uint64_t time, ClientId c, ObjectId o);
-
-  const std::vector<HistoryEvent>& events() const { return events_; }
-
-  size_t object_crash_count() const { return object_crashes_; }
-  size_t object_restart_count() const { return object_restarts_; }
-  size_t partition_count() const { return partitions_; }
-  size_t heal_count() const { return heals_; }
-
-  /// All operations, in invocation order.
-  std::vector<OpRecord> ops() const;
-  std::vector<OpRecord> writes() const;
-  std::vector<OpRecord> reads() const;
-
-  /// Operations invoked but not returned.
-  std::vector<OpRecord> outstanding() const;
-
-  bool is_outstanding(OpId op) const;
-  const OpRecord* find(OpId op) const;
-
-  size_t invoke_count() const { return by_op_.size(); }
-  size_t return_count() const { return returns_; }
-  size_t completed_writes() const;
-  size_t completed_reads() const;
-
- private:
-  std::vector<HistoryEvent> events_;
-  std::vector<OpId> order_;
-  std::unordered_map<OpId, OpRecord> by_op_;
-  size_t returns_ = 0;
-  size_t object_crashes_ = 0;
-  size_t object_restarts_ = 0;
-  size_t partitions_ = 0;
-  size_t heals_ = 0;
-};
+using runtime::is_op_event;
 
 }  // namespace sbrs::sim

@@ -7,12 +7,9 @@
 namespace sbrs::sim {
 
 uint64_t fault_seed(uint64_t seed) {
-  // Same shape as arrival_seed, different tweak constant: the fault stream
-  // must coincide with neither the schedule nor the arrival stream.
-  uint64_t state = seed ^ 0x0fa17ab1e5eedf00ull;
-  (void)splitmix64(state);
-  const uint64_t out = splitmix64(state);
-  return out == 0 ? 1 : out;
+  // Dedicated stream (common/rng.h registry): the fault stream must
+  // coincide with neither the schedule nor the arrival stream.
+  return derive_stream_seed(seed, seed_stream::kLinkFault);
 }
 
 LinkFaultTable::LinkFaultTable(const LinkFaultOptions& opts,

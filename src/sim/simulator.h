@@ -159,7 +159,10 @@ struct RunReport {
   uint64_t rmws_delayed = 0;
 };
 
-class Simulator {
+/// The simulator is itself a runtime::SystemView: repair planners (typed
+/// against the view so the register/store layers stay backend-neutral) read
+/// liveness, repair windows and object states straight off it.
+class Simulator final : public SystemView {
  public:
   Simulator(SimConfig config, ObjectFactory object_factory,
             ClientFactory client_factory, std::unique_ptr<Workload> workload,
@@ -236,16 +239,16 @@ class Simulator {
   // --- State inspection (used by schedulers, meters, the adversary) ---
 
   uint64_t now() const { return time_; }
-  uint32_t num_objects() const { return config_.num_objects; }
+  uint32_t num_objects() const override { return config_.num_objects; }
   uint32_t num_clients() const { return config_.num_clients; }
 
-  bool object_alive(ObjectId o) const;
+  bool object_alive(ObjectId o) const override;
   bool client_alive(ClientId c) const;
   uint32_t crashed_objects() const { return crashed_objects_; }
 
   /// True while `o` is restarted-but-not-yet-overwritten (its repair
   /// window): traffic it receives counts toward RunReport::repair_bits.
-  bool object_repairing(ObjectId o) const;
+  bool object_repairing(ObjectId o) const override;
 
   /// Pending RMWs in trigger order (oldest first).
   const std::deque<PendingRmw>& pending() const { return pending_; }
@@ -290,7 +293,7 @@ class Simulator {
   uint64_t tracked_channel_bits() const { return acct_channel_bits_; }
 
   /// Direct access to a base object's algorithm state (tests/verifiers).
-  const ObjectStateBase& object_state(ObjectId o) const;
+  const ObjectStateBase& object_state(ObjectId o) const override;
 
   const RunReport& report() const { return report_; }
 

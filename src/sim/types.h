@@ -1,6 +1,13 @@
 // Core vocabulary of the asynchronous fault-prone shared-memory model
 // (Section 2 of the paper): high-level operations on the emulated register
 // and low-level RMWs triggered on base objects.
+//
+// The backend-neutral protocol types (Invocation, ObjectStateBase, RmwFn,
+// RepairPlan, SystemView, ...) live in runtime/types.h and are re-exported
+// here as aliases — sbrs::sim::X and sbrs::runtime::X are the same types,
+// so simulator code, tests and recorded artifacts are untouched by the
+// backend split. Only PendingRmw stays simulator-specific: it carries the
+// logical-step link-fault stamps the channel model schedules with.
 #pragma once
 
 #include <functional>
@@ -11,81 +18,33 @@
 #include "common/ids.h"
 #include "common/value.h"
 #include "metrics/footprint.h"
+#include "runtime/types.h"
 
 namespace sbrs::sim {
 
-enum class OpKind { kRead, kWrite };
+using OpKind = runtime::OpKind;
+using RestartMode = runtime::RestartMode;
+using Invocation = runtime::Invocation;
+using ObjectStateBase = runtime::ObjectStateBase;
+using ResponsePtr = runtime::ResponsePtr;
+using RmwFn = runtime::RmwFn;
+using RepairPlan = runtime::RepairPlan;
+using SystemView = runtime::SystemView;
+using RepairPlanner = runtime::RepairPlanner;
 
-inline std::ostream& operator<<(std::ostream& os, OpKind k) {
-  return os << (k == OpKind::kRead ? "read" : "write");
-}
+// Unqualified sim::to_string(RestartMode) / stream operators keep working.
+using runtime::operator<<;
+using runtime::to_string;
 
-/// How a crashed base object comes back (Simulator::restart_object).
-enum class RestartMode {
-  /// The state frozen at crash time is the persisted on-disk image; the
-  /// object re-joins with exactly its pre-crash sub-states (possibly stale —
-  /// later rounds overwrite them). Safe: indistinguishable from a slow
-  /// object that lost some messages, so quorum intersection still holds.
-  kFromDisk,
-  /// The frozen state is discarded and the object factory mounts a fresh
-  /// (v0 / empty) state — a replacement replica that lost its disk. Models
-  /// data loss beyond the f crash budget: per-key guarantees may be
-  /// violated until repair traffic re-converges the replica.
-  kFromScratch,
-};
-
-inline const char* to_string(RestartMode m) {
-  return m == RestartMode::kFromDisk ? "disk" : "scratch";
-}
-
-/// A high-level operation invocation on the emulated register.
-struct Invocation {
-  OpId op;
-  ClientId client;
-  OpKind kind = OpKind::kRead;
-  /// The written value for writes; unused for reads.
-  Value value;
-  /// When the operation *arrived* (open-loop workloads: the scheduled
-  /// arrival step, at or before the invoke). Unset means the op arrived at
-  /// its invoke time (closed-loop sessions self-pace), so sojourn time
-  /// degenerates to service time.
-  std::optional<uint64_t> arrival_time;
-};
-
-/// Base-object state. Algorithms subclass this with their concrete fields;
-/// the simulator only needs to extract the storage footprint (the code
-/// blocks stored — metadata like timestamps is free).
-class ObjectStateBase {
- public:
-  virtual ~ObjectStateBase() = default;
-  virtual metrics::StorageFootprint footprint() const = 0;
-
-  /// Total stored bits at this object — must equal footprint().total_bits().
-  /// The simulator's incremental accounting calls this after every RMW that
-  /// touches the object; override with an allocation-free sum (or a cached
-  /// counter) so the per-step cost is proportional to one object's state,
-  /// not the whole system's.
-  virtual uint64_t stored_bits() const { return footprint().total_bits(); }
-
-  /// Called by Simulator::restart_object when this object re-joins after a
-  /// crash with its persisted state (RestartMode::kFromDisk; from-scratch
-  /// restarts replace the object instead of invoking the hook). States that
-  /// cache derived totals (the store's MultiKeyObjectState) or hold
-  /// volatile fields recompute/drop them here; stored_bits() is re-read by
-  /// the simulator's accounting right after, so any shrink or growth the
-  /// hook causes stays exactly tracked.
-  virtual void on_restart(RestartMode mode) { (void)mode; }
-};
-
-/// An RMW's response payload, produced atomically with the state change.
-/// Algorithms define concrete response types and downcast.
-using ResponsePtr = std::shared_ptr<const void>;
-
-/// The atomic read-modify-write function applied to a base object.
-using RmwFn = std::function<ResponsePtr(ObjectStateBase&)>;
+/// The sentinel "client" repair pushes are attributed to (runtime::
+/// kRepairSource): replica-mesh traffic has no client session, never
+/// observes a response, and is never partitioned by client-link cuts.
+inline constexpr ClientId kRepairSource = runtime::kRepairSource;
 
 /// A triggered-but-not-yet-delivered RMW. Its parameters (request_footprint)
 /// are counted as storage per the paper's channel-accounting rule.
+/// Simulator-specific: the link-fault stamps below are scheduled on the
+/// logical clock.
 struct PendingRmw {
   RmwId id;
   OpId op;
@@ -107,29 +66,5 @@ struct PendingRmw {
   /// and closes the target's repair window on delivery.
   bool is_repair = false;
 };
-
-/// The sentinel "client" repair pushes are attributed to: replica-mesh
-/// traffic has no client session, never observes a response (client_alive
-/// is false for it), and is never partitioned by client-link cuts.
-inline constexpr ClientId kRepairSource{UINT32_MAX};
-
-/// One planned repair push toward a repairing object: the RMW that writes
-/// the newest decodable block(s) back (or confirms freshness with a
-/// zero-bit digest check) and the request footprint charged to the channel
-/// and, on delivery inside the window, to RunReport::repair_bits.
-struct RepairPlan {
-  RmwFn fn;
-  metrics::StorageFootprint request_footprint;
-};
-
-class Simulator;
-
-/// Builds the repair push for one repairing object from the current system
-/// state (live peers' chunks), or nullopt when nothing is decodable yet.
-/// Installed via SimConfig::repair_planner by the register algorithms
-/// (registers/repair.h) and the store (store/repair.h). Must not mutate
-/// anything and must draw no randomness — repair determinism rides on it.
-using RepairPlanner =
-    std::function<std::optional<RepairPlan>(const Simulator&, ObjectId)>;
 
 }  // namespace sbrs::sim

@@ -16,19 +16,19 @@ uint32_t OpKeyTable::key_of(OpId op) const {
 /// Wraps the simulator-provided context for the duration of one inner
 /// callback: trigger() retargets the RMW closure onto the key's sub-state
 /// and records the id -> key routing entry; everything else passes through.
-class MultiKeyClient::KeyedContext final : public sim::SimContext {
+class MultiKeyClient::KeyedContext final : public runtime::ExecutionContext {
  public:
-  KeyedContext(MultiKeyClient& owner, sim::SimContext& inner, uint32_t key)
+  KeyedContext(MultiKeyClient& owner, runtime::ExecutionContext& inner, uint32_t key)
       : owner_(owner), inner_(inner), key_(key) {}
 
-  RmwId trigger(ObjectId target, sim::RmwFn fn,
+  RmwId trigger(ObjectId target, runtime::RmwFn fn,
                 metrics::StorageFootprint request_footprint) override {
     // The store owns the object factory, so every base object in a shard
     // simulator is a MultiKeyObjectState; apply() keeps its cached bit
     // totals current as a side effect.
-    sim::RmwFn wrapped =
+    runtime::RmwFn wrapped =
         [key = key_, fn = std::move(fn)](
-            sim::ObjectStateBase& state) -> sim::ResponsePtr {
+            runtime::ObjectStateBase& state) -> runtime::ResponsePtr {
       return static_cast<MultiKeyObjectState&>(state).apply(key, fn);
     };
     const RmwId id =
@@ -47,11 +47,11 @@ class MultiKeyClient::KeyedContext final : public sim::SimContext {
 
  private:
   MultiKeyClient& owner_;
-  sim::SimContext& inner_;
+  runtime::ExecutionContext& inner_;
   uint32_t key_;
 };
 
-MultiKeyClient::MultiKeyClient(ClientId self, sim::ClientFactory inner_factory,
+MultiKeyClient::MultiKeyClient(ClientId self, runtime::ClientFactory inner_factory,
                                std::shared_ptr<const OpKeyTable> op_keys)
     : self_(self),
       inner_factory_(std::move(inner_factory)),
@@ -78,8 +78,8 @@ void MultiKeyClient::refresh_session_bits(Session& s) {
   s.bits = now_bits;
 }
 
-void MultiKeyClient::on_invoke(const sim::Invocation& inv,
-                               sim::SimContext& ctx) {
+void MultiKeyClient::on_invoke(const runtime::Invocation& inv,
+                               runtime::ExecutionContext& ctx) {
   const uint32_t key = op_keys_->key_of(inv.op);
   KeyedContext kctx(*this, ctx, key);
   Session& s = session(key);
@@ -87,8 +87,8 @@ void MultiKeyClient::on_invoke(const sim::Invocation& inv,
   refresh_session_bits(s);
 }
 
-void MultiKeyClient::on_response(RmwId rmw, sim::ResponsePtr response,
-                                 sim::SimContext& ctx) {
+void MultiKeyClient::on_response(RmwId rmw, runtime::ResponsePtr response,
+                                 runtime::ExecutionContext& ctx) {
   auto it = rmw_key_.find(rmw.value);
   SBRS_CHECK_MSG(it != rmw_key_.end(), "response for unrouted " << rmw);
   const uint32_t key = it->second;

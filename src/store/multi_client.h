@@ -23,8 +23,8 @@
 #include <memory>
 #include <unordered_map>
 
-#include "sim/client.h"
-#include "sim/types.h"
+#include "runtime/context.h"
+#include "runtime/types.h"
 
 namespace sbrs::store {
 
@@ -44,14 +44,14 @@ class OpKeyTable {
   std::unordered_map<uint64_t, uint32_t> map_;
 };
 
-class MultiKeyClient final : public sim::ClientProtocol {
+class MultiKeyClient final : public runtime::ClientProtocol {
  public:
-  MultiKeyClient(ClientId self, sim::ClientFactory inner_factory,
+  MultiKeyClient(ClientId self, runtime::ClientFactory inner_factory,
                  std::shared_ptr<const OpKeyTable> op_keys);
 
-  void on_invoke(const sim::Invocation& inv, sim::SimContext& ctx) override;
-  void on_response(RmwId rmw, sim::ResponsePtr response,
-                   sim::SimContext& ctx) override;
+  void on_invoke(const runtime::Invocation& inv, runtime::ExecutionContext& ctx) override;
+  void on_response(RmwId rmw, runtime::ResponsePtr response,
+                   runtime::ExecutionContext& ctx) override;
 
   /// Definition 2 client state: the union over the per-key sessions.
   metrics::StorageFootprint footprint() const override;
@@ -67,7 +67,7 @@ class MultiKeyClient final : public sim::ClientProtocol {
   class KeyedContext;
 
   struct Session {
-    std::unique_ptr<sim::ClientProtocol> protocol;
+    std::unique_ptr<runtime::ClientProtocol> protocol;
     uint64_t bits = 0;  // cached protocol->footprint().total_bits()
   };
 
@@ -75,7 +75,7 @@ class MultiKeyClient final : public sim::ClientProtocol {
   void refresh_session_bits(Session& session);
 
   ClientId self_;
-  sim::ClientFactory inner_factory_;
+  runtime::ClientFactory inner_factory_;
   std::shared_ptr<const OpKeyTable> op_keys_;
   std::map<uint32_t, Session> sessions_;  // ordered: deterministic footprint
   std::unordered_map<uint64_t, uint32_t> rmw_key_;  // in-flight RMW -> key

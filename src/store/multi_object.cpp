@@ -5,14 +5,14 @@
 namespace sbrs::store {
 
 MultiKeyObjectState::MultiKeyObjectState(
-    ObjectId self, sim::ObjectFactory inner_factory,
+    ObjectId self, runtime::ObjectFactory inner_factory,
     const std::vector<uint32_t>& premount)
     : self_(self), inner_factory_(std::move(inner_factory)) {
   SBRS_CHECK(inner_factory_ != nullptr);
   for (uint32_t key : premount) ensure(key);
 }
 
-sim::ObjectStateBase& MultiKeyObjectState::ensure(uint32_t key) {
+runtime::ObjectStateBase& MultiKeyObjectState::ensure(uint32_t key) {
   auto it = subs_.find(key);
   if (it == subs_.end()) {
     Sub sub;
@@ -25,10 +25,10 @@ sim::ObjectStateBase& MultiKeyObjectState::ensure(uint32_t key) {
   return *it->second.state;
 }
 
-sim::ResponsePtr MultiKeyObjectState::apply(uint32_t key,
-                                            const sim::RmwFn& fn) {
-  sim::ObjectStateBase& state = ensure(key);
-  sim::ResponsePtr response = fn(state);
+runtime::ResponsePtr MultiKeyObjectState::apply(uint32_t key,
+                                            const runtime::RmwFn& fn) {
+  runtime::ObjectStateBase& state = ensure(key);
+  runtime::ResponsePtr response = fn(state);
   Sub& sub = subs_.at(key);
   const uint64_t now_bits = state.stored_bits();
   total_bits_ += now_bits - sub.bits;  // wraps correctly for shrinks
@@ -36,7 +36,7 @@ sim::ResponsePtr MultiKeyObjectState::apply(uint32_t key,
   return response;
 }
 
-void MultiKeyObjectState::on_restart(sim::RestartMode mode) {
+void MultiKeyObjectState::on_restart(runtime::RestartMode mode) {
   total_bits_ = 0;
   for (auto& [key, sub] : subs_) {
     sub.state->on_restart(mode);
@@ -51,7 +51,7 @@ metrics::StorageFootprint MultiKeyObjectState::footprint() const {
   return fp;
 }
 
-const sim::ObjectStateBase* MultiKeyObjectState::sub(uint32_t key) const {
+const runtime::ObjectStateBase* MultiKeyObjectState::sub(uint32_t key) const {
   auto it = subs_.find(key);
   return it == subs_.end() ? nullptr : it->second.state.get();
 }

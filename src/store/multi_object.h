@@ -16,24 +16,24 @@
 #include <memory>
 #include <vector>
 
-#include "sim/client.h"
-#include "sim/types.h"
+#include "runtime/context.h"
+#include "runtime/types.h"
 
 namespace sbrs::store {
 
-class MultiKeyObjectState final : public sim::ObjectStateBase {
+class MultiKeyObjectState final : public runtime::ObjectStateBase {
  public:
   /// `premount` lists the key ids whose sub-states (with their v0 pieces)
   /// exist from time zero — the store's loaded keyspace. Keys outside it
   /// are mounted on first RMW touch, materializing their v0 then.
-  MultiKeyObjectState(ObjectId self, sim::ObjectFactory inner_factory,
+  MultiKeyObjectState(ObjectId self, runtime::ObjectFactory inner_factory,
                       const std::vector<uint32_t>& premount);
 
   /// Apply `fn` to key `key`'s sub-state (mounting it if needed) and keep
   /// the cached bit total current — the simulator's incremental accounting
   /// reads stored_bits() after every delivery, and re-summing all keys
   /// there would make delivery O(keyspace).
-  sim::ResponsePtr apply(uint32_t key, const sim::RmwFn& fn);
+  runtime::ResponsePtr apply(uint32_t key, const runtime::RmwFn& fn);
 
   metrics::StorageFootprint footprint() const override;
   uint64_t stored_bits() const override { return total_bits_; }
@@ -43,22 +43,22 @@ class MultiKeyObjectState final : public sim::ObjectStateBase {
   /// cached per-key and total bit counts from scratch — the simulator reads
   /// stored_bits() right after, so the accounting stays exact even if a
   /// sub-state's hook shed volatile bits.
-  void on_restart(sim::RestartMode mode) override;
+  void on_restart(runtime::RestartMode mode) override;
 
   size_t mounted_keys() const { return subs_.size(); }
   /// The sub-state of `key`, or nullptr if never mounted (tests).
-  const sim::ObjectStateBase* sub(uint32_t key) const;
+  const runtime::ObjectStateBase* sub(uint32_t key) const;
   /// Ids of all mounted keys, ascending (the repair planner walks them to
   /// build the per-key repair fan; store/repair.h).
   std::vector<uint32_t> mounted_key_ids() const;
 
  private:
-  sim::ObjectStateBase& ensure(uint32_t key);
+  runtime::ObjectStateBase& ensure(uint32_t key);
 
   ObjectId self_;
-  sim::ObjectFactory inner_factory_;
+  runtime::ObjectFactory inner_factory_;
   struct Sub {
-    std::unique_ptr<sim::ObjectStateBase> state;
+    std::unique_ptr<runtime::ObjectStateBase> state;
     uint64_t bits = 0;  // cached state->stored_bits()
   };
   std::map<uint32_t, Sub> subs_;  // ordered: deterministic footprint order

@@ -7,18 +7,17 @@
 #include "common/check.h"
 #include "registers/object_state.h"
 #include "registers/repair.h"
-#include "sim/simulator.h"
 #include "store/multi_object.h"
 
 namespace sbrs::store {
 
-sim::RepairPlanner make_store_repair_planner(
+runtime::RepairPlanner make_store_repair_planner(
     const registers::RegisterAlgorithm& alg) {
   const uint32_t k = alg.config().k;
   codec::CodecPtr codec = alg.codec();
   return [k, codec = std::move(codec)](
-             const sim::Simulator& sim,
-             ObjectId o) -> std::optional<sim::RepairPlan> {
+             const runtime::SystemView& sim,
+             ObjectId o) -> std::optional<runtime::RepairPlan> {
     const auto* target =
         dynamic_cast<const MultiKeyObjectState*>(&sim.object_state(o));
     if (target == nullptr) return std::nullopt;
@@ -48,7 +47,7 @@ sim::RepairPlanner make_store_repair_planner(
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
 
     static const registers::RegisterObjectState kEmpty;
-    std::vector<std::pair<uint32_t, sim::RmwFn>> fns;
+    std::vector<std::pair<uint32_t, runtime::RmwFn>> fns;
     fns.reserve(keys.size());
     metrics::StorageFootprint footprint;
     for (uint32_t key : keys) {
@@ -61,7 +60,7 @@ sim::RepairPlanner make_store_repair_planner(
       }
       const auto* tsub =
           dynamic_cast<const registers::RegisterObjectState*>(target->sub(key));
-      std::optional<sim::RepairPlan> plan = registers::plan_register_repair(
+      std::optional<runtime::RepairPlan> plan = registers::plan_register_repair(
           key_peers, tsub != nullptr ? *tsub : kEmpty, o.value + 1, k, codec);
       // A single undecodable key withholds the whole push: delivery closes
       // the window for the entire shard object, all keys or nothing.
@@ -70,10 +69,10 @@ sim::RepairPlanner make_store_repair_planner(
       fns.emplace_back(key, std::move(plan->fn));
     }
 
-    sim::RepairPlan plan;
+    runtime::RepairPlan plan;
     plan.request_footprint = std::move(footprint);
     plan.fn = [fns = std::move(fns)](
-                  sim::ObjectStateBase& s) -> sim::ResponsePtr {
+                  runtime::ObjectStateBase& s) -> runtime::ResponsePtr {
       auto* mk = dynamic_cast<MultiKeyObjectState*>(&s);
       SBRS_CHECK_MSG(mk != nullptr, "store repair on non-multi-key state");
       // apply() keeps the cached per-key bit totals exact, and mounts any

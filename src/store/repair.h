@@ -1,5 +1,5 @@
 // Store-level active repair: the per-shard planner behind read-repair and
-// the anti-entropy pump (sim::SimConfig::repair_planner).
+// the anti-entropy pump (runtime::SimConfig::repair_planner).
 //
 // A shard's base object multiplexes one register sub-state per key
 // (store/multi_object.h), so one repair push re-converges *every* key the
@@ -12,14 +12,14 @@
 #pragma once
 
 #include "registers/register_algorithm.h"
-#include "sim/types.h"
+#include "runtime/types.h"
 
 namespace sbrs::store {
 
 /// Planner for a shard simulator whose objects are MultiKeyObjectState
 /// wrappers around `alg`'s per-key states. The returned closure captures
 /// only the codec and config, so it outlives `alg`.
-sim::RepairPlanner make_store_repair_planner(
+runtime::RepairPlanner make_store_repair_planner(
     const registers::RegisterAlgorithm& alg);
 
 }  // namespace sbrs::store

@@ -9,11 +9,13 @@
 
 #include "common/bytes.h"
 #include "common/check.h"
+#include "common/stop_reason.h"
 #include "consistency/checker.h"
 #include "harness/algorithms.h"
 #include "harness/export.h"
 #include "harness/sweep.h"
 #include "obs/export.h"
+#include "runtime/backend.h"
 #include "sim/schedulers.h"
 #include "store/multi_client.h"
 #include "store/multi_object.h"
@@ -138,6 +140,21 @@ Store::Store(StoreOptions opts) : opts_(std::move(opts)), map_(opts_.num_shards)
       opts_.repair_every == 0 || opts_.scheduler == harness::SchedKind::kRandom,
       "anti-entropy (repair_every) needs the random scheduler — only its "
       "pump emits repair actions (read_repair works with any scheduler)");
+  if (opts_.backend == harness::Backend::kThreads) {
+    SBRS_CHECK_MSG(!sim::open_loop(opts_.arrival),
+                   "the threaded store backend runs closed-loop sessions "
+                   "only (open-loop arrivals are a simulator capability)");
+    SBRS_CHECK_MSG(opts_.object_crashes_per_shard == 0 &&
+                       opts_.partitions_per_shard == 0 &&
+                       opts_.repair_every == 0 && !opts_.read_repair &&
+                       opts_.fault_timeline.empty() &&
+                       !store_has_link_faults(opts_),
+                   "fault injection and repair are simulator capabilities — "
+                   "the threaded store backend runs fault-free");
+    SBRS_CHECK_MSG(!opts_.trace,
+                   "structured tracing is a simulator capability — the "
+                   "threaded store backend does not emit trace events");
+  }
 
   // The loaded keyspace: ids 0..num_keys-1 in name order, matching the
   // ycsb::Op key indices, placed onto shards by key-name hash.
@@ -242,6 +259,9 @@ const obs::TraceRecorder* Store::shard_trace(uint32_t shard) const {
 
 std::optional<Value> Store::drive(const std::string& key, sim::OpKind kind,
                                   Value value) {
+  SBRS_CHECK_MSG(opts_.backend == harness::Backend::kSim,
+                 "put()/get() drive the shard simulator — use backend=sim "
+                 "(the threaded backend is batch-run() only)");
   const uint32_t id = key_id(key);
   Shard& shard = *shards_[key_shards_[id]];
   const ClientId session{0};
@@ -418,8 +438,155 @@ StoreResult Store::assemble(std::vector<ShardResult> shards) const {
   return result;
 }
 
+StoreResult Store::run_threads_batch(const std::vector<ycsb::Op>& ops) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto& cfg = opts_.register_config;
+
+  // Partition the stream onto shards, preserving per-client order, with
+  // globally unique OpIds and distinct write tags (the checkers'
+  // precondition), and a FRESH OpKeyTable per shard per batch: the
+  // simulator-side tables (shard->op_keys) stay untouched, so a threaded
+  // batch never perturbs sim-mode state.
+  struct ShardBatch {
+    std::shared_ptr<OpKeyTable> op_keys = std::make_shared<OpKeyTable>();
+    // session (ycsb client) -> ops, in stream order
+    std::map<uint32_t, std::vector<runtime::Invocation>> sessions;
+    uint32_t keys_touched = 0;
+  };
+  std::vector<ShardBatch> batches(opts_.num_shards);
+  uint64_t next_op = 1;
+  for (const auto& op : ops) {
+    SBRS_CHECK(op.key < opts_.workload.num_keys);
+    const uint32_t shard_index = key_shards_[op.key];
+    ShardBatch& b = batches[shard_index];
+    runtime::Invocation inv;
+    inv.op = OpId{next_op++};
+    inv.client = ClientId{op.client};
+    inv.kind = op.kind;
+    if (op.kind == sim::OpKind::kWrite) {
+      inv.value = Value::from_tag(next_write_tag_++, cfg.data_bits);
+    }
+    b.op_keys->assign(inv.op, op.key);
+    b.sessions[op.client].push_back(std::move(inv));
+  }
+
+  // One runtime mesh per shard, sequentially: each mesh already fans out
+  // cfg.n worker threads plus one driver per session.
+  std::vector<ShardResult> shard_results;
+  shard_results.reserve(opts_.num_shards);
+  for (uint32_t s = 0; s < opts_.num_shards; ++s) {
+    ShardBatch& b = batches[s];
+    const auto shard_start = std::chrono::steady_clock::now();
+
+    runtime::ThreadBackendOptions topts;
+    topts.num_objects = cfg.n;
+    const Shard& shard = *shards_[s];
+    sim::ObjectFactory inner_objects = shard.algorithm->object_factory();
+    const std::vector<uint32_t>& mounted = shard.premounted;
+    topts.object_factory =
+        [inner_objects, mounted](ObjectId o) -> std::unique_ptr<sim::ObjectStateBase> {
+      return std::make_unique<MultiKeyObjectState>(o, inner_objects, mounted);
+    };
+    sim::ClientFactory inner_clients = shard.algorithm->client_factory();
+    std::shared_ptr<const OpKeyTable> op_keys = b.op_keys;
+    topts.client_factory =
+        [inner_clients, op_keys](ClientId c) -> std::unique_ptr<sim::ClientProtocol> {
+      return std::make_unique<MultiKeyClient>(c, inner_clients, op_keys);
+    };
+    for (auto& [client, session_ops] : b.sessions) {
+      runtime::SessionSpec session;
+      session.client = ClientId{client};
+      session.ops = std::move(session_ops);
+      topts.sessions.push_back(std::move(session));
+    }
+
+    runtime::ThreadRunReport treport = runtime::run_threaded(topts);
+
+    ShardResult r;
+    r.shard = s;
+    r.keys_mounted = static_cast<uint32_t>(shard.premounted.size());
+    r.report.steps = treport.history.events().size();
+    r.report.quiesced = treport.history.outstanding().empty();
+    r.report.stop_reason = kStopQuiesced;
+    r.report.invoked_ops = treport.invoked_ops;
+    r.report.completed_ops = treport.completed_ops;
+    r.report.rmws_triggered = treport.rmws_triggered;
+    r.report.rmws_delivered = treport.rmws_delivered;
+    r.report.op_latency = treport.op_latency;
+    r.report.sojourn_latency = treport.op_latency;  // closed loop
+    r.read_latency = treport.read_latency;
+    r.write_latency = treport.write_latency;
+    r.max_object_bits = treport.max_object_bits;
+    r.max_total_bits = treport.sum_max_object_bits;
+    r.max_channel_bits = 0;  // in-flight accounting is a simulator metric
+    r.final_object_bits = treport.final_object_bits;
+    r.final_total_bits = treport.final_total_bits;
+    r.live = treport.live && r.report.quiesced;
+    r.fingerprint = 0;  // real interleavings are not replayable schedules
+
+    // Same per-key consistency pass the simulator path runs.
+    const std::map<uint32_t, sim::History> by_key =
+        split_history_by_key(treport.history, *b.op_keys);
+    r.keys_touched = static_cast<uint32_t>(by_key.size());
+    if (opts_.check_consistency) {
+      const auto guarantee = opts_.check_level.value_or(
+          harness::expected_consistency(opts_.algorithm));
+      for (const auto& [key, sub] : by_key) {
+        consistency::CheckResult legal = consistency::check_values_legal(sub);
+        bool ok = legal.ok;
+        std::vector<std::string> why = std::move(legal.violations);
+        auto apply = [&](consistency::CheckResult res) {
+          ok = ok && res.ok;
+          why.insert(why.end(), res.violations.begin(), res.violations.end());
+        };
+        switch (guarantee) {
+          case harness::ConsistencyGuarantee::kStronglySafe:
+            apply(consistency::check_strongly_safe(sub));
+            break;
+          case harness::ConsistencyGuarantee::kWeakRegular:
+            apply(consistency::check_weak_regularity(sub));
+            break;
+          case harness::ConsistencyGuarantee::kStrongRegular:
+            apply(consistency::check_weak_regularity(sub));
+            apply(consistency::check_strong_regularity(sub));
+            break;
+        }
+        ++r.keys_checked;
+        if (!ok) {
+          ++r.consistency_failures;
+          for (const auto& v : why) {
+            if (r.violations.size() >= 4) break;
+            r.violations.push_back("key '" + key_name(key) + "': " + v);
+          }
+        }
+      }
+    }
+
+    r.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - shard_start)
+                         .count();
+    shard_results.push_back(std::move(r));
+  }
+
+  StoreResult result = assemble(std::move(shard_results));
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.threads_used = opts_.num_shards == 0
+                            ? 1
+                            : opts_.register_config.n + opts_.workload.clients;
+  const uint64_t completed = result.completed_reads + result.completed_writes;
+  result.ops_per_sec = result.wall_seconds > 0
+                           ? static_cast<double>(completed) / result.wall_seconds
+                           : 0.0;
+  return result;
+}
+
 StoreResult Store::run() {
   const auto ops = ycsb::generate(opts_.workload);
+  if (opts_.backend == harness::Backend::kThreads) {
+    return run_threads_batch(ops);
+  }
   const bool open = sim::open_loop(opts_.arrival);
 
   // Partition the stream onto the shards, preserving per-client order.
@@ -555,13 +722,21 @@ void write_store_deterministic_json(std::ostream& os,
   os << "    \"degraded_sojourn_steps\": ";
   harness::write_latency_json(os, r.degraded_sojourn);
   os << ",\n";
-  os << "    \"read_latency_steps\": ";
+  // Key suffixes carry the histogram unit ("steps" for the simulator,
+  // "ns" for the threaded backend) so a wall-clock table can never be
+  // mistaken for a logical-step one. Sim output keeps its historical keys
+  // byte-for-byte.
+  os << "    \"read_latency_" << metrics::unit_suffix(r.read_latency.unit())
+     << "\": ";
   harness::write_latency_json(os, r.read_latency);
-  os << ",\n    \"write_latency_steps\": ";
+  os << ",\n    \"write_latency_" << metrics::unit_suffix(r.write_latency.unit())
+     << "\": ";
   harness::write_latency_json(os, r.write_latency);
-  os << ",\n    \"service_latency_steps\": ";
+  os << ",\n    \"service_latency_"
+     << metrics::unit_suffix(r.service_latency.unit()) << "\": ";
   harness::write_latency_json(os, r.service_latency);
-  os << ",\n    \"sojourn_latency_steps\": ";
+  os << ",\n    \"sojourn_latency_"
+     << metrics::unit_suffix(r.sojourn_latency.unit()) << "\": ";
   harness::write_latency_json(os, r.sojourn_latency);
   os << ",\n    \"shards\": [\n";
   for (size_t i = 0; i < r.shards.size(); ++i) {
@@ -598,11 +773,14 @@ void write_store_deterministic_json(std::ostream& os,
        << ", \"stop_reason\": \""
        << harness::json_escape(s.report.stop_reason) << "\""
        << ", \"fingerprint\": \"" << std::hex << s.fingerprint << std::dec
-       << "\", \"read_latency_steps\": ";
+       << "\", \"read_latency_" << metrics::unit_suffix(s.read_latency.unit())
+       << "\": ";
     harness::write_latency_json(os, s.read_latency);
-    os << ", \"write_latency_steps\": ";
+    os << ", \"write_latency_" << metrics::unit_suffix(s.write_latency.unit())
+       << "\": ";
     harness::write_latency_json(os, s.write_latency);
-    os << ", \"sojourn_latency_steps\": ";
+    os << ", \"sojourn_latency_"
+       << metrics::unit_suffix(s.report.sojourn_latency.unit()) << "\": ";
     harness::write_latency_json(os, s.report.sojourn_latency);
     os << "}" << (i + 1 < r.shards.size() ? "," : "") << "\n";
   }

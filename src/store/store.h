@@ -126,6 +126,14 @@ struct StoreOptions {
   uint64_t max_steps_per_shard = 8'000'000;
   /// Records are named `<key_prefix><i>` for i in [0, workload.num_keys).
   std::string key_prefix = "user";
+  /// Execution backend for run(). kThreads mounts each shard's MultiKey
+  /// protocols on the threaded runtime (runtime/backend.h): one worker
+  /// thread per base object, one driver per session, wall-clock-nanosecond
+  /// latency histograms, real ops_per_sec. Closed-loop fault-free workloads
+  /// only (checked at mount); put()/get() stay simulator-driven and are
+  /// rejected in threads mode. Shard fingerprints are 0 — threaded
+  /// histories are real interleavings, not replayable schedules.
+  harness::Backend backend = harness::Backend::kSim;
 };
 
 /// Deterministic per-shard outcome (wall_seconds excepted).
@@ -273,6 +281,10 @@ class Store {
                              Value value);
   ShardResult summarize_shard(const Shard& shard) const;
   StoreResult assemble(std::vector<ShardResult> shards) const;
+  /// The threaded-backend batch path of run(): per-shard runtime meshes,
+  /// sequential over shards (each shard already fans out n + sessions
+  /// threads).
+  StoreResult run_threads_batch(const std::vector<ycsb::Op>& ops);
 
   StoreOptions opts_;
   ShardMap map_;

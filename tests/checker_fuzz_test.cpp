@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "harness/runner.h"
+#include "sim/history.h"
 
 namespace sbrs {
 namespace {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "consistency/checker.h"
+#include "sim/history.h"
 
 namespace sbrs::consistency {
 namespace {

@@ -5,6 +5,7 @@
 
 #include "registers/round_client.h"
 #include "registers/rmw_ops.h"
+#include "sim/client.h"
 
 namespace sbrs::registers {
 namespace {

@@ -1,0 +1,332 @@
+// Tests for the threaded runtime backend (src/runtime/): the MPSC channel
+// primitive, the latency-unit tag, the seed-stream registry aliases, the
+// cross-backend equivalence of every register variant, and pinned
+// simulator fingerprints guarding that mounting the protocols on real
+// threads changed no simulator byte.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "harness/algorithms.h"
+#include "harness/runner.h"
+#include "harness/sweep.h"
+#include "metrics/latency_histogram.h"
+#include "runtime/backend.h"
+#include "runtime/channel.h"
+#include "sim/arrival.h"
+#include "sim/linkfault.h"
+#include "store/store.h"
+
+namespace sbrs {
+namespace {
+
+// --- Channel -------------------------------------------------------------
+
+TEST(Channel, DeliversInFifoOrderAndDrainsAfterClose) {
+  runtime::Channel<int> ch(0);  // unbounded
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(ch.send(i));
+  ch.close();
+  EXPECT_FALSE(ch.send(100)) << "send to a closed channel must fail";
+  for (int i = 0; i < 100; ++i) {
+    auto v = ch.recv();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ch.recv().has_value()) << "closed + drained -> nullopt";
+}
+
+TEST(Channel, BoundedSendBlocksUntilReceiverDrains) {
+  runtime::Channel<int> ch(2);
+  std::atomic<int> sent{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(ch.send(i));
+      sent.fetch_add(1);
+    }
+  });
+  // The producer can run at most `capacity` ahead of the consumer.
+  while (sent.load() < 2) std::this_thread::yield();
+  EXPECT_LE(sent.load(), 3) << "capacity-2 channel admitted >3 sends";
+  for (int i = 0; i < 8; ++i) {
+    auto v = ch.recv();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  producer.join();
+  EXPECT_EQ(sent.load(), 8);
+}
+
+TEST(Channel, TryRecvNeverBlocks) {
+  runtime::Channel<int> ch(0);
+  EXPECT_FALSE(ch.try_recv().has_value());
+  ch.send(7);
+  auto v = ch.try_recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(Channel, CloseWakesBlockedReceivers) {
+  runtime::Channel<int> ch(0);
+  std::thread receiver([&] { EXPECT_FALSE(ch.recv().has_value()); });
+  ch.close();
+  receiver.join();
+}
+
+TEST(Channel, ManyProducersOneConsumerLosesNothing) {
+  runtime::Channel<int> ch(4);
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch] {
+      for (int i = 0; i < kPerProducer; ++i) ASSERT_TRUE(ch.send(1));
+    });
+  }
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    ASSERT_TRUE(ch.recv().has_value());
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+// --- LatencyUnit tag -----------------------------------------------------
+
+TEST(LatencyUnit, DefaultIsStepsAndSuffixesArePinned) {
+  metrics::LatencyHistogram h;
+  EXPECT_EQ(h.unit(), metrics::LatencyUnit::kSteps);
+  // The suffixes are part of the JSON artifact contract
+  // ("read_latency_steps" / "read_latency_ns" keys).
+  EXPECT_STREQ(metrics::unit_suffix(metrics::LatencyUnit::kSteps), "steps");
+  EXPECT_STREQ(metrics::unit_suffix(metrics::LatencyUnit::kNanos), "ns");
+}
+
+TEST(LatencyUnit, EmptyHistogramAdoptsUnitOnMerge) {
+  metrics::LatencyHistogram ns(metrics::LatencyUnit::kNanos);
+  ns.record(1000);
+  metrics::LatencyHistogram acc;  // default kSteps, empty
+  acc.merge(ns);
+  EXPECT_EQ(acc.unit(), metrics::LatencyUnit::kNanos);
+  EXPECT_EQ(acc.count(), 1u);
+}
+
+TEST(LatencyUnit, MergingNonEmptyHistogramsOfDifferentUnitsIsAnError) {
+  metrics::LatencyHistogram steps;
+  steps.record(5);
+  metrics::LatencyHistogram ns(metrics::LatencyUnit::kNanos);
+  ns.record(5000);
+  EXPECT_THROW(steps.merge(ns), CheckFailure);
+}
+
+// --- Seed-stream registry ------------------------------------------------
+
+TEST(SeedRegistry, AliasesReproduceTheRegistryDerivation) {
+  for (uint64_t seed : {0ull, 1ull, 42ull, 0xdeadbeefull}) {
+    EXPECT_EQ(sim::arrival_seed(seed),
+              derive_stream_seed(seed, seed_stream::kArrival));
+    EXPECT_EQ(sim::fault_seed(seed),
+              derive_stream_seed(seed, seed_stream::kLinkFault));
+  }
+}
+
+TEST(SeedRegistry, DerivedSeedsArePinned) {
+  // Frozen values: recorded artifacts (sweep JSON, scenario fingerprints)
+  // depend on these streams — any drift here is an artifact break.
+  EXPECT_EQ(sim::arrival_seed(1), 5517455394253255330ull);
+  EXPECT_EQ(sim::arrival_seed(42), 468195606706551751ull);
+  EXPECT_EQ(sim::fault_seed(1), 4070338423703192525ull);
+  EXPECT_EQ(sim::fault_seed(42), 9021251642896246740ull);
+  EXPECT_EQ(harness::cell_seed(1, 0, 0), 864272392484479936ull);
+  EXPECT_EQ(harness::cell_seed(7, 3, 2), 14455008940317830726ull);
+}
+
+TEST(SeedRegistry, StreamsAreDecorrelatedAndNonzero) {
+  EXPECT_NE(derive_stream_seed(1, seed_stream::kArrival),
+            derive_stream_seed(1, seed_stream::kLinkFault));
+  EXPECT_NE(derive_stream_seed(1, seed_stream::kArrival),
+            derive_stream_seed(1, seed_stream::kRuntime));
+  EXPECT_NE(derive_stream_seed(1, seed_stream::kRuntime), 0u);
+  EXPECT_NE(derive_cell_seed(0, 0, 0), 0u);
+}
+
+// --- Cross-backend equivalence -------------------------------------------
+
+harness::RunOptions closed_loop(harness::Backend backend) {
+  harness::RunOptions opts;
+  opts.backend = backend;
+  opts.writers = 3;
+  opts.writes_per_client = 8;
+  opts.readers = 3;
+  opts.reads_per_client = 8;
+  opts.seed = 1;
+  return opts;
+}
+
+registers::RegisterConfig small_config() {
+  registers::RegisterConfig cfg;
+  cfg.f = 1;
+  cfg.k = 2;
+  cfg.n = 4;  // n = 2f + k, valid for every variant
+  cfg.data_bits = 128;
+  return cfg;
+}
+
+bool meets_guarantee(const std::string& name,
+                     const harness::RunOutcome& out) {
+  if (!out.values_legal.ok) return false;
+  switch (harness::expected_consistency(name)) {
+    case harness::ConsistencyGuarantee::kStronglySafe:
+      return out.strongly_safe.ok;
+    case harness::ConsistencyGuarantee::kWeakRegular:
+      return out.weak_regular.ok;
+    case harness::ConsistencyGuarantee::kStrongRegular:
+      return out.strong_regular.ok;
+  }
+  return false;
+}
+
+TEST(RuntimeBackend, EveryVariantRunsCheckerCleanOnBothBackends) {
+  for (const auto& name : harness::algorithm_names()) {
+    SCOPED_TRACE(name);
+    auto alg = harness::make_algorithm(name, small_config());
+
+    const auto threads = harness::run_register_experiment(
+        *alg, closed_loop(harness::Backend::kThreads));
+    const auto sim = harness::run_register_experiment(
+        *alg, closed_loop(harness::Backend::kSim));
+
+    // Same closed-loop workload -> same op counts; both histories must
+    // pass the variant's promised consistency level and complete fully.
+    EXPECT_EQ(threads.report.completed_ops, sim.report.completed_ops);
+    EXPECT_EQ(threads.report.completed_ops, 48u);
+    EXPECT_TRUE(threads.live);
+    EXPECT_TRUE(sim.live);
+    EXPECT_TRUE(threads.report.quiesced);
+    EXPECT_TRUE(meets_guarantee(name, threads))
+        << "threaded history violated the promised consistency level";
+    EXPECT_TRUE(meets_guarantee(name, sim));
+    EXPECT_EQ(threads.backend, harness::Backend::kThreads);
+    EXPECT_EQ(sim.backend, harness::Backend::kSim);
+
+    // Unit tags: wall-clock nanoseconds on threads, logical steps on sim.
+    EXPECT_EQ(threads.report.op_latency.unit(), metrics::LatencyUnit::kNanos);
+    EXPECT_EQ(sim.report.op_latency.unit(), metrics::LatencyUnit::kSteps);
+    EXPECT_EQ(threads.report.op_latency.count(), 48u);
+    EXPECT_GT(threads.wall_seconds, 0.0);
+
+    // The threaded run really stored something and quiesced to the same
+    // steady-state footprint a fault-free closed-loop run must reach.
+    EXPECT_GT(threads.final_object_bits, 0u);
+    EXPECT_GT(threads.max_object_bits, 0u);
+  }
+}
+
+TEST(RuntimeBackend, ValidationRejectsSimulatorOnlyKnobs) {
+  EXPECT_EQ(harness::parse_backend("sim"), harness::Backend::kSim);
+  EXPECT_EQ(harness::parse_backend("threads"), harness::Backend::kThreads);
+  EXPECT_THROW(harness::parse_backend("gpu"), CheckFailure);
+
+  harness::RunOptions opts = closed_loop(harness::Backend::kThreads);
+  EXPECT_TRUE(harness::validate_backend_options(opts).empty());
+
+  opts.arrival.process = sim::ArrivalProcess::kPoisson;
+  EXPECT_FALSE(harness::validate_backend_options(opts).empty())
+      << "open-loop arrival is simulator-only";
+
+  opts = closed_loop(harness::Backend::kThreads);
+  opts.object_crashes = 1;
+  EXPECT_FALSE(harness::validate_backend_options(opts).empty())
+      << "fault injection is simulator-only";
+
+  opts = closed_loop(harness::Backend::kSim);
+  opts.object_crashes = 1;
+  EXPECT_TRUE(harness::validate_backend_options(opts).empty())
+      << "the simulator keeps every knob";
+}
+
+TEST(RuntimeBackend, StoreBatchRunsCheckerCleanOnThreads) {
+  store::StoreOptions opts;
+  opts.backend = harness::Backend::kThreads;
+  opts.algorithm = "adaptive";
+  opts.register_config = small_config();
+  opts.num_shards = 4;
+  opts.workload.num_keys = 32;
+  opts.workload.clients = 4;
+  opts.workload.ops_per_client = 16;
+  opts.workload.mix = store::ycsb::Mix::kA;
+  opts.workload.seed = 5;
+  opts.seed = 11;
+  store::Store st(opts);
+  const store::StoreResult r = st.run();
+
+  EXPECT_EQ(r.completed_reads + r.completed_writes, 64u);
+  EXPECT_EQ(r.consistency_failures, 0u);
+  EXPECT_TRUE(r.all_live);
+  EXPECT_TRUE(r.all_quiesced);
+  EXPECT_GT(r.keys_checked, 0u);
+  EXPECT_EQ(r.read_latency.unit(), metrics::LatencyUnit::kNanos);
+  EXPECT_GT(r.ops_per_sec, 0.0);
+}
+
+// --- Pinned simulator fingerprints ---------------------------------------
+//
+// The purification refactor (protocols compiled against runtime/ instead
+// of sim/ headers) must not change a single simulator byte. These two
+// fingerprints were captured on the pre-refactor tree; they cover the
+// sweep engine (4 algorithms x 2 seeds, histories included) and the store
+// engine (placement, multiplexing, YCSB stream, per-shard histories).
+
+TEST(RuntimeBackend, SimSweepFingerprintUnchanged) {
+  harness::SweepOptions so;
+  so.seeds_per_cell = 2;
+  so.base_seed = 7;
+  so.threads = 2;
+  std::vector<harness::SweepCell> grid;
+  for (const char* alg : {"adaptive", "abd", "coded", "safe"}) {
+    harness::SweepCell c;
+    c.algorithm = alg;
+    c.config.n = 4;
+    c.config.k = 2;
+    c.config.f = 1;
+    c.config.data_bits = 64;
+    c.opts.writers = 2;
+    c.opts.writes_per_client = 2;
+    c.opts.readers = 2;
+    c.opts.reads_per_client = 2;
+    grid.push_back(c);
+  }
+  const harness::SweepResult sweep = harness::SweepRunner(so).run(grid);
+  EXPECT_EQ(sweep.fingerprint(), 0x217e396cc0212292ull);
+}
+
+TEST(RuntimeBackend, SimStoreFingerprintUnchanged) {
+  store::StoreOptions opts;
+  opts.algorithm = "adaptive";
+  opts.register_config.n = 4;
+  opts.register_config.k = 2;
+  opts.register_config.f = 1;
+  opts.register_config.data_bits = 64;
+  opts.num_shards = 4;
+  opts.workload.num_keys = 32;
+  opts.workload.clients = 4;
+  opts.workload.ops_per_client = 32;
+  opts.workload.mix = store::ycsb::Mix::kA;
+  opts.workload.seed = 5;
+  opts.seed = 11;
+  opts.threads = 2;
+  opts.verify_accounting = false;
+  store::Store st(opts);
+  const store::StoreResult r = st.run();
+  EXPECT_EQ(r.fingerprint(), 0xbd77422f7135c7a4ull);
+  EXPECT_EQ(r.completed_reads, 62u);
+  EXPECT_EQ(r.completed_writes, 66u);
+  EXPECT_EQ(r.consistency_failures, 0u);
+}
+
+}  // namespace
+}  // namespace sbrs

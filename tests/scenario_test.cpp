@@ -11,6 +11,7 @@
 #include "common/check.h"
 #include "common/json.h"
 #include "harness/scenario.h"
+#include "sim/linkfault.h"
 
 namespace sbrs {
 namespace {

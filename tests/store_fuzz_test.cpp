@@ -19,6 +19,8 @@
 #include "consistency/checker.h"
 #include "harness/algorithms.h"
 #include "store/store.h"
+#include "sim/history.h"
+#include "sim/arrival.h"
 
 namespace sbrs::store {
 namespace {

@@ -11,6 +11,7 @@
 #include "store/multi_object.h"
 #include "store/shard_map.h"
 #include "store/store.h"
+#include "sim/types.h"
 
 namespace sbrs::store {
 namespace {

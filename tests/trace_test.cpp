@@ -24,6 +24,7 @@
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "store/store.h"
+#include "sim/linkfault.h"
 
 #ifndef SBRS_SOURCE_DIR
 #error "SBRS_SOURCE_DIR must point at the repository root"

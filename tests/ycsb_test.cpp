@@ -14,6 +14,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "store/ycsb.h"
+#include "sim/types.h"
 
 namespace sbrs::store::ycsb {
 namespace {
